@@ -1,0 +1,191 @@
+use std::collections::{HashMap, HashSet};
+
+use crate::{canonicalize, Item, ItemSet};
+
+/// Level-wise Apriori frequent-itemset miner (Agrawal & Srikant, VLDB
+/// 1994).
+///
+/// Kept alongside [`crate::FpGrowth`] as an independently implemented
+/// oracle: both must produce identical output on any input, which the
+/// property suite enforces. Apriori is simpler but slower on dense data —
+/// the paper's remark that "the efficiency of different implementation
+/// methods varies greatly" is directly measurable with these two.
+///
+/// # Example
+///
+/// ```
+/// use assoc::Apriori;
+///
+/// let tx: Vec<Vec<u32>> = vec![vec![1, 2], vec![1, 2], vec![2, 3]];
+/// let sets = Apriori::new(2).mine(&tx);
+/// assert!(sets.iter().any(|s| s.items == vec![1, 2] && s.support == 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Apriori {
+    min_support: usize,
+}
+
+impl Apriori {
+    /// Create with an absolute minimum support count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is zero.
+    pub fn new(min_support: usize) -> Self {
+        assert!(min_support > 0, "min_support must be positive");
+        Apriori { min_support }
+    }
+
+    /// The configured minimum support.
+    pub fn min_support(&self) -> usize {
+        self.min_support
+    }
+
+    /// Mine all frequent itemsets (canonical order: by length, then items).
+    pub fn mine<I: Item>(&self, transactions: &[Vec<I>]) -> Vec<ItemSet<I>> {
+        // normalized transactions: sorted, deduped
+        let txs: Vec<Vec<I>> = transactions
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+
+        // L1
+        let mut counts: HashMap<I, usize> = HashMap::new();
+        for t in &txs {
+            for &i in t {
+                *counts.entry(i).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<ItemSet<I>> = Vec::new();
+        let mut current: Vec<Vec<I>> = counts
+            .iter()
+            .filter(|&(_, &c)| c >= self.min_support)
+            .map(|(&i, _)| vec![i])
+            .collect();
+        current.sort_unstable();
+        for items in &current {
+            out.push(ItemSet {
+                items: items.clone(),
+                support: counts[&items[0]],
+            });
+        }
+
+        // Lk from Lk-1
+        while !current.is_empty() {
+            let prev: HashSet<&[I]> = current.iter().map(Vec::as_slice).collect();
+            let mut candidates: HashSet<Vec<I>> = HashSet::new();
+            // join step: sets sharing the first k-1 items
+            for (a_idx, a) in current.iter().enumerate() {
+                for b in &current[a_idx + 1..] {
+                    if a[..a.len() - 1] == b[..b.len() - 1] {
+                        let mut cand = a.clone();
+                        cand.push(*b.last().expect("non-empty"));
+                        cand.sort_unstable();
+                        // prune step: every (k-1)-subset must be frequent
+                        let all_subsets_frequent = (0..cand.len()).all(|skip| {
+                            let sub: Vec<I> = cand
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, _)| i != skip)
+                                .map(|(_, &x)| x)
+                                .collect();
+                            prev.contains(sub.as_slice())
+                        });
+                        if all_subsets_frequent {
+                            candidates.insert(cand);
+                        }
+                    }
+                }
+            }
+            // count candidates
+            let mut next: Vec<Vec<I>> = Vec::new();
+            for cand in candidates {
+                let support = txs
+                    .iter()
+                    .filter(|t| is_subset(&cand, t))
+                    .count();
+                if support >= self.min_support {
+                    out.push(ItemSet {
+                        items: cand.clone(),
+                        support,
+                    });
+                    next.push(cand);
+                }
+            }
+            next.sort_unstable();
+            current = next;
+        }
+        canonicalize(out)
+    }
+}
+
+/// Whether sorted `needle` is a subset of sorted `haystack` (merge walk).
+fn is_subset<I: Item>(needle: &[I], haystack: &[I]) -> bool {
+    let mut h = haystack.iter();
+    'outer: for n in needle {
+        for x in h.by_ref() {
+            match x.cmp(n) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FpGrowth;
+
+    fn classic_transactions() -> Vec<Vec<u8>> {
+        vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]
+    }
+
+    #[test]
+    fn agrees_with_fp_growth_on_classic_example() {
+        for min_support in 1..=5 {
+            let ap = Apriori::new(min_support).mine(&classic_transactions());
+            let fp = FpGrowth::new(min_support).mine(&classic_transactions());
+            assert_eq!(ap, fp, "mismatch at min_support={min_support}");
+        }
+    }
+
+    #[test]
+    fn subset_check() {
+        assert!(is_subset::<u8>(&[], &[1, 2]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[0], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_input() {
+        let none: Vec<Vec<u8>> = Vec::new();
+        assert!(Apriori::new(1).mine(&none).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn zero_support_rejected() {
+        Apriori::new(0);
+    }
+}

@@ -1,0 +1,304 @@
+use std::collections::HashMap;
+
+use crate::{canonicalize, Item, ItemSet};
+
+/// FP-growth frequent-itemset miner (Han, Pei & Yin, SIGMOD 2000).
+///
+/// Builds an FP-tree — a prefix tree over support-descending item order with
+/// per-item header chains — then mines it recursively over conditional
+/// pattern bases, without candidate generation.
+///
+/// # Example
+///
+/// ```
+/// use assoc::FpGrowth;
+///
+/// let tx: Vec<Vec<&str>> = vec![
+///     vec!["bread", "milk"],
+///     vec!["bread", "diapers", "beer"],
+///     vec!["milk", "diapers", "beer"],
+///     vec!["bread", "milk", "diapers"],
+/// ];
+/// let frequent = FpGrowth::new(2).mine(&tx);
+/// assert!(frequent.iter().any(|s| s.items == vec!["beer", "diapers"] && s.support == 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpGrowth {
+    min_support: usize,
+}
+
+impl FpGrowth {
+    /// Create with an absolute minimum support count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is zero (every subset of every transaction
+    /// would be "frequent").
+    pub fn new(min_support: usize) -> Self {
+        assert!(min_support > 0, "min_support must be positive");
+        FpGrowth { min_support }
+    }
+
+    /// The configured minimum support.
+    pub fn min_support(&self) -> usize {
+        self.min_support
+    }
+
+    /// Mine all frequent itemsets (canonical order: by length, then items).
+    ///
+    /// Duplicate items within one transaction are counted once.
+    pub fn mine<I: Item>(&self, transactions: &[Vec<I>]) -> Vec<ItemSet<I>> {
+        // 1. count item frequencies
+        let mut counts: HashMap<I, usize> = HashMap::new();
+        for tx in transactions {
+            let mut seen: Vec<I> = tx.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for item in seen {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        // 2. frequent items in support-descending (then item) order
+        let mut frequent: Vec<(I, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= self.min_support)
+            .collect();
+        frequent.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let order: HashMap<I, usize> = frequent
+            .iter()
+            .enumerate()
+            .map(|(rank, &(item, _))| (item, rank))
+            .collect();
+
+        // 3. build the tree from reordered, filtered transactions
+        let mut tree = Tree::new(frequent.len());
+        for tx in transactions {
+            let mut items: Vec<I> = tx
+                .iter()
+                .copied()
+                .filter(|i| order.contains_key(i))
+                .collect();
+            items.sort_unstable_by_key(|i| order[i]);
+            items.dedup();
+            tree.insert(&items, 1, &order);
+        }
+
+        // 4. mine recursively
+        let mut out: Vec<ItemSet<I>> = Vec::new();
+        self.mine_tree(&tree, &frequent, &[], &mut out);
+        canonicalize(out)
+    }
+
+    fn mine_tree<I: Item>(
+        &self,
+        tree: &Tree<I>,
+        frequent: &[(I, usize)],
+        suffix: &[I],
+        out: &mut Vec<ItemSet<I>>,
+    ) {
+        // iterate items bottom-up (least frequent first)
+        for (rank, &(item, _)) in frequent.iter().enumerate().rev() {
+            let support: usize = tree.header[rank]
+                .iter()
+                .map(|&n| tree.nodes[n].count)
+                .sum();
+            if support < self.min_support {
+                continue;
+            }
+            let mut items = vec![item];
+            items.extend_from_slice(suffix);
+            out.push(ItemSet {
+                items: items.clone(),
+                support,
+            });
+
+            // conditional pattern base: prefix paths of every node of `item`
+            let mut cond_counts: HashMap<I, usize> = HashMap::new();
+            let mut paths: Vec<(Vec<I>, usize)> = Vec::new();
+            for &n in &tree.header[rank] {
+                let count = tree.nodes[n].count;
+                let mut path = Vec::new();
+                let mut cur = tree.nodes[n].parent;
+                while let Some(p) = cur {
+                    if let Some(pi) = tree.nodes[p].item {
+                        path.push(pi);
+                        *cond_counts.entry(pi).or_insert(0) += count;
+                    }
+                    cur = tree.nodes[p].parent;
+                }
+                path.reverse();
+                if !path.is_empty() {
+                    paths.push((path, count));
+                }
+            }
+            // frequent items of the conditional base
+            let mut cond_frequent: Vec<(I, usize)> = cond_counts
+                .into_iter()
+                .filter(|&(_, c)| c >= self.min_support)
+                .collect();
+            if cond_frequent.is_empty() {
+                continue;
+            }
+            cond_frequent.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let cond_order: HashMap<I, usize> = cond_frequent
+                .iter()
+                .enumerate()
+                .map(|(r, &(i, _))| (i, r))
+                .collect();
+            let mut cond_tree = Tree::new(cond_frequent.len());
+            for (path, count) in &paths {
+                let mut filtered: Vec<I> = path
+                    .iter()
+                    .copied()
+                    .filter(|i| cond_order.contains_key(i))
+                    .collect();
+                filtered.sort_unstable_by_key(|i| cond_order[i]);
+                cond_tree.insert(&filtered, *count, &cond_order);
+            }
+            self.mine_tree(&cond_tree, &cond_frequent, &items, out);
+        }
+    }
+}
+
+/// Arena-allocated FP-tree.
+struct Tree<I> {
+    nodes: Vec<Node<I>>,
+    /// `header[rank]` = all node ids holding the item with that rank.
+    header: Vec<Vec<usize>>,
+}
+
+struct Node<I> {
+    item: Option<I>,
+    count: usize,
+    parent: Option<usize>,
+    children: HashMap<I, usize>,
+}
+
+impl<I: Item> Tree<I> {
+    fn new(num_items: usize) -> Self {
+        Tree {
+            nodes: vec![Node {
+                item: None,
+                count: 0,
+                parent: None,
+                children: HashMap::new(),
+            }],
+            header: vec![Vec::new(); num_items],
+        }
+    }
+
+    fn insert(&mut self, items: &[I], count: usize, order: &HashMap<I, usize>) {
+        let mut cur = 0usize;
+        for &item in items {
+            let next = match self.nodes[cur].children.get(&item) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node {
+                        item: Some(item),
+                        count: 0,
+                        parent: Some(cur),
+                        children: HashMap::new(),
+                    });
+                    self.nodes[cur].children.insert(item, n);
+                    self.header[order[&item]].push(n);
+                    n
+                }
+            };
+            self.nodes[next].count += count;
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classic_transactions() -> Vec<Vec<u8>> {
+        // the SIGMOD'00 running example (items renamed to numbers)
+        vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]
+    }
+
+    #[test]
+    fn classic_example_itemsets() {
+        let sets = FpGrowth::new(2).mine(&classic_transactions());
+        let find = |items: &[u8]| {
+            sets.iter()
+                .find(|s| s.items == items)
+                .map(|s| s.support)
+        };
+        assert_eq!(find(&[1]), Some(6));
+        assert_eq!(find(&[2]), Some(7));
+        assert_eq!(find(&[1, 2]), Some(4));
+        assert_eq!(find(&[1, 2, 5]), Some(2));
+        assert_eq!(find(&[1, 2, 3]), Some(2));
+        assert_eq!(find(&[4]), Some(2));
+        assert_eq!(find(&[5]), Some(2));
+        // {4, 3} appears in no transaction twice
+        assert_eq!(find(&[3, 4]), None);
+    }
+
+    #[test]
+    fn min_support_filters() {
+        let sets = FpGrowth::new(6).mine(&classic_transactions());
+        assert!(sets.iter().all(|s| s.support >= 6));
+        assert!(sets.iter().any(|s| s.items == vec![1]));
+        assert!(sets.iter().any(|s| s.items == vec![2]));
+        assert!(sets.iter().any(|s| s.items == vec![3])); // 3 appears 6 times
+        assert_eq!(sets.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let none: Vec<Vec<u8>> = Vec::new();
+        assert!(FpGrowth::new(1).mine(&none).is_empty());
+        let empties: Vec<Vec<u8>> = vec![vec![], vec![]];
+        assert!(FpGrowth::new(1).mine(&empties).is_empty());
+    }
+
+    #[test]
+    fn duplicate_items_in_transaction_count_once() {
+        let tx = vec![vec![7u8, 7, 7], vec![7]];
+        let sets = FpGrowth::new(2).mine(&tx);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].support, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn zero_support_rejected() {
+        FpGrowth::new(0);
+    }
+
+    #[test]
+    fn supports_are_antimonotone() {
+        let sets = FpGrowth::new(1).mine(&classic_transactions());
+        let lookup: HashMap<&[u8], usize> =
+            sets.iter().map(|s| (s.items.as_slice(), s.support)).collect();
+        for s in &sets {
+            if s.items.len() >= 2 {
+                for drop_idx in 0..s.items.len() {
+                    let mut subset = s.items.clone();
+                    subset.remove(drop_idx);
+                    let sub_support = lookup[subset.as_slice()];
+                    assert!(
+                        sub_support >= s.support,
+                        "superset {:?} has more support than subset {subset:?}",
+                        s.items
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! # assoc — association-rule mining substrate
+//!
+//! A from-scratch implementation of frequent-itemset mining and association
+//! rules, built for the paper's FP-growth localization baseline (references \[15\], \[31\],
+//! \[32\] in the RAPMiner paper) but generic over any item type:
+//!
+//! * [`FpGrowth`] — FP-tree construction plus recursive conditional-pattern
+//!   mining (Han et al., *Mining Frequent Patterns without Candidate
+//!   Generation*, SIGMOD 2000);
+//! * [`Apriori`] — the classic level-wise miner (Agrawal & Srikant, VLDB
+//!   1994), kept as an independently implemented oracle: both miners must
+//!   return identical itemsets on any input, which the property tests
+//!   enforce;
+//! * [`generate_rules`] — association rules with support and confidence.
+//!
+//! # Example
+//!
+//! ```
+//! use assoc::{FpGrowth, Apriori};
+//!
+//! let transactions: Vec<Vec<u32>> = vec![
+//!     vec![1, 2, 3],
+//!     vec![1, 2],
+//!     vec![1, 3],
+//!     vec![2, 3],
+//! ];
+//! let fp = FpGrowth::new(2).mine(&transactions);
+//! let ap = Apriori::new(2).mine(&transactions);
+//! assert_eq!(fp, ap);
+//! // {1} appears 3 times
+//! assert!(fp.iter().any(|s| s.items == vec![1] && s.support == 3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apriori;
+mod fptree;
+mod rules;
+
+pub use apriori::Apriori;
+pub use fptree::FpGrowth;
+pub use rules::{generate_rules, Rule};
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Marker for types usable as items: cheap to copy, hashable, totally
+/// ordered (itemsets are kept sorted for canonical form).
+pub trait Item: Copy + Eq + Hash + Ord + Debug {}
+
+impl<T: Copy + Eq + Hash + Ord + Debug> Item for T {}
+
+/// A frequent itemset: its (sorted) items and absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemSet<I> {
+    /// The items, sorted ascending (canonical form).
+    pub items: Vec<I>,
+    /// Number of transactions containing all the items.
+    pub support: usize,
+}
+
+/// Canonicalize and sort mining output so different miners compare equal:
+/// itemsets ordered by (length, items).
+pub(crate) fn canonicalize<I: Item>(mut sets: Vec<ItemSet<I>>) -> Vec<ItemSet<I>> {
+    for s in &mut sets {
+        s.items.sort_unstable();
+    }
+    sets.sort_unstable_by(|a, b| {
+        a.items
+            .len()
+            .cmp(&b.items.len())
+            .then_with(|| a.items.cmp(&b.items))
+    });
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_sorts_items_and_sets() {
+        let sets = vec![
+            ItemSet {
+                items: vec![3, 1],
+                support: 2,
+            },
+            ItemSet {
+                items: vec![2],
+                support: 5,
+            },
+        ];
+        let canon = canonicalize(sets);
+        assert_eq!(canon[0].items, vec![2]);
+        assert_eq!(canon[1].items, vec![1, 3]);
+    }
+}

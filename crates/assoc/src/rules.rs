@@ -1,0 +1,176 @@
+use std::collections::HashMap;
+
+use crate::{Item, ItemSet};
+
+/// An association rule `antecedent ⇒ consequent` with its quality metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule<I> {
+    /// Left-hand side (sorted, non-empty).
+    pub antecedent: Vec<I>,
+    /// Right-hand side (sorted, non-empty, disjoint from the antecedent).
+    pub consequent: Vec<I>,
+    /// Support count of `antecedent ∪ consequent`.
+    pub support: usize,
+    /// `support(antecedent ∪ consequent) / support(antecedent)`.
+    pub confidence: f64,
+}
+
+/// Generate all association rules with `confidence >= min_confidence` from a
+/// set of frequent itemsets (as produced by [`crate::FpGrowth::mine`] or
+/// [`crate::Apriori::mine`]).
+///
+/// Every non-empty proper subset of each itemset is tried as an antecedent.
+/// Rules are returned sorted by confidence descending, then support
+/// descending, then antecedent (deterministic output).
+///
+/// # Panics
+///
+/// Panics if `min_confidence` is not within `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use assoc::{FpGrowth, generate_rules};
+///
+/// let tx: Vec<Vec<u32>> = vec![vec![1, 2], vec![1, 2], vec![1, 3]];
+/// let frequent = FpGrowth::new(2).mine(&tx);
+/// let rules = generate_rules(&frequent, 0.6);
+/// // {2} => {1} holds with confidence 1.0
+/// assert!(rules
+///     .iter()
+///     .any(|r| r.antecedent == vec![2] && r.consequent == vec![1] && r.confidence == 1.0));
+/// ```
+pub fn generate_rules<I: Item>(itemsets: &[ItemSet<I>], min_confidence: f64) -> Vec<Rule<I>> {
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "min_confidence must be in [0, 1], got {min_confidence}"
+    );
+    let support: HashMap<&[I], usize> = itemsets
+        .iter()
+        .map(|s| (s.items.as_slice(), s.support))
+        .collect();
+    let mut rules: Vec<Rule<I>> = Vec::new();
+    for set in itemsets {
+        let k = set.items.len();
+        if k < 2 {
+            continue;
+        }
+        // enumerate non-empty proper subsets via bitmask
+        for mask in 1u32..((1u32 << k) - 1) {
+            let antecedent: Vec<I> = set
+                .items
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &x)| x)
+                .collect();
+            let consequent: Vec<I> = set
+                .items
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) == 0)
+                .map(|(_, &x)| x)
+                .collect();
+            // antecedent support must be present: frequent itemsets are
+            // downward closed, so it always is when itemsets are complete.
+            let Some(&ant_support) = support.get(antecedent.as_slice()) else {
+                continue;
+            };
+            let confidence = set.support as f64 / ant_support as f64;
+            if confidence >= min_confidence {
+                rules.push(Rule {
+                    antecedent,
+                    consequent,
+                    support: set.support,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("confidence is finite")
+            .then_with(|| b.support.cmp(&a.support))
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FpGrowth;
+
+    fn transactions() -> Vec<Vec<u8>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 3],
+        ]
+    }
+
+    #[test]
+    fn confidences_match_hand_computation() {
+        let frequent = FpGrowth::new(1).mine(&transactions());
+        let rules = generate_rules(&frequent, 0.0);
+        let find = |a: &[u8], c: &[u8]| {
+            rules
+                .iter()
+                .find(|r| r.antecedent == a && r.consequent == c)
+                .map(|r| r.confidence)
+        };
+        // support(1,2) = 3, support(1) = 4 -> conf(1 => 2) = 0.75
+        assert_eq!(find(&[1], &[2]), Some(0.75));
+        // support(1,2) = 3, support(2) = 4 -> conf(2 => 1) = 0.75
+        assert_eq!(find(&[2], &[1]), Some(0.75));
+        // support(1,2,3) = 1, support(1,2) = 3
+        let c = find(&[1, 2], &[3]).unwrap();
+        assert!((c - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_confidence_filters() {
+        let frequent = FpGrowth::new(1).mine(&transactions());
+        let rules = generate_rules(&frequent, 0.75);
+        assert!(rules.iter().all(|r| r.confidence >= 0.75));
+        assert!(!rules.is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_by_confidence() {
+        let frequent = FpGrowth::new(1).mine(&transactions());
+        let rules = generate_rules(&frequent, 0.0);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn singletons_produce_no_rules() {
+        let frequent = FpGrowth::new(5).mine(&transactions());
+        assert!(frequent.iter().all(|s| s.items.len() == 1) || frequent.is_empty());
+        assert!(generate_rules(&frequent, 0.0).is_empty());
+    }
+
+    #[test]
+    fn antecedent_and_consequent_partition_the_itemset() {
+        let frequent = FpGrowth::new(1).mine(&transactions());
+        for r in generate_rules(&frequent, 0.0) {
+            let mut joined = r.antecedent.clone();
+            joined.extend_from_slice(&r.consequent);
+            joined.sort_unstable();
+            assert!(frequent.iter().any(|s| s.items == joined));
+            assert!(!r.antecedent.is_empty() && !r.consequent.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_confidence")]
+    fn bad_confidence_rejected() {
+        generate_rules::<u8>(&[], 1.5);
+    }
+}

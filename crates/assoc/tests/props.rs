@@ -1,0 +1,93 @@
+//! Property tests: FP-growth and Apriori are independently implemented and
+//! must agree; classic frequent-itemset laws must hold.
+
+use assoc::{generate_rules, Apriori, FpGrowth};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn transactions() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..12, 0..8), 0..40)
+}
+
+proptest! {
+    /// The two miners agree exactly on arbitrary inputs.
+    #[test]
+    fn fp_growth_equals_apriori(txs in transactions(), min_support in 1usize..6) {
+        let fp = FpGrowth::new(min_support).mine(&txs);
+        let ap = Apriori::new(min_support).mine(&txs);
+        prop_assert_eq!(fp, ap);
+    }
+
+    /// Every reported support is exact (verified by brute-force recount)
+    /// and respects min_support.
+    #[test]
+    fn supports_are_exact(txs in transactions(), min_support in 1usize..4) {
+        let sets = FpGrowth::new(min_support).mine(&txs);
+        for s in &sets {
+            let brute = txs
+                .iter()
+                .filter(|t| s.items.iter().all(|i| t.contains(i)))
+                .count();
+            prop_assert_eq!(s.support, brute, "itemset {:?}", s.items);
+            prop_assert!(s.support >= min_support);
+        }
+    }
+
+    /// Anti-monotonicity: a subset's support is at least its superset's.
+    #[test]
+    fn support_is_antimonotone(txs in transactions()) {
+        let sets = FpGrowth::new(1).mine(&txs);
+        let lookup: HashMap<&[u8], usize> =
+            sets.iter().map(|s| (s.items.as_slice(), s.support)).collect();
+        for s in &sets {
+            for skip in 0..s.items.len() {
+                if s.items.len() < 2 { continue; }
+                let sub: Vec<u8> = s
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &x)| x)
+                    .collect();
+                prop_assert!(lookup[sub.as_slice()] >= s.support);
+            }
+        }
+    }
+
+    /// Downward closure: every non-empty subset of a frequent itemset is
+    /// itself in the output.
+    #[test]
+    fn downward_closure(txs in transactions(), min_support in 1usize..4) {
+        let sets = FpGrowth::new(min_support).mine(&txs);
+        let present: std::collections::HashSet<&[u8]> =
+            sets.iter().map(|s| s.items.as_slice()).collect();
+        for s in &sets {
+            if s.items.len() < 2 { continue; }
+            for skip in 0..s.items.len() {
+                let sub: Vec<u8> = s
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &x)| x)
+                    .collect();
+                prop_assert!(present.contains(sub.as_slice()),
+                    "missing subset {sub:?} of {:?}", s.items);
+            }
+        }
+    }
+
+    /// Rule confidences are consistent with the itemset supports and lie in
+    /// (0, 1].
+    #[test]
+    fn rule_confidence_is_consistent(txs in transactions(), min_support in 1usize..4) {
+        let sets = FpGrowth::new(min_support).mine(&txs);
+        let lookup: HashMap<&[u8], usize> =
+            sets.iter().map(|s| (s.items.as_slice(), s.support)).collect();
+        for r in generate_rules(&sets, 0.0) {
+            prop_assert!(r.confidence > 0.0 && r.confidence <= 1.0);
+            let ant = lookup[r.antecedent.as_slice()];
+            prop_assert!((r.confidence - r.support as f64 / ant as f64).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by the localization baselines.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The method consumes per-leaf anomaly labels (RAPMiner, iDice,
+    /// FP-growth) but the frame carries none.
+    UnlabelledFrame {
+        /// The localizer that needed labels.
+        method: &'static str,
+    },
+    /// A configuration parameter was out of range.
+    InvalidParameter {
+        /// The localizer being configured.
+        method: &'static str,
+        /// The offending parameter.
+        parameter: &'static str,
+        /// Human-readable requirement.
+        requirement: &'static str,
+    },
+    /// Error bubbled up from the RAPMiner core.
+    RapMiner(rapminer::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnlabelledFrame { method } => {
+                write!(f, "{method} requires a labelled frame; run detection first")
+            }
+            Error::InvalidParameter {
+                method,
+                parameter,
+                requirement,
+            } => write!(f, "{method}: `{parameter}` must be {requirement}"),
+            Error::RapMiner(e) => write!(f, "rapminer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::RapMiner(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rapminer::Error> for Error {
+    fn from(e: rapminer::Error) -> Self {
+        Error::RapMiner(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error as _;
+        let e = Error::from(rapminer::Error::UnlabelledFrame);
+        assert!(e.source().is_some());
+    }
+}

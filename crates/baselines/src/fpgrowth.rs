@@ -1,0 +1,304 @@
+use assoc::{Apriori, FpGrowth, ItemSet};
+use mdkpi::{AttrId, Combination, ElementId, LeafFrame, LeafIndex};
+
+use crate::localizer::{Localizer, ScoredCombination};
+use crate::{Error, Result};
+
+/// Association-rule-mining localization (reference \[15\] in the RAPMiner paper),
+/// implemented with the [`assoc`] crate's FP-growth.
+///
+/// Every anomalous leaf becomes a transaction of `(attribute, element)`
+/// items; frequent itemsets over those transactions are candidate root
+/// anomaly patterns. Each candidate is then validated against the *whole*
+/// dataset: its confidence (anomalous fraction of all covered leaves) must
+/// clear `min_confidence`, and candidates with an accepted ancestor are
+/// dropped (an itemset's subset is its combination's ancestor). Candidates
+/// are ranked by `confidence × coverage` of the anomalous set.
+///
+/// The paper finds this the strongest baseline on RAPMD (still ~10 points
+/// behind RAPMiner on RC@k).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpGrowthLocalizer {
+    support_ratio: f64,
+    min_confidence: f64,
+    miner: MinerKind,
+}
+
+/// Which frequent-itemset implementation backs the localizer. The RAPMiner
+/// paper notes that "the efficiency of different implementation methods
+/// varies greatly" for association-rule localization — this switch makes
+/// that claim measurable (`assoc`'s property tests guarantee both miners
+/// return identical itemsets, so effectiveness is unchanged by
+/// construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinerKind {
+    /// FP-growth (Han et al., SIGMOD 2000) — the efficient default.
+    FpGrowth,
+    /// Apriori (Agrawal & Srikant, VLDB 1994) — the level-wise classic.
+    Apriori,
+}
+
+impl Default for FpGrowthLocalizer {
+    fn default() -> Self {
+        FpGrowthLocalizer {
+            support_ratio: 0.1,
+            min_confidence: 0.7,
+            miner: MinerKind::FpGrowth,
+        }
+    }
+}
+
+impl FpGrowthLocalizer {
+    /// Create with explicit parameters: `support_ratio` — minimum fraction
+    /// of the anomalous leaves an itemset must cover; `min_confidence` —
+    /// minimum anomalous fraction among all leaves the candidate covers.
+    ///
+    /// # Errors
+    ///
+    /// Rejects ratios outside `(0, 1]`.
+    pub fn new(support_ratio: f64, min_confidence: f64) -> Result<Self> {
+        for (name, v) in [
+            ("support_ratio", support_ratio),
+            ("min_confidence", min_confidence),
+        ] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(Error::InvalidParameter {
+                    method: "fp-growth",
+                    parameter: if name == "support_ratio" {
+                        "support_ratio"
+                    } else {
+                        "min_confidence"
+                    },
+                    requirement: "in (0, 1]",
+                });
+            }
+        }
+        Ok(FpGrowthLocalizer {
+            support_ratio,
+            min_confidence,
+            miner: MinerKind::FpGrowth,
+        })
+    }
+
+    /// Switch the backing frequent-itemset miner (builder-style).
+    pub fn with_miner(mut self, miner: MinerKind) -> Self {
+        self.miner = miner;
+        self
+    }
+
+    /// The backing miner.
+    pub fn miner(&self) -> MinerKind {
+        self.miner
+    }
+}
+
+type Item = (u16, u32);
+
+impl Localizer for FpGrowthLocalizer {
+    fn name(&self) -> &'static str {
+        "fp-growth"
+    }
+
+    fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>> {
+        let labels = frame
+            .labels()
+            .ok_or(Error::UnlabelledFrame { method: "fp-growth" })?;
+        let transactions: Vec<Vec<Item>> = (0..frame.num_rows())
+            .filter(|&i| labels[i])
+            .map(|i| {
+                frame
+                    .row_elements(i)
+                    .iter()
+                    .enumerate()
+                    .map(|(a, e)| (a as u16, e.0))
+                    .collect()
+            })
+            .collect();
+        let total_anom = transactions.len();
+        if total_anom == 0 {
+            return Ok(Vec::new());
+        }
+        let min_support = ((self.support_ratio * total_anom as f64).ceil() as usize).max(1);
+        let itemsets: Vec<ItemSet<Item>> = match self.miner {
+            MinerKind::FpGrowth => FpGrowth::new(min_support).mine(&transactions),
+            MinerKind::Apriori => Apriori::new(min_support).mine(&transactions),
+        };
+
+        let index = LeafIndex::new(frame);
+        let mut candidates: Vec<(Vec<Item>, ScoredCombination, f64)> = Vec::new();
+        for set in &itemsets {
+            let combination = Combination::from_pairs(
+                frame.schema(),
+                set.items
+                    .iter()
+                    .map(|&(a, e)| (AttrId(a), ElementId(e))),
+            );
+            let (support, anom_support) = index.support_counts(&combination);
+            if support == 0 {
+                continue;
+            }
+            let confidence = anom_support as f64 / support as f64;
+            if confidence < self.min_confidence {
+                continue;
+            }
+            let coverage = anom_support as f64 / total_anom as f64;
+            candidates.push((
+                set.items.clone(),
+                ScoredCombination {
+                    combination,
+                    score: confidence * coverage,
+                },
+                confidence,
+            ));
+        }
+
+        // drop candidates whose strict ancestor (proper item subset) is
+        // also a candidate — the ancestor is the more general explanation
+        let keep: Vec<bool> = candidates
+            .iter()
+            .map(|(items, _, _)| {
+                !candidates.iter().any(|(other, _, _)| {
+                    other.len() < items.len()
+                        && other.iter().all(|i| items.contains(i))
+                })
+            })
+            .collect();
+        let mut out: Vec<ScoredCombination> = candidates
+            .into_iter()
+            .zip(keep)
+            .filter(|(_, keep)| *keep)
+            .map(|((_, sc, _), _)| sc)
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("score is finite")
+                .then_with(|| a.combination.cmp(&b.combination))
+        });
+        out.truncate(k);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::Schema;
+
+    fn planted_frame() -> LeafFrame {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .attribute("c", ["c1", "c2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                for c in 0..2u32 {
+                    let anomalous = a == 0 || (a == 1 && b == 1);
+                    let v = if anomalous { 10.0 } else { 100.0 };
+                    builder.push_labelled(
+                        &[ElementId(a), ElementId(b), ElementId(c)],
+                        v,
+                        100.0,
+                        anomalous,
+                    );
+                }
+            }
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn recovers_multi_rap_failure() {
+        let out = FpGrowthLocalizer::default()
+            .localize(&planted_frame(), 5)
+            .unwrap();
+        let names: Vec<String> = out.iter().map(|c| c.combination.to_string()).collect();
+        assert!(names.contains(&"(a1, *, *)".to_string()), "got {names:?}");
+        assert!(names.contains(&"(a2, b2, *)".to_string()), "got {names:?}");
+    }
+
+    #[test]
+    fn ancestors_shadow_descendants() {
+        let out = FpGrowthLocalizer::default()
+            .localize(&planted_frame(), 20)
+            .unwrap();
+        for a in &out {
+            for b in &out {
+                assert!(
+                    a.combination == b.combination
+                        || !a.combination.is_ancestor_of(&b.combination),
+                    "{} shadows {}",
+                    a.combination,
+                    b.combination
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unlabelled_frame_errors() {
+        let schema = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        builder.push(&[ElementId(0)], 1.0, 1.0);
+        let frame = builder.build();
+        assert!(matches!(
+            FpGrowthLocalizer::default().localize(&frame, 1),
+            Err(Error::UnlabelledFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn all_normal_returns_empty() {
+        let mut frame = planted_frame();
+        frame.set_labels(vec![false; frame.num_rows()]).unwrap();
+        assert!(FpGrowthLocalizer::default()
+            .localize(&frame, 5)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn min_confidence_gates_noisy_candidates() {
+        // (a1, *) covers 4 leaves of which only 2 anomalous: conf = 0.5
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2", "b3", "b4"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..2u32 {
+            for b in 0..4u32 {
+                let anomalous = a == 0 && b < 2;
+                let v = if anomalous { 10.0 } else { 100.0 };
+                builder.push_labelled(&[ElementId(a), ElementId(b)], v, 100.0, anomalous);
+            }
+        }
+        let frame = builder.build();
+        let strict = FpGrowthLocalizer::new(0.1, 0.9).unwrap();
+        let out = strict.localize(&frame, 10).unwrap();
+        // only fully anomalous combinations pass the 0.9 confidence gate
+        assert!(out
+            .iter()
+            .all(|c| c.combination.layer() == 2), "got {out:?}");
+    }
+
+    #[test]
+    fn apriori_and_fp_growth_localize_identically() {
+        let frame = planted_frame();
+        let fp = FpGrowthLocalizer::default().localize(&frame, 10).unwrap();
+        let ap = FpGrowthLocalizer::default()
+            .with_miner(MinerKind::Apriori)
+            .localize(&frame, 10)
+            .unwrap();
+        assert_eq!(fp, ap, "same itemsets must give the same localization");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(FpGrowthLocalizer::new(0.0, 0.5).is_err());
+        assert!(FpGrowthLocalizer::new(0.5, 1.5).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+use std::collections::HashMap;
+
+use mdkpi::{Combination, CuboidLattice, ElementId, LeafFrame, LeafIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::localizer::{Localizer, ScoredCombination};
+use crate::ps::potential_score;
+use crate::{Error, Result};
+
+/// **HotSpot** (Sun et al., IEEE Access 2018): anomaly localization for
+/// additive KPIs via Monte-Carlo tree search guided by the ripple-effect
+/// *potential score*.
+///
+/// HotSpot assumes all root causes live in a **single cuboid**. For every
+/// cuboid (cheapest layers first) it runs an MCTS whose states are subsets
+/// of the cuboid's candidate combinations and whose reward is the potential
+/// score of "this subset is the root-cause set"; the best subset across
+/// cuboids wins. Candidate combinations per cuboid are capped to the
+/// most-deviant ones to bound the branching factor, as in the original's
+/// pruning.
+///
+/// The search is seeded and deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotSpot {
+    iterations: usize,
+    max_candidates: usize,
+    ps_target: f64,
+    seed: u64,
+}
+
+impl Default for HotSpot {
+    fn default() -> Self {
+        HotSpot {
+            iterations: 100,
+            max_candidates: 12,
+            ps_target: 0.98,
+            seed: 0x40750_u64,
+        }
+    }
+}
+
+impl HotSpot {
+    /// Create with explicit search budgets: `iterations` — MCTS iterations
+    /// per cuboid; `max_candidates` — candidate combinations kept per
+    /// cuboid; `ps_target` — stop as soon as a subset reaches this
+    /// potential score.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero budgets or a target outside `(0, 1]`.
+    pub fn new(iterations: usize, max_candidates: usize, ps_target: f64) -> Result<Self> {
+        if iterations == 0 {
+            return Err(Error::InvalidParameter {
+                method: "hotspot",
+                parameter: "iterations",
+                requirement: "positive",
+            });
+        }
+        if max_candidates == 0 {
+            return Err(Error::InvalidParameter {
+                method: "hotspot",
+                parameter: "max_candidates",
+                requirement: "positive",
+            });
+        }
+        if !(ps_target > 0.0 && ps_target <= 1.0) {
+            return Err(Error::InvalidParameter {
+                method: "hotspot",
+                parameter: "ps_target",
+                requirement: "in (0, 1]",
+            });
+        }
+        Ok(HotSpot {
+            iterations,
+            max_candidates,
+            ps_target,
+            seed: 0x40750_u64,
+        })
+    }
+
+    /// Replace the MCTS seed (builder-style); results stay deterministic
+    /// per seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One MCTS node: a subset of candidate indexes (sorted), its value, and
+/// statistics.
+struct Node {
+    subset: Vec<usize>,
+    visits: f64,
+    best_reward: f64,
+    children: Vec<usize>,
+    expanded: bool,
+}
+
+/// MCTS over subsets of `candidates`, maximizing the potential score.
+fn mcts_best_subset(
+    frame: &LeafFrame,
+    index: &LeafIndex,
+    candidates: &[Combination],
+    iterations: usize,
+    ps_target: f64,
+    rng: &mut StdRng,
+) -> (Vec<usize>, f64) {
+    let mut nodes: Vec<Node> = vec![Node {
+        subset: Vec::new(),
+        visits: 0.0,
+        best_reward: 0.0,
+        children: Vec::new(),
+        expanded: false,
+    }];
+    let mut best: (Vec<usize>, f64) = (Vec::new(), 0.0);
+
+    let evaluate = |subset: &[usize]| -> f64 {
+        let combos: Vec<Combination> =
+            subset.iter().map(|&i| candidates[i].clone()).collect();
+        potential_score(frame, index, &combos)
+    };
+
+    for _ in 0..iterations {
+        // selection: walk down by UCB1 until an unexpanded node
+        let mut path = vec![0usize];
+        loop {
+            let cur = *path.last().expect("non-empty path");
+            if !nodes[cur].expanded || nodes[cur].children.is_empty() {
+                break;
+            }
+            let parent_visits = nodes[cur].visits.max(1.0);
+            let chosen = nodes[cur]
+                .children
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let ucb = |n: &Node| {
+                        n.best_reward
+                            + 0.7 * ((parent_visits.ln() / n.visits.max(1e-9)).sqrt())
+                    };
+                    ucb(&nodes[a])
+                        .partial_cmp(&ucb(&nodes[b]))
+                        .expect("finite ucb")
+                })
+                .expect("children non-empty");
+            path.push(chosen);
+        }
+        // expansion: add children (subset + one new candidate)
+        let cur = *path.last().expect("non-empty path");
+        if !nodes[cur].expanded {
+            let subset = nodes[cur].subset.clone();
+            let start = subset.last().map_or(0, |&l| l + 1);
+            let mut child_ids = Vec::new();
+            for next in start..candidates.len() {
+                let mut child_subset = subset.clone();
+                child_subset.push(next);
+                child_ids.push(nodes.len());
+                nodes.push(Node {
+                    subset: child_subset,
+                    visits: 0.0,
+                    best_reward: 0.0,
+                    children: Vec::new(),
+                    expanded: false,
+                });
+            }
+            nodes[cur].children = child_ids;
+            nodes[cur].expanded = true;
+        }
+        // evaluation: score the node we reached itself (rewards are
+        // deterministic, so the node's own subset IS its simulation); with
+        // some probability also roll out one random child for exploration
+        let cur = *path.last().expect("non-empty path");
+        let eval_node = if !nodes[cur].children.is_empty()
+            && nodes[cur].visits > 0.0
+            && rng.gen_bool(0.5)
+        {
+            let pick = rng.gen_range(0..nodes[cur].children.len());
+            let child = nodes[cur].children[pick];
+            path.push(child);
+            child
+        } else {
+            cur
+        };
+        let reward = evaluate(&nodes[eval_node].subset);
+        if reward > best.1 {
+            best = (nodes[eval_node].subset.clone(), reward);
+            if reward >= ps_target {
+                return best;
+            }
+        }
+        // backpropagation: update visits and best reward along the path
+        for &n in &path {
+            nodes[n].visits += 1.0;
+            if reward > nodes[n].best_reward {
+                nodes[n].best_reward = reward;
+            }
+        }
+    }
+    best
+}
+
+impl Localizer for HotSpot {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>> {
+        if frame.is_empty() {
+            return Ok(Vec::new());
+        }
+        let index = LeafIndex::new(frame);
+        let lattice = CuboidLattice::full(frame.schema());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: (Vec<Combination>, f64) = (Vec::new(), 0.0);
+
+        for (_, cuboid) in lattice.iter_top_down() {
+            // candidate combinations: group leaves by cuboid attributes,
+            // keep the most deviant
+            let attrs: Vec<usize> = cuboid.attrs().map(|a| a.index()).collect();
+            let mut groups: HashMap<Vec<ElementId>, f64> = HashMap::new();
+            for i in 0..frame.num_rows() {
+                let key: Vec<ElementId> =
+                    attrs.iter().map(|&a| frame.row_elements(i)[a]).collect();
+                *groups.entry(key).or_insert(0.0) += (frame.f(i) - frame.v(i)).abs();
+            }
+            let mut combos: Vec<(Combination, f64)> = groups
+                .into_iter()
+                .filter(|&(_, dev)| dev > 1e-9)
+                .map(|(key, dev)| {
+                    (
+                        Combination::from_pairs(
+                            frame.schema(),
+                            cuboid.attrs().zip(key.iter().copied()),
+                        ),
+                        dev,
+                    )
+                })
+                .collect();
+            combos.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("finite deviation")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            combos.truncate(self.max_candidates);
+            if combos.is_empty() {
+                continue;
+            }
+            let candidates: Vec<Combination> =
+                combos.into_iter().map(|(c, _)| c).collect();
+            let (subset, ps) = mcts_best_subset(
+                frame,
+                &index,
+                &candidates,
+                self.iterations,
+                self.ps_target,
+                &mut rng,
+            );
+            if ps > best.1 {
+                best = (
+                    subset.into_iter().map(|i| candidates[i].clone()).collect(),
+                    ps,
+                );
+                if best.1 >= self.ps_target {
+                    break; // single-cuboid assumption: good enough, stop
+                }
+            }
+        }
+
+        let (set, ps) = best;
+        let mut out: Vec<ScoredCombination> = set
+            .into_iter()
+            .map(|combination| ScoredCombination {
+                combination,
+                score: ps,
+            })
+            .collect();
+        out.sort_by(|a, b| a.combination.cmp(&b.combination));
+        out.truncate(k);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::Schema;
+
+    fn uniform_failure() -> LeafFrame {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                let f = 100.0 + 50.0 * b as f64;
+                let v = if a == 0 { f * 0.3 } else { f };
+                builder.push(&[ElementId(a), ElementId(b)], v, f);
+            }
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn recovers_single_cuboid_failure() {
+        let out = HotSpot::default().localize(&uniform_failure(), 3).unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(out[0].combination.to_string(), "(a1, *)");
+        assert!(out[0].score > 0.9);
+    }
+
+    #[test]
+    fn two_raps_in_one_cuboid() {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3", "a4"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..4u32 {
+            for b in 0..2u32 {
+                let f = 100.0;
+                let v = if a == 0 || a == 2 { 30.0 } else { 100.0 };
+                builder.push(&[ElementId(a), ElementId(b)], v, f);
+            }
+        }
+        let frame = builder.build();
+        let out = HotSpot::default().localize(&frame, 5).unwrap();
+        let names: Vec<String> = out.iter().map(|c| c.combination.to_string()).collect();
+        assert!(names.contains(&"(a1, *)".to_string()), "got {names:?}");
+        assert!(names.contains(&"(a3, *)".to_string()), "got {names:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let frame = uniform_failure();
+        let a = HotSpot::default().localize(&frame, 3).unwrap();
+        let b = HotSpot::default().localize(&frame, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_deviation_returns_empty() {
+        let schema = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        builder.push(&[ElementId(0)], 5.0, 5.0);
+        let frame = builder.build();
+        assert!(HotSpot::default().localize(&frame, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(HotSpot::new(0, 10, 0.9).is_err());
+        assert!(HotSpot::new(10, 0, 0.9).is_err());
+        assert!(HotSpot::new(10, 10, 1.5).is_err());
+        assert!(HotSpot::new(10, 10, 0.9).is_ok());
+    }
+
+    #[test]
+    fn empty_frame_is_fine() {
+        let schema = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let frame = LeafFrame::builder(&schema).build();
+        assert!(HotSpot::default().localize(&frame, 3).unwrap().is_empty());
+    }
+}

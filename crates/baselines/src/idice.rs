@@ -1,0 +1,280 @@
+use mdkpi::{aggregate_labels, CuboidLattice, LeafFrame, LeafIndex};
+
+use crate::localizer::{Localizer, ScoredCombination};
+use crate::{Error, Result};
+
+/// **iDice** (Lin et al., ICSE 2016), adapted from emerging-issue reports
+/// to KPI localization.
+///
+/// iDice mines *effective combinations* with three pruning/scoring stages:
+///
+/// 1. **Impact-based pruning** — a combination must cover at least an
+///    `impact_threshold` fraction of the total issue volume (here: of the
+///    anomalous leaves) to matter;
+/// 2. **Change detection** — the combination's covered volume must have
+///    changed significantly (here: the relative deviation of its aggregate
+///    `v` against `f` must exceed `change_threshold`);
+/// 3. **Isolation power** — the information gain of splitting the dataset
+///    into covered-vs-uncovered with respect to the anomaly labels;
+///    high-IP combinations isolate the issue crisply.
+///
+/// The search is a BFS over the combination lattice (like RAPMiner's), with
+/// accepted combinations pruning their descendants. As the paper observes,
+/// iDice's fixed impact/change gates make it brittle when there are many
+/// simultaneous root causes — visible in its poor Fig. 8 scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IDice {
+    impact_threshold: f64,
+    change_threshold: f64,
+    min_isolation_power: f64,
+}
+
+impl Default for IDice {
+    fn default() -> Self {
+        IDice {
+            impact_threshold: 0.05,
+            change_threshold: 0.1,
+            min_isolation_power: 0.01,
+        }
+    }
+}
+
+impl IDice {
+    /// Create with explicit thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an impact threshold outside `(0, 1]`, a negative change
+    /// threshold, or a negative isolation-power floor.
+    pub fn new(
+        impact_threshold: f64,
+        change_threshold: f64,
+        min_isolation_power: f64,
+    ) -> Result<Self> {
+        if !(impact_threshold > 0.0 && impact_threshold <= 1.0) {
+            return Err(Error::InvalidParameter {
+                method: "idice",
+                parameter: "impact_threshold",
+                requirement: "in (0, 1]",
+            });
+        }
+        if change_threshold < 0.0 {
+            return Err(Error::InvalidParameter {
+                method: "idice",
+                parameter: "change_threshold",
+                requirement: "non-negative",
+            });
+        }
+        if min_isolation_power < 0.0 {
+            return Err(Error::InvalidParameter {
+                method: "idice",
+                parameter: "min_isolation_power",
+                requirement: "non-negative",
+            });
+        }
+        Ok(IDice {
+            impact_threshold,
+            change_threshold,
+            min_isolation_power,
+        })
+    }
+}
+
+/// Binary entropy with the 0·log 0 = 0 convention.
+fn entropy(p: f64) -> f64 {
+    let term = |q: f64| if q <= 0.0 { 0.0 } else { -q * q.log2() };
+    term(p) + term(1.0 - p)
+}
+
+/// Information gain of the covered/uncovered split over the anomaly labels.
+fn isolation_power(
+    n: usize,
+    total_anom: usize,
+    covered: usize,
+    covered_anom: usize,
+) -> f64 {
+    if n == 0 || covered == 0 || covered == n {
+        return 0.0;
+    }
+    let base = entropy(total_anom as f64 / n as f64);
+    let in_h = entropy(covered_anom as f64 / covered as f64);
+    let out_n = n - covered;
+    let out_anom = total_anom - covered_anom;
+    let out_h = entropy(out_anom as f64 / out_n as f64);
+    let split = (covered as f64 / n as f64) * in_h + (out_n as f64 / n as f64) * out_h;
+    (base - split).max(0.0)
+}
+
+impl Localizer for IDice {
+    fn name(&self) -> &'static str {
+        "idice"
+    }
+
+    fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>> {
+        if frame.labels().is_none() {
+            return Err(Error::UnlabelledFrame { method: "idice" });
+        }
+        let index = LeafIndex::new(frame);
+        let n = frame.num_rows();
+        let total_anom = frame.num_anomalous();
+        if total_anom == 0 || n == 0 {
+            return Ok(Vec::new());
+        }
+        let lattice = CuboidLattice::full(frame.schema());
+        let mut accepted: Vec<ScoredCombination> = Vec::new();
+
+        for layer in 1..=lattice.num_layers() {
+            for &cuboid in lattice.layer(layer) {
+                for (ac, support, anom_support) in aggregate_labels(frame, cuboid) {
+                    if accepted
+                        .iter()
+                        .any(|a| a.combination.generalizes(&ac))
+                    {
+                        continue;
+                    }
+                    // 1. impact: fraction of the issue volume covered
+                    let impact = anom_support as f64 / total_anom as f64;
+                    if impact < self.impact_threshold {
+                        continue;
+                    }
+                    // 2. change detection on the aggregate KPI
+                    let (v, f) = index.sums(frame, &ac);
+                    let change = (f - v).abs() / f.abs().max(1e-9);
+                    if change < self.change_threshold {
+                        continue;
+                    }
+                    // 3. isolation power
+                    let ip = isolation_power(n, total_anom, support, anom_support);
+                    if ip <= self.min_isolation_power {
+                        continue;
+                    }
+                    accepted.push(ScoredCombination {
+                        combination: ac,
+                        score: ip,
+                    });
+                }
+            }
+        }
+
+        accepted.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("ip is finite")
+                .then_with(|| a.combination.cmp(&b.combination))
+        });
+        accepted.truncate(k);
+        Ok(accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::{ElementId, Schema};
+
+    fn planted_frame() -> LeafFrame {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                let anomalous = a == 0;
+                let f = 100.0;
+                let v = if anomalous { 30.0 } else { 100.0 };
+                builder.push_labelled(&[ElementId(a), ElementId(b)], v, f, anomalous);
+            }
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn recovers_clean_single_rap() {
+        let out = IDice::default().localize(&planted_frame(), 3).unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(out[0].combination.to_string(), "(a1, *)");
+    }
+
+    #[test]
+    fn isolation_power_peaks_on_perfect_split() {
+        // perfect isolation: covered = anomalous exactly
+        let perfect = isolation_power(10, 5, 5, 5);
+        assert!((perfect - 1.0).abs() < 1e-9);
+        // useless split: anomaly rate identical inside and outside
+        let useless = isolation_power(10, 5, 4, 2);
+        assert!(useless.abs() < 1e-9);
+        // degenerate covers score zero
+        assert_eq!(isolation_power(10, 5, 0, 0), 0.0);
+        assert_eq!(isolation_power(10, 5, 10, 5), 0.0);
+    }
+
+    #[test]
+    fn unlabelled_frame_errors() {
+        let schema = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        builder.push(&[ElementId(0)], 1.0, 1.0);
+        let frame = builder.build();
+        assert!(matches!(
+            IDice::default().localize(&frame, 1),
+            Err(Error::UnlabelledFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn impact_gate_drops_small_combinations() {
+        // one anomalous leaf among many: a 50% impact threshold rejects it
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3", "a4"])
+            .attribute("b", ["b1", "b2", "b3", "b4"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                // two separate anomalies, each 50% of issue volume
+                let anomalous = (a, b) == (0, 0) || (a, b) == (3, 3);
+                let v = if anomalous { 10.0 } else { 100.0 };
+                builder.push_labelled(&[ElementId(a), ElementId(b)], v, 100.0, anomalous);
+            }
+        }
+        let frame = builder.build();
+        let strict = IDice::new(0.6, 0.0, 0.0).unwrap();
+        // each anomaly covers only half the issue volume -> both rejected
+        assert!(strict.localize(&frame, 10).unwrap().is_empty());
+        // change threshold 0.5 also rejects the diluted 1-D ancestors
+        // (their aggregate change is ~0.22) but keeps the two true leaves
+        // (change 0.9)
+        let tolerant = IDice::new(0.3, 0.5, 0.0).unwrap();
+        let out = tolerant.localize(&frame, 10).unwrap();
+        assert_eq!(out.len(), 2, "got {out:?}");
+        assert!(out.iter().all(|c| c.combination.is_leaf()));
+    }
+
+    #[test]
+    fn all_normal_returns_empty() {
+        let mut frame = planted_frame();
+        frame.set_labels(vec![false; frame.num_rows()]).unwrap();
+        assert!(IDice::default().localize(&frame, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(IDice::new(0.0, 0.1, 0.0).is_err());
+        assert!(IDice::new(0.1, -0.1, 0.0).is_err());
+        assert!(IDice::new(0.1, 0.1, -1.0).is_err());
+    }
+
+    #[test]
+    fn descendants_of_accepted_combinations_are_pruned() {
+        let out = IDice::default().localize(&planted_frame(), 10).unwrap();
+        for a in &out {
+            for b in &out {
+                if a.combination != b.combination {
+                    assert!(!a.combination.is_ancestor_of(&b.combination));
+                }
+            }
+        }
+    }
+}

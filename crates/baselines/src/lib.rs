@@ -1,0 +1,92 @@
+//! # baselines — anomaly-localization comparators
+//!
+//! From-paper implementations of every method RAPMiner is evaluated against
+//! (§V-C), plus HotSpot (the SOTA ancestor of Squeeze discussed in §VI),
+//! unified behind the [`Localizer`] trait:
+//!
+//! * [`Adtributor`] — Bhagwan et al., NSDI 2014: JS-divergence *surprise*,
+//!   *explanatory power* and *succinctness* over single attributes
+//!   (1-dimensional root causes only);
+//! * [`IDice`] — Lin et al., ICSE 2016: *impact*-based pruning, change
+//!   detection, and *isolation power* over a BFS of the combination
+//!   lattice;
+//! * [`FpGrowthLocalizer`] — association-rule mining of the anomalous
+//!   leaves (reference \[15\] in the paper), implemented on the [`assoc`] crate's
+//!   FP-growth;
+//! * [`Squeeze`] — Li et al., ISSRE 2019: deviation-score clustering
+//!   followed by per-cluster cuboid search ranked by the *generalized
+//!   potential score* (GPS);
+//! * [`HotSpot`] — Sun et al., IEEE Access 2018: Monte-Carlo tree search
+//!   per cuboid guided by the ripple-effect *potential score*;
+//! * [`RapMinerLocalizer`] — the adapter putting [`rapminer::RapMiner`]
+//!   behind the same trait.
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{Localizer, RapMinerLocalizer, Adtributor};
+//! use mdkpi::{Schema, LeafFrame};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let schema = Schema::builder()
+//!     .attribute("a", ["a1", "a2"])
+//!     .attribute("b", ["b1", "b2"])
+//!     .build()?;
+//! let mut b = LeafFrame::builder(&schema);
+//! b.push_named(&[("a", "a1"), ("b", "b1")], 1.0, 10.0)?;
+//! b.push_named(&[("a", "a1"), ("b", "b2")], 2.0, 11.0)?;
+//! b.push_named(&[("a", "a2"), ("b", "b1")], 10.0, 10.0)?;
+//! b.push_named(&[("a", "a2"), ("b", "b2")], 11.0, 11.0)?;
+//! let mut frame = b.build();
+//! frame.label_with(|v, f| (f - v) / (f + 1e-9) > 0.1);
+//!
+//! let methods: Vec<Box<dyn Localizer>> = vec![
+//!     Box::new(RapMinerLocalizer::default()),
+//!     Box::new(Adtributor::default()),
+//! ];
+//! for m in &methods {
+//!     let result = m.localize(&frame, 1)?;
+//!     assert_eq!(result[0].combination.to_string(), "(a1, *)", "{} failed", m.name());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adtributor;
+mod error;
+mod fpgrowth;
+mod hotspot;
+mod idice;
+mod localizer;
+mod ps;
+mod rapminer_adapter;
+mod squeeze;
+
+pub use adtributor::Adtributor;
+pub use error::Error;
+pub use fpgrowth::{FpGrowthLocalizer, MinerKind};
+pub use hotspot::HotSpot;
+pub use idice::IDice;
+pub use localizer::{Localizer, ScoredCombination};
+pub use ps::{deviation_score, potential_score};
+pub use rapminer_adapter::RapMinerLocalizer;
+pub use squeeze::Squeeze;
+
+/// Convenient result alias used across this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All localizers at their default configurations, in the paper's Fig. 8
+/// legend order — handy for evaluation sweeps.
+pub fn all_localizers() -> Vec<Box<dyn Localizer>> {
+    vec![
+        Box::new(RapMinerLocalizer::default()),
+        Box::new(Squeeze::default()),
+        Box::new(FpGrowthLocalizer::default()),
+        Box::new(Adtributor::default()),
+        Box::new(IDice::default()),
+        Box::new(HotSpot::default()),
+    ]
+}

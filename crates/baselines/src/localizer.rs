@@ -1,0 +1,72 @@
+use mdkpi::{Combination, LeafFrame};
+
+use crate::Result;
+
+/// One localization answer: a candidate root anomaly pattern with the
+/// method's own ranking score (higher = more likely root cause; scales are
+/// method-specific and not comparable across methods).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredCombination {
+    /// The candidate root anomaly pattern.
+    pub combination: Combination,
+    /// Method-specific ranking score (descending order in results).
+    pub score: f64,
+}
+
+impl std::fmt::Display for ScoredCombination {
+    /// Renders like `"(L1, *, *, Site1)  [score 0.707]"`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}  [score {:.3}]", self.combination, self.score)
+    }
+}
+
+/// A multi-dimensional-KPI anomaly localizer: RAPMiner or any of the
+/// paper's baselines.
+///
+/// Implementations receive the most-fine-grained leaf table (actual value
+/// `v`, forecast `f`, and — where the method consumes detection results —
+/// anomaly labels) and return their top-`k` root-cause candidates ranked
+/// best-first. This mirrors the paper's evaluation protocol, which feeds
+/// the same per-timestamp table to every method.
+///
+/// The trait is object-safe so evaluation harnesses can hold
+/// `Vec<Box<dyn Localizer>>`, and requires `Send + Sync` so harnesses can
+/// fan cases out across worker threads.
+pub trait Localizer: Send + Sync {
+    /// Short stable method name for reports (`"rapminer"`, `"squeeze"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Localize the top-`k` root anomaly patterns of one frame, ranked
+    /// best-first. Fewer than `k` results may be returned.
+    ///
+    /// # Errors
+    ///
+    /// Implementations that consume anomaly labels return
+    /// [`crate::Error::UnlabelledFrame`] on unlabelled input.
+    fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+
+    impl Localizer for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn localize(&self, frame: &LeafFrame, _k: usize) -> Result<Vec<ScoredCombination>> {
+            Ok(vec![ScoredCombination {
+                combination: Combination::root(frame.schema()),
+                score: 1.0,
+            }])
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Localizer> = Box::new(Dummy);
+        assert_eq!(boxed.name(), "dummy");
+    }
+}

@@ -1,0 +1,155 @@
+use mdkpi::{Bitset, Combination, LeafFrame, LeafIndex};
+
+/// Squeeze's per-leaf **deviation score**, `d = 2(f − v) / (f + v)`, a
+/// symmetric relative deviation in `[−2, 2]`. Zero-valued leaves (both `v`
+/// and `f` zero) score 0.
+///
+/// ```
+/// use baselines::deviation_score;
+/// assert_eq!(deviation_score(5.0, 15.0), 1.0);
+/// assert_eq!(deviation_score(10.0, 10.0), 0.0);
+/// assert_eq!(deviation_score(0.0, 0.0), 0.0);
+/// ```
+pub fn deviation_score(v: f64, f: f64) -> f64 {
+    let denom = f + v;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        2.0 * (f - v) / denom
+    }
+}
+
+/// The ripple-effect **(generalized) potential score** shared by HotSpot and
+/// Squeeze: how well "the root causes are exactly `candidates`" explains the
+/// observed leaf values.
+///
+/// Under the ripple effect, every leaf covered by the candidate set shares
+/// the set's aggregate relative change, so its adjusted expectation is
+/// `a_i = f_i · (Σ v / Σ f over covered leaves)`; uncovered leaves keep
+/// `a_i = f_i`. The score compares the explained residual against the raw
+/// residual:
+///
+/// ```text
+/// ps = max(0, 1 − Σ|v − a| / Σ|v − f|)
+/// ```
+///
+/// 1.0 means the candidate set explains every deviation perfectly; 0 means
+/// it explains nothing. An empty candidate set, or a frame with no
+/// deviation at all, scores 0.
+pub fn potential_score(
+    frame: &LeafFrame,
+    index: &LeafIndex,
+    candidates: &[Combination],
+) -> f64 {
+    if candidates.is_empty() || frame.num_rows() == 0 {
+        return 0.0;
+    }
+    let mut covered = Bitset::new(frame.num_rows());
+    for c in candidates {
+        covered.union_with(&index.rows_matching(c));
+    }
+    let (mut v_cov, mut f_cov) = (0.0, 0.0);
+    for i in covered.iter_ones() {
+        v_cov += frame.v(i);
+        f_cov += frame.f(i);
+    }
+    let ratio = if f_cov.abs() < 1e-12 { 1.0 } else { v_cov / f_cov };
+
+    let mut explained_residual = 0.0;
+    let mut raw_residual = 0.0;
+    for i in 0..frame.num_rows() {
+        let (v, f) = (frame.v(i), frame.f(i));
+        let a = if covered.contains(i) { f * ratio } else { f };
+        explained_residual += (v - a).abs();
+        raw_residual += (v - f).abs();
+    }
+    if raw_residual < 1e-12 {
+        return 0.0;
+    }
+    (1.0 - explained_residual / raw_residual).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::{ElementId, Schema};
+
+    /// Frame where (a1, *) leaves all dropped to half their forecast.
+    fn uniform_drop_frame() -> LeafFrame {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2", "b3"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..2u32 {
+            for b in 0..3u32 {
+                let f = 10.0 * (b + 1) as f64;
+                let v = if a == 0 { f * 0.5 } else { f };
+                builder.push(&[ElementId(a), ElementId(b)], v, f);
+            }
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn true_root_cause_scores_near_one() {
+        let frame = uniform_drop_frame();
+        let index = LeafIndex::new(&frame);
+        let truth = frame.schema().parse_combination("a=a1").unwrap();
+        let ps = potential_score(&frame, &index, &[truth]);
+        assert!(ps > 0.99, "true cause scored only {ps}");
+    }
+
+    #[test]
+    fn wrong_candidate_scores_lower() {
+        let frame = uniform_drop_frame();
+        let index = LeafIndex::new(&frame);
+        let truth = frame.schema().parse_combination("a=a1").unwrap();
+        let wrong = frame.schema().parse_combination("a=a2").unwrap();
+        let partial = frame.schema().parse_combination("a=a1&b=b1").unwrap();
+        let ps_truth = potential_score(&frame, &index, std::slice::from_ref(&truth));
+        let ps_wrong = potential_score(&frame, &index, &[wrong]);
+        let ps_partial = potential_score(&frame, &index, &[partial]);
+        assert!(ps_truth > ps_partial, "{ps_truth} vs partial {ps_partial}");
+        assert!(ps_partial > ps_wrong, "{ps_partial} vs wrong {ps_wrong}");
+    }
+
+    #[test]
+    fn empty_candidates_score_zero() {
+        let frame = uniform_drop_frame();
+        let index = LeafIndex::new(&frame);
+        assert_eq!(potential_score(&frame, &index, &[]), 0.0);
+    }
+
+    #[test]
+    fn no_deviation_scores_zero() {
+        let schema = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        builder.push(&[ElementId(0)], 5.0, 5.0);
+        let frame = builder.build();
+        let index = LeafIndex::new(&frame);
+        let c = frame.schema().parse_combination("a=a1").unwrap();
+        assert_eq!(potential_score(&frame, &index, &[c]), 0.0);
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let frame = uniform_drop_frame();
+        let index = LeafIndex::new(&frame);
+        for spec in ["a=a1", "a=a2", "b=b1", "a=a1&b=b2"] {
+            let c = frame.schema().parse_combination(spec).unwrap();
+            let ps = potential_score(&frame, &index, &[c]);
+            assert!((0.0..=1.0).contains(&ps), "{spec} scored {ps}");
+        }
+    }
+
+    #[test]
+    fn deviation_score_is_symmetric_and_bounded() {
+        assert!(deviation_score(0.0, 10.0) <= 2.0);
+        assert!(deviation_score(10.0, 0.0) >= -2.0);
+        assert_eq!(deviation_score(4.0, 4.0), 0.0);
+        // drop of half: d = 2(10-5)/15 = 2/3
+        assert!((deviation_score(5.0, 10.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

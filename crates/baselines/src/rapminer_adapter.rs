@@ -1,0 +1,92 @@
+use mdkpi::LeafFrame;
+use rapminer::{Config, RapMiner};
+
+use crate::localizer::{Localizer, ScoredCombination};
+use crate::Result;
+
+/// [`rapminer::RapMiner`] behind the shared [`Localizer`] trait.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{Localizer, RapMinerLocalizer};
+/// let miner = RapMinerLocalizer::default();
+/// assert_eq!(miner.name(), "rapminer");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RapMinerLocalizer {
+    miner: RapMiner,
+}
+
+impl RapMinerLocalizer {
+    /// Wrap a miner with an explicit configuration.
+    pub fn with_config(config: Config) -> Self {
+        RapMinerLocalizer {
+            miner: RapMiner::with_config(config),
+        }
+    }
+
+    /// The wrapped miner.
+    pub fn miner(&self) -> &RapMiner {
+        &self.miner
+    }
+}
+
+impl From<RapMiner> for RapMinerLocalizer {
+    fn from(miner: RapMiner) -> Self {
+        RapMinerLocalizer { miner }
+    }
+}
+
+impl Localizer for RapMinerLocalizer {
+    fn name(&self) -> &'static str {
+        "rapminer"
+    }
+
+    fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>> {
+        let raps = self.miner.localize(frame, k)?;
+        Ok(raps
+            .into_iter()
+            .map(|r| ScoredCombination {
+                combination: r.combination,
+                score: r.score,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::{ElementId, Schema};
+
+    #[test]
+    fn adapter_exposes_rapminer_results() {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                builder.push_labelled(&[ElementId(a), ElementId(b)], 1.0, 1.0, a == 0);
+            }
+        }
+        let frame = builder.build();
+        let adapter = RapMinerLocalizer::default();
+        let out = adapter.localize(&frame, 3).unwrap();
+        assert_eq!(out[0].combination.to_string(), "(a1, *)");
+        assert!(out[0].score > 0.0);
+    }
+
+    #[test]
+    fn unlabelled_frame_errors() {
+        let schema = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        builder.push(&[ElementId(0)], 1.0, 1.0);
+        let frame = builder.build();
+        let err = RapMinerLocalizer::default().localize(&frame, 1).unwrap_err();
+        assert!(err.to_string().contains("label"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-method property tests: invariants every localizer must uphold on
+//! arbitrary labelled frames.
+
+use baselines::all_localizers;
+use mdkpi::{AttrId, ElementId, LeafFrame, Schema};
+use proptest::prelude::*;
+
+/// Random schema (2..=3 attributes, 2..=4 elements) plus a random labelled
+/// frame over its full grid with positive values.
+fn schema_and_frame() -> impl Strategy<Value = (Schema, LeafFrame)> {
+    prop::collection::vec(2usize..=4, 2..=3).prop_flat_map(|sizes| {
+        let mut b = Schema::builder();
+        for (i, n) in sizes.iter().enumerate() {
+            b = b.attribute(format!("attr{i}"), (0..*n).map(|j| format!("e{i}_{j}")));
+        }
+        let schema = b.build().expect("valid schema");
+        let leaves: usize = sizes.iter().product();
+        let rows = prop::collection::vec(
+            (0.0f64..200.0, 0.1f64..200.0, any::<bool>()),
+            leaves..=leaves,
+        );
+        (Just(schema), rows).prop_map(|(schema, rows)| {
+            let n = schema.num_attributes();
+            let sizes: Vec<u32> = (0..n)
+                .map(|i| schema.attribute(AttrId(i as u16)).len() as u32)
+                .collect();
+            let mut builder = LeafFrame::builder(&schema);
+            let mut counters = vec![0u32; n];
+            for (v, f, label) in rows {
+                let elements: Vec<ElementId> =
+                    counters.iter().map(|&c| ElementId(c)).collect();
+                builder.push_labelled(&elements, v, f, label);
+                let mut i = n;
+                while i > 0 {
+                    i -= 1;
+                    counters[i] += 1;
+                    if counters[i] < sizes[i] {
+                        break;
+                    }
+                    counters[i] = 0;
+                }
+            }
+            let frame = builder.build();
+            (schema, frame)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No localizer panics, exceeds k, returns the root combination, or
+    /// produces non-finite scores on arbitrary labelled input.
+    #[test]
+    fn localizers_uphold_output_contract(
+        (_, frame) in schema_and_frame(),
+        k in 0usize..6,
+    ) {
+        for method in all_localizers() {
+            let out = method
+                .localize(&frame, k)
+                .unwrap_or_else(|e| panic!("{} errored: {e}", method.name()));
+            prop_assert!(out.len() <= k, "{} exceeded k", method.name());
+            for sc in &out {
+                prop_assert!(sc.score.is_finite(), "{} non-finite score", method.name());
+                prop_assert!(
+                    !sc.combination.is_root(),
+                    "{} returned the root combination",
+                    method.name()
+                );
+            }
+            // no duplicate combinations in one answer
+            let mut seen = std::collections::HashSet::new();
+            for sc in &out {
+                prop_assert!(
+                    seen.insert(sc.combination.clone()),
+                    "{} returned {} twice",
+                    method.name(),
+                    sc.combination
+                );
+            }
+        }
+    }
+
+    /// Determinism: every localizer returns the identical answer twice.
+    #[test]
+    fn localizers_are_deterministic((_, frame) in schema_and_frame()) {
+        for method in all_localizers() {
+            let a = method.localize(&frame, 5).expect("first run");
+            let b = method.localize(&frame, 5).expect("second run");
+            prop_assert_eq!(a.len(), b.len(), "{} row count differs", method.name());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(&x.combination, &y.combination);
+                prop_assert!((x.score - y.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// On an all-normal frame no label-consuming method invents an anomaly.
+    #[test]
+    fn no_false_alarms_on_clean_frames((_, mut frame) in schema_and_frame()) {
+        frame.set_labels(vec![false; frame.num_rows()]).expect("length");
+        // also flatten values so deviation-based methods see nothing
+        let mut builder = LeafFrame::builder(frame.schema());
+        for i in 0..frame.num_rows() {
+            builder.push(frame.row_elements(i), 10.0, 10.0);
+        }
+        let mut flat = builder.build();
+        flat.set_labels(vec![false; frame.num_rows()]).expect("length");
+        for method in all_localizers() {
+            let out = method.localize(&flat, 5).expect("localize");
+            prop_assert!(
+                out.is_empty(),
+                "{} hallucinated {:?} on a clean frame",
+                method.name(),
+                out.iter().map(|s| s.combination.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion benchmarks backing the paper's running-time comparisons
+//! (Fig. 9a/9b) and the deletion ablation (Table VI).
+//!
+//! These time single-case localization on fixed datasets, so the relative
+//! ordering (Adtributor fastest on 1-D groups, iDice slowest, RAPMiner
+//! mid-pack, deletion beating no-deletion) is directly comparable with the
+//! paper even though absolute numbers depend on the host.
+
+use baselines::{all_localizers, Localizer, RapMinerLocalizer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rapminer::Config;
+use rapminer_bench::{rapmd_small, squeeze_dataset};
+
+/// Fig. 9(a) analogue: per-method localization time on one case from an
+/// easy group (1,1) and one from the hardest group (3,3).
+fn squeeze_groups(c: &mut Criterion) {
+    let dataset = squeeze_dataset(1);
+    let mut group = c.benchmark_group("squeeze_groups");
+    group.sample_size(10);
+    for tag in ["(1,1)", "(3,3)"] {
+        let case = dataset
+            .group(tag)
+            .next()
+            .expect("group exists")
+            .clone();
+        for method in all_localizers() {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), tag),
+                &case,
+                |b, case| {
+                    b.iter(|| {
+                        method
+                            .localize(&case.frame, case.truth.len())
+                            .map(|r| r.len())
+                            .unwrap_or(0)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 9(b) analogue: per-method localization time on one RAPMD case.
+fn rapmd_methods(c: &mut Criterion) {
+    let dataset = rapmd_small(4);
+    let case = dataset.cases[0].clone();
+    let mut group = c.benchmark_group("rapmd_methods");
+    group.sample_size(10);
+    for method in all_localizers() {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| {
+                method
+                    .localize(&case.frame, 5)
+                    .map(|r| r.len())
+                    .unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table VI analogue: RAPMiner with vs without redundant attribute
+/// deletion on one RAPMD case.
+fn ablation_deletion(c: &mut Criterion) {
+    let dataset = rapmd_small(4);
+    let case = dataset.cases[0].clone();
+    let with = RapMinerLocalizer::with_config(Config::new().with_redundant_deletion(true));
+    let without = RapMinerLocalizer::with_config(Config::new().with_redundant_deletion(false));
+    let mut group = c.benchmark_group("ablation_deletion");
+    group.sample_size(10);
+    group.bench_function("with_deletion", |b| {
+        b.iter(|| with.localize(&case.frame, 3).map(|r| r.len()).unwrap_or(0))
+    });
+    group.bench_function("without_deletion", |b| {
+        b.iter(|| without.localize(&case.frame, 3).map(|r| r.len()).unwrap_or(0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, squeeze_groups, rapmd_methods, ablation_deletion);
+criterion_main!(benches);

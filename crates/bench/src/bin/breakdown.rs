@@ -1,0 +1,14 @@
+//! Extension analysis: RC@3 broken down by the dimensionality of the
+//! ground-truth RAP on RAPMD — where does each method's recall come from?
+fn main() {
+    let failures: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(105);
+    println!(
+        "RC@3 by ground-truth RAP layer on RAPMD ({failures} failures, seed {})",
+        rapminer_bench::EXPERIMENT_SEED
+    );
+    let ds = rapminer_bench::rapmd_dataset(failures);
+    print!("{}", rapminer_bench::experiments::rc_breakdown(&ds));
+}

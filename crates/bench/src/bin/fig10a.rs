@@ -1,0 +1,13 @@
+//! Regenerates Fig. 10(a): RC@3 sensitivity to t_CP on RAPMD.
+fn main() {
+    let failures: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(105);
+    println!(
+        "Fig. 10(a) — t_CP sensitivity on RAPMD ({failures} failures, seed {})",
+        rapminer_bench::EXPERIMENT_SEED
+    );
+    let ds = rapminer_bench::rapmd_dataset(failures);
+    print!("{}", rapminer_bench::experiments::fig10a(&ds));
+}

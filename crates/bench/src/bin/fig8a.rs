@@ -1,0 +1,13 @@
+//! Regenerates Fig. 8(a): F1-score per method per Squeeze-B0 group.
+fn main() {
+    let cases_per_group: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    println!(
+        "Fig. 8(a) — F1 on Squeeze-B0 ({cases_per_group} cases/group, seed {})",
+        rapminer_bench::EXPERIMENT_SEED
+    );
+    let ds = rapminer_bench::squeeze_dataset(cases_per_group);
+    print!("{}", rapminer_bench::experiments::fig8a(&ds));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 8(b): RC@3/4/5 per method on RAPMD.
+fn main() {
+    let failures: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(105);
+    println!(
+        "Fig. 8(b) — RC@k on RAPMD ({failures} failures, seed {})",
+        rapminer_bench::EXPERIMENT_SEED
+    );
+    let ds = rapminer_bench::rapmd_dataset(failures);
+    print!("{}", rapminer_bench::experiments::fig8b(&ds));
+}

@@ -1,0 +1,19 @@
+//! Extension ablation: F1 vs per-leaf label-flip rate on Squeeze-style
+//! data, quantifying why the paper evaluates at noise level B0.
+fn main() {
+    let cases_per_group: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!(
+        "Noise ablation — F1 vs label-flip rate ({cases_per_group} cases/group, seed {})",
+        rapminer_bench::EXPERIMENT_SEED
+    );
+    print!(
+        "{}",
+        rapminer_bench::experiments::noise_ablation(
+            cases_per_group,
+            rapminer_bench::EXPERIMENT_SEED
+        )
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I: the CDN attribute schema.
+fn main() {
+    println!("Table I — attributes of the CDN system (seed {})", rapminer_bench::EXPERIMENT_SEED);
+    print!("{}", rapminer_bench::experiments::table1());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table IV: cuboid decrease ratio after deleting k attributes.
+fn main() {
+    println!("Table IV — DecreaseRatio@k (paper bound vs exact Eq. 2)");
+    print!("{}", rapminer_bench::experiments::table4());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table VI: the redundant-attribute-deletion ablation.
+fn main() {
+    let failures: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(105);
+    println!(
+        "Table VI — redundant attribute deletion ablation on RAPMD ({failures} failures, seed {})",
+        rapminer_bench::EXPERIMENT_SEED
+    );
+    let ds = rapminer_bench::rapmd_dataset(failures);
+    print!("{}", rapminer_bench::experiments::table6(&ds));
+}

@@ -1,0 +1,66 @@
+//! # rapminer-bench — experiment drivers
+//!
+//! One driver per table/figure of the RAPMiner paper's evaluation (§V).
+//! Each `src/bin/*` binary prints one artifact; the Criterion benches under
+//! `benches/` time the same workloads. See `DESIGN.md` §4 for the complete
+//! experiment index and `EXPERIMENTS.md` for recorded results.
+//!
+//! All drivers are deterministic given the seed constants below, so two
+//! runs of any binary print identical effectiveness numbers (timings vary
+//! with the host, as in any systems paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use datasets::{Dataset, RapmdConfig, RapmdGenerator, SqueezeGenConfig, SqueezeGenerator};
+
+/// Seed used by every experiment binary (printed in their headers).
+pub const EXPERIMENT_SEED: u64 = 20220607; // DSN'22 vintage
+
+/// The Squeeze-B0 dataset at evaluation size (9 groups × `cases_per_group`
+/// cases).
+pub fn squeeze_dataset(cases_per_group: usize) -> Dataset {
+    SqueezeGenerator::new(SqueezeGenConfig {
+        cases_per_group,
+        ..SqueezeGenConfig::default()
+    })
+    .generate(EXPERIMENT_SEED)
+}
+
+/// RAPMD at the requested number of injected failures (the paper uses
+/// 105) over the paper's full 33×4×4×20 CDN topology.
+pub fn rapmd_dataset(num_failures: usize) -> Dataset {
+    RapmdGenerator::new(RapmdConfig {
+        num_failures,
+        ..RapmdConfig::default()
+    })
+    .generate(EXPERIMENT_SEED)
+}
+
+/// A small RAPMD (small topology, few failures) for smoke tests and
+/// Criterion benches that need short iterations.
+pub fn rapmd_small(num_failures: usize) -> Dataset {
+    RapmdGenerator::new(RapmdConfig {
+        num_failures,
+        paper_topology: false,
+        ..RapmdConfig::default()
+    })
+    .generate(EXPERIMENT_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_reproducible() {
+        let a = squeeze_dataset(1);
+        let b = squeeze_dataset(1);
+        assert_eq!(a, b);
+        let r1 = rapmd_small(2);
+        let r2 = rapmd_small(2);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,137 @@
+use std::f64::consts::TAU;
+
+/// Smooth daily + weekly seasonality for CDN traffic, evaluated at
+/// minute-of-week resolution (the RAPMD background data is sampled every 60
+/// seconds).
+///
+/// The profile is a positive multiplier around 1.0 composed of:
+///
+/// * a daily wave (two harmonics: the evening peak and the post-lunch bump);
+/// * a weekly wave (weekend lift for consumer CDN traffic);
+/// * a configurable floor so night-time traffic never reaches zero.
+///
+/// # Example
+///
+/// ```
+/// use cdnsim::DiurnalProfile;
+///
+/// let p = DiurnalProfile::default();
+/// let night = p.factor(4 * 60);      // 04:00 Monday
+/// let evening = p.factor(21 * 60);   // 21:00 Monday
+/// assert!(evening > night);
+/// assert!(night > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalProfile {
+    daily_amplitude: f64,
+    weekly_amplitude: f64,
+    floor: f64,
+}
+
+/// Minutes in a day.
+pub(crate) const MINUTES_PER_DAY: usize = 24 * 60;
+/// Minutes in a week.
+pub(crate) const MINUTES_PER_WEEK: usize = 7 * MINUTES_PER_DAY;
+
+impl Default for DiurnalProfile {
+    /// Evening-peaked daily wave (±55%) with a mild weekend lift (±10%).
+    fn default() -> Self {
+        DiurnalProfile {
+            daily_amplitude: 0.55,
+            weekly_amplitude: 0.10,
+            floor: 0.05,
+        }
+    }
+}
+
+impl DiurnalProfile {
+    /// Create a custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if amplitudes are negative or the floor is not in `(0, 1]`.
+    pub fn new(daily_amplitude: f64, weekly_amplitude: f64, floor: f64) -> Self {
+        assert!(daily_amplitude >= 0.0, "daily amplitude must be >= 0");
+        assert!(weekly_amplitude >= 0.0, "weekly amplitude must be >= 0");
+        assert!(floor > 0.0 && floor <= 1.0, "floor must be in (0, 1]");
+        DiurnalProfile {
+            daily_amplitude,
+            weekly_amplitude,
+            floor,
+        }
+    }
+
+    /// The seasonal multiplier at an absolute minute timestamp (minute 0 is
+    /// Monday 00:00 of the simulated calendar; timestamps wrap weekly).
+    pub fn factor(&self, minute: usize) -> f64 {
+        let m_day = (minute % MINUTES_PER_DAY) as f64 / MINUTES_PER_DAY as f64;
+        let m_week = (minute % MINUTES_PER_WEEK) as f64 / MINUTES_PER_WEEK as f64;
+        // Evening peak around 21:00 plus a smaller mid-afternoon harmonic.
+        let daily = (TAU * (m_day - 0.875)).cos() * 0.8 + (2.0 * TAU * (m_day - 0.6)).cos() * 0.2;
+        // Weekend lift peaking Saturday evening (~0.83 of the week).
+        let weekly = (TAU * (m_week - 0.83)).cos();
+        let factor = 1.0 + self.daily_amplitude * daily + self.weekly_amplitude * weekly;
+        factor.max(self.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_is_positive_everywhere() {
+        let p = DiurnalProfile::default();
+        for minute in (0..MINUTES_PER_WEEK).step_by(17) {
+            assert!(p.factor(minute) > 0.0, "negative factor at {minute}");
+        }
+    }
+
+    #[test]
+    fn weekly_periodicity() {
+        let p = DiurnalProfile::default();
+        for minute in [0, 123, 5000, 10_000] {
+            assert!((p.factor(minute) - p.factor(minute + MINUTES_PER_WEEK)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evening_beats_early_morning() {
+        let p = DiurnalProfile::default();
+        // every day of the week
+        for day in 0..7 {
+            let base = day * MINUTES_PER_DAY;
+            assert!(p.factor(base + 21 * 60) > p.factor(base + 4 * 60));
+        }
+    }
+
+    #[test]
+    fn weekend_lift() {
+        let p = DiurnalProfile::default();
+        // Saturday 21:00 vs Tuesday 21:00
+        let sat = 5 * MINUTES_PER_DAY + 21 * 60;
+        let tue = MINUTES_PER_DAY + 21 * 60;
+        assert!(p.factor(sat) > p.factor(tue));
+    }
+
+    #[test]
+    fn flat_profile_is_constant() {
+        let p = DiurnalProfile::new(0.0, 0.0, 0.05);
+        assert_eq!(p.factor(0), 1.0);
+        assert_eq!(p.factor(12345), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn bad_floor_rejected() {
+        DiurnalProfile::new(0.5, 0.1, 0.0);
+    }
+
+    #[test]
+    fn mean_factor_is_near_one() {
+        let p = DiurnalProfile::default();
+        let mean: f64 = (0..MINUTES_PER_WEEK).map(|m| p.factor(m)).sum::<f64>()
+            / MINUTES_PER_WEEK as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean factor {mean} drifted");
+    }
+}

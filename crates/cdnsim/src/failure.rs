@@ -1,0 +1,208 @@
+use mdkpi::{Combination, LeafFrame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Suppresses the traffic of every leaf under a set of root anomaly
+/// patterns, modelling a real incident (node failure, site outage, …).
+///
+/// For each affected leaf the actual value is pulled below its forecast so
+/// that the Eq. 4 relative deviation `Dev = (f − v)/(f + ε)` lands uniformly
+/// in `[dev_min, dev_max]` — per leaf independently, reproducing the paper's
+/// observation that descendants of one RAP do **not** share a common anomaly
+/// magnitude.
+///
+/// # Example
+///
+/// ```
+/// use cdnsim::{CdnTopology, TrafficConfig, TrafficModel, FailureInjector};
+///
+/// let topology = CdnTopology::small(3);
+/// let model = TrafficModel::new(topology, TrafficConfig::default(), 3);
+/// let mut frame = model.snapshot(100);
+/// let rap = frame.schema().parse_combination("location=L1").unwrap();
+/// let injector = FailureInjector::new(0.3, 0.9);
+/// let failure = injector.inject(&mut frame, &[rap], 99);
+/// assert!(!failure.affected_rows.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureInjector {
+    dev_min: f64,
+    dev_max: f64,
+}
+
+/// The record of one injected failure: its ground-truth RAPs and the leaf
+/// rows whose values were modified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedFailure {
+    /// The root anomaly patterns of this failure (the ground truth a
+    /// localizer must recover).
+    pub raps: Vec<Combination>,
+    /// Frame row indexes whose actual value was suppressed.
+    pub affected_rows: Vec<usize>,
+}
+
+impl FailureInjector {
+    /// Create with the per-leaf deviation range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < dev_min <= dev_max < 1`.
+    pub fn new(dev_min: f64, dev_max: f64) -> Self {
+        assert!(
+            dev_min > 0.0 && dev_min <= dev_max && dev_max < 1.0,
+            "need 0 < dev_min <= dev_max < 1, got [{dev_min}, {dev_max}]"
+        );
+        FailureInjector { dev_min, dev_max }
+    }
+
+    /// Suppress every leaf covered by any of `raps`, returning the failure
+    /// record. Deterministic in `seed`.
+    ///
+    /// Rows covered by several RAPs are modified once.
+    pub fn inject(
+        &self,
+        frame: &mut LeafFrame,
+        raps: &[Combination],
+        seed: u64,
+    ) -> InjectedFailure {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA11_FA11);
+        let mut affected: Vec<usize> = Vec::new();
+        let mut new_vs: Vec<(usize, f64)> = Vec::new();
+        for i in 0..frame.num_rows() {
+            let covered = raps
+                .iter()
+                .any(|r| r.matches_leaf(frame.row_elements(i)));
+            if covered {
+                let dev = rng.gen_range(self.dev_min..=self.dev_max);
+                let f = frame.f(i);
+                new_vs.push((i, (f * (1.0 - dev)).max(0.0)));
+                affected.push(i);
+            }
+        }
+        apply_values(frame, &new_vs);
+        InjectedFailure {
+            raps: raps.to_vec(),
+            affected_rows: affected,
+        }
+    }
+}
+
+/// Rebuild the frame with some actual values replaced (frames are immutable
+/// row stores; this rewrites in place via the builder).
+fn apply_values(frame: &mut LeafFrame, updates: &[(usize, f64)]) {
+    if updates.is_empty() {
+        return;
+    }
+    let mut new_v: Vec<f64> = (0..frame.num_rows()).map(|i| frame.v(i)).collect();
+    for &(i, v) in updates {
+        new_v[i] = v;
+    }
+    let mut builder = LeafFrame::builder(frame.schema());
+    for (i, v) in new_v.iter().enumerate() {
+        builder.push(frame.row_elements(i), *v, frame.f(i));
+    }
+    let labels = frame.labels().map(<[bool]>::to_vec);
+    let mut rebuilt = builder.build();
+    if let Some(l) = labels {
+        rebuilt.set_labels(l).expect("same row count");
+    }
+    *frame = rebuilt;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdnTopology, TrafficConfig, TrafficModel};
+    use timeseries::deviation;
+
+    fn frame() -> LeafFrame {
+        let model = TrafficModel::new(CdnTopology::small(17), TrafficConfig::default(), 17);
+        model.snapshot(400)
+    }
+
+    #[test]
+    fn injection_suppresses_only_covered_leaves() {
+        let mut f = frame();
+        let before = f.clone();
+        let rap = f.schema().parse_combination("website=Site2").unwrap();
+        let injector = FailureInjector::new(0.2, 0.8);
+        let failure = injector.inject(&mut f, &[std::clone::Clone::clone(&rap)], 1);
+        assert!(!failure.affected_rows.is_empty());
+        for i in 0..f.num_rows() {
+            if failure.affected_rows.contains(&i) {
+                assert!(rap.matches_leaf(f.row_elements(i)));
+                let dev = deviation(f.v(i), f.f(i));
+                assert!(
+                    (0.2..=0.8 + 1e-9).contains(&dev),
+                    "row {i}: dev {dev} out of range"
+                );
+            } else {
+                assert_eq!(f.v(i), before.v(i), "untouched row {i} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn devs_vary_across_leaves() {
+        let mut f = frame();
+        let rap = f.schema().parse_combination("location=L1").unwrap();
+        let failure = FailureInjector::new(0.1, 0.9).inject(&mut f, &[rap], 2);
+        let devs: Vec<f64> = failure
+            .affected_rows
+            .iter()
+            .map(|&i| deviation(f.v(i), f.f(i)))
+            .collect();
+        assert!(devs.len() > 3);
+        let min = devs.iter().copied().fold(f64::MAX, f64::min);
+        let max = devs.iter().copied().fold(f64::MIN, f64::max);
+        assert!(
+            max - min > 0.1,
+            "deviations should vary per leaf (min {min}, max {max})"
+        );
+    }
+
+    #[test]
+    fn overlapping_raps_modify_rows_once() {
+        let mut f = frame();
+        let a = f.schema().parse_combination("location=L1").unwrap();
+        let b = f.schema().parse_combination("location=L1&access=wireless").unwrap();
+        let failure = FailureInjector::new(0.3, 0.3001).inject(&mut f, &[a, b], 3);
+        // no duplicate rows in the record
+        let distinct: std::collections::HashSet<_> =
+            failure.affected_rows.iter().copied().collect();
+        assert_eq!(distinct.len(), failure.affected_rows.len());
+        // each affected row's dev is within the (tight) range: one draw only
+        for &i in &failure.affected_rows {
+            let dev = deviation(f.v(i), f.f(i));
+            assert!((0.3..=0.3002).contains(&dev), "row {i} dev {dev}");
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_seed() {
+        let (mut f1, mut f2) = (frame(), frame());
+        let rap = f1.schema().parse_combination("os=ios").unwrap();
+        let inj = FailureInjector::new(0.1, 0.9);
+        inj.inject(&mut f1, std::slice::from_ref(&rap), 7);
+        inj.inject(&mut f2, std::slice::from_ref(&rap), 7);
+        assert_eq!(f1, f2);
+        let mut f3 = frame();
+        inj.inject(&mut f3, &[rap], 8);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dev_min")]
+    fn bad_range_rejected() {
+        FailureInjector::new(0.9, 0.1);
+    }
+
+    #[test]
+    fn empty_rap_set_is_noop() {
+        let mut f = frame();
+        let before = f.clone();
+        let failure = FailureInjector::new(0.1, 0.9).inject(&mut f, &[], 1);
+        assert!(failure.affected_rows.is_empty());
+        assert_eq!(f, before);
+    }
+}

@@ -1,0 +1,290 @@
+use mdkpi::{ElementId, LeafFrame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::traffic::TrafficModel;
+
+/// The CDN KPIs the simulator can expose (paper §II-A: "traffic volume,
+/// cache hit ratio and server response delay, etc.").
+///
+/// `Requests`, `OutFlow` and `CacheHits` are **fundamental** (additive)
+/// KPIs; the cache-hit ratio is **derived** from two of them via
+/// [`derive_hit_ratio`] (the paper's `K^D = g(K^F_1, …, K^F_m)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KpiKind {
+    /// HTTP requests served per minute.
+    Requests,
+    /// Bytes served per minute (`requests × per-website object size`).
+    OutFlow,
+    /// Requests served from cache (`requests × per-location hit
+    /// probability`).
+    CacheHits,
+    /// Summed server response time in milliseconds
+    /// (`requests × per-(location, access) base latency`); divide by
+    /// `Requests` for the derived mean response delay the paper's §II-A
+    /// lists among monitored KPIs.
+    TotalDelayMs,
+}
+
+impl KpiKind {
+    /// Stable lowercase name for file naming and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KpiKind::Requests => "requests",
+            KpiKind::OutFlow => "out_flow",
+            KpiKind::CacheHits => "cache_hits",
+            KpiKind::TotalDelayMs => "total_delay_ms",
+        }
+    }
+
+    /// All fundamental KPI kinds the simulator exposes.
+    pub fn all() -> [KpiKind; 4] {
+        [
+            KpiKind::Requests,
+            KpiKind::OutFlow,
+            KpiKind::CacheHits,
+            KpiKind::TotalDelayMs,
+        ]
+    }
+}
+
+impl TrafficModel {
+    /// Generate the leaf table of one fundamental KPI at `minute`.
+    ///
+    /// `Requests` is the raw snapshot; the other KPIs scale each leaf by a
+    /// deterministic per-entity factor (object size per website, hit
+    /// probability per location), so all fundamental KPIs stay mutually
+    /// consistent at the leaf level.
+    pub fn snapshot_kpi(&self, minute: usize, kind: KpiKind) -> LeafFrame {
+        let requests = self.snapshot(minute);
+        match kind {
+            KpiKind::Requests => requests,
+            KpiKind::OutFlow => scale_frame(&requests, |elements| {
+                object_size_kb(self.kpi_seed(), elements) // KB per request
+            }),
+            KpiKind::CacheHits => scale_frame(&requests, |elements| {
+                hit_probability(self.kpi_seed(), elements)
+            }),
+            KpiKind::TotalDelayMs => scale_frame(&requests, |elements| {
+                base_latency_ms(self.kpi_seed(), elements)
+            }),
+        }
+    }
+
+    fn kpi_seed(&self) -> u64 {
+        // derived from topology size so it is stable per model
+        0x0C0F_FEE0 ^ (self.topology().num_leaves())
+    }
+}
+
+/// Per-website mean object size in KB (deterministic in `(seed, website)`).
+fn object_size_kb(seed: u64, elements: &[ElementId]) -> f64 {
+    let website = elements[3].0 as u64;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(website * 7919));
+    rng.gen_range(20.0..2000.0)
+}
+
+/// Per-location cache-hit probability (deterministic in `(seed, location)`).
+fn hit_probability(seed: u64, elements: &[ElementId]) -> f64 {
+    let location = elements[0].0 as u64;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(location * 104729));
+    rng.gen_range(0.55..0.98)
+}
+
+/// Per-(location, access-type) mean response latency in milliseconds
+/// (deterministic in `(seed, location, access)`): wireless paths and remote
+/// edge nodes are slower.
+fn base_latency_ms(seed: u64, elements: &[ElementId]) -> f64 {
+    let location = elements[0].0 as u64;
+    let access = elements[1].0 as u64;
+    let mut rng =
+        StdRng::seed_from_u64(seed.wrapping_add(location * 6151).wrapping_add(access * 3079));
+    rng.gen_range(8.0..120.0)
+}
+
+/// Derive the mean response delay from the `TotalDelayMs` and `Requests`
+/// leaf tables (another Fig. 4 derived KPI, `g = total_delay / requests`).
+///
+/// # Panics
+///
+/// Panics if the two frames do not align row-for-row (same schema, same
+/// leaves in the same order).
+pub fn derive_mean_delay(total_delay: &LeafFrame, requests: &LeafFrame) -> LeafFrame {
+    assert_eq!(
+        total_delay.num_rows(),
+        requests.num_rows(),
+        "frames must align row-for-row"
+    );
+    assert_eq!(total_delay.schema(), requests.schema(), "schema mismatch");
+    let mut builder = LeafFrame::builder(total_delay.schema());
+    for i in 0..total_delay.num_rows() {
+        assert_eq!(
+            total_delay.row_elements(i),
+            requests.row_elements(i),
+            "row {i} leaves differ"
+        );
+        let guard = |num: f64, den: f64| if den.abs() < 1e-12 { 0.0 } else { num / den };
+        builder.push(
+            total_delay.row_elements(i),
+            guard(total_delay.v(i), requests.v(i)),
+            guard(total_delay.f(i), requests.f(i)),
+        );
+    }
+    builder.build()
+}
+
+fn scale_frame(frame: &LeafFrame, factor: impl Fn(&[ElementId]) -> f64) -> LeafFrame {
+    let mut builder = LeafFrame::builder(frame.schema());
+    for i in 0..frame.num_rows() {
+        let elements = frame.row_elements(i);
+        let k = factor(elements);
+        builder.push(elements, frame.v(i) * k, frame.f(i) * k);
+    }
+    builder.build()
+}
+
+/// Derive the cache-hit-ratio KPI from the `CacheHits` and `Requests` leaf
+/// tables (the paper's Fig. 4 derived-KPI transformation, `g = hits /
+/// requests` per leaf).
+///
+/// # Panics
+///
+/// Panics if the two frames do not align row-for-row (same schema, same
+/// leaves in the same order) — they must come from the same snapshot minute.
+pub fn derive_hit_ratio(hits: &LeafFrame, requests: &LeafFrame) -> LeafFrame {
+    assert_eq!(
+        hits.num_rows(),
+        requests.num_rows(),
+        "frames must align row-for-row"
+    );
+    assert_eq!(hits.schema(), requests.schema(), "schema mismatch");
+    let mut builder = LeafFrame::builder(hits.schema());
+    for i in 0..hits.num_rows() {
+        assert_eq!(
+            hits.row_elements(i),
+            requests.row_elements(i),
+            "row {i} leaves differ"
+        );
+        let guard = |num: f64, den: f64| if den.abs() < 1e-12 { 0.0 } else { num / den };
+        builder.push(
+            hits.row_elements(i),
+            guard(hits.v(i), requests.v(i)),
+            guard(hits.f(i), requests.f(i)),
+        );
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdnTopology, TrafficConfig};
+
+    fn model() -> TrafficModel {
+        TrafficModel::new(CdnTopology::small(5), TrafficConfig::default(), 5)
+    }
+
+    #[test]
+    fn kpis_share_leaf_structure() {
+        let m = model();
+        let req = m.snapshot_kpi(200, KpiKind::Requests);
+        let flow = m.snapshot_kpi(200, KpiKind::OutFlow);
+        let hits = m.snapshot_kpi(200, KpiKind::CacheHits);
+        assert_eq!(req.num_rows(), flow.num_rows());
+        assert_eq!(req.num_rows(), hits.num_rows());
+        for i in 0..req.num_rows() {
+            assert_eq!(req.row_elements(i), flow.row_elements(i));
+        }
+    }
+
+    #[test]
+    fn cache_hits_never_exceed_requests() {
+        let m = model();
+        let req = m.snapshot_kpi(200, KpiKind::Requests);
+        let hits = m.snapshot_kpi(200, KpiKind::CacheHits);
+        for i in 0..req.num_rows() {
+            assert!(hits.v(i) <= req.v(i) + 1e-9, "row {i}: hits exceed requests");
+        }
+    }
+
+    #[test]
+    fn hit_ratio_is_in_unit_interval() {
+        let m = model();
+        let req = m.snapshot_kpi(200, KpiKind::Requests);
+        let hits = m.snapshot_kpi(200, KpiKind::CacheHits);
+        let ratio = derive_hit_ratio(&hits, &req);
+        for i in 0..ratio.num_rows() {
+            assert!((0.0..=1.0 + 1e-9).contains(&ratio.v(i)), "bad ratio {}", ratio.v(i));
+            assert!((0.0..=1.0 + 1e-9).contains(&ratio.f(i)));
+        }
+    }
+
+    #[test]
+    fn out_flow_scales_by_website() {
+        let m = model();
+        let req = m.snapshot_kpi(200, KpiKind::Requests);
+        let flow = m.snapshot_kpi(200, KpiKind::OutFlow);
+        // same website rows must have the same scale factor
+        let website_attr = m.topology().schema().attr_id("website").unwrap();
+        let mut per_site: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        for i in 0..req.num_rows() {
+            if req.v(i) < 1e-9 {
+                continue;
+            }
+            let site = req.row_elements(i)[website_attr.index()].0;
+            let k = flow.v(i) / req.v(i);
+            let entry = per_site.entry(site).or_insert(k);
+            assert!((*entry - k).abs() < 1e-6, "inconsistent scale for site {site}");
+        }
+        assert!(per_site.len() > 1);
+    }
+
+    #[test]
+    fn kpi_names_are_stable() {
+        assert_eq!(KpiKind::Requests.name(), "requests");
+        assert_eq!(KpiKind::OutFlow.name(), "out_flow");
+        assert_eq!(KpiKind::CacheHits.name(), "cache_hits");
+        assert_eq!(KpiKind::TotalDelayMs.name(), "total_delay_ms");
+        assert_eq!(KpiKind::all().len(), 4);
+    }
+
+    #[test]
+    fn mean_delay_is_plausible_and_constant_per_location_access() {
+        let m = model();
+        let req = m.snapshot_kpi(200, KpiKind::Requests);
+        let delay = m.snapshot_kpi(200, KpiKind::TotalDelayMs);
+        let mean = derive_mean_delay(&delay, &req);
+        for i in 0..mean.num_rows() {
+            if req.v(i) > 1e-9 {
+                assert!(
+                    (8.0..120.0).contains(&mean.v(i)),
+                    "row {i}: mean delay {} out of configured band",
+                    mean.v(i)
+                );
+            }
+        }
+        // rows sharing (location, access) share the same mean latency
+        let mut per_pair: std::collections::HashMap<(u32, u32), f64> =
+            std::collections::HashMap::new();
+        for i in 0..mean.num_rows() {
+            if req.v(i) < 1e-9 {
+                continue;
+            }
+            let e = mean.row_elements(i);
+            let key = (e[0].0, e[1].0);
+            let entry = per_pair.entry(key).or_insert(mean.v(i));
+            assert!((*entry - mean.v(i)).abs() < 1e-6, "pair {key:?} inconsistent");
+        }
+        assert!(per_pair.len() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_frames_rejected() {
+        let m = model();
+        let req = m.snapshot_kpi(200, KpiKind::Requests);
+        let schema = req.schema().clone();
+        let empty = mdkpi::LeafFrame::builder(&schema).build();
+        derive_hit_ratio(&empty, &req);
+    }
+}

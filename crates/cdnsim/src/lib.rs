@@ -1,0 +1,49 @@
+//! # cdnsim — CDN traffic simulator substrate
+//!
+//! The RAPMiner paper evaluates on RAPMD, a semi-synthetic dataset built by
+//! injecting failures into **proprietary** background KPIs collected from an
+//! ISP-operated CDN in China (35 days, 60-second granularity, the Table I
+//! schema: 33 locations × 4 access types × 4 OSes × 20 websites). That data
+//! is not public, so this crate synthesizes a statistically similar
+//! background:
+//!
+//! * [`CdnTopology`] — the attribute schema plus per-entity popularity
+//!   weights (Zipf-like websites, log-normal location scales);
+//! * [`DiurnalProfile`] — smooth daily/weekly seasonality;
+//! * [`TrafficModel`] — per-leaf expected rates with heavy-tailed jitter and
+//!   sparsity (many fine-grained leaves carry little or no traffic, which is
+//!   precisely the paper's argument for why Squeeze-style "same anomaly
+//!   magnitude" assumptions fail on real CDNs);
+//! * [`KpiKind`] — fundamental KPIs (`OutFlow`, `Requests`, `CacheHits`) and
+//!   the derived cache-hit-ratio transformation;
+//! * [`FailureInjector`] — suppress the traffic of every leaf under a set of
+//!   root anomaly patterns.
+//!
+//! All generation is seeded and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use cdnsim::{CdnTopology, TrafficConfig, TrafficModel};
+//!
+//! let topology = CdnTopology::small(7);
+//! let model = TrafficModel::new(topology, TrafficConfig::default(), 7);
+//! let frame = model.snapshot(600); // minute 600 of the simulated week
+//! assert!(frame.num_rows() > 0);
+//! assert!(frame.total_v() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diurnal;
+mod failure;
+mod kpis;
+mod topology;
+mod traffic;
+
+pub use diurnal::DiurnalProfile;
+pub use failure::{FailureInjector, InjectedFailure};
+pub use kpis::{derive_hit_ratio, derive_mean_delay, KpiKind};
+pub use topology::{CdnTopology, CdnTopologyBuilder};
+pub use traffic::{TrafficConfig, TrafficModel};

@@ -1,0 +1,335 @@
+use mdkpi::{AttrId, ElementId, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+
+/// The simulated CDN deployment: an attribute [`Schema`] plus per-entity
+/// traffic weights.
+///
+/// Weights model the paper's observations about real CDN data:
+///
+/// * website popularity is Zipf-like (a few sites dominate traffic);
+/// * edge locations have log-normal scale (metro vs county nodes);
+/// * access-type and OS shares are fixed market-style splits.
+///
+/// The product of the four weights gives each leaf's share of total traffic,
+/// which is what makes fine-grained leaves sparse — the paper's stated
+/// reason why uniform-anomaly-magnitude assumptions fail in CDNs.
+#[derive(Debug, Clone)]
+pub struct CdnTopology {
+    schema: Schema,
+    /// One weight vector per attribute, each summing to 1.
+    weights: Vec<Vec<f64>>,
+}
+
+impl CdnTopology {
+    /// The paper's deployment (Table I): 33 locations, 4 access types,
+    /// 4 OSes, 20 websites — 10 560 leaves.
+    pub fn paper(seed: u64) -> Self {
+        CdnTopologyBuilder::new()
+            .locations(33)
+            .access_types(4)
+            .oses(4)
+            .websites(20)
+            .build(seed)
+    }
+
+    /// A small deployment for tests and examples: 5 locations, 2 access
+    /// types, 3 OSes, 6 websites — 180 leaves.
+    pub fn small(seed: u64) -> Self {
+        CdnTopologyBuilder::new()
+            .locations(5)
+            .access_types(2)
+            .oses(3)
+            .websites(6)
+            .build(seed)
+    }
+
+    /// Start building a custom deployment.
+    pub fn builder() -> CdnTopologyBuilder {
+        CdnTopologyBuilder::new()
+    }
+
+    /// The attribute schema (`location`, `access`, `os`, `website`).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The traffic-share weight of one element (weights of an attribute sum
+    /// to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of bounds.
+    pub fn weight(&self, attr: AttrId, element: ElementId) -> f64 {
+        self.weights[attr.index()][element.index()]
+    }
+
+    /// The traffic share of one leaf: the product of its element weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements.len()` differs from the schema's attribute count.
+    pub fn leaf_share(&self, elements: &[ElementId]) -> f64 {
+        assert_eq!(
+            elements.len(),
+            self.schema.num_attributes(),
+            "leaf arity mismatch"
+        );
+        elements
+            .iter()
+            .enumerate()
+            .map(|(a, e)| self.weights[a][e.index()])
+            .product()
+    }
+
+    /// Total number of leaves in the deployment.
+    pub fn num_leaves(&self) -> u64 {
+        self.schema.num_leaves()
+    }
+
+    /// Enumerate the element ids of leaf `index` (mixed-radix decoding in
+    /// schema order; the inverse of the iteration order of
+    /// [`CdnTopology::leaves`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_leaves()`.
+    pub fn leaf_elements(&self, index: u64) -> Vec<ElementId> {
+        assert!(index < self.num_leaves(), "leaf index out of range");
+        let n = self.schema.num_attributes();
+        let mut out = vec![ElementId(0); n];
+        let mut rem = index;
+        for a in (0..n).rev() {
+            let len = self.schema.attribute(AttrId(a as u16)).len() as u64;
+            out[a] = ElementId((rem % len) as u32);
+            rem /= len;
+        }
+        out
+    }
+
+    /// Iterate over every leaf's element vector in deterministic order.
+    pub fn leaves(&self) -> impl Iterator<Item = Vec<ElementId>> + '_ {
+        (0..self.num_leaves()).map(move |i| self.leaf_elements(i))
+    }
+}
+
+/// Builder for [`CdnTopology`], created by [`CdnTopology::builder`].
+#[derive(Debug, Clone)]
+pub struct CdnTopologyBuilder {
+    locations: usize,
+    access_types: usize,
+    oses: usize,
+    websites: usize,
+}
+
+impl Default for CdnTopologyBuilder {
+    fn default() -> Self {
+        CdnTopologyBuilder {
+            locations: 33,
+            access_types: 4,
+            oses: 4,
+            websites: 20,
+        }
+    }
+}
+
+impl CdnTopologyBuilder {
+    /// Create with the paper's default sizes.
+    pub fn new() -> Self {
+        CdnTopologyBuilder::default()
+    }
+
+    /// Number of edge-node locations.
+    pub fn locations(mut self, n: usize) -> Self {
+        self.locations = n;
+        self
+    }
+
+    /// Number of access types (wireless, fixed, …).
+    pub fn access_types(mut self, n: usize) -> Self {
+        self.access_types = n;
+        self
+    }
+
+    /// Number of device operating systems.
+    pub fn oses(mut self, n: usize) -> Self {
+        self.oses = n;
+        self
+    }
+
+    /// Number of served websites.
+    pub fn websites(mut self, n: usize) -> Self {
+        self.websites = n;
+        self
+    }
+
+    /// Build the topology, sampling entity weights with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn build(self, seed: u64) -> CdnTopology {
+        for (name, n) in [
+            ("locations", self.locations),
+            ("access_types", self.access_types),
+            ("oses", self.oses),
+            ("websites", self.websites),
+        ] {
+            assert!(n > 0, "{name} must be positive");
+        }
+        let schema = Schema::builder()
+            .attribute("location", (1..=self.locations).map(|i| format!("L{i}")))
+            .attribute("access", access_names(self.access_types))
+            .attribute("os", os_names(self.oses))
+            .attribute("website", (1..=self.websites).map(|i| format!("Site{i}")))
+            .build()
+            .expect("topology schema is valid by construction");
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCD11_70B0);
+        let lognormal = LogNormal::new(0.0, 0.8).expect("valid lognormal");
+        // Locations: log-normal scales (metro nodes vs county nodes).
+        let locations = normalize((0..self.locations).map(|_| lognormal.sample(&mut rng)));
+        // Access types: skewed fixed shares with mild jitter.
+        let access = normalize(
+            (0..self.access_types).map(|i| 1.0 / (i + 1) as f64 * rng.gen_range(0.8..1.2)),
+        );
+        // OSes: same shape as access types.
+        let oses =
+            normalize((0..self.oses).map(|i| 1.0 / (i + 1) as f64 * rng.gen_range(0.8..1.2)));
+        // Websites: Zipf-like popularity with exponent ~1.
+        let websites =
+            normalize((0..self.websites).map(|i| 1.0 / (i + 1) as f64 * rng.gen_range(0.9..1.1)));
+
+        CdnTopology {
+            schema,
+            weights: vec![locations, access, oses, websites],
+        }
+    }
+}
+
+fn normalize<I: IntoIterator<Item = f64>>(values: I) -> Vec<f64> {
+    let v: Vec<f64> = values.into_iter().collect();
+    let total: f64 = v.iter().sum();
+    assert!(total > 0.0, "weights must have positive total");
+    v.into_iter().map(|x| x / total).collect()
+}
+
+fn access_names(n: usize) -> Vec<String> {
+    const KNOWN: [&str; 4] = ["wireless", "fixed", "cellular", "satellite"];
+    (0..n)
+        .map(|i| {
+            KNOWN
+                .get(i)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("access{}", i + 1))
+        })
+        .collect()
+}
+
+fn os_names(n: usize) -> Vec<String> {
+    const KNOWN: [&str; 4] = ["android", "ios", "windows", "other"];
+    (0..n)
+        .map(|i| {
+            KNOWN
+                .get(i)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("os{}", i + 1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_matches_table1() {
+        let t = CdnTopology::paper(1);
+        assert_eq!(t.num_leaves(), 10_560);
+        let s = t.schema();
+        assert_eq!(s.attribute_by_name("location").unwrap().len(), 33);
+        assert_eq!(s.attribute_by_name("access").unwrap().len(), 4);
+        assert_eq!(s.attribute_by_name("os").unwrap().len(), 4);
+        assert_eq!(s.attribute_by_name("website").unwrap().len(), 20);
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let t = CdnTopology::paper(42);
+        for a in t.schema().attr_ids() {
+            let total: f64 = t
+                .schema()
+                .attribute(a)
+                .element_ids()
+                .map(|e| t.weight(a, e))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "attribute {a} not normalized");
+        }
+    }
+
+    #[test]
+    fn leaf_shares_sum_to_one() {
+        let t = CdnTopology::small(3);
+        let total: f64 = t.leaves().map(|l| t.leaf_share(&l)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn website_popularity_is_skewed() {
+        let t = CdnTopology::paper(5);
+        let site = t.schema().attr_id("website").unwrap();
+        let first = t.weight(site, ElementId(0));
+        let last = t.weight(site, ElementId(19));
+        assert!(
+            first > 5.0 * last,
+            "Zipf head {first} should dominate tail {last}"
+        );
+    }
+
+    #[test]
+    fn leaf_elements_decodes_mixed_radix() {
+        let t = CdnTopology::small(1);
+        // first leaf is all zeros, last is all maxima
+        assert!(t.leaf_elements(0).iter().all(|e| e.0 == 0));
+        let last = t.leaf_elements(t.num_leaves() - 1);
+        for (a, e) in last.iter().enumerate() {
+            let len = t.schema().attribute(AttrId(a as u16)).len() as u32;
+            assert_eq!(e.0, len - 1);
+        }
+        // round-trip: every decoded leaf is distinct
+        let distinct: std::collections::HashSet<Vec<u32>> = t
+            .leaves()
+            .map(|l| l.iter().map(|e| e.0).collect())
+            .collect();
+        assert_eq!(distinct.len() as u64, t.num_leaves());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = CdnTopology::paper(9);
+        let b = CdnTopology::paper(9);
+        let c = CdnTopology::paper(10);
+        let site = a.schema().attr_id("website").unwrap();
+        assert_eq!(a.weight(site, ElementId(3)), b.weight(site, ElementId(3)));
+        assert_ne!(a.weight(site, ElementId(3)), c.weight(site, ElementId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_rejected() {
+        CdnTopology::builder().websites(0).build(1);
+    }
+
+    #[test]
+    fn custom_names_extend_known_lists() {
+        let t = CdnTopology::builder()
+            .access_types(5)
+            .oses(6)
+            .build(1);
+        let access = t.schema().attribute_by_name("access").unwrap();
+        assert_eq!(access.element_name(ElementId(4)), "access5");
+        let os = t.schema().attribute_by_name("os").unwrap();
+        assert_eq!(os.element_name(ElementId(5)), "os6");
+    }
+}

@@ -1,0 +1,308 @@
+use mdkpi::{ElementId, LeafFrame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Normal};
+
+use crate::diurnal::DiurnalProfile;
+use crate::topology::CdnTopology;
+
+/// Tunables of the background traffic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Total expected requests per minute across the whole CDN.
+    pub total_volume: f64,
+    /// Sigma of the per-leaf log-normal jitter applied to the topology's
+    /// share product (makes leaf magnitudes heavy-tailed).
+    pub jitter_sigma: f64,
+    /// Fraction of leaves that carry any traffic at all; the rest never
+    /// appear in snapshots (real fine-grained CDN KPIs are sparse).
+    pub active_fraction: f64,
+    /// Coefficient of variation of the actual value around its expectation.
+    pub noise_cv: f64,
+    /// Coefficient of variation of the forecaster's error (how far `f`
+    /// strays from the true expectation on normal leaves).
+    pub forecast_error_cv: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            total_volume: 1_000_000.0,
+            jitter_sigma: 1.0,
+            active_fraction: 0.7,
+            noise_cv: 0.05,
+            forecast_error_cv: 0.02,
+        }
+    }
+}
+
+/// Per-leaf background traffic model over a [`CdnTopology`].
+///
+/// Construction fixes each leaf's *base rate* (share × jitter × volume) and
+/// whether it is active; [`TrafficModel::snapshot`] then produces the leaf
+/// table at any minute with seasonal modulation, sampling noise, and a
+/// forecast column — everything the localization pipeline consumes.
+///
+/// Snapshots are deterministic in `(model seed, minute)`.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    topology: CdnTopology,
+    profile: DiurnalProfile,
+    config: TrafficConfig,
+    /// Base (non-seasonal) expected rate per leaf index; 0.0 = inactive.
+    base_rates: Vec<f64>,
+    seed: u64,
+}
+
+impl TrafficModel {
+    /// Build the model, sampling per-leaf jitter and the active mask with
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if config fields are out of range (non-positive volume,
+    /// `active_fraction` outside `(0, 1]`, negative CVs).
+    pub fn new(topology: CdnTopology, config: TrafficConfig, seed: u64) -> Self {
+        assert!(config.total_volume > 0.0, "total_volume must be positive");
+        assert!(
+            config.active_fraction > 0.0 && config.active_fraction <= 1.0,
+            "active_fraction must be in (0, 1]"
+        );
+        assert!(config.jitter_sigma >= 0.0, "jitter_sigma must be >= 0");
+        assert!(config.noise_cv >= 0.0, "noise_cv must be >= 0");
+        assert!(
+            config.forecast_error_cv >= 0.0,
+            "forecast_error_cv must be >= 0"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7A_FF1C);
+        let jitter = LogNormal::new(0.0, config.jitter_sigma.max(1e-12))
+            .expect("valid lognormal");
+        let n = topology.num_leaves() as usize;
+        let mut base_rates = Vec::with_capacity(n);
+        for leaf in topology.leaves() {
+            let active = rng.gen_bool(config.active_fraction);
+            if active {
+                let share = topology.leaf_share(&leaf);
+                base_rates.push(share * jitter.sample(&mut rng) * config.total_volume);
+            } else {
+                base_rates.push(0.0);
+            }
+        }
+        TrafficModel {
+            topology,
+            profile: DiurnalProfile::default(),
+            config,
+            base_rates,
+            seed,
+        }
+    }
+
+    /// Replace the seasonality profile (builder-style).
+    pub fn with_profile(mut self, profile: DiurnalProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &CdnTopology {
+        &self.topology
+    }
+
+    /// The generation config.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
+    /// Number of active leaves (rows per snapshot).
+    pub fn num_active_leaves(&self) -> usize {
+        self.base_rates.iter().filter(|&&r| r > 0.0).count()
+    }
+
+    /// The true (noise-free) expected rate of leaf `index` at `minute`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn expected_rate(&self, index: u64, minute: usize) -> f64 {
+        self.base_rates[index as usize] * self.profile.factor(minute)
+    }
+
+    /// Generate the leaf table at one minute: actual value `v` (expectation
+    /// plus sampling noise) and forecast `f` (expectation plus forecast
+    /// error) for every active leaf. No anomaly labels are attached.
+    pub fn snapshot(&self, minute: usize) -> LeafFrame {
+        let mut rng = self.snapshot_rng(minute);
+        let mut builder = LeafFrame::builder(self.topology.schema());
+        for (i, &base) in self.base_rates.iter().enumerate() {
+            if base <= 0.0 {
+                continue;
+            }
+            let expect = base * self.profile.factor(minute);
+            let (v, f) = self.sample_pair(expect, &mut rng);
+            let elements: Vec<ElementId> = self.topology.leaf_elements(i as u64);
+            builder.push(&elements, v, f);
+        }
+        builder.build()
+    }
+
+    /// Generate per-leaf history: `points` consecutive minutes of actual
+    /// values for leaf `index`, ending just before `minute` (for fitting
+    /// forecasters/detectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn history(&self, index: u64, minute: usize, points: usize) -> Vec<f64> {
+        let start = minute.saturating_sub(points);
+        (start..minute)
+            .map(|m| {
+                let mut rng = self.point_rng(index, m);
+                let expect = self.expected_rate(index, m);
+                sample_noisy(expect, self.config.noise_cv, &mut rng)
+            })
+            .collect()
+    }
+
+    fn sample_pair(&self, expect: f64, rng: &mut StdRng) -> (f64, f64) {
+        let v = sample_noisy(expect, self.config.noise_cv, rng);
+        let f = sample_noisy(expect, self.config.forecast_error_cv, rng);
+        (v, f)
+    }
+
+    fn snapshot_rng(&self, minute: usize) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(minute as u64),
+        )
+    }
+
+    fn point_rng(&self, index: u64, minute: usize) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(minute as u64)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                .wrapping_add(index),
+        )
+    }
+}
+
+fn sample_noisy(expect: f64, cv: f64, rng: &mut StdRng) -> f64 {
+    if expect <= 0.0 {
+        return 0.0;
+    }
+    if cv <= 0.0 {
+        return expect;
+    }
+    let normal = Normal::new(expect, cv * expect).expect("valid normal");
+    normal.sample(rng).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TrafficModel {
+        TrafficModel::new(CdnTopology::small(11), TrafficConfig::default(), 11)
+    }
+
+    #[test]
+    fn snapshot_contains_active_leaves_only() {
+        let m = model();
+        let frame = m.snapshot(100);
+        assert_eq!(frame.num_rows(), m.num_active_leaves());
+        assert!(frame.num_rows() < m.topology().num_leaves() as usize);
+        assert!(frame.num_rows() > 0);
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let a = model().snapshot(300);
+        let b = model().snapshot(300);
+        assert_eq!(a.num_rows(), b.num_rows());
+        for i in 0..a.num_rows() {
+            assert_eq!(a.v(i), b.v(i));
+            assert_eq!(a.f(i), b.f(i));
+        }
+        let c = model().snapshot(301);
+        assert_ne!(a.v(0), c.v(0));
+    }
+
+    #[test]
+    fn forecast_tracks_actual_on_normal_traffic() {
+        let m = model();
+        let frame = m.snapshot(500);
+        // with small CVs, |v - f| / f should be small for most leaves
+        let mut close = 0usize;
+        for i in 0..frame.num_rows() {
+            if (frame.v(i) - frame.f(i)).abs() / frame.f(i).max(1e-9) < 0.3 {
+                close += 1;
+            }
+        }
+        assert!(
+            close as f64 > 0.9 * frame.num_rows() as f64,
+            "only {close}/{} leaves have close forecasts",
+            frame.num_rows()
+        );
+    }
+
+    #[test]
+    fn seasonality_modulates_volume() {
+        let m = TrafficModel::new(
+            CdnTopology::small(2),
+            TrafficConfig {
+                noise_cv: 0.0,
+                forecast_error_cv: 0.0,
+                ..TrafficConfig::default()
+            },
+            2,
+        );
+        let night = m.snapshot(4 * 60).total_v(); // 04:00
+        let evening = m.snapshot(21 * 60).total_v(); // 21:00
+        assert!(evening > night);
+    }
+
+    #[test]
+    fn history_is_deterministic_and_positive() {
+        let m = model();
+        // pick an active leaf
+        let idx = (0..m.topology().num_leaves())
+            .find(|&i| m.expected_rate(i, 0) > 0.0)
+            .expect("some active leaf");
+        let h1 = m.history(idx, 1000, 50);
+        let h2 = m.history(idx, 1000, 50);
+        assert_eq!(h1, h2);
+        assert_eq!(h1.len(), 50);
+        assert!(h1.iter().all(|&v| v >= 0.0));
+        assert!(h1.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn heavy_tail_across_leaves() {
+        let m = model();
+        let frame = m.snapshot(100);
+        let mut vs: Vec<f64> = (0..frame.num_rows()).map(|i| frame.v(i)).collect();
+        vs.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let top_decile: f64 = vs[..vs.len() / 10].iter().sum();
+        let total: f64 = vs.iter().sum();
+        assert!(
+            top_decile > 0.4 * total,
+            "top 10% of leaves only carry {:.1}% of traffic",
+            100.0 * top_decile / total
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "active_fraction")]
+    fn bad_config_rejected() {
+        TrafficModel::new(
+            CdnTopology::small(1),
+            TrafficConfig {
+                active_fraction: 0.0,
+                ..TrafficConfig::default()
+            },
+            1,
+        );
+    }
+}

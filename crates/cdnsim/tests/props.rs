@@ -1,0 +1,118 @@
+//! Property tests for the CDN simulator: generation invariants across
+//! arbitrary seeds and configurations.
+
+use cdnsim::{
+    CdnTopology, DiurnalProfile, FailureInjector, KpiKind, TrafficConfig, TrafficModel,
+};
+use proptest::prelude::*;
+use timeseries::deviation;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Topology weights are normalized per attribute and leaf shares sum
+    /// to one, for every seed and size.
+    #[test]
+    fn topology_weights_normalized(
+        seed in any::<u64>(),
+        locations in 2usize..6,
+        websites in 2usize..6,
+    ) {
+        let t = CdnTopology::builder()
+            .locations(locations)
+            .access_types(2)
+            .oses(2)
+            .websites(websites)
+            .build(seed);
+        for a in t.schema().attr_ids() {
+            let total: f64 = t
+                .schema()
+                .attribute(a)
+                .element_ids()
+                .map(|e| t.weight(a, e))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+        let share_total: f64 = t.leaves().map(|l| t.leaf_share(&l)).sum();
+        prop_assert!((share_total - 1.0).abs() < 1e-9);
+    }
+
+    /// Snapshots are non-negative, deterministic, and consistent across
+    /// KPI kinds (same leaves in the same order).
+    #[test]
+    fn snapshots_are_sane(seed in any::<u64>(), minute in 0usize..20_000) {
+        let model = TrafficModel::new(CdnTopology::small(seed), TrafficConfig::default(), seed);
+        let a = model.snapshot(minute);
+        let b = model.snapshot(minute);
+        prop_assert_eq!(&a, &b);
+        for i in 0..a.num_rows() {
+            prop_assert!(a.v(i) >= 0.0);
+            prop_assert!(a.f(i) >= 0.0);
+        }
+        for kind in KpiKind::all() {
+            let k = model.snapshot_kpi(minute, kind);
+            prop_assert_eq!(k.num_rows(), a.num_rows());
+            for i in 0..k.num_rows() {
+                prop_assert_eq!(k.row_elements(i), a.row_elements(i));
+                prop_assert!(k.v(i) >= 0.0, "negative {} value", kind.name());
+            }
+        }
+    }
+
+    /// The diurnal factor stays positive and weekly-periodic for arbitrary
+    /// amplitudes.
+    #[test]
+    fn diurnal_factor_positive(
+        daily in 0.0f64..1.5,
+        weekly in 0.0f64..0.5,
+        minute in 0usize..100_000,
+    ) {
+        let p = DiurnalProfile::new(daily, weekly, 0.05);
+        let f = p.factor(minute);
+        prop_assert!(f > 0.0);
+        prop_assert!((f - p.factor(minute + 7 * 24 * 60)).abs() < 1e-9);
+    }
+
+    /// Failure injection keeps every affected leaf's deviation inside the
+    /// configured band and touches nothing else.
+    #[test]
+    fn injection_respects_band(
+        seed in any::<u64>(),
+        lo in 0.1f64..0.4,
+        width in 0.05f64..0.4,
+    ) {
+        let hi = (lo + width).min(0.95);
+        let model = TrafficModel::new(CdnTopology::small(seed), TrafficConfig::default(), seed);
+        let mut frame = model.snapshot(777);
+        let before = frame.clone();
+        let rap = frame.schema().parse_combination("access=wireless").unwrap();
+        let failure = FailureInjector::new(lo, hi).inject(&mut frame, &[rap], seed);
+        for i in 0..frame.num_rows() {
+            if failure.affected_rows.contains(&i) {
+                let dev = deviation(frame.v(i), frame.f(i));
+                prop_assert!(
+                    (lo - 1e-9..=hi + 1e-9).contains(&dev),
+                    "row {i}: dev {dev} outside [{lo}, {hi}]"
+                );
+            } else {
+                prop_assert_eq!(frame.v(i), before.v(i));
+            }
+        }
+    }
+
+    /// Leaf histories are deterministic and the expected rate modulates
+    /// them (active leaves produce strictly positive mean history).
+    #[test]
+    fn histories_are_deterministic(seed in any::<u64>()) {
+        let model = TrafficModel::new(CdnTopology::small(seed), TrafficConfig::default(), seed);
+        let Some(active) = (0..model.topology().num_leaves())
+            .find(|&i| model.expected_rate(i, 0) > 0.0) else {
+            return Ok(()); // pathological seed with no active leaf
+        };
+        let h1 = model.history(active, 500, 60);
+        let h2 = model.history(active, 500, 60);
+        prop_assert_eq!(&h1, &h2);
+        prop_assert!(h1.iter().sum::<f64>() > 0.0);
+        prop_assert!(h1.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,331 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// The CLI subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `generate`: write a benchmark dataset to a directory.
+    Generate {
+        /// `squeeze` or `rapmd`.
+        dataset: String,
+        /// Output directory.
+        out: String,
+        /// RAPMD failures (ignored for squeeze).
+        failures: usize,
+        /// Squeeze cases per group (ignored for rapmd).
+        cases_per_group: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// `localize`: run one method on a CSV leaf table.
+    Localize {
+        /// Input CSV path.
+        input: String,
+        /// Method name (see `methods`).
+        method: String,
+        /// Number of results.
+        k: usize,
+        /// RAPMiner `t_CP` override.
+        t_cp: Option<f64>,
+        /// RAPMiner `t_conf` override.
+        t_conf: Option<f64>,
+        /// Detection threshold applied when the CSV has no label column.
+        detect_threshold: f64,
+        /// Also print the per-attribute classification-power breakdown
+        /// (RAPMiner only).
+        explain: bool,
+    },
+    /// `evaluate`: score methods against a dataset directory.
+    Evaluate {
+        /// Dataset directory (as written by `generate`).
+        dir: String,
+        /// `rc` or `f1`.
+        protocol: String,
+        /// The `k` values for the `rc` protocol.
+        ks: Vec<usize>,
+        /// Restrict to one method (default: all).
+        method: Option<String>,
+    },
+    /// `simulate`: run the streaming operations demo on the CDN simulator.
+    Simulate {
+        /// Time steps to play.
+        steps: usize,
+        /// Step at which the failure is injected.
+        failure_at: usize,
+        /// Simulation seed.
+        seed: u64,
+        /// RAP specification to inject (`attr=elem&…`); empty picks a
+        /// random location outage.
+        rap: Option<String>,
+    },
+    /// `methods`: list available localizers.
+    Methods,
+    /// `help`: print usage.
+    Help,
+}
+
+/// A command-line parse failure (message is user-facing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text printed by `help` and on parse errors.
+pub const USAGE: &str = "\
+rapminer — root anomaly pattern mining for multi-dimensional KPIs
+
+USAGE:
+  rapminer generate --dataset <squeeze|rapmd> --out <dir>
+                    [--failures N] [--cases-per-group N] [--seed N]
+  rapminer localize --input <case.csv> [--method NAME] [--k N]
+                    [--t-cp X] [--t-conf X] [--detect-threshold X]
+                    [--explain true]
+  rapminer evaluate --dir <dataset-dir> [--protocol rc|f1] [--k 3,4,5]
+                    [--method NAME]
+  rapminer simulate [--steps N] [--failure-at N] [--seed N] [--rap SPEC]
+  rapminer methods
+  rapminer help
+";
+
+impl Args {
+    /// Parse a raw argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing [`ParseError`] on unknown commands/flags,
+    /// missing required flags, or unparsable numbers.
+    pub fn parse<I, S>(raw: I) -> Result<Args, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut raw = raw.into_iter().map(Into::into);
+        let command = raw.next().unwrap_or_else(|| "help".to_string());
+        let flags = parse_flags(raw)?;
+        let command = match command.as_str() {
+            "generate" => Command::Generate {
+                dataset: require(&flags, "dataset")?,
+                out: require(&flags, "out")?,
+                failures: parse_num(&flags, "failures", 105)?,
+                cases_per_group: parse_num(&flags, "cases-per-group", 10)?,
+                seed: parse_num(&flags, "seed", 20220607)?,
+            },
+            "localize" => Command::Localize {
+                input: require(&flags, "input")?,
+                method: flags
+                    .get("method")
+                    .cloned()
+                    .unwrap_or_else(|| "rapminer".to_string()),
+                k: parse_num(&flags, "k", 3)?,
+                t_cp: parse_opt_float(&flags, "t-cp")?,
+                t_conf: parse_opt_float(&flags, "t-conf")?,
+                detect_threshold: parse_float(&flags, "detect-threshold", 0.095)?,
+                explain: parse_bool(&flags, "explain")?,
+            },
+            "evaluate" => Command::Evaluate {
+                dir: require(&flags, "dir")?,
+                protocol: flags
+                    .get("protocol")
+                    .cloned()
+                    .unwrap_or_else(|| "rc".to_string()),
+                ks: parse_k_list(&flags)?,
+                method: flags.get("method").cloned(),
+            },
+            "simulate" => Command::Simulate {
+                steps: parse_num(&flags, "steps", 120)?,
+                failure_at: parse_num(&flags, "failure-at", 90)?,
+                seed: parse_num(&flags, "seed", 404)?,
+                rap: flags.get("rap").cloned(),
+            },
+            "methods" => Command::Methods,
+            "help" | "--help" | "-h" => Command::Help,
+            other => {
+                return Err(ParseError(format!(
+                    "unknown command `{other}`; run `rapminer help`"
+                )))
+            }
+        };
+        Ok(Args { command })
+    }
+}
+
+fn parse_flags<I: Iterator<Item = String>>(
+    mut raw: I,
+) -> Result<HashMap<String, String>, ParseError> {
+    let mut flags = HashMap::new();
+    while let Some(flag) = raw.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(ParseError(format!("expected a --flag, got `{flag}`")));
+        };
+        let value = raw
+            .next()
+            .ok_or_else(|| ParseError(format!("flag --{name} needs a value")))?;
+        if flags.insert(name.to_string(), value).is_some() {
+            return Err(ParseError(format!("flag --{name} given twice")));
+        }
+    }
+    Ok(flags)
+}
+
+fn require(flags: &HashMap<String, String>, name: &str) -> Result<String, ParseError> {
+    flags
+        .get(name)
+        .cloned()
+        .ok_or_else(|| ParseError(format!("missing required flag --{name}")))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, ParseError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| ParseError(format!("--{name}: `{s}` is not a valid number"))),
+    }
+}
+
+fn parse_float(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: f64,
+) -> Result<f64, ParseError> {
+    parse_num(flags, name, default)
+}
+
+fn parse_opt_float(
+    flags: &HashMap<String, String>,
+    name: &str,
+) -> Result<Option<f64>, ParseError> {
+    match flags.get(name) {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .map(Some)
+            .map_err(|_| ParseError(format!("--{name}: `{s}` is not a valid number"))),
+    }
+}
+
+fn parse_bool(flags: &HashMap<String, String>, name: &str) -> Result<bool, ParseError> {
+    match flags.get(name).map(String::as_str) {
+        None => Ok(false),
+        Some("true") | Some("1") | Some("yes") => Ok(true),
+        Some("false") | Some("0") | Some("no") => Ok(false),
+        Some(other) => Err(ParseError(format!("--{name}: `{other}` is not a boolean"))),
+    }
+}
+
+fn parse_k_list(flags: &HashMap<String, String>) -> Result<Vec<usize>, ParseError> {
+    match flags.get("k") {
+        None => Ok(vec![3, 4, 5]),
+        Some(s) => s
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .map_err(|_| ParseError(format!("--k: `{p}` is not a valid number")))
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_generate() {
+        let args = Args::parse([
+            "generate",
+            "--dataset",
+            "rapmd",
+            "--out",
+            "/tmp/x",
+            "--failures",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.command,
+            Command::Generate {
+                dataset: "rapmd".into(),
+                out: "/tmp/x".into(),
+                failures: 7,
+                cases_per_group: 10,
+                seed: 20220607,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_localize_with_overrides() {
+        let args = Args::parse([
+            "localize", "--input", "a.csv", "--method", "squeeze", "--k", "5", "--t-cp",
+            "0.01",
+        ])
+        .unwrap();
+        match args.command {
+            Command::Localize {
+                input,
+                method,
+                k,
+                t_cp,
+                t_conf,
+                detect_threshold,
+                explain,
+            } => {
+                assert_eq!(input, "a.csv");
+                assert_eq!(method, "squeeze");
+                assert_eq!(k, 5);
+                assert_eq!(t_cp, Some(0.01));
+                assert_eq!(t_conf, None);
+                assert_eq!(detect_threshold, 0.095);
+                assert!(!explain);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_evaluate_k_list() {
+        let args =
+            Args::parse(["evaluate", "--dir", "d", "--protocol", "rc", "--k", "1,2,3"]).unwrap();
+        match args.command {
+            Command::Evaluate { ks, .. } => assert_eq!(ks, vec![1, 2, 3]),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_to_help() {
+        let none: [&str; 0] = [];
+        assert_eq!(Args::parse(none).unwrap().command, Command::Help);
+        assert_eq!(Args::parse(["help"]).unwrap().command, Command::Help);
+        assert_eq!(Args::parse(["methods"]).unwrap().command, Command::Methods);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(["frobnicate"]).is_err());
+        assert!(Args::parse(["generate", "--dataset", "rapmd"]).is_err()); // no --out
+        assert!(Args::parse(["localize", "--input"]).is_err()); // missing value
+        assert!(Args::parse(["localize", "oops"]).is_err()); // not a flag
+        assert!(Args::parse(["localize", "--input", "x", "--k", "zzz"]).is_err());
+        assert!(Args::parse(["evaluate", "--dir", "d", "--dir", "e"]).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # rapminer-cli — command-line anomaly localization
+//!
+//! The downstream-user surface of the RAPMiner reproduction: generate the
+//! benchmark datasets, localize root anomaly patterns from a CSV leaf
+//! table with any implemented method, and evaluate methods against a
+//! dataset directory.
+//!
+//! ```text
+//! rapminer generate --dataset rapmd --out ./rapmd-dir [--failures 105] [--seed 1]
+//! rapminer generate --dataset squeeze --out ./squeeze-dir [--cases-per-group 10] [--seed 1]
+//! rapminer localize --input case.csv [--method rapminer] [--k 3] [--t-cp 0.001] [--t-conf 0.8]
+//! rapminer evaluate --dir ./rapmd-dir [--protocol rc|f1] [--k 3,4,5]
+//! rapminer methods
+//! ```
+//!
+//! The library half exposes the argument parser and command runners so the
+//! binary stays a thin shim and everything is unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{Args, Command, ParseError};
+pub use commands::{run, CliError};

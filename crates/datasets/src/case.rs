@@ -1,0 +1,93 @@
+use mdkpi::{Combination, LeafFrame, Schema};
+
+/// One localization case: a labelled leaf table at one (simulated)
+/// timestamp plus the ground-truth root anomaly patterns a localizer must
+/// recover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalizationCase {
+    /// Stable identifier (used for file names and reports).
+    pub id: String,
+    /// Optional evaluation group tag — the Squeeze dataset's
+    /// `(dimension, count)` groups render as `"(d,r)"`; RAPMD cases carry
+    /// the empty string (it is evaluated ungrouped, §V-E2).
+    pub group: String,
+    /// The leaf table: `v`, `f` and per-leaf anomaly labels.
+    pub frame: LeafFrame,
+    /// The ground-truth RAP set.
+    pub truth: Vec<Combination>,
+}
+
+impl LocalizationCase {
+    /// The number of ground-truth RAPs.
+    pub fn num_raps(&self) -> usize {
+        self.truth.len()
+    }
+}
+
+/// A named collection of localization cases sharing one schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name (`"squeeze-b0"`, `"rapmd"`, …).
+    pub name: String,
+    /// The shared attribute schema.
+    pub schema: Schema,
+    /// The cases, in generation order.
+    pub cases: Vec<LocalizationCase>,
+}
+
+impl Dataset {
+    /// Cases belonging to one evaluation group.
+    pub fn group<'a>(&'a self, group: &'a str) -> impl Iterator<Item = &'a LocalizationCase> + 'a {
+        self.cases.iter().filter(move |c| c.group == group)
+    }
+
+    /// The distinct group tags, in first-appearance order.
+    pub fn group_names(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for c in &self.cases {
+            if !seen.contains(&c.group) {
+                seen.push(c.group.clone());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::Schema;
+
+    fn tiny_case(id: &str, group: &str) -> LocalizationCase {
+        let schema = Schema::builder().attribute("a", ["a1", "a2"]).build().unwrap();
+        let mut b = LeafFrame::builder(&schema);
+        b.push_labelled(&[mdkpi::ElementId(0)], 1.0, 10.0, true);
+        b.push_labelled(&[mdkpi::ElementId(1)], 10.0, 10.0, false);
+        let frame = b.build();
+        let truth = vec![schema.parse_combination("a=a1").unwrap()];
+        LocalizationCase {
+            id: id.to_string(),
+            group: group.to_string(),
+            frame,
+            truth,
+        }
+    }
+
+    #[test]
+    fn groups_filter_and_enumerate() {
+        let c1 = tiny_case("1", "(1,1)");
+        let schema = c1.frame.schema().clone();
+        let ds = Dataset {
+            name: "t".into(),
+            schema,
+            cases: vec![
+                tiny_case("1", "(1,1)"),
+                tiny_case("2", "(1,2)"),
+                tiny_case("3", "(1,1)"),
+            ],
+        };
+        assert_eq!(ds.group("(1,1)").count(), 2);
+        assert_eq!(ds.group_names(), vec!["(1,1)".to_string(), "(1,2)".to_string()]);
+        assert_eq!(ds.cases[0].num_raps(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use mdkpi::{format_truth, parse_truth, read_frame_csv, write_frame_csv, Error};
+
+use crate::case::{Dataset, LocalizationCase};
+
+/// Save a dataset into a directory: one `<case-id>.csv` per case (the
+/// `mdkpi` CSV layout with labels) plus a `manifest.csv` mapping
+/// `id,group,truth` (truth in the `attr=elem&…;…` notation).
+///
+/// The directory is created if missing; existing files with the same names
+/// are overwritten.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization failures.
+pub fn save_dataset(dataset: &Dataset, dir: &Path) -> Result<(), Error> {
+    fs::create_dir_all(dir)?;
+    let mut manifest = csv::Writer::from_path(dir.join("manifest.csv"))
+        .map_err(|e| Error::Csv {
+            message: e.to_string(),
+        })?;
+    manifest.write_record(["id", "group", "truth"])?;
+    for case in &dataset.cases {
+        let file = fs::File::create(dir.join(format!("{}.csv", case.id)))?;
+        let mut writer = std::io::BufWriter::new(file);
+        write_frame_csv(&case.frame, &mut writer)?;
+        writer.flush()?;
+        manifest.write_record([
+            case.id.as_str(),
+            case.group.as_str(),
+            &format_truth(&case.truth),
+        ])?;
+    }
+    manifest.flush()?;
+    // dataset name marker
+    fs::write(dir.join("NAME"), &dataset.name)?;
+    Ok(())
+}
+
+/// Load a dataset previously written by [`save_dataset`].
+///
+/// Each case's schema is inferred from its CSV; the first case's schema
+/// becomes the dataset schema (all cases of one dataset share the element
+/// universe by construction, but sparse cases may intern fewer elements —
+/// truth strings resolve by name against each case's own schema, so this
+/// is safe).
+///
+/// # Errors
+///
+/// Fails on a missing/malformed manifest or any unreadable case file.
+pub fn load_dataset(dir: &Path) -> Result<Dataset, Error> {
+    let mut manifest = csv::Reader::from_path(dir.join("manifest.csv"))
+        .map_err(|e| Error::Csv {
+            message: e.to_string(),
+        })?;
+    let name = fs::read_to_string(dir.join("NAME"))
+        .unwrap_or_else(|_| "unnamed".to_string())
+        .trim()
+        .to_string();
+    let mut cases = Vec::new();
+    for record in manifest.records() {
+        let record = record?;
+        let id = record
+            .get(0)
+            .ok_or_else(|| Error::Csv {
+                message: "manifest row missing id".to_string(),
+            })?
+            .to_string();
+        let group = record.get(1).unwrap_or("").to_string();
+        let truth_text = record.get(2).unwrap_or("").to_string();
+        let file = fs::File::open(dir.join(format!("{id}.csv")))?;
+        let frame = read_frame_csv(std::io::BufReader::new(file))?;
+        let truth = parse_truth(frame.schema(), &truth_text)?;
+        cases.push(LocalizationCase {
+            id,
+            group,
+            frame,
+            truth,
+        });
+    }
+    let schema = cases
+        .first()
+        .map(|c| c.frame.schema().clone())
+        .ok_or_else(|| Error::Csv {
+            message: "dataset has no cases".to_string(),
+        })?;
+    Ok(Dataset {
+        name,
+        schema,
+        cases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SqueezeGenConfig, SqueezeGenerator};
+
+    #[test]
+    fn roundtrip_preserves_cases_and_truth() {
+        let dataset = SqueezeGenerator::new(SqueezeGenConfig {
+            attribute_sizes: vec![4, 4, 4],
+            cases_per_group: 1,
+            ..SqueezeGenConfig::default()
+        })
+        .generate(21);
+        let dir = std::env::temp_dir().join(format!("rapminer_ds_io_{}", std::process::id()));
+        save_dataset(&dataset, &dir).unwrap();
+        let loaded = load_dataset(&dir).unwrap();
+        assert_eq!(loaded.name, dataset.name);
+        assert_eq!(loaded.cases.len(), dataset.cases.len());
+        for (a, b) in dataset.cases.iter().zip(&loaded.cases) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.frame.num_rows(), b.frame.num_rows());
+            assert_eq!(a.frame.num_anomalous(), b.frame.num_anomalous());
+            // truth compares by rendered text (schemas are distinct objects)
+            assert_eq!(
+                mdkpi::format_truth(&a.truth),
+                mdkpi::format_truth(&b.truth)
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_missing_directory_fails() {
+        let missing = std::env::temp_dir().join("rapminer_definitely_missing_xyz");
+        assert!(load_dataset(&missing).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # datasets — localization benchmarks for the RAPMiner reproduction
+//!
+//! Two semi-synthetic datasets drive the paper's evaluation (§V-A); this
+//! crate regenerates both from their documented construction procedures:
+//!
+//! * [`SqueezeGenerator`] — the published Squeeze dataset's procedure:
+//!   cases grouped by `(RAP dimension d, RAP count r) ∈ {1..3}²`, all RAPs
+//!   of a case in one cuboid, one anomaly magnitude per case (the vertical
+//!   and horizontal assumptions), noise level **B0** (clean detection);
+//! * [`RapmdGenerator`] — **RAPMD**: failures injected into CDN background
+//!   traffic (from the [`cdnsim`] simulator standing in for the proprietary
+//!   ISP data) with *Randomness 1* (1–3 RAPs per failure, any dimensions)
+//!   and *Randomness 2* (per-leaf `Dev ∈ [0.1, 0.9]` under RAPs,
+//!   `Dev ∈ [−0.02, 0.09]` elsewhere; forecast set via Eq. 5);
+//! * [`LocalizationCase`] / [`Dataset`] — the case model plus directory
+//!   save/load in the CSV layout of `mdkpi`.
+//!
+//! All generation is seeded and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use datasets::{SqueezeGenerator, SqueezeGenConfig};
+//!
+//! let config = SqueezeGenConfig { cases_per_group: 2, ..SqueezeGenConfig::default() };
+//! let dataset = SqueezeGenerator::new(config).generate(42);
+//! assert_eq!(dataset.cases.len(), 2 * 9); // 9 (d, r) groups
+//! let case = &dataset.cases[0];
+//! assert!(!case.truth.is_empty());
+//! assert!(case.frame.num_anomalous() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod case;
+mod io;
+mod rapmd;
+mod squeeze_gen;
+
+pub use case::{Dataset, LocalizationCase};
+pub use io::{load_dataset, save_dataset};
+pub use rapmd::{RapmdConfig, RapmdGenerator, RAPMD_DETECTION_THRESHOLD};
+pub use squeeze_gen::{SqueezeGenConfig, SqueezeGenerator};

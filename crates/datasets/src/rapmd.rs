@@ -1,0 +1,392 @@
+use cdnsim::{CdnTopology, TrafficConfig, TrafficModel};
+use mdkpi::{Combination, CuboidLattice, ElementId, LeafFrame, Schema};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::case::{Dataset, LocalizationCase};
+
+/// Configuration of the RAPMD generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RapmdConfig {
+    /// Number of injected failures (the paper extracts 105 time points
+    /// from 35 days × 3 points/day).
+    pub num_failures: usize,
+    /// Maximum RAPs per failure (*Randomness 1*: uniform in `1..=max`).
+    pub max_raps: usize,
+    /// Per-leaf deviation range under a RAP (*Randomness 2*).
+    pub dev_anomalous: (f64, f64),
+    /// Per-leaf deviation range for normal leaves (*Randomness 2*).
+    pub dev_normal: (f64, f64),
+    /// Use the paper's full 33×4×4×20 topology (10 560 leaves); disable for
+    /// a small topology in tests.
+    pub paper_topology: bool,
+    /// Per-leaf label-flip probability modelling imperfect detection
+    /// (0.0 = the paper's exact-label setting).
+    pub label_noise: f64,
+}
+
+impl Default for RapmdConfig {
+    fn default() -> Self {
+        RapmdConfig {
+            num_failures: 105,
+            max_raps: 3,
+            dev_anomalous: (0.1, 0.9),
+            dev_normal: (-0.02, 0.09),
+            paper_topology: true,
+            label_noise: 0.0,
+        }
+    }
+}
+
+/// Generator of **RAPMD** (§V-A): failures injected into CDN background
+/// traffic.
+///
+/// The paper's background is 35 days of proprietary ISP CDN KPIs; here the
+/// [`cdnsim`] traffic model provides statistically similar sparse,
+/// heavy-tailed, seasonal background (see `DESIGN.md` for the substitution
+/// argument). Injection follows the paper exactly:
+///
+/// * **Randomness 1** — each failure has `1..=3` RAPs, each independently
+///   of any dimension and any cuboid, no RAP an ancestor of another;
+/// * **Randomness 2** — every most-fine-grained leaf under a RAP draws its
+///   own `Dev ∈ [0.1, 0.9]`; every normal leaf draws
+///   `Dev ∈ [−0.02, 0.09]`; the forecast is reconstructed from the actual
+///   value via Eq. 5, `f = (v + Dev·ε) / (1 − Dev)`, so the relative
+///   deviations are exact.
+///
+/// Labels are produced by the Eq. 4 deviation detector at threshold 0.095,
+/// which separates the two ranges by construction.
+///
+/// # Example
+///
+/// ```
+/// use datasets::{RapmdGenerator, RapmdConfig};
+/// let config = RapmdConfig {
+///     num_failures: 3,
+///     paper_topology: false, // small topology for the doc test
+///     ..RapmdConfig::default()
+/// };
+/// let ds = RapmdGenerator::new(config).generate(1);
+/// assert_eq!(ds.cases.len(), 3);
+/// assert!(ds.cases.iter().all(|c| (1..=3).contains(&c.truth.len())));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RapmdGenerator {
+    config: RapmdConfig,
+}
+
+/// Eq. 4's ε guarding division by zero.
+const EPS: f64 = 1e-9;
+
+impl RapmdGenerator {
+    /// Create with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero failures, zero max RAPs, or deviation ranges that
+    /// overlap / leave `Dev = 1` reachable.
+    pub fn new(config: RapmdConfig) -> Self {
+        assert!(config.num_failures > 0, "num_failures must be positive");
+        assert!(config.max_raps > 0, "max_raps must be positive");
+        let (alo, ahi) = config.dev_anomalous;
+        let (nlo, nhi) = config.dev_normal;
+        assert!(alo <= ahi && ahi < 1.0, "anomalous dev range invalid");
+        assert!(nlo <= nhi && nhi < 1.0, "normal dev range invalid");
+        assert!(
+            nhi < alo,
+            "normal and anomalous deviation ranges must not overlap"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.label_noise),
+            "label_noise must be in [0, 1)"
+        );
+        RapmdGenerator { config }
+    }
+
+    /// Generate the dataset deterministically in `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let topology = if self.config.paper_topology {
+            CdnTopology::paper(seed)
+        } else {
+            CdnTopology::small(seed)
+        };
+        let schema = topology.schema().clone();
+        let model = TrafficModel::new(topology, TrafficConfig::default(), seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4A9D_D000);
+
+        // the paper samples 105 random timestamps out of ~35 days
+        let minutes_total = 35 * 24 * 60;
+        let mut cases = Vec::with_capacity(self.config.num_failures);
+        for fail_idx in 0..self.config.num_failures {
+            let minute = rng.gen_range(0..minutes_total);
+            let background = model.snapshot(minute);
+            let case = self.inject(&schema, background, fail_idx, &mut rng);
+            cases.push(case);
+        }
+        Dataset {
+            name: "rapmd".to_string(),
+            schema,
+            cases,
+        }
+    }
+
+    /// Inject one failure into a background snapshot.
+    fn inject(
+        &self,
+        schema: &Schema,
+        background: LeafFrame,
+        fail_idx: usize,
+        rng: &mut StdRng,
+    ) -> LocalizationCase {
+        // Randomness 1: 1..=max_raps RAPs, arbitrary dimensions, none an
+        // ancestor of another, each covering at least one background leaf.
+        let num_raps = rng.gen_range(1..=self.config.max_raps);
+        let truth = self.pick_raps(schema, &background, num_raps, rng);
+
+        // Randomness 2: per-leaf deviations; forecast from Eq. 5.
+        let (alo, ahi) = self.config.dev_anomalous;
+        let (nlo, nhi) = self.config.dev_normal;
+        let mut builder = LeafFrame::builder(schema);
+        let mut labels = Vec::with_capacity(background.num_rows());
+        for i in 0..background.num_rows() {
+            let elements = background.row_elements(i);
+            let anomalous = truth.iter().any(|t| t.matches_leaf(elements));
+            let dev = if anomalous {
+                rng.gen_range(alo..=ahi)
+            } else {
+                rng.gen_range(nlo..=nhi)
+            };
+            let v = background.v(i);
+            // Eq. 5: f = (v + Dev·ε) / (1 − Dev) so that (f − v)/(f + ε) = Dev
+            let f = (v + dev * EPS) / (1.0 - dev);
+            builder.push(elements, v, f);
+            let observed = if self.config.label_noise > 0.0
+                && rng.gen_bool(self.config.label_noise)
+            {
+                !anomalous
+            } else {
+                anomalous
+            };
+            labels.push(observed);
+        }
+        let mut frame = builder.build();
+        frame
+            .set_labels(labels)
+            .expect("labels built alongside rows");
+        LocalizationCase {
+            id: format!("rapmd_{fail_idx:03}"),
+            group: String::new(),
+            frame,
+            truth,
+        }
+    }
+
+    /// Pick RAPs for one failure per Randomness 1.
+    fn pick_raps(
+        &self,
+        schema: &Schema,
+        background: &LeafFrame,
+        num_raps: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Combination> {
+        let lattice = CuboidLattice::full(schema);
+        let mut truth: Vec<Combination> = Vec::new();
+        let mut attempts = 0usize;
+        while truth.len() < num_raps {
+            attempts += 1;
+            assert!(
+                attempts < 10_000,
+                "could not place {num_raps} RAPs; background too sparse"
+            );
+            // any dimension, any cuboid
+            let layer = rng.gen_range(1..=lattice.num_layers());
+            let cuboid = *lattice.layer(layer).choose(rng).expect("non-empty layer");
+            let candidate = Combination::from_pairs(
+                schema,
+                cuboid.attrs().map(|a| {
+                    let len = schema.attribute(a).len() as u32;
+                    (a, ElementId(rng.gen_range(0..len)))
+                }),
+            );
+            // must cover at least one background leaf
+            if background.rows_matching(&candidate).is_empty() {
+                continue;
+            }
+            // no RAP may generalize another (an "ancestor RAP" would make
+            // the descendant invalid by Definition 1)
+            if truth
+                .iter()
+                .any(|t| t.generalizes(&candidate) || candidate.generalizes(t))
+            {
+                continue;
+            }
+            truth.push(candidate);
+        }
+        truth
+    }
+}
+
+/// The threshold separating RAPMD's two deviation ranges (used by
+/// evaluation pipelines that re-detect instead of trusting the stored
+/// labels).
+pub const RAPMD_DETECTION_THRESHOLD: f64 = 0.095;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::deviation;
+
+    fn small() -> RapmdConfig {
+        RapmdConfig {
+            num_failures: 5,
+            paper_topology: false,
+            ..RapmdConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_failures() {
+        let ds = RapmdGenerator::new(small()).generate(11);
+        assert_eq!(ds.cases.len(), 5);
+        assert_eq!(ds.name, "rapmd");
+        for case in &ds.cases {
+            assert!((1..=3).contains(&case.truth.len()));
+            assert!(case.frame.num_anomalous() > 0, "case {} empty", case.id);
+        }
+    }
+
+    #[test]
+    fn randomness2_dev_ranges_hold_exactly() {
+        let ds = RapmdGenerator::new(small()).generate(12);
+        for case in &ds.cases {
+            for i in 0..case.frame.num_rows() {
+                let dev = deviation(case.frame.v(i), case.frame.f(i));
+                match case.frame.label(i) {
+                    Some(true) => assert!(
+                        (0.1 - 1e-9..=0.9 + 1e-9).contains(&dev),
+                        "case {} row {i}: anomalous dev {dev}",
+                        case.id
+                    ),
+                    Some(false) => assert!(
+                        (-0.02 - 1e-9..=0.09 + 1e-9).contains(&dev),
+                        "case {} row {i}: normal dev {dev}",
+                        case.id
+                    ),
+                    None => panic!("unlabelled row"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_truth_coverage() {
+        let ds = RapmdGenerator::new(small()).generate(13);
+        for case in &ds.cases {
+            for i in 0..case.frame.num_rows() {
+                let covered = case
+                    .truth
+                    .iter()
+                    .any(|t| t.matches_leaf(case.frame.row_elements(i)));
+                assert_eq!(case.frame.label(i), Some(covered));
+            }
+        }
+    }
+
+    #[test]
+    fn anomaly_magnitudes_vary_within_one_failure() {
+        // the defining difference from the Squeeze dataset
+        let ds = RapmdGenerator::new(small()).generate(14);
+        let mut checked = 0;
+        for case in &ds.cases {
+            let devs: Vec<f64> = (0..case.frame.num_rows())
+                .filter(|&i| case.frame.label(i) == Some(true))
+                .map(|i| deviation(case.frame.v(i), case.frame.f(i)))
+                .collect();
+            if devs.len() >= 5 {
+                let min = devs.iter().copied().fold(f64::MAX, f64::min);
+                let max = devs.iter().copied().fold(f64::MIN, f64::max);
+                assert!(
+                    max - min > 0.05,
+                    "case {}: deviations suspiciously uniform",
+                    case.id
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no case had enough anomalous leaves");
+    }
+
+    #[test]
+    fn no_rap_generalizes_another() {
+        let ds = RapmdGenerator::new(small()).generate(15);
+        for case in &ds.cases {
+            for a in &case.truth {
+                for b in &case.truth {
+                    if a != b {
+                        assert!(!a.generalizes(b), "{a} generalizes {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RapmdGenerator::new(small()).generate(16);
+        let b = RapmdGenerator::new(small()).generate(16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detection_threshold_separates_ranges() {
+        // the constant must sit strictly between the default normal and
+        // anomalous deviation bands
+        let config = RapmdConfig::default();
+        assert!(RAPMD_DETECTION_THRESHOLD > config.dev_normal.1);
+        assert!(RAPMD_DETECTION_THRESHOLD < config.dev_anomalous.0);
+    }
+
+    #[test]
+    fn label_noise_perturbs_labels() {
+        let noisy = RapmdGenerator::new(RapmdConfig {
+            label_noise: 0.2,
+            ..small()
+        })
+        .generate(55);
+        let mut flipped = 0usize;
+        let mut total = 0usize;
+        for case in &noisy.cases {
+            for i in 0..case.frame.num_rows() {
+                let covered = case
+                    .truth
+                    .iter()
+                    .any(|t| t.matches_leaf(case.frame.row_elements(i)));
+                total += 1;
+                if case.frame.label(i) != Some(covered) {
+                    flipped += 1;
+                }
+            }
+        }
+        let rate = flipped as f64 / total as f64;
+        assert!((0.15..0.25).contains(&rate), "flip rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label_noise")]
+    fn bad_label_noise_rejected() {
+        RapmdGenerator::new(RapmdConfig {
+            label_noise: 1.5,
+            ..RapmdConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_ranges_rejected() {
+        RapmdGenerator::new(RapmdConfig {
+            dev_normal: (-0.02, 0.2),
+            ..RapmdConfig::default()
+        });
+    }
+}

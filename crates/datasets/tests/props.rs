@@ -1,0 +1,110 @@
+//! Property tests over the dataset generators: the construction invariants
+//! of §V-A must hold for every seed and configuration.
+
+use datasets::{RapmdConfig, RapmdGenerator, SqueezeGenConfig, SqueezeGenerator};
+use proptest::prelude::*;
+use timeseries::deviation;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Squeeze generation: group tags match RAP structure, labels match
+    /// truth coverage, and the per-case magnitude is unique (vertical
+    /// assumption) for every seed.
+    #[test]
+    fn squeeze_invariants(seed in 0u64..1000, sizes in prop::collection::vec(4usize..=6, 3..=4)) {
+        let ds = SqueezeGenerator::new(SqueezeGenConfig {
+            attribute_sizes: sizes,
+            cases_per_group: 1,
+            ..SqueezeGenConfig::default()
+        })
+        .generate(seed);
+        prop_assert_eq!(ds.cases.len(), 9);
+        for case in &ds.cases {
+            // group tag agrees with the truth set
+            let inner = case.group.trim_start_matches('(').trim_end_matches(')');
+            let (d, r) = inner.split_once(',').expect("tag shape");
+            let (d, r): (usize, usize) = (d.parse().unwrap(), r.parse().unwrap());
+            prop_assert_eq!(case.truth.len(), r);
+            prop_assert!(case.truth.iter().all(|t| t.layer() == d));
+            // single cuboid per case
+            let cuboid = case.truth[0].cuboid();
+            prop_assert!(case.truth.iter().all(|t| t.cuboid() == cuboid));
+            // labels == coverage and vertical assumption
+            let mut devs = Vec::new();
+            for i in 0..case.frame.num_rows() {
+                let covered = case
+                    .truth
+                    .iter()
+                    .any(|t| t.matches_leaf(case.frame.row_elements(i)));
+                prop_assert_eq!(case.frame.label(i), Some(covered));
+                if covered {
+                    devs.push((case.frame.f(i) - case.frame.v(i)) / case.frame.f(i));
+                }
+            }
+            prop_assert!(!devs.is_empty());
+            let first = devs[0];
+            prop_assert!(devs.iter().all(|d| (d - first).abs() < 1e-9));
+            prop_assert!((0.2 - 1e-9..=0.8 + 1e-9).contains(&first));
+        }
+    }
+
+    /// RAPMD generation: Randomness 1 & 2 hold for every seed — RAP count
+    /// in 1..=3, no mutual generalization, per-leaf deviations inside the
+    /// configured bands, magnitudes varying within a failure.
+    #[test]
+    fn rapmd_invariants(seed in 0u64..1000) {
+        let ds = RapmdGenerator::new(RapmdConfig {
+            num_failures: 4,
+            paper_topology: false,
+            ..RapmdConfig::default()
+        })
+        .generate(seed);
+        for case in &ds.cases {
+            prop_assert!((1..=3).contains(&case.truth.len()));
+            for a in &case.truth {
+                for b in &case.truth {
+                    if a != b {
+                        prop_assert!(!a.generalizes(b));
+                    }
+                }
+            }
+            for i in 0..case.frame.num_rows() {
+                let dev = deviation(case.frame.v(i), case.frame.f(i));
+                match case.frame.label(i).expect("labelled") {
+                    true => prop_assert!((0.1 - 1e-9..=0.9 + 1e-9).contains(&dev)),
+                    false => prop_assert!((-0.02 - 1e-9..=0.09 + 1e-9).contains(&dev)),
+                }
+            }
+        }
+    }
+
+    /// Disk roundtrip preserves every case for arbitrary seeds.
+    #[test]
+    fn save_load_roundtrip(seed in 0u64..100) {
+        let ds = SqueezeGenerator::new(SqueezeGenConfig {
+            attribute_sizes: vec![4, 4, 4],
+            cases_per_group: 1,
+            ..SqueezeGenConfig::default()
+        })
+        .generate(seed);
+        let dir = std::env::temp_dir().join(format!(
+            "rapminer_props_{}_{}",
+            std::process::id(),
+            seed
+        ));
+        datasets::save_dataset(&ds, &dir).expect("save");
+        let loaded = datasets::load_dataset(&dir).expect("load");
+        prop_assert_eq!(loaded.cases.len(), ds.cases.len());
+        for (a, b) in ds.cases.iter().zip(&loaded.cases) {
+            prop_assert_eq!(&a.id, &b.id);
+            prop_assert_eq!(a.frame.num_rows(), b.frame.num_rows());
+            prop_assert_eq!(a.frame.num_anomalous(), b.frame.num_anomalous());
+            prop_assert_eq!(
+                mdkpi::format_truth(&a.truth),
+                mdkpi::format_truth(&b.truth)
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

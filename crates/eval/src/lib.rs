@@ -1,0 +1,43 @@
+//! # eval — evaluation harness for anomaly localization
+//!
+//! Implements the paper's evaluation protocol (§V-B):
+//!
+//! * **F1-score** over RAP sets ([`precision_recall`], [`f1_score`]). On
+//!   the Squeeze dataset the number of returned results is fixed to the
+//!   true RAP count of each case, exactly as the paper does;
+//! * **RC@k** (Eq. 7, [`rc_at_k`]): the fraction of ground-truth RAPs
+//!   recovered within the top-`k` recommendations, summed over a whole
+//!   dataset;
+//! * a timed runner that feeds every case of a dataset to a
+//!   [`baselines::Localizer`], in parallel across worker threads, and
+//!   aggregates effectiveness plus mean wall-clock localization time
+//!   (§V-F measures efficiency as "average running time in identifying the
+//!   RAPs");
+//! * plain-text/markdown report tables for the experiment binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use datasets::{SqueezeGenerator, SqueezeGenConfig};
+//! use baselines::RapMinerLocalizer;
+//! use eval::evaluate_f1;
+//!
+//! let ds = SqueezeGenerator::new(SqueezeGenConfig {
+//!     attribute_sizes: vec![4, 4, 4],
+//!     cases_per_group: 1,
+//!     ..SqueezeGenConfig::default()
+//! }).generate(5);
+//! let outcome = evaluate_f1(&RapMinerLocalizer::default(), &ds.cases);
+//! assert!(outcome.f1 > 0.9); // clean B0 data is easy for rapminer
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matching;
+mod report;
+mod runner;
+
+pub use matching::{f1_score, precision_recall, rc_at_k, rc_by_truth_layer};
+pub use report::Table;
+pub use runner::{evaluate_f1, evaluate_rc, CaseOutcome, F1Outcome, RcOutcome};

@@ -1,0 +1,246 @@
+use mdkpi::Combination;
+
+/// Micro-averaged precision and recall of predicted RAP sets against ground
+/// truth, summed over cases: `(Σ TP / Σ |pred|, Σ TP / Σ |truth|)`.
+///
+/// A prediction is a true positive iff it *exactly equals* a ground-truth
+/// combination (the protocol used by HotSpot/Squeeze/RAPMiner — no partial
+/// credit for ancestors or descendants).
+///
+/// Returns `(0, 0)` when both sides are empty.
+pub fn precision_recall(
+    cases: &[(Vec<Combination>, Vec<Combination>)],
+) -> (f64, f64) {
+    let mut tp = 0usize;
+    let mut pred_total = 0usize;
+    let mut truth_total = 0usize;
+    for (pred, truth) in cases {
+        pred_total += pred.len();
+        truth_total += truth.len();
+        tp += pred.iter().filter(|p| truth.contains(p)).count();
+    }
+    let precision = if pred_total == 0 {
+        0.0
+    } else {
+        tp as f64 / pred_total as f64
+    };
+    let recall = if truth_total == 0 {
+        0.0
+    } else {
+        tp as f64 / truth_total as f64
+    };
+    (precision, recall)
+}
+
+/// The paper's Eq. 6 F1-score from micro-averaged precision and recall.
+///
+/// ```
+/// use eval::f1_score;
+/// assert_eq!(f1_score(1.0, 1.0), 1.0);
+/// assert_eq!(f1_score(0.0, 0.0), 0.0);
+/// assert!((f1_score(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn f1_score(precision: f64, recall: f64) -> f64 {
+    if precision + recall <= 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// The paper's Eq. 7 **RC@k**: over all anomalies `t`, the fraction of
+/// ground-truth RAPs appearing among the top-`k` recommendations,
+///
+/// ```text
+/// RC@k = Σ_t Σ_{i<=k} [Pred_t^i ∈ Real_t]  /  Σ_t |Real_t|
+/// ```
+///
+/// `cases` holds `(ranked predictions, truth)` per anomaly; only the first
+/// `k` predictions of each case count.
+pub fn rc_at_k(cases: &[(Vec<Combination>, Vec<Combination>)], k: usize) -> f64 {
+    let mut hits = 0usize;
+    let mut truth_total = 0usize;
+    for (pred, truth) in cases {
+        truth_total += truth.len();
+        hits += pred
+            .iter()
+            .take(k)
+            .filter(|p| truth.contains(p))
+            .count();
+    }
+    if truth_total == 0 {
+        0.0
+    } else {
+        hits as f64 / truth_total as f64
+    }
+}
+
+/// Recall@k broken down by the *layer* (dimensionality) of the
+/// ground-truth RAP: for each layer present in the truth sets, the fraction
+/// of that layer's RAPs recovered within the top-`k` predictions, plus the
+/// layer's truth count.
+///
+/// This quantifies per-method blind spots the paper narrates — Adtributor
+/// recovering only 1-dimensional causes, RAPMiner's cost/recall varying
+/// with RAP depth — and backs the §V-F remark that RAPMD contains "many
+/// 3-dimensional RAPs".
+pub fn rc_by_truth_layer(
+    cases: &[(Vec<Combination>, Vec<Combination>)],
+    k: usize,
+) -> Vec<(usize, f64, usize)> {
+    use std::collections::BTreeMap;
+    let mut hits: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut totals: BTreeMap<usize, usize> = BTreeMap::new();
+    for (pred, truth) in cases {
+        for t in truth {
+            let layer = t.layer();
+            *totals.entry(layer).or_insert(0) += 1;
+            if pred.iter().take(k).any(|p| p == t) {
+                *hits.entry(layer).or_insert(0) += 1;
+            }
+        }
+    }
+    totals
+        .into_iter()
+        .map(|(layer, total)| {
+            let h = hits.get(&layer).copied().unwrap_or(0);
+            (layer, h as f64 / total as f64, total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap()
+    }
+
+    fn c(s: &Schema, spec: &str) -> Combination {
+        s.parse_combination(spec).unwrap()
+    }
+
+    #[test]
+    fn exact_match_protocol() {
+        let s = schema();
+        let cases = vec![(
+            vec![c(&s, "a=a1"), c(&s, "a=a2&b=b1")],
+            vec![c(&s, "a=a1"), c(&s, "a=a3")],
+        )];
+        let (p, r) = precision_recall(&cases);
+        assert_eq!(p, 0.5);
+        assert_eq!(r, 0.5);
+        assert_eq!(f1_score(p, r), 0.5);
+    }
+
+    #[test]
+    fn ancestors_get_no_partial_credit() {
+        let s = schema();
+        // predicting the parent of the truth is a miss
+        let cases = vec![(vec![c(&s, "a=a1")], vec![c(&s, "a=a1&b=b1")])];
+        let (p, r) = precision_recall(&cases);
+        assert_eq!((p, r), (0.0, 0.0));
+    }
+
+    #[test]
+    fn micro_average_pools_cases() {
+        let s = schema();
+        let cases = vec![
+            (vec![c(&s, "a=a1")], vec![c(&s, "a=a1")]),
+            (vec![c(&s, "a=a2")], vec![c(&s, "a=a3")]),
+        ];
+        let (p, r) = precision_recall(&cases);
+        assert_eq!(p, 0.5);
+        assert_eq!(r, 0.5);
+    }
+
+    #[test]
+    fn rc_at_k_counts_only_top_k() {
+        let s = schema();
+        let cases = vec![(
+            vec![c(&s, "a=a2"), c(&s, "a=a1"), c(&s, "a=a3")],
+            vec![c(&s, "a=a1"), c(&s, "a=a3")],
+        )];
+        assert_eq!(rc_at_k(&cases, 1), 0.0); // top-1 = a2 (miss)
+        assert_eq!(rc_at_k(&cases, 2), 0.5); // a1 found
+        assert_eq!(rc_at_k(&cases, 3), 1.0); // both found
+        assert_eq!(rc_at_k(&cases, 99), 1.0);
+    }
+
+    #[test]
+    fn rc_pools_over_anomalies() {
+        let s = schema();
+        let cases = vec![
+            (vec![c(&s, "a=a1")], vec![c(&s, "a=a1")]),
+            (vec![c(&s, "a=a2")], vec![c(&s, "a=a1"), c(&s, "a=a3")]),
+        ];
+        // 1 hit of 3 total truths
+        assert!((rc_at_k(&cases, 3) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(precision_recall(&[]), (0.0, 0.0));
+        assert_eq!(rc_at_k(&[], 3), 0.0);
+        let s = schema();
+        let cases = vec![(Vec::new(), vec![c(&s, "a=a1")])];
+        let (p, r) = precision_recall(&cases);
+        assert_eq!((p, r), (0.0, 0.0));
+    }
+
+    #[test]
+    fn layer_breakdown_partitions_truths() {
+        let s = schema();
+        // layer-1 truth recovered, layer-2 truth missed
+        let cases = vec![(
+            vec![c(&s, "a=a1")],
+            vec![c(&s, "a=a1"), c(&s, "a=a2&b=b1")],
+        )];
+        let breakdown = rc_by_truth_layer(&cases, 3);
+        assert_eq!(breakdown, vec![(1, 1.0, 1), (2, 0.0, 1)]);
+        // the counts sum to the total number of truths
+        let total: usize = breakdown.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, 2);
+        assert!(rc_by_truth_layer(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn layer_breakdown_aggregates_to_overall_rc() {
+        // the truth-count-weighted mean of per-layer recalls equals RC@k
+        let s = schema();
+        let cases = vec![
+            (
+                vec![c(&s, "a=a1"), c(&s, "a=a2&b=b1")],
+                vec![c(&s, "a=a1"), c(&s, "a=a3"), c(&s, "a=a2&b=b1")],
+            ),
+            (vec![c(&s, "b=b2")], vec![c(&s, "b=b2")]),
+        ];
+        for k in 1..=3 {
+            let overall = rc_at_k(&cases, k);
+            let breakdown = rc_by_truth_layer(&cases, k);
+            let weighted: f64 = breakdown.iter().map(|(_, rc, n)| rc * *n as f64).sum();
+            let total: usize = breakdown.iter().map(|(_, _, n)| n).sum();
+            assert!(
+                (overall - weighted / total as f64).abs() < 1e-12,
+                "k={k}: breakdown disagrees with overall"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_breakdown_respects_k() {
+        let s = schema();
+        let cases = vec![(
+            vec![c(&s, "a=a2"), c(&s, "a=a1")], // truth at rank 2
+            vec![c(&s, "a=a1")],
+        )];
+        assert_eq!(rc_by_truth_layer(&cases, 1)[0].1, 0.0);
+        assert_eq!(rc_by_truth_layer(&cases, 2)[0].1, 1.0);
+    }
+}

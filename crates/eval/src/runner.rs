@@ -1,0 +1,223 @@
+use std::time::Instant;
+
+use baselines::Localizer;
+use datasets::LocalizationCase;
+use mdkpi::Combination;
+
+use crate::matching::{f1_score, precision_recall, rc_at_k};
+
+/// Per-case localization record: the ranked predictions and the wall-clock
+/// seconds spent producing them.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The case id.
+    pub case_id: String,
+    /// Ranked predictions (best first).
+    pub predictions: Vec<Combination>,
+    /// Wall-clock localization time in seconds.
+    pub seconds: f64,
+}
+
+/// Aggregated F1 evaluation (the Squeeze-dataset protocol).
+#[derive(Debug, Clone)]
+pub struct F1Outcome {
+    /// Micro-averaged precision.
+    pub precision: f64,
+    /// Micro-averaged recall.
+    pub recall: f64,
+    /// The paper's Eq. 6 F1-score.
+    pub f1: f64,
+    /// Mean per-case localization seconds.
+    pub mean_seconds: f64,
+    /// Per-case records, in case order.
+    pub cases: Vec<CaseOutcome>,
+}
+
+/// Aggregated RC@k evaluation (the RAPMD protocol).
+#[derive(Debug, Clone)]
+pub struct RcOutcome {
+    /// `RC@k` for each requested `k`, in the same order.
+    pub rc: Vec<(usize, f64)>,
+    /// Mean per-case localization seconds.
+    pub mean_seconds: f64,
+    /// Per-case records, in case order.
+    pub cases: Vec<CaseOutcome>,
+}
+
+/// Run one localizer over the cases with the F1 protocol: each case asks
+/// for exactly `|truth|` results (the paper: "we keep the number of
+/// returned results of the algorithm the same as the actual number of
+/// RAPs").
+///
+/// Localization failures (e.g. a method that needs labels on an unlabelled
+/// frame) count as empty predictions rather than aborting the sweep — a
+/// method that cannot answer scores zero, as in the paper's comparisons.
+pub fn evaluate_f1<L: Localizer + ?Sized>(localizer: &L, cases: &[LocalizationCase]) -> F1Outcome {
+    let outcomes = run_cases(localizer, cases, |case| case.truth.len());
+    let pairs: Vec<(Vec<Combination>, Vec<Combination>)> = outcomes
+        .iter()
+        .zip(cases)
+        .map(|(o, c)| (o.predictions.clone(), c.truth.clone()))
+        .collect();
+    let (precision, recall) = precision_recall(&pairs);
+    F1Outcome {
+        precision,
+        recall,
+        f1: f1_score(precision, recall),
+        mean_seconds: mean_seconds(&outcomes),
+        cases: outcomes,
+    }
+}
+
+/// Run one localizer over the cases with the RC@k protocol: each case asks
+/// for `max(ks)` results; `RC@k` is reported for every requested `k`.
+pub fn evaluate_rc<L: Localizer + ?Sized>(
+    localizer: &L,
+    cases: &[LocalizationCase],
+    ks: &[usize],
+) -> RcOutcome {
+    let k_max = ks.iter().copied().max().unwrap_or(0);
+    let outcomes = run_cases(localizer, cases, |_| k_max);
+    let pairs: Vec<(Vec<Combination>, Vec<Combination>)> = outcomes
+        .iter()
+        .zip(cases)
+        .map(|(o, c)| (o.predictions.clone(), c.truth.clone()))
+        .collect();
+    RcOutcome {
+        rc: ks.iter().map(|&k| (k, rc_at_k(&pairs, k))).collect(),
+        mean_seconds: mean_seconds(&outcomes),
+        cases: outcomes,
+    }
+}
+
+fn mean_seconds(outcomes: &[CaseOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        0.0
+    } else {
+        outcomes.iter().map(|o| o.seconds).sum::<f64>() / outcomes.len() as f64
+    }
+}
+
+/// Run every case through the localizer, in parallel chunks across worker
+/// threads, preserving case order.
+fn run_cases<L: Localizer + ?Sized>(
+    localizer: &L,
+    cases: &[LocalizationCase],
+    k_for: impl Fn(&LocalizationCase) -> usize + Sync,
+) -> Vec<CaseOutcome> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cases.len().max(1));
+    let run_one = |case: &LocalizationCase| -> CaseOutcome {
+        let k = k_for(case);
+        let start = Instant::now();
+        let predictions = localizer
+            .localize(&case.frame, k)
+            .map(|scored| scored.into_iter().map(|s| s.combination).collect())
+            .unwrap_or_default();
+        CaseOutcome {
+            case_id: case.id.clone(),
+            predictions,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    };
+    if workers <= 1 || cases.len() <= 1 {
+        return cases.iter().map(run_one).collect();
+    }
+    let chunk_size = cases.len().div_ceil(workers);
+    let chunks: Vec<&[LocalizationCase]> = cases.chunks(chunk_size).collect();
+    let mut results: Vec<Vec<CaseOutcome>> = Vec::with_capacity(chunks.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| scope.spawn(|_| chunk.iter().map(run_one).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::RapMinerLocalizer;
+    use datasets::{SqueezeGenConfig, SqueezeGenerator};
+
+    fn tiny_dataset() -> datasets::Dataset {
+        SqueezeGenerator::new(SqueezeGenConfig {
+            attribute_sizes: vec![4, 4, 4],
+            cases_per_group: 1,
+            ..SqueezeGenConfig::default()
+        })
+        .generate(33)
+    }
+
+    #[test]
+    fn f1_protocol_requests_truth_count() {
+        let ds = tiny_dataset();
+        let outcome = evaluate_f1(&RapMinerLocalizer::default(), &ds.cases);
+        assert_eq!(outcome.cases.len(), ds.cases.len());
+        for (o, c) in outcome.cases.iter().zip(&ds.cases) {
+            assert!(o.predictions.len() <= c.truth.len());
+            assert!(o.seconds >= 0.0);
+        }
+        assert!(outcome.f1 > 0.8, "clean B0 should be easy, got {}", outcome.f1);
+        assert!(outcome.mean_seconds > 0.0);
+    }
+
+    #[test]
+    fn rc_protocol_reports_each_k() {
+        let ds = tiny_dataset();
+        let outcome = evaluate_rc(&RapMinerLocalizer::default(), &ds.cases, &[3, 4, 5]);
+        assert_eq!(outcome.rc.len(), 3);
+        assert_eq!(outcome.rc[0].0, 3);
+        // RC@k is monotone in k
+        assert!(outcome.rc[0].1 <= outcome.rc[1].1 + 1e-12);
+        assert!(outcome.rc[1].1 <= outcome.rc[2].1 + 1e-12);
+        for (_, rc) in &outcome.rc {
+            assert!((0.0..=1.0).contains(rc));
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // order preservation: case ids must line up with input order
+        let ds = tiny_dataset();
+        let outcome = evaluate_f1(&RapMinerLocalizer::default(), &ds.cases);
+        let ids: Vec<&str> = outcome.cases.iter().map(|c| c.case_id.as_str()).collect();
+        let expected: Vec<&str> = ds.cases.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn failing_localizer_scores_zero_instead_of_aborting() {
+        struct Broken;
+        impl Localizer for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn localize(
+                &self,
+                _: &mdkpi::LeafFrame,
+                _: usize,
+            ) -> baselines::Result<Vec<baselines::ScoredCombination>> {
+                Err(baselines::Error::UnlabelledFrame { method: "broken" })
+            }
+        }
+        let ds = tiny_dataset();
+        let outcome = evaluate_f1(&Broken, &ds.cases);
+        assert_eq!(outcome.f1, 0.0);
+        assert!(outcome.cases.iter().all(|c| c.predictions.is_empty()));
+    }
+
+    #[test]
+    fn empty_case_list_is_fine() {
+        let outcome = evaluate_f1(&RapMinerLocalizer::default(), &[]);
+        assert_eq!(outcome.f1, 0.0);
+        assert_eq!(outcome.mean_seconds, 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+use std::collections::HashMap;
+
+use crate::attr::ElementId;
+use crate::combo::Combination;
+use crate::cuboid::Cuboid;
+use crate::frame::LeafFrame;
+
+/// Aggregate the fundamental KPI of a frame up to one cuboid: group rows by
+/// the cuboid's attributes and sum `v` and `f` (the paper's Fig. 4).
+///
+/// Only combinations with at least one covering row are returned, in
+/// deterministic (sorted) order.
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::{Schema, LeafFrame, Cuboid, AttrId, aggregate};
+///
+/// # fn main() -> Result<(), mdkpi::Error> {
+/// let schema = Schema::builder()
+///     .attribute("a", ["a1", "a2"])
+///     .attribute("b", ["b1", "b2"])
+///     .build()?;
+/// let mut b = LeafFrame::builder(&schema);
+/// b.push_named(&[("a", "a1"), ("b", "b1")], 1.0, 2.0)?;
+/// b.push_named(&[("a", "a1"), ("b", "b2")], 3.0, 4.0)?;
+/// let frame = b.build();
+/// let rows = aggregate(&frame, Cuboid::from_attrs([AttrId(0)]));
+/// assert_eq!(rows.len(), 1);
+/// assert_eq!(rows[0].1, 4.0); // v summed over (a1, *)
+/// # Ok(())
+/// # }
+/// ```
+pub fn aggregate(frame: &LeafFrame, cuboid: Cuboid) -> Vec<(Combination, f64, f64)> {
+    let attrs: Vec<usize> = cuboid.attrs().map(|a| a.index()).collect();
+    let mut groups: HashMap<Vec<ElementId>, (f64, f64)> = HashMap::new();
+    for i in 0..frame.num_rows() {
+        let row = frame.row_elements(i);
+        let key: Vec<ElementId> = attrs.iter().map(|&a| row[a]).collect();
+        let entry = groups.entry(key).or_insert((0.0, 0.0));
+        entry.0 += frame.v(i);
+        entry.1 += frame.f(i);
+    }
+    let mut out: Vec<(Combination, f64, f64)> = groups
+        .into_iter()
+        .map(|(key, (v, f))| {
+            let combo = Combination::from_pairs(
+                frame.schema(),
+                cuboid.attrs().zip(key.iter().copied()),
+            );
+            (combo, v, f)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Aggregate anomaly labels up to one cuboid: for each combination with at
+/// least one covering row, return `(combination, support, anomalous_support)`
+/// — the inputs of the paper's Criteria 2.
+///
+/// Unlabelled frames report `anomalous_support = 0` for every combination.
+pub fn aggregate_labels(frame: &LeafFrame, cuboid: Cuboid) -> Vec<(Combination, usize, usize)> {
+    let attrs: Vec<usize> = cuboid.attrs().map(|a| a.index()).collect();
+    let mut groups: HashMap<Vec<ElementId>, (usize, usize)> = HashMap::new();
+    for i in 0..frame.num_rows() {
+        let row = frame.row_elements(i);
+        let key: Vec<ElementId> = attrs.iter().map(|&a| row[a]).collect();
+        let entry = groups.entry(key).or_insert((0, 0));
+        entry.0 += 1;
+        if frame.label(i) == Some(true) {
+            entry.1 += 1;
+        }
+    }
+    let mut out: Vec<(Combination, usize, usize)> = groups
+        .into_iter()
+        .map(|(key, (s, a))| {
+            let combo = Combination::from_pairs(
+                frame.schema(),
+                cuboid.attrs().zip(key.iter().copied()),
+            );
+            (combo, s, a)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// A derived KPI: a transformation `g(K₁ᶠ, …, Kₘᶠ)` of fundamental KPIs
+/// (paper §III-A). Implementations must be pure functions of their inputs so
+/// that deriving after aggregation is well-defined.
+pub trait DerivedKpi {
+    /// Human-readable name (e.g. `"cache_hit_ratio"`).
+    fn name(&self) -> &str;
+
+    /// Apply the transformation to aggregated fundamental values.
+    ///
+    /// `fundamentals` holds one value per fundamental KPI, in the order the
+    /// implementation documents.
+    fn derive(&self, fundamentals: &[f64]) -> f64;
+}
+
+/// The most common derived KPI: a guarded ratio `num / den` of two
+/// fundamentals (success rate, cache-hit ratio, average delay, …).
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::{DerivedKpi, RatioKpi};
+///
+/// let hit_ratio = RatioKpi::new("cache_hit_ratio");
+/// assert_eq!(hit_ratio.derive(&[30.0, 100.0]), 0.3);
+/// assert_eq!(hit_ratio.derive(&[30.0, 0.0]), 0.0); // guarded
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatioKpi {
+    name: String,
+}
+
+impl RatioKpi {
+    /// Create a named ratio KPI over `[numerator, denominator]`.
+    pub fn new(name: impl Into<String>) -> Self {
+        RatioKpi { name: name.into() }
+    }
+}
+
+impl DerivedKpi for RatioKpi {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// # Panics
+    ///
+    /// Panics if fewer than two fundamentals are supplied.
+    fn derive(&self, fundamentals: &[f64]) -> f64 {
+        assert!(
+            fundamentals.len() >= 2,
+            "ratio kpi needs numerator and denominator"
+        );
+        let (num, den) = (fundamentals[0], fundamentals[1]);
+        if den.abs() < f64::EPSILON {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrId, Schema};
+
+    fn frame() -> LeafFrame {
+        let s = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap();
+        let mut b = LeafFrame::builder(&s);
+        b.push_labelled(&[ElementId(0), ElementId(0)], 1.0, 10.0, true);
+        b.push_labelled(&[ElementId(0), ElementId(1)], 2.0, 20.0, true);
+        b.push_labelled(&[ElementId(1), ElementId(0)], 4.0, 40.0, false);
+        b.push_labelled(&[ElementId(1), ElementId(1)], 8.0, 80.0, false);
+        b.build()
+    }
+
+    #[test]
+    fn aggregation_conserves_totals() {
+        let f = frame();
+        for mask in 1u32..4 {
+            let rows = aggregate(&f, Cuboid::from_mask(mask));
+            let v: f64 = rows.iter().map(|r| r.1).sum();
+            let fc: f64 = rows.iter().map(|r| r.2).sum();
+            assert!((v - f.total_v()).abs() < 1e-12, "v not conserved for mask {mask}");
+            assert!((fc - f.total_f()).abs() < 1e-12, "f not conserved for mask {mask}");
+        }
+    }
+
+    #[test]
+    fn aggregate_groups_correctly() {
+        let f = frame();
+        let rows = aggregate(&f, Cuboid::from_attrs([AttrId(0)]));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0.to_string(), "(a1, *)");
+        assert_eq!(rows[0].1, 3.0);
+        assert_eq!(rows[1].1, 12.0);
+    }
+
+    #[test]
+    fn aggregate_labels_counts_support() {
+        let f = frame();
+        let rows = aggregate_labels(&f, Cuboid::from_attrs([AttrId(1)]));
+        assert_eq!(rows.len(), 2);
+        // (*, b1) covers rows 0 and 2; one anomalous
+        assert_eq!(rows[0], (f.schema().parse_combination("b=b1").unwrap(), 2, 1));
+    }
+
+    #[test]
+    fn aggregate_full_cuboid_is_identity() {
+        let f = frame();
+        let rows = aggregate(&f, Cuboid::from_attrs([AttrId(0), AttrId(1)]));
+        assert_eq!(rows.len(), f.num_rows());
+        assert!(rows.iter().all(|(c, _, _)| c.is_leaf()));
+    }
+
+    #[test]
+    fn ratio_kpi_guards_zero_denominator() {
+        let k = RatioKpi::new("r");
+        assert_eq!(k.name(), "r");
+        assert_eq!(k.derive(&[1.0, 4.0]), 0.25);
+        assert_eq!(k.derive(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "numerator and denominator")]
+    fn ratio_kpi_rejects_short_input() {
+        RatioKpi::new("r").derive(&[1.0]);
+    }
+}

@@ -1,0 +1,497 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::combo::Combination;
+use crate::{Error, Result};
+
+/// Maximum number of attributes a [`Schema`] supports (cuboids are `u32`
+/// bitmasks).
+pub(crate) const MAX_ATTRS: usize = 32;
+
+/// Index of an attribute within a [`Schema`].
+///
+/// Attribute ids are dense: a schema with `n` attributes uses ids
+/// `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The id as a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+/// Index of an element (a concrete attribute value) within one attribute.
+///
+/// Element ids are dense per attribute: an attribute with `m` elements uses
+/// ids `0..m`. Ids from different attributes are unrelated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ElementId(pub u32);
+
+impl ElementId {
+    /// The id as a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elem#{}", self.0)
+    }
+}
+
+/// One attribute of a schema: a name plus its interned element values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributeDef {
+    name: String,
+    elements: Vec<String>,
+    #[serde(skip)]
+    lookup: HashMap<String, ElementId>,
+}
+
+impl AttributeDef {
+    fn new(name: String, elements: Vec<String>) -> Result<Self> {
+        let mut lookup = HashMap::with_capacity(elements.len());
+        for (i, e) in elements.iter().enumerate() {
+            if lookup.insert(e.clone(), ElementId(i as u32)).is_some() {
+                return Err(Error::DuplicateElement {
+                    attribute: name,
+                    element: e.clone(),
+                });
+            }
+        }
+        Ok(AttributeDef {
+            name,
+            elements,
+            lookup,
+        })
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of elements in this attribute (the paper's `l(attr)`).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the attribute has zero elements (never true for attributes
+    /// inside a built [`Schema`]).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The name of the element with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds for this attribute.
+    pub fn element_name(&self, id: ElementId) -> &str {
+        &self.elements[id.index()]
+    }
+
+    /// Resolve an element by name.
+    pub fn element(&self, name: &str) -> Option<ElementId> {
+        self.lookup.get(name).copied()
+    }
+
+    /// Iterate over all element ids of this attribute.
+    pub fn element_ids(&self) -> impl Iterator<Item = ElementId> + '_ {
+        (0..self.elements.len() as u32).map(ElementId)
+    }
+}
+
+/// An immutable attribute schema: the ordered list of attributes and their
+/// interned elements.
+///
+/// A schema corresponds to the paper's `AttributeSet(S)` together with the
+/// element sets `Elem(·)`. All combinations, frames and cuboids hold an
+/// `Arc<Schema>` internally (cloning a schema handle is cheap).
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::Schema;
+///
+/// # fn main() -> Result<(), mdkpi::Error> {
+/// let schema = Schema::builder()
+///     .attribute("location", ["L1", "L2", "L3"])
+///     .attribute("website", ["Site1", "Site2"])
+///     .build()?;
+/// assert_eq!(schema.num_attributes(), 2);
+/// assert_eq!(schema.attribute_by_name("location").unwrap().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug)]
+struct SchemaInner {
+    attributes: Vec<AttributeDef>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Serialize for Schema {
+    /// Serializes as an ordered list of `{name, elements}` attributes.
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        use serde::ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(self.inner.attributes.len()))?;
+        for attr in &self.inner.attributes {
+            seq.serialize_element(&(attr.name(), &attr.elements))?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Schema {
+    /// Deserializes from the list form written by `Serialize`, re-running
+    /// the builder's validation (duplicates, limits).
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        let raw: Vec<(String, Vec<String>)> = Vec::deserialize(deserializer)?;
+        let mut builder = Schema::builder();
+        for (name, elements) in raw {
+            builder = builder.attribute(name, elements);
+        }
+        builder.build().map_err(serde::de::Error::custom)
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        // Two handles to the same allocation are trivially equal; otherwise
+        // compare structurally so that schemas deserialized twice compare
+        // equal.
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.attributes.len() == other.inner.attributes.len()
+                && self
+                    .inner
+                    .attributes
+                    .iter()
+                    .zip(&other.inner.attributes)
+                    .all(|(a, b)| a.name == b.name && a.elements == b.elements))
+    }
+}
+
+impl Eq for Schema {}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::new()
+    }
+
+    /// Number of attributes `n`.
+    pub fn num_attributes(&self) -> usize {
+        self.inner.attributes.len()
+    }
+
+    /// The attribute with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn attribute(&self, id: AttrId) -> &AttributeDef {
+        &self.inner.attributes[id.index()]
+    }
+
+    /// Resolve an attribute by name.
+    pub fn attribute_by_name(&self, name: &str) -> Option<&AttributeDef> {
+        self.attr_id(name).map(|id| self.attribute(id))
+    }
+
+    /// Resolve an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.inner.by_name.get(name).copied()
+    }
+
+    /// Iterate over all attribute ids in order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + 'static {
+        let n = self.num_attributes() as u16;
+        (0..n).map(AttrId)
+    }
+
+    /// Iterate over `(id, def)` pairs.
+    pub fn attributes(&self) -> impl Iterator<Item = (AttrId, &AttributeDef)> {
+        self.inner
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (AttrId(i as u16), d))
+    }
+
+    /// Total number of most-fine-grained attribute combinations
+    /// (`l(A)·l(B)·…`), i.e. the size of the full cuboid `Cub_{A,B,…}`.
+    ///
+    /// Saturates at `u64::MAX` for pathological schemas.
+    pub fn num_leaves(&self) -> u64 {
+        self.inner
+            .attributes
+            .iter()
+            .fold(1u64, |acc, a| acc.saturating_mul(a.len() as u64))
+    }
+
+    /// Resolve one `(attribute, element)` pair by names.
+    pub fn resolve(&self, attribute: &str, element: &str) -> Result<(AttrId, ElementId)> {
+        let attr = self.attr_id(attribute).ok_or_else(|| Error::UnknownAttribute {
+            name: attribute.to_string(),
+        })?;
+        let elem = self
+            .attribute(attr)
+            .element(element)
+            .ok_or_else(|| Error::UnknownElement {
+                attribute: attribute.to_string(),
+                element: element.to_string(),
+            })?;
+        Ok((attr, elem))
+    }
+
+    /// Parse a combination from the textual `attr=elem&attr=elem` form.
+    ///
+    /// Attributes not mentioned are wildcards. The empty string parses to the
+    /// root combination `(*, *, …)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a pair is malformed, an attribute or element is
+    /// unknown, or an attribute appears twice.
+    ///
+    /// ```
+    /// use mdkpi::Schema;
+    /// # fn main() -> Result<(), mdkpi::Error> {
+    /// let schema = Schema::builder()
+    ///     .attribute("location", ["L1", "L2"])
+    ///     .attribute("os", ["android", "ios"])
+    ///     .build()?;
+    /// let c = schema.parse_combination("os=ios")?;
+    /// assert_eq!(c.to_string(), "(*, ios)");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse_combination(&self, text: &str) -> Result<Combination> {
+        Combination::parse(self, text)
+    }
+
+    pub(crate) fn same_as(&self, other: &Schema) -> bool {
+        self == other
+    }
+}
+
+/// Incremental builder for [`Schema`].
+///
+/// ```
+/// use mdkpi::Schema;
+/// # fn main() -> Result<(), mdkpi::Error> {
+/// let schema = Schema::builder()
+///     .attribute("a", ["a1", "a2"])
+///     .attribute("b", ["b1"])
+///     .build()?;
+/// assert_eq!(schema.num_leaves(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<(String, Vec<String>)>,
+}
+
+impl SchemaBuilder {
+    /// Create an empty builder (same as [`Schema::builder`]).
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// Add one attribute with its element values, in order.
+    pub fn attribute<N, I, E>(mut self, name: N, elements: I) -> Self
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = E>,
+        E: Into<String>,
+    {
+        self.attributes.push((
+            name.into(),
+            elements.into_iter().map(Into::into).collect(),
+        ));
+        self
+    }
+
+    /// Finish building the schema.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate attribute names, duplicate elements within one
+    /// attribute, an empty schema / empty attribute, or more than 32
+    /// attributes.
+    pub fn build(self) -> Result<Schema> {
+        if self.attributes.is_empty() || self.attributes.iter().any(|(_, e)| e.is_empty()) {
+            return Err(Error::EmptySchema);
+        }
+        if self.attributes.len() > MAX_ATTRS {
+            return Err(Error::TooManyAttributes {
+                requested: self.attributes.len(),
+            });
+        }
+        let mut by_name = HashMap::with_capacity(self.attributes.len());
+        let mut attributes = Vec::with_capacity(self.attributes.len());
+        for (i, (name, elements)) in self.attributes.into_iter().enumerate() {
+            if by_name.insert(name.clone(), AttrId(i as u16)).is_some() {
+                return Err(Error::DuplicateAttribute { name });
+            }
+            attributes.push(AttributeDef::new(name, elements)?);
+        }
+        Ok(Schema {
+            inner: Arc::new(SchemaInner {
+                attributes,
+                by_name,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .attribute("c", ["c1", "c2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_resolves() {
+        let s = abc();
+        assert_eq!(s.num_attributes(), 3);
+        assert_eq!(s.num_leaves(), 12);
+        let (attr, elem) = s.resolve("b", "b2").unwrap();
+        assert_eq!(attr, AttrId(1));
+        assert_eq!(elem, ElementId(1));
+        assert_eq!(s.attribute(attr).element_name(elem), "b2");
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let s = abc();
+        assert!(matches!(
+            s.resolve("zzz", "a1"),
+            Err(Error::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            s.resolve("a", "zzz"),
+            Err(Error::UnknownElement { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::builder()
+            .attribute("a", ["a1"])
+            .attribute("a", ["a2"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn duplicate_element_rejected() {
+        let err = Schema::builder()
+            .attribute("a", ["x", "x"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateElement { .. }));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(
+            Schema::builder().build(),
+            Err(Error::EmptySchema)
+        ));
+        assert!(matches!(
+            Schema::builder().attribute("a", Vec::<String>::new()).build(),
+            Err(Error::EmptySchema)
+        ));
+    }
+
+    #[test]
+    fn too_many_attributes_rejected() {
+        let mut b = Schema::builder();
+        for i in 0..33 {
+            b = b.attribute(format!("a{i}"), ["x"]);
+        }
+        assert!(matches!(
+            b.build(),
+            Err(Error::TooManyAttributes { requested: 33 })
+        ));
+    }
+
+    #[test]
+    fn schema_implements_serde_traits() {
+        fn assert_serde<T: Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<Schema>();
+        // the Deserialize path re-runs builder validation, which is covered
+        // by the builder tests above; here we pin the wire shape by
+        // serializing into the csv writer's field model indirectly: the
+        // serialized form is a sequence, so serializing an empty-attribute
+        // schema is impossible by construction (builders reject it).
+    }
+
+    #[test]
+    fn schema_equality_is_structural() {
+        let s1 = abc();
+        let s2 = abc();
+        assert_eq!(s1, s2);
+        let s3 = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn clone_shares_allocation() {
+        let s1 = abc();
+        let s2 = s1.clone();
+        assert!(Arc::ptr_eq(&s1.inner, &s2.inner));
+    }
+
+    #[test]
+    fn num_leaves_saturates() {
+        let mut b = Schema::builder();
+        for i in 0..8 {
+            let elems: Vec<String> = (0..1000).map(|j| format!("e{j}")).collect();
+            b = b.attribute(format!("a{i}"), elems);
+        }
+        let s = b.build().unwrap();
+        // 1000^8 > u64::MAX would overflow; 1000^8 = 10^24 saturates.
+        assert_eq!(s.num_leaves(), u64::MAX);
+    }
+
+    #[test]
+    fn element_ids_iterate_in_order() {
+        let s = abc();
+        let ids: Vec<u32> = s
+            .attribute(AttrId(0))
+            .element_ids()
+            .map(|e| e.0)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,317 @@
+use std::fmt;
+
+/// A fixed-capacity bitset over row indexes.
+///
+/// `Bitset` backs the inverted index ([`crate::LeafIndex`]): each
+/// `(attribute, element)` pair owns one bitset of matching leaf rows, and
+/// evaluating the paper's `support_count(ac)` is a word-wise AND over the
+/// postings of the concrete elements of `ac`.
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::Bitset;
+///
+/// let mut a = Bitset::new(130);
+/// a.insert(0);
+/// a.insert(129);
+/// let mut b = Bitset::new(130);
+/// b.insert(129);
+/// assert_eq!(a.intersection_count(&b), 1);
+/// assert_eq!(a.count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// Create an empty bitset with capacity for `len` bits (all zero).
+    pub fn new(len: usize) -> Self {
+        Bitset {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Create a bitset of `len` bits, all set.
+    pub fn all_set(len: usize) -> Self {
+        let mut s = Bitset {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        s.clear_tail();
+        s
+    }
+
+    /// Number of bits this set can hold.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of bounds for bitset of {} bits", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of bounds for bitset of {} bits", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Test bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of bounds for bitset of {} bits", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `|self ∩ other|` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn intersection_count(&self, other: &Bitset) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place intersection: `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn intersect_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn subtract(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn is_subset_of(&self, other: &Bitset) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over the indexes of set bits in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Bitset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bitset")
+            .field("len", &self.len)
+            .field("ones", &self.iter_ones().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl FromIterator<usize> for Bitset {
+    /// Collect row indexes into a bitset sized to the maximum index + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = Bitset::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Iterator over set bits of a [`Bitset`], produced by
+/// [`Bitset::iter_ones`].
+pub struct IterOnes<'a> {
+    set: &'a Bitset,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = Bitset::new(100);
+        assert!(!s.contains(63));
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert!(s.contains(99));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_bounds_panics() {
+        let mut s = Bitset::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn all_set_clears_tail_bits() {
+        let s = Bitset::all_set(70);
+        assert_eq!(s.count(), 70);
+        let s = Bitset::all_set(64);
+        assert_eq!(s.count(), 64);
+        let s = Bitset::all_set(0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = Bitset::new(200);
+        let mut b = Bitset::new(200);
+        for i in (0..200).step_by(2) {
+            a.insert(i);
+        }
+        for i in (0..200).step_by(3) {
+            b.insert(i);
+        }
+        // multiples of 6 in [0, 200): 34 values
+        assert_eq!(a.intersection_count(&b), 34);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 100 + 67 - 34);
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.count(), 100 - 34);
+        assert!(d.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut s = Bitset::new(300);
+        let idx = [0usize, 1, 63, 64, 128, 255, 299];
+        for &i in &idx {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(got, idx);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: Bitset = [3usize, 7, 7, 0].into_iter().collect();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.count(), 3);
+        let empty: Bitset = std::iter::empty::<usize>().collect();
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_zero());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = Bitset::new(4);
+        assert!(!format!("{s:?}").is_empty());
+    }
+}

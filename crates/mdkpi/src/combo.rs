@@ -1,0 +1,490 @@
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::attr::{AttrId, ElementId, Schema};
+use crate::cuboid::Cuboid;
+use crate::{Error, Result};
+
+/// An attribute combination: one concrete element or a wildcard (`*`) per
+/// attribute.
+///
+/// This is the paper's `ac`. A combination with no wildcards is a *leaf*
+/// (most-fine-grained combination, an element of `Cub_{A,B,C,D}`); the
+/// all-wildcard combination is the *root* covering the whole impacted scope.
+///
+/// Combinations carry their [`Schema`] handle, so they can display themselves
+/// with element names and validate operations. Equality and hashing consider
+/// only the cells; combining values from different schemas is a logic error
+/// caught by debug assertions.
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::{Schema, Combination};
+///
+/// # fn main() -> Result<(), mdkpi::Error> {
+/// let schema = Schema::builder()
+///     .attribute("location", ["L1", "L2"])
+///     .attribute("access", ["wireless", "fixed"])
+///     .attribute("website", ["Site1", "Site2"])
+///     .build()?;
+/// let rap = schema.parse_combination("location=L1&website=Site1")?;
+/// let leaf = schema.parse_combination("location=L1&access=fixed&website=Site1")?;
+/// assert!(rap.is_ancestor_of(&leaf));
+/// assert_eq!(rap.layer(), 2);
+/// assert_eq!(rap.parents().len(), 2);
+/// assert_eq!(rap.to_string(), "(L1, *, Site1)");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Combination {
+    schema: Schema,
+    cells: Box<[Option<ElementId>]>,
+}
+
+impl Combination {
+    /// The all-wildcard combination `(*, *, …)`.
+    pub fn root(schema: &Schema) -> Self {
+        Combination {
+            schema: schema.clone(),
+            cells: vec![None; schema.num_attributes()].into_boxed_slice(),
+        }
+    }
+
+    /// Build from `(attribute, element)` pairs; unmentioned attributes are
+    /// wildcards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attribute id is out of bounds for the schema.
+    pub fn from_pairs<I>(schema: &Schema, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (AttrId, ElementId)>,
+    {
+        let mut c = Combination::root(schema);
+        for (a, e) in pairs {
+            c.cells[a.index()] = Some(e);
+        }
+        c
+    }
+
+    /// Build a leaf from one element per attribute, in schema order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements.len()` differs from the schema's attribute count.
+    pub fn leaf(schema: &Schema, elements: &[ElementId]) -> Self {
+        assert_eq!(
+            elements.len(),
+            schema.num_attributes(),
+            "leaf requires one element per attribute"
+        );
+        Combination {
+            schema: schema.clone(),
+            cells: elements.iter().copied().map(Some).collect(),
+        }
+    }
+
+    /// Parse the `attr=elem&attr=elem` textual form (see
+    /// [`Schema::parse_combination`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParseCombination`] on malformed pairs or duplicate
+    /// attributes, and name-resolution errors for unknown names.
+    pub fn parse(schema: &Schema, text: &str) -> Result<Self> {
+        let mut c = Combination::root(schema);
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return Ok(c);
+        }
+        for pair in trimmed.split('&') {
+            let (attr, elem) = pair.split_once('=').ok_or_else(|| Error::ParseCombination {
+                input: text.to_string(),
+                reason: format!("pair `{pair}` lacks `=`"),
+            })?;
+            let (a, e) = schema.resolve(attr.trim(), elem.trim())?;
+            if c.cells[a.index()].is_some() {
+                return Err(Error::ParseCombination {
+                    input: text.to_string(),
+                    reason: format!("attribute `{}` appears twice", attr.trim()),
+                });
+            }
+            c.cells[a.index()] = Some(e);
+        }
+        Ok(c)
+    }
+
+    /// The schema this combination was built from.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The cell for one attribute: `Some(element)` or `None` for `*`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of bounds.
+    #[inline]
+    pub fn get(&self, attr: AttrId) -> Option<ElementId> {
+        self.cells[attr.index()]
+    }
+
+    /// A copy with one cell replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of bounds.
+    pub fn with_cell(&self, attr: AttrId, value: Option<ElementId>) -> Self {
+        let mut c = self.clone();
+        c.cells[attr.index()] = value;
+        c
+    }
+
+    /// Cells in schema order.
+    pub fn cells(&self) -> &[Option<ElementId>] {
+        &self.cells
+    }
+
+    /// The cuboid this combination belongs to (the set of its concrete
+    /// attributes).
+    pub fn cuboid(&self) -> Cuboid {
+        let mut mask = 0u32;
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.is_some() {
+                mask |= 1 << i;
+            }
+        }
+        Cuboid::from_mask(mask)
+    }
+
+    /// Number of concrete (non-wildcard) attributes: the layer of the cuboid
+    /// lattice this combination lives in (paper's `Layer`, 1-based for
+    /// non-root combinations).
+    pub fn layer(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether every attribute is concrete (an element of the paper's
+    /// `Cub_{A,B,…}` full cuboid).
+    pub fn is_leaf(&self) -> bool {
+        self.cells.iter().all(Option::is_some)
+    }
+
+    /// Whether every attribute is a wildcard.
+    pub fn is_root(&self) -> bool {
+        self.cells.iter().all(Option::is_none)
+    }
+
+    /// Whether `self` is at least as general as `other`: every concrete cell
+    /// of `self` equals the corresponding cell of `other`.
+    ///
+    /// `a.generalizes(b)` is the reflexive closure of "ancestor of".
+    pub fn generalizes(&self, other: &Combination) -> bool {
+        debug_assert!(self.schema.same_as(&other.schema), "schema mismatch");
+        self.cells
+            .iter()
+            .zip(other.cells.iter())
+            .all(|(s, o)| match s {
+                None => true,
+                Some(_) => s == o,
+            })
+    }
+
+    /// Strict ancestor test: more general than `other` and not equal.
+    ///
+    /// This matches the paper's `Parents(ac)`/`Descendants(ac)` relation
+    /// transitively: `(L1, *, *, Site1)` is an ancestor of
+    /// `(L1, wireless, *, Site1)` and of every leaf under it.
+    pub fn is_ancestor_of(&self, other: &Combination) -> bool {
+        self != other && self.generalizes(other)
+    }
+
+    /// Strict descendant test (inverse of [`Combination::is_ancestor_of`]).
+    pub fn is_descendant_of(&self, other: &Combination) -> bool {
+        other.is_ancestor_of(self)
+    }
+
+    /// Whether a leaf row (one element per attribute, schema order) is
+    /// covered by this combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf.len()` differs from the schema's attribute count.
+    #[inline]
+    pub fn matches_leaf(&self, leaf: &[ElementId]) -> bool {
+        assert_eq!(leaf.len(), self.cells.len(), "leaf arity mismatch");
+        self.cells
+            .iter()
+            .zip(leaf)
+            .all(|(c, l)| c.is_none_or(|e| e == *l))
+    }
+
+    /// The direct parents: each concrete cell replaced by a wildcard, one at
+    /// a time (paper's `Parents(ac)`).
+    ///
+    /// The root combination has no parents.
+    pub fn parents(&self) -> Vec<Combination> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                c.map(|_| {
+                    let mut p = self.clone();
+                    p.cells[i] = None;
+                    p
+                })
+            })
+            .collect()
+    }
+
+    /// The direct children: each wildcard cell instantiated with every
+    /// element of that attribute.
+    ///
+    /// Leaves have no children. The number of children is
+    /// `Σ l(attr)` over wildcard attributes, so use judiciously on wide
+    /// schemas.
+    pub fn children(&self) -> Vec<Combination> {
+        let mut out = Vec::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.is_none() {
+                let attr = self.schema.attribute(AttrId(i as u16));
+                for e in attr.element_ids() {
+                    let mut child = self.clone();
+                    child.cells[i] = Some(e);
+                    out.push(child);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as the `attr=elem&attr=elem` specification string
+    /// (round-trips through [`Combination::parse`]); the root renders as the
+    /// empty string.
+    pub fn to_spec_string(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            if let Some(e) = c {
+                let attr = self.schema.attribute(AttrId(i as u16));
+                parts.push(format!("{}={}", attr.name(), attr.element_name(*e)));
+            }
+        }
+        parts.join("&")
+    }
+}
+
+impl PartialEq for Combination {
+    fn eq(&self, other: &Self) -> bool {
+        debug_assert!(self.schema.same_as(&other.schema), "schema mismatch");
+        self.cells == other.cells
+    }
+}
+
+impl Eq for Combination {}
+
+impl Hash for Combination {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.cells.hash(state);
+    }
+}
+
+impl PartialOrd for Combination {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Combination {
+    /// Lexicographic order over cells; wildcards sort before concrete
+    /// elements. This gives a deterministic total order for stable output,
+    /// not a semantic one (use [`Combination::generalizes`] for the
+    /// specificity partial order).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        debug_assert!(self.schema.same_as(&other.schema), "schema mismatch");
+        for (a, b) in self.cells.iter().zip(other.cells.iter()) {
+            let ord = match (a, b) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (Some(x), Some(y)) => x.cmp(y),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl fmt::Display for Combination {
+    /// Renders like the paper: `(L1, *, *, Site1)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match c {
+                None => write!(f, "*")?,
+                Some(e) => {
+                    let attr = self.schema.attribute(AttrId(i as u16));
+                    write!(f, "{}", attr.element_name(*e))?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Combination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Combination{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .attribute("c", ["c1", "c2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = schema();
+        let c = s.parse_combination("a=a2&c=c1").unwrap();
+        assert_eq!(c.to_string(), "(a2, *, c1)");
+        assert_eq!(c.to_spec_string(), "a=a2&c=c1");
+        let back = s.parse_combination(&c.to_spec_string()).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let s = schema();
+        assert!(matches!(
+            s.parse_combination("a=a1&broken"),
+            Err(Error::ParseCombination { .. })
+        ));
+        assert!(matches!(
+            s.parse_combination("a=a1&a=a2"),
+            Err(Error::ParseCombination { .. })
+        ));
+        assert!(s.parse_combination("a=zzz").is_err());
+    }
+
+    #[test]
+    fn empty_parses_to_root() {
+        let s = schema();
+        let c = s.parse_combination("  ").unwrap();
+        assert!(c.is_root());
+        assert_eq!(c.to_spec_string(), "");
+        assert_eq!(c, s.parse_combination(&c.to_spec_string()).unwrap());
+    }
+
+    #[test]
+    fn layer_and_cuboid() {
+        let s = schema();
+        let c = s.parse_combination("a=a1&c=c2").unwrap();
+        assert_eq!(c.layer(), 2);
+        assert_eq!(c.cuboid().mask(), 0b101);
+        assert!(!c.is_leaf());
+        assert!(!c.is_root());
+        let leaf = s.parse_combination("a=a1&b=b1&c=c1").unwrap();
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.layer(), 3);
+    }
+
+    #[test]
+    fn ancestry() {
+        let s = schema();
+        let rap = s.parse_combination("a=a1").unwrap();
+        let mid = s.parse_combination("a=a1&b=b2").unwrap();
+        let leaf = s.parse_combination("a=a1&b=b2&c=c1").unwrap();
+        let other = s.parse_combination("a=a2").unwrap();
+        assert!(rap.is_ancestor_of(&mid));
+        assert!(rap.is_ancestor_of(&leaf));
+        assert!(mid.is_ancestor_of(&leaf));
+        assert!(leaf.is_descendant_of(&rap));
+        assert!(!rap.is_ancestor_of(&rap)); // strict
+        assert!(rap.generalizes(&rap)); // reflexive
+        assert!(!rap.is_ancestor_of(&other));
+        assert!(!other.is_ancestor_of(&rap));
+        assert!(Combination::root(&s).is_ancestor_of(&rap));
+    }
+
+    #[test]
+    fn parents_replace_one_concrete_cell() {
+        let s = schema();
+        let c = s.parse_combination("a=a1&b=b2").unwrap();
+        let ps = c.parents();
+        assert_eq!(ps.len(), 2);
+        assert!(ps.iter().all(|p| p.is_ancestor_of(&c)));
+        assert!(ps.iter().all(|p| p.layer() == 1));
+        assert!(Combination::root(&s).parents().is_empty());
+    }
+
+    #[test]
+    fn children_instantiate_wildcards() {
+        let s = schema();
+        let c = s.parse_combination("b=b1").unwrap();
+        // wildcard attrs: a (3 elements) + c (2 elements)
+        let ch = c.children();
+        assert_eq!(ch.len(), 5);
+        assert!(ch.iter().all(|k| c.is_ancestor_of(k)));
+        let leaf = s.parse_combination("a=a1&b=b1&c=c1").unwrap();
+        assert!(leaf.children().is_empty());
+    }
+
+    #[test]
+    fn matches_leaf_rows() {
+        let s = schema();
+        let c = s.parse_combination("a=a2").unwrap();
+        assert!(c.matches_leaf(&[ElementId(1), ElementId(0), ElementId(1)]));
+        assert!(!c.matches_leaf(&[ElementId(0), ElementId(0), ElementId(1)]));
+        assert!(Combination::root(&s).matches_leaf(&[ElementId(2), ElementId(1), ElementId(0)]));
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let s = schema();
+        let mut v = [s.parse_combination("a=a2").unwrap(),
+            s.parse_combination("").unwrap(),
+            s.parse_combination("a=a1&b=b1").unwrap(),
+            s.parse_combination("a=a1").unwrap()];
+        v.sort();
+        let shown: Vec<String> = v.iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            shown,
+            vec!["(*, *, *)", "(a1, *, *)", "(a1, b1, *)", "(a2, *, *)"]
+        );
+    }
+
+    #[test]
+    fn hash_matches_eq() {
+        use std::collections::HashSet;
+        let s = schema();
+        let mut set = HashSet::new();
+        set.insert(s.parse_combination("a=a1").unwrap());
+        set.insert(s.parse_combination("a=a1").unwrap());
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn from_pairs_and_leaf_constructors() {
+        let s = schema();
+        let c = Combination::from_pairs(&s, [(AttrId(2), ElementId(1))]);
+        assert_eq!(c.to_string(), "(*, *, c2)");
+        let l = Combination::leaf(&s, &[ElementId(0), ElementId(1), ElementId(0)]);
+        assert_eq!(l.to_string(), "(a1, b2, c1)");
+        assert!(l.is_leaf());
+    }
+}

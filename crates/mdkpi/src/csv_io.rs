@@ -1,0 +1,274 @@
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+use crate::attr::Schema;
+use crate::frame::LeafFrame;
+use crate::{Error, Result};
+
+/// Column names with special meaning in the CSV layout (everything else is
+/// an attribute column). This mirrors the published Squeeze dataset files,
+/// which use `real` and `predict` value columns.
+const REAL_COL: &str = "real";
+const PREDICT_COL: &str = "predict";
+const LABEL_COL: &str = "label";
+
+/// Read a [`LeafFrame`] from CSV, inferring the schema from the file.
+///
+/// Expected layout: one column per attribute (any names except `real`,
+/// `predict`, `label`), a `real` column (actual value `v`), a `predict`
+/// column (forecast `f`), and optionally a `label` column (`0`/`1` or
+/// `true`/`false`). Attribute order and element interning follow first
+/// appearance in the file, so reading is deterministic for a given file.
+///
+/// # Errors
+///
+/// Fails on missing value columns, unparsable numbers or labels, and
+/// malformed CSV.
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::read_frame_csv;
+///
+/// # fn main() -> Result<(), mdkpi::Error> {
+/// let data = "\
+/// location,website,real,predict,label
+/// L1,Site1,10.0,5.0,1
+/// L1,Site2,7.0,7.1,0
+/// ";
+/// let frame = read_frame_csv(data.as_bytes())?;
+/// assert_eq!(frame.num_rows(), 2);
+/// assert_eq!(frame.num_anomalous(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_frame_csv<R: Read>(reader: R) -> Result<LeafFrame> {
+    let mut rdr = csv::Reader::from_reader(reader);
+    let headers = rdr.headers()?.clone();
+    let mut attr_cols: Vec<(usize, String)> = Vec::new();
+    let mut real_col = None;
+    let mut predict_col = None;
+    let mut label_col = None;
+    for (i, h) in headers.iter().enumerate() {
+        match h {
+            REAL_COL => real_col = Some(i),
+            PREDICT_COL => predict_col = Some(i),
+            LABEL_COL => label_col = Some(i),
+            other => attr_cols.push((i, other.to_string())),
+        }
+    }
+    let real_col = real_col.ok_or_else(|| Error::Csv {
+        message: format!("missing `{REAL_COL}` column"),
+    })?;
+    let predict_col = predict_col.ok_or_else(|| Error::Csv {
+        message: format!("missing `{PREDICT_COL}` column"),
+    })?;
+    if attr_cols.is_empty() {
+        return Err(Error::Csv {
+            message: "no attribute columns".to_string(),
+        });
+    }
+
+    // First pass: collect the records and intern elements in order of
+    // appearance.
+    struct Parsed {
+        elements: Vec<String>,
+        v: f64,
+        f: f64,
+        label: Option<bool>,
+    }
+    let mut element_sets: Vec<Vec<String>> = vec![Vec::new(); attr_cols.len()];
+    let mut seen: Vec<HashMap<String, ()>> = vec![HashMap::new(); attr_cols.len()];
+    let mut rows: Vec<Parsed> = Vec::new();
+    for (line, record) in rdr.records().enumerate() {
+        let record = record?;
+        let get = |col: usize| -> Result<&str> {
+            record.get(col).ok_or_else(|| Error::Csv {
+                message: format!("row {line}: missing column {col}"),
+            })
+        };
+        let parse_num = |col: usize, name: &str| -> Result<f64> {
+            let s = get(col)?;
+            s.trim().parse::<f64>().map_err(|_| Error::Csv {
+                message: format!("row {line}: `{name}` value `{s}` is not a number"),
+            })
+        };
+        let mut elements = Vec::with_capacity(attr_cols.len());
+        for (ai, (col, _)) in attr_cols.iter().enumerate() {
+            let value = get(*col)?.trim().to_string();
+            if !seen[ai].contains_key(&value) {
+                seen[ai].insert(value.clone(), ());
+                element_sets[ai].push(value.clone());
+            }
+            elements.push(value);
+        }
+        let v = parse_num(real_col, REAL_COL)?;
+        let f = parse_num(predict_col, PREDICT_COL)?;
+        let label = match label_col {
+            None => None,
+            Some(col) => {
+                let s = get(col)?.trim();
+                Some(match s {
+                    "1" | "true" | "True" | "TRUE" => true,
+                    "0" | "false" | "False" | "FALSE" => false,
+                    other => {
+                        return Err(Error::Csv {
+                            message: format!("row {line}: bad label `{other}`"),
+                        })
+                    }
+                })
+            }
+        };
+        rows.push(Parsed {
+            elements,
+            v,
+            f,
+            label,
+        });
+    }
+
+    let mut schema_builder = Schema::builder();
+    for ((_, name), elems) in attr_cols.iter().zip(element_sets) {
+        schema_builder = schema_builder.attribute(name.clone(), elems);
+    }
+    let schema = schema_builder.build()?;
+
+    let mut builder = LeafFrame::builder(&schema);
+    let mut labels: Vec<bool> = Vec::with_capacity(rows.len());
+    let labelled = label_col.is_some();
+    for row in &rows {
+        let pairs: Vec<(&str, &str)> = attr_cols
+            .iter()
+            .zip(&row.elements)
+            .map(|((_, name), value)| (name.as_str(), value.as_str()))
+            .collect();
+        builder.push_named(&pairs, row.v, row.f)?;
+        labels.push(row.label.unwrap_or(false));
+    }
+    let mut frame = builder.build();
+    if labelled {
+        frame.set_labels(labels)?;
+    }
+    Ok(frame)
+}
+
+/// Write a [`LeafFrame`] to CSV in the layout read by [`read_frame_csv`].
+/// The `label` column is emitted only when the frame is labelled.
+///
+/// # Errors
+///
+/// Propagates I/O and CSV serialization failures.
+pub fn write_frame_csv<W: Write>(frame: &LeafFrame, writer: W) -> Result<()> {
+    let schema = frame.schema();
+    let mut wtr = csv::Writer::from_writer(writer);
+    let mut header: Vec<&str> = schema
+        .attributes()
+        .map(|(_, def)| def.name())
+        .collect();
+    header.push(REAL_COL);
+    header.push(PREDICT_COL);
+    let labelled = frame.labels().is_some();
+    if labelled {
+        header.push(LABEL_COL);
+    }
+    wtr.write_record(&header)?;
+    for i in 0..frame.num_rows() {
+        let mut record: Vec<String> = frame
+            .row_elements(i)
+            .iter()
+            .enumerate()
+            .map(|(a, e)| {
+                schema
+                    .attribute(crate::AttrId(a as u16))
+                    .element_name(*e)
+                    .to_string()
+            })
+            .collect();
+        record.push(format!("{}", frame.v(i)));
+        record.push(format!("{}", frame.f(i)));
+        if labelled {
+            record.push(if frame.label(i) == Some(true) { "1" } else { "0" }.to_string());
+        }
+        wtr.write_record(&record)?;
+    }
+    wtr.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csv() -> &'static str {
+        "a,b,real,predict,label\n\
+         a1,b1,10.0,5.0,1\n\
+         a1,b2,8.0,8.2,0\n\
+         a2,b1,7.0,7.1,0\n"
+    }
+
+    #[test]
+    fn read_infers_schema_and_labels() {
+        let frame = read_frame_csv(sample_csv().as_bytes()).unwrap();
+        assert_eq!(frame.num_rows(), 3);
+        assert_eq!(frame.schema().num_attributes(), 2);
+        assert_eq!(frame.schema().attribute_by_name("a").unwrap().len(), 2);
+        assert_eq!(frame.num_anomalous(), 1);
+        assert_eq!(frame.combination(0).to_string(), "(a1, b1)");
+        assert_eq!(frame.v(0), 10.0);
+        assert_eq!(frame.f(1), 8.2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_frame() {
+        let frame = read_frame_csv(sample_csv().as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_frame_csv(&frame, &mut buf).unwrap();
+        let back = read_frame_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.num_rows(), frame.num_rows());
+        assert_eq!(back.labels(), frame.labels());
+        for i in 0..frame.num_rows() {
+            assert_eq!(back.v(i), frame.v(i));
+            assert_eq!(back.f(i), frame.f(i));
+            assert_eq!(
+                back.combination(i).to_string(),
+                frame.combination(i).to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn unlabelled_files_have_no_labels() {
+        let csv = "a,real,predict\na1,1.0,1.0\n";
+        let frame = read_frame_csv(csv.as_bytes()).unwrap();
+        assert!(frame.labels().is_none());
+        let mut buf = Vec::new();
+        write_frame_csv(&frame, &mut buf).unwrap();
+        assert!(!String::from_utf8(buf).unwrap().contains("label"));
+    }
+
+    #[test]
+    fn missing_value_columns_error() {
+        let err = read_frame_csv("a,predict\na1,1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("real"));
+        let err = read_frame_csv("a,real\na1,1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("predict"));
+        let err = read_frame_csv("real,predict\n1.0,1.0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("no attribute"));
+    }
+
+    #[test]
+    fn bad_numbers_and_labels_error() {
+        let err = read_frame_csv("a,real,predict\na1,xx,1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("not a number"));
+        let err =
+            read_frame_csv("a,real,predict,label\na1,1,1,maybe\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad label"));
+    }
+
+    #[test]
+    fn label_spellings_accepted() {
+        let csv = "a,real,predict,label\na1,1,1,true\na2,1,1,FALSE\n";
+        let frame = read_frame_csv(csv.as_bytes()).unwrap();
+        assert_eq!(frame.labels().unwrap(), &[true, false]);
+    }
+}

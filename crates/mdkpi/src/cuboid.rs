@@ -1,0 +1,398 @@
+use std::fmt;
+
+use crate::attr::{AttrId, ElementId, Schema};
+use crate::combo::Combination;
+
+/// A cuboid: a non-empty set of concrete attributes, one node of the lattice
+/// in the paper's Fig. 2 (e.g. `Cub_{Location,Website}`).
+///
+/// Represented as a `u32` bitmask where bit *i* is the attribute with
+/// [`AttrId`] *i*. The *layer* of a cuboid is its number of attributes.
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::{Cuboid, AttrId};
+///
+/// let c = Cuboid::from_attrs([AttrId(0), AttrId(3)]);
+/// assert_eq!(c.layer(), 2);
+/// assert!(c.contains(AttrId(3)));
+/// assert_eq!(c.parent_cuboids().len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cuboid(u32);
+
+impl Cuboid {
+    /// Build from a raw bitmask. Bit *i* means attribute *i* is concrete.
+    pub fn from_mask(mask: u32) -> Self {
+        Cuboid(mask)
+    }
+
+    /// Build from attribute ids.
+    pub fn from_attrs<I: IntoIterator<Item = AttrId>>(attrs: I) -> Self {
+        let mut mask = 0u32;
+        for a in attrs {
+            mask |= 1 << a.index();
+        }
+        Cuboid(mask)
+    }
+
+    /// The raw bitmask.
+    pub fn mask(self) -> u32 {
+        self.0
+    }
+
+    /// Number of attributes in this cuboid (its layer in Fig. 2, 1-based).
+    pub fn layer(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the cuboid contains the attribute.
+    pub fn contains(self, attr: AttrId) -> bool {
+        self.0 & (1 << attr.index()) != 0
+    }
+
+    /// The attribute ids in this cuboid, ascending.
+    pub fn attrs(self) -> impl Iterator<Item = AttrId> {
+        let mask = self.0;
+        (0..32u16).filter(move |i| mask & (1 << i) != 0).map(AttrId)
+    }
+
+    /// Cuboids one layer up: each attribute removed in turn.
+    ///
+    /// Layer-1 cuboids have no parents (the empty cuboid is not part of the
+    /// lattice).
+    pub fn parent_cuboids(self) -> Vec<Cuboid> {
+        self.attrs()
+            .map(|a| Cuboid(self.0 & !(1 << a.index())))
+            .filter(|c| c.0 != 0)
+            .collect()
+    }
+
+    /// Cuboids one layer down *within a universe* of allowed attributes: each
+    /// absent universe attribute added in turn.
+    pub fn child_cuboids(self, universe: Cuboid) -> Vec<Cuboid> {
+        universe
+            .attrs()
+            .filter(|a| !self.contains(*a))
+            .map(|a| Cuboid(self.0 | (1 << a.index())))
+            .collect()
+    }
+
+    /// Number of attribute combinations in this cuboid for the given schema:
+    /// `Π l(attr)` over the cuboid's attributes.
+    pub fn num_combinations(self, schema: &Schema) -> u64 {
+        self.attrs()
+            .fold(1u64, |acc, a| acc.saturating_mul(schema.attribute(a).len() as u64))
+    }
+
+    /// Iterate every attribute combination in this cuboid (the Cartesian
+    /// product over its attributes, wildcards elsewhere).
+    pub fn combinations(self, schema: &Schema) -> CuboidCombinations {
+        let attrs: Vec<AttrId> = self.attrs().collect();
+        let sizes: Vec<u32> = attrs
+            .iter()
+            .map(|a| schema.attribute(*a).len() as u32)
+            .collect();
+        CuboidCombinations {
+            schema: schema.clone(),
+            attrs,
+            sizes,
+            counters: None,
+            done: false,
+        }
+    }
+}
+
+impl fmt::Display for Cuboid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cub{{")?;
+        for (i, a) in self.attrs().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the attribute combinations of one cuboid, produced by
+/// [`Cuboid::combinations`]. Yields combinations in lexicographic element-id
+/// order.
+pub struct CuboidCombinations {
+    schema: Schema,
+    attrs: Vec<AttrId>,
+    sizes: Vec<u32>,
+    counters: Option<Vec<u32>>,
+    done: bool,
+}
+
+impl Iterator for CuboidCombinations {
+    type Item = Combination;
+
+    fn next(&mut self) -> Option<Combination> {
+        if self.done {
+            return None;
+        }
+        if self.sizes.contains(&0) {
+            self.done = true;
+            return None;
+        }
+        let counters = match &mut self.counters {
+            Some(c) => {
+                // advance odometer
+                let mut i = c.len();
+                loop {
+                    if i == 0 {
+                        self.done = true;
+                        return None;
+                    }
+                    i -= 1;
+                    c[i] += 1;
+                    if c[i] < self.sizes[i] {
+                        break;
+                    }
+                    c[i] = 0;
+                }
+                c.clone()
+            }
+            None => {
+                let c = vec![0u32; self.attrs.len()];
+                self.counters = Some(c.clone());
+                if self.attrs.is_empty() {
+                    self.done = true;
+                }
+                c
+            }
+        };
+        Some(Combination::from_pairs(
+            &self.schema,
+            self.attrs
+                .iter()
+                .zip(&counters)
+                .map(|(a, e)| (*a, ElementId(*e))),
+        ))
+    }
+}
+
+/// The full cuboid lattice over a set of attributes, organized by layer
+/// (the paper's Fig. 2: `2^n − 1` cuboids in `n` layers).
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::{CuboidLattice, Cuboid, AttrId};
+///
+/// let lattice = CuboidLattice::over_attrs([AttrId(0), AttrId(1), AttrId(2), AttrId(3)]);
+/// assert_eq!(lattice.num_cuboids(), 15); // 2^4 - 1
+/// assert_eq!(lattice.layer(1).len(), 4);
+/// assert_eq!(lattice.layer(2).len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CuboidLattice {
+    universe: Cuboid,
+    layers: Vec<Vec<Cuboid>>,
+}
+
+impl CuboidLattice {
+    /// Lattice over every attribute of a schema.
+    pub fn full(schema: &Schema) -> Self {
+        CuboidLattice::over_attrs(schema.attr_ids())
+    }
+
+    /// Lattice over an arbitrary subset of attributes (e.g. the survivors of
+    /// redundant-attribute deletion).
+    pub fn over_attrs<I: IntoIterator<Item = AttrId>>(attrs: I) -> Self {
+        let universe = Cuboid::from_attrs(attrs);
+        let n = universe.layer();
+        let mut layers: Vec<Vec<Cuboid>> = vec![Vec::new(); n];
+        let attr_list: Vec<AttrId> = universe.attrs().collect();
+        // Enumerate non-empty subsets of the universe.
+        for subset in 1u32..(1u32 << attr_list.len()) {
+            let cuboid = Cuboid::from_attrs(
+                attr_list
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| subset & (1 << i) != 0)
+                    .map(|(_, a)| *a),
+            );
+            layers[cuboid.layer() - 1].push(cuboid);
+        }
+        for l in &mut layers {
+            l.sort();
+        }
+        CuboidLattice { universe, layers }
+    }
+
+    /// The universe cuboid (all attributes of this lattice).
+    pub fn universe(&self) -> Cuboid {
+        self.universe
+    }
+
+    /// Number of layers (= number of attributes).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of cuboids, `2^n − 1`.
+    pub fn num_cuboids(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// The cuboids of one layer (1-based, as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is 0 or exceeds [`CuboidLattice::num_layers`].
+    pub fn layer(&self, layer: usize) -> &[Cuboid] {
+        assert!(
+            layer >= 1 && layer <= self.layers.len(),
+            "layer {layer} out of range 1..={}",
+            self.layers.len()
+        );
+        &self.layers[layer - 1]
+    }
+
+    /// Iterate `(layer, cuboid)` pairs top-down (layer 1 first), each layer
+    /// in deterministic order.
+    pub fn iter_top_down(&self) -> impl Iterator<Item = (usize, Cuboid)> + '_ {
+        self.layers
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cs)| cs.iter().map(move |c| (i + 1, *c)))
+    }
+}
+
+/// The paper's Eq. 2: the exact fraction of cuboids pruned by deleting `k`
+/// of `n` attributes, `(2^n − 2^(n−k)) / (2^n − 1)`.
+///
+/// Table IV reports the lower bound `(2^k − 1)/2^k`; this function returns
+/// the exact value, which exceeds the bound for every finite `n`.
+///
+/// # Panics
+///
+/// Panics if `k > n` or `n` is 0 or `n > 63`.
+///
+/// ```
+/// use mdkpi::decrease_ratio;
+/// assert!((decrease_ratio(4, 1) - (8.0 / 15.0)).abs() < 1e-12);
+/// assert!(decrease_ratio(4, 1) > 0.5);
+/// ```
+pub fn decrease_ratio(n: u32, k: u32) -> f64 {
+    assert!(n > 0 && n <= 63, "n must be in 1..=63");
+    assert!(k <= n, "cannot delete more attributes than exist");
+    let total = (1u64 << n) - 1;
+    let remaining = (1u64 << (n - k)) - 1;
+    (total - remaining) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .attribute("c", ["c1", "c2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lattice_counts_match_paper() {
+        // Fig. 2: 4 attributes -> 15 cuboids in 4 layers (4, 6, 4, 1).
+        let l = CuboidLattice::over_attrs((0..4).map(AttrId));
+        assert_eq!(l.num_cuboids(), 15);
+        assert_eq!(l.layer(1).len(), 4);
+        assert_eq!(l.layer(2).len(), 6);
+        assert_eq!(l.layer(3).len(), 4);
+        assert_eq!(l.layer(4).len(), 1);
+    }
+
+    #[test]
+    fn lattice_over_subset() {
+        let l = CuboidLattice::over_attrs([AttrId(1), AttrId(3)]);
+        assert_eq!(l.num_cuboids(), 3);
+        assert_eq!(l.layer(1).len(), 2);
+        assert_eq!(l.layer(2), &[Cuboid::from_attrs([AttrId(1), AttrId(3)])]);
+    }
+
+    #[test]
+    fn top_down_iteration_is_layer_ordered() {
+        let l = CuboidLattice::over_attrs((0..3).map(AttrId));
+        let layers: Vec<usize> = l.iter_top_down().map(|(layer, _)| layer).collect();
+        assert_eq!(layers, vec![1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn cuboid_parents_and_children() {
+        let universe = Cuboid::from_attrs((0..4).map(AttrId));
+        let c = Cuboid::from_attrs([AttrId(0), AttrId(2)]);
+        let parents = c.parent_cuboids();
+        assert_eq!(parents.len(), 2);
+        assert!(parents.iter().all(|p| p.layer() == 1));
+        let children = c.child_cuboids(universe);
+        assert_eq!(children.len(), 2);
+        assert!(children.iter().all(|ch| ch.layer() == 3));
+        // layer-1 cuboid has no parents
+        assert!(Cuboid::from_attrs([AttrId(1)]).parent_cuboids().is_empty());
+    }
+
+    #[test]
+    fn combinations_enumerate_cartesian_product() {
+        let s = schema();
+        // paper §II-B: Cub_{L,S} has l(L)*l(S) combinations
+        let c = Cuboid::from_attrs([AttrId(0), AttrId(2)]);
+        assert_eq!(c.num_combinations(&s), 6);
+        let combos: Vec<Combination> = c.combinations(&s).collect();
+        assert_eq!(combos.len(), 6);
+        assert!(combos.iter().all(|c| c.layer() == 2));
+        // all distinct
+        let set: std::collections::HashSet<_> = combos.iter().cloned().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn cdn_sized_cuboid_counts() {
+        // Table I / §II-B: 33 * 4 * 4 * 20 = 10560 leaves; Cub_{L,S} = 660.
+        let mut b = Schema::builder();
+        b = b.attribute("location", (0..33).map(|i| format!("L{i}")));
+        b = b.attribute("access", (0..4).map(|i| format!("A{i}")));
+        b = b.attribute("os", (0..4).map(|i| format!("O{i}")));
+        b = b.attribute("website", (0..20).map(|i| format!("S{i}")));
+        let s = b.build().unwrap();
+        assert_eq!(s.num_leaves(), 10560);
+        let ls = Cuboid::from_attrs([AttrId(0), AttrId(3)]);
+        assert_eq!(ls.num_combinations(&s), 660);
+    }
+
+    #[test]
+    fn decrease_ratio_matches_table4_bounds() {
+        // Table IV lower bounds (2^k - 1)/2^k for k = 1..=5.
+        let bounds = [0.5, 0.75, 0.875, 0.9375, 0.96875];
+        for (k, &bound) in (1u32..=5).zip(&bounds) {
+            let exact = decrease_ratio(6, k);
+            assert!(exact > bound, "k={k}: exact {exact} must beat bound {bound}");
+            assert!(exact <= 1.0);
+        }
+        // deleting everything prunes everything
+        assert!((decrease_ratio(4, 4) - 1.0).abs() < 1e-12);
+        // deleting nothing prunes nothing
+        assert_eq!(decrease_ratio(4, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot delete more")]
+    fn decrease_ratio_rejects_k_gt_n() {
+        decrease_ratio(3, 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Cuboid::from_attrs([AttrId(0), AttrId(2)]);
+        assert_eq!(c.to_string(), "Cub{0,2}");
+    }
+}

@@ -1,0 +1,142 @@
+use std::fmt;
+
+/// Errors produced by the `mdkpi` data model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An attribute name was not found in the schema.
+    UnknownAttribute {
+        /// The attribute name that failed to resolve.
+        name: String,
+    },
+    /// An element value was not found within the given attribute.
+    UnknownElement {
+        /// The attribute the element was looked up in.
+        attribute: String,
+        /// The element value that failed to resolve.
+        element: String,
+    },
+    /// A duplicate attribute name was given to the schema builder.
+    DuplicateAttribute {
+        /// The attribute name that was declared twice.
+        name: String,
+    },
+    /// A duplicate element was given within one attribute.
+    DuplicateElement {
+        /// The attribute the element was declared in.
+        attribute: String,
+        /// The element value that was declared twice.
+        element: String,
+    },
+    /// A schema was built with zero attributes or an attribute with zero
+    /// elements.
+    EmptySchema,
+    /// Too many attributes for the bitmask representation (maximum is 32).
+    TooManyAttributes {
+        /// The number of attributes requested.
+        requested: usize,
+    },
+    /// A combination string could not be parsed.
+    ParseCombination {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Two values that must share a schema were built from different schemas.
+    SchemaMismatch,
+    /// A frame operation referenced a row index out of bounds.
+    RowOutOfBounds {
+        /// The requested row.
+        row: usize,
+        /// The number of rows in the frame.
+        len: usize,
+    },
+    /// A CSV file had an unexpected shape.
+    Csv {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownAttribute { name } => write!(f, "unknown attribute `{name}`"),
+            Error::UnknownElement { attribute, element } => {
+                write!(f, "unknown element `{element}` in attribute `{attribute}`")
+            }
+            Error::DuplicateAttribute { name } => write!(f, "duplicate attribute `{name}`"),
+            Error::DuplicateElement { attribute, element } => {
+                write!(f, "duplicate element `{element}` in attribute `{attribute}`")
+            }
+            Error::EmptySchema => write!(f, "schema must have at least one attribute and every attribute at least one element"),
+            Error::TooManyAttributes { requested } => {
+                write!(f, "schemas support at most 32 attributes, got {requested}")
+            }
+            Error::ParseCombination { input, reason } => {
+                write!(f, "cannot parse combination `{input}`: {reason}")
+            }
+            Error::SchemaMismatch => write!(f, "values were built from different schemas"),
+            Error::RowOutOfBounds { row, len } => {
+                write!(f, "row index {row} out of bounds for frame of {len} rows")
+            }
+            Error::Csv { message } => write!(f, "malformed csv: {message}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<csv::Error> for Error {
+    fn from(e: csv::Error) -> Self {
+        Error::Csv {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::UnknownAttribute {
+            name: "os".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("unknown attribute"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = Error::from(io);
+        assert!(e.source().is_some());
+    }
+}

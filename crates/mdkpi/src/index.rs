@@ -1,0 +1,274 @@
+use crate::attr::{AttrId, ElementId};
+use crate::bitset::Bitset;
+use crate::combo::Combination;
+use crate::frame::LeafFrame;
+
+/// An inverted index over a [`LeafFrame`]: for every `(attribute, element)`
+/// pair, the bitset of rows carrying that element, plus the bitset of
+/// anomalous rows when the frame is labelled.
+///
+/// This is the workhorse behind the paper's Criteria 2:
+/// `Confidence(ac ⇒ Anomaly) = support_count(ac, Anomaly) / support_count(ac)`
+/// becomes two bitset intersection counts.
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::{Schema, LeafFrame, LeafIndex};
+///
+/// # fn main() -> Result<(), mdkpi::Error> {
+/// let schema = Schema::builder()
+///     .attribute("a", ["a1", "a2"])
+///     .attribute("b", ["b1", "b2"])
+///     .build()?;
+/// let mut b = LeafFrame::builder(&schema);
+/// b.push_named(&[("a", "a1"), ("b", "b1")], 10.0, 5.0)?;
+/// b.push_named(&[("a", "a1"), ("b", "b2")], 12.0, 6.0)?;
+/// b.push_named(&[("a", "a2"), ("b", "b1")], 7.0, 7.0)?;
+/// let mut frame = b.build();
+/// frame.label_with(|v, f| v > 1.5 * f);
+///
+/// let index = LeafIndex::new(&frame);
+/// let ac = schema.parse_combination("a=a1")?;
+/// assert_eq!(index.support_count(&ac), 2);
+/// assert_eq!(index.support_count_anomalous(&ac), 2);
+/// assert_eq!(index.confidence(&ac), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeafIndex {
+    /// `postings[attr][element]` = rows carrying that element.
+    postings: Vec<Vec<Bitset>>,
+    anomalous: Option<Bitset>,
+    num_rows: usize,
+}
+
+impl LeafIndex {
+    /// Build the index for a frame. `O(rows × attributes)`.
+    pub fn new(frame: &LeafFrame) -> Self {
+        let schema = frame.schema();
+        let n_rows = frame.num_rows();
+        let mut postings: Vec<Vec<Bitset>> = schema
+            .attr_ids()
+            .map(|a| vec![Bitset::new(n_rows); schema.attribute(a).len()])
+            .collect();
+        for i in 0..n_rows {
+            for (a, e) in frame.row_elements(i).iter().enumerate() {
+                postings[a][e.index()].insert(i);
+            }
+        }
+        let anomalous = frame.labels().map(|labels| {
+            let mut b = Bitset::new(n_rows);
+            for (i, &l) in labels.iter().enumerate() {
+                if l {
+                    b.insert(i);
+                }
+            }
+            b
+        });
+        LeafIndex {
+            postings,
+            anomalous,
+            num_rows: n_rows,
+        }
+    }
+
+    /// Number of rows in the indexed frame.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The posting bitset for one `(attribute, element)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute or element id is out of bounds.
+    pub fn posting(&self, attr: AttrId, element: ElementId) -> &Bitset {
+        &self.postings[attr.index()][element.index()]
+    }
+
+    /// The bitset of anomalous rows, if the frame was labelled.
+    pub fn anomalous_rows(&self) -> Option<&Bitset> {
+        self.anomalous.as_ref()
+    }
+
+    /// Materialize the bitset of rows covered by `combination`.
+    pub fn rows_matching(&self, combination: &Combination) -> Bitset {
+        let mut concrete: Vec<&Bitset> = Vec::new();
+        for (i, cell) in combination.cells().iter().enumerate() {
+            if let Some(e) = cell {
+                concrete.push(&self.postings[i][e.index()]);
+            }
+        }
+        match concrete.split_first() {
+            None => Bitset::all_set(self.num_rows),
+            Some((first, rest)) => {
+                // Start from the sparsest posting to keep intersections cheap.
+                let mut acc = (*first).clone();
+                for p in rest {
+                    acc.intersect_with(p);
+                    if acc.is_zero() {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// The paper's `support_count_D(ac)`: number of leaf rows covered by
+    /// `combination`.
+    pub fn support_count(&self, combination: &Combination) -> usize {
+        self.rows_matching(combination).count()
+    }
+
+    /// The paper's `support_count_D(ac, Anomaly)`: covered rows that are
+    /// labelled anomalous. Returns 0 when the frame is unlabelled.
+    pub fn support_count_anomalous(&self, combination: &Combination) -> usize {
+        match &self.anomalous {
+            None => 0,
+            Some(anom) => self.rows_matching(combination).intersection_count(anom),
+        }
+    }
+
+    /// The paper's Criteria-2 metric,
+    /// `Confidence(ac ⇒ Anomaly) = support_count(ac, Anomaly) / support_count(ac)`.
+    ///
+    /// Returns 0.0 for combinations covering no rows (no evidence of
+    /// anomaly).
+    pub fn confidence(&self, combination: &Combination) -> f64 {
+        match &self.anomalous {
+            None => 0.0,
+            Some(anom) => {
+                let rows = self.rows_matching(combination);
+                let support = rows.count();
+                if support == 0 {
+                    0.0
+                } else {
+                    rows.intersection_count(anom) as f64 / support as f64
+                }
+            }
+        }
+    }
+
+    /// Both counts in one pass: `(support, anomalous_support)`.
+    pub fn support_counts(&self, combination: &Combination) -> (usize, usize) {
+        let rows = self.rows_matching(combination);
+        let support = rows.count();
+        let anom = self
+            .anomalous
+            .as_ref()
+            .map_or(0, |a| rows.intersection_count(a));
+        (support, anom)
+    }
+
+    /// Sum of `v` and `f` over the rows covered by `combination`
+    /// (the Fig. 4 fundamental-KPI aggregation for one combination).
+    pub fn sums(&self, frame: &LeafFrame, combination: &Combination) -> (f64, f64) {
+        let rows = self.rows_matching(combination);
+        let mut v = 0.0;
+        let mut f = 0.0;
+        for i in rows.iter_ones() {
+            v += frame.v(i);
+            f += frame.f(i);
+        }
+        (v, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn labelled_frame() -> LeafFrame {
+        let s = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap();
+        let mut b = LeafFrame::builder(&s);
+        // (a1, *) anomalous: both a1 rows deviate badly.
+        b.push_labelled(&[ElementId(0), ElementId(0)], 10.0, 5.0, true);
+        b.push_labelled(&[ElementId(0), ElementId(1)], 9.0, 4.0, true);
+        b.push_labelled(&[ElementId(1), ElementId(0)], 5.0, 5.0, false);
+        b.push_labelled(&[ElementId(1), ElementId(1)], 5.1, 5.0, false);
+        b.push_labelled(&[ElementId(2), ElementId(0)], 4.9, 5.0, false);
+        b.build()
+    }
+
+    #[test]
+    fn support_counts_match_scan() {
+        let frame = labelled_frame();
+        let idx = LeafIndex::new(&frame);
+        for spec in ["", "a=a1", "b=b2", "a=a3&b=b1", "a=a2&b=b2"] {
+            let c = frame.schema().parse_combination(spec).unwrap();
+            assert_eq!(
+                idx.support_count(&c),
+                frame.rows_matching(&c).len(),
+                "support mismatch for {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn confidence_matches_paper_formula() {
+        let frame = labelled_frame();
+        let idx = LeafIndex::new(&frame);
+        let a1 = frame.schema().parse_combination("a=a1").unwrap();
+        assert_eq!(idx.support_counts(&a1), (2, 2));
+        assert_eq!(idx.confidence(&a1), 1.0);
+        let b1 = frame.schema().parse_combination("b=b1").unwrap();
+        // rows 0, 2, 4 — one anomalous
+        assert!((idx.confidence(&b1) - 1.0 / 3.0).abs() < 1e-12);
+        let root = Combination::root(frame.schema());
+        assert!((idx.confidence(&root) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_support_has_zero_confidence() {
+        let frame = labelled_frame();
+        let idx = LeafIndex::new(&frame);
+        // (a3, b2) does not occur in the frame
+        let c = frame.schema().parse_combination("a=a3&b=b2").unwrap();
+        assert_eq!(idx.support_count(&c), 0);
+        assert_eq!(idx.confidence(&c), 0.0);
+    }
+
+    #[test]
+    fn unlabelled_frame_reports_no_anomalies() {
+        let s = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let mut b = LeafFrame::builder(&s);
+        b.push(&[ElementId(0)], 1.0, 1.0);
+        let frame = b.build();
+        let idx = LeafIndex::new(&frame);
+        assert!(idx.anomalous_rows().is_none());
+        let root = Combination::root(&s);
+        assert_eq!(idx.support_count_anomalous(&root), 0);
+        assert_eq!(idx.confidence(&root), 0.0);
+    }
+
+    #[test]
+    fn sums_aggregate_v_and_f() {
+        let frame = labelled_frame();
+        let idx = LeafIndex::new(&frame);
+        let a1 = frame.schema().parse_combination("a=a1").unwrap();
+        let (v, f) = idx.sums(&frame, &a1);
+        assert!((v - 19.0).abs() < 1e-12);
+        assert!((f - 9.0).abs() < 1e-12);
+        let root = Combination::root(frame.schema());
+        let (v, _) = idx.sums(&frame, &root);
+        assert!((v - frame.total_v()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_frame_is_handled() {
+        let s = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let frame = LeafFrame::builder(&s).build();
+        let idx = LeafIndex::new(&frame);
+        let root = Combination::root(&s);
+        assert_eq!(idx.support_count(&root), 0);
+        assert_eq!(idx.confidence(&root), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! # mdkpi — multi-dimensional KPI data model
+//!
+//! This crate provides the data substrate shared by every anomaly-localization
+//! algorithm in the RAPMiner reproduction:
+//!
+//! * [`Schema`] — an attribute schema (e.g. the CDN's
+//!   `Location × AccessType × OS × Website`) with string interning, so all
+//!   hot-path operations run on dense integer ids;
+//! * [`Combination`] — an attribute combination such as
+//!   `(L1, *, *, Site1)`, with the parent/child/ancestor/descendant algebra
+//!   used throughout the paper;
+//! * [`Cuboid`] — a set of concrete attributes, i.e. one node of the cuboid
+//!   lattice of Fig. 2 in the paper, represented as a bitmask;
+//! * [`LeafFrame`] — the table of most-fine-grained attribute combinations
+//!   with actual value `v`, forecast value `f`, and anomaly labels
+//!   (the paper's Table III);
+//! * [`LeafIndex`] — an inverted index over a frame, making
+//!   `support_count(ac)` and `support_count(ac, Anomaly)` (Criteria 2)
+//!   bitset intersections instead of scans;
+//! * aggregation of fundamental KPIs up the lattice and derived-KPI
+//!   transformations (the paper's Fig. 4);
+//! * CSV I/O in the layout of the published Squeeze dataset
+//!   (attribute columns + `real` + `predict`).
+//!
+//! # Example
+//!
+//! ```
+//! use mdkpi::{Schema, Combination, LeafFrame};
+//!
+//! # fn main() -> Result<(), mdkpi::Error> {
+//! let schema = Schema::builder()
+//!     .attribute("location", ["L1", "L2"])
+//!     .attribute("os", ["android", "ios"])
+//!     .build()?;
+//!
+//! // The root combination (*, *) is the ancestor of everything.
+//! let root = Combination::root(&schema);
+//! let leaf = schema.parse_combination("location=L1&os=android")?;
+//! assert!(root.is_ancestor_of(&leaf));
+//! assert_eq!(leaf.layer(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agg;
+mod attr;
+mod bitset;
+mod combo;
+mod csv_io;
+mod cuboid;
+mod error;
+mod frame;
+mod index;
+mod ops;
+mod truth;
+
+pub use agg::{aggregate, aggregate_labels, DerivedKpi, RatioKpi};
+pub use attr::{AttrId, AttributeDef, ElementId, Schema, SchemaBuilder};
+pub use bitset::Bitset;
+pub use combo::Combination;
+pub use csv_io::{read_frame_csv, write_frame_csv};
+pub use cuboid::{decrease_ratio, Cuboid, CuboidCombinations, CuboidLattice};
+pub use error::Error;
+pub use frame::{LeafFrame, LeafFrameBuilder, LeafRow};
+pub use index::LeafIndex;
+pub use truth::{format_truth, parse_truth};
+
+/// Convenient result alias used across this crate.
+pub type Result<T> = std::result::Result<T, Error>;

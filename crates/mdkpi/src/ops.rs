@@ -1,0 +1,223 @@
+//! Frame operations: filtering, projection and concatenation of
+//! [`LeafFrame`]s — the data wrangling a real deployment does between
+//! collection and localization (slicing an export to one website, merging
+//! shards from several collectors, dropping zero-traffic leaves).
+
+use crate::attr::AttrId;
+use crate::combo::Combination;
+use crate::frame::LeafFrame;
+use crate::{Error, Result};
+
+impl LeafFrame {
+    /// A new frame containing only the rows covered by `scope` (labels are
+    /// carried over). Narrowing to a known scope before localization is the
+    /// manual drill-down the paper's Fig. 1 operators perform.
+    ///
+    /// ```
+    /// use mdkpi::{Schema, LeafFrame};
+    /// # fn main() -> Result<(), mdkpi::Error> {
+    /// let schema = Schema::builder()
+    ///     .attribute("a", ["a1", "a2"])
+    ///     .attribute("b", ["b1", "b2"])
+    ///     .build()?;
+    /// let mut builder = LeafFrame::builder(&schema);
+    /// builder.push_named(&[("a", "a1"), ("b", "b1")], 1.0, 1.0)?;
+    /// builder.push_named(&[("a", "a2"), ("b", "b1")], 2.0, 2.0)?;
+    /// let frame = builder.build();
+    /// let scope = schema.parse_combination("a=a1")?;
+    /// assert_eq!(frame.filter_scope(&scope).num_rows(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn filter_scope(&self, scope: &Combination) -> LeafFrame {
+        self.filter_rows(|i| scope.matches_leaf(self.row_elements(i)))
+    }
+
+    /// A new frame containing only the rows for which `keep` returns true
+    /// (labels carried over).
+    pub fn filter_rows<P: FnMut(usize) -> bool>(&self, mut keep: P) -> LeafFrame {
+        let mut builder = LeafFrame::builder(self.schema());
+        let mut labels = Vec::new();
+        for i in 0..self.num_rows() {
+            if keep(i) {
+                builder.push(self.row_elements(i), self.v(i), self.f(i));
+                labels.push(self.label(i).unwrap_or(false));
+            }
+        }
+        let mut out = builder.build();
+        if self.labels().is_some() {
+            out.set_labels(labels).expect("built alongside rows");
+        }
+        out
+    }
+
+    /// Drop rows whose actual *and* forecast values are (near) zero —
+    /// the "dead leaves" of sparse fine-grained CDN exports, which carry no
+    /// signal but inflate support counts.
+    pub fn drop_empty_leaves(&self) -> LeafFrame {
+        self.filter_rows(|i| self.v(i).abs() > 1e-12 || self.f(i).abs() > 1e-12)
+    }
+
+    /// Concatenate frames row-wise (e.g. shards from several collectors).
+    /// Labels are preserved when *every* input is labelled, dropped
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::SchemaMismatch`] when the frames disagree on the
+    /// schema, and [`Error::EmptySchema`] when `frames` is empty.
+    pub fn concat(frames: &[&LeafFrame]) -> Result<LeafFrame> {
+        let first = frames.first().ok_or(Error::EmptySchema)?;
+        let schema = first.schema();
+        if frames.iter().any(|f| f.schema() != schema) {
+            return Err(Error::SchemaMismatch);
+        }
+        let mut builder = LeafFrame::builder(schema);
+        let all_labelled = frames.iter().all(|f| f.labels().is_some());
+        let mut labels = Vec::new();
+        for frame in frames {
+            for i in 0..frame.num_rows() {
+                builder.push(frame.row_elements(i), frame.v(i), frame.f(i));
+                labels.push(frame.label(i).unwrap_or(false));
+            }
+        }
+        let mut out = builder.build();
+        if all_labelled {
+            out.set_labels(labels).expect("built alongside rows");
+        }
+        Ok(out)
+    }
+
+    /// The fraction of this frame's total actual value carried by the rows
+    /// covered by `scope` — the operator's "how much traffic is in this
+    /// slice?" question.
+    pub fn scope_share(&self, scope: &Combination) -> f64 {
+        let total = self.total_v();
+        if total.abs() < 1e-12 {
+            return 0.0;
+        }
+        let covered: f64 = (0..self.num_rows())
+            .filter(|&i| scope.matches_leaf(self.row_elements(i)))
+            .map(|i| self.v(i))
+            .sum();
+        covered / total
+    }
+
+    /// Distinct elements of one attribute that actually occur in the frame
+    /// (sparse exports rarely cover an attribute's full element set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of bounds.
+    pub fn occurring_elements(&self, attr: AttrId) -> Vec<crate::ElementId> {
+        let mut seen = vec![false; self.schema().attribute(attr).len()];
+        for i in 0..self.num_rows() {
+            seen[self.row_elements(i)[attr.index()].index()] = true;
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(e, _)| crate::ElementId(e as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ElementId, Schema};
+
+    fn frame() -> LeafFrame {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2", "b3"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        builder.push_labelled(&[ElementId(0), ElementId(0)], 10.0, 5.0, true);
+        builder.push_labelled(&[ElementId(0), ElementId(1)], 0.0, 0.0, false);
+        builder.push_labelled(&[ElementId(1), ElementId(0)], 30.0, 30.0, false);
+        builder.push_labelled(&[ElementId(1), ElementId(2)], 60.0, 60.0, false);
+        builder.build()
+    }
+
+    #[test]
+    fn filter_scope_keeps_covered_rows_and_labels() {
+        let f = frame();
+        let scope = f.schema().parse_combination("a=a1").unwrap();
+        let g = f.filter_scope(&scope);
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.labels().unwrap(), &[true, false]);
+        // unlabelled input stays unlabelled
+        let mut unlabelled_builder = LeafFrame::builder(f.schema());
+        unlabelled_builder.push(&[ElementId(0), ElementId(0)], 1.0, 1.0);
+        let u = unlabelled_builder.build().filter_scope(&scope);
+        assert!(u.labels().is_none());
+    }
+
+    #[test]
+    fn drop_empty_leaves_removes_dead_rows() {
+        let f = frame();
+        let g = f.drop_empty_leaves();
+        assert_eq!(g.num_rows(), 3);
+        assert!(g.v_slice().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn concat_merges_shards() {
+        let f = frame();
+        let scope1 = f.schema().parse_combination("a=a1").unwrap();
+        let scope2 = f.schema().parse_combination("a=a2").unwrap();
+        let (s1, s2) = (f.filter_scope(&scope1), f.filter_scope(&scope2));
+        let merged = LeafFrame::concat(&[&s1, &s2]).unwrap();
+        assert_eq!(merged.num_rows(), f.num_rows());
+        assert_eq!(merged.num_anomalous(), f.num_anomalous());
+        assert!((merged.total_v() - f.total_v()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_validates_inputs() {
+        assert!(matches!(LeafFrame::concat(&[]), Err(Error::EmptySchema)));
+        let f = frame();
+        let other_schema = Schema::builder().attribute("x", ["x1"]).build().unwrap();
+        let mut b = LeafFrame::builder(&other_schema);
+        b.push(&[ElementId(0)], 1.0, 1.0);
+        let g = b.build();
+        assert!(matches!(
+            LeafFrame::concat(&[&f, &g]),
+            Err(Error::SchemaMismatch)
+        ));
+    }
+
+    #[test]
+    fn concat_drops_labels_when_any_input_unlabelled() {
+        let f = frame();
+        let mut b = LeafFrame::builder(f.schema());
+        b.push(&[ElementId(1), ElementId(1)], 5.0, 5.0);
+        let unlabelled = b.build();
+        let merged = LeafFrame::concat(&[&f, &unlabelled]).unwrap();
+        assert!(merged.labels().is_none());
+    }
+
+    #[test]
+    fn scope_share_sums_covered_traffic() {
+        let f = frame();
+        let scope = f.schema().parse_combination("a=a2").unwrap();
+        assert!((f.scope_share(&scope) - 0.9).abs() < 1e-12);
+        let root = Combination::root(f.schema());
+        assert!((f.scope_share(&root) - 1.0).abs() < 1e-12);
+        let empty = LeafFrame::builder(f.schema()).build();
+        assert_eq!(empty.scope_share(&root), 0.0);
+    }
+
+    #[test]
+    fn occurring_elements_reflects_sparsity() {
+        let f = frame();
+        let b_attr = f.schema().attr_id("b").unwrap();
+        let occurring = f.occurring_elements(b_attr);
+        // b2 appears only in the dead row, which still counts as occurring
+        assert_eq!(occurring.len(), 3);
+        let g = f.drop_empty_leaves();
+        assert_eq!(g.occurring_elements(b_attr).len(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+use crate::attr::Schema;
+use crate::combo::Combination;
+use crate::{Error, Result};
+
+/// Parse a ground-truth RAP set from its textual form: combinations in
+/// `attr=elem&attr=elem` notation separated by `;`.
+///
+/// The empty string parses to an empty set. Whitespace around separators is
+/// ignored. Duplicate combinations are rejected — a RAP set is a set.
+///
+/// # Errors
+///
+/// Fails on unparsable combinations or duplicates.
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::{Schema, parse_truth, format_truth};
+///
+/// # fn main() -> Result<(), mdkpi::Error> {
+/// let schema = Schema::builder()
+///     .attribute("a", ["a1", "a2"])
+///     .attribute("b", ["b1", "b2"])
+///     .build()?;
+/// let truth = parse_truth(&schema, "a=a1; a=a2&b=b2")?;
+/// assert_eq!(truth.len(), 2);
+/// assert_eq!(format_truth(&truth), "a=a1;a=a2&b=b2");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_truth(schema: &Schema, text: &str) -> Result<Vec<Combination>> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out: Vec<Combination> = Vec::new();
+    for part in trimmed.split(';') {
+        let combo = Combination::parse(schema, part.trim())?;
+        if out.contains(&combo) {
+            return Err(Error::ParseCombination {
+                input: text.to_string(),
+                reason: format!("duplicate combination `{}`", part.trim()),
+            });
+        }
+        out.push(combo);
+    }
+    Ok(out)
+}
+
+/// Render a RAP set in the form read by [`parse_truth`].
+pub fn format_truth(raps: &[Combination]) -> String {
+    raps.iter()
+        .map(Combination::to_spec_string)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = schema();
+        let truth = parse_truth(&s, "a=a2 ; b=b1&a=a1").unwrap();
+        let text = format_truth(&truth);
+        let back = parse_truth(&s, &text).unwrap();
+        assert_eq!(truth, back);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = schema();
+        assert!(parse_truth(&s, "").unwrap().is_empty());
+        assert!(parse_truth(&s, "   ").unwrap().is_empty());
+        assert_eq!(format_truth(&[]), "");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let s = schema();
+        let err = parse_truth(&s, "a=a1;a=a1").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_names_propagate() {
+        let s = schema();
+        assert!(parse_truth(&s, "zzz=a1").is_err());
+    }
+
+    #[test]
+    fn root_combination_in_truth() {
+        // A single root RAP ("everything is broken") is expressible as ";".
+        let s = schema();
+        let truth = parse_truth(&s, ";").unwrap_err();
+        // ";" means two empty parts -> two roots -> duplicate
+        assert!(truth.to_string().contains("duplicate"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests for the mdkpi data model invariants.
+
+use mdkpi::{
+    aggregate, decrease_ratio, Bitset, Combination, CuboidLattice, ElementId, LeafFrame,
+    LeafIndex, Schema,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random schema (1..=4 attributes, 1..=4 elements each).
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(1usize..=4, 1..=4).prop_map(|sizes| {
+        let mut b = Schema::builder();
+        for (i, n) in sizes.iter().enumerate() {
+            b = b.attribute(format!("attr{i}"), (0..*n).map(|j| format!("e{i}_{j}")));
+        }
+        b.build().expect("valid schema")
+    })
+}
+
+/// Strategy: a schema plus a random combination in it.
+fn schema_and_combination() -> impl Strategy<Value = (Schema, Combination)> {
+    schema_strategy().prop_flat_map(|schema| {
+        let n = schema.num_attributes();
+        let cells: Vec<_> = (0..n)
+            .map(|i| {
+                let len = schema.attribute(mdkpi::AttrId(i as u16)).len() as u32;
+                prop::option::of(0..len)
+            })
+            .collect();
+        (Just(schema), cells).prop_map(|(schema, cells)| {
+            let combo = Combination::from_pairs(
+                &schema,
+                cells
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| c.map(|e| (mdkpi::AttrId(i as u16), ElementId(e)))),
+            );
+            (schema, combo)
+        })
+    })
+}
+
+/// Strategy: a schema plus a labelled frame with random rows.
+fn schema_and_frame() -> impl Strategy<Value = (Schema, LeafFrame)> {
+    schema_strategy().prop_flat_map(|schema| {
+        let n = schema.num_attributes();
+        let sizes: Vec<u32> = (0..n)
+            .map(|i| schema.attribute(mdkpi::AttrId(i as u16)).len() as u32)
+            .collect();
+        let row = (
+            sizes
+                .iter()
+                .map(|&s| (0..s).boxed())
+                .collect::<Vec<BoxedStrategy<u32>>>(),
+            0.0f64..100.0,
+            0.1f64..100.0,
+            any::<bool>(),
+        );
+        (Just(schema), prop::collection::vec(row, 0..40)).prop_map(|(schema, rows)| {
+            let mut b = LeafFrame::builder(&schema);
+            for (elems, v, f, label) in rows {
+                let elems: Vec<ElementId> = elems.into_iter().map(ElementId).collect();
+                b.push_labelled(&elems, v, f, label);
+            }
+            let frame = b.build();
+            (schema, frame)
+        })
+    })
+}
+
+proptest! {
+    /// Every parent of a combination is a strict ancestor, one layer up.
+    #[test]
+    fn parents_are_strict_ancestors((_, combo) in schema_and_combination()) {
+        for p in combo.parents() {
+            prop_assert!(p.is_ancestor_of(&combo));
+            prop_assert!(combo.is_descendant_of(&p));
+            prop_assert_eq!(p.layer() + 1, combo.layer());
+        }
+    }
+
+    /// `generalizes` is a partial order: reflexive and antisymmetric.
+    #[test]
+    fn generalizes_is_partial_order((schema, combo) in schema_and_combination()) {
+        prop_assert!(combo.generalizes(&combo));
+        let root = Combination::root(&schema);
+        prop_assert!(root.generalizes(&combo));
+        if root.generalizes(&combo) && combo.generalizes(&root) {
+            prop_assert_eq!(&combo, &root);
+        }
+    }
+
+    /// Spec-string rendering round-trips through parsing.
+    #[test]
+    fn spec_string_roundtrips((schema, combo) in schema_and_combination()) {
+        let text = combo.to_spec_string();
+        let back = Combination::parse(&schema, &text).expect("roundtrip parse");
+        prop_assert_eq!(combo, back);
+    }
+
+    /// The cuboid lattice over n attributes has exactly 2^n - 1 cuboids and
+    /// binomial(n, k) cuboids in layer k.
+    #[test]
+    fn lattice_counts(n in 1usize..=6) {
+        let lattice = CuboidLattice::over_attrs((0..n as u16).map(mdkpi::AttrId));
+        prop_assert_eq!(lattice.num_cuboids(), (1 << n) - 1);
+        let mut binom = 1usize;
+        for k in 1..=n {
+            binom = binom * (n - k + 1) / k;
+            prop_assert_eq!(lattice.layer(k).len(), binom);
+        }
+    }
+
+    /// decrease_ratio is monotone in k and always beats the paper's
+    /// Table IV lower bound (2^k - 1) / 2^k for k >= 1.
+    #[test]
+    fn decrease_ratio_bounds(n in 1u32..=20, k_frac in 0.0f64..=1.0) {
+        let k = ((n as f64) * k_frac).floor() as u32;
+        let r = decrease_ratio(n, k);
+        prop_assert!((0.0..=1.0).contains(&r));
+        if k >= 1 {
+            let bound = ((1u64 << k) - 1) as f64 / (1u64 << k) as f64;
+            prop_assert!(r > bound - 1e-12);
+        }
+        if k < n {
+            prop_assert!(decrease_ratio(n, k + 1) >= r);
+        }
+    }
+
+    /// Aggregating any cuboid conserves the totals of v and f.
+    #[test]
+    fn aggregation_conserves((schema, frame) in schema_and_frame()) {
+        let lattice = CuboidLattice::full(&schema);
+        for (_, cuboid) in lattice.iter_top_down() {
+            let rows = aggregate(&frame, cuboid);
+            let v: f64 = rows.iter().map(|r| r.1).sum();
+            let f: f64 = rows.iter().map(|r| r.2).sum();
+            prop_assert!((v - frame.total_v()).abs() < 1e-6);
+            prop_assert!((f - frame.total_f()).abs() < 1e-6);
+        }
+    }
+
+    /// The inverted index agrees with a linear scan for support counting.
+    #[test]
+    fn index_agrees_with_scan((schema, frame) in schema_and_frame()) {
+        let index = LeafIndex::new(&frame);
+        let lattice = CuboidLattice::full(&schema);
+        for (_, cuboid) in lattice.iter_top_down().take(8) {
+            for combo in cuboid.combinations(&schema).take(16) {
+                let scan = frame.rows_matching(&combo);
+                prop_assert_eq!(index.support_count(&combo), scan.len());
+                let anom_scan = scan
+                    .iter()
+                    .filter(|&&i| frame.label(i) == Some(true))
+                    .count();
+                prop_assert_eq!(index.support_count_anomalous(&combo), anom_scan);
+            }
+        }
+    }
+
+    /// Confidence is always within [0, 1] and equals the scan ratio.
+    #[test]
+    fn confidence_in_unit_interval((schema, frame) in schema_and_frame()) {
+        let index = LeafIndex::new(&frame);
+        let root = Combination::root(&schema);
+        let c = index.confidence(&root);
+        prop_assert!((0.0..=1.0).contains(&c));
+        if frame.num_rows() > 0 {
+            let expected = frame.num_anomalous() as f64 / frame.num_rows() as f64;
+            prop_assert!((c - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Bitset algebra: |a ∩ b| + |a \ b| = |a| and subset relations hold.
+    #[test]
+    fn bitset_algebra(
+        len in 1usize..=300,
+        xs in prop::collection::vec(any::<prop::sample::Index>(), 0..64),
+        ys in prop::collection::vec(any::<prop::sample::Index>(), 0..64),
+    ) {
+        let mut a = Bitset::new(len);
+        let mut b = Bitset::new(len);
+        for x in &xs { a.insert(x.index(len)); }
+        for y in &ys { b.insert(y.index(len)); }
+        let inter = a.intersection_count(&b);
+        let mut diff = a.clone();
+        diff.subtract(&b);
+        prop_assert_eq!(inter + diff.count(), a.count());
+        let mut union = a.clone();
+        union.union_with(&b);
+        prop_assert!(a.is_subset_of(&union));
+        prop_assert!(b.is_subset_of(&union));
+        prop_assert_eq!(union.count(), a.count() + b.count() - inter);
+    }
+
+    /// A cuboid's combination iterator yields exactly num_combinations
+    /// distinct combinations, all in that cuboid.
+    #[test]
+    fn cuboid_enumeration_complete((schema, combo) in schema_and_combination()) {
+        let cuboid = combo.cuboid();
+        if cuboid.mask() == 0 {
+            return Ok(()); // root: not a lattice cuboid
+        }
+        let combos: Vec<Combination> = cuboid.combinations(&schema).collect();
+        prop_assert_eq!(combos.len() as u64, cuboid.num_combinations(&schema));
+        let distinct: std::collections::HashSet<_> = combos.iter().cloned().collect();
+        prop_assert_eq!(distinct.len(), combos.len());
+        prop_assert!(combos.iter().all(|c| c.cuboid() == cuboid));
+        prop_assert!(combos.contains(&combo));
+    }
+
+    /// Writing a frame to CSV and reading it back preserves rows, values and
+    /// labels.
+    #[test]
+    fn csv_roundtrip((_, frame) in schema_and_frame()) {
+        if frame.num_rows() == 0 {
+            return Ok(()); // empty CSV has no schema to infer
+        }
+        let mut buf = Vec::new();
+        mdkpi::write_frame_csv(&frame, &mut buf).expect("write");
+        let back = mdkpi::read_frame_csv(buf.as_slice()).expect("read");
+        prop_assert_eq!(back.num_rows(), frame.num_rows());
+        prop_assert_eq!(back.num_anomalous(), frame.num_anomalous());
+        for i in 0..frame.num_rows() {
+            prop_assert_eq!(
+                back.combination(i).to_string(),
+                frame.combination(i).to_string()
+            );
+            prop_assert!((back.v(i) - frame.v(i)).abs() < 1e-9);
+            prop_assert!((back.f(i) - frame.f(i)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+use baselines::ScoredCombination;
+
+/// The outcome of one triggered localization: what the on-call operator
+/// sees when the alarm fires.
+#[derive(Debug, Clone)]
+pub struct IncidentReport {
+    /// Index of the observation (0-based time step) that raised the alarm.
+    pub step: usize,
+    /// Relative deviation of the overall KPI that tripped the alarm
+    /// (Eq. 4 over the totals).
+    pub total_deviation: f64,
+    /// Leaves flagged anomalous by per-leaf detection.
+    pub anomalous_leaves: usize,
+    /// Total leaves in the triggering snapshot.
+    pub total_leaves: usize,
+    /// The ranked root anomaly patterns (best first).
+    pub raps: Vec<ScoredCombination>,
+}
+
+impl IncidentReport {
+    /// One-line operator summary.
+    pub fn summary(&self) -> String {
+        let top = self
+            .raps
+            .first()
+            .map(|r| r.combination.to_string())
+            .unwrap_or_else(|| "<no pattern>".to_string());
+        format!(
+            "step {}: total deviation {:+.1}%, {}/{} leaves anomalous, top RAP {}",
+            self.step,
+            100.0 * self.total_deviation,
+            self.anomalous_leaves,
+            self.total_leaves,
+            top
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::{Combination, Schema};
+
+    #[test]
+    fn summary_is_informative() {
+        let schema = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let report = IncidentReport {
+            step: 42,
+            total_deviation: 0.35,
+            anomalous_leaves: 3,
+            total_leaves: 10,
+            raps: vec![ScoredCombination {
+                combination: Combination::parse(&schema, "a=a1").unwrap(),
+                score: 0.9,
+            }],
+        };
+        let s = report.summary();
+        assert!(s.contains("step 42"));
+        assert!(s.contains("+35.0%"));
+        assert!(s.contains("3/10"));
+        assert!(s.contains("(a1)"));
+    }
+
+    #[test]
+    fn empty_rap_list_is_handled() {
+        let report = IncidentReport {
+            step: 1,
+            total_deviation: -0.2,
+            anomalous_leaves: 0,
+            total_leaves: 5,
+            raps: Vec::new(),
+        };
+        assert!(report.summary().contains("<no pattern>"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # pipeline — the paper's Fig. 1 operations loop, streaming
+//!
+//! The RAPMiner paper situates localization inside an IT-operations loop:
+//! KPIs are collected per most-fine-grained attribute combination every 60
+//! seconds, the *overall* KPI is monitored for anomalies, and **"once an
+//! anomaly alarm occurs, anomaly localization is triggered"** (§II-A).
+//! This crate implements that loop as a reusable component:
+//!
+//! * [`LocalizationPipeline::observe`] ingests one snapshot of actual
+//!   values per time step;
+//! * per-leaf and total histories feed a [`timeseries::Forecaster`];
+//! * when the total KPI deviates beyond the alarm threshold, every leaf is
+//!   forecast from its own history, labelled with the Eq. 4 deviation
+//!   detector, and handed to any [`baselines::Localizer`];
+//! * the result is an [`IncidentReport`] with the ranked root anomaly
+//!   patterns.
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::RapMinerLocalizer;
+//! use mdkpi::{LeafFrame, Schema};
+//! use pipeline::{LocalizationPipeline, PipelineConfig};
+//! use timeseries::MovingAverage;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let schema = Schema::builder()
+//!     .attribute("location", ["L1", "L2"])
+//!     .attribute("site", ["S1", "S2"])
+//!     .build()?;
+//! let mut pipe = LocalizationPipeline::new(
+//!     PipelineConfig::default(),
+//!     MovingAverage::new(5),
+//!     RapMinerLocalizer::default(),
+//! );
+//! // steady traffic: 20 normal steps
+//! let steady = |v: f64| -> Result<LeafFrame, mdkpi::Error> {
+//!     let mut b = LeafFrame::builder(&schema);
+//!     for (l, s) in [("L1", "S1"), ("L1", "S2"), ("L2", "S1"), ("L2", "S2")] {
+//!         b.push_named(&[("location", l), ("site", s)], v, 0.0)?;
+//!     }
+//!     Ok(b.build())
+//! };
+//! for _ in 0..20 {
+//!     assert!(pipe.observe(&steady(100.0)?)?.is_none());
+//! }
+//! // L1 collapses: the alarm fires and localization points at (L1, *)
+//! let mut b = LeafFrame::builder(&schema);
+//! b.push_named(&[("location", "L1"), ("site", "S1")], 5.0, 0.0)?;
+//! b.push_named(&[("location", "L1"), ("site", "S2")], 5.0, 0.0)?;
+//! b.push_named(&[("location", "L2"), ("site", "S1")], 100.0, 0.0)?;
+//! b.push_named(&[("location", "L2"), ("site", "S2")], 100.0, 0.0)?;
+//! let report = pipe.observe(&b.build())?.expect("alarm");
+//! assert_eq!(report.raps[0].combination.to_string(), "(L1, *)");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod incident;
+mod multi;
+mod stream;
+mod tracker;
+
+pub use incident::IncidentReport;
+pub use multi::{localize_multi_kpi, MergedRap, MultiKpiReport};
+pub use stream::{LocalizationPipeline, PipelineConfig, PipelineError};
+pub use tracker::{Incident, IncidentTracker};

@@ -1,0 +1,193 @@
+use baselines::{Localizer, ScoredCombination};
+use mdkpi::{Combination, LeafFrame};
+
+use crate::stream::PipelineError;
+
+/// One merged root anomaly pattern across several KPIs.
+#[derive(Debug, Clone)]
+pub struct MergedRap {
+    /// The pattern.
+    pub combination: Combination,
+    /// Names of the KPIs in which the pattern surfaced.
+    pub kpis: Vec<String>,
+    /// The best per-KPI score (scores are comparable within one method).
+    pub score: f64,
+}
+
+/// The outcome of localizing one incident across several KPIs.
+#[derive(Debug, Clone)]
+pub struct MultiKpiReport {
+    /// Per-KPI results, in input order.
+    pub per_kpi: Vec<(String, Vec<ScoredCombination>)>,
+    /// Union of all patterns, ranked by (#KPIs desc, best score desc) — a
+    /// pattern anomalous in *several* KPIs is stronger evidence of a real
+    /// scope than a single-KPI blip.
+    pub merged: Vec<MergedRap>,
+}
+
+/// Localize the same incident over several KPIs' leaf tables and merge the
+/// answers (the paper's §II-A operators monitor "traffic volume, cache hit
+/// ratio and server response delay, etc." simultaneously).
+///
+/// All frames must be labelled; each is localized independently with the
+/// same method, then patterns are merged by exact combination equality.
+///
+/// # Errors
+///
+/// Propagates the first localization failure.
+///
+/// # Example
+///
+/// ```
+/// use baselines::RapMinerLocalizer;
+/// use mdkpi::{LeafFrame, Schema};
+/// use pipeline::localize_multi_kpi;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder().attribute("loc", ["L1", "L2"]).build()?;
+/// let frame = |anomalous: u32| {
+///     let mut b = LeafFrame::builder(&schema);
+///     for e in 0..2u32 {
+///         b.push_labelled(&[mdkpi::ElementId(e)], 1.0, 1.0, e == anomalous);
+///     }
+///     b.build()
+/// };
+/// // L1 is anomalous in both traffic and delay
+/// let report = localize_multi_kpi(
+///     &RapMinerLocalizer::default(),
+///     &[("traffic", &frame(0)), ("delay", &frame(0))],
+///     3,
+/// )?;
+/// assert_eq!(report.merged[0].combination.to_string(), "(L1)");
+/// assert_eq!(report.merged[0].kpis, vec!["traffic", "delay"]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn localize_multi_kpi<L: Localizer + ?Sized>(
+    localizer: &L,
+    frames: &[(&str, &LeafFrame)],
+    k: usize,
+) -> Result<MultiKpiReport, PipelineError> {
+    let mut per_kpi: Vec<(String, Vec<ScoredCombination>)> = Vec::with_capacity(frames.len());
+    for (name, frame) in frames {
+        let results = localizer.localize(frame, k)?;
+        per_kpi.push((name.to_string(), results));
+    }
+
+    let mut merged: Vec<MergedRap> = Vec::new();
+    for (kpi, results) in &per_kpi {
+        for sc in results {
+            match merged
+                .iter_mut()
+                .find(|m| m.combination == sc.combination)
+            {
+                Some(m) => {
+                    if !m.kpis.contains(kpi) {
+                        m.kpis.push(kpi.clone());
+                    }
+                    if sc.score > m.score {
+                        m.score = sc.score;
+                    }
+                }
+                None => merged.push(MergedRap {
+                    combination: sc.combination.clone(),
+                    kpis: vec![kpi.clone()],
+                    score: sc.score,
+                }),
+            }
+        }
+    }
+    merged.sort_by(|a, b| {
+        b.kpis
+            .len()
+            .cmp(&a.kpis.len())
+            .then_with(|| b.score.partial_cmp(&a.score).expect("finite scores"))
+            .then_with(|| a.combination.cmp(&b.combination))
+    });
+    merged.truncate(k);
+    Ok(MultiKpiReport { per_kpi, merged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::RapMinerLocalizer;
+    use mdkpi::{ElementId, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap()
+    }
+
+    fn frame_with_anomalous(schema: &Schema, spec: &str) -> LeafFrame {
+        let rap = schema.parse_combination(spec).unwrap();
+        let mut b = LeafFrame::builder(schema);
+        for x in 0..3u32 {
+            for y in 0..2u32 {
+                let elements = [ElementId(x), ElementId(y)];
+                b.push_labelled(&elements, 1.0, 1.0, rap.matches_leaf(&elements));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn cross_kpi_pattern_ranks_first() {
+        let s = schema();
+        let traffic = frame_with_anomalous(&s, "a=a1");
+        let delay = frame_with_anomalous(&s, "a=a1");
+        let hits = frame_with_anomalous(&s, "a=a3");
+        let report = localize_multi_kpi(
+            &RapMinerLocalizer::default(),
+            &[("traffic", &traffic), ("delay", &delay), ("hit_ratio", &hits)],
+            5,
+        )
+        .unwrap();
+        assert_eq!(report.per_kpi.len(), 3);
+        assert_eq!(report.merged[0].combination.to_string(), "(a1, *)");
+        assert_eq!(report.merged[0].kpis.len(), 2);
+        // the single-KPI pattern is present but ranked below
+        assert!(report
+            .merged
+            .iter()
+            .any(|m| m.combination.to_string() == "(a3, *)" && m.kpis == ["hit_ratio"]));
+    }
+
+    #[test]
+    fn k_truncates_merged_output() {
+        let s = schema();
+        let t = frame_with_anomalous(&s, "a=a1");
+        let d = frame_with_anomalous(&s, "a=a2");
+        let report =
+            localize_multi_kpi(&RapMinerLocalizer::default(), &[("t", &t), ("d", &d)], 1)
+                .unwrap();
+        assert_eq!(report.merged.len(), 1);
+    }
+
+    #[test]
+    fn unlabelled_kpi_frame_fails_loudly() {
+        let s = schema();
+        let labelled = frame_with_anomalous(&s, "a=a1");
+        let mut b = LeafFrame::builder(&s);
+        b.push(&[ElementId(0), ElementId(0)], 1.0, 1.0);
+        let unlabelled = b.build();
+        let err = localize_multi_kpi(
+            &RapMinerLocalizer::default(),
+            &[("ok", &labelled), ("broken", &unlabelled)],
+            3,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("localization failed"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_report() {
+        let report =
+            localize_multi_kpi(&RapMinerLocalizer::default(), &[], 3).unwrap();
+        assert!(report.per_kpi.is_empty());
+        assert!(report.merged.is_empty());
+    }
+}

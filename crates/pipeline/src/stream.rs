@@ -1,0 +1,398 @@
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use baselines::Localizer;
+use mdkpi::{ElementId, LeafFrame, Schema};
+use timeseries::{deviation, Forecaster};
+
+use crate::incident::IncidentReport;
+
+/// Tunables of the streaming loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Points of history kept per leaf (and for the total KPI).
+    pub history_len: usize,
+    /// Observations required before alarms may fire (forecasters need
+    /// context).
+    pub warmup: usize,
+    /// Absolute Eq. 4 deviation of the *total* KPI that raises the alarm.
+    pub alarm_threshold: f64,
+    /// Absolute Eq. 4 deviation labelling one *leaf* anomalous once the
+    /// alarm fired.
+    pub leaf_threshold: f64,
+    /// Root anomaly patterns to report per incident.
+    pub k: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            history_len: 1440, // one day at minute granularity
+            warmup: 10,
+            alarm_threshold: 0.1,
+            leaf_threshold: 0.3,
+            k: 3,
+        }
+    }
+}
+
+/// Errors of the streaming pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// A snapshot used a different schema than the first one observed.
+    SchemaChanged,
+    /// The localizer failed on a triggered incident.
+    Localization(baselines::Error),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::SchemaChanged => {
+                write!(f, "snapshot schema differs from the stream's schema")
+            }
+            PipelineError::Localization(e) => write!(f, "localization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Localization(e) => Some(e),
+            PipelineError::SchemaChanged => None,
+        }
+    }
+}
+
+impl From<baselines::Error> for PipelineError {
+    fn from(e: baselines::Error) -> Self {
+        PipelineError::Localization(e)
+    }
+}
+
+/// The streaming operations loop: ingest per-leaf actuals step by step,
+/// alarm on the overall KPI, localize on alarm (see the crate docs for a
+/// full example).
+pub struct LocalizationPipeline<F, L> {
+    config: PipelineConfig,
+    forecaster: F,
+    localizer: L,
+    schema: Option<Schema>,
+    /// Per-leaf actual-value history, keyed by the leaf's element vector.
+    history: HashMap<Vec<ElementId>, VecDeque<f64>>,
+    total_history: VecDeque<f64>,
+    steps: usize,
+}
+
+impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
+    /// Create the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_len` or `k` is zero, or thresholds are not
+    /// positive finite numbers.
+    pub fn new(config: PipelineConfig, forecaster: F, localizer: L) -> Self {
+        assert!(config.history_len > 0, "history_len must be positive");
+        assert!(config.k > 0, "k must be positive");
+        for (name, v) in [
+            ("alarm_threshold", config.alarm_threshold),
+            ("leaf_threshold", config.leaf_threshold),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive");
+        }
+        LocalizationPipeline {
+            config,
+            forecaster,
+            localizer,
+            schema: None,
+            history: HashMap::new(),
+            total_history: VecDeque::new(),
+            steps: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Number of snapshots observed so far.
+    pub fn steps_observed(&self) -> usize {
+        self.steps
+    }
+
+    /// Ingest one snapshot of **actual** values (the frame's forecast
+    /// column is ignored — this pipeline produces its own forecasts from
+    /// history). Returns an [`IncidentReport`] when the overall KPI
+    /// deviates beyond the alarm threshold after warmup.
+    ///
+    /// Leaves absent from a snapshot are treated as reporting zero (a dead
+    /// leaf is itself a signal); leaves never seen before start a fresh
+    /// history.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot's schema differs from the stream's, or the
+    /// localizer errors on a triggered incident.
+    pub fn observe(&mut self, frame: &LeafFrame) -> Result<Option<IncidentReport>, PipelineError> {
+        let schema = match &self.schema {
+            None => {
+                self.schema = Some(frame.schema().clone());
+                self.schema.as_ref().expect("just set")
+            }
+            Some(s) => {
+                if s != frame.schema() {
+                    return Err(PipelineError::SchemaChanged);
+                }
+                s
+            }
+        };
+        let schema = schema.clone();
+
+        // detection BEFORE updating histories: forecasts must not see the
+        // current (possibly anomalous) point
+        let total_v = frame.total_v();
+        let mut report = None;
+        if self.steps >= self.config.warmup {
+            let total_hist: Vec<f64> = self.total_history.iter().copied().collect();
+            let total_f = self.forecaster.forecast_next(&total_hist);
+            let total_dev = deviation(total_v, total_f);
+            if total_dev.abs() > self.config.alarm_threshold {
+                report = Some(self.localize_incident(&schema, frame, total_dev)?);
+            }
+        }
+
+        // update histories (current snapshot becomes the newest point)
+        let mut seen: HashMap<&[ElementId], f64> = HashMap::new();
+        for i in 0..frame.num_rows() {
+            // duplicate leaf rows in one snapshot are summed
+            *seen.entry(frame.row_elements(i)).or_insert(0.0) += frame.v(i);
+        }
+        for (elements, hist) in &mut self.history {
+            let v = seen.remove(elements.as_slice()).unwrap_or(0.0);
+            push_bounded(hist, v, self.config.history_len);
+        }
+        for (elements, v) in seen {
+            let mut hist = VecDeque::new();
+            push_bounded(&mut hist, v, self.config.history_len);
+            self.history.insert(elements.to_vec(), hist);
+        }
+        push_bounded(&mut self.total_history, total_v, self.config.history_len);
+        self.steps += 1;
+        Ok(report)
+    }
+
+    /// Forecast every known leaf, label by deviation, and localize.
+    fn localize_incident(
+        &self,
+        schema: &Schema,
+        frame: &LeafFrame,
+        total_dev: f64,
+    ) -> Result<IncidentReport, PipelineError> {
+        let mut current: HashMap<&[ElementId], f64> = HashMap::new();
+        for i in 0..frame.num_rows() {
+            *current.entry(frame.row_elements(i)).or_insert(0.0) += frame.v(i);
+        }
+        let mut builder = LeafFrame::builder(schema);
+        let mut labels: Vec<bool> = Vec::new();
+        let mut keys: Vec<&Vec<ElementId>> = self.history.keys().collect();
+        keys.sort(); // deterministic row order
+        for elements in keys {
+            let hist: Vec<f64> = self.history[elements].iter().copied().collect();
+            let f = self.forecaster.forecast_next(&hist).max(0.0);
+            let v = current.get(elements.as_slice()).copied().unwrap_or(0.0);
+            builder.push(elements, v, f);
+            labels.push(deviation(v, f).abs() > self.config.leaf_threshold);
+        }
+        let mut labelled = builder.build();
+        labelled
+            .set_labels(labels)
+            .expect("labels built alongside rows");
+        let raps = self.localizer.localize(&labelled, self.config.k)?;
+        Ok(IncidentReport {
+            step: self.steps,
+            total_deviation: total_dev,
+            anomalous_leaves: labelled.num_anomalous(),
+            total_leaves: labelled.num_rows(),
+            raps,
+        })
+    }
+}
+
+impl<F: fmt::Debug, L: fmt::Debug> fmt::Debug for LocalizationPipeline<F, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalizationPipeline")
+            .field("steps", &self.steps)
+            .field("leaves_tracked", &self.history.len())
+            .field("forecaster", &self.forecaster)
+            .field("localizer", &self.localizer)
+            .finish()
+    }
+}
+
+fn push_bounded(hist: &mut VecDeque<f64>, v: f64, cap: usize) {
+    if hist.len() == cap {
+        hist.pop_front();
+    }
+    hist.push_back(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::RapMinerLocalizer;
+    use timeseries::MovingAverage;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap()
+    }
+
+    fn frame(schema: &Schema, values: [f64; 4]) -> LeafFrame {
+        let mut b = LeafFrame::builder(schema);
+        let mut idx = 0;
+        for x in 0..2u32 {
+            for y in 0..2u32 {
+                b.push(&[ElementId(x), ElementId(y)], values[idx], 0.0);
+                idx += 1;
+            }
+        }
+        b.build()
+    }
+
+    fn pipeline() -> LocalizationPipeline<MovingAverage, RapMinerLocalizer> {
+        LocalizationPipeline::new(
+            PipelineConfig {
+                warmup: 5,
+                ..PipelineConfig::default()
+            },
+            MovingAverage::new(5),
+            RapMinerLocalizer::default(),
+        )
+    }
+
+    #[test]
+    fn steady_traffic_never_alarms() {
+        let s = schema();
+        let mut p = pipeline();
+        for step in 0..30 {
+            let jitter = 1.0 + 0.01 * ((step % 3) as f64 - 1.0);
+            let report = p
+                .observe(&frame(&s, [100.0 * jitter, 50.0, 80.0, 60.0]))
+                .unwrap();
+            assert!(report.is_none(), "false alarm at step {step}");
+        }
+        assert_eq!(p.steps_observed(), 30);
+    }
+
+    #[test]
+    fn collapse_raises_alarm_and_localizes() {
+        let s = schema();
+        let mut p = pipeline();
+        for _ in 0..10 {
+            assert!(p.observe(&frame(&s, [100.0, 100.0, 100.0, 100.0])).unwrap().is_none());
+        }
+        // (a1, *) collapses: rows (a1,b1) and (a1,b2)
+        let report = p
+            .observe(&frame(&s, [5.0, 5.0, 100.0, 100.0]))
+            .unwrap()
+            .expect("alarm should fire");
+        assert!(report.total_deviation > 0.1);
+        assert_eq!(report.anomalous_leaves, 2);
+        assert_eq!(report.raps[0].combination.to_string(), "(a1, *)");
+        assert!(report.summary().contains("(a1, *)"));
+    }
+
+    #[test]
+    fn no_alarm_during_warmup() {
+        let s = schema();
+        let mut p = pipeline();
+        // even a crazy first frame cannot alarm: not enough history
+        for _ in 0..4 {
+            assert!(p.observe(&frame(&s, [0.0, 0.0, 0.0, 0.0])).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn vanished_leaf_counts_as_zero_and_localizes() {
+        let s = schema();
+        let mut p = pipeline();
+        for _ in 0..10 {
+            p.observe(&frame(&s, [100.0, 100.0, 100.0, 100.0])).unwrap();
+        }
+        // snapshot missing every a1 row entirely (dead collector)
+        let mut b = LeafFrame::builder(&s);
+        b.push(&[ElementId(1), ElementId(0)], 100.0, 0.0);
+        b.push(&[ElementId(1), ElementId(1)], 100.0, 0.0);
+        let partial = b.build();
+        let report = p.observe(&partial).unwrap().expect("alarm");
+        assert_eq!(report.raps[0].combination.to_string(), "(a1, *)");
+        // history was still extended for the missing leaves (with zeros)
+        assert_eq!(p.history.len(), 4);
+    }
+
+    #[test]
+    fn schema_change_is_rejected() {
+        let s = schema();
+        let mut p = pipeline();
+        p.observe(&frame(&s, [1.0, 1.0, 1.0, 1.0])).unwrap();
+        let other = Schema::builder().attribute("x", ["x1"]).build().unwrap();
+        let mut b = LeafFrame::builder(&other);
+        b.push(&[ElementId(0)], 1.0, 0.0);
+        let err = p.observe(&b.build()).unwrap_err();
+        assert!(matches!(err, PipelineError::SchemaChanged));
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let s = schema();
+        let mut p = LocalizationPipeline::new(
+            PipelineConfig {
+                history_len: 7,
+                warmup: 3,
+                ..PipelineConfig::default()
+            },
+            MovingAverage::new(3),
+            RapMinerLocalizer::default(),
+        );
+        for _ in 0..50 {
+            p.observe(&frame(&s, [10.0, 10.0, 10.0, 10.0])).unwrap();
+        }
+        assert!(p.total_history.len() <= 7);
+        assert!(p.history.values().all(|h| h.len() <= 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "alarm_threshold")]
+    fn bad_config_rejected() {
+        LocalizationPipeline::new(
+            PipelineConfig {
+                alarm_threshold: 0.0,
+                ..PipelineConfig::default()
+            },
+            MovingAverage::new(3),
+            RapMinerLocalizer::default(),
+        );
+    }
+
+    #[test]
+    fn traffic_surge_also_alarms() {
+        // negative deviation (actual above forecast) must trigger too
+        let s = schema();
+        let mut p = pipeline();
+        for _ in 0..10 {
+            p.observe(&frame(&s, [100.0, 100.0, 100.0, 100.0])).unwrap();
+        }
+        let report = p
+            .observe(&frame(&s, [500.0, 500.0, 100.0, 100.0]))
+            .unwrap()
+            .expect("surge alarm");
+        assert!(report.total_deviation < 0.0);
+        assert_eq!(report.raps[0].combination.to_string(), "(a1, *)");
+    }
+}

@@ -1,0 +1,225 @@
+use mdkpi::Combination;
+
+use crate::incident::IncidentReport;
+
+/// Folds the per-step [`IncidentReport`]s of a stream into *incidents*: a
+/// failure that persists across consecutive alarmed steps is one incident,
+/// not a page per minute.
+///
+/// Two consecutive reports belong to the same incident when their top-RAP
+/// sets overlap (the failure scope is stable even if ranking jitters); a
+/// gap of more than `max_gap` steps without an alarm closes the incident.
+///
+/// # Example
+///
+/// ```
+/// use pipeline::{IncidentTracker, IncidentReport};
+///
+/// let mut tracker = IncidentTracker::new(2);
+/// // feed reports from the stream loop:
+/// //   if let Some(report) = pipe.observe(&snapshot)? {
+/// //       if let Some(opened) = tracker.observe_alarm(report) { page(opened); }
+/// //   } else if let Some(closed) = tracker.observe_quiet(step) { resolve(closed); }
+/// assert!(tracker.active().is_none());
+/// ```
+#[derive(Debug)]
+pub struct IncidentTracker {
+    max_gap: usize,
+    active: Option<Incident>,
+    closed: Vec<Incident>,
+}
+
+/// One tracked incident: its lifetime and the reports that composed it.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Step of the first alarm.
+    pub first_step: usize,
+    /// Step of the most recent alarm.
+    pub last_step: usize,
+    /// Number of alarmed steps folded into this incident.
+    pub alarm_count: usize,
+    /// The top-ranked RAP of the most recent report.
+    pub top_rap: Option<Combination>,
+    /// The most recent full report.
+    pub latest: IncidentReport,
+}
+
+impl Incident {
+    /// Duration in steps (inclusive).
+    pub fn duration(&self) -> usize {
+        self.last_step - self.first_step + 1
+    }
+}
+
+impl IncidentTracker {
+    /// Create with the maximum quiet gap (in steps) an incident survives.
+    pub fn new(max_gap: usize) -> Self {
+        IncidentTracker {
+            max_gap,
+            active: None,
+            closed: Vec::new(),
+        }
+    }
+
+    /// The currently open incident, if any.
+    pub fn active(&self) -> Option<&Incident> {
+        self.active.as_ref()
+    }
+
+    /// Incidents closed so far, oldest first.
+    pub fn closed(&self) -> &[Incident] {
+        &self.closed
+    }
+
+    /// Feed an alarmed step's report. Returns the incident when this alarm
+    /// *opened* a new one (the moment to page), `None` when it extended the
+    /// active incident.
+    pub fn observe_alarm(&mut self, report: IncidentReport) -> Option<&Incident> {
+        let top = report.raps.first().map(|r| r.combination.clone());
+        let same_scope = match (&self.active, &top) {
+            (Some(active), Some(new_top)) => {
+                report.step.saturating_sub(active.last_step) <= self.max_gap + 1
+                    && (active.top_rap.as_ref() == Some(new_top)
+                        || active
+                            .latest
+                            .raps
+                            .iter()
+                            .any(|r| Some(&r.combination) == top.as_ref()))
+            }
+            _ => false,
+        };
+        if same_scope {
+            let active = self.active.as_mut().expect("checked above");
+            active.last_step = report.step;
+            active.alarm_count += 1;
+            active.top_rap = top;
+            active.latest = report;
+            return None;
+        }
+        // different scope (or nothing active): close the old, open anew
+        if let Some(old) = self.active.take() {
+            self.closed.push(old);
+        }
+        self.active = Some(Incident {
+            first_step: report.step,
+            last_step: report.step,
+            alarm_count: 1,
+            top_rap: top,
+            latest: report,
+        });
+        self.active.as_ref()
+    }
+
+    /// Feed a quiet (non-alarmed) step. Returns the incident if the quiet
+    /// gap exceeded `max_gap` and the active incident closed (the moment to
+    /// mark resolved).
+    pub fn observe_quiet(&mut self, step: usize) -> Option<Incident> {
+        let expired = match &self.active {
+            Some(active) => step.saturating_sub(active.last_step) > self.max_gap,
+            None => false,
+        };
+        if expired {
+            let incident = self.active.take().expect("checked above");
+            self.closed.push(incident.clone());
+            Some(incident)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::ScoredCombination;
+    use mdkpi::Schema;
+
+    fn report(step: usize, rap_spec: &str) -> IncidentReport {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .build()
+            .unwrap();
+        let raps = if rap_spec.is_empty() {
+            Vec::new()
+        } else {
+            vec![ScoredCombination {
+                combination: schema.parse_combination(rap_spec).unwrap(),
+                score: 1.0,
+            }]
+        };
+        IncidentReport {
+            step,
+            total_deviation: 0.3,
+            anomalous_leaves: 1,
+            total_leaves: 2,
+            raps,
+        }
+    }
+
+    #[test]
+    fn consecutive_same_scope_alarms_fold_into_one_incident() {
+        let mut t = IncidentTracker::new(2);
+        assert!(t.observe_alarm(report(10, "a=a1")).is_some()); // opens
+        assert!(t.observe_alarm(report(11, "a=a1")).is_none()); // extends
+        assert!(t.observe_alarm(report(12, "a=a1")).is_none());
+        let active = t.active().unwrap();
+        assert_eq!(active.alarm_count, 3);
+        assert_eq!(active.duration(), 3);
+        assert!(t.closed().is_empty());
+    }
+
+    #[test]
+    fn scope_change_opens_a_new_incident() {
+        let mut t = IncidentTracker::new(2);
+        t.observe_alarm(report(10, "a=a1"));
+        let opened = t.observe_alarm(report(11, "a=a2"));
+        assert!(opened.is_some(), "different scope must open a new incident");
+        assert_eq!(t.closed().len(), 1);
+        assert_eq!(
+            t.closed()[0].top_rap.as_ref().unwrap().to_string(),
+            "(a1)"
+        );
+    }
+
+    #[test]
+    fn quiet_gap_closes_the_incident() {
+        let mut t = IncidentTracker::new(2);
+        t.observe_alarm(report(10, "a=a1"));
+        assert!(t.observe_quiet(11).is_none()); // gap 1 <= 2
+        assert!(t.observe_quiet(12).is_none()); // gap 2 <= 2
+        let closed = t.observe_quiet(13).expect("gap 3 > 2 closes");
+        assert_eq!(closed.first_step, 10);
+        assert!(t.active().is_none());
+        // further quiet steps are no-ops
+        assert!(t.observe_quiet(14).is_none());
+    }
+
+    #[test]
+    fn alarm_after_short_gap_still_extends() {
+        let mut t = IncidentTracker::new(2);
+        t.observe_alarm(report(10, "a=a1"));
+        t.observe_quiet(11);
+        assert!(t.observe_alarm(report(12, "a=a1")).is_none(), "gap 2 extends");
+        assert_eq!(t.active().unwrap().alarm_count, 2);
+    }
+
+    #[test]
+    fn alarm_after_long_gap_opens_new_incident() {
+        let mut t = IncidentTracker::new(1);
+        t.observe_alarm(report(10, "a=a1"));
+        // steps 11..14 quiet; incident closes at 12 (gap 2 > 1)
+        assert!(t.observe_quiet(11).is_none());
+        assert!(t.observe_quiet(12).is_some());
+        assert!(t.observe_alarm(report(14, "a=a1")).is_some());
+        assert_eq!(t.closed().len(), 1);
+    }
+
+    #[test]
+    fn empty_rap_reports_are_handled() {
+        let mut t = IncidentTracker::new(2);
+        assert!(t.observe_alarm(report(5, "")).is_some());
+        // a second empty-rap report cannot match scope -> new incident
+        assert!(t.observe_alarm(report(6, "")).is_some());
+        assert_eq!(t.closed().len(), 1);
+    }
+}

@@ -1,0 +1,296 @@
+use mdkpi::{AttrId, LeafFrame, LeafIndex};
+
+/// The outcome of Algorithm 1 (redundant attribute deletion): surviving and
+/// deleted attributes, each with its classification power. `kept` is sorted
+/// by CP descending, as the algorithm prescribes (`AttributeSet' ← Sort
+/// AttributeSet by CP reversely`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeletionOutcome {
+    /// Attributes related to the RAPs, sorted by classification power
+    /// descending.
+    pub kept: Vec<(AttrId, f64)>,
+    /// Redundant attributes (`CP ≤ t_CP`), in schema order.
+    pub deleted: Vec<(AttrId, f64)>,
+}
+
+/// The paper's Eq. 1 **Classification Power** of one attribute: the
+/// normalized information gain of splitting the labelled leaf dataset by
+/// that attribute,
+///
+/// ```text
+/// CP_attr = (Info(D) − Info_attr(D)) / Info(D)
+/// Info(D) = −(p_a·log p_a + p_n·log p_n)
+/// Info_attr(D) = Σ_i (|D_attr_i| / |D|) · Info(D_attr_i)
+/// ```
+///
+/// where `p_a`/`p_n` are the anomalous/normal fractions. CP lies in
+/// `[0, 1]`: 0 when the split tells nothing about the labels (the attribute
+/// is independent of the anomaly), 1 when it separates them perfectly.
+///
+/// Degenerate inputs — an empty frame, an all-normal or all-anomalous frame
+/// (`Info(D) = 0`) — have no classification signal and return 0 for every
+/// attribute.
+///
+/// # Panics
+///
+/// Panics if `attr` is out of bounds for the frame's schema.
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::{Schema, LeafFrame, LeafIndex, AttrId};
+/// use rapminer::classification_power;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder()
+///     .attribute("a", ["a1", "a2"])
+///     .attribute("b", ["b1", "b2"])
+///     .build()?;
+/// let mut builder = LeafFrame::builder(&schema);
+/// // anomaly depends on `a` only
+/// builder.push_named(&[("a", "a1"), ("b", "b1")], 1.0, 9.0)?;
+/// builder.push_named(&[("a", "a1"), ("b", "b2")], 1.0, 9.0)?;
+/// builder.push_named(&[("a", "a2"), ("b", "b1")], 9.0, 9.0)?;
+/// builder.push_named(&[("a", "a2"), ("b", "b2")], 9.0, 9.0)?;
+/// let mut frame = builder.build();
+/// frame.label_with(|v, f| v < 0.5 * f);
+/// let index = LeafIndex::new(&frame);
+/// assert_eq!(classification_power(&frame, &index, AttrId(0)), 1.0);
+/// assert_eq!(classification_power(&frame, &index, AttrId(1)), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn classification_power(frame: &LeafFrame, index: &LeafIndex, attr: AttrId) -> f64 {
+    let n = frame.num_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let anomalous = match index.anomalous_rows() {
+        None => return 0.0,
+        Some(a) => a,
+    };
+    let total_anom = anomalous.count();
+    let info_d = binary_entropy(total_anom as f64 / n as f64);
+    if info_d <= 0.0 {
+        // all-normal or all-anomalous: nothing to classify
+        return 0.0;
+    }
+    let mut info_attr = 0.0;
+    for element in frame.schema().attribute(attr).element_ids() {
+        let posting = index.posting(attr, element);
+        let branch = posting.count();
+        if branch == 0 {
+            continue;
+        }
+        let branch_anom = posting.intersection_count(anomalous);
+        let weight = branch as f64 / n as f64;
+        info_attr += weight * binary_entropy(branch_anom as f64 / branch as f64);
+    }
+    ((info_d - info_attr) / info_d).clamp(0.0, 1.0)
+}
+
+/// Binary Shannon entropy `−(p·log₂ p + (1−p)·log₂(1−p))`, with the
+/// standard `0·log 0 = 0` convention.
+fn binary_entropy(p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let term = |q: f64| if q <= 0.0 { 0.0 } else { -q * q.log2() };
+    term(p) + term(1.0 - p)
+}
+
+/// Algorithm 1, **Redundant Attributes Deletion**: compute CP for every
+/// attribute, drop those with `CP ≤ t_CP` (Criteria 1), and return the
+/// survivors sorted by CP descending.
+///
+/// Divergence note: when *every* attribute falls below the threshold but
+/// the frame still contains anomalies, the paper's pseudocode would leave
+/// nothing to search. This implementation keeps the single highest-CP
+/// attribute in that case so the search stage always has a lattice,
+/// documented in `DESIGN.md`.
+///
+/// # Example
+///
+/// ```
+/// use mdkpi::{Schema, LeafFrame, LeafIndex};
+/// use rapminer::delete_redundant_attributes;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let schema = Schema::builder()
+///     .attribute("a", ["a1", "a2"])
+///     .attribute("b", ["b1", "b2"])
+///     .build()?;
+/// let mut builder = LeafFrame::builder(&schema);
+/// builder.push_named(&[("a", "a1"), ("b", "b1")], 1.0, 9.0)?;
+/// builder.push_named(&[("a", "a1"), ("b", "b2")], 1.0, 9.0)?;
+/// builder.push_named(&[("a", "a2"), ("b", "b1")], 9.0, 9.0)?;
+/// builder.push_named(&[("a", "a2"), ("b", "b2")], 9.0, 9.0)?;
+/// let mut frame = builder.build();
+/// frame.label_with(|v, f| v < 0.5 * f);
+/// let index = LeafIndex::new(&frame);
+/// let outcome = delete_redundant_attributes(&frame, &index, 0.02);
+/// assert_eq!(outcome.kept.len(), 1);   // only `a` explains the labels
+/// assert_eq!(outcome.deleted.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn delete_redundant_attributes(
+    frame: &LeafFrame,
+    index: &LeafIndex,
+    t_cp: f64,
+) -> DeletionOutcome {
+    let mut kept: Vec<(AttrId, f64)> = Vec::new();
+    let mut deleted: Vec<(AttrId, f64)> = Vec::new();
+    for attr in frame.schema().attr_ids() {
+        let cp = classification_power(frame, index, attr);
+        if cp > t_cp {
+            kept.push((attr, cp));
+        } else {
+            deleted.push((attr, cp));
+        }
+    }
+    if kept.is_empty() && !deleted.is_empty() {
+        // Keep the best attribute so the search stage has a lattice.
+        let best = deleted
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("cp is finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        kept.push(deleted.remove(best));
+    }
+    kept.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("cp is finite"));
+    DeletionOutcome { kept, deleted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::{ElementId, Schema};
+
+    /// 3-attribute frame where the anomaly is exactly (a1, *, *) —
+    /// the paper's Fig. 6 example.
+    fn fig6_frame() -> LeafFrame {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .attribute("c", ["c1", "c2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                for c in 0..2u32 {
+                    let anomalous = a == 0;
+                    let (v, f) = if anomalous { (1.0, 10.0) } else { (10.0, 10.0) };
+                    builder.push_labelled(
+                        &[ElementId(a), ElementId(b), ElementId(c)],
+                        v,
+                        f,
+                        anomalous,
+                    );
+                }
+            }
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn fig6_attribute_a_has_max_power() {
+        let frame = fig6_frame();
+        let index = LeafIndex::new(&frame);
+        let cp_a = classification_power(&frame, &index, AttrId(0));
+        let cp_b = classification_power(&frame, &index, AttrId(1));
+        let cp_c = classification_power(&frame, &index, AttrId(2));
+        assert_eq!(cp_a, 1.0, "splitting by a separates labels perfectly");
+        assert_eq!(cp_b, 0.0, "b is independent of the anomaly");
+        assert_eq!(cp_c, 0.0, "c is independent of the anomaly");
+    }
+
+    #[test]
+    fn cp_is_in_unit_interval() {
+        let frame = fig6_frame();
+        let index = LeafIndex::new(&frame);
+        for attr in frame.schema().attr_ids() {
+            let cp = classification_power(&frame, &index, attr);
+            assert!((0.0..=1.0).contains(&cp));
+        }
+    }
+
+    #[test]
+    fn degenerate_labels_have_zero_power() {
+        let mut frame = fig6_frame();
+        frame.set_labels(vec![false; frame.num_rows()]).unwrap();
+        let index = LeafIndex::new(&frame);
+        assert_eq!(classification_power(&frame, &index, AttrId(0)), 0.0);
+        frame.set_labels(vec![true; frame.num_rows()]).unwrap();
+        let index = LeafIndex::new(&frame);
+        assert_eq!(classification_power(&frame, &index, AttrId(0)), 0.0);
+    }
+
+    #[test]
+    fn unlabelled_frame_has_zero_power() {
+        let schema = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        builder.push(&[ElementId(0)], 1.0, 1.0);
+        let frame = builder.build();
+        let index = LeafIndex::new(&frame);
+        assert_eq!(classification_power(&frame, &index, AttrId(0)), 0.0);
+    }
+
+    #[test]
+    fn deletion_keeps_informative_attributes_sorted() {
+        let frame = fig6_frame();
+        let index = LeafIndex::new(&frame);
+        let outcome = delete_redundant_attributes(&frame, &index, 0.02);
+        assert_eq!(outcome.kept.len(), 1);
+        assert_eq!(outcome.kept[0].0, AttrId(0));
+        assert_eq!(outcome.deleted.len(), 2);
+        // kept list is sorted descending by construction
+        for w in outcome.kept.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn all_below_threshold_keeps_best_attribute() {
+        let frame = fig6_frame();
+        let index = LeafIndex::new(&frame);
+        // absurd threshold: everything is "redundant"
+        let outcome = delete_redundant_attributes(&frame, &index, 0.999_999);
+        assert_eq!(outcome.kept.len(), 1);
+        assert_eq!(outcome.kept[0].0, AttrId(0), "best attribute survives");
+        assert_eq!(outcome.deleted.len(), 2);
+    }
+
+    #[test]
+    fn binary_entropy_properties() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        // symmetric
+        assert!((binary_entropy(0.2) - binary_entropy(0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_power_between_zero_and_one() {
+        // anomaly = (a1, b1): splitting by `a` alone is informative but not
+        // perfect.
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                let anomalous = a == 0 && b == 0;
+                builder.push_labelled(&[ElementId(a), ElementId(b)], 1.0, 1.0, anomalous);
+            }
+        }
+        let frame = builder.build();
+        let index = LeafIndex::new(&frame);
+        let cp_a = classification_power(&frame, &index, AttrId(0));
+        assert!(cp_a > 0.0 && cp_a < 1.0, "cp_a = {cp_a}");
+        let cp_b = classification_power(&frame, &index, AttrId(1));
+        assert!((cp_a - cp_b).abs() < 1e-12, "symmetric roles");
+    }
+}

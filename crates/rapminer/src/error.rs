@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors produced by the RAPMiner localizer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input frame carries no anomaly labels; RAPMiner consumes the
+    /// per-leaf anomaly-detection results, so label the frame first
+    /// (e.g. via [`mdkpi::LeafFrame::label_with`]).
+    UnlabelledFrame,
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+        /// Human-readable requirement.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnlabelledFrame => {
+                write!(f, "input frame has no anomaly labels; run detection first")
+            }
+            Error::InvalidConfig {
+                parameter,
+                requirement,
+            } => write!(f, "invalid config: `{parameter}` must be {requirement}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displayable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+        assert!(Error::UnlabelledFrame.to_string().contains("labels"));
+    }
+}

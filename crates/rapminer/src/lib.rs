@@ -1,0 +1,186 @@
+//! # rapminer — Root Anomaly Pattern Miner
+//!
+//! From-scratch implementation of **RAPMiner** (Liu et al., DSN 2022):
+//! anomaly localization over multi-dimensional KPIs, finding the **Root
+//! Anomaly Patterns** (RAPs) — the coarsest attribute combinations that are
+//! anomalous while none of their parents are.
+//!
+//! The algorithm has two stages, mirroring the paper's Fig. 5 framework:
+//!
+//! 1. **Classification-Power-based Redundant Attribute Deletion**
+//!    ([`classification_power`], [`delete_redundant_attributes`],
+//!    Algorithm 1): attributes whose normalized information gain over the
+//!    anomaly labels is at most `t_CP` cannot appear in any RAP and are
+//!    removed, shrinking the cuboid lattice from `2^n − 1` to
+//!    `2^(n−k) − 1` cuboids.
+//! 2. **Anomaly-Confidence-guided Layer-by-layer Top-down Search**
+//!    ([`RapMiner::localize`], Algorithm 2): BFS over the remaining cuboid
+//!    lattice; a combination with
+//!    `Confidence(ac ⇒ Anomaly) > t_conf` (Criteria 2) becomes a RAP
+//!    candidate, its descendants are pruned (Criteria 3), and the search
+//!    stops early once candidates cover every anomalous leaf. Candidates
+//!    are ranked by `RAPScore = Confidence / √Layer` (Eq. 3).
+//!
+//! The input is exactly what the paper prescribes: the most-fine-grained
+//! attribute combinations with per-leaf anomaly-detection results
+//! (a labelled [`mdkpi::LeafFrame`]); fundamental and derived KPIs need no
+//! special treatment because only the boolean labels are consumed.
+//!
+//! # Example
+//!
+//! ```
+//! use mdkpi::{Schema, LeafFrame};
+//! use rapminer::RapMiner;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let schema = Schema::builder()
+//!     .attribute("location", ["L1", "L2"])
+//!     .attribute("website", ["Site1", "Site2"])
+//!     .build()?;
+//! let mut b = LeafFrame::builder(&schema);
+//! // every leaf under (L1, *) is anomalous, everything else is normal
+//! b.push_named(&[("location", "L1"), ("website", "Site1")], 5.0, 10.0)?;
+//! b.push_named(&[("location", "L1"), ("website", "Site2")], 3.0, 9.0)?;
+//! b.push_named(&[("location", "L2"), ("website", "Site1")], 10.0, 10.0)?;
+//! b.push_named(&[("location", "L2"), ("website", "Site2")], 9.0, 9.0)?;
+//! let mut frame = b.build();
+//! frame.label_with(|v, f| (f - v) / (f + 1e-9) > 0.1);
+//!
+//! let miner = RapMiner::new();
+//! let raps = miner.localize(&frame, 3)?;
+//! assert_eq!(raps[0].combination.to_string(), "(L1, *)");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod cp;
+mod error;
+mod search;
+
+pub use config::Config;
+pub use cp::{classification_power, delete_redundant_attributes, DeletionOutcome};
+pub use error::Error;
+pub use search::{rap_score, MinedRap, SearchStats};
+
+use mdkpi::{LeafFrame, LeafIndex};
+
+/// Convenient result alias used across this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The RAPMiner localizer: holds a [`Config`] and mines root anomaly
+/// patterns from labelled leaf frames.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RapMiner {
+    config: Config,
+}
+
+impl RapMiner {
+    /// Create with the default configuration (`t_CP = 0.02`,
+    /// `t_conf = 0.8`, deletion and early stop enabled).
+    pub fn new() -> Self {
+        RapMiner::default()
+    }
+
+    /// Create with an explicit configuration.
+    pub fn with_config(config: Config) -> Self {
+        RapMiner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Mine the top-`k` root anomaly patterns from a labelled frame.
+    ///
+    /// Runs Algorithm 1 (unless disabled in the config) and Algorithm 2,
+    /// returning candidates ranked by `RAPScore` descending. Fewer than `k`
+    /// results are returned when the search finds fewer candidates; an
+    /// all-normal frame yields an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnlabelledFrame`] when the frame carries no anomaly
+    /// labels.
+    pub fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<MinedRap>> {
+        self.localize_with_stats(frame, k).map(|(raps, _)| raps)
+    }
+
+    /// Run only Algorithm 1 and return the full deletion outcome — the
+    /// classification power of every attribute and which ones Criteria 1
+    /// removed. Useful for operator dashboards ("which dimensions even
+    /// matter for this incident?") and for tuning `t_CP`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnlabelledFrame`] when the frame carries no anomaly
+    /// labels.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mdkpi::{Schema, LeafFrame};
+    /// use rapminer::RapMiner;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let schema = Schema::builder()
+    ///     .attribute("a", ["a1", "a2"])
+    ///     .attribute("b", ["b1", "b2"])
+    ///     .build()?;
+    /// let mut builder = LeafFrame::builder(&schema);
+    /// builder.push_named(&[("a", "a1"), ("b", "b1")], 1.0, 9.0)?;
+    /// builder.push_named(&[("a", "a1"), ("b", "b2")], 1.0, 9.0)?;
+    /// builder.push_named(&[("a", "a2"), ("b", "b1")], 9.0, 9.0)?;
+    /// builder.push_named(&[("a", "a2"), ("b", "b2")], 9.0, 9.0)?;
+    /// let mut frame = builder.build();
+    /// frame.label_with(|v, f| v < 0.5 * f);
+    ///
+    /// let outcome = RapMiner::new().analyze(&frame)?;
+    /// assert_eq!(outcome.kept.len(), 1);    // only `a` explains the labels
+    /// assert_eq!(outcome.deleted.len(), 1); // `b` is redundant
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn analyze(&self, frame: &LeafFrame) -> Result<DeletionOutcome> {
+        if frame.labels().is_none() {
+            return Err(Error::UnlabelledFrame);
+        }
+        let index = LeafIndex::new(frame);
+        Ok(delete_redundant_attributes(frame, &index, self.config.t_cp()))
+    }
+
+    /// Like [`RapMiner::localize`], also returning search diagnostics
+    /// (attributes deleted, combinations visited, early-stop flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnlabelledFrame`] when the frame carries no anomaly
+    /// labels.
+    pub fn localize_with_stats(
+        &self,
+        frame: &LeafFrame,
+        k: usize,
+    ) -> Result<(Vec<MinedRap>, SearchStats)> {
+        if frame.labels().is_none() {
+            return Err(Error::UnlabelledFrame);
+        }
+        let index = LeafIndex::new(frame);
+        let mut stats = SearchStats::default();
+
+        let attrs = if self.config.redundant_deletion() {
+            let outcome = delete_redundant_attributes(frame, &index, self.config.t_cp());
+            stats.attrs_deleted = outcome.deleted.len();
+            outcome.kept.iter().map(|(a, _)| *a).collect()
+        } else {
+            // Keep every attribute, original schema order.
+            frame.schema().attr_ids().collect::<Vec<_>>()
+        };
+
+        let raps = search::top_down_search(frame, &index, &attrs, &self.config, k, &mut stats);
+        Ok((raps, stats))
+    }
+}

@@ -1,0 +1,367 @@
+use mdkpi::{aggregate_labels, Bitset, Combination, CuboidLattice, LeafFrame, LeafIndex};
+
+use crate::config::Config;
+
+/// One mined root anomaly pattern with its ranking metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedRap {
+    /// The root anomaly pattern.
+    pub combination: Combination,
+    /// `Confidence(ac ⇒ Anomaly)` at discovery time (Criteria 2).
+    pub confidence: f64,
+    /// The cuboid layer the pattern lives in (1-based).
+    pub layer: usize,
+    /// The paper's Eq. 3 ranking score, `confidence / √layer`.
+    pub score: f64,
+}
+
+impl std::fmt::Display for MinedRap {
+    /// Renders like `"(L1, *, *, Site1)  [confidence 1.00, layer 2, score 0.707]"`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}  [confidence {:.2}, layer {}, score {:.3}]",
+            self.combination, self.confidence, self.layer, self.score
+        )
+    }
+}
+
+/// Diagnostics of one [`crate::RapMiner::localize_with_stats`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Attributes removed by Algorithm 1.
+    pub attrs_deleted: usize,
+    /// Cuboids whose combinations were enumerated.
+    pub cuboids_visited: usize,
+    /// Attribute combinations evaluated against Criteria 2.
+    pub combos_visited: usize,
+    /// RAP candidates collected before ranking.
+    pub candidates_found: usize,
+    /// Whether the early stop fired (candidates covered every anomalous
+    /// leaf before the lattice was exhausted).
+    pub early_stopped: bool,
+}
+
+/// The paper's Eq. 3: `RAPScore = Confidence(ac ⇒ Anomaly) / √Layer`.
+///
+/// Deeper (more specific) candidates are demoted because the probability of
+/// being the *root* cause is negatively correlated with the layer.
+///
+/// # Panics
+///
+/// Panics if `layer` is zero (the root combination is never a candidate).
+///
+/// ```
+/// use rapminer::rap_score;
+/// assert!(rap_score(1.0, 1) > rap_score(1.0, 4));
+/// assert_eq!(rap_score(0.8, 4), 0.4);
+/// ```
+pub fn rap_score(confidence: f64, layer: usize) -> f64 {
+    assert!(layer > 0, "layer must be at least 1");
+    confidence / (layer as f64).sqrt()
+}
+
+/// Algorithm 2: anomaly-confidence-guided layer-by-layer top-down search
+/// over the cuboid lattice of `attrs`.
+///
+/// Within each cuboid only combinations that actually occur in the data are
+/// evaluated (a zero-support combination has zero confidence by
+/// definition), so the per-cuboid cost is `O(rows)` instead of the
+/// cuboid's full Cartesian size.
+pub(crate) fn top_down_search(
+    frame: &LeafFrame,
+    index: &LeafIndex,
+    attrs: &[mdkpi::AttrId],
+    config: &Config,
+    k: usize,
+    stats: &mut SearchStats,
+) -> Vec<MinedRap> {
+    let anomalous = index
+        .anomalous_rows()
+        .expect("caller verified the frame is labelled");
+    if anomalous.is_zero() || attrs.is_empty() {
+        return Vec::new();
+    }
+    let lattice = CuboidLattice::over_attrs(attrs.iter().copied());
+    let mut candidates: Vec<MinedRap> = Vec::new();
+    let mut covered = Bitset::new(frame.num_rows());
+
+    'outer: for layer in 1..=lattice.num_layers() {
+        for &cuboid in lattice.layer(layer) {
+            stats.cuboids_visited += 1;
+            for (ac, support, anom_support) in aggregate_labels(frame, cuboid) {
+                // Criteria 3: descendants of an accepted RAP are pruned.
+                if candidates
+                    .iter()
+                    .any(|c| c.combination.generalizes(&ac))
+                {
+                    continue;
+                }
+                stats.combos_visited += 1;
+                if support == 0 {
+                    continue;
+                }
+                let confidence = anom_support as f64 / support as f64;
+                // Criteria 2: the combination is anomalous.
+                if confidence > config.t_conf() {
+                    covered.union_with(&index.rows_matching(&ac));
+                    candidates.push(MinedRap {
+                        score: rap_score(confidence, layer),
+                        combination: ac,
+                        confidence,
+                        layer,
+                    });
+                    stats.candidates_found += 1;
+                    // Early stop: every anomalous leaf is explained.
+                    if config.early_stop() && anomalous.is_subset_of(&covered) {
+                        stats.early_stopped = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    // Rank by RAPScore descending; break ties deterministically by the
+    // combination's total order so results are stable run-to-run.
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.combination.cmp(&b.combination))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RapMiner;
+    use mdkpi::{ElementId, Schema};
+
+    /// The paper's Fig. 7 / Table V scenario: attributes a(3), b(2), c(2);
+    /// ground-truth RAPs (a1, *, *) and (a2, b2, *).
+    fn fig7_frame() -> LeafFrame {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .attribute("c", ["c1", "c2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                for c in 0..2u32 {
+                    let anomalous = a == 0 || (a == 1 && b == 1);
+                    let (v, f) = if anomalous { (1.0, 10.0) } else { (10.0, 10.0) };
+                    builder.push_labelled(
+                        &[ElementId(a), ElementId(b), ElementId(c)],
+                        v,
+                        f,
+                        anomalous,
+                    );
+                }
+            }
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn fig7_raps_are_recovered_exactly() {
+        let frame = fig7_frame();
+        // Disable attribute deletion: all three attributes matter here
+        // (CP of `a` is high; b participates in one RAP).
+        let miner = RapMiner::with_config(
+            Config::new().with_redundant_deletion(false),
+        );
+        let raps = miner.localize(&frame, 5).unwrap();
+        let found: Vec<String> = raps.iter().map(|r| r.combination.to_string()).collect();
+        assert!(found.contains(&"(a1, *, *)".to_string()), "found: {found:?}");
+        assert!(found.contains(&"(a2, b2, *)".to_string()), "found: {found:?}");
+        // descendants must have been pruned, so exactly the two RAPs remain
+        assert_eq!(raps.len(), 2, "found: {found:?}");
+        // the shallower RAP ranks first (same confidence, smaller layer)
+        assert_eq!(raps[0].combination.to_string(), "(a1, *, *)");
+        assert!(raps[0].score > raps[1].score);
+    }
+
+    #[test]
+    fn descendants_of_raps_are_pruned() {
+        let frame = fig7_frame();
+        let miner = RapMiner::with_config(
+            Config::new().with_redundant_deletion(false).with_early_stop(false),
+        );
+        let (raps, stats) = miner.localize_with_stats(&frame, 50).unwrap();
+        // nothing below (a1, *, *) like (a1, b1, *) may appear
+        for r in &raps {
+            assert!(
+                !r.combination.to_string().starts_with("(a1, b"),
+                "unpruned descendant {}",
+                r.combination
+            );
+        }
+        assert!(stats.candidates_found >= 2);
+    }
+
+    #[test]
+    fn early_stop_reduces_visited_combinations() {
+        let frame = fig7_frame();
+        let with_stop = RapMiner::with_config(
+            Config::new().with_redundant_deletion(false).with_early_stop(true),
+        );
+        let without_stop = RapMiner::with_config(
+            Config::new().with_redundant_deletion(false).with_early_stop(false),
+        );
+        let (r1, s1) = with_stop.localize_with_stats(&frame, 5).unwrap();
+        let (r2, s2) = without_stop.localize_with_stats(&frame, 5).unwrap();
+        assert!(s1.early_stopped);
+        assert!(!s2.early_stopped);
+        assert!(s1.combos_visited <= s2.combos_visited);
+        // same answer either way
+        assert_eq!(
+            r1.iter().map(|r| r.combination.clone()).collect::<Vec<_>>(),
+            r2.iter().map(|r| r.combination.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_normal_frame_returns_empty() {
+        let mut frame = fig7_frame();
+        frame.set_labels(vec![false; frame.num_rows()]).unwrap();
+        let raps = RapMiner::new().localize(&frame, 5).unwrap();
+        assert!(raps.is_empty());
+    }
+
+    #[test]
+    fn all_anomalous_frame_blames_a_coarse_pattern() {
+        let mut frame = fig7_frame();
+        frame.set_labels(vec![true; frame.num_rows()]).unwrap();
+        // CP is 0 everywhere (labels are constant), so Algorithm 1 keeps
+        // one fallback attribute; the search then finds layer-1 patterns
+        // covering everything.
+        let raps = RapMiner::new().localize(&frame, 10).unwrap();
+        assert!(!raps.is_empty());
+        assert!(raps.iter().all(|r| r.layer == 1));
+        assert!(raps.iter().all(|r| r.confidence == 1.0));
+    }
+
+    #[test]
+    fn unlabelled_frame_is_an_error() {
+        let schema = Schema::builder().attribute("a", ["a1"]).build().unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        builder.push(&[ElementId(0)], 1.0, 1.0);
+        let frame = builder.build();
+        assert!(matches!(
+            RapMiner::new().localize(&frame, 3),
+            Err(crate::Error::UnlabelledFrame)
+        ));
+    }
+
+    #[test]
+    fn k_truncates_ranked_output() {
+        let frame = fig7_frame();
+        let miner =
+            RapMiner::with_config(Config::new().with_redundant_deletion(false));
+        let top1 = miner.localize(&frame, 1).unwrap();
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].combination.to_string(), "(a1, *, *)");
+        let top0 = miner.localize(&frame, 0).unwrap();
+        assert!(top0.is_empty());
+    }
+
+    #[test]
+    fn redundant_deletion_shrinks_search() {
+        // anomaly is purely (a1, *, *): b and c are redundant.
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .attribute("c", ["c1", "c2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                for c in 0..2u32 {
+                    builder.push_labelled(
+                        &[ElementId(a), ElementId(b), ElementId(c)],
+                        1.0,
+                        1.0,
+                        a == 0,
+                    );
+                }
+            }
+        }
+        let frame = builder.build();
+        // disable early stop so the cuboid counts reflect the lattice sizes
+        let with_del = RapMiner::with_config(Config::new().with_early_stop(false));
+        let without_del = RapMiner::with_config(
+            Config::new().with_redundant_deletion(false).with_early_stop(false),
+        );
+        let (r1, s1) = with_del.localize_with_stats(&frame, 3).unwrap();
+        let (r2, s2) = without_del.localize_with_stats(&frame, 3).unwrap();
+        assert_eq!(s1.attrs_deleted, 2);
+        assert!(s1.cuboids_visited < s2.cuboids_visited);
+        assert_eq!(r1[0].combination.to_string(), "(a1, *, *)");
+        assert_eq!(r2[0].combination.to_string(), "(a1, *, *)");
+    }
+
+    #[test]
+    fn confidence_threshold_gates_noisy_patterns() {
+        // (a1, *) has 3 of 4 leaves anomalous: conf = 0.75.
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2", "b3", "b4"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..2u32 {
+            for b in 0..4u32 {
+                let anomalous = a == 0 && b < 3;
+                builder.push_labelled(&[ElementId(a), ElementId(b)], 1.0, 1.0, anomalous);
+            }
+        }
+        let frame = builder.build();
+        // strict threshold: (a1, *) is rejected, the three leaves win
+        let strict = RapMiner::with_config(
+            Config::new()
+                .with_redundant_deletion(false)
+                .with_t_conf(0.8)
+                .unwrap(),
+        );
+        let raps = strict.localize(&frame, 10).unwrap();
+        assert!(raps.iter().all(|r| r.layer == 2), "got {raps:?}");
+        assert_eq!(raps.len(), 3);
+        // tolerant threshold: (a1, *) is accepted and covers everything
+        let tolerant = RapMiner::with_config(
+            Config::new()
+                .with_redundant_deletion(false)
+                .with_t_conf(0.7)
+                .unwrap(),
+        );
+        let raps = tolerant.localize(&frame, 10).unwrap();
+        assert_eq!(raps.len(), 1);
+        assert_eq!(raps[0].combination.to_string(), "(a1, *)");
+        assert!((raps[0].confidence - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rap_score_matches_eq3() {
+        assert!((rap_score(0.9, 2) - 0.9 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer")]
+    fn rap_score_rejects_layer_zero() {
+        rap_score(1.0, 0);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let frame = fig7_frame();
+        let miner = RapMiner::new();
+        let a = miner.localize(&frame, 5).unwrap();
+        let b = miner.localize(&frame, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based tests for RAPMiner's algorithmic invariants.
+
+use mdkpi::{AttrId, Combination, ElementId, LeafFrame, LeafIndex, Schema};
+use proptest::prelude::*;
+use rapminer::{classification_power, Config, RapMiner};
+
+/// A random schema with 2..=4 attributes of 2..=4 elements each (every
+/// attribute has at least two elements, so no degenerate single-element
+/// cuboids exist).
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(2usize..=4, 2..=4).prop_map(|sizes| {
+        let mut b = Schema::builder();
+        for (i, n) in sizes.iter().enumerate() {
+            b = b.attribute(format!("attr{i}"), (0..*n).map(|j| format!("e{i}_{j}")));
+        }
+        b.build().expect("valid schema")
+    })
+}
+
+/// Build the full-grid leaf frame for a schema, labelling exactly the
+/// descendants of `raps` anomalous.
+fn planted_frame(schema: &Schema, raps: &[Combination]) -> LeafFrame {
+    let n = schema.num_attributes();
+    let sizes: Vec<u32> = (0..n)
+        .map(|i| schema.attribute(AttrId(i as u16)).len() as u32)
+        .collect();
+    let mut builder = LeafFrame::builder(schema);
+    let mut counters = vec![0u32; n];
+    loop {
+        let elements: Vec<ElementId> = counters.iter().map(|&c| ElementId(c)).collect();
+        let anomalous = raps.iter().any(|r| r.matches_leaf(&elements));
+        let (v, f) = if anomalous { (1.0, 10.0) } else { (10.0, 10.0) };
+        builder.push_labelled(&elements, v, f, anomalous);
+        // advance odometer
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return builder.build();
+            }
+            i -= 1;
+            counters[i] += 1;
+            if counters[i] < sizes[i] {
+                break;
+            }
+            counters[i] = 0;
+        }
+    }
+}
+
+/// A random non-root combination in the schema.
+fn rap_strategy(schema: Schema) -> impl Strategy<Value = (Schema, Combination)> {
+    let n = schema.num_attributes();
+    let cells: Vec<_> = (0..n)
+        .map(|i| {
+            let len = schema.attribute(AttrId(i as u16)).len() as u32;
+            prop::option::of(0..len)
+        })
+        .collect();
+    (Just(schema), cells).prop_filter_map("non-root", |(schema, cells)| {
+        if cells.iter().all(Option::is_none) {
+            return None;
+        }
+        let combo = Combination::from_pairs(
+            &schema,
+            cells
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.map(|e| (AttrId(i as u16), ElementId(e)))),
+        );
+        Some((schema, combo))
+    })
+}
+
+proptest! {
+    /// A single planted RAP over a clean full grid is recovered exactly —
+    /// with redundant attribute deletion enabled.
+    #[test]
+    fn single_planted_rap_is_recovered(
+        (schema, rap) in schema_strategy().prop_flat_map(rap_strategy),
+    ) {
+        let frame = planted_frame(&schema, std::slice::from_ref(&rap));
+        let raps = RapMiner::new().localize(&frame, 10).expect("labelled");
+        prop_assert_eq!(raps.len(), 1, "expected exactly the planted RAP");
+        prop_assert_eq!(&raps[0].combination, &rap);
+        prop_assert_eq!(raps[0].confidence, 1.0);
+        prop_assert_eq!(raps[0].layer, rap.layer());
+    }
+
+    /// Multiple planted RAPs in the same cuboid with pairwise disjoint
+    /// elements are all recovered. Planted attributes need ≥ 3 elements —
+    /// otherwise two RAPs cover every element of an attribute and the
+    /// complementary cuboid's patterns become an equally valid RAP set
+    /// (Definition 1 does not distinguish them).
+    #[test]
+    fn disjoint_same_cuboid_raps_recovered(
+        schema in prop::collection::vec(3usize..=4, 2..=4).prop_map(|sizes| {
+            let mut b = Schema::builder();
+            for (i, n) in sizes.iter().enumerate() {
+                b = b.attribute(format!("attr{i}"), (0..*n).map(|j| format!("e{i}_{j}")));
+            }
+            b.build().expect("valid schema")
+        }),
+        num_raps in 2usize..=2,
+        use_two_attrs in any::<bool>(),
+    ) {
+        // plant RAPs over the first one or two attributes with distinct
+        // elements per attribute; 2 RAPs always fit (every attr has >= 2
+        // elements)
+        let attrs: Vec<AttrId> = if use_two_attrs && schema.num_attributes() >= 2 {
+            vec![AttrId(0), AttrId(1)]
+        } else {
+            vec![AttrId(0)]
+        };
+        let raps: Vec<Combination> = (0..num_raps)
+            .map(|i| {
+                Combination::from_pairs(
+                    &schema,
+                    attrs.iter().map(|&a| (a, ElementId(i as u32))),
+                )
+            })
+            .collect();
+        let frame = planted_frame(&schema, &raps);
+        let found = RapMiner::new().localize(&frame, 10).expect("labelled");
+        let found_set: std::collections::HashSet<_> =
+            found.iter().map(|r| r.combination.clone()).collect();
+        for rap in &raps {
+            prop_assert!(found_set.contains(rap), "missing {rap}, got {found_set:?}");
+        }
+        prop_assert_eq!(found.len(), raps.len(), "spurious candidates: {:?}", found_set);
+    }
+
+    /// Soundness on arbitrary noisy labels: every returned RAP satisfies
+    /// Criteria 2 when re-checked, no RAP is an ancestor of another, and
+    /// results are ranked by score.
+    #[test]
+    fn results_are_sound_on_noisy_labels(
+        (schema, labels_seed) in schema_strategy().prop_flat_map(|s| {
+            let leaves = s.num_leaves() as usize;
+            (Just(s), prop::collection::vec(any::<bool>(), leaves))
+        }),
+    ) {
+        let no_raps: [Combination; 0] = [];
+        let mut frame = planted_frame(&schema, &no_raps);
+        frame.set_labels(labels_seed).expect("right length");
+        let config = Config::new().with_t_conf(0.7).unwrap();
+        let miner = RapMiner::with_config(config);
+        let raps = miner.localize(&frame, 50).expect("labelled");
+        let index = LeafIndex::new(&frame);
+        for r in &raps {
+            prop_assert!(
+                index.confidence(&r.combination) > 0.7,
+                "criteria 2 violated for {}",
+                r.combination
+            );
+            prop_assert!((r.score - r.confidence / (r.layer as f64).sqrt()).abs() < 1e-12);
+        }
+        for a in &raps {
+            for b in &raps {
+                if a.combination != b.combination {
+                    prop_assert!(
+                        !a.combination.is_ancestor_of(&b.combination),
+                        "{} is an ancestor of {}",
+                        a.combination,
+                        b.combination
+                    );
+                }
+            }
+        }
+        for w in raps.windows(2) {
+            prop_assert!(w[0].score >= w[1].score, "ranking not descending");
+        }
+    }
+
+    /// Classification power of attributes outside a planted RAP is zero on
+    /// a clean full grid, and positive for attributes inside it
+    /// (Insight 1 / Criteria 1).
+    #[test]
+    fn cp_separates_rap_attributes(
+        (schema, rap) in schema_strategy().prop_flat_map(rap_strategy),
+    ) {
+        let frame = planted_frame(&schema, std::slice::from_ref(&rap));
+        let index = LeafIndex::new(&frame);
+        for attr in schema.attr_ids() {
+            let cp = classification_power(&frame, &index, attr);
+            prop_assert!((0.0..=1.0).contains(&cp));
+            if rap.get(attr).is_some() {
+                prop_assert!(cp > 0.0, "RAP attribute {attr} has zero CP");
+            } else {
+                prop_assert!(cp.abs() < 1e-9, "non-RAP attribute {attr} has CP {cp}");
+            }
+        }
+    }
+
+    /// Early-stop soundness: when the miner reports an early stop, its
+    /// candidate set (before top-k truncation) covers every anomalous leaf.
+    #[test]
+    fn early_stop_implies_coverage(
+        (schema, labels) in schema_strategy().prop_flat_map(|s| {
+            let leaves = s.num_leaves() as usize;
+            (Just(s), prop::collection::vec(any::<bool>(), leaves))
+        }),
+    ) {
+        let no_raps: [Combination; 0] = [];
+        let mut frame = planted_frame(&schema, &no_raps);
+        frame.set_labels(labels).expect("right length");
+        let miner = RapMiner::with_config(Config::new().with_t_conf(0.7).unwrap());
+        let (raps, stats) = miner.localize_with_stats(&frame, usize::MAX).expect("labelled");
+        if stats.early_stopped {
+            for i in 0..frame.num_rows() {
+                if frame.label(i) == Some(true) {
+                    let covered = raps
+                        .iter()
+                        .any(|r| r.combination.matches_leaf(frame.row_elements(i)));
+                    prop_assert!(covered, "anomalous row {i} uncovered after early stop");
+                }
+            }
+        }
+    }
+
+    /// Ablation consistency: disabling deletion or early stop never changes
+    /// the top-1 result on clean planted data.
+    #[test]
+    fn ablations_agree_on_clean_data(
+        (schema, rap) in schema_strategy().prop_flat_map(rap_strategy),
+    ) {
+        let frame = planted_frame(&schema, std::slice::from_ref(&rap));
+        let full = RapMiner::new().localize(&frame, 1).expect("labelled");
+        let no_del = RapMiner::with_config(Config::new().with_redundant_deletion(false))
+            .localize(&frame, 1)
+            .expect("labelled");
+        let no_stop = RapMiner::with_config(Config::new().with_early_stop(false))
+            .localize(&frame, 1)
+            .expect("labelled");
+        prop_assert_eq!(&full[0].combination, &no_del[0].combination);
+        prop_assert_eq!(&full[0].combination, &no_stop[0].combination);
+    }
+}

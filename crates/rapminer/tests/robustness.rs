@@ -1,0 +1,164 @@
+//! Failure-injection robustness: the paper argues that a "relatively
+//! large" (not extreme) `t_conf` buys an error-tolerant search (§IV-D).
+//! These tests flip labels at increasing rates and check that RAPMiner
+//! degrades gracefully rather than collapsing.
+
+use mdkpi::{Combination, ElementId, LeafFrame, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rapminer::{Config, RapMiner};
+
+/// A 4×4×4 grid with the planted RAP's descendants anomalous, then labels
+/// flipped with probability `noise`.
+fn noisy_frame(rap_spec: &str, noise: f64, seed: u64) -> (Schema, LeafFrame, Combination) {
+    let schema = Schema::builder()
+        .attribute("a", ["a1", "a2", "a3", "a4"])
+        .attribute("b", ["b1", "b2", "b3", "b4"])
+        .attribute("c", ["c1", "c2", "c3", "c4"])
+        .build()
+        .unwrap();
+    let rap = schema.parse_combination(rap_spec).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = LeafFrame::builder(&schema);
+    for x in 0..4u32 {
+        for y in 0..4u32 {
+            for z in 0..4u32 {
+                let elements = [ElementId(x), ElementId(y), ElementId(z)];
+                let truth = rap.matches_leaf(&elements);
+                let observed = if rng.gen_bool(noise) { !truth } else { truth };
+                builder.push_labelled(&elements, 1.0, 1.0, observed);
+            }
+        }
+    }
+    let frame = builder.build();
+    (schema, frame, rap)
+}
+
+#[test]
+fn tolerates_five_percent_label_noise() {
+    let mut recovered = 0;
+    let trials = 20;
+    for seed in 0..trials {
+        let (_, frame, rap) = noisy_frame("a=a1", 0.05, seed);
+        let raps = RapMiner::new().localize(&frame, 3).expect("labelled");
+        if raps.first().map(|r| &r.combination) == Some(&rap) {
+            recovered += 1;
+        }
+    }
+    assert!(
+        recovered >= trials * 8 / 10,
+        "only {recovered}/{trials} recoveries at 5% noise"
+    );
+}
+
+#[test]
+fn tolerates_noise_on_deeper_raps() {
+    let mut recovered = 0;
+    let trials = 20;
+    for seed in 100..100 + trials {
+        let (_, frame, rap) = noisy_frame("a=a2&b=b3", 0.03, seed);
+        let raps = RapMiner::new().localize(&frame, 3).expect("labelled");
+        if raps.iter().any(|r| r.combination == rap) {
+            recovered += 1;
+        }
+    }
+    assert!(
+        recovered >= trials * 7 / 10,
+        "only {recovered}/{trials} recoveries of a 2-D RAP at 3% noise"
+    );
+}
+
+#[test]
+fn extreme_t_conf_is_brittle_under_noise() {
+    // the paper's warning: a *very* large t_conf loses error tolerance —
+    // with noise, the exact RAP's confidence dips below 0.99 and the miner
+    // fragments it into descendants
+    let mut strict_hits = 0;
+    let mut relaxed_hits = 0;
+    let trials = 20;
+    for seed in 200..200 + trials {
+        let (_, frame, rap) = noisy_frame("a=a1", 0.08, seed);
+        let strict = RapMiner::with_config(Config::new().with_t_conf(0.99).unwrap())
+            .localize(&frame, 3)
+            .expect("labelled");
+        let relaxed = RapMiner::with_config(Config::new().with_t_conf(0.8).unwrap())
+            .localize(&frame, 3)
+            .expect("labelled");
+        if strict.first().map(|r| &r.combination) == Some(&rap) {
+            strict_hits += 1;
+        }
+        if relaxed.first().map(|r| &r.combination) == Some(&rap) {
+            relaxed_hits += 1;
+        }
+    }
+    assert!(
+        relaxed_hits > strict_hits,
+        "relaxed t_conf ({relaxed_hits}) should beat strict ({strict_hits}) under noise"
+    );
+}
+
+#[test]
+fn missing_leaves_do_not_break_the_search() {
+    // sparse frames: drop 40% of the grid, keep labels exact
+    let schema = Schema::builder()
+        .attribute("a", ["a1", "a2", "a3"])
+        .attribute("b", ["b1", "b2", "b3"])
+        .build()
+        .unwrap();
+    let rap = schema.parse_combination("a=a3").unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut builder = LeafFrame::builder(&schema);
+    for x in 0..3u32 {
+        for y in 0..3u32 {
+            if rng.gen_bool(0.4) {
+                continue; // leaf never reported
+            }
+            let elements = [ElementId(x), ElementId(y)];
+            builder.push_labelled(&elements, 1.0, 1.0, rap.matches_leaf(&elements));
+        }
+    }
+    let frame = builder.build();
+    if frame.num_anomalous() == 0 {
+        return; // everything under the RAP dropped out; nothing to find
+    }
+    let raps = RapMiner::new().localize(&frame, 3).expect("labelled");
+    assert_eq!(raps.first().map(|r| r.combination.clone()), Some(rap));
+}
+
+#[test]
+fn duplicate_leaf_rows_are_tolerated() {
+    // real exports sometimes repeat rows; support counting must not panic
+    // and the (duplicated) anomaly still localizes
+    let schema = Schema::builder()
+        .attribute("a", ["a1", "a2"])
+        .attribute("b", ["b1", "b2"])
+        .build()
+        .unwrap();
+    let mut builder = LeafFrame::builder(&schema);
+    for _ in 0..3 {
+        builder.push_labelled(&[ElementId(0), ElementId(0)], 1.0, 9.0, true);
+        builder.push_labelled(&[ElementId(0), ElementId(1)], 1.0, 9.0, true);
+        builder.push_labelled(&[ElementId(1), ElementId(0)], 9.0, 9.0, false);
+        builder.push_labelled(&[ElementId(1), ElementId(1)], 9.0, 9.0, false);
+    }
+    let frame = builder.build();
+    let raps = RapMiner::new().localize(&frame, 2).expect("labelled");
+    assert_eq!(raps[0].combination.to_string(), "(a1, *)");
+}
+
+#[test]
+fn single_attribute_schema_works() {
+    let schema = Schema::builder()
+        .attribute("only", ["x", "y", "z"])
+        .build()
+        .unwrap();
+    let mut builder = LeafFrame::builder(&schema);
+    builder.push_labelled(&[ElementId(0)], 1.0, 9.0, true);
+    builder.push_labelled(&[ElementId(1)], 9.0, 9.0, false);
+    builder.push_labelled(&[ElementId(2)], 9.0, 9.0, false);
+    let frame = builder.build();
+    let raps = RapMiner::new().localize(&frame, 2).expect("labelled");
+    assert_eq!(raps.len(), 1);
+    assert_eq!(raps[0].combination.to_string(), "(x)");
+    assert_eq!(raps[0].layer, 1);
+}

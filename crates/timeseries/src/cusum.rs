@@ -1,0 +1,181 @@
+/// Two-sided CUSUM changepoint detector over forecast residuals.
+///
+/// The deviation-threshold detector reacts to a single large point; CUSUM
+/// accumulates *small persistent* shifts — the slow-burn failure mode
+/// (partial cache degradation, gradual link saturation) that per-point
+/// thresholds miss. Used as an alternative alarm rule in front of
+/// localization.
+///
+/// Standard parametrization: with per-point residual scale `sigma`, drift
+/// `k·sigma` is subtracted from each excursion and an alarm fires when the
+/// cumulative sum exceeds `h·sigma`.
+///
+/// # Example
+///
+/// ```
+/// use timeseries::Cusum;
+///
+/// let mut cusum = Cusum::new(1.0, 0.5, 5.0);
+/// // small persistent positive shift of ~1 sigma per point
+/// let mut fired = false;
+/// for _ in 0..12 {
+///     fired |= cusum.update(1.0).is_some();
+/// }
+/// assert!(fired, "persistent 1-sigma shift must alarm within 12 points");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cusum {
+    sigma: f64,
+    k: f64,
+    h: f64,
+    pos: f64,
+    neg: f64,
+}
+
+/// The direction of a detected shift, returned by [`Cusum::update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shift {
+    /// The monitored value drifted up.
+    Up,
+    /// The monitored value drifted down.
+    Down,
+}
+
+impl Cusum {
+    /// Create with residual scale `sigma`, drift allowance `k` (in sigmas,
+    /// typically 0.5) and decision threshold `h` (in sigmas, typically
+    /// 4–5).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all three parameters are positive finite numbers.
+    pub fn new(sigma: f64, k: f64, h: f64) -> Self {
+        for (name, v) in [("sigma", sigma), ("k", k), ("h", h)] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+        }
+        Cusum {
+            sigma,
+            k,
+            h,
+            pos: 0.0,
+            neg: 0.0,
+        }
+    }
+
+    /// Fit the residual scale from a normal period and use the standard
+    /// `k = 0.5`, `h = 5` decision rule.
+    pub fn fit(residuals: &[f64]) -> Self {
+        let n = residuals.len().max(1) as f64;
+        let mean = residuals.iter().sum::<f64>() / n;
+        let var = residuals.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+        Cusum::new(var.sqrt().max(1e-9), 0.5, 5.0)
+    }
+
+    /// Feed one residual (`actual − forecast`). Returns the shift direction
+    /// when the cumulative statistic crosses the decision threshold; the
+    /// statistic resets after each alarm.
+    pub fn update(&mut self, residual: f64) -> Option<Shift> {
+        let z = residual / self.sigma;
+        self.pos = (self.pos + z - self.k).max(0.0);
+        self.neg = (self.neg - z - self.k).max(0.0);
+        if self.pos > self.h {
+            self.reset();
+            Some(Shift::Up)
+        } else if self.neg > self.h {
+            self.reset();
+            Some(Shift::Down)
+        } else {
+            None
+        }
+    }
+
+    /// Clear the accumulated statistics (e.g. after remediation).
+    pub fn reset(&mut self) {
+        self.pos = 0.0;
+        self.neg = 0.0;
+    }
+
+    /// The current positive and negative statistics, in sigmas.
+    pub fn statistics(&self) -> (f64, f64) {
+        (self.pos, self.neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_noise_never_alarms() {
+        let mut c = Cusum::new(1.0, 0.5, 5.0);
+        // alternating ±0.4 sigma noise: each step is below the drift
+        for i in 0..1000 {
+            let r = if i % 2 == 0 { 0.4 } else { -0.4 };
+            assert_eq!(c.update(r), None, "false alarm at {i}");
+        }
+    }
+
+    #[test]
+    fn persistent_shift_alarms_with_direction() {
+        let mut c = Cusum::new(2.0, 0.5, 5.0);
+        let mut shift = None;
+        for _ in 0..30 {
+            if let Some(s) = c.update(2.0) {
+                shift = Some(s);
+                break;
+            }
+        }
+        assert_eq!(shift, Some(Shift::Up));
+        // downward shift symmetric
+        let mut c = Cusum::new(2.0, 0.5, 5.0);
+        let mut shift = None;
+        for _ in 0..30 {
+            if let Some(s) = c.update(-2.0) {
+                shift = Some(s);
+                break;
+            }
+        }
+        assert_eq!(shift, Some(Shift::Down));
+    }
+
+    #[test]
+    fn subthreshold_shift_beats_point_detector() {
+        // a 0.8-sigma persistent drop: any per-point 3-sigma rule is blind,
+        // CUSUM accumulates and fires
+        let mut c = Cusum::new(1.0, 0.5, 5.0);
+        let mut fired_at = None;
+        for i in 0..100 {
+            if c.update(-0.8).is_some() {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let at = fired_at.expect("cusum must fire on a persistent shift");
+        assert!(at < 30, "took {at} points");
+    }
+
+    #[test]
+    fn statistic_resets_after_alarm() {
+        let mut c = Cusum::new(1.0, 0.5, 2.0);
+        while c.update(2.0).is_none() {}
+        assert_eq!(c.statistics(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn fit_estimates_sigma_from_residuals() {
+        let residuals = [1.0, -1.0, 1.0, -1.0]; // sigma 1
+        let mut c = Cusum::fit(&residuals);
+        // a 10-sigma spike stream fires quickly
+        let mut fired = false;
+        for _ in 0..3 {
+            fired |= c.update(10.0).is_some();
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn bad_parameters_rejected() {
+        Cusum::new(0.0, 0.5, 5.0);
+    }
+}

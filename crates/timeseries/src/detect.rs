@@ -1,0 +1,212 @@
+/// The paper's Eq. 4 relative deviation between forecast and actual value:
+/// `Dev = (f − v) / (f + ε)` with a tiny `ε` guarding division by zero.
+///
+/// Positive deviation means the actual value dropped below the forecast
+/// (the usual failure signature for traffic KPIs); negative means it rose
+/// above.
+///
+/// ```
+/// use timeseries::deviation;
+/// assert!((deviation(5.0, 10.0) - 0.5).abs() < 1e-9);
+/// assert!(deviation(10.0, 10.0).abs() < 1e-9);
+/// assert!(deviation(1.0, 0.0) < 0.0); // guarded, not NaN
+/// ```
+pub fn deviation(v: f64, f: f64) -> f64 {
+    const EPS: f64 = 1e-9;
+    (f - v) / (f + EPS)
+}
+
+/// A stateless anomaly decision over one `(v, f)` pair.
+///
+/// This is the per-leaf detection step of the paper's pipeline: the
+/// localization algorithms consume only its boolean output (RAPMiner's
+/// Algorithm 1 input is `[[a1, b1, c1, d1, anomalous], …]`).
+pub trait PointDetector {
+    /// Whether the `(actual, forecast)` pair is anomalous.
+    fn is_anomalous(&self, v: f64, f: f64) -> bool;
+
+    /// Label a whole slice of `(v, f)` pairs.
+    fn label(&self, vs: &[f64], fs: &[f64]) -> Vec<bool> {
+        vs.iter()
+            .zip(fs)
+            .map(|(&v, &f)| self.is_anomalous(v, f))
+            .collect()
+    }
+}
+
+/// Deviation-threshold detector: anomalous when `|Dev| > threshold`
+/// (Eq. 4).
+///
+/// RAPMD injects anomalous leaves with `Dev ∈ [0.1, 0.9]` and normal leaves
+/// with `Dev ∈ [−0.02, 0.09]`, so any threshold in `(0.09, 0.1)` separates
+/// them exactly; real deployments use a calibrated threshold.
+///
+/// # Example
+///
+/// ```
+/// use timeseries::{DeviationThreshold, PointDetector};
+/// let d = DeviationThreshold::new(0.095);
+/// assert!(d.is_anomalous(5.0, 10.0));   // Dev = 0.5
+/// assert!(!d.is_anomalous(9.5, 10.0));  // Dev = 0.05
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviationThreshold {
+    threshold: f64,
+}
+
+impl DeviationThreshold {
+    /// Create with the absolute-deviation threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be a non-negative finite number, got {threshold}"
+        );
+        DeviationThreshold { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl PointDetector for DeviationThreshold {
+    fn is_anomalous(&self, v: f64, f: f64) -> bool {
+        deviation(v, f).abs() > self.threshold
+    }
+}
+
+/// Residual n-sigma detector: anomalous when `|v − f|` deviates from the
+/// fitted residual distribution by more than `k` standard deviations.
+///
+/// Fit it on residuals from a normal period, then apply it to the alarmed
+/// timestamp.
+///
+/// # Example
+///
+/// ```
+/// use timeseries::{SigmaDetector, PointDetector};
+/// // residuals from normal operation: small, zero-mean
+/// let residuals: Vec<f64> = vec![0.1, -0.2, 0.05, 0.15, -0.1, 0.0, 0.2, -0.15];
+/// let d = SigmaDetector::fit(&residuals, 3.0);
+/// assert!(d.is_anomalous(15.0, 10.0)); // residual 5 >> 3 sigma
+/// assert!(!d.is_anomalous(10.05, 10.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SigmaDetector {
+    mean: f64,
+    std: f64,
+    k: f64,
+}
+
+impl SigmaDetector {
+    /// Fit on residuals (`v − f`) observed during normal operation.
+    ///
+    /// A degenerate (constant) residual history yields a tiny floor standard
+    /// deviation, so the detector still fires on any real deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive and finite.
+    pub fn fit(residuals: &[f64], k: f64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "k must be positive, got {k}");
+        let n = residuals.len().max(1) as f64;
+        let mean = residuals.iter().sum::<f64>() / n;
+        let var = residuals.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt().max(1e-9);
+        SigmaDetector { mean, std, k }
+    }
+
+    /// The fitted residual mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The fitted residual standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+}
+
+impl PointDetector for SigmaDetector {
+    fn is_anomalous(&self, v: f64, f: f64) -> bool {
+        ((v - f) - self.mean).abs() > self.k * self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_matches_eq4() {
+        // f = 10, v = 8 -> Dev = 0.2
+        assert!((deviation(8.0, 10.0) - 0.2).abs() < 1e-9);
+        // overshoot gives negative Dev
+        assert!(deviation(12.0, 10.0) < 0.0);
+        // zero forecast does not blow up
+        assert!(deviation(3.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn deviation_threshold_splits_rapmd_ranges() {
+        // RAPMD: anomalous Dev in [0.1, 0.9], normal Dev in [-0.02, 0.09].
+        let d = DeviationThreshold::new(0.095);
+        for dev in [0.1, 0.3, 0.5, 0.9] {
+            let f = 100.0;
+            let v = f - dev * f;
+            assert!(d.is_anomalous(v, f), "Dev {dev} must be anomalous");
+        }
+        for dev in [-0.02, 0.0, 0.05, 0.09] {
+            let f = 100.0;
+            let v = f - dev * f;
+            assert!(!d.is_anomalous(v, f), "Dev {dev} must be normal");
+        }
+    }
+
+    #[test]
+    fn label_maps_pairs() {
+        let d = DeviationThreshold::new(0.5);
+        let labels = d.label(&[1.0, 10.0], &[10.0, 10.0]);
+        assert_eq!(labels, vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn threshold_rejects_negative() {
+        DeviationThreshold::new(-0.1);
+    }
+
+    #[test]
+    fn sigma_detector_fires_beyond_k_sigma() {
+        let residuals = [1.0, -1.0, 1.0, -1.0]; // mean 0, std 1
+        let d = SigmaDetector::fit(&residuals, 2.0);
+        assert!((d.std() - 1.0).abs() < 1e-9);
+        assert!(d.is_anomalous(12.5, 10.0)); // residual 2.5 > 2
+        assert!(!d.is_anomalous(11.5, 10.0)); // residual 1.5 < 2
+    }
+
+    #[test]
+    fn sigma_detector_handles_degenerate_fit() {
+        let d = SigmaDetector::fit(&[], 3.0);
+        assert!(d.is_anomalous(1.0, 0.0));
+        let d = SigmaDetector::fit(&[0.0, 0.0, 0.0], 3.0);
+        assert!(d.is_anomalous(10.0, 0.0));
+        assert!(!d.is_anomalous(0.0, 0.0));
+    }
+
+    #[test]
+    fn detectors_are_object_safe() {
+        let ds: Vec<Box<dyn PointDetector>> = vec![
+            Box::new(DeviationThreshold::new(0.2)),
+            Box::new(SigmaDetector::fit(&[0.0, 0.1], 3.0)),
+        ];
+        for d in &ds {
+            let _ = d.is_anomalous(1.0, 1.0);
+        }
+    }
+}

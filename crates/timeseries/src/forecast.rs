@@ -1,0 +1,307 @@
+/// A point forecaster over an equally spaced history.
+///
+/// Implementations are deterministic pure functions of the history; they
+/// never mutate shared state, so one forecaster instance can serve many
+/// series (one per leaf attribute combination) concurrently.
+pub trait Forecaster {
+    /// Forecast the next `horizon` values from `history`.
+    ///
+    /// Implementations must return exactly `horizon` values and must handle
+    /// short (including empty) histories gracefully, typically falling back
+    /// to the last value or zero.
+    fn forecast(&self, history: &[f64], horizon: usize) -> Vec<f64>;
+
+    /// Convenience: the single next value.
+    fn forecast_next(&self, history: &[f64]) -> f64 {
+        self.forecast(history, 1)[0]
+    }
+}
+
+/// Simple moving-average forecaster: the mean of the last `window` points.
+///
+/// # Example
+///
+/// ```
+/// use timeseries::{Forecaster, MovingAverage};
+/// let f = MovingAverage::new(2);
+/// assert_eq!(f.forecast_next(&[1.0, 3.0, 5.0]), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovingAverage {
+    window: usize,
+}
+
+impl MovingAverage {
+    /// Create with the averaging window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        MovingAverage { window }
+    }
+}
+
+impl Forecaster for MovingAverage {
+    fn forecast(&self, history: &[f64], horizon: usize) -> Vec<f64> {
+        let start = history.len().saturating_sub(self.window);
+        let tail = &history[start..];
+        let level = if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        };
+        vec![level; horizon]
+    }
+}
+
+/// Exponentially weighted moving-average forecaster.
+///
+/// `level ← α·x + (1−α)·level`; the forecast is the final level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+}
+
+impl Ewma {
+    /// Create with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma { alpha }
+    }
+}
+
+impl Forecaster for Ewma {
+    fn forecast(&self, history: &[f64], horizon: usize) -> Vec<f64> {
+        let mut level = match history.first() {
+            None => return vec![0.0; horizon],
+            Some(&x) => x,
+        };
+        for &x in &history[1..] {
+            level = self.alpha * x + (1.0 - self.alpha) * level;
+        }
+        vec![level; horizon]
+    }
+}
+
+/// Seasonal-naive forecaster: repeat the value observed one season ago.
+///
+/// With period `p`, the forecast for `t + h` is the history value at
+/// `t + h − p·ceil(h/p)`. Short histories fall back to the last value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeasonalNaive {
+    period: usize,
+}
+
+impl SeasonalNaive {
+    /// Create with the season length in points (e.g. 1440 for daily
+    /// seasonality at minute granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "period must be positive");
+        SeasonalNaive { period }
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn forecast(&self, history: &[f64], horizon: usize) -> Vec<f64> {
+        if history.is_empty() {
+            return vec![0.0; horizon];
+        }
+        (0..horizon)
+            .map(|h| {
+                if history.len() >= self.period {
+                    // same phase as (t + h), one season back
+                    history[history.len() - self.period + (h % self.period)]
+                } else {
+                    *history.last().expect("non-empty")
+                }
+            })
+            .collect()
+    }
+}
+
+/// Additive Holt-Winters (triple exponential smoothing) forecaster.
+///
+/// Maintains level, trend and additive seasonal components. Falls back to
+/// [`Ewma`]-like behaviour when the history is shorter than two full
+/// seasons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+}
+
+impl HoltWinters {
+    /// Create with smoothing factors for level (`alpha`), trend (`beta`) and
+    /// seasonality (`gamma`), plus the season length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all factors are in `(0, 1]` and `period > 0`.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!(v > 0.0 && v <= 1.0, "{name} must be in (0, 1], got {v}");
+        }
+        assert!(period > 0, "period must be positive");
+        HoltWinters {
+            alpha,
+            beta,
+            gamma,
+            period,
+        }
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn forecast(&self, history: &[f64], horizon: usize) -> Vec<f64> {
+        let p = self.period;
+        if history.len() < 2 * p {
+            // Not enough data to estimate seasonality; degrade to EWMA.
+            return Ewma::new(self.alpha).forecast(history, horizon);
+        }
+        // Initial level/trend/seasonals from the first two seasons.
+        let season1_mean: f64 = history[..p].iter().sum::<f64>() / p as f64;
+        let season2_mean: f64 = history[p..2 * p].iter().sum::<f64>() / p as f64;
+        let mut level = season1_mean;
+        let mut trend = (season2_mean - season1_mean) / p as f64;
+        // Detrended seasonal initialisation: subtract the in-season trend so
+        // a trending-but-unseasonal series starts with (near-)zero seasonals.
+        let mid = (p as f64 - 1.0) / 2.0;
+        let mut seasonal: Vec<f64> = (0..p)
+            .map(|i| history[i] - (season1_mean + (i as f64 - mid) * trend))
+            .collect();
+
+        for (t, &x) in history.iter().enumerate() {
+            let s = seasonal[t % p];
+            let prev_level = level;
+            level = self.alpha * (x - s) + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+            seasonal[t % p] = self.gamma * (x - level) + (1.0 - self.gamma) * s;
+        }
+
+        (1..=horizon)
+            .map(|h| level + h as f64 * trend + seasonal[(history.len() + h - 1) % p])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_uses_window() {
+        let f = MovingAverage::new(3);
+        assert_eq!(f.forecast_next(&[1.0, 2.0, 3.0, 4.0, 5.0]), 4.0);
+        // shorter history than window: use what exists
+        assert_eq!(f.forecast_next(&[10.0]), 10.0);
+        assert_eq!(f.forecast_next(&[]), 0.0);
+        assert_eq!(f.forecast(&[1.0], 3), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn moving_average_rejects_zero_window() {
+        MovingAverage::new(0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let f = Ewma::new(0.5);
+        let hist = vec![10.0; 50];
+        assert!((f.forecast_next(&hist) - 10.0).abs() < 1e-9);
+        // alpha = 1 tracks the last value exactly
+        let f = Ewma::new(1.0);
+        assert_eq!(f.forecast_next(&[1.0, 2.0, 99.0]), 99.0);
+        assert_eq!(Ewma::new(0.3).forecast(&[], 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_season() {
+        let f = SeasonalNaive::new(3);
+        let hist = vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+        assert_eq!(f.forecast(&hist, 3), vec![10.0, 20.0, 30.0]);
+        // wrap past one season
+        assert_eq!(f.forecast(&hist, 4)[3], 10.0);
+        // short history: last value
+        assert_eq!(f.forecast(&[5.0], 2), vec![5.0, 5.0]);
+        assert_eq!(f.forecast(&[], 1), vec![0.0]);
+    }
+
+    #[test]
+    fn holt_winters_learns_seasonal_pattern() {
+        // Perfectly periodic series: forecast must recover the pattern.
+        let period = 4;
+        let pattern = [10.0, 20.0, 30.0, 20.0];
+        let hist: Vec<f64> = (0..40).map(|t| pattern[t % period]).collect();
+        let f = HoltWinters::new(0.5, 0.1, 0.5, period);
+        let fc = f.forecast(&hist, 4);
+        for (h, got) in fc.iter().enumerate() {
+            let want = pattern[(hist.len() + h) % period];
+            assert!(
+                (got - want).abs() < 1.5,
+                "h={h}: forecast {got} too far from {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn holt_winters_tracks_trend() {
+        // Linear series: multi-step forecast should extrapolate the slope.
+        let hist: Vec<f64> = (0..60).map(|t| t as f64).collect();
+        let f = HoltWinters::new(0.8, 0.8, 0.1, 5);
+        let fc = f.forecast(&hist, 10);
+        // Compare points one full season apart so the (spurious) seasonal
+        // component cancels: their gap is exactly period × trend.
+        let slope = (fc[5] - fc[0]) / 5.0;
+        assert!((slope - 1.0).abs() < 0.3, "slope {slope} too far from 1");
+        assert!(
+            (fc[0] - 60.0).abs() < 8.0,
+            "first forecast {} too far from 60",
+            fc[0]
+        );
+    }
+
+    #[test]
+    fn holt_winters_degrades_on_short_history() {
+        let f = HoltWinters::new(0.5, 0.5, 0.5, 10);
+        let hist = vec![4.0, 4.0, 4.0];
+        assert!((f.forecast_next(&hist) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forecasts_return_exact_horizon() {
+        let hist: Vec<f64> = (0..30).map(|t| (t as f64).sin()).collect();
+        let forecasters: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(MovingAverage::new(5)),
+            Box::new(Ewma::new(0.2)),
+            Box::new(SeasonalNaive::new(7)),
+            Box::new(HoltWinters::new(0.3, 0.2, 0.3, 7)),
+        ];
+        for f in &forecasters {
+            for h in [0usize, 1, 5, 13] {
+                assert_eq!(f.forecast(&hist, h).len(), h);
+            }
+        }
+    }
+}

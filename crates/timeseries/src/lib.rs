@@ -1,0 +1,44 @@
+//! # timeseries — forecasting & detection substrate
+//!
+//! The RAPMiner paper (§III-A, §V-A) assumes an upstream component that
+//! produces, for every most-fine-grained attribute combination, a forecast
+//! value `f` next to the actual value `v`, and an anomaly-detection step that
+//! turns `(v, f)` into a boolean label. The paper cites existing forecasting
+//! work and does not re-implement it; this crate provides that substrate so
+//! the reproduction runs end-to-end:
+//!
+//! * [`TimeSeries`] — an equally spaced univariate series;
+//! * [`Forecaster`] implementations — [`MovingAverage`], [`Ewma`],
+//!   [`SeasonalNaive`], [`HoltWinters`] (additive);
+//! * [`PointDetector`] implementations — [`DeviationThreshold`] (the paper's
+//!   Eq. 4 relative deviation) and [`SigmaDetector`] (residual n-sigma);
+//! * [`Cusum`] — two-sided changepoint detection for slow-burn shifts a
+//!   per-point threshold misses;
+//! * forecast-accuracy metrics ([`mae`], [`rmse`], [`mape`]).
+//!
+//! # Example: forecast then detect
+//!
+//! ```
+//! use timeseries::{TimeSeries, Forecaster, MovingAverage, DeviationThreshold, PointDetector};
+//!
+//! let history = TimeSeries::from(vec![10.0, 11.0, 9.0, 10.0, 10.5, 9.5]);
+//! let forecast = MovingAverage::new(3).forecast(history.values(), 1)[0];
+//! let actual = 25.0; // a spike
+//! let detector = DeviationThreshold::new(0.5);
+//! assert!(detector.is_anomalous(actual, forecast));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cusum;
+mod detect;
+mod forecast;
+mod metrics;
+mod series;
+
+pub use cusum::{Cusum, Shift};
+pub use detect::{deviation, DeviationThreshold, PointDetector, SigmaDetector};
+pub use forecast::{Ewma, Forecaster, HoltWinters, MovingAverage, SeasonalNaive};
+pub use metrics::{mae, mape, rmse};
+pub use series::TimeSeries;

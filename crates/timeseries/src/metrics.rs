@@ -1,0 +1,117 @@
+/// Mean absolute error between an actual and forecast slice.
+///
+/// Returns 0.0 for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// use timeseries::mae;
+/// assert_eq!(mae(&[1.0, 2.0], &[2.0, 4.0]), 1.5);
+/// ```
+pub fn mae(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len(), "length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| (a - f).abs())
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Root mean squared error between an actual and forecast slice.
+///
+/// Returns 0.0 for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len(), "length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mse = actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| (a - f).powi(2))
+        .sum::<f64>()
+        / actual.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute percentage error, skipping points where the actual value is
+/// (near) zero; returns 0.0 when every point is skipped or input is empty.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mape(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (a, f) in actual.iter().zip(forecast) {
+        if a.abs() > 1e-9 {
+            sum += ((a - f) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast_scores_zero() {
+        let xs = [1.0, 5.0, -2.0];
+        assert_eq!(mae(&xs, &xs), 0.0);
+        assert_eq!(rmse(&xs, &xs), 0.0);
+        assert_eq!(mape(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let a = [10.0, 20.0];
+        let f = [8.0, 24.0];
+        assert_eq!(mae(&a, &f), 3.0);
+        assert!((rmse(&a, &f) - (10.0f64).sqrt()).abs() < 1e-12);
+        assert!((mape(&a, &f) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let f = [0.0, 0.0, 0.0, 8.0];
+        assert!(rmse(&a, &f) > mae(&a, &f));
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        assert_eq!(mape(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        let m = mape(&[0.0, 10.0], &[99.0, 11.0]);
+        assert!((m - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,192 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An equally spaced univariate time series.
+///
+/// A thin, validated wrapper over `Vec<f64>` with the statistics the
+/// forecasters and detectors need. Values may be any finite float; NaN and
+/// infinities are rejected at construction so downstream math stays total.
+///
+/// # Example
+///
+/// ```
+/// use timeseries::TimeSeries;
+///
+/// let ts = TimeSeries::from(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(ts.len(), 4);
+/// assert_eq!(ts.mean(), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Create a series, validating that every value is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending index if a value is NaN or infinite.
+    pub fn new(values: Vec<f64>) -> Result<Self, usize> {
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(i);
+        }
+        Ok(TimeSeries { values })
+    }
+
+    /// An empty series.
+    pub fn empty() -> Self {
+        TimeSeries { values: Vec::new() }
+    }
+
+    /// The underlying values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Append a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "time series values must be finite");
+        self.values.push(value);
+    }
+
+    /// Arithmetic mean (0.0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Population standard deviation (0.0 for fewer than two points).
+    pub fn std(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// The last `n` values (fewer when the series is shorter).
+    pub fn tail(&self, n: usize) -> &[f64] {
+        let start = self.values.len().saturating_sub(n);
+        &self.values[start..]
+    }
+}
+
+impl From<Vec<f64>> for TimeSeries {
+    /// Convert, panicking on non-finite values (prefer
+    /// [`TimeSeries::new`] for untrusted input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is NaN or infinite.
+    fn from(values: Vec<f64>) -> Self {
+        TimeSeries::new(values).expect("time series values must be finite")
+    }
+}
+
+impl FromIterator<f64> for TimeSeries {
+    /// Collect, panicking on non-finite values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is NaN or infinite.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        TimeSeries::from(iter.into_iter().collect::<Vec<f64>>())
+    }
+}
+
+impl Extend<f64> for TimeSeries {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TimeSeries(len={}, mean={:.3})", self.len(), self.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats() {
+        let ts = TimeSeries::from(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(ts.mean(), 5.0);
+        assert!((ts.std() - 2.0).abs() < 1e-12);
+        assert_eq!(ts.min(), Some(2.0));
+        assert_eq!(ts.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let ts = TimeSeries::empty();
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.std(), 0.0);
+        assert_eq!(ts.min(), None);
+        assert!(ts.tail(5).is_empty());
+    }
+
+    #[test]
+    fn new_rejects_non_finite() {
+        assert_eq!(TimeSeries::new(vec![1.0, f64::NAN]), Err(1));
+        assert_eq!(TimeSeries::new(vec![f64::INFINITY]), Err(0));
+        assert!(TimeSeries::new(vec![1.0, -1.0]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn push_rejects_nan() {
+        let mut ts = TimeSeries::empty();
+        ts.push(f64::NAN);
+    }
+
+    #[test]
+    fn tail_returns_suffix() {
+        let ts = TimeSeries::from(vec![1.0, 2.0, 3.0]);
+        assert_eq!(ts.tail(2), &[2.0, 3.0]);
+        assert_eq!(ts.tail(10), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut ts: TimeSeries = [1.0, 2.0].into_iter().collect();
+        ts.extend([3.0]);
+        assert_eq!(ts.values(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for forecaster and detector invariants.
+
+use proptest::prelude::*;
+use timeseries::{
+    deviation, mae, rmse, DeviationThreshold, Ewma, Forecaster, HoltWinters, MovingAverage,
+    PointDetector, SeasonalNaive, SigmaDetector, TimeSeries,
+};
+
+fn history() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 0..200)
+}
+
+proptest! {
+    /// Every forecaster returns exactly the requested horizon and only
+    /// finite values.
+    #[test]
+    fn forecasts_are_finite_and_sized(hist in history(), horizon in 0usize..20) {
+        let forecasters: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(MovingAverage::new(5)),
+            Box::new(Ewma::new(0.3)),
+            Box::new(SeasonalNaive::new(7)),
+            Box::new(HoltWinters::new(0.4, 0.2, 0.3, 7)),
+        ];
+        for f in &forecasters {
+            let fc = f.forecast(&hist, horizon);
+            prop_assert_eq!(fc.len(), horizon);
+            prop_assert!(fc.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Forecasting a constant series predicts (close to) that constant.
+    #[test]
+    fn constant_series_forecast_is_constant(c in -1e3f64..1e3, n in 20usize..100) {
+        let hist = vec![c; n];
+        let forecasters: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(MovingAverage::new(5)),
+            Box::new(Ewma::new(0.3)),
+            Box::new(SeasonalNaive::new(7)),
+            Box::new(HoltWinters::new(0.4, 0.2, 0.3, 7)),
+        ];
+        for f in &forecasters {
+            let got = f.forecast_next(&hist);
+            prop_assert!((got - c).abs() < 1e-6 + 1e-9 * c.abs(),
+                "forecast {got} differs from constant {c}");
+        }
+    }
+
+    /// Eq. 4 deviation is zero iff v == f (for positive forecasts) and has
+    /// the documented sign.
+    #[test]
+    fn deviation_sign(v in 0.0f64..1e6, f in 0.1f64..1e6) {
+        let d = deviation(v, f);
+        prop_assert!(d.is_finite());
+        if v < f { prop_assert!(d > 0.0); }
+        if v > f { prop_assert!(d < 0.0); }
+        prop_assert!(deviation(f, f).abs() < 1e-6);
+    }
+
+    /// A deviation-threshold detector with threshold t fires exactly when
+    /// |Dev| > t.
+    #[test]
+    fn threshold_detector_consistent(v in 0.0f64..1e6, f in 0.1f64..1e6, t in 0.0f64..2.0) {
+        let det = DeviationThreshold::new(t);
+        prop_assert_eq!(det.is_anomalous(v, f), deviation(v, f).abs() > t);
+    }
+
+    /// A sigma detector never fires on the residuals it was fitted to when
+    /// k is large enough (Chebyshev-style sanity).
+    #[test]
+    fn sigma_detector_tolerates_training_data(
+        residuals in prop::collection::vec(-100.0f64..100.0, 2..50),
+    ) {
+        let det = SigmaDetector::fit(&residuals, 20.0);
+        // every training residual is within 20 sigma of the mean unless the
+        // sample std collapsed to the floor
+        if det.std() > 1e-6 {
+            for &r in &residuals {
+                prop_assert!(!det.is_anomalous(r, 0.0));
+            }
+        }
+    }
+
+    /// rmse >= mae always (Cauchy-Schwarz), both zero on identical slices.
+    #[test]
+    fn rmse_dominates_mae(a in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        prop_assert!(rmse(&a, &b) + 1e-9 >= mae(&a, &b));
+        prop_assert!(mae(&a, &a) == 0.0);
+    }
+
+    /// TimeSeries statistics stay finite and ordered.
+    #[test]
+    fn series_stats_are_sane(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let ts = TimeSeries::new(values.clone()).expect("finite");
+        let (min, max) = (ts.min().unwrap(), ts.max().unwrap());
+        prop_assert!(min <= ts.mean() && ts.mean() <= max);
+        prop_assert!(ts.std() >= 0.0);
+        prop_assert_eq!(ts.len(), values.len());
+    }
+}

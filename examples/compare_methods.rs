@@ -1,0 +1,66 @@
+//! Head-to-head comparison of RAPMiner against every baseline on freshly
+//! generated benchmark data — a miniature of the paper's Fig. 8.
+//!
+//! ```sh
+//! cargo run --release --example compare_methods
+//! ```
+
+use rapminer_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const SEED: u64 = 99;
+
+    // --- Squeeze-B0-style data (assumptions hold) ------------------------
+    let squeeze_ds = SqueezeGenerator::new(SqueezeGenConfig {
+        attribute_sizes: vec![8, 6, 5, 4],
+        cases_per_group: 3,
+        ..SqueezeGenConfig::default()
+    })
+    .generate(SEED);
+    println!(
+        "Squeeze-B0-style dataset: {} cases over {} groups\n",
+        squeeze_ds.cases.len(),
+        squeeze_ds.group_names().len()
+    );
+    let mut table = Table::new(["method", "precision", "recall", "F1", "mean s"]);
+    for method in all_localizers() {
+        let outcome = evaluate_f1(method.as_ref(), &squeeze_ds.cases);
+        table.row([
+            method.name().to_string(),
+            format!("{:.3}", outcome.precision),
+            format!("{:.3}", outcome.recall),
+            format!("{:.3}", outcome.f1),
+            format!("{:.4}", outcome.mean_seconds),
+        ]);
+    }
+    println!("{table}");
+
+    // --- RAPMD-style data (assumptions violated) -------------------------
+    let rapmd = RapmdGenerator::new(RapmdConfig {
+        num_failures: 20,
+        paper_topology: false, // small topology keeps the example snappy
+        ..RapmdConfig::default()
+    })
+    .generate(SEED);
+    println!(
+        "RAPMD-style dataset: {} failures with 1-3 RAPs each\n",
+        rapmd.cases.len()
+    );
+    let mut table = Table::new(["method", "RC@3", "RC@5", "mean s"]);
+    for method in all_localizers() {
+        let outcome = evaluate_rc(method.as_ref(), &rapmd.cases, &[3, 5]);
+        table.row([
+            method.name().to_string(),
+            format!("{:.3}", outcome.rc[0].1),
+            format!("{:.3}", outcome.rc[1].1),
+            format!("{:.4}", outcome.mean_seconds),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "expected shape (paper Fig. 8): everyone is strong on Squeeze-B0;\n\
+         on RAPMD the assumption-dependent methods (squeeze, adtributor)\n\
+         degrade while rapminer stays on top"
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Multi-KPI triage: the same incident viewed through three KPIs at once —
+//! raw traffic, cache-hit ratio and mean response delay — merged into one
+//! ranked verdict. Patterns anomalous in several KPIs outrank single-KPI
+//! blips (§II-A: operators monitor "traffic volume, cache hit ratio and
+//! server response delay, etc.").
+//!
+//! ```sh
+//! cargo run --release --example multi_kpi
+//! ```
+
+use cdnsim::{derive_hit_ratio, derive_mean_delay};
+use pipeline::localize_multi_kpi;
+use rapminer_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const SEED: u64 = 61;
+    const MINUTE: usize = 20 * 60;
+
+    let topology = CdnTopology::small(SEED);
+    let schema = topology.schema().clone();
+    let model = TrafficModel::new(topology, TrafficConfig::default(), SEED);
+
+    // fundamental KPIs at the alarmed minute
+    let mut requests = model.snapshot_kpi(MINUTE, KpiKind::Requests);
+    let mut hits = model.snapshot_kpi(MINUTE, KpiKind::CacheHits);
+    let delay = model.snapshot_kpi(MINUTE, KpiKind::TotalDelayMs);
+
+    // the incident: edge node L2 degrades — it loses traffic AND its cache
+    // tier falls over, while delays stay nominal
+    let truth = schema.parse_combination("location=L2")?;
+    let injector = FailureInjector::new(0.5, 0.9);
+    injector.inject(&mut requests, std::slice::from_ref(&truth), SEED);
+    injector.inject(&mut hits, std::slice::from_ref(&truth), SEED + 1);
+
+    // derived KPIs from the (partially degraded) fundamentals
+    let hit_ratio = derive_hit_ratio(&hits, &requests);
+    let mean_delay = derive_mean_delay(&delay, &requests);
+
+    // detect per KPI
+    let detector = DeviationThreshold::new(0.3);
+    let label = |mut frame: LeafFrame| -> LeafFrame {
+        frame.label_with(|v, f| detector.is_anomalous(v, f));
+        frame
+    };
+    let traffic = label(requests);
+    let ratio = label(hit_ratio);
+    let delays = label(mean_delay);
+    println!(
+        "anomalous leaves — traffic: {}, hit_ratio: {}, mean_delay: {}",
+        traffic.num_anomalous(),
+        ratio.num_anomalous(),
+        delays.num_anomalous()
+    );
+
+    // one merged verdict
+    let report = localize_multi_kpi(
+        &RapMinerLocalizer::default(),
+        &[
+            ("traffic", &traffic),
+            ("hit_ratio", &ratio),
+            ("mean_delay", &delays),
+        ],
+        3,
+    )?;
+    println!("merged verdict:");
+    for m in &report.merged {
+        println!(
+            "  {}  seen in {:?} (score {:.3})",
+            m.combination, m.kpis, m.score
+        );
+    }
+    let top = &report.merged[0];
+    assert_eq!(top.combination, truth);
+    assert!(top.kpis.len() >= 2, "must be corroborated by several KPIs");
+    println!("=> {} is failing across {} KPIs; page the edge-node team", top.combination, top.kpis.len());
+    Ok(())
+}

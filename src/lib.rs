@@ -1,0 +1,93 @@
+//! # rapminer-suite — facade for the RAPMiner reproduction
+//!
+//! One `use rapminer_suite::prelude::*` pulls in everything needed to run
+//! the full pipeline of *RAPMiner: A Generic Anomaly Localization Mechanism
+//! for CDN System with Multi-dimensional KPIs* (DSN 2022):
+//!
+//! 1. model multi-dimensional KPIs ([`mdkpi`]),
+//! 2. simulate CDN traffic or load real CSVs ([`cdnsim`], [`mdkpi`] I/O),
+//! 3. forecast and detect per-leaf anomalies ([`timeseries`]),
+//! 4. localize root anomaly patterns with RAPMiner ([`rapminer`]) or any
+//!    baseline ([`baselines`]),
+//! 5. evaluate with the paper's protocols ([`eval`]) on the paper's
+//!    datasets ([`datasets`]).
+//!
+//! The `examples/` directory walks through realistic scenarios; the
+//! `crates/bench` binaries regenerate every table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rapminer_suite::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // leaf table at the alarmed timestamp: (attributes..., v, f)
+//! let schema = Schema::builder()
+//!     .attribute("location", ["L1", "L2"])
+//!     .attribute("website", ["Site1", "Site2"])
+//!     .build()?;
+//! let mut builder = LeafFrame::builder(&schema);
+//! builder.push_named(&[("location", "L1"), ("website", "Site1")], 5.0, 10.0)?;
+//! builder.push_named(&[("location", "L1"), ("website", "Site2")], 4.0, 9.0)?;
+//! builder.push_named(&[("location", "L2"), ("website", "Site1")], 10.0, 10.0)?;
+//! builder.push_named(&[("location", "L2"), ("website", "Site2")], 9.0, 9.0)?;
+//! let mut frame = builder.build();
+//!
+//! // detect per-leaf anomalies (Eq. 4 deviation threshold)
+//! let detector = DeviationThreshold::new(0.2);
+//! frame.label_with(|v, f| detector.is_anomalous(v, f));
+//!
+//! // localize
+//! let raps = RapMiner::new().localize(&frame, 3)?;
+//! assert_eq!(raps[0].combination.to_string(), "(L1, *)");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use cdnsim;
+pub use datasets;
+pub use eval;
+pub use mdkpi;
+pub use pipeline;
+pub use rapminer;
+pub use timeseries;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use baselines::{
+        all_localizers, Adtributor, FpGrowthLocalizer, HotSpot, IDice, Localizer,
+        RapMinerLocalizer, ScoredCombination, Squeeze,
+    };
+    pub use cdnsim::{CdnTopology, FailureInjector, KpiKind, TrafficConfig, TrafficModel};
+    pub use datasets::{
+        load_dataset, save_dataset, Dataset, LocalizationCase, RapmdConfig, RapmdGenerator,
+        SqueezeGenConfig, SqueezeGenerator,
+    };
+    pub use eval::{evaluate_f1, evaluate_rc, f1_score, rc_at_k, Table};
+    pub use mdkpi::{
+        read_frame_csv, write_frame_csv, Combination, Cuboid, CuboidLattice, LeafFrame,
+        LeafIndex, Schema,
+    };
+    pub use pipeline::{IncidentReport, LocalizationPipeline, PipelineConfig};
+    pub use rapminer::{classification_power, Config, MinedRap, RapMiner};
+    pub use timeseries::{
+        DeviationThreshold, Ewma, Forecaster, HoltWinters, MovingAverage, PointDetector,
+        SeasonalNaive, SigmaDetector,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_names_resolve() {
+        use crate::prelude::*;
+        let methods = all_localizers();
+        assert!(methods.len() >= 6);
+        let _ = RapMiner::new();
+        let _ = Config::new();
+    }
+}

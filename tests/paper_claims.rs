@@ -1,0 +1,178 @@
+//! Small-scale assertions of the paper's *qualitative* claims — the shapes
+//! the full benchmark binaries reproduce at scale (see `EXPERIMENTS.md`).
+
+use rapminer_suite::prelude::*;
+
+fn squeeze_small() -> Dataset {
+    SqueezeGenerator::new(SqueezeGenConfig {
+        attribute_sizes: vec![8, 6, 5, 4],
+        cases_per_group: 2,
+        ..SqueezeGenConfig::default()
+    })
+    .generate(4242)
+}
+
+fn rapmd_small() -> Dataset {
+    RapmdGenerator::new(RapmdConfig {
+        num_failures: 15,
+        paper_topology: false,
+        ..RapmdConfig::default()
+    })
+    .generate(4242)
+}
+
+/// Fig. 8(a): RAPMiner is near-perfect on every Squeeze-B0 group.
+#[test]
+fn rapminer_is_strong_on_all_squeeze_groups() {
+    let ds = squeeze_small();
+    let method = RapMinerLocalizer::default();
+    for group in ds.group_names() {
+        let cases: Vec<_> = ds.group(&group).cloned().collect();
+        let outcome = evaluate_f1(&method, &cases);
+        assert!(
+            outcome.f1 > 0.9,
+            "group {group}: rapminer F1 {} below 0.9",
+            outcome.f1
+        );
+    }
+}
+
+/// Fig. 8(a): Adtributor performs well only on 1-dimensional groups.
+#[test]
+fn adtributor_collapses_beyond_one_dimension() {
+    let ds = squeeze_small();
+    let method = Adtributor::default();
+    let one_d: Vec<_> = ["(1,1)", "(1,2)", "(1,3)"]
+        .iter()
+        .flat_map(|g| ds.group(g).cloned())
+        .collect();
+    let multi_d: Vec<_> = ["(2,1)", "(2,2)", "(2,3)", "(3,1)", "(3,2)", "(3,3)"]
+        .iter()
+        .flat_map(|g| ds.group(g).cloned())
+        .collect();
+    let f1_one = evaluate_f1(&method, &one_d).f1;
+    let f1_multi = evaluate_f1(&method, &multi_d).f1;
+    assert!(f1_one > 0.6, "adtributor should handle 1-D, got {f1_one}");
+    assert!(
+        f1_multi < 0.1,
+        "adtributor cannot express multi-D causes, got {f1_multi}"
+    );
+}
+
+/// Fig. 8(b): on RAPMD (assumptions violated), RAPMiner beats the
+/// assumption-dependent methods and stays competitive with the best
+/// baseline.
+#[test]
+fn rapminer_leads_on_rapmd() {
+    let ds = rapmd_small();
+    let mut scores = std::collections::HashMap::new();
+    for method in all_localizers() {
+        let rc = evaluate_rc(method.as_ref(), &ds.cases, &[3]).rc[0].1;
+        scores.insert(method.name().to_string(), rc);
+    }
+    let rapminer = scores["rapminer"];
+    assert!(
+        rapminer >= scores["squeeze"],
+        "rapminer {rapminer} < squeeze {}",
+        scores["squeeze"]
+    );
+    assert!(
+        rapminer >= scores["adtributor"],
+        "rapminer {rapminer} < adtributor {}",
+        scores["adtributor"]
+    );
+    assert!(
+        rapminer >= scores["idice"],
+        "rapminer {rapminer} < idice {}",
+        scores["idice"]
+    );
+    assert!(
+        rapminer + 0.1 >= scores["fp-growth"],
+        "rapminer {rapminer} not competitive with fp-growth {}",
+        scores["fp-growth"]
+    );
+}
+
+/// Fig. 8(b): Squeeze degrades on RAPMD relative to its home turf.
+#[test]
+fn squeeze_degrades_when_assumptions_break() {
+    let squeeze_ds = squeeze_small();
+    let rapmd_ds = rapmd_small();
+    let method = Squeeze::default();
+    let home = evaluate_f1(&method, &squeeze_ds.cases).recall;
+    let away = evaluate_rc(&method, &rapmd_ds.cases, &[5]).rc[0].1;
+    assert!(
+        home > away + 0.2,
+        "squeeze home recall {home} should clearly beat away RC@5 {away}"
+    );
+}
+
+/// Table IV / Proof 1: deleting k attributes prunes more than the bound.
+#[test]
+fn table4_decrease_ratio_holds() {
+    use rapminer_suite::mdkpi::decrease_ratio;
+    let bounds = [0.5, 0.75, 0.875, 0.9375, 0.96875];
+    for (k, bound) in (1u32..=5).zip(bounds) {
+        assert!(decrease_ratio(6, k) > bound);
+    }
+}
+
+/// §V-H / Table VI direction: deletion reduces the search volume on RAPMD
+/// (measured via visited combinations, which is host-independent).
+#[test]
+fn deletion_shrinks_search_volume() {
+    let ds = rapmd_small();
+    let with = RapMiner::with_config(Config::new().with_early_stop(false));
+    let without = RapMiner::with_config(
+        Config::new()
+            .with_redundant_deletion(false)
+            .with_early_stop(false),
+    );
+    let mut visited_with = 0usize;
+    let mut visited_without = 0usize;
+    let mut deleted_any = false;
+    for case in &ds.cases {
+        let (_, s1) = with.localize_with_stats(&case.frame, 3).expect("with");
+        let (_, s2) = without.localize_with_stats(&case.frame, 3).expect("without");
+        visited_with += s1.combos_visited;
+        visited_without += s2.combos_visited;
+        deleted_any |= s1.attrs_deleted > 0;
+    }
+    assert!(deleted_any, "no case deleted any attribute");
+    assert!(
+        visited_with < visited_without,
+        "deletion did not shrink the search: {visited_with} vs {visited_without}"
+    );
+}
+
+/// Fig. 10: sensitivity directions — RC@3 is non-increasing in t_CP and
+/// non-decreasing in t_conf on clean RAPMD (checked loosely: endpoints).
+#[test]
+fn sensitivity_directions_match_fig10() {
+    let ds = rapmd_small();
+    let rc_for = |config: Config| {
+        let m = RapMinerLocalizer::with_config(config);
+        evaluate_rc(&m, &ds.cases, &[3]).rc[0].1
+    };
+    let loose_cp = rc_for(Config::new().with_t_cp(0.0005).unwrap());
+    let tight_cp = rc_for(Config::new().with_t_cp(0.1).unwrap());
+    assert!(
+        loose_cp >= tight_cp,
+        "RC@3 should not improve as t_CP grows: {loose_cp} vs {tight_cp}"
+    );
+    let low_conf = rc_for(Config::new().with_t_conf(0.55).unwrap());
+    let high_conf = rc_for(Config::new().with_t_conf(0.95).unwrap());
+    assert!(
+        high_conf + 1e-9 >= low_conf,
+        "RC@3 should not degrade as t_conf grows: {low_conf} vs {high_conf}"
+    );
+}
+
+/// Determinism across the whole benchmark path: generating and evaluating
+/// twice yields bit-identical effectiveness numbers.
+#[test]
+fn full_benchmark_path_is_deterministic() {
+    let a = evaluate_rc(&RapMinerLocalizer::default(), &rapmd_small().cases, &[3]).rc[0].1;
+    let b = evaluate_rc(&RapMinerLocalizer::default(), &rapmd_small().cases, &[3]).rc[0].1;
+    assert_eq!(a, b);
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration: the full pipeline from CSV bytes through
+//! detection, localization and evaluation.
+
+use rapminer_suite::prelude::*;
+
+/// A CSV with a clean (L1, *) failure, in the on-disk layout.
+const INCIDENT_CSV: &str = "\
+location,website,real,predict
+L1,Site1,10.0,100.0
+L1,Site2,20.0,90.0
+L2,Site1,101.0,100.0
+L2,Site2,89.0,90.0
+L3,Site1,99.0,100.0
+L3,Site2,91.0,90.0
+";
+
+#[test]
+fn csv_to_localization_end_to_end() {
+    let mut frame = read_frame_csv(INCIDENT_CSV.as_bytes()).expect("parse csv");
+    assert_eq!(frame.num_rows(), 6);
+    let detector = DeviationThreshold::new(0.3);
+    frame.label_with(|v, f| detector.is_anomalous(v, f));
+    assert_eq!(frame.num_anomalous(), 2);
+
+    let raps = RapMiner::new().localize(&frame, 3).expect("localize");
+    assert_eq!(raps[0].combination.to_string(), "(L1, *)");
+    assert_eq!(raps.len(), 1, "descendants must be pruned");
+}
+
+#[test]
+fn every_localizer_solves_its_favourable_case() {
+    // a uniform-magnitude, single-cuboid, 1-D failure satisfies every
+    // method's assumptions simultaneously
+    let mut frame = read_frame_csv(INCIDENT_CSV.as_bytes()).expect("parse csv");
+    let detector = DeviationThreshold::new(0.3);
+    frame.label_with(|v, f| detector.is_anomalous(v, f));
+    for method in all_localizers() {
+        let out = method.localize(&frame, 1).expect("localize");
+        assert_eq!(
+            out.first().map(|s| s.combination.to_string()),
+            Some("(L1, *)".to_string()),
+            "method {} missed the trivial case",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn frame_roundtrips_through_disk_before_localizing() {
+    let mut frame = read_frame_csv(INCIDENT_CSV.as_bytes()).expect("parse");
+    let detector = DeviationThreshold::new(0.3);
+    frame.label_with(|v, f| detector.is_anomalous(v, f));
+
+    let mut buf = Vec::new();
+    write_frame_csv(&frame, &mut buf).expect("write");
+    let reloaded = read_frame_csv(buf.as_slice()).expect("reread");
+    assert_eq!(reloaded.labels(), frame.labels());
+
+    let a = RapMiner::new().localize(&frame, 3).expect("original");
+    let b = RapMiner::new().localize(&reloaded, 3).expect("reloaded");
+    assert_eq!(
+        a.iter().map(|r| r.combination.to_string()).collect::<Vec<_>>(),
+        b.iter().map(|r| r.combination.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn simulator_injection_detection_localization_chain() {
+    let topology = CdnTopology::small(123);
+    let schema = topology.schema().clone();
+    let model = TrafficModel::new(topology, TrafficConfig::default(), 123);
+    let mut frame = model.snapshot(1000);
+    let truth = schema
+        .parse_combination("website=Site3")
+        .expect("valid combination");
+    FailureInjector::new(0.5, 0.9).inject(&mut frame, std::slice::from_ref(&truth), 1);
+
+    let detector = DeviationThreshold::new(0.3);
+    frame.label_with(|v, f| detector.is_anomalous(v, f));
+    let raps = RapMiner::new().localize(&frame, 3).expect("localize");
+    assert_eq!(raps[0].combination, truth);
+}
+
+#[test]
+fn dataset_directory_roundtrip_preserves_evaluation() {
+    let ds = SqueezeGenerator::new(SqueezeGenConfig {
+        attribute_sizes: vec![4, 4, 4],
+        cases_per_group: 1,
+        ..SqueezeGenConfig::default()
+    })
+    .generate(77);
+    let dir = std::env::temp_dir().join(format!("rapminer_it_{}", std::process::id()));
+    save_dataset(&ds, &dir).expect("save");
+    let loaded = load_dataset(&dir).expect("load");
+
+    let method = RapMinerLocalizer::default();
+    let before = evaluate_f1(&method, &ds.cases);
+    let after = evaluate_f1(&method, &loaded.cases);
+    assert!(
+        (before.f1 - after.f1).abs() < 1e-12,
+        "evaluation changed across disk roundtrip: {} vs {}",
+        before.f1,
+        after.f1
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn adapter_and_core_rapminer_agree() {
+    let ds = SqueezeGenerator::new(SqueezeGenConfig {
+        attribute_sizes: vec![4, 4, 4],
+        cases_per_group: 1,
+        ..SqueezeGenConfig::default()
+    })
+    .generate(55);
+    let core = RapMiner::new();
+    let adapter = RapMinerLocalizer::default();
+    for case in &ds.cases {
+        let a = core.localize(&case.frame, 3).expect("core");
+        let b = adapter.localize(&case.frame, 3).expect("adapter");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.combination, y.combination);
+            assert!((x.score - y.score).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn labels_are_the_only_thing_rapminer_reads() {
+    // scaling all v/f by 1000 must not change the result as long as the
+    // labels stay identical (§IV-B: fundamental vs derived is irrelevant)
+    let mut frame = read_frame_csv(INCIDENT_CSV.as_bytes()).expect("parse");
+    let detector = DeviationThreshold::new(0.3);
+    frame.label_with(|v, f| detector.is_anomalous(v, f));
+    let labels = frame.labels().unwrap().to_vec();
+
+    let mut scaled_builder = LeafFrame::builder(frame.schema());
+    for i in 0..frame.num_rows() {
+        scaled_builder.push(frame.row_elements(i), frame.v(i) * 1000.0, frame.f(i) * 1000.0);
+    }
+    let mut scaled = scaled_builder.build();
+    scaled.set_labels(labels).expect("same length");
+
+    let a = RapMiner::new().localize(&frame, 3).expect("original");
+    let b = RapMiner::new().localize(&scaled, 3).expect("scaled");
+    assert_eq!(
+        a.iter().map(|r| r.combination.to_string()).collect::<Vec<_>>(),
+        b.iter().map(|r| r.combination.to_string()).collect::<Vec<_>>()
+    );
+}

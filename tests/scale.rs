@@ -1,0 +1,87 @@
+//! Paper-scale smoke tests: the full 33×4×4×20 CDN topology (10 560
+//! leaves) through the complete pipeline — these guard against
+//! accidentally superlinear hot paths.
+
+use std::time::Instant;
+
+use rapminer_suite::prelude::*;
+
+fn paper_scale_case() -> LocalizationCase {
+    let ds = RapmdGenerator::new(RapmdConfig {
+        num_failures: 1,
+        ..RapmdConfig::default() // paper topology
+    })
+    .generate(321);
+    ds.cases.into_iter().next().expect("one case")
+}
+
+#[test]
+fn paper_topology_localizes_quickly() {
+    let case = paper_scale_case();
+    assert!(case.frame.num_rows() > 5000, "paper topology is sparse-large");
+    let start = Instant::now();
+    let raps = RapMiner::new()
+        .localize(&case.frame, 5)
+        .expect("labelled frame");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "rapminer took {elapsed:?} on one paper-scale case"
+    );
+    assert!(!raps.is_empty());
+}
+
+#[test]
+fn every_method_completes_at_paper_scale() {
+    let case = paper_scale_case();
+    for method in all_localizers() {
+        let start = Instant::now();
+        let out = method.localize(&case.frame, 5).expect("localize");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed.as_secs_f64() < 30.0,
+            "{} took {elapsed:?} at paper scale",
+            method.name()
+        );
+        // every method must at least produce finite scores
+        assert!(out.iter().all(|s| s.score.is_finite()));
+    }
+}
+
+#[test]
+fn index_scales_to_paper_topology() {
+    let case = paper_scale_case();
+    let start = Instant::now();
+    let index = LeafIndex::new(&case.frame);
+    let build = start.elapsed();
+    assert!(build.as_secs_f64() < 0.5, "index build took {build:?}");
+
+    // ten thousand support queries stay well under a second
+    let combo = case.truth[0].clone();
+    let start = Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..10_000 {
+        acc += index.support_count(&combo);
+    }
+    let queries = start.elapsed();
+    assert!(acc > 0);
+    assert!(
+        queries.as_secs_f64() < 1.0,
+        "10k support queries took {queries:?}"
+    );
+}
+
+#[test]
+fn analyze_matches_localize_at_scale() {
+    let case = paper_scale_case();
+    let miner = RapMiner::new();
+    let outcome = miner.analyze(&case.frame).expect("labelled");
+    let (_, stats) = miner
+        .localize_with_stats(&case.frame, 5)
+        .expect("labelled");
+    assert_eq!(outcome.deleted.len(), stats.attrs_deleted);
+    // every kept attribute clears the threshold; every deleted one doesn't
+    let t_cp = miner.config().t_cp();
+    assert!(outcome.kept.iter().all(|(_, cp)| *cp > t_cp || outcome.deleted.is_empty()));
+    assert!(outcome.deleted.iter().all(|(_, cp)| *cp <= t_cp));
+}
