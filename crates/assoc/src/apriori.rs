@@ -105,10 +105,7 @@ impl Apriori {
             // count candidates
             let mut next: Vec<Vec<I>> = Vec::new();
             for cand in candidates {
-                let support = txs
-                    .iter()
-                    .filter(|t| is_subset(&cand, t))
-                    .count();
+                let support = txs.iter().filter(|t| is_subset(&cand, t)).count();
                 if support >= self.min_support {
                     out.push(ItemSet {
                         items: cand.clone(),

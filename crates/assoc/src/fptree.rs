@@ -98,10 +98,7 @@ impl FpGrowth {
     ) {
         // iterate items bottom-up (least frequent first)
         for (rank, &(item, _)) in frequent.iter().enumerate().rev() {
-            let support: usize = tree.header[rank]
-                .iter()
-                .map(|&n| tree.nodes[n].count)
-                .sum();
+            let support: usize = tree.header[rank].iter().map(|&n| tree.nodes[n].count).sum();
             if support < self.min_support {
                 continue;
             }
@@ -233,11 +230,7 @@ mod tests {
     #[test]
     fn classic_example_itemsets() {
         let sets = FpGrowth::new(2).mine(&classic_transactions());
-        let find = |items: &[u8]| {
-            sets.iter()
-                .find(|s| s.items == items)
-                .map(|s| s.support)
-        };
+        let find = |items: &[u8]| sets.iter().find(|s| s.items == items).map(|s| s.support);
         assert_eq!(find(&[1]), Some(6));
         assert_eq!(find(&[2]), Some(7));
         assert_eq!(find(&[1, 2]), Some(4));
@@ -284,8 +277,10 @@ mod tests {
     #[test]
     fn supports_are_antimonotone() {
         let sets = FpGrowth::new(1).mine(&classic_transactions());
-        let lookup: HashMap<&[u8], usize> =
-            sets.iter().map(|s| (s.items.as_slice(), s.support)).collect();
+        let lookup: HashMap<&[u8], usize> = sets
+            .iter()
+            .map(|s| (s.items.as_slice(), s.support))
+            .collect();
         for s in &sets {
             if s.items.len() >= 2 {
                 for drop_idx in 0..s.items.len() {

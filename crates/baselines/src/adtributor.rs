@@ -95,8 +95,16 @@ impl Localizer for Adtributor {
             let mut scored: Vec<(ScoredCombination, f64)> = rows
                 .into_iter()
                 .map(|(combo, v, f)| {
-                    let p = if total_f.abs() < 1e-12 { 0.0 } else { f / total_f };
-                    let q = if total_v.abs() < 1e-12 { 0.0 } else { v / total_v };
+                    let p = if total_f.abs() < 1e-12 {
+                        0.0
+                    } else {
+                        f / total_f
+                    };
+                    let q = if total_v.abs() < 1e-12 {
+                        0.0
+                    } else {
+                        v / total_v
+                    };
                     let surprise = js_surprise(p, q);
                     let ep = (v - f) / delta;
                     (
@@ -192,7 +200,10 @@ mod tests {
         let mut builder = LeafFrame::builder(&schema);
         builder.push(&[ElementId(0)], 7.0, 7.0);
         let frame = builder.build();
-        assert!(Adtributor::default().localize(&frame, 3).unwrap().is_empty());
+        assert!(Adtributor::default()
+            .localize(&frame, 3)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -100,9 +100,9 @@ impl Localizer for FpGrowthLocalizer {
     }
 
     fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>> {
-        let labels = frame
-            .labels()
-            .ok_or(Error::UnlabelledFrame { method: "fp-growth" })?;
+        let labels = frame.labels().ok_or(Error::UnlabelledFrame {
+            method: "fp-growth",
+        })?;
         let transactions: Vec<Vec<Item>> = (0..frame.num_rows())
             .filter(|&i| labels[i])
             .map(|i| {
@@ -129,9 +129,7 @@ impl Localizer for FpGrowthLocalizer {
         for set in &itemsets {
             let combination = Combination::from_pairs(
                 frame.schema(),
-                set.items
-                    .iter()
-                    .map(|&(a, e)| (AttrId(a), ElementId(e))),
+                set.items.iter().map(|&(a, e)| (AttrId(a), ElementId(e))),
             );
             let (support, anom_support) = index.support_counts(&combination);
             if support == 0 {
@@ -158,8 +156,7 @@ impl Localizer for FpGrowthLocalizer {
             .iter()
             .map(|(items, _, _)| {
                 !candidates.iter().any(|(other, _, _)| {
-                    other.len() < items.len()
-                        && other.iter().all(|i| items.contains(i))
+                    other.len() < items.len() && other.iter().all(|i| items.contains(i))
                 })
             })
             .collect();
@@ -228,8 +225,7 @@ mod tests {
         for a in &out {
             for b in &out {
                 assert!(
-                    a.combination == b.combination
-                        || !a.combination.is_ancestor_of(&b.combination),
+                    a.combination == b.combination || !a.combination.is_ancestor_of(&b.combination),
                     "{} shadows {}",
                     a.combination,
                     b.combination
@@ -280,9 +276,10 @@ mod tests {
         let strict = FpGrowthLocalizer::new(0.1, 0.9).unwrap();
         let out = strict.localize(&frame, 10).unwrap();
         // only fully anomalous combinations pass the 0.9 confidence gate
-        assert!(out
-            .iter()
-            .all(|c| c.combination.layer() == 2), "got {out:?}");
+        assert!(
+            out.iter().all(|c| c.combination.layer() == 2),
+            "got {out:?}"
+        );
     }
 
     #[test]

@@ -116,8 +116,7 @@ fn mcts_best_subset(
     let mut best: (Vec<usize>, f64) = (Vec::new(), 0.0);
 
     let evaluate = |subset: &[usize]| -> f64 {
-        let combos: Vec<Combination> =
-            subset.iter().map(|&i| candidates[i].clone()).collect();
+        let combos: Vec<Combination> = subset.iter().map(|&i| candidates[i].clone()).collect();
         potential_score(frame, index, &combos)
     };
 
@@ -136,8 +135,7 @@ fn mcts_best_subset(
                 .copied()
                 .max_by(|&a, &b| {
                     let ucb = |n: &Node| {
-                        n.best_reward
-                            + 0.7 * ((parent_visits.ln() / n.visits.max(1e-9)).sqrt())
+                        n.best_reward + 0.7 * ((parent_visits.ln() / n.visits.max(1e-9)).sqrt())
                     };
                     ucb(&nodes[a])
                         .partial_cmp(&ucb(&nodes[b]))
@@ -171,17 +169,15 @@ fn mcts_best_subset(
         // deterministic, so the node's own subset IS its simulation); with
         // some probability also roll out one random child for exploration
         let cur = *path.last().expect("non-empty path");
-        let eval_node = if !nodes[cur].children.is_empty()
-            && nodes[cur].visits > 0.0
-            && rng.gen_bool(0.5)
-        {
-            let pick = rng.gen_range(0..nodes[cur].children.len());
-            let child = nodes[cur].children[pick];
-            path.push(child);
-            child
-        } else {
-            cur
-        };
+        let eval_node =
+            if !nodes[cur].children.is_empty() && nodes[cur].visits > 0.0 && rng.gen_bool(0.5) {
+                let pick = rng.gen_range(0..nodes[cur].children.len());
+                let child = nodes[cur].children[pick];
+                path.push(child);
+                child
+            } else {
+                cur
+            };
         let reward = evaluate(&nodes[eval_node].subset);
         if reward > best.1 {
             best = (nodes[eval_node].subset.clone(), reward);
@@ -220,8 +216,7 @@ impl Localizer for HotSpot {
             let attrs: Vec<usize> = cuboid.attrs().map(|a| a.index()).collect();
             let mut groups: HashMap<Vec<ElementId>, f64> = HashMap::new();
             for i in 0..frame.num_rows() {
-                let key: Vec<ElementId> =
-                    attrs.iter().map(|&a| frame.row_elements(i)[a]).collect();
+                let key: Vec<ElementId> = attrs.iter().map(|&a| frame.row_elements(i)[a]).collect();
                 *groups.entry(key).or_insert(0.0) += (frame.f(i) - frame.v(i)).abs();
             }
             let mut combos: Vec<(Combination, f64)> = groups
@@ -246,8 +241,7 @@ impl Localizer for HotSpot {
             if combos.is_empty() {
                 continue;
             }
-            let candidates: Vec<Combination> =
-                combos.into_iter().map(|(c, _)| c).collect();
+            let candidates: Vec<Combination> = combos.into_iter().map(|(c, _)| c).collect();
             let (subset, ps) = mcts_best_subset(
                 frame,
                 &index,

@@ -87,12 +87,7 @@ fn entropy(p: f64) -> f64 {
 }
 
 /// Information gain of the covered/uncovered split over the anomaly labels.
-fn isolation_power(
-    n: usize,
-    total_anom: usize,
-    covered: usize,
-    covered_anom: usize,
-) -> f64 {
+fn isolation_power(n: usize, total_anom: usize, covered: usize, covered_anom: usize) -> f64 {
     if n == 0 || covered == 0 || covered == n {
         return 0.0;
     }
@@ -126,10 +121,7 @@ impl Localizer for IDice {
         for layer in 1..=lattice.num_layers() {
             for &cuboid in lattice.layer(layer) {
                 for (ac, support, anom_support) in aggregate_labels(frame, cuboid) {
-                    if accepted
-                        .iter()
-                        .any(|a| a.combination.generalizes(&ac))
-                    {
+                    if accepted.iter().any(|a| a.combination.generalizes(&ac)) {
                         continue;
                     }
                     // 1. impact: fraction of the issue volume covered

@@ -46,6 +46,15 @@ pub trait Localizer: Send + Sync {
     fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>>;
 }
 
+impl<L: Localizer + ?Sized> Localizer for Box<L> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>> {
+        (**self).localize(frame, k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +77,14 @@ mod tests {
     fn trait_is_object_safe() {
         let boxed: Box<dyn Localizer> = Box::new(Dummy);
         assert_eq!(boxed.name(), "dummy");
+    }
+
+    #[test]
+    fn boxed_localizer_is_a_localizer() {
+        fn takes_localizer<L: Localizer>(l: &L) -> &'static str {
+            l.name()
+        }
+        let boxed: Box<dyn Localizer> = Box::new(Dummy);
+        assert_eq!(takes_localizer(&boxed), "dummy");
     }
 }

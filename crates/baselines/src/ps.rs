@@ -36,11 +36,7 @@ pub fn deviation_score(v: f64, f: f64) -> f64 {
 /// 1.0 means the candidate set explains every deviation perfectly; 0 means
 /// it explains nothing. An empty candidate set, or a frame with no
 /// deviation at all, scores 0.
-pub fn potential_score(
-    frame: &LeafFrame,
-    index: &LeafIndex,
-    candidates: &[Combination],
-) -> f64 {
+pub fn potential_score(frame: &LeafFrame, index: &LeafIndex, candidates: &[Combination]) -> f64 {
     if candidates.is_empty() || frame.num_rows() == 0 {
         return 0.0;
     }
@@ -53,7 +49,11 @@ pub fn potential_score(
         v_cov += frame.v(i);
         f_cov += frame.f(i);
     }
-    let ratio = if f_cov.abs() < 1e-12 { 1.0 } else { v_cov / f_cov };
+    let ratio = if f_cov.abs() < 1e-12 {
+        1.0
+    } else {
+        v_cov / f_cov
+    };
 
     let mut explained_residual = 0.0;
     let mut raw_residual = 0.0;

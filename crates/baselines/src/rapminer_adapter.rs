@@ -86,7 +86,9 @@ mod tests {
         let mut builder = LeafFrame::builder(&schema);
         builder.push(&[ElementId(0)], 1.0, 1.0);
         let frame = builder.build();
-        let err = RapMinerLocalizer::default().localize(&frame, 1).unwrap_err();
+        let err = RapMinerLocalizer::default()
+            .localize(&frame, 1)
+            .unwrap_err();
         assert!(err.to_string().contains("label"));
     }
 }

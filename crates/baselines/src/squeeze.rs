@@ -136,10 +136,7 @@ impl Squeeze {
                 .into_iter()
                 .map(|(key, count)| {
                     (
-                        Combination::from_pairs(
-                            schema,
-                            cuboid.attrs().zip(key.iter().copied()),
-                        ),
+                        Combination::from_pairs(schema, cuboid.attrs().zip(key.iter().copied())),
                         count,
                     )
                 })
@@ -285,7 +282,10 @@ mod tests {
 
     #[test]
     fn no_deviation_returns_empty() {
-        let schema = Schema::builder().attribute("a", ["a1", "a2"]).build().unwrap();
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .build()
+            .unwrap();
         let mut builder = LeafFrame::builder(&schema);
         builder.push(&[ElementId(0)], 10.0, 10.0);
         builder.push(&[ElementId(1)], 20.0, 20.0);
@@ -297,13 +297,7 @@ mod tests {
     fn clustering_separates_well_spaced_modes() {
         let sq = Squeeze::default();
         // two groups around d = 0.5 and d = 1.5
-        let rows: Vec<(usize, f64)> = vec![
-            (0, 0.50),
-            (1, 0.52),
-            (2, 0.48),
-            (3, 1.50),
-            (4, 1.48),
-        ];
+        let rows: Vec<(usize, f64)> = vec![(0, 0.50), (1, 0.52), (2, 0.48), (3, 1.50), (4, 1.48)];
         let clusters = sq.cluster(&rows);
         assert_eq!(clusters.len(), 2);
         let sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
@@ -349,7 +343,10 @@ mod tests {
         // it still returns something, but the top answer is at best partial:
         // assert the method does NOT produce the clean single-RAP answer
         let clean = out.len() == 1 && out[0].combination.to_string() == "(a1, *)";
-        assert!(!clean, "squeeze unexpectedly nailed assumption-violating data");
+        assert!(
+            !clean,
+            "squeeze unexpectedly nailed assumption-violating data"
+        );
     }
 
     #[test]

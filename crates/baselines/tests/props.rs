@@ -27,8 +27,7 @@ fn schema_and_frame() -> impl Strategy<Value = (Schema, LeafFrame)> {
             let mut builder = LeafFrame::builder(&schema);
             let mut counters = vec![0u32; n];
             for (v, f, label) in rows {
-                let elements: Vec<ElementId> =
-                    counters.iter().map(|&c| ElementId(c)).collect();
+                let elements: Vec<ElementId> = counters.iter().map(|&c| ElementId(c)).collect();
                 builder.push_labelled(&elements, v, f, label);
                 let mut i = n;
                 while i > 0 {

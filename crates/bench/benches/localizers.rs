@@ -18,24 +18,16 @@ fn squeeze_groups(c: &mut Criterion) {
     let mut group = c.benchmark_group("squeeze_groups");
     group.sample_size(10);
     for tag in ["(1,1)", "(3,3)"] {
-        let case = dataset
-            .group(tag)
-            .next()
-            .expect("group exists")
-            .clone();
+        let case = dataset.group(tag).next().expect("group exists").clone();
         for method in all_localizers() {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), tag),
-                &case,
-                |b, case| {
-                    b.iter(|| {
-                        method
-                            .localize(&case.frame, case.truth.len())
-                            .map(|r| r.len())
-                            .unwrap_or(0)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), tag), &case, |b, case| {
+                b.iter(|| {
+                    method
+                        .localize(&case.frame, case.truth.len())
+                        .map(|r| r.len())
+                        .unwrap_or(0)
+                })
+            });
         }
     }
     group.finish();
@@ -73,7 +65,12 @@ fn ablation_deletion(c: &mut Criterion) {
         b.iter(|| with.localize(&case.frame, 3).map(|r| r.len()).unwrap_or(0))
     });
     group.bench_function("without_deletion", |b| {
-        b.iter(|| without.localize(&case.frame, 3).map(|r| r.len()).unwrap_or(0))
+        b.iter(|| {
+            without
+                .localize(&case.frame, 3)
+                .map(|r| r.len())
+                .unwrap_or(0)
+        })
     });
     group.finish();
 }

@@ -80,15 +80,12 @@ fn attribute_scaling(c: &mut Criterion) {
             &frame,
             |b, frame| b.iter(|| miner.localize(frame, 3).map(|r| r.len()).unwrap_or(0)),
         );
-        let no_deletion = RapMiner::with_config(
-            rapminer::Config::new().with_redundant_deletion(false),
-        );
+        let no_deletion =
+            RapMiner::with_config(rapminer::Config::new().with_redundant_deletion(false));
         group.bench_with_input(
             BenchmarkId::new("no_deletion_1d_rap", n_attrs),
             &frame,
-            |b, frame| {
-                b.iter(|| no_deletion.localize(frame, 3).map(|r| r.len()).unwrap_or(0))
-            },
+            |b, frame| b.iter(|| no_deletion.localize(frame, 3).map(|r| r.len()).unwrap_or(0)),
         );
     }
     group.finish();
@@ -113,5 +110,10 @@ fn fp_growth_mining(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, index_operations, attribute_scaling, fp_growth_mining);
+criterion_group!(
+    benches,
+    index_operations,
+    attribute_scaling,
+    fp_growth_mining
+);
 criterion_main!(benches);

@@ -1,5 +1,8 @@
 //! Regenerates Table I: the CDN attribute schema.
 fn main() {
-    println!("Table I — attributes of the CDN system (seed {})", rapminer_bench::EXPERIMENT_SEED);
+    println!(
+        "Table I — attributes of the CDN system (seed {})",
+        rapminer_bench::EXPERIMENT_SEED
+    );
     print!("{}", rapminer_bench::experiments::table1());
 }

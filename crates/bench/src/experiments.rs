@@ -153,7 +153,11 @@ pub fn table6(dataset: &Dataset) -> Table {
     let (rc_w, rc_wo) = (with_out.rc[0].1, without_out.rc[0].1);
     let (t_w, t_wo) = (with_out.mean_seconds, without_out.mean_seconds);
     let efficiency_improvement = if t_wo > 0.0 { (t_wo - t_w) / t_wo } else { 0.0 };
-    let effectiveness_decrease = if rc_wo > 0.0 { (rc_wo - rc_w) / rc_wo } else { 0.0 };
+    let effectiveness_decrease = if rc_wo > 0.0 {
+        (rc_wo - rc_w) / rc_wo
+    } else {
+        0.0
+    };
     let mut t = Table::new(["variant", "RC@3", "time (s)"]);
     t.row([
         "with redundant attribute deletion".to_string(),

@@ -130,8 +130,8 @@ mod tests {
     #[test]
     fn mean_factor_is_near_one() {
         let p = DiurnalProfile::default();
-        let mean: f64 = (0..MINUTES_PER_WEEK).map(|m| p.factor(m)).sum::<f64>()
-            / MINUTES_PER_WEEK as f64;
+        let mean: f64 =
+            (0..MINUTES_PER_WEEK).map(|m| p.factor(m)).sum::<f64>() / MINUTES_PER_WEEK as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean factor {mean} drifted");
     }
 }

@@ -69,9 +69,7 @@ impl FailureInjector {
         let mut affected: Vec<usize> = Vec::new();
         let mut new_vs: Vec<(usize, f64)> = Vec::new();
         for i in 0..frame.num_rows() {
-            let covered = raps
-                .iter()
-                .any(|r| r.matches_leaf(frame.row_elements(i)));
+            let covered = raps.iter().any(|r| r.matches_leaf(frame.row_elements(i)));
             if covered {
                 let dev = rng.gen_range(self.dev_min..=self.dev_max);
                 let f = frame.f(i);
@@ -165,7 +163,10 @@ mod tests {
     fn overlapping_raps_modify_rows_once() {
         let mut f = frame();
         let a = f.schema().parse_combination("location=L1").unwrap();
-        let b = f.schema().parse_combination("location=L1&access=wireless").unwrap();
+        let b = f
+            .schema()
+            .parse_combination("location=L1&access=wireless")
+            .unwrap();
         let failure = FailureInjector::new(0.3, 0.3001).inject(&mut f, &[a, b], 3);
         // no duplicate rows in the record
         let distinct: std::collections::HashSet<_> =

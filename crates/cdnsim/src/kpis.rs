@@ -97,8 +97,10 @@ fn hit_probability(seed: u64, elements: &[ElementId]) -> f64 {
 fn base_latency_ms(seed: u64, elements: &[ElementId]) -> f64 {
     let location = elements[0].0 as u64;
     let access = elements[1].0 as u64;
-    let mut rng =
-        StdRng::seed_from_u64(seed.wrapping_add(location * 6151).wrapping_add(access * 3079));
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_add(location * 6151)
+            .wrapping_add(access * 3079),
+    );
     rng.gen_range(8.0..120.0)
 }
 
@@ -203,7 +205,10 @@ mod tests {
         let req = m.snapshot_kpi(200, KpiKind::Requests);
         let hits = m.snapshot_kpi(200, KpiKind::CacheHits);
         for i in 0..req.num_rows() {
-            assert!(hits.v(i) <= req.v(i) + 1e-9, "row {i}: hits exceed requests");
+            assert!(
+                hits.v(i) <= req.v(i) + 1e-9,
+                "row {i}: hits exceed requests"
+            );
         }
     }
 
@@ -214,7 +219,11 @@ mod tests {
         let hits = m.snapshot_kpi(200, KpiKind::CacheHits);
         let ratio = derive_hit_ratio(&hits, &req);
         for i in 0..ratio.num_rows() {
-            assert!((0.0..=1.0 + 1e-9).contains(&ratio.v(i)), "bad ratio {}", ratio.v(i));
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&ratio.v(i)),
+                "bad ratio {}",
+                ratio.v(i)
+            );
             assert!((0.0..=1.0 + 1e-9).contains(&ratio.f(i)));
         }
     }
@@ -234,7 +243,10 @@ mod tests {
             let site = req.row_elements(i)[website_attr.index()].0;
             let k = flow.v(i) / req.v(i);
             let entry = per_site.entry(site).or_insert(k);
-            assert!((*entry - k).abs() < 1e-6, "inconsistent scale for site {site}");
+            assert!(
+                (*entry - k).abs() < 1e-6,
+                "inconsistent scale for site {site}"
+            );
         }
         assert!(per_site.len() > 1);
     }
@@ -273,7 +285,10 @@ mod tests {
             let e = mean.row_elements(i);
             let key = (e[0].0, e[1].0);
             let entry = per_pair.entry(key).or_insert(mean.v(i));
-            assert!((*entry - mean.v(i)).abs() < 1e-6, "pair {key:?} inconsistent");
+            assert!(
+                (*entry - mean.v(i)).abs() < 1e-6,
+                "pair {key:?} inconsistent"
+            );
         }
         assert!(per_pair.len() > 1);
     }

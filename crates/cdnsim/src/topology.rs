@@ -323,10 +323,7 @@ mod tests {
 
     #[test]
     fn custom_names_extend_known_lists() {
-        let t = CdnTopology::builder()
-            .access_types(5)
-            .oses(6)
-            .build(1);
+        let t = CdnTopology::builder().access_types(5).oses(6).build(1);
         let access = t.schema().attribute_by_name("access").unwrap();
         assert_eq!(access.element_name(ElementId(4)), "access5");
         let os = t.schema().attribute_by_name("os").unwrap();

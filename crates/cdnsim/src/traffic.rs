@@ -75,8 +75,7 @@ impl TrafficModel {
             "forecast_error_cv must be >= 0"
         );
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7A_FF1C);
-        let jitter = LogNormal::new(0.0, config.jitter_sigma.max(1e-12))
-            .expect("valid lognormal");
+        let jitter = LogNormal::new(0.0, config.jitter_sigma.max(1e-12)).expect("valid lognormal");
         let n = topology.num_leaves() as usize;
         let mut base_rates = Vec::with_capacity(n);
         for leaf in topology.leaves() {

@@ -1,9 +1,7 @@
 //! Property tests for the CDN simulator: generation invariants across
 //! arbitrary seeds and configurations.
 
-use cdnsim::{
-    CdnTopology, DiurnalProfile, FailureInjector, KpiKind, TrafficConfig, TrafficModel,
-};
+use cdnsim::{CdnTopology, DiurnalProfile, FailureInjector, KpiKind, TrafficConfig, TrafficModel};
 use proptest::prelude::*;
 use timeseries::deviation;
 

@@ -65,6 +65,33 @@ pub enum Command {
         /// random location outage.
         rap: Option<String>,
     },
+    /// `serve`: run the rapd localization daemon.
+    Serve {
+        /// NDJSON ingest/control listener address.
+        listen: String,
+        /// Prometheus `/metrics` listener address.
+        metrics_listen: String,
+        /// Number of shard worker threads.
+        shards: usize,
+        /// Bounded per-shard queue capacity (frames).
+        queue: usize,
+        /// Incident spool directory (no spooling when absent).
+        spool: Option<String>,
+        /// Incidents retained in the in-memory ring.
+        ring: usize,
+        /// Per-leaf history points kept per tenant.
+        history: usize,
+        /// Observations before alarms may fire.
+        warmup: usize,
+        /// Overall-KPI deviation that raises the alarm.
+        alarm_threshold: f64,
+        /// Per-leaf deviation labelling a leaf anomalous.
+        leaf_threshold: f64,
+        /// Root anomaly patterns reported per incident.
+        k: usize,
+        /// Moving-average forecast window.
+        window: usize,
+    },
     /// `methods`: list available localizers.
     Methods,
     /// `help`: print usage.
@@ -96,6 +123,10 @@ USAGE:
   rapminer evaluate --dir <dataset-dir> [--protocol rc|f1] [--k 3,4,5]
                     [--method NAME]
   rapminer simulate [--steps N] [--failure-at N] [--seed N] [--rap SPEC]
+  rapminer serve    [--listen HOST:PORT] [--metrics-listen HOST:PORT]
+                    [--shards N] [--queue N] [--spool DIR] [--ring N]
+                    [--history N] [--warmup N] [--alarm-threshold X]
+                    [--leaf-threshold X] [--k N] [--window N]
   rapminer methods
   rapminer help
 ";
@@ -149,6 +180,26 @@ impl Args {
                 failure_at: parse_num(&flags, "failure-at", 90)?,
                 seed: parse_num(&flags, "seed", 404)?,
                 rap: flags.get("rap").cloned(),
+            },
+            "serve" => Command::Serve {
+                listen: flags
+                    .get("listen")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:4817".to_string()),
+                metrics_listen: flags
+                    .get("metrics-listen")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:9187".to_string()),
+                shards: parse_num(&flags, "shards", 4)?,
+                queue: parse_num(&flags, "queue", 1024)?,
+                spool: flags.get("spool").cloned(),
+                ring: parse_num(&flags, "ring", 256)?,
+                history: parse_num(&flags, "history", 1440)?,
+                warmup: parse_num(&flags, "warmup", 10)?,
+                alarm_threshold: parse_float(&flags, "alarm-threshold", 0.1)?,
+                leaf_threshold: parse_float(&flags, "leaf-threshold", 0.3)?,
+                k: parse_num(&flags, "k", 3)?,
+                window: parse_num(&flags, "window", 10)?,
             },
             "methods" => Command::Methods,
             "help" | "--help" | "-h" => Command::Help,
@@ -208,10 +259,7 @@ fn parse_float(
     parse_num(flags, name, default)
 }
 
-fn parse_opt_float(
-    flags: &HashMap<String, String>,
-    name: &str,
-) -> Result<Option<f64>, ParseError> {
+fn parse_opt_float(flags: &HashMap<String, String>, name: &str) -> Result<Option<f64>, ParseError> {
     match flags.get(name) {
         None => Ok(None),
         Some(s) => s
@@ -275,8 +323,7 @@ mod tests {
     #[test]
     fn parses_localize_with_overrides() {
         let args = Args::parse([
-            "localize", "--input", "a.csv", "--method", "squeeze", "--k", "5", "--t-cp",
-            "0.01",
+            "localize", "--input", "a.csv", "--method", "squeeze", "--k", "5", "--t-cp", "0.01",
         ])
         .unwrap();
         match args.command {

@@ -101,7 +101,76 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             seed,
             rap,
         } => simulate(*steps, *failure_at, *seed, rap.as_deref(), out),
+        Command::Serve { .. } => {
+            let handle = serve_start(&args.command, out)?;
+            // daemon mode: the listeners run until the process is killed
+            loop {
+                std::thread::park();
+                // spurious unparks are harmless; keep serving
+                let _ = &handle;
+            }
+        }
     }
+}
+
+/// Boot the rapd daemon from the `serve` flags and report its listeners.
+/// Split from [`run`] so tests can boot and then shut the daemon down.
+pub(crate) fn serve_start(
+    command: &Command,
+    out: &mut dyn std::io::Write,
+) -> Result<service::ServerHandle, CliError> {
+    let Command::Serve {
+        listen,
+        metrics_listen,
+        shards,
+        queue,
+        spool,
+        ring,
+        history,
+        warmup,
+        alarm_threshold,
+        leaf_threshold,
+        k,
+        window,
+    } = command
+    else {
+        return Err(CliError::new("serve_start requires the serve command"));
+    };
+    let config = service::ServiceConfig {
+        listen: listen.clone(),
+        metrics_listen: metrics_listen.clone(),
+        shards: *shards,
+        queue_capacity: *queue,
+        spool_dir: spool.as_ref().map(std::path::PathBuf::from),
+        ring_capacity: *ring,
+        forecast_window: *window,
+        pipeline: pipeline::PipelineConfig {
+            history_len: *history,
+            warmup: *warmup,
+            alarm_threshold: *alarm_threshold,
+            leaf_threshold: *leaf_threshold,
+            k: *k,
+        },
+        ..service::ServiceConfig::default()
+    };
+    let handle = service::start(config, service::default_factory())
+        .map_err(|e| CliError::new(e.to_string()))?;
+    writeln!(
+        out,
+        "rapd listening on {} (NDJSON ingest/control)",
+        handle.ingest_addr()
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "rapd metrics on http://{}/metrics",
+        handle.metrics_addr()
+    )
+    .map_err(io_err)?;
+    if let Some(dir) = spool {
+        writeln!(out, "rapd spooling incidents under {dir}").map_err(io_err)?;
+    }
+    Ok(handle)
 }
 
 /// The streaming operations demo: play the simulator, inject a failure,
@@ -274,7 +343,9 @@ fn localize(
         }
         let mut config = Config::new();
         if let Some(v) = t_cp {
-            config = config.with_t_cp(v).map_err(|e| CliError::new(e.to_string()))?;
+            config = config
+                .with_t_cp(v)
+                .map_err(|e| CliError::new(e.to_string()))?;
         }
         let outcome = rapminer::RapMiner::with_config(config)
             .analyze(&frame)
@@ -541,5 +612,36 @@ mod tests {
         assert!(out.contains("detected 2 anomalous"), "got: {out}");
         assert!(out.contains("(a1, *)"), "got: {out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_boots_and_reports_listeners() {
+        let args = Args::parse([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics-listen",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        let handle = serve_start(&args.command, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("rapd listening on 127.0.0.1:"), "got: {text}");
+        assert!(text.contains("/metrics"), "got: {text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_bad_config() {
+        let args = Args::parse(["serve", "--shards", "0"]).unwrap();
+        let mut out = Vec::new();
+        let err = match serve_start(&args.command, &mut out) {
+            Err(e) => e,
+            Ok(_) => panic!("zero shards must be rejected"),
+        };
+        assert!(err.to_string().contains("shards"), "got: {err}");
     }
 }

@@ -59,7 +59,10 @@ mod tests {
     use mdkpi::Schema;
 
     fn tiny_case(id: &str, group: &str) -> LocalizationCase {
-        let schema = Schema::builder().attribute("a", ["a1", "a2"]).build().unwrap();
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .build()
+            .unwrap();
         let mut b = LeafFrame::builder(&schema);
         b.push_labelled(&[mdkpi::ElementId(0)], 1.0, 10.0, true);
         b.push_labelled(&[mdkpi::ElementId(1)], 10.0, 10.0, false);
@@ -87,7 +90,10 @@ mod tests {
             ],
         };
         assert_eq!(ds.group("(1,1)").count(), 2);
-        assert_eq!(ds.group_names(), vec!["(1,1)".to_string(), "(1,2)".to_string()]);
+        assert_eq!(
+            ds.group_names(),
+            vec!["(1,1)".to_string(), "(1,2)".to_string()]
+        );
         assert_eq!(ds.cases[0].num_raps(), 1);
     }
 }

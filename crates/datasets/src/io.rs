@@ -18,8 +18,8 @@ use crate::case::{Dataset, LocalizationCase};
 /// Propagates I/O and serialization failures.
 pub fn save_dataset(dataset: &Dataset, dir: &Path) -> Result<(), Error> {
     fs::create_dir_all(dir)?;
-    let mut manifest = csv::Writer::from_path(dir.join("manifest.csv"))
-        .map_err(|e| Error::Csv {
+    let mut manifest =
+        csv::Writer::from_path(dir.join("manifest.csv")).map_err(|e| Error::Csv {
             message: e.to_string(),
         })?;
     manifest.write_record(["id", "group", "truth"])?;
@@ -52,8 +52,8 @@ pub fn save_dataset(dataset: &Dataset, dir: &Path) -> Result<(), Error> {
 ///
 /// Fails on a missing/malformed manifest or any unreadable case file.
 pub fn load_dataset(dir: &Path) -> Result<Dataset, Error> {
-    let mut manifest = csv::Reader::from_path(dir.join("manifest.csv"))
-        .map_err(|e| Error::Csv {
+    let mut manifest =
+        csv::Reader::from_path(dir.join("manifest.csv")).map_err(|e| Error::Csv {
             message: e.to_string(),
         })?;
     let name = fs::read_to_string(dir.join("NAME"))
@@ -118,10 +118,7 @@ mod tests {
             assert_eq!(a.frame.num_rows(), b.frame.num_rows());
             assert_eq!(a.frame.num_anomalous(), b.frame.num_anomalous());
             // truth compares by rendered text (schemas are distinct objects)
-            assert_eq!(
-                mdkpi::format_truth(&a.truth),
-                mdkpi::format_truth(&b.truth)
-            );
+            assert_eq!(mdkpi::format_truth(&a.truth), mdkpi::format_truth(&b.truth));
         }
         fs::remove_dir_all(&dir).ok();
     }

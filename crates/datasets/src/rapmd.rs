@@ -161,8 +161,7 @@ impl RapmdGenerator {
             // Eq. 5: f = (v + Dev·ε) / (1 − Dev) so that (f − v)/(f + ε) = Dev
             let f = (v + dev * EPS) / (1.0 - dev);
             builder.push(elements, v, f);
-            let observed = if self.config.label_noise > 0.0
-                && rng.gen_bool(self.config.label_noise)
+            let observed = if self.config.label_noise > 0.0 && rng.gen_bool(self.config.label_noise)
             {
                 !anomalous
             } else {

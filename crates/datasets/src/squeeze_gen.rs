@@ -105,11 +105,15 @@ impl SqueezeGenerator {
             "attributes need >= 3 elements to host up to 3 disjoint RAPs"
         );
         assert!(
-            config.dev_range.0 > 0.0 && config.dev_range.0 <= config.dev_range.1
+            config.dev_range.0 > 0.0
+                && config.dev_range.0 <= config.dev_range.1
                 && config.dev_range.1 < 1.0,
             "dev_range must satisfy 0 < lo <= hi < 1"
         );
-        assert!(config.cases_per_group > 0, "cases_per_group must be positive");
+        assert!(
+            config.cases_per_group > 0,
+            "cases_per_group must be positive"
+        );
         assert!(
             (0.0..1.0).contains(&config.label_noise),
             "label_noise must be in [0, 1)"
@@ -183,8 +187,7 @@ impl SqueezeGenerator {
             } else {
                 f * (1.0 + rng.gen_range(-self.config.noise..=self.config.noise))
             };
-            let observed = if self.config.label_noise > 0.0
-                && rng.gen_bool(self.config.label_noise)
+            let observed = if self.config.label_noise > 0.0 && rng.gen_bool(self.config.label_noise)
             {
                 !anomalous
             } else {
@@ -230,7 +233,10 @@ fn pick_disjoint_raps(
     let mut choices: Vec<Vec<ElementId>> = Vec::with_capacity(attrs.len());
     for &a in &attrs {
         let len = schema.attribute(a).len() as u32;
-        debug_assert!(len as usize > r, "attribute too small for {r} disjoint raps");
+        debug_assert!(
+            len as usize > r,
+            "attribute too small for {r} disjoint raps"
+        );
         let mut elems: Vec<u32> = (0..len).collect();
         elems.shuffle(rng);
         choices.push(elems[..r].iter().map(|&e| ElementId(e)).collect());
@@ -290,7 +296,11 @@ mod tests {
         for case in &ds.cases {
             let (d, r) = parse_group(&case.group);
             assert_eq!(case.truth.len(), r, "case {}", case.id);
-            assert!(case.truth.iter().all(|t| t.layer() == d), "case {}", case.id);
+            assert!(
+                case.truth.iter().all(|t| t.layer() == d),
+                "case {}",
+                case.id
+            );
             // all in the same cuboid
             let cuboid = case.truth[0].cuboid();
             assert!(case.truth.iter().all(|t| t.cuboid() == cuboid));

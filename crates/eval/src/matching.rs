@@ -8,9 +8,7 @@ use mdkpi::Combination;
 /// credit for ancestors or descendants).
 ///
 /// Returns `(0, 0)` when both sides are empty.
-pub fn precision_recall(
-    cases: &[(Vec<Combination>, Vec<Combination>)],
-) -> (f64, f64) {
+pub fn precision_recall(cases: &[(Vec<Combination>, Vec<Combination>)]) -> (f64, f64) {
     let mut tp = 0usize;
     let mut pred_total = 0usize;
     let mut truth_total = 0usize;
@@ -62,11 +60,7 @@ pub fn rc_at_k(cases: &[(Vec<Combination>, Vec<Combination>)], k: usize) -> f64 
     let mut truth_total = 0usize;
     for (pred, truth) in cases {
         truth_total += truth.len();
-        hits += pred
-            .iter()
-            .take(k)
-            .filter(|p| truth.contains(p))
-            .count();
+        hits += pred.iter().take(k).filter(|p| truth.contains(p)).count();
     }
     if truth_total == 0 {
         0.0
@@ -198,10 +192,7 @@ mod tests {
     fn layer_breakdown_partitions_truths() {
         let s = schema();
         // layer-1 truth recovered, layer-2 truth missed
-        let cases = vec![(
-            vec![c(&s, "a=a1")],
-            vec![c(&s, "a=a1"), c(&s, "a=a2&b=b1")],
-        )];
+        let cases = vec![(vec![c(&s, "a=a1")], vec![c(&s, "a=a1"), c(&s, "a=a2&b=b1")])];
         let breakdown = rc_by_truth_layer(&cases, 3);
         assert_eq!(breakdown, vec![(1, 1.0, 1), (2, 0.0, 1)]);
         // the counts sum to the total number of truths

@@ -74,8 +74,13 @@ impl Table {
                 cell.to_string()
             }
         };
-        let line =
-            |cells: &[String]| cells.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",");
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         writeln!(w, "{}", line(&self.headers))?;
         for row in &self.rows {
             writeln!(w, "{}", line(row))?;

@@ -128,16 +128,15 @@ fn run_cases<L: Localizer + ?Sized>(
     let chunk_size = cases.len().div_ceil(workers);
     let chunks: Vec<&[LocalizationCase]> = cases.chunks(chunk_size).collect();
     let mut results: Vec<Vec<CaseOutcome>> = Vec::with_capacity(chunks.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|chunk| scope.spawn(|_| chunk.iter().map(run_one).collect::<Vec<_>>()))
+            .map(|chunk| scope.spawn(|| chunk.iter().map(run_one).collect::<Vec<_>>()))
             .collect();
         for h in handles {
             results.push(h.join().expect("worker thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     results.into_iter().flatten().collect()
 }
 
@@ -165,7 +164,11 @@ mod tests {
             assert!(o.predictions.len() <= c.truth.len());
             assert!(o.seconds >= 0.0);
         }
-        assert!(outcome.f1 > 0.8, "clean B0 should be easy, got {}", outcome.f1);
+        assert!(
+            outcome.f1 > 0.8,
+            "clean B0 should be easy, got {}",
+            outcome.f1
+        );
         assert!(outcome.mean_seconds > 0.0);
     }
 

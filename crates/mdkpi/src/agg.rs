@@ -44,10 +44,8 @@ pub fn aggregate(frame: &LeafFrame, cuboid: Cuboid) -> Vec<(Combination, f64, f6
     let mut out: Vec<(Combination, f64, f64)> = groups
         .into_iter()
         .map(|(key, (v, f))| {
-            let combo = Combination::from_pairs(
-                frame.schema(),
-                cuboid.attrs().zip(key.iter().copied()),
-            );
+            let combo =
+                Combination::from_pairs(frame.schema(), cuboid.attrs().zip(key.iter().copied()));
             (combo, v, f)
         })
         .collect();
@@ -75,10 +73,8 @@ pub fn aggregate_labels(frame: &LeafFrame, cuboid: Cuboid) -> Vec<(Combination, 
     let mut out: Vec<(Combination, usize, usize)> = groups
         .into_iter()
         .map(|(key, (s, a))| {
-            let combo = Combination::from_pairs(
-                frame.schema(),
-                cuboid.attrs().zip(key.iter().copied()),
-            );
+            let combo =
+                Combination::from_pairs(frame.schema(), cuboid.attrs().zip(key.iter().copied()));
             (combo, s, a)
         })
         .collect();
@@ -172,8 +168,14 @@ mod tests {
             let rows = aggregate(&f, Cuboid::from_mask(mask));
             let v: f64 = rows.iter().map(|r| r.1).sum();
             let fc: f64 = rows.iter().map(|r| r.2).sum();
-            assert!((v - f.total_v()).abs() < 1e-12, "v not conserved for mask {mask}");
-            assert!((fc - f.total_f()).abs() < 1e-12, "f not conserved for mask {mask}");
+            assert!(
+                (v - f.total_v()).abs() < 1e-12,
+                "v not conserved for mask {mask}"
+            );
+            assert!(
+                (fc - f.total_f()).abs() < 1e-12,
+                "f not conserved for mask {mask}"
+            );
         }
     }
 
@@ -193,7 +195,10 @@ mod tests {
         let rows = aggregate_labels(&f, Cuboid::from_attrs([AttrId(1)]));
         assert_eq!(rows.len(), 2);
         // (*, b1) covers rows 0 and 2; one anomalous
-        assert_eq!(rows[0], (f.schema().parse_combination("b=b1").unwrap(), 2, 1));
+        assert_eq!(
+            rows[0],
+            (f.schema().parse_combination("b=b1").unwrap(), 2, 1)
+        );
     }
 
     #[test]

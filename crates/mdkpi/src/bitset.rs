@@ -62,7 +62,11 @@ impl Bitset {
     /// Panics if `i >= len`.
     #[inline]
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of bounds for bitset of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for bitset of {} bits",
+            self.len
+        );
         self.words[i / 64] |= 1 << (i % 64);
     }
 
@@ -73,7 +77,11 @@ impl Bitset {
     /// Panics if `i >= len`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of bounds for bitset of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for bitset of {} bits",
+            self.len
+        );
         self.words[i / 64] &= !(1 << (i % 64));
     }
 
@@ -84,7 +92,11 @@ impl Bitset {
     /// Panics if `i >= len`.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit {i} out of bounds for bitset of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for bitset of {} bits",
+            self.len
+        );
         self.words[i / 64] & (1 << (i % 64)) != 0
     }
 

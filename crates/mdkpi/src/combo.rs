@@ -100,10 +100,12 @@ impl Combination {
             return Ok(c);
         }
         for pair in trimmed.split('&') {
-            let (attr, elem) = pair.split_once('=').ok_or_else(|| Error::ParseCombination {
-                input: text.to_string(),
-                reason: format!("pair `{pair}` lacks `=`"),
-            })?;
+            let (attr, elem) = pair
+                .split_once('=')
+                .ok_or_else(|| Error::ParseCombination {
+                    input: text.to_string(),
+                    reason: format!("pair `{pair}` lacks `=`"),
+                })?;
             let (a, e) = schema.resolve(attr.trim(), elem.trim())?;
             if c.cells[a.index()].is_some() {
                 return Err(Error::ParseCombination {
@@ -456,10 +458,12 @@ mod tests {
     #[test]
     fn ordering_is_total_and_deterministic() {
         let s = schema();
-        let mut v = [s.parse_combination("a=a2").unwrap(),
+        let mut v = [
+            s.parse_combination("a=a2").unwrap(),
             s.parse_combination("").unwrap(),
             s.parse_combination("a=a1&b=b1").unwrap(),
-            s.parse_combination("a=a1").unwrap()];
+            s.parse_combination("a=a1").unwrap(),
+        ];
         v.sort();
         let shown: Vec<String> = v.iter().map(|c| c.to_string()).collect();
         assert_eq!(

@@ -161,10 +161,7 @@ pub fn read_frame_csv<R: Read>(reader: R) -> Result<LeafFrame> {
 pub fn write_frame_csv<W: Write>(frame: &LeafFrame, writer: W) -> Result<()> {
     let schema = frame.schema();
     let mut wtr = csv::Writer::from_writer(writer);
-    let mut header: Vec<&str> = schema
-        .attributes()
-        .map(|(_, def)| def.name())
-        .collect();
+    let mut header: Vec<&str> = schema.attributes().map(|(_, def)| def.name()).collect();
     header.push(REAL_COL);
     header.push(PREDICT_COL);
     let labelled = frame.labels().is_some();
@@ -187,7 +184,14 @@ pub fn write_frame_csv<W: Write>(frame: &LeafFrame, writer: W) -> Result<()> {
         record.push(format!("{}", frame.v(i)));
         record.push(format!("{}", frame.f(i)));
         if labelled {
-            record.push(if frame.label(i) == Some(true) { "1" } else { "0" }.to_string());
+            record.push(
+                if frame.label(i) == Some(true) {
+                    "1"
+                } else {
+                    "0"
+                }
+                .to_string(),
+            );
         }
         wtr.write_record(&record)?;
     }
@@ -260,8 +264,7 @@ mod tests {
     fn bad_numbers_and_labels_error() {
         let err = read_frame_csv("a,real,predict\na1,xx,1\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("not a number"));
-        let err =
-            read_frame_csv("a,real,predict,label\na1,1,1,maybe\n".as_bytes()).unwrap_err();
+        let err = read_frame_csv("a,real,predict,label\na1,1,1,maybe\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("bad label"));
     }
 

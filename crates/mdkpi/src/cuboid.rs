@@ -82,8 +82,9 @@ impl Cuboid {
     /// Number of attribute combinations in this cuboid for the given schema:
     /// `Π l(attr)` over the cuboid's attributes.
     pub fn num_combinations(self, schema: &Schema) -> u64 {
-        self.attrs()
-            .fold(1u64, |acc, a| acc.saturating_mul(schema.attribute(a).len() as u64))
+        self.attrs().fold(1u64, |acc, a| {
+            acc.saturating_mul(schema.attribute(a).len() as u64)
+        })
     }
 
     /// Iterate every attribute combination in this cuboid (the Cartesian
@@ -375,7 +376,10 @@ mod tests {
         let bounds = [0.5, 0.75, 0.875, 0.9375, 0.96875];
         for (k, &bound) in (1u32..=5).zip(&bounds) {
             let exact = decrease_ratio(6, k);
-            assert!(exact > bound, "k={k}: exact {exact} must beat bound {bound}");
+            assert!(
+                exact > bound,
+                "k={k}: exact {exact} must beat bound {bound}"
+            );
             assert!(exact <= 1.0);
         }
         // deleting everything prunes everything

@@ -70,9 +70,15 @@ impl fmt::Display for Error {
             }
             Error::DuplicateAttribute { name } => write!(f, "duplicate attribute `{name}`"),
             Error::DuplicateElement { attribute, element } => {
-                write!(f, "duplicate element `{element}` in attribute `{attribute}`")
+                write!(
+                    f,
+                    "duplicate element `{element}` in attribute `{attribute}`"
+                )
             }
-            Error::EmptySchema => write!(f, "schema must have at least one attribute and every attribute at least one element"),
+            Error::EmptySchema => write!(
+                f,
+                "schema must have at least one attribute and every attribute at least one element"
+            ),
             Error::TooManyAttributes { requested } => {
                 write!(f, "schemas support at most 32 attributes, got {requested}")
             }

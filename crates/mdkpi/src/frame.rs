@@ -178,7 +178,10 @@ impl LeafFrame {
 
     /// Iterate over row views.
     pub fn iter(&self) -> impl Iterator<Item = LeafRow<'_>> + '_ {
-        (0..self.num_rows()).map(move |i| LeafRow { frame: self, row: i })
+        (0..self.num_rows()).map(move |i| LeafRow {
+            frame: self,
+            row: i,
+        })
     }
 
     /// Row indexes whose elements are covered by `combination` (linear scan;

@@ -1,8 +1,8 @@
 //! Property-based tests for the mdkpi data model invariants.
 
 use mdkpi::{
-    aggregate, decrease_ratio, Bitset, Combination, CuboidLattice, ElementId, LeafFrame,
-    LeafIndex, Schema,
+    aggregate, decrease_ratio, Bitset, Combination, CuboidLattice, ElementId, LeafFrame, LeafIndex,
+    Schema,
 };
 use proptest::prelude::*;
 

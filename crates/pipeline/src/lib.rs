@@ -66,5 +66,5 @@ mod tracker;
 
 pub use incident::IncidentReport;
 pub use multi::{localize_multi_kpi, MergedRap, MultiKpiReport};
-pub use stream::{LocalizationPipeline, PipelineConfig, PipelineError};
+pub use stream::{ConfigError, LocalizationPipeline, PipelineConfig, PipelineError};
 pub use tracker::{Incident, IncidentTracker};

@@ -77,10 +77,7 @@ pub fn localize_multi_kpi<L: Localizer + ?Sized>(
     let mut merged: Vec<MergedRap> = Vec::new();
     for (kpi, results) in &per_kpi {
         for sc in results {
-            match merged
-                .iter_mut()
-                .find(|m| m.combination == sc.combination)
-            {
+            match merged.iter_mut().find(|m| m.combination == sc.combination) {
                 Some(m) => {
                     if !m.kpis.contains(kpi) {
                         m.kpis.push(kpi.clone());
@@ -142,7 +139,11 @@ mod tests {
         let hits = frame_with_anomalous(&s, "a=a3");
         let report = localize_multi_kpi(
             &RapMinerLocalizer::default(),
-            &[("traffic", &traffic), ("delay", &delay), ("hit_ratio", &hits)],
+            &[
+                ("traffic", &traffic),
+                ("delay", &delay),
+                ("hit_ratio", &hits),
+            ],
             5,
         )
         .unwrap();
@@ -162,8 +163,7 @@ mod tests {
         let t = frame_with_anomalous(&s, "a=a1");
         let d = frame_with_anomalous(&s, "a=a2");
         let report =
-            localize_multi_kpi(&RapMinerLocalizer::default(), &[("t", &t), ("d", &d)], 1)
-                .unwrap();
+            localize_multi_kpi(&RapMinerLocalizer::default(), &[("t", &t), ("d", &d)], 1).unwrap();
         assert_eq!(report.merged.len(), 1);
     }
 
@@ -185,8 +185,7 @@ mod tests {
 
     #[test]
     fn empty_input_gives_empty_report() {
-        let report =
-            localize_multi_kpi(&RapMinerLocalizer::default(), &[], 3).unwrap();
+        let report = localize_multi_kpi(&RapMinerLocalizer::default(), &[], 3).unwrap();
         assert!(report.per_kpi.is_empty());
         assert!(report.merged.is_empty());
     }

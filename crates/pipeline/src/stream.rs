@@ -36,10 +36,76 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Check every invariant the streaming loop relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: zero `history_len`, zero
+    /// `warmup`, zero `k`, or a threshold that is not a positive finite
+    /// number.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.history_len == 0 {
+            return Err(ConfigError::ZeroField {
+                field: "history_len",
+            });
+        }
+        if self.warmup == 0 {
+            return Err(ConfigError::ZeroField { field: "warmup" });
+        }
+        if self.k == 0 {
+            return Err(ConfigError::ZeroField { field: "k" });
+        }
+        for (field, v) in [
+            ("alarm_threshold", self.alarm_threshold),
+            ("leaf_threshold", self.leaf_threshold),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ConfigError::BadThreshold { field, value: v });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`PipelineConfig`] that would misbehave downstream (division by zero
+/// history, alarms that can never or always fire, empty result lists).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A count field that must be positive was zero.
+    ZeroField {
+        /// The offending field name.
+        field: &'static str,
+    },
+    /// A threshold was NaN, infinite, or not positive.
+    BadThreshold {
+        /// The offending field name.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroField { field } => write!(f, "{field} must be positive"),
+            ConfigError::BadThreshold { field, value } => {
+                write!(f, "{field} must be a positive finite number, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Errors of the streaming pipeline.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum PipelineError {
+    /// The pipeline was configured with an invalid [`PipelineConfig`].
+    Config(ConfigError),
     /// A snapshot used a different schema than the first one observed.
     SchemaChanged,
     /// The localizer failed on a triggered incident.
@@ -49,6 +115,7 @@ pub enum PipelineError {
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PipelineError::Config(e) => write!(f, "invalid pipeline config: {e}"),
             PipelineError::SchemaChanged => {
                 write!(f, "snapshot schema differs from the stream's schema")
             }
@@ -60,9 +127,16 @@ impl fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            PipelineError::Config(e) => Some(e),
             PipelineError::Localization(e) => Some(e),
             PipelineError::SchemaChanged => None,
         }
+    }
+}
+
+impl From<ConfigError> for PipelineError {
+    fn from(e: ConfigError) -> Self {
+        PipelineError::Config(e)
     }
 }
 
@@ -87,22 +161,33 @@ pub struct LocalizationPipeline<F, L> {
 }
 
 impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
-    /// Create the pipeline.
+    /// Create the pipeline, panicking on an invalid config.
     ///
     /// # Panics
     ///
-    /// Panics if `history_len` or `k` is zero, or thresholds are not
-    /// positive finite numbers.
+    /// Panics if `history_len`, `warmup` or `k` is zero, or thresholds
+    /// are not positive finite numbers. Fallible callers (services,
+    /// daemons) should use [`LocalizationPipeline::try_new`] instead.
     pub fn new(config: PipelineConfig, forecaster: F, localizer: L) -> Self {
-        assert!(config.history_len > 0, "history_len must be positive");
-        assert!(config.k > 0, "k must be positive");
-        for (name, v) in [
-            ("alarm_threshold", config.alarm_threshold),
-            ("leaf_threshold", config.leaf_threshold),
-        ] {
-            assert!(v.is_finite() && v > 0.0, "{name} must be positive");
+        match Self::try_new(config, forecaster, localizer) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
         }
-        LocalizationPipeline {
+    }
+
+    /// Create the pipeline, validating the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`PipelineConfig`] invariant as a
+    /// [`ConfigError`].
+    pub fn try_new(
+        config: PipelineConfig,
+        forecaster: F,
+        localizer: L,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(LocalizationPipeline {
             config,
             forecaster,
             localizer,
@@ -110,7 +195,7 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
             history: HashMap::new(),
             total_history: VecDeque::new(),
             steps: 0,
-        }
+        })
     }
 
     /// The active configuration.
@@ -295,7 +380,10 @@ mod tests {
         let s = schema();
         let mut p = pipeline();
         for _ in 0..10 {
-            assert!(p.observe(&frame(&s, [100.0, 100.0, 100.0, 100.0])).unwrap().is_none());
+            assert!(p
+                .observe(&frame(&s, [100.0, 100.0, 100.0, 100.0]))
+                .unwrap()
+                .is_none());
         }
         // (a1, *) collapses: rows (a1,b1) and (a1,b2)
         let report = p
@@ -314,7 +402,10 @@ mod tests {
         let mut p = pipeline();
         // even a crazy first frame cannot alarm: not enough history
         for _ in 0..4 {
-            assert!(p.observe(&frame(&s, [0.0, 0.0, 0.0, 0.0])).unwrap().is_none());
+            assert!(p
+                .observe(&frame(&s, [0.0, 0.0, 0.0, 0.0]))
+                .unwrap()
+                .is_none());
         }
     }
 
@@ -365,6 +456,72 @@ mod tests {
         }
         assert!(p.total_history.len() <= 7);
         assert!(p.history.values().all(|h| h.len() <= 7));
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        let ok = PipelineConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        let cases: [(PipelineConfig, &str); 6] = [
+            (
+                PipelineConfig {
+                    history_len: 0,
+                    ..ok
+                },
+                "history_len",
+            ),
+            (PipelineConfig { warmup: 0, ..ok }, "warmup"),
+            (PipelineConfig { k: 0, ..ok }, "k"),
+            (
+                PipelineConfig {
+                    alarm_threshold: f64::NAN,
+                    ..ok
+                },
+                "alarm_threshold",
+            ),
+            (
+                PipelineConfig {
+                    alarm_threshold: -0.1,
+                    ..ok
+                },
+                "alarm_threshold",
+            ),
+            (
+                PipelineConfig {
+                    leaf_threshold: f64::INFINITY,
+                    ..ok
+                },
+                "leaf_threshold",
+            ),
+        ];
+        for (cfg, field) in cases {
+            let err = cfg.validate().expect_err(field);
+            assert!(
+                err.to_string().contains(field),
+                "error {err} should name {field}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_new_returns_error_not_panic() {
+        let err = LocalizationPipeline::try_new(
+            PipelineConfig {
+                warmup: 0,
+                ..PipelineConfig::default()
+            },
+            MovingAverage::new(3),
+            RapMinerLocalizer::default(),
+        )
+        .expect_err("zero warmup must be rejected");
+        assert_eq!(err, ConfigError::ZeroField { field: "warmup" });
+    }
+
+    #[test]
+    fn pipeline_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<LocalizationPipeline<MovingAverage, RapMinerLocalizer>>();
+        assert_send::<LocalizationPipeline<MovingAverage, Box<dyn Localizer>>>();
     }
 
     #[test]

@@ -175,10 +175,7 @@ mod tests {
         let opened = t.observe_alarm(report(11, "a=a2"));
         assert!(opened.is_some(), "different scope must open a new incident");
         assert_eq!(t.closed().len(), 1);
-        assert_eq!(
-            t.closed()[0].top_rap.as_ref().unwrap().to_string(),
-            "(a1)"
-        );
+        assert_eq!(t.closed()[0].top_rap.as_ref().unwrap().to_string(), "(a1)");
     }
 
     #[test]
@@ -199,7 +196,10 @@ mod tests {
         let mut t = IncidentTracker::new(2);
         t.observe_alarm(report(10, "a=a1"));
         t.observe_quiet(11);
-        assert!(t.observe_alarm(report(12, "a=a1")).is_none(), "gap 2 extends");
+        assert!(
+            t.observe_alarm(report(12, "a=a1")).is_none(),
+            "gap 2 extends"
+        );
         assert_eq!(t.active().unwrap().alarm_count, 2);
     }
 

@@ -150,7 +150,11 @@ impl RapMiner {
             return Err(Error::UnlabelledFrame);
         }
         let index = LeafIndex::new(frame);
-        Ok(delete_redundant_attributes(frame, &index, self.config.t_cp()))
+        Ok(delete_redundant_attributes(
+            frame,
+            &index,
+            self.config.t_cp(),
+        ))
     }
 
     /// Like [`RapMiner::localize`], also returning search diagnostics

@@ -91,10 +91,7 @@ pub(crate) fn top_down_search(
             stats.cuboids_visited += 1;
             for (ac, support, anom_support) in aggregate_labels(frame, cuboid) {
                 // Criteria 3: descendants of an accepted RAP are pruned.
-                if candidates
-                    .iter()
-                    .any(|c| c.combination.generalizes(&ac))
-                {
+                if candidates.iter().any(|c| c.combination.generalizes(&ac)) {
                     continue;
                 }
                 stats.combos_visited += 1;
@@ -172,13 +169,17 @@ mod tests {
         let frame = fig7_frame();
         // Disable attribute deletion: all three attributes matter here
         // (CP of `a` is high; b participates in one RAP).
-        let miner = RapMiner::with_config(
-            Config::new().with_redundant_deletion(false),
-        );
+        let miner = RapMiner::with_config(Config::new().with_redundant_deletion(false));
         let raps = miner.localize(&frame, 5).unwrap();
         let found: Vec<String> = raps.iter().map(|r| r.combination.to_string()).collect();
-        assert!(found.contains(&"(a1, *, *)".to_string()), "found: {found:?}");
-        assert!(found.contains(&"(a2, b2, *)".to_string()), "found: {found:?}");
+        assert!(
+            found.contains(&"(a1, *, *)".to_string()),
+            "found: {found:?}"
+        );
+        assert!(
+            found.contains(&"(a2, b2, *)".to_string()),
+            "found: {found:?}"
+        );
         // descendants must have been pruned, so exactly the two RAPs remain
         assert_eq!(raps.len(), 2, "found: {found:?}");
         // the shallower RAP ranks first (same confidence, smaller layer)
@@ -190,7 +191,9 @@ mod tests {
     fn descendants_of_raps_are_pruned() {
         let frame = fig7_frame();
         let miner = RapMiner::with_config(
-            Config::new().with_redundant_deletion(false).with_early_stop(false),
+            Config::new()
+                .with_redundant_deletion(false)
+                .with_early_stop(false),
         );
         let (raps, stats) = miner.localize_with_stats(&frame, 50).unwrap();
         // nothing below (a1, *, *) like (a1, b1, *) may appear
@@ -208,10 +211,14 @@ mod tests {
     fn early_stop_reduces_visited_combinations() {
         let frame = fig7_frame();
         let with_stop = RapMiner::with_config(
-            Config::new().with_redundant_deletion(false).with_early_stop(true),
+            Config::new()
+                .with_redundant_deletion(false)
+                .with_early_stop(true),
         );
         let without_stop = RapMiner::with_config(
-            Config::new().with_redundant_deletion(false).with_early_stop(false),
+            Config::new()
+                .with_redundant_deletion(false)
+                .with_early_stop(false),
         );
         let (r1, s1) = with_stop.localize_with_stats(&frame, 5).unwrap();
         let (r2, s2) = without_stop.localize_with_stats(&frame, 5).unwrap();
@@ -261,8 +268,7 @@ mod tests {
     #[test]
     fn k_truncates_ranked_output() {
         let frame = fig7_frame();
-        let miner =
-            RapMiner::with_config(Config::new().with_redundant_deletion(false));
+        let miner = RapMiner::with_config(Config::new().with_redundant_deletion(false));
         let top1 = miner.localize(&frame, 1).unwrap();
         assert_eq!(top1.len(), 1);
         assert_eq!(top1[0].combination.to_string(), "(a1, *, *)");
@@ -296,7 +302,9 @@ mod tests {
         // disable early stop so the cuboid counts reflect the lattice sizes
         let with_del = RapMiner::with_config(Config::new().with_early_stop(false));
         let without_del = RapMiner::with_config(
-            Config::new().with_redundant_deletion(false).with_early_stop(false),
+            Config::new()
+                .with_redundant_deletion(false)
+                .with_early_stop(false),
         );
         let (r1, s1) = with_del.localize_with_stats(&frame, 3).unwrap();
         let (r2, s2) = without_del.localize_with_stats(&frame, 3).unwrap();

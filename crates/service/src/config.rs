@@ -1,0 +1,148 @@
+//! Daemon configuration and its validation.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use pipeline::{ConfigError, PipelineConfig};
+
+/// Everything `rapd` needs to come up: listeners, shard/queue sizing,
+/// incident spooling, and the per-tenant pipeline tunables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Ingest/control NDJSON listener address (`host:port`; port 0 picks a
+    /// free port — the bound address is reported by the server handle).
+    pub listen: String,
+    /// Prometheus `/metrics` HTTP listener address.
+    pub metrics_listen: String,
+    /// Number of shard worker threads; tenants hash onto shards.
+    pub shards: usize,
+    /// Bounded per-shard queue capacity (frames). When a queue is full the
+    /// *oldest queued frame* is dropped and accounted, never the newest —
+    /// under overload the pipeline keeps seeing fresh data.
+    pub queue_capacity: usize,
+    /// Directory for the JSONL incident spool (`incidents.jsonl`); `None`
+    /// keeps incidents only in the in-memory ring.
+    pub spool_dir: Option<PathBuf>,
+    /// Incidents retained in memory for `incidents` control queries.
+    pub ring_capacity: usize,
+    /// Hard cap on one NDJSON line; longer lines are protocol errors.
+    pub max_frame_bytes: usize,
+    /// Moving-average window of the per-tenant forecaster.
+    pub forecast_window: usize,
+    /// Streaming-pipeline tunables applied to every tenant.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            listen: "127.0.0.1:4817".to_string(),
+            metrics_listen: "127.0.0.1:9187".to_string(),
+            shards: 4,
+            queue_capacity: 1024,
+            spool_dir: None,
+            ring_capacity: 256,
+            max_frame_bytes: 1 << 20,
+            forecast_window: 10,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Check every invariant the daemon relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: a zero sizing knob or an
+    /// invalid embedded [`PipelineConfig`].
+    pub fn validate(&self) -> Result<(), ServiceConfigError> {
+        for (field, v) in [
+            ("shards", self.shards),
+            ("queue_capacity", self.queue_capacity),
+            ("ring_capacity", self.ring_capacity),
+            ("max_frame_bytes", self.max_frame_bytes),
+            ("forecast_window", self.forecast_window),
+        ] {
+            if v == 0 {
+                return Err(ServiceConfigError::ZeroField { field });
+            }
+        }
+        self.pipeline
+            .validate()
+            .map_err(ServiceConfigError::Pipeline)
+    }
+}
+
+/// A [`ServiceConfig`] the daemon refuses to boot with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceConfigError {
+    /// A sizing knob that must be positive was zero.
+    ZeroField {
+        /// The offending field name.
+        field: &'static str,
+    },
+    /// The embedded pipeline config is invalid.
+    Pipeline(ConfigError),
+}
+
+impl fmt::Display for ServiceConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceConfigError::ZeroField { field } => write!(f, "{field} must be positive"),
+            ServiceConfigError::Pipeline(e) => write!(f, "pipeline config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(ServiceConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        for field in [
+            "shards",
+            "queue_capacity",
+            "ring_capacity",
+            "max_frame_bytes",
+            "forecast_window",
+        ] {
+            let mut cfg = ServiceConfig::default();
+            match field {
+                "shards" => cfg.shards = 0,
+                "queue_capacity" => cfg.queue_capacity = 0,
+                "ring_capacity" => cfg.ring_capacity = 0,
+                "max_frame_bytes" => cfg.max_frame_bytes = 0,
+                _ => cfg.forecast_window = 0,
+            }
+            let err = cfg.validate().expect_err(field);
+            assert!(err.to_string().contains(field));
+        }
+    }
+
+    #[test]
+    fn bad_pipeline_config_propagates() {
+        let cfg = ServiceConfig {
+            pipeline: PipelineConfig {
+                k: 0,
+                ..PipelineConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ServiceConfigError::Pipeline(ConfigError::ZeroField {
+                field: "k"
+            }))
+        ));
+    }
+}

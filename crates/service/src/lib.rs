@@ -1,0 +1,79 @@
+//! # service — `rapd`, the long-running localization daemon
+//!
+//! The paper situates RAPMiner inside a CDN operations loop: every minute,
+//! per-leaf KPI snapshots arrive for many KPIs/tenants, the overall series
+//! is watched for anomalies, and localization runs the moment an alarm
+//! fires. This crate turns [`pipeline::LocalizationPipeline`] into that
+//! operational component — a multi-tenant, sharded, long-running service:
+//!
+//! * **NDJSON wire protocol** ([`proto`]): one JSON object per line over
+//!   TCP — `schema`, `observe`, `flush`, `stats`, `incidents` — each
+//!   answered with exactly one reply line. Malformed input yields
+//!   `{"type":"error",...}` replies, never thread death.
+//! * **Shard workers** ([`shard`]): tenants hash onto `N` worker threads;
+//!   each worker owns the pipelines of its tenants, so per-tenant ordering
+//!   is preserved while tenants spread across cores.
+//! * **Backpressure**: bounded per-shard queues with an explicit
+//!   *drop-oldest* policy and exact dropped-frame accounting; flush
+//!   barriers are never dropped, so `flush` stays a reliable fence.
+//! * **Incident sink** ([`sink`]): every incident is spooled as a JSON
+//!   line (crash-safe, append-only) and kept in a bounded in-memory ring
+//!   queryable over the control socket.
+//! * **Metrics** ([`metrics`], [`http`]): atomic counters and a latency
+//!   histogram rendered in the Prometheus text format on an embedded
+//!   `GET /metrics` HTTP listener.
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//! use service::{start, default_factory, ServiceConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ServiceConfig {
+//!     listen: "127.0.0.1:0".to_string(),        // port 0: pick a free port
+//!     metrics_listen: "127.0.0.1:0".to_string(),
+//!     ..ServiceConfig::default()
+//! };
+//! let server = service::start(config, default_factory())?;
+//! let mut conn = TcpStream::connect(server.ingest_addr())?;
+//! writeln!(
+//!     conn,
+//!     r#"{{"type":"schema","tenant":"edge","attributes":[["loc",["L1","L2"]]]}}"#
+//! )?;
+//! let mut reply = String::new();
+//! BufReader::new(conn.try_clone()?).read_line(&mut reply)?;
+//! assert!(reply.contains("\"ok\""));
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod shard;
+pub mod sink;
+
+use std::sync::Arc;
+
+use baselines::{Localizer, RapMinerLocalizer};
+
+pub use config::{ServiceConfig, ServiceConfigError};
+pub use metrics::Metrics;
+pub use proto::{ProtoError, Request};
+pub use server::{start, ServerHandle, StartError};
+pub use shard::LocalizerFactory;
+pub use sink::{IncidentRecord, IncidentSink};
+
+/// The default per-tenant localizer: RAPMiner with its paper defaults.
+pub fn default_factory() -> LocalizerFactory {
+    Arc::new(|| Box::new(RapMinerLocalizer::default()) as Box<dyn Localizer>)
+}

@@ -1,0 +1,245 @@
+//! Lock-free daemon counters and their Prometheus text rendering.
+//!
+//! Everything here is atomics so the hot ingest path never takes a lock to
+//! account for a frame. Rendering follows the Prometheus text exposition
+//! format 0.0.4 (the format every Prometheus scraper accepts).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket upper bounds for localization latency, in seconds.
+const LATENCY_BOUNDS: [f64; 9] = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+/// Per-shard counters.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Frames dropped by the drop-oldest backpressure policy.
+    pub dropped: AtomicU64,
+    /// Frames fully processed by the shard worker.
+    pub processed: AtomicU64,
+    /// Current queue depth (gauge, maintained by push/pop).
+    pub depth: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram (seconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum in microseconds so an atomic integer suffices.
+    sum_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..LATENCY_BOUNDS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, seconds: f64) {
+        for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
+            if seconds <= *bound {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add((seconds * 1e6).max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// All counters the daemon exports.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Frames accepted off the wire (before queueing).
+    pub frames_ingested: AtomicU64,
+    /// Alarms fired (incidents produced) across all tenants.
+    pub alarms: AtomicU64,
+    /// Request lines rejected by the protocol parser.
+    pub protocol_errors: AtomicU64,
+    /// Pipeline-level failures inside shard workers (localizer errors…).
+    pub pipeline_errors: AtomicU64,
+    /// Latency of observe calls that triggered localization.
+    pub localization: Histogram,
+    shards: Vec<ShardMetrics>,
+}
+
+impl Metrics {
+    /// Create the counter set for `shards` shard workers.
+    pub fn new(shards: usize) -> Self {
+        Metrics {
+            frames_ingested: AtomicU64::new(0),
+            alarms: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            pipeline_errors: AtomicU64::new(0),
+            localization: Histogram::default(),
+            shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
+        }
+    }
+
+    /// The counters of one shard.
+    pub fn shard(&self, i: usize) -> &ShardMetrics {
+        &self.shards[i]
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total frames dropped across all shards.
+    pub fn total_dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total frames processed across all shards.
+    pub fn total_processed(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.processed.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Render every metric in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "rapd_frames_ingested_total",
+            "Frames accepted off the wire.",
+            self.frames_ingested.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_alarms_total",
+            "Anomaly alarms fired (incidents produced).",
+            self.alarms.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_protocol_errors_total",
+            "Request lines rejected by the protocol parser.",
+            self.protocol_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_pipeline_errors_total",
+            "Localization failures inside shard workers.",
+            self.pipeline_errors.load(Ordering::Relaxed),
+        );
+
+        out.push_str(
+            "# HELP rapd_frames_dropped_total Frames dropped by backpressure, per shard.\n",
+        );
+        out.push_str("# TYPE rapd_frames_dropped_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "rapd_frames_dropped_total{{shard=\"{i}\"}} {}\n",
+                s.dropped.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# HELP rapd_frames_processed_total Frames fully processed, per shard.\n");
+        out.push_str("# TYPE rapd_frames_processed_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "rapd_frames_processed_total{{shard=\"{i}\"}} {}\n",
+                s.processed.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# HELP rapd_queue_depth Frames currently queued, per shard.\n");
+        out.push_str("# TYPE rapd_queue_depth gauge\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "rapd_queue_depth{{shard=\"{i}\"}} {}\n",
+                s.depth.load(Ordering::Relaxed)
+            ));
+        }
+
+        out.push_str(
+            "# HELP rapd_localization_seconds Latency of observe calls that localized an incident.\n",
+        );
+        out.push_str("# TYPE rapd_localization_seconds histogram\n");
+        for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
+            out.push_str(&format!(
+                "rapd_localization_seconds_bucket{{le=\"{bound}\"}} {}\n",
+                self.localization.buckets[i].load(Ordering::Relaxed)
+            ));
+        }
+        let count = self.localization.count.load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "rapd_localization_seconds_bucket{{le=\"+Inf\"}} {count}\n"
+        ));
+        out.push_str(&format!(
+            "rapd_localization_seconds_sum {}\n",
+            self.localization.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!("rapd_localization_seconds_count {count}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(0.0001);
+        h.observe(0.01);
+        h.observe(10.0); // beyond the last bound: only +Inf
+        assert_eq!(h.count(), 3);
+        // le="0.0005" sees one, le="0.05" sees two, +Inf (count) sees three
+        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[4].load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_contains_every_family() {
+        let m = Metrics::new(2);
+        m.frames_ingested.fetch_add(5, Ordering::Relaxed);
+        m.shard(1).dropped.fetch_add(3, Ordering::Relaxed);
+        m.localization.observe(0.002);
+        let text = m.render_prometheus();
+        assert!(text.contains("rapd_frames_ingested_total 5"));
+        assert!(text.contains("rapd_frames_dropped_total{shard=\"1\"} 3"));
+        assert!(text.contains("rapd_frames_dropped_total{shard=\"0\"} 0"));
+        assert!(text.contains("rapd_queue_depth{shard=\"0\"} 0"));
+        assert!(text.contains("rapd_localization_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("rapd_localization_seconds_count 1"));
+        // every non-comment line is "name{labels} value"
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_across_shards() {
+        let m = Metrics::new(3);
+        m.shard(0).dropped.fetch_add(1, Ordering::Relaxed);
+        m.shard(2).dropped.fetch_add(2, Ordering::Relaxed);
+        m.shard(1).processed.fetch_add(7, Ordering::Relaxed);
+        assert_eq!(m.total_dropped(), 3);
+        assert_eq!(m.total_processed(), 7);
+    }
+}

@@ -1,0 +1,496 @@
+//! The NDJSON wire protocol: one JSON object per line, both directions.
+//!
+//! Requests (client → rapd):
+//!
+//! ```json
+//! {"type":"schema","tenant":"cdn-edge","attributes":[["location",["L1","L2"]],["isp",["I1","I2"]]]}
+//! {"type":"observe","tenant":"cdn-edge","rows":[[["L1","I1"],42.5],[["L2","I2"],17.0]]}
+//! {"type":"flush"}
+//! {"type":"stats"}
+//! {"type":"incidents","limit":10}
+//! ```
+//!
+//! Every request gets exactly one reply line: `{"type":"ok",...}`, a typed
+//! payload (`stats`, `incidents`), or `{"type":"error","reason":...}`.
+//! Malformed input of any kind is a [`ProtoError`] — reader threads reply
+//! and keep serving; they never panic or die on bad input.
+
+use std::fmt;
+
+use mdkpi::{ElementId, LeafFrame, Schema};
+
+use crate::json::{parse, Json};
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register (or idempotently re-register) a tenant's schema.
+    Schema {
+        /// The tenant id.
+        tenant: String,
+        /// `(attribute, elements)` pairs, the [`Schema::from_parts`] form.
+        attributes: Vec<(String, Vec<String>)>,
+    },
+    /// Ingest one snapshot of per-leaf actual values.
+    Observe {
+        /// The tenant id.
+        tenant: String,
+        /// `(elements, value)` rows; elements are positional per the
+        /// registered schema's attribute order.
+        rows: Vec<(Vec<String>, f64)>,
+    },
+    /// Barrier: drain every shard queue before replying.
+    Flush,
+    /// Snapshot of the daemon counters.
+    Stats,
+    /// The most recent incidents from the in-memory ring.
+    Incidents {
+        /// Maximum number of incidents to return (newest first).
+        limit: usize,
+    },
+}
+
+/// Why a request line was rejected.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// The line exceeds the configured frame-size cap.
+    Oversized {
+        /// Bytes received.
+        len: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// The line is not valid JSON.
+    BadJson(String),
+    /// The document is not a JSON object.
+    NotAnObject,
+    /// The object has no string `type` field.
+    MissingType,
+    /// The `type` is not one of the protocol's messages.
+    UnknownType(String),
+    /// A required field is absent.
+    MissingField {
+        /// The message type.
+        msg: &'static str,
+        /// The absent field.
+        field: &'static str,
+    },
+    /// A field has the wrong shape.
+    BadField {
+        /// The message type.
+        msg: &'static str,
+        /// The offending field.
+        field: &'static str,
+        /// What was expected there.
+        expected: &'static str,
+    },
+    /// An observe row names a different number of elements than the
+    /// tenant's schema has attributes.
+    Arity {
+        /// Attributes in the registered schema.
+        expected: usize,
+        /// Elements in the offending row.
+        got: usize,
+    },
+    /// An observe row names an element absent from the schema attribute at
+    /// that position.
+    UnknownElement {
+        /// The schema attribute name.
+        attribute: String,
+        /// The unknown element name.
+        element: String,
+    },
+    /// `observe` arrived before any `schema` for that tenant.
+    NoSchema {
+        /// The tenant id.
+        tenant: String,
+    },
+    /// The tenant re-registered with different attributes.
+    SchemaConflict {
+        /// The tenant id.
+        tenant: String,
+    },
+    /// `schema` attributes failed schema validation (duplicates, empty…).
+    BadSchema(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::BadJson(e) => write!(f, "malformed JSON: {e}"),
+            ProtoError::NotAnObject => write!(f, "request must be a JSON object"),
+            ProtoError::MissingType => write!(f, "request object needs a string 'type' field"),
+            ProtoError::UnknownType(t) => write!(f, "unknown message type '{t}'"),
+            ProtoError::MissingField { msg, field } => {
+                write!(f, "'{msg}' message is missing field '{field}'")
+            }
+            ProtoError::BadField {
+                msg,
+                field,
+                expected,
+            } => {
+                write!(f, "'{msg}' field '{field}' must be {expected}")
+            }
+            ProtoError::Arity { expected, got } => write!(
+                f,
+                "observe row has {got} elements but the schema has {expected} attributes"
+            ),
+            ProtoError::UnknownElement { attribute, element } => {
+                write!(f, "attribute '{attribute}' has no element '{element}'")
+            }
+            ProtoError::NoSchema { tenant } => {
+                write!(f, "tenant '{tenant}' has no registered schema")
+            }
+            ProtoError::SchemaConflict { tenant } => write!(
+                f,
+                "tenant '{tenant}' is already registered with different attributes"
+            ),
+            ProtoError::BadSchema(e) => write!(f, "invalid schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl ProtoError {
+    /// The one-line `{"type":"error",...}` reply for this error.
+    pub fn to_reply(&self) -> String {
+        Json::Obj(vec![
+            ("type".to_string(), Json::str("error")),
+            ("reason".to_string(), Json::str(self.to_string())),
+        ])
+        .render()
+    }
+}
+
+/// Parse one request line, enforcing the frame-size cap.
+///
+/// # Errors
+///
+/// Any malformed input is a typed [`ProtoError`]; this function never
+/// panics on untrusted bytes.
+pub fn parse_request(line: &str, max_bytes: usize) -> Result<Request, ProtoError> {
+    if line.len() > max_bytes {
+        return Err(ProtoError::Oversized {
+            len: line.len(),
+            max: max_bytes,
+        });
+    }
+    let doc = parse(line).map_err(ProtoError::BadJson)?;
+    let Json::Obj(_) = doc else {
+        return Err(ProtoError::NotAnObject);
+    };
+    let msg_type = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or(ProtoError::MissingType)?;
+    match msg_type {
+        "schema" => parse_schema(&doc),
+        "observe" => parse_observe(&doc),
+        "flush" => Ok(Request::Flush),
+        "stats" => Ok(Request::Stats),
+        "incidents" => {
+            let limit = match doc.get("limit") {
+                None => 20,
+                Some(v) => v.as_u64().ok_or(ProtoError::BadField {
+                    msg: "incidents",
+                    field: "limit",
+                    expected: "a non-negative integer",
+                })? as usize,
+            };
+            Ok(Request::Incidents { limit })
+        }
+        other => Err(ProtoError::UnknownType(other.to_string())),
+    }
+}
+
+fn required_str(doc: &Json, msg: &'static str, field: &'static str) -> Result<String, ProtoError> {
+    match doc.get(field) {
+        None => Err(ProtoError::MissingField { msg, field }),
+        Some(v) => v.as_str().map(str::to_string).ok_or(ProtoError::BadField {
+            msg,
+            field,
+            expected: "a string",
+        }),
+    }
+}
+
+fn parse_schema(doc: &Json) -> Result<Request, ProtoError> {
+    let tenant = required_str(doc, "schema", "tenant")?;
+    let attrs = doc
+        .get("attributes")
+        .ok_or(ProtoError::MissingField {
+            msg: "schema",
+            field: "attributes",
+        })?
+        .as_arr()
+        .ok_or(ProtoError::BadField {
+            msg: "schema",
+            field: "attributes",
+            expected: "an array of [name, [elements]] pairs",
+        })?;
+    let mut attributes = Vec::with_capacity(attrs.len());
+    for pair in attrs {
+        let bad = ProtoError::BadField {
+            msg: "schema",
+            field: "attributes",
+            expected: "an array of [name, [elements]] pairs",
+        };
+        let items = pair.as_arr().ok_or_else(|| bad.clone())?;
+        let [name, elements] = items else {
+            return Err(bad);
+        };
+        let name = name.as_str().ok_or_else(|| bad.clone())?;
+        let elements = elements
+            .as_arr()
+            .ok_or_else(|| bad.clone())?
+            .iter()
+            .map(|e| e.as_str().map(str::to_string).ok_or_else(|| bad.clone()))
+            .collect::<Result<Vec<String>, ProtoError>>()?;
+        attributes.push((name.to_string(), elements));
+    }
+    Ok(Request::Schema { tenant, attributes })
+}
+
+fn parse_observe(doc: &Json) -> Result<Request, ProtoError> {
+    let tenant = required_str(doc, "observe", "tenant")?;
+    let raw_rows = doc
+        .get("rows")
+        .ok_or(ProtoError::MissingField {
+            msg: "observe",
+            field: "rows",
+        })?
+        .as_arr()
+        .ok_or(ProtoError::BadField {
+            msg: "observe",
+            field: "rows",
+            expected: "an array of [[elements...], value] pairs",
+        })?;
+    let bad = ProtoError::BadField {
+        msg: "observe",
+        field: "rows",
+        expected: "an array of [[elements...], value] pairs",
+    };
+    let mut rows = Vec::with_capacity(raw_rows.len());
+    for row in raw_rows {
+        let items = row.as_arr().ok_or_else(|| bad.clone())?;
+        let [elements, value] = items else {
+            return Err(bad);
+        };
+        let elements = elements
+            .as_arr()
+            .ok_or_else(|| bad.clone())?
+            .iter()
+            .map(|e| e.as_str().map(str::to_string).ok_or_else(|| bad.clone()))
+            .collect::<Result<Vec<String>, ProtoError>>()?;
+        let value = value.as_f64().ok_or_else(|| bad.clone())?;
+        if !value.is_finite() {
+            return Err(ProtoError::BadField {
+                msg: "observe",
+                field: "rows",
+                expected: "finite values",
+            });
+        }
+        rows.push((elements, value));
+    }
+    Ok(Request::Observe { tenant, rows })
+}
+
+/// Resolve an observe message's rows against the tenant's schema into a
+/// [`LeafFrame`], enforcing row arity and element names.
+///
+/// # Errors
+///
+/// [`ProtoError::Arity`] when a row's element count differs from the
+/// schema's attribute count, [`ProtoError::UnknownElement`] for element
+/// names the schema does not contain.
+pub fn build_frame(schema: &Schema, rows: &[(Vec<String>, f64)]) -> Result<LeafFrame, ProtoError> {
+    let num_attrs = schema.num_attributes();
+    let mut builder = LeafFrame::builder(schema);
+    let mut elements: Vec<ElementId> = Vec::with_capacity(num_attrs);
+    for (names, value) in rows {
+        if names.len() != num_attrs {
+            return Err(ProtoError::Arity {
+                expected: num_attrs,
+                got: names.len(),
+            });
+        }
+        elements.clear();
+        for (attr_id, name) in schema.attr_ids().zip(names) {
+            let attr = schema.attribute(attr_id);
+            let id = attr
+                .element(name)
+                .ok_or_else(|| ProtoError::UnknownElement {
+                    attribute: attr.name().to_string(),
+                    element: name.clone(),
+                })?;
+            elements.push(id);
+        }
+        builder.push(&elements, *value, 0.0);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: usize = 1 << 16;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("location", ["L1", "L2"])
+            .attribute("isp", ["I1", "I2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_every_message_type() {
+        let req = parse_request(
+            r#"{"type":"schema","tenant":"t","attributes":[["a",["a1","a2"]]]}"#,
+            MAX,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Schema {
+                tenant: "t".to_string(),
+                attributes: vec![("a".to_string(), vec!["a1".to_string(), "a2".to_string()])],
+            }
+        );
+        let req = parse_request(
+            r#"{"type":"observe","tenant":"t","rows":[[["L1","I1"],42.5]]}"#,
+            MAX,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Observe {
+                tenant: "t".to_string(),
+                rows: vec![(vec!["L1".to_string(), "I1".to_string()], 42.5)],
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"flush"}"#, MAX).unwrap(),
+            Request::Flush
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"stats"}"#, MAX).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"incidents","limit":5}"#, MAX).unwrap(),
+            Request::Incidents { limit: 5 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"incidents"}"#, MAX).unwrap(),
+            Request::Incidents { limit: 20 }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        for line in [
+            "not json at all",
+            "{\"type\":",
+            "[1,2,3]",
+            "42",
+            "{}",
+            r#"{"type":17}"#,
+            r#"{"type":"observe"}"#,
+            r#"{"type":"observe","tenant":"t"}"#,
+            r#"{"type":"observe","tenant":"t","rows":"nope"}"#,
+            r#"{"type":"observe","tenant":"t","rows":[["missing-value"]]}"#,
+            r#"{"type":"observe","tenant":"t","rows":[[["L1"],"NaN"]]}"#,
+            r#"{"type":"observe","tenant":17,"rows":[]}"#,
+            r#"{"type":"schema","tenant":"t"}"#,
+            r#"{"type":"schema","tenant":"t","attributes":[["a"]]}"#,
+            r#"{"type":"schema","tenant":"t","attributes":[["a","b"]]}"#,
+            r#"{"type":"incidents","limit":-3}"#,
+            r#"{"type":"incidents","limit":1.5}"#,
+        ] {
+            let err = parse_request(line, MAX).expect_err(line);
+            // every error renders a reply line that is itself valid JSON
+            let reply = crate::json::parse(&err.to_reply()).unwrap();
+            assert_eq!(reply.get("type").unwrap().as_str(), Some("error"));
+        }
+    }
+
+    #[test]
+    fn unknown_type_is_named_in_the_error() {
+        let err = parse_request(r#"{"type":"observe2"}"#, MAX).unwrap_err();
+        assert_eq!(err, ProtoError::UnknownType("observe2".to_string()));
+        assert!(err.to_string().contains("observe2"));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_parsing() {
+        let huge = format!(
+            r#"{{"type":"observe","tenant":"t","rows":[{}]}}"#,
+            "1,".repeat(500)
+        );
+        let err = parse_request(&huge, 64).unwrap_err();
+        assert!(matches!(err, ProtoError::Oversized { max: 64, .. }));
+    }
+
+    #[test]
+    fn build_frame_enforces_arity() {
+        let s = schema();
+        let err = build_frame(&s, &[(vec!["L1".to_string()], 1.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            ProtoError::Arity {
+                expected: 2,
+                got: 1
+            }
+        );
+        let err = build_frame(
+            &s,
+            &[(
+                vec!["L1".to_string(), "I1".to_string(), "X".to_string()],
+                1.0,
+            )],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ProtoError::Arity {
+                expected: 2,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn build_frame_rejects_unknown_elements() {
+        let s = schema();
+        let err = build_frame(&s, &[(vec!["L1".to_string(), "I9".to_string()], 1.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            ProtoError::UnknownElement {
+                attribute: "isp".to_string(),
+                element: "I9".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn build_frame_produces_a_leaf_frame() {
+        let s = schema();
+        let frame = build_frame(
+            &s,
+            &[
+                (vec!["L1".to_string(), "I1".to_string()], 10.0),
+                (vec!["L2".to_string(), "I2".to_string()], 20.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(frame.num_rows(), 2);
+        assert_eq!(frame.total_v(), 30.0);
+    }
+}

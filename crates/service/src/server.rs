@@ -1,0 +1,450 @@
+//! The rapd daemon: NDJSON ingest/control listener, shard pool, incident
+//! sink, and metrics HTTP listener, wired together.
+//!
+//! Thread model (see DESIGN.md for the full diagram):
+//!
+//! ```text
+//! clients ──TCP──▶ accept loop ──▶ reader thread per connection
+//!                                     │  parse NDJSON, resolve schema
+//!                                     ▼
+//!                        bounded shard queues (drop-oldest)
+//!                                     │
+//!                                     ▼
+//!                  shard workers (per-tenant pipelines) ──▶ incident sink
+//!                                     │                       (spool+ring)
+//!                                     ▼
+//!                         atomic metrics ◀── /metrics HTTP listener
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mdkpi::Schema;
+
+use crate::config::{ServiceConfig, ServiceConfigError};
+use crate::http::MetricsServer;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::proto::{build_frame, parse_request, ProtoError, Request};
+use crate::shard::{LocalizerFactory, ShardPool};
+use crate::sink::IncidentSink;
+
+/// How long a `flush` request waits for the shards before giving up.
+const FLUSH_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Reader-thread poll interval for the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Why the daemon failed to boot.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StartError {
+    /// The configuration is invalid.
+    Config(ServiceConfigError),
+    /// A listener or the spool could not be set up.
+    Io(io::Error),
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartError::Config(e) => write!(f, "invalid service config: {e}"),
+            StartError::Io(e) => write!(f, "daemon startup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl From<io::Error> for StartError {
+    fn from(e: io::Error) -> Self {
+        StartError::Io(e)
+    }
+}
+
+struct Shared {
+    config: ServiceConfig,
+    metrics: Arc<Metrics>,
+    sink: Arc<IncidentSink>,
+    pool: ShardPool,
+    schemas: Mutex<HashMap<String, Schema>>,
+    shutdown: AtomicBool,
+}
+
+/// A running rapd daemon. Dropping (or calling [`ServerHandle::shutdown`])
+/// stops the listeners, drains the shards, and joins every thread.
+pub struct ServerHandle {
+    ingest_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    metrics_server: Option<MetricsServer>,
+}
+
+impl ServerHandle {
+    /// The bound NDJSON ingest/control address (useful with port 0).
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_addr
+    }
+
+    /// The bound Prometheus `/metrics` address.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.metrics_server
+            .as_ref()
+            .expect("metrics server runs until shutdown")
+            .addr()
+    }
+
+    /// The daemon's counters (shared with the workers).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// The incident sink (ring + spool).
+    pub fn sink(&self) -> Arc<IncidentSink> {
+        Arc::clone(&self.shared.sink)
+    }
+
+    /// Stop listeners, drain shard queues, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // unblock accept() with one throwaway connection
+        let _ = TcpStream::connect(self.ingest_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let readers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.readers.lock().expect("reader registry poisoned"));
+        for reader in readers {
+            let _ = reader.join();
+        }
+        self.shared.pool.shutdown();
+        if let Some(metrics_server) = self.metrics_server.take() {
+            metrics_server.shutdown();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Boot the daemon: validate the config, open the spool, start the shard
+/// workers and both listeners.
+///
+/// # Errors
+///
+/// [`StartError::Config`] for an invalid [`ServiceConfig`],
+/// [`StartError::Io`] when a listener or the spool cannot be created.
+pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerHandle, StartError> {
+    config.validate().map_err(StartError::Config)?;
+    let metrics = Arc::new(Metrics::new(config.shards));
+    let sink = Arc::new(IncidentSink::new(
+        config.spool_dir.as_deref(),
+        config.ring_capacity,
+    )?);
+    let pool = ShardPool::start(&config, Arc::clone(&metrics), Arc::clone(&sink), factory);
+    let metrics_server = MetricsServer::start(&config.metrics_listen, Arc::clone(&metrics))?;
+
+    let listener = TcpListener::bind(&config.listen)?;
+    let ingest_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        config,
+        metrics,
+        sink,
+        pool,
+        schemas: Mutex::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+    });
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_readers = Arc::clone(&readers);
+    let accept = std::thread::Builder::new()
+        .name("rapd-accept".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(stream) = conn else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                let reader = std::thread::Builder::new()
+                    .name("rapd-reader".to_string())
+                    .spawn(move || handle_connection(stream, &conn_shared));
+                if let Ok(handle) = reader {
+                    accept_readers
+                        .lock()
+                        .expect("reader registry poisoned")
+                        .push(handle);
+                }
+            }
+        })?;
+
+    Ok(ServerHandle {
+        ingest_addr,
+        shared,
+        accept: Some(accept),
+        readers,
+        metrics_server: Some(metrics_server),
+    })
+}
+
+enum LineRead {
+    /// Connection closed (any final unterminated partial line is in `line`).
+    Eof,
+    /// One complete line is in `line`.
+    Line,
+    /// The line exceeded `max` bytes; the rest of it was discarded.
+    Oversized(usize),
+}
+
+/// Read one `\n`-terminated line with a hard size cap, tolerating read
+/// timeouts (the caller polls the shutdown flag between attempts).
+fn read_line_limited(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<LineRead> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(LineRead::Eof);
+        }
+        if let Some(pos) = buf.iter().position(|b| *b == b'\n') {
+            line.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            if line.len() > max {
+                return Ok(LineRead::Oversized(line.len()));
+            }
+            return Ok(LineRead::Line);
+        }
+        let n = buf.len();
+        line.extend_from_slice(buf);
+        reader.consume(n);
+        if line.len() > max {
+            let total = discard_to_newline(reader, line.len())?;
+            return Ok(LineRead::Oversized(total));
+        }
+    }
+}
+
+/// Discard bytes until (and including) the next newline; returns the total
+/// size of the oversized line.
+fn discard_to_newline(reader: &mut BufReader<TcpStream>, mut seen: usize) -> io::Result<usize> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(seen);
+        }
+        if let Some(pos) = buf.iter().position(|b| *b == b'\n') {
+            seen += pos;
+            reader.consume(pos + 1);
+            return Ok(seen);
+        }
+        seen += buf.len();
+        let n = buf.len();
+        reader.consume(n);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    let max = shared.config.max_frame_bytes;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_line_limited(&mut reader, &mut line, max) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // poll tick: partial data stays in `line`, keep reading
+                continue;
+            }
+            Err(_) => return,
+            Ok(LineRead::Eof) => {
+                // process a final unterminated line, then close
+                if !line.is_empty() {
+                    let _ = respond(&mut writer, &line, shared);
+                }
+                return;
+            }
+            Ok(LineRead::Oversized(len)) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let reply = ProtoError::Oversized { len, max }.to_reply();
+                if writeln!(writer, "{reply}").is_err() {
+                    return;
+                }
+                line.clear();
+            }
+            Ok(LineRead::Line) => {
+                if respond(&mut writer, &line, shared).is_err() {
+                    return;
+                }
+                line.clear();
+            }
+        }
+    }
+}
+
+/// Dispatch one request line and write the one-line reply.
+fn respond(writer: &mut TcpStream, raw: &[u8], shared: &Shared) -> io::Result<()> {
+    let text = String::from_utf8_lossy(raw);
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(());
+    }
+    let reply = match dispatch(text, shared) {
+        Ok(reply) => reply,
+        Err(e) => {
+            shared
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            e.to_reply()
+        }
+    };
+    writeln!(writer, "{reply}")
+}
+
+fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
+    match parse_request(line, shared.config.max_frame_bytes)? {
+        Request::Schema { tenant, attributes } => {
+            let schema =
+                Schema::from_parts(attributes).map_err(|e| ProtoError::BadSchema(e.to_string()))?;
+            let mut schemas = shared.schemas.lock().expect("schema registry poisoned");
+            match schemas.get(&tenant) {
+                Some(existing) if *existing != schema => {
+                    return Err(ProtoError::SchemaConflict { tenant });
+                }
+                _ => {
+                    schemas.insert(tenant.clone(), schema);
+                }
+            }
+            Ok(ok_reply(vec![("tenant".to_string(), Json::str(tenant))]))
+        }
+        Request::Observe { tenant, rows } => {
+            let schema = {
+                let schemas = shared.schemas.lock().expect("schema registry poisoned");
+                schemas
+                    .get(&tenant)
+                    .cloned()
+                    .ok_or_else(|| ProtoError::NoSchema {
+                        tenant: tenant.clone(),
+                    })?
+            };
+            let frame = build_frame(&schema, &rows)?;
+            shared
+                .metrics
+                .frames_ingested
+                .fetch_add(1, Ordering::Relaxed);
+            shared.pool.ingest(&tenant, frame);
+            Ok(ok_reply(vec![("queued".to_string(), Json::Bool(true))]))
+        }
+        Request::Flush => {
+            let flushed = shared.pool.flush(FLUSH_TIMEOUT);
+            Ok(ok_reply(vec![("flushed".to_string(), Json::Bool(flushed))]))
+        }
+        Request::Stats => Ok(stats_reply(shared)),
+        Request::Incidents { limit } => {
+            let incidents = shared
+                .sink
+                .recent(limit)
+                .iter()
+                .map(|r| r.to_json())
+                .collect();
+            Ok(Json::Obj(vec![
+                ("type".to_string(), Json::str("incidents")),
+                ("incidents".to_string(), Json::Arr(incidents)),
+            ])
+            .render())
+        }
+    }
+}
+
+fn ok_reply(mut extra: Vec<(String, Json)>) -> String {
+    let mut pairs = vec![("type".to_string(), Json::str("ok"))];
+    pairs.append(&mut extra);
+    Json::Obj(pairs).render()
+}
+
+fn stats_reply(shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let shards: Vec<Json> = (0..m.num_shards())
+        .map(|i| {
+            let s = m.shard(i);
+            Json::Obj(vec![
+                (
+                    "dropped".to_string(),
+                    Json::Num(s.dropped.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "processed".to_string(),
+                    Json::Num(s.processed.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "depth".to_string(),
+                    Json::Num(s.depth.load(Ordering::Relaxed) as f64),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("type".to_string(), Json::str("stats")),
+        (
+            "frames_ingested".to_string(),
+            Json::Num(m.frames_ingested.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "frames_processed".to_string(),
+            Json::Num(m.total_processed() as f64),
+        ),
+        (
+            "frames_dropped".to_string(),
+            Json::Num(m.total_dropped() as f64),
+        ),
+        (
+            "alarms".to_string(),
+            Json::Num(m.alarms.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "protocol_errors".to_string(),
+            Json::Num(m.protocol_errors.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "incidents_in_ring".to_string(),
+            Json::Num(shared.sink.ring_len() as f64),
+        ),
+        ("shards".to_string(), Json::Arr(shards)),
+    ])
+    .render()
+}

@@ -1,0 +1,460 @@
+//! Shard workers: bounded queues with drop-oldest backpressure feeding
+//! per-tenant localization pipelines.
+//!
+//! Tenants hash onto a fixed set of shards (FNV-1a over the tenant id), so
+//! one tenant's frames are always processed in arrival order by a single
+//! worker thread while different tenants spread across cores. Each queue
+//! is bounded: when ingest outruns localization the *oldest queued frame*
+//! is dropped and accounted in the shard's `dropped` counter — the
+//! pipeline keeps seeing the freshest data and memory stays bounded.
+//! Flush barriers are never dropped, so `flush` remains an exact
+//! everything-before-this-was-processed fence even under overload.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use baselines::Localizer;
+use pipeline::LocalizationPipeline;
+use timeseries::MovingAverage;
+
+use crate::config::ServiceConfig;
+use crate::metrics::{Metrics, ShardMetrics};
+use crate::sink::{IncidentRecord, IncidentSink};
+
+/// Builds one localizer per tenant pipeline; shared across shard threads.
+pub type LocalizerFactory = Arc<dyn Fn() -> Box<dyn Localizer> + Send + Sync>;
+
+/// One unit of shard work.
+enum Job {
+    /// A snapshot for one tenant.
+    Frame {
+        tenant: Arc<str>,
+        frame: mdkpi::LeafFrame,
+    },
+    /// A flush barrier: mark the gate done once everything queued before
+    /// it has been processed.
+    Barrier(Arc<FlushGate>),
+    /// Drain-free worker exit.
+    Shutdown,
+}
+
+/// Counts down shard acknowledgements of one flush.
+pub struct FlushGate {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl FlushGate {
+    fn new(n: usize) -> Self {
+        FlushGate {
+            remaining: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn done(&self) {
+        let mut remaining = self.remaining.lock().expect("flush gate poisoned");
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wait until every shard acknowledged, or the timeout elapses.
+    /// Returns whether the flush completed.
+    pub fn wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut remaining = self.remaining.lock().expect("flush gate poisoned");
+        while *remaining > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(remaining, deadline - now)
+                .expect("flush gate poisoned");
+            remaining = guard;
+        }
+        true
+    }
+}
+
+/// A bounded MPSC queue with drop-oldest overflow for frames.
+struct ShardQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    fn new(capacity: usize) -> Self {
+        ShardQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue a frame. When the queue is at capacity the oldest queued
+    /// *frame* is evicted (barriers are never evicted) and counted.
+    fn push_frame(&self, tenant: Arc<str>, frame: mdkpi::LeafFrame, metrics: &ShardMetrics) {
+        let mut jobs = self.jobs.lock().expect("shard queue poisoned");
+        let frames_queued = |jobs: &VecDeque<Job>| {
+            jobs.iter()
+                .filter(|j| matches!(j, Job::Frame { .. }))
+                .count()
+        };
+        if frames_queued(&jobs) >= self.capacity {
+            if let Some(i) = jobs.iter().position(|j| matches!(j, Job::Frame { .. })) {
+                jobs.remove(i);
+                metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                metrics.depth.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        jobs.push_back(Job::Frame { tenant, frame });
+        metrics.depth.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_one();
+    }
+
+    /// Enqueue a control job (barrier/shutdown); never dropped, never
+    /// counted against the frame capacity.
+    fn push_control(&self, job: Job) {
+        let mut jobs = self.jobs.lock().expect("shard queue poisoned");
+        jobs.push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Job {
+        let mut jobs = self.jobs.lock().expect("shard queue poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return job;
+            }
+            jobs = self.cv.wait(jobs).expect("shard queue poisoned");
+        }
+    }
+}
+
+/// The shard worker pool: `config.shards` threads, each owning the
+/// pipelines of the tenants that hash onto it.
+pub struct ShardPool {
+    queues: Vec<Arc<ShardQueue>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ShardPool {
+    /// Start the workers.
+    pub fn start(
+        config: &ServiceConfig,
+        metrics: Arc<Metrics>,
+        sink: Arc<IncidentSink>,
+        factory: LocalizerFactory,
+    ) -> ShardPool {
+        let queues: Vec<Arc<ShardQueue>> = (0..config.shards)
+            .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
+            .collect();
+        let workers = queues
+            .iter()
+            .enumerate()
+            .map(|(i, queue)| {
+                let queue = Arc::clone(queue);
+                let metrics = Arc::clone(&metrics);
+                let sink = Arc::clone(&sink);
+                let factory = Arc::clone(&factory);
+                let pipeline_config = config.pipeline;
+                let window = config.forecast_window;
+                std::thread::Builder::new()
+                    .name(format!("rapd-shard-{i}"))
+                    .spawn(move || {
+                        worker_loop(
+                            i,
+                            &queue,
+                            &metrics,
+                            &sink,
+                            &factory,
+                            pipeline_config,
+                            window,
+                        )
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool {
+            queues,
+            workers: Mutex::new(workers),
+            metrics,
+        }
+    }
+
+    /// The shard a tenant hashes onto (FNV-1a, stable across runs).
+    pub fn shard_for(&self, tenant: &str) -> usize {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in tenant.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % self.queues.len() as u64) as usize
+    }
+
+    /// Queue one frame onto the tenant's shard (drop-oldest on overflow).
+    pub fn ingest(&self, tenant: &str, frame: mdkpi::LeafFrame) {
+        let shard = self.shard_for(tenant);
+        self.queues[shard].push_frame(Arc::from(tenant), frame, self.metrics.shard(shard));
+    }
+
+    /// Post a barrier to every shard and wait for all of them to drain
+    /// everything queued before it. Returns whether the flush completed
+    /// within the timeout.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let gate = Arc::new(FlushGate::new(self.queues.len()));
+        for queue in &self.queues {
+            queue.push_control(Job::Barrier(Arc::clone(&gate)));
+        }
+        gate.wait(timeout)
+    }
+
+    /// Stop every worker after it drains its queue. Idempotent.
+    pub fn shutdown(&self) {
+        let workers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("shard pool poisoned"));
+        if workers.is_empty() {
+            return;
+        }
+        for queue in &self.queues {
+            queue.push_control(Job::Shutdown);
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+type TenantPipeline = LocalizationPipeline<MovingAverage, Box<dyn Localizer>>;
+
+fn worker_loop(
+    shard: usize,
+    queue: &ShardQueue,
+    metrics: &Metrics,
+    sink: &IncidentSink,
+    factory: &LocalizerFactory,
+    pipeline_config: pipeline::PipelineConfig,
+    window: usize,
+) {
+    let shard_metrics = metrics.shard(shard);
+    let mut pipelines: HashMap<Arc<str>, TenantPipeline> = HashMap::new();
+    loop {
+        match queue.pop() {
+            Job::Shutdown => return,
+            Job::Barrier(gate) => gate.done(),
+            Job::Frame { tenant, frame } => {
+                shard_metrics.depth.fetch_sub(1, Ordering::Relaxed);
+                let pipe = pipelines.entry(Arc::clone(&tenant)).or_insert_with(|| {
+                    LocalizationPipeline::try_new(
+                        pipeline_config,
+                        MovingAverage::new(window),
+                        factory(),
+                    )
+                    .expect("service config validated at boot")
+                });
+                let start = Instant::now();
+                match pipe.observe(&frame) {
+                    Ok(Some(report)) => {
+                        metrics.localization.observe(start.elapsed().as_secs_f64());
+                        metrics.alarms.fetch_add(1, Ordering::Relaxed);
+                        if sink
+                            .record(IncidentRecord::from_report(&tenant, &report))
+                            .is_err()
+                        {
+                            metrics.pipeline_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        metrics.pipeline_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                shard_metrics.processed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{RapMinerLocalizer, ScoredCombination};
+    use mdkpi::{LeafFrame, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .build()
+            .unwrap()
+    }
+
+    fn frame(schema: &Schema, v1: f64, v2: f64) -> LeafFrame {
+        let mut b = LeafFrame::builder(schema);
+        b.push(&[mdkpi::ElementId(0)], v1, 0.0);
+        b.push(&[mdkpi::ElementId(1)], v2, 0.0);
+        b.build()
+    }
+
+    fn small_config(queue_capacity: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards: 2,
+            queue_capacity,
+            forecast_window: 3,
+            pipeline: pipeline::PipelineConfig {
+                history_len: 32,
+                warmup: 3,
+                alarm_threshold: 0.2,
+                leaf_threshold: 0.3,
+                k: 2,
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn default_factory() -> LocalizerFactory {
+        Arc::new(|| Box::new(RapMinerLocalizer::default()) as Box<dyn Localizer>)
+    }
+
+    #[test]
+    fn tenants_hash_deterministically_within_range() {
+        let cfg = small_config(16);
+        let metrics = Arc::new(Metrics::new(cfg.shards));
+        let sink = Arc::new(IncidentSink::new(None, 8).unwrap());
+        let pool = ShardPool::start(&cfg, metrics, sink, default_factory());
+        for tenant in ["a", "b", "edge-7", ""] {
+            let s = pool.shard_for(tenant);
+            assert!(s < 2);
+            assert_eq!(s, pool.shard_for(tenant));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn steady_traffic_processes_without_alarms() {
+        let cfg = small_config(64);
+        let metrics = Arc::new(Metrics::new(cfg.shards));
+        let sink = Arc::new(IncidentSink::new(None, 8).unwrap());
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            default_factory(),
+        );
+        let s = schema();
+        for _ in 0..10 {
+            pool.ingest("tenant", frame(&s, 50.0, 50.0));
+        }
+        assert!(pool.flush(Duration::from_secs(10)));
+        assert_eq!(metrics.total_processed(), 10);
+        assert_eq!(metrics.total_dropped(), 0);
+        assert_eq!(metrics.alarms.load(Ordering::Relaxed), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn collapse_fires_alarm_into_sink() {
+        let cfg = small_config(64);
+        let metrics = Arc::new(Metrics::new(cfg.shards));
+        let sink = Arc::new(IncidentSink::new(None, 8).unwrap());
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            default_factory(),
+        );
+        let s = schema();
+        for _ in 0..8 {
+            pool.ingest("edge", frame(&s, 100.0, 100.0));
+        }
+        pool.ingest("edge", frame(&s, 0.0, 100.0));
+        assert!(pool.flush(Duration::from_secs(10)));
+        assert_eq!(metrics.alarms.load(Ordering::Relaxed), 1);
+        let incidents = sink.recent(10);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].tenant, "edge");
+        assert_eq!(incidents[0].raps[0].0, "(a1)");
+        assert_eq!(metrics.localization.count(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_accounts_exactly() {
+        // a localizer that sleeps long enough for the queue to overflow
+        struct Slow(RapMinerLocalizer);
+        impl Localizer for Slow {
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn localize(
+                &self,
+                frame: &LeafFrame,
+                k: usize,
+            ) -> baselines::Result<Vec<ScoredCombination>> {
+                std::thread::sleep(Duration::from_millis(5));
+                self.0.localize(frame, k)
+            }
+        }
+        let cfg = ServiceConfig {
+            shards: 1,
+            queue_capacity: 4,
+            forecast_window: 2,
+            pipeline: pipeline::PipelineConfig {
+                history_len: 8,
+                warmup: 1,
+                // alarm on every post-warmup frame: values alternate wildly
+                alarm_threshold: 0.01,
+                leaf_threshold: 0.01,
+                k: 1,
+            },
+            ..ServiceConfig::default()
+        };
+        let metrics = Arc::new(Metrics::new(1));
+        let sink = Arc::new(IncidentSink::new(None, 4).unwrap());
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            Arc::new(|| Box::new(Slow(RapMinerLocalizer::default())) as Box<dyn Localizer>),
+        );
+        let s = schema();
+        let total = 200;
+        for i in 0..total {
+            let v = if i % 2 == 0 { 10.0 } else { 200.0 };
+            pool.ingest("t", frame(&s, v, v));
+        }
+        assert!(
+            pool.flush(Duration::from_secs(30)),
+            "flush must not deadlock"
+        );
+        let processed = metrics.total_processed();
+        let dropped = metrics.total_dropped();
+        assert_eq!(
+            processed + dropped,
+            total,
+            "every frame processed or accounted dropped"
+        );
+        assert!(dropped > 0, "slow localizer must overflow a 4-deep queue");
+        // after the flush barrier the queue is empty again
+        assert_eq!(metrics.shard(0).depth.load(Ordering::Relaxed), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn flush_on_idle_pool_returns_immediately() {
+        let cfg = small_config(4);
+        let metrics = Arc::new(Metrics::new(cfg.shards));
+        let sink = Arc::new(IncidentSink::new(None, 4).unwrap());
+        let pool = ShardPool::start(&cfg, metrics, sink, default_factory());
+        assert!(pool.flush(Duration::from_secs(5)));
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,221 @@
+//! The incident sink: a JSONL spool on disk plus an in-memory ring.
+//!
+//! Shard workers hand every [`pipeline::IncidentReport`] here. The sink
+//! appends one JSON line per incident to `incidents.jsonl` in the spool
+//! directory (when configured) and keeps the most recent incidents in a
+//! bounded ring so the control socket can answer `incidents` queries
+//! without touching disk.
+
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use pipeline::IncidentReport;
+
+use crate::json::Json;
+
+/// One incident, flattened to the interchange form the spool and the
+/// control socket share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentRecord {
+    /// The tenant whose pipeline alarmed.
+    pub tenant: String,
+    /// The tenant-local observation step that alarmed.
+    pub step: usize,
+    /// Relative deviation of the overall KPI (Eq. 4 over the totals).
+    pub total_deviation: f64,
+    /// Leaves flagged anomalous by per-leaf detection.
+    pub anomalous_leaves: usize,
+    /// Total leaves in the triggering snapshot.
+    pub total_leaves: usize,
+    /// Ranked root anomaly patterns as `(pattern, score)`, best first.
+    pub raps: Vec<(String, f64)>,
+}
+
+impl IncidentRecord {
+    /// Flatten a pipeline report, stamping the tenant it belongs to.
+    pub fn from_report(tenant: &str, report: &IncidentReport) -> Self {
+        IncidentRecord {
+            tenant: tenant.to_string(),
+            step: report.step,
+            total_deviation: report.total_deviation,
+            anomalous_leaves: report.anomalous_leaves,
+            total_leaves: report.total_leaves,
+            raps: report
+                .raps
+                .iter()
+                .map(|r| (r.combination.to_string(), r.score))
+                .collect(),
+        }
+    }
+
+    /// The JSON form used both for spool lines and control-socket replies.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("tenant".to_string(), Json::str(&self.tenant)),
+            ("step".to_string(), Json::Num(self.step as f64)),
+            (
+                "total_deviation".to_string(),
+                Json::Num(self.total_deviation),
+            ),
+            (
+                "anomalous_leaves".to_string(),
+                Json::Num(self.anomalous_leaves as f64),
+            ),
+            (
+                "total_leaves".to_string(),
+                Json::Num(self.total_leaves as f64),
+            ),
+            (
+                "raps".to_string(),
+                Json::Arr(
+                    self.raps
+                        .iter()
+                        .map(|(pattern, score)| {
+                            Json::Arr(vec![Json::str(pattern), Json::Num(*score)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Where incidents go: JSONL spool file (optional) + bounded ring.
+#[derive(Debug)]
+pub struct IncidentSink {
+    spool: Option<Spool>,
+    ring: Mutex<VecDeque<IncidentRecord>>,
+    ring_capacity: usize,
+}
+
+#[derive(Debug)]
+struct Spool {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl IncidentSink {
+    /// Create the sink. When `spool_dir` is given the directory is created
+    /// and `incidents.jsonl` inside it is opened for append.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spool directory or file cannot be created.
+    pub fn new(spool_dir: Option<&Path>, ring_capacity: usize) -> io::Result<Self> {
+        let spool = match spool_dir {
+            None => None,
+            Some(dir) => {
+                fs::create_dir_all(dir)?;
+                let path = dir.join("incidents.jsonl");
+                let file = OpenOptions::new().create(true).append(true).open(&path)?;
+                Some(Spool {
+                    path,
+                    file: Mutex::new(file),
+                })
+            }
+        };
+        Ok(IncidentSink {
+            spool,
+            ring: Mutex::new(VecDeque::new()),
+            ring_capacity: ring_capacity.max(1),
+        })
+    }
+
+    /// The spool file path, when spooling is enabled.
+    pub fn spool_path(&self) -> Option<&Path> {
+        self.spool.as_ref().map(|s| s.path.as_path())
+    }
+
+    /// Record one incident: append the JSON line (flushed immediately —
+    /// incidents are rare and must survive a crash) and push to the ring,
+    /// evicting the oldest entry when full.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spool write fails; the ring is updated regardless.
+    pub fn record(&self, record: IncidentRecord) -> io::Result<()> {
+        let line = record.to_json().render();
+        {
+            let mut ring = self.ring.lock().expect("sink ring poisoned");
+            if ring.len() == self.ring_capacity {
+                ring.pop_front();
+            }
+            ring.push_back(record);
+        }
+        if let Some(spool) = &self.spool {
+            let mut file = spool.file.lock().expect("spool file poisoned");
+            writeln!(file, "{line}")?;
+            file.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The most recent incidents, newest first, at most `limit`.
+    pub fn recent(&self, limit: usize) -> Vec<IncidentRecord> {
+        let ring = self.ring.lock().expect("sink ring poisoned");
+        ring.iter().rev().take(limit).cloned().collect()
+    }
+
+    /// Incidents currently held in the ring.
+    pub fn ring_len(&self) -> usize {
+        self.ring.lock().expect("sink ring poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tenant: &str, step: usize) -> IncidentRecord {
+        IncidentRecord {
+            tenant: tenant.to_string(),
+            step,
+            total_deviation: -0.4,
+            anomalous_leaves: 2,
+            total_leaves: 8,
+            raps: vec![("(L1, *)".to_string(), 0.93)],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_bounds_memory() {
+        let sink = IncidentSink::new(None, 3).unwrap();
+        for step in 0..10 {
+            sink.record(record("t", step)).unwrap();
+        }
+        assert_eq!(sink.ring_len(), 3);
+        let recent = sink.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].step, 9);
+        assert_eq!(recent[1].step, 8);
+    }
+
+    #[test]
+    fn spool_appends_valid_json_lines() {
+        let dir = std::env::temp_dir().join(format!("rapd-sink-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let sink = IncidentSink::new(Some(&dir), 8).unwrap();
+        sink.record(record("edge", 5)).unwrap();
+        sink.record(record("edge", 6)).unwrap();
+        let text = fs::read_to_string(sink.spool_path().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let doc = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(doc.get("tenant").unwrap().as_str(), Some("edge"));
+        assert_eq!(doc.get("step").unwrap().as_u64(), Some(6));
+        let raps = doc.get("raps").unwrap().as_arr().unwrap();
+        assert_eq!(raps[0].as_arr().unwrap()[0].as_str(), Some("(L1, *)"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let rec = record("t", 3);
+        let doc = rec.to_json();
+        assert_eq!(doc.get("total_deviation").unwrap().as_f64(), Some(-0.4));
+        assert_eq!(doc.get("total_leaves").unwrap().as_u64(), Some(8));
+    }
+}

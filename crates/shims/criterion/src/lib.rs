@@ -1,0 +1,206 @@
+//! # criterion (shim)
+//!
+//! A minimal wall-clock benchmarking harness standing in for the
+//! `criterion` crate API this workspace's benches use. Each benchmark is
+//! warmed up once, then timed over `sample_size` batches; the mean and
+//! fastest batch are printed as plain text. No statistics, plots, or
+//! baseline comparisons — just stable relative ordering.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter rendering.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name.
+pub trait IntoBenchmarkLabel {
+    /// Render to the printed label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Times closures handed to `iter`.
+pub struct Bencher {
+    iters: u64,
+    last: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the configured batch size.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm caches, outside the timed region
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl IntoBenchmarkLabel, f: F) {
+        let sample_size = self.sample_size;
+        run_bench(&name.into_label(), sample_size, f);
+    }
+}
+
+/// A group of benchmarks sharing a prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed batches each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure receiving a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (printing nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut timed_batches = 0u32;
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters: 1,
+            last: Duration::ZERO,
+        };
+        f(&mut b);
+        best = best.min(b.last);
+        total += b.last;
+        timed_batches += 1;
+    }
+    let mean = total / timed_batches.max(1);
+    println!("  {label}: mean {mean:?}, best {best:?} over {timed_batches} samples");
+}
+
+/// Bundle benchmark functions into one runner, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            runs += 1;
+        }
+        c.bench_function("standalone", |b| b.iter(|| black_box("s".len())));
+        assert_eq!(runs, 1);
+    }
+}

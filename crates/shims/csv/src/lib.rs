@@ -1,0 +1,351 @@
+//! # csv (shim)
+//!
+//! A small RFC-4180 reader/writer standing in for the `csv` crate so the
+//! workspace builds with zero external dependencies. Supports quoted
+//! fields (including embedded commas, quotes and newlines), CRLF and LF
+//! line endings, and the crate's default headers-on behavior: the first
+//! record is the header row and is not yielded by [`Reader::records`].
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A CSV read/write failure (I/O or malformed quoting).
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// One parsed CSV record: a list of string fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StringRecord {
+    fields: Vec<String>,
+}
+
+impl StringRecord {
+    /// The field at `index`, if present.
+    pub fn get(&self, index: usize) -> Option<&str> {
+        self.fields.get(index).map(String::as_str)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate over the fields in order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(String::as_str)
+    }
+}
+
+/// Parse a full CSV document into records (quote-aware).
+fn parse_document(text: &str) -> Result<Vec<StringRecord>, Error> {
+    let mut records = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any_char_in_record = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() => {
+                in_quotes = true;
+                any_char_in_record = true;
+            }
+            ',' => {
+                fields.push(std::mem::take(&mut field));
+                any_char_in_record = true;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                if any_char_in_record || !field.is_empty() {
+                    fields.push(std::mem::take(&mut field));
+                    records.push(StringRecord {
+                        fields: std::mem::take(&mut fields),
+                    });
+                }
+                any_char_in_record = false;
+            }
+            '\n' => {
+                if any_char_in_record || !field.is_empty() {
+                    fields.push(std::mem::take(&mut field));
+                    records.push(StringRecord {
+                        fields: std::mem::take(&mut fields),
+                    });
+                }
+                any_char_in_record = false;
+            }
+            other => {
+                field.push(other);
+                any_char_in_record = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::new("unterminated quoted field"));
+    }
+    if any_char_in_record || !field.is_empty() || !fields.is_empty() {
+        fields.push(field);
+        records.push(StringRecord { fields });
+    }
+    Ok(records)
+}
+
+/// A CSV reader with headers enabled (first record = header row).
+///
+/// The underlying reader is consumed eagerly at construction; this shim
+/// targets the workspace's file-sized inputs, not unbounded streams.
+pub struct Reader<R> {
+    records: Vec<StringRecord>,
+    parse_error: Option<String>,
+    headers: StringRecord,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl Reader<File> {
+    /// Open a CSV file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be opened or read.
+    pub fn from_path<P: AsRef<Path>>(path: P) -> Result<Self, Error> {
+        Ok(Self::build(File::open(path.as_ref())?))
+    }
+}
+
+impl<R: Read> Reader<R> {
+    /// Wrap any reader. Parse failures surface from [`Reader::headers`] /
+    /// [`Reader::records`], mirroring the upstream crate's lazy errors.
+    pub fn from_reader(rdr: R) -> Self {
+        Self::build(rdr)
+    }
+
+    fn build(mut rdr: R) -> Self {
+        let mut text = String::new();
+        let (records, parse_error) = match rdr.read_to_string(&mut text) {
+            Err(e) => (Vec::new(), Some(e.to_string())),
+            Ok(_) => match parse_document(&text) {
+                Ok(records) => (records, None),
+                Err(e) => (Vec::new(), Some(e.to_string())),
+            },
+        };
+        let headers = records.first().cloned().unwrap_or_default();
+        Reader {
+            records,
+            parse_error,
+            headers,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The header row (the document's first record).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the input could not be read or parsed.
+    pub fn headers(&mut self) -> Result<&StringRecord, Error> {
+        match &self.parse_error {
+            Some(msg) => Err(Error::new(msg.clone())),
+            None => Ok(&self.headers),
+        }
+    }
+
+    /// Iterate over the data records (everything after the header row).
+    pub fn records(&mut self) -> Records<'_> {
+        Records {
+            inner: self.records.iter().skip(1),
+            parse_error: self.parse_error.clone(),
+        }
+    }
+}
+
+/// Iterator over data records; a parse failure is yielded once as an error.
+pub struct Records<'r> {
+    inner: std::iter::Skip<std::slice::Iter<'r, StringRecord>>,
+    parse_error: Option<String>,
+}
+
+impl Iterator for Records<'_> {
+    type Item = Result<StringRecord, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(msg) = self.parse_error.take() {
+            return Some(Err(Error::new(msg)));
+        }
+        self.inner.next().map(|r| Ok(r.clone()))
+    }
+}
+
+/// A CSV writer that quotes fields only when needed.
+pub struct Writer<W: Write> {
+    out: W,
+}
+
+impl Writer<File> {
+    /// Create (truncating) a CSV file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be created.
+    pub fn from_path<P: AsRef<Path>>(path: P) -> Result<Self, Error> {
+        Ok(Writer {
+            out: File::create(path.as_ref())?,
+        })
+    }
+}
+
+impl<W: Write> Writer<W> {
+    /// Wrap any writer.
+    pub fn from_writer(out: W) -> Self {
+        Writer { out }
+    }
+
+    /// Write one record, quoting fields containing separators or quotes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_record<I>(&mut self, record: I) -> Result<(), Error>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut line = String::new();
+        for (i, fieldref) in record.into_iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let field = fieldref.as_ref();
+            if field.contains(['"', ',', '\n', '\r']) {
+                line.push('"');
+                for c in field.chars() {
+                    if c == '"' {
+                        line.push('"');
+                    }
+                    line.push(c);
+                }
+                line.push('"');
+            } else {
+                line.push_str(field);
+            }
+        }
+        line.push('\n');
+        self.out.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn flush(&mut self) -> Result<(), Error> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_records_split() {
+        let mut rdr = Reader::from_reader("a,b\n1,2\n3,4\n".as_bytes());
+        assert_eq!(
+            rdr.headers().unwrap().iter().collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        let rows: Vec<StringRecord> = rdr.records().map(|r| r.unwrap()).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), Some("1"));
+        assert_eq!(rows[1].get(1), Some("4"));
+    }
+
+    #[test]
+    fn quoted_fields_roundtrip() {
+        let mut buf = Vec::new();
+        {
+            let mut w = Writer::from_writer(&mut buf);
+            w.write_record(["plain", "with,comma", "with\"quote", "multi\nline"])
+                .unwrap();
+            w.write_record(["x", "y", "z", "w"]).unwrap();
+            w.flush().unwrap();
+        }
+        let mut rdr = Reader::from_reader(buf.as_slice());
+        let header = rdr.headers().unwrap().clone();
+        assert_eq!(header.get(1), Some("with,comma"));
+        assert_eq!(header.get(2), Some("with\"quote"));
+        assert_eq!(header.get(3), Some("multi\nline"));
+        assert_eq!(rdr.records().count(), 1);
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let mut rdr = Reader::from_reader("a,b\r\n1,2\r\n3,4".as_bytes());
+        let rows: Vec<_> = rdr.records().map(|r| r.unwrap()).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get(1), Some("4"));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let mut rdr = Reader::from_reader("a,b\n\"oops,2\n".as_bytes());
+        assert!(rdr.headers().is_err());
+        assert!(rdr.records().next().unwrap().is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        let mut rdr = Reader::from_reader("".as_bytes());
+        assert!(rdr.headers().unwrap().is_empty());
+        assert_eq!(rdr.records().count(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! # rand_distr (shim)
+//!
+//! Zero-dependency stand-in for the `rand_distr` distributions this
+//! workspace samples: [`Normal`] and [`LogNormal`], via the Box–Muller
+//! transform. Streams differ from upstream; determinism per seed holds.
+
+#![forbid(unsafe_code)]
+
+use std::f64::consts::TAU;
+use std::fmt;
+
+use rand::RngCore;
+
+/// A sampleable probability distribution.
+pub trait Distribution<T> {
+    /// Draw one sample using `rng` as the entropy source.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters (NaN or negative scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Draw one standard-normal sample (Box–Muller, cosine branch).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either parameter is NaN or `std_dev` is negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if mean.is_nan() || std_dev.is_nan() || std_dev < 0.0 {
+            return Err(Error);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create a log-normal distribution from the underlying normal's
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either parameter is NaN or `sigma` is negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if mu.is_nan() || sigma.is_nan() || sigma < 0.0 {
+            return Err(Error);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_matching_median() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut samples: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(f64::total_cmp);
+        let median = samples[5000];
+        assert!((median - 1.0f64.exp()).abs() < 0.2, "median {median}");
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+}

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An equally spaced univariate time series.
 ///
 /// A thin, validated wrapper over `Vec<f64>` with the statistics the
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ts.len(), 4);
 /// assert_eq!(ts.mean(), 2.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     values: Vec<f64>,
 }
@@ -80,8 +78,8 @@ impl TimeSeries {
             return 0.0;
         }
         let m = self.mean();
-        let var = self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 

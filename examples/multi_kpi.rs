@@ -72,6 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let top = &report.merged[0];
     assert_eq!(top.combination, truth);
     assert!(top.kpis.len() >= 2, "must be corroborated by several KPIs");
-    println!("=> {} is failing across {} KPIs; page the edge-node team", top.combination, top.kpis.len());
+    println!(
+        "=> {} is failing across {} KPIs; page the edge-node team",
+        top.combination,
+        top.kpis.len()
+    );
     Ok(())
 }

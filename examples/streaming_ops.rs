@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", report.summary());
             incidents.push(report);
             if incidents.len() == 1 {
-                println!("(first alarm {} steps after failure onset)", step + 1 - FAILURE_AT);
+                println!(
+                    "(first alarm {} steps after failure onset)",
+                    step + 1 - FAILURE_AT
+                );
             }
             if incidents.len() >= 3 {
                 break; // the on-call has seen enough

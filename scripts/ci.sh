@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate for rapminer-rs. Every PR must pass this script unchanged.
+#
+# Runs, in order:
+#   1. cargo fmt --check        -- formatting is canonical rustfmt
+#   2. cargo clippy -D warnings -- lint-clean across the whole workspace
+#   3. cargo build --release    -- the release artifacts must build
+#   4. cargo test -q            -- full test suite (unit + property + e2e)
+#
+# The workspace is fully offline (external deps resolve to crates/shims/),
+# so --offline is passed everywhere; no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --workspace --release --offline
+run cargo test --workspace -q --offline
+
+echo "==> tier-1 gate passed"

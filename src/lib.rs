@@ -69,8 +69,8 @@ pub mod prelude {
     };
     pub use eval::{evaluate_f1, evaluate_rc, f1_score, rc_at_k, Table};
     pub use mdkpi::{
-        read_frame_csv, write_frame_csv, Combination, Cuboid, CuboidLattice, LeafFrame,
-        LeafIndex, Schema,
+        read_frame_csv, write_frame_csv, Combination, Cuboid, CuboidLattice, LeafFrame, LeafIndex,
+        Schema,
     };
     pub use pipeline::{IncidentReport, LocalizationPipeline, PipelineConfig};
     pub use rapminer::{classification_power, Config, MinedRap, RapMiner};

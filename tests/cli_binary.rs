@@ -111,7 +111,14 @@ fn methods_lists_all_six() {
     require_binary!();
     let (stdout, _, ok) = run(&["methods"]);
     assert!(ok);
-    for name in ["rapminer", "squeeze", "fp-growth", "adtributor", "idice", "hotspot"] {
+    for name in [
+        "rapminer",
+        "squeeze",
+        "fp-growth",
+        "adtributor",
+        "idice",
+        "hotspot",
+    ] {
         assert!(stdout.contains(name), "missing {name} in: {stdout}");
     }
 }

@@ -133,7 +133,9 @@ fn deletion_shrinks_search_volume() {
     let mut deleted_any = false;
     for case in &ds.cases {
         let (_, s1) = with.localize_with_stats(&case.frame, 3).expect("with");
-        let (_, s2) = without.localize_with_stats(&case.frame, 3).expect("without");
+        let (_, s2) = without
+            .localize_with_stats(&case.frame, 3)
+            .expect("without");
         visited_with += s1.combos_visited;
         visited_without += s2.combos_visited;
         deleted_any |= s1.attrs_deleted > 0;

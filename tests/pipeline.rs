@@ -59,8 +59,12 @@ fn frame_roundtrips_through_disk_before_localizing() {
     let a = RapMiner::new().localize(&frame, 3).expect("original");
     let b = RapMiner::new().localize(&reloaded, 3).expect("reloaded");
     assert_eq!(
-        a.iter().map(|r| r.combination.to_string()).collect::<Vec<_>>(),
-        b.iter().map(|r| r.combination.to_string()).collect::<Vec<_>>()
+        a.iter()
+            .map(|r| r.combination.to_string())
+            .collect::<Vec<_>>(),
+        b.iter()
+            .map(|r| r.combination.to_string())
+            .collect::<Vec<_>>()
     );
 }
 
@@ -137,7 +141,11 @@ fn labels_are_the_only_thing_rapminer_reads() {
 
     let mut scaled_builder = LeafFrame::builder(frame.schema());
     for i in 0..frame.num_rows() {
-        scaled_builder.push(frame.row_elements(i), frame.v(i) * 1000.0, frame.f(i) * 1000.0);
+        scaled_builder.push(
+            frame.row_elements(i),
+            frame.v(i) * 1000.0,
+            frame.f(i) * 1000.0,
+        );
     }
     let mut scaled = scaled_builder.build();
     scaled.set_labels(labels).expect("same length");
@@ -145,7 +153,11 @@ fn labels_are_the_only_thing_rapminer_reads() {
     let a = RapMiner::new().localize(&frame, 3).expect("original");
     let b = RapMiner::new().localize(&scaled, 3).expect("scaled");
     assert_eq!(
-        a.iter().map(|r| r.combination.to_string()).collect::<Vec<_>>(),
-        b.iter().map(|r| r.combination.to_string()).collect::<Vec<_>>()
+        a.iter()
+            .map(|r| r.combination.to_string())
+            .collect::<Vec<_>>(),
+        b.iter()
+            .map(|r| r.combination.to_string())
+            .collect::<Vec<_>>()
     );
 }

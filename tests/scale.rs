@@ -18,7 +18,10 @@ fn paper_scale_case() -> LocalizationCase {
 #[test]
 fn paper_topology_localizes_quickly() {
     let case = paper_scale_case();
-    assert!(case.frame.num_rows() > 5000, "paper topology is sparse-large");
+    assert!(
+        case.frame.num_rows() > 5000,
+        "paper topology is sparse-large"
+    );
     let start = Instant::now();
     let raps = RapMiner::new()
         .localize(&case.frame, 5)
@@ -76,12 +79,13 @@ fn analyze_matches_localize_at_scale() {
     let case = paper_scale_case();
     let miner = RapMiner::new();
     let outcome = miner.analyze(&case.frame).expect("labelled");
-    let (_, stats) = miner
-        .localize_with_stats(&case.frame, 5)
-        .expect("labelled");
+    let (_, stats) = miner.localize_with_stats(&case.frame, 5).expect("labelled");
     assert_eq!(outcome.deleted.len(), stats.attrs_deleted);
     // every kept attribute clears the threshold; every deleted one doesn't
     let t_cp = miner.config().t_cp();
-    assert!(outcome.kept.iter().all(|(_, cp)| *cp > t_cp || outcome.deleted.is_empty()));
+    assert!(outcome
+        .kept
+        .iter()
+        .all(|(_, cp)| *cp > t_cp || outcome.deleted.is_empty()));
     assert!(outcome.deleted.iter().all(|(_, cp)| *cp <= t_cp));
 }
