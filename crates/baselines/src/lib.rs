@@ -70,7 +70,7 @@ pub use error::Error;
 pub use fpgrowth::{FpGrowthLocalizer, MinerKind};
 pub use hotspot::HotSpot;
 pub use idice::IDice;
-pub use localizer::{Localizer, ScoredCombination};
+pub use localizer::{Explained, Localizer, ScoredCombination};
 pub use ps::{deviation_score, potential_score};
 pub use rapminer_adapter::RapMinerLocalizer;
 pub use squeeze::Squeeze;

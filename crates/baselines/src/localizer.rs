@@ -20,6 +20,18 @@ impl std::fmt::Display for ScoredCombination {
     }
 }
 
+/// A localization answer plus the method's evidence trail, when the method
+/// can produce one. Methods without an explainable search (or adapters
+/// that choose not to pay for it) leave `trace` as `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explained {
+    /// The ranked top-`k` results — identical to [`Localizer::localize`].
+    pub results: Vec<ScoredCombination>,
+    /// The evidence behind the results: CP values, deletions, per-layer
+    /// search effort, and candidate confidences.
+    pub trace: Option<rapminer::LocalizationTrace>,
+}
+
 /// A multi-dimensional-KPI anomaly localizer: RAPMiner or any of the
 /// paper's baselines.
 ///
@@ -44,6 +56,21 @@ pub trait Localizer: Send + Sync {
     /// Implementations that consume anomaly labels return
     /// [`crate::Error::UnlabelledFrame`] on unlabelled input.
     fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>>;
+
+    /// Localize and, where the method supports it, attach the evidence
+    /// trail behind the answer. The default forwards to
+    /// [`Localizer::localize`] with no trace; methods with an explainable
+    /// search (RAPMiner) override it.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Localizer::localize`].
+    fn localize_explained(&self, frame: &LeafFrame, k: usize) -> Result<Explained> {
+        Ok(Explained {
+            results: self.localize(frame, k)?,
+            trace: None,
+        })
+    }
 }
 
 impl<L: Localizer + ?Sized> Localizer for Box<L> {
@@ -52,6 +79,11 @@ impl<L: Localizer + ?Sized> Localizer for Box<L> {
     }
     fn localize(&self, frame: &LeafFrame, k: usize) -> Result<Vec<ScoredCombination>> {
         (**self).localize(frame, k)
+    }
+    // Forward explicitly: the default body would silently drop the inner
+    // implementation's trace behind `Box<dyn Localizer>`.
+    fn localize_explained(&self, frame: &LeafFrame, k: usize) -> Result<Explained> {
+        (**self).localize_explained(frame, k)
     }
 }
 
@@ -77,6 +109,20 @@ mod tests {
     fn trait_is_object_safe() {
         let boxed: Box<dyn Localizer> = Box::new(Dummy);
         assert_eq!(boxed.name(), "dummy");
+    }
+
+    #[test]
+    fn default_explained_has_no_trace() {
+        let schema = mdkpi::Schema::builder()
+            .attribute("a", ["a1"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        builder.push_labelled(&[mdkpi::ElementId(0)], 1.0, 1.0, true);
+        let frame = builder.build();
+        let explained = Dummy.localize_explained(&frame, 1).unwrap();
+        assert!(explained.trace.is_none());
+        assert_eq!(explained.results, Dummy.localize(&frame, 1).unwrap());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use mdkpi::LeafFrame;
 use rapminer::{Config, RapMiner};
 
-use crate::localizer::{Localizer, ScoredCombination};
+use crate::localizer::{Explained, Localizer, ScoredCombination};
 use crate::Result;
 
 /// [`rapminer::RapMiner`] behind the shared [`Localizer`] trait.
@@ -53,6 +53,20 @@ impl Localizer for RapMinerLocalizer {
             })
             .collect())
     }
+
+    fn localize_explained(&self, frame: &LeafFrame, k: usize) -> Result<Explained> {
+        let (raps, trace) = self.miner.localize_traced(frame, k)?;
+        Ok(Explained {
+            results: raps
+                .into_iter()
+                .map(|r| ScoredCombination {
+                    combination: r.combination,
+                    score: r.score,
+                })
+                .collect(),
+            trace: Some(trace),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -78,6 +92,34 @@ mod tests {
         let out = adapter.localize(&frame, 3).unwrap();
         assert_eq!(out[0].combination.to_string(), "(a1, *)");
         assert!(out[0].score > 0.0);
+    }
+
+    #[test]
+    fn explained_forwards_search_stats_through_boxing() {
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2"])
+            .attribute("b", ["b1", "b2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                builder.push_labelled(&[ElementId(a), ElementId(b)], 1.0, 1.0, a == 0);
+            }
+        }
+        let frame = builder.build();
+        // Through `Box<dyn Localizer>`, as rapd's shard workers hold it.
+        let boxed: Box<dyn Localizer> = Box::new(RapMinerLocalizer::default());
+        let explained = boxed.localize_explained(&frame, 3).unwrap();
+        assert_eq!(explained.results[0].combination.to_string(), "(a1, *)");
+        let trace = explained.trace.expect("rapminer must attach a trace");
+        assert!(trace.is_consistent(), "trace: {trace:?}");
+        assert_eq!(trace.deleted_attributes(), vec!["b"]);
+        assert_eq!(trace.stats.attrs_deleted, 1);
+        assert!(trace.stats.cuboids_visited > 0 && trace.stats.combos_visited > 0);
+        // the plain path returns the same ranking
+        let plain = boxed.localize(&frame, 3).unwrap();
+        assert_eq!(explained.results, plain);
     }
 
     #[test]

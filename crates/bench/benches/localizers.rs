@@ -31,6 +31,17 @@ fn squeeze_groups(c: &mut Criterion) {
         }
     }
     group.finish();
+    dump_span_summary("squeeze_groups");
+}
+
+/// Print where the benchmarked iterations spent their time (per span
+/// name), then reset the ring so the next group profiles itself alone.
+fn dump_span_summary(group: &str) {
+    eprintln!(
+        "-- span profile after {group} --\n{}",
+        rapminer_bench::span_summary(obs::DEFAULT_RING_CAPACITY)
+    );
+    obs::clear_spans();
 }
 
 /// Fig. 9(b) analogue: per-method localization time on one RAPMD case.
@@ -50,6 +61,7 @@ fn rapmd_methods(c: &mut Criterion) {
         });
     }
     group.finish();
+    dump_span_summary("rapmd_methods");
 }
 
 /// Table VI analogue: RAPMiner with vs without redundant attribute
@@ -73,6 +85,7 @@ fn ablation_deletion(c: &mut Criterion) {
         })
     });
     group.finish();
+    dump_span_summary("ablation_deletion");
 }
 
 criterion_group!(benches, squeeze_groups, rapmd_methods, ablation_deletion);

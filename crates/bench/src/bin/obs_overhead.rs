@@ -1,0 +1,82 @@
+//! Measure the runtime cost of span tracing on end-to-end localization.
+//!
+//! Runs RAPMiner on the hardest-group case of the same Squeeze fixture the
+//! `localizers` Criterion bench uses, alternating trials with spans
+//! enabled and disabled at runtime. Each adjacent on/off pair yields one
+//! relative-overhead sample (pairing cancels sustained host drift — CPU
+//! frequency scaling, a noisy neighbour — that would bias two separate
+//! measurement blocks), and the reported overhead is the *median* over
+//! all pairs, which is robust to the occasional trial that catches a
+//! scheduler hiccup. Prints the timings and the overhead, and exits
+//! non-zero when the overhead exceeds the budget — `scripts/ci.sh` runs
+//! this as the tracing overhead smoke test.
+//!
+//! Usage: `obs_overhead [budget-percent]` (default budget: 5%).
+
+use std::time::Instant;
+
+use baselines::{Localizer, RapMinerLocalizer};
+use rapminer_bench::squeeze_dataset;
+
+const TRIALS: usize = 15;
+const ITERS_PER_TRIAL: usize = 40;
+const K: usize = 5;
+
+/// Wall seconds for one trial of `ITERS_PER_TRIAL` localizations.
+fn trial_seconds(localizer: &RapMinerLocalizer, frame: &mdkpi::LeafFrame) -> f64 {
+    let start = Instant::now();
+    for _ in 0..ITERS_PER_TRIAL {
+        let n = localizer.localize(frame, K).map(|r| r.len()).unwrap_or(0);
+        std::hint::black_box(n);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let budget_percent: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("budget must be a number (percent)"))
+        .unwrap_or(5.0);
+
+    let dataset = squeeze_dataset(1);
+    let case = dataset.group("(3,3)").next().expect("group exists");
+    let frame = &case.frame;
+    let localizer = RapMinerLocalizer::default();
+
+    // warm up caches and the allocator outside the timed region
+    obs::set_enabled(true);
+    let _ = localizer.localize(frame, K);
+    obs::set_enabled(false);
+    let _ = localizer.localize(frame, K);
+
+    let mut overheads = Vec::with_capacity(TRIALS);
+    let mut best_on = f64::INFINITY;
+    let mut best_off = f64::INFINITY;
+    for _ in 0..TRIALS {
+        obs::set_enabled(true);
+        obs::clear_spans();
+        let on = trial_seconds(&localizer, frame);
+        obs::set_enabled(false);
+        let off = trial_seconds(&localizer, frame);
+        best_on = best_on.min(on);
+        best_off = best_off.min(off);
+        overheads.push((on - off) / off * 100.0);
+    }
+    obs::clear_spans();
+
+    // leave tracing in its default-on state for anything run afterwards
+    obs::set_enabled(true);
+
+    overheads.sort_by(f64::total_cmp);
+    let overhead_percent = overheads[TRIALS / 2];
+    println!(
+        "obs_overhead: spans_on={best_on:.6}s spans_off={best_off:.6}s (best trial) \
+         overhead={overhead_percent:.2}% budget={budget_percent:.1}% \
+         (median of {TRIALS} paired trials, {ITERS_PER_TRIAL} localizations each)"
+    );
+    if overhead_percent > budget_percent {
+        eprintln!("obs_overhead: FAIL — tracing overhead exceeds the {budget_percent:.1}% budget");
+        std::process::exit(1);
+    }
+    println!("obs_overhead: OK");
+}

@@ -50,9 +50,50 @@ pub fn rapmd_small(num_failures: usize) -> Dataset {
     .generate(EXPERIMENT_SEED)
 }
 
+/// Aggregate the completed-span ring into a per-name profile: span count,
+/// total time, and mean time, slowest-total first. Benchmarks print this
+/// after each group so a run shows where localization time went
+/// (CP computation vs. lattice search vs. per-layer enumeration).
+pub fn span_summary(limit: usize) -> String {
+    let spans = obs::recent_spans(limit);
+    let mut agg: Vec<(&'static str, u64, u64)> = Vec::new();
+    for s in &spans {
+        match agg.iter_mut().find(|(name, _, _)| *name == s.name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += s.elapsed_micros;
+            }
+            None => agg.push((s.name, 1, s.elapsed_micros)),
+        }
+    }
+    agg.sort_by_key(|&(_, _, total)| std::cmp::Reverse(total));
+    let mut out = String::new();
+    for (name, count, total) in agg {
+        out.push_str(&format!(
+            "{name}: {count} spans, {total} us total, {:.1} us mean\n",
+            total as f64 / count as f64
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn span_summary_aggregates_by_name() {
+        obs::set_enabled(true);
+        obs::clear_spans();
+        for _ in 0..3 {
+            let _s = obs::span("bench.outer");
+            let _inner = obs::span("bench.inner");
+        }
+        let summary = span_summary(obs::DEFAULT_RING_CAPACITY);
+        assert!(summary.contains("bench.outer: 3 spans"), "got: {summary}");
+        assert!(summary.contains("bench.inner: 3 spans"), "got: {summary}");
+        obs::clear_spans();
+    }
 
     #[test]
     fn datasets_are_reproducible() {

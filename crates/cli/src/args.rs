@@ -41,6 +41,10 @@ pub enum Command {
         /// Also print the per-attribute classification-power breakdown
         /// (RAPMiner only).
         explain: bool,
+        /// Also print the search statistics (cuboids/combinations visited,
+        /// candidates found, early-stop status) when the method reports
+        /// them.
+        stats: bool,
     },
     /// `evaluate`: score methods against a dataset directory.
     Evaluate {
@@ -91,6 +95,8 @@ pub enum Command {
         k: usize,
         /// Moving-average forecast window.
         window: usize,
+        /// Emit structured JSON log lines on stderr.
+        log_json: bool,
     },
     /// `methods`: list available localizers.
     Methods,
@@ -119,7 +125,7 @@ USAGE:
                     [--failures N] [--cases-per-group N] [--seed N]
   rapminer localize --input <case.csv> [--method NAME] [--k N]
                     [--t-cp X] [--t-conf X] [--detect-threshold X]
-                    [--explain true]
+                    [--explain true] [--stats true]
   rapminer evaluate --dir <dataset-dir> [--protocol rc|f1] [--k 3,4,5]
                     [--method NAME]
   rapminer simulate [--steps N] [--failure-at N] [--seed N] [--rap SPEC]
@@ -127,6 +133,7 @@ USAGE:
                     [--shards N] [--queue N] [--spool DIR] [--ring N]
                     [--history N] [--warmup N] [--alarm-threshold X]
                     [--leaf-threshold X] [--k N] [--window N]
+                    [--log-json true]
   rapminer methods
   rapminer help
 ";
@@ -165,6 +172,7 @@ impl Args {
                 t_conf: parse_opt_float(&flags, "t-conf")?,
                 detect_threshold: parse_float(&flags, "detect-threshold", 0.095)?,
                 explain: parse_bool(&flags, "explain")?,
+                stats: parse_bool(&flags, "stats")?,
             },
             "evaluate" => Command::Evaluate {
                 dir: require(&flags, "dir")?,
@@ -200,6 +208,7 @@ impl Args {
                 leaf_threshold: parse_float(&flags, "leaf-threshold", 0.3)?,
                 k: parse_num(&flags, "k", 3)?,
                 window: parse_num(&flags, "window", 10)?,
+                log_json: parse_bool(&flags, "log-json")?,
             },
             "methods" => Command::Methods,
             "help" | "--help" | "-h" => Command::Help,
@@ -335,6 +344,7 @@ mod tests {
                 t_conf,
                 detect_threshold,
                 explain,
+                stats,
             } => {
                 assert_eq!(input, "a.csv");
                 assert_eq!(method, "squeeze");
@@ -343,7 +353,27 @@ mod tests {
                 assert_eq!(t_conf, None);
                 assert_eq!(detect_threshold, 0.095);
                 assert!(!explain);
+                assert!(!stats);
             }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_localize_stats_and_serve_log_json() {
+        let args = Args::parse(["localize", "--input", "a.csv", "--stats", "true"]).unwrap();
+        match args.command {
+            Command::Localize { stats, .. } => assert!(stats),
+            other => panic!("wrong command {other:?}"),
+        }
+        let args = Args::parse(["serve", "--log-json", "true"]).unwrap();
+        match args.command {
+            Command::Serve { log_json, .. } => assert!(log_json),
+            other => panic!("wrong command {other:?}"),
+        }
+        // booleans still default off
+        match Args::parse(["serve"]).unwrap().command {
+            Command::Serve { log_json, .. } => assert!(!log_json),
             other => panic!("wrong command {other:?}"),
         }
     }

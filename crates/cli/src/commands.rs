@@ -79,6 +79,7 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             t_conf,
             detect_threshold,
             explain,
+            stats,
         } => localize(
             input,
             method,
@@ -87,6 +88,7 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             *t_conf,
             *detect_threshold,
             *explain,
+            *stats,
             out,
         ),
         Command::Evaluate {
@@ -132,6 +134,7 @@ pub(crate) fn serve_start(
         leaf_threshold,
         k,
         window,
+        log_json,
     } = command
     else {
         return Err(CliError::new("serve_start requires the serve command"));
@@ -144,6 +147,7 @@ pub(crate) fn serve_start(
         spool_dir: spool.as_ref().map(std::path::PathBuf::from),
         ring_capacity: *ring,
         forecast_window: *window,
+        log_json: *log_json,
         pipeline: pipeline::PipelineConfig {
             history_len: *history,
             warmup: *warmup,
@@ -320,6 +324,7 @@ fn localize(
     t_conf: Option<f64>,
     detect_threshold: f64,
     explain: bool,
+    stats: bool,
     out: &mut dyn std::io::Write,
 ) -> Result<(), CliError> {
     let file = std::fs::File::open(input)
@@ -368,7 +373,33 @@ fn localize(
         write!(out, "{table}").map_err(io_err)?;
     }
     let localizer = resolve_method(method, t_cp, t_conf)?;
-    let results = localizer.localize(&frame, k)?;
+    let explained = localizer.localize_explained(&frame, k)?;
+    if stats {
+        match &explained.trace {
+            Some(trace) => {
+                let s = &trace.stats;
+                writeln!(
+                    out,
+                    "search stats: {} attrs deleted, {} cuboids visited, \
+                     {} combinations visited, {} candidates found, early stop: {}",
+                    s.attrs_deleted,
+                    s.cuboids_visited,
+                    s.combos_visited,
+                    s.candidates_found,
+                    s.early_stopped
+                )
+                .map_err(io_err)?;
+            }
+            None => {
+                writeln!(
+                    out,
+                    "(--stats: method `{method}` reports no search statistics)"
+                )
+                .map_err(io_err)?;
+            }
+        }
+    }
+    let results = explained.results;
     if results.is_empty() {
         writeln!(out, "no root anomaly patterns found").map_err(io_err)?;
         return Ok(());
@@ -591,6 +622,45 @@ mod tests {
             "true",
         ]);
         assert!(err.is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn localize_stats_prints_search_counters() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rapminer_cli_stats_{}.csv", std::process::id()));
+        std::fs::write(
+            &path,
+            "a,b,real,predict,label\n\
+             a1,b1,1.0,10.0,1\n\
+             a1,b2,2.0,11.0,1\n\
+             a2,b1,10.0,10.0,0\n\
+             a2,b2,11.0,11.0,0\n",
+        )
+        .unwrap();
+        let out = run_to_string(&[
+            "localize",
+            "--input",
+            path.to_str().unwrap(),
+            "--stats",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("search stats:"), "got: {out}");
+        assert!(out.contains("cuboids visited"), "got: {out}");
+        assert!(out.contains("early stop:"), "got: {out}");
+        // methods without search statistics degrade gracefully
+        let out = run_to_string(&[
+            "localize",
+            "--input",
+            path.to_str().unwrap(),
+            "--method",
+            "squeeze",
+            "--stats",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("no search statistics"), "got: {out}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,4 +1,23 @@
 use baselines::ScoredCombination;
+use rapminer::LocalizationTrace;
+
+/// Wall-clock seconds spent in each stage of one triggered localization.
+///
+/// `cp`/`search` come from the localizer's own trace and are zero when the
+/// method attaches none; `detect` covers per-leaf forecasting and
+/// labelling; `localize` is the whole localizer call (so
+/// `localize ≥ cp + search` for RAPMiner).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Per-leaf forecast + anomaly labelling.
+    pub detect_seconds: f64,
+    /// Algorithm 1 (CP computation and redundant attribute deletion).
+    pub cp_seconds: f64,
+    /// Algorithm 2 (top-down lattice search).
+    pub search_seconds: f64,
+    /// The full localizer call.
+    pub localize_seconds: f64,
+}
 
 /// The outcome of one triggered localization: what the on-call operator
 /// sees when the alarm fires.
@@ -15,6 +34,11 @@ pub struct IncidentReport {
     pub total_leaves: usize,
     /// The ranked root anomaly patterns (best first).
     pub raps: Vec<ScoredCombination>,
+    /// Per-stage wall-clock timings of this localization.
+    pub timings: StageTimings,
+    /// The localizer's evidence trail (CP values, deletions, per-layer
+    /// counts, candidate confidences), when the method produces one.
+    pub trace: Option<LocalizationTrace>,
 }
 
 impl IncidentReport {
@@ -53,6 +77,8 @@ mod tests {
                 combination: Combination::parse(&schema, "a=a1").unwrap(),
                 score: 0.9,
             }],
+            timings: StageTimings::default(),
+            trace: None,
         };
         let s = report.summary();
         assert!(s.contains("step 42"));
@@ -69,6 +95,8 @@ mod tests {
             anomalous_leaves: 0,
             total_leaves: 5,
             raps: Vec::new(),
+            timings: StageTimings::default(),
+            trace: None,
         };
         assert!(report.summary().contains("<no pattern>"));
     }

@@ -64,7 +64,7 @@ mod multi;
 mod stream;
 mod tracker;
 
-pub use incident::IncidentReport;
+pub use incident::{IncidentReport, StageTimings};
 pub use multi::{localize_multi_kpi, MergedRap, MultiKpiReport};
 pub use stream::{ConfigError, LocalizationPipeline, PipelineConfig, PipelineError};
 pub use tracker::{Incident, IncidentTracker};

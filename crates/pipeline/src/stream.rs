@@ -1,11 +1,12 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::time::Instant;
 
 use baselines::Localizer;
 use mdkpi::{ElementId, LeafFrame, Schema};
 use timeseries::{deviation, Forecaster};
 
-use crate::incident::IncidentReport;
+use crate::incident::{IncidentReport, StageTimings};
 
 /// Tunables of the streaming loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -236,15 +237,25 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
         };
         let schema = schema.clone();
 
+        let observe_span = obs::span("pipeline.observe");
+        observe_span.record("step", self.steps);
+        observe_span.record("leaves", frame.num_rows());
+
         // detection BEFORE updating histories: forecasts must not see the
         // current (possibly anomalous) point
         let total_v = frame.total_v();
         let mut report = None;
         if self.steps >= self.config.warmup {
-            let total_hist: Vec<f64> = self.total_history.iter().copied().collect();
-            let total_f = self.forecaster.forecast_next(&total_hist);
-            let total_dev = deviation(total_v, total_f);
+            let total_dev = {
+                let forecast_span = obs::span("pipeline.forecast");
+                let total_hist: Vec<f64> = self.total_history.iter().copied().collect();
+                let total_f = self.forecaster.forecast_next(&total_hist);
+                let total_dev = deviation(total_v, total_f);
+                forecast_span.record("deviation", total_dev);
+                total_dev
+            };
             if total_dev.abs() > self.config.alarm_threshold {
+                observe_span.record("alarm", true);
                 report = Some(self.localize_incident(&schema, frame, total_dev)?);
             }
         }
@@ -276,32 +287,64 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
         frame: &LeafFrame,
         total_dev: f64,
     ) -> Result<IncidentReport, PipelineError> {
-        let mut current: HashMap<&[ElementId], f64> = HashMap::new();
-        for i in 0..frame.num_rows() {
-            *current.entry(frame.row_elements(i)).or_insert(0.0) += frame.v(i);
-        }
-        let mut builder = LeafFrame::builder(schema);
-        let mut labels: Vec<bool> = Vec::new();
-        let mut keys: Vec<&Vec<ElementId>> = self.history.keys().collect();
-        keys.sort(); // deterministic row order
-        for elements in keys {
-            let hist: Vec<f64> = self.history[elements].iter().copied().collect();
-            let f = self.forecaster.forecast_next(&hist).max(0.0);
-            let v = current.get(elements.as_slice()).copied().unwrap_or(0.0);
-            builder.push(elements, v, f);
-            labels.push(deviation(v, f).abs() > self.config.leaf_threshold);
-        }
-        let mut labelled = builder.build();
-        labelled
-            .set_labels(labels)
-            .expect("labels built alongside rows");
-        let raps = self.localizer.localize(&labelled, self.config.k)?;
+        let detect_started = Instant::now();
+        let labelled = {
+            let detect_span = obs::span("pipeline.detect");
+            let mut current: HashMap<&[ElementId], f64> = HashMap::new();
+            for i in 0..frame.num_rows() {
+                *current.entry(frame.row_elements(i)).or_insert(0.0) += frame.v(i);
+            }
+            let mut builder = LeafFrame::builder(schema);
+            let mut labels: Vec<bool> = Vec::new();
+            let mut keys: Vec<&Vec<ElementId>> = self.history.keys().collect();
+            keys.sort(); // deterministic row order
+            for elements in keys {
+                let hist: Vec<f64> = self.history[elements].iter().copied().collect();
+                let f = self.forecaster.forecast_next(&hist).max(0.0);
+                let v = current.get(elements.as_slice()).copied().unwrap_or(0.0);
+                builder.push(elements, v, f);
+                labels.push(deviation(v, f).abs() > self.config.leaf_threshold);
+            }
+            let mut labelled = builder.build();
+            labelled
+                .set_labels(labels)
+                .expect("labels built alongside rows");
+            detect_span.record("leaves", labelled.num_rows());
+            detect_span.record("anomalous", labelled.num_anomalous());
+            labelled
+        };
+        let detect_seconds = detect_started.elapsed().as_secs_f64();
+
+        let localize_started = Instant::now();
+        let explained = {
+            let localize_span = obs::span("pipeline.localize");
+            localize_span.record("method", self.localizer.name());
+            let explained = self
+                .localizer
+                .localize_explained(&labelled, self.config.k)?;
+            localize_span.record("raps", explained.results.len());
+            explained
+        };
+        let localize_seconds = localize_started.elapsed().as_secs_f64();
+
+        let (cp_seconds, search_seconds) = explained
+            .trace
+            .as_ref()
+            .map(|t| (t.cp_seconds, t.search_seconds))
+            .unwrap_or((0.0, 0.0));
         Ok(IncidentReport {
             step: self.steps,
             total_deviation: total_dev,
             anomalous_leaves: labelled.num_anomalous(),
             total_leaves: labelled.num_rows(),
-            raps,
+            raps: explained.results,
+            timings: StageTimings {
+                detect_seconds,
+                cp_seconds,
+                search_seconds,
+                localize_seconds,
+            },
+            trace: explained.trace,
         })
     }
 }
@@ -394,6 +437,30 @@ mod tests {
         assert_eq!(report.anomalous_leaves, 2);
         assert_eq!(report.raps[0].combination.to_string(), "(a1, *)");
         assert!(report.summary().contains("(a1, *)"));
+    }
+
+    #[test]
+    fn incident_carries_trace_and_stage_timings() {
+        let s = schema();
+        let mut p = pipeline();
+        for _ in 0..10 {
+            p.observe(&frame(&s, [100.0, 100.0, 100.0, 100.0])).unwrap();
+        }
+        let report = p
+            .observe(&frame(&s, [5.0, 5.0, 100.0, 100.0]))
+            .unwrap()
+            .expect("alarm should fire");
+        let trace = report.trace.as_ref().expect("rapminer attaches a trace");
+        assert!(trace.is_consistent(), "trace: {trace:?}");
+        // the trace's stats describe the very search that produced `raps`
+        let kept = trace.candidates.iter().filter(|c| c.kept).count();
+        assert_eq!(kept, report.raps.len());
+        let t = report.timings;
+        assert!(t.detect_seconds >= 0.0 && t.localize_seconds >= 0.0);
+        // cp + search happen inside the localizer call
+        assert!(t.localize_seconds >= t.cp_seconds + t.search_seconds);
+        assert_eq!(trace.cp_seconds, t.cp_seconds);
+        assert_eq!(trace.search_seconds, t.search_seconds);
     }
 
     #[test]

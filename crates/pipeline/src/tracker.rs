@@ -153,6 +153,8 @@ mod tests {
             anomalous_leaves: 1,
             total_leaves: 2,
             raps,
+            timings: crate::StageTimings::default(),
+            trace: None,
         }
     }
 

@@ -137,14 +137,19 @@ pub fn delete_redundant_attributes(
     index: &LeafIndex,
     t_cp: f64,
 ) -> DeletionOutcome {
+    let delete_span = obs::span("rapminer.delete");
     let mut kept: Vec<(AttrId, f64)> = Vec::new();
     let mut deleted: Vec<(AttrId, f64)> = Vec::new();
-    for attr in frame.schema().attr_ids() {
-        let cp = classification_power(frame, index, attr);
-        if cp > t_cp {
-            kept.push((attr, cp));
-        } else {
-            deleted.push((attr, cp));
+    {
+        let cp_span = obs::span("rapminer.cp");
+        cp_span.record("attrs", frame.schema().num_attributes());
+        for attr in frame.schema().attr_ids() {
+            let cp = classification_power(frame, index, attr);
+            if cp > t_cp {
+                kept.push((attr, cp));
+            } else {
+                deleted.push((attr, cp));
+            }
         }
     }
     if kept.is_empty() && !deleted.is_empty() {
@@ -158,6 +163,8 @@ pub fn delete_redundant_attributes(
         kept.push(deleted.remove(best));
     }
     kept.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("cp is finite"));
+    delete_span.record("kept", kept.len());
+    delete_span.record("deleted", deleted.len());
     DeletionOutcome { kept, deleted }
 }
 

@@ -60,13 +60,16 @@ mod config;
 mod cp;
 mod error;
 mod search;
+mod trace;
 
 pub use config::Config;
 pub use cp::{classification_power, delete_redundant_attributes, DeletionOutcome};
 pub use error::Error;
 pub use search::{rap_score, MinedRap, SearchStats};
+pub use trace::{AttrPower, CandidateTrace, LayerTrace, LocalizationTrace};
 
 use mdkpi::{LeafFrame, LeafIndex};
+use std::time::Instant;
 
 /// Convenient result alias used across this crate.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -169,22 +172,106 @@ impl RapMiner {
         frame: &LeafFrame,
         k: usize,
     ) -> Result<(Vec<MinedRap>, SearchStats)> {
+        self.localize_inner(frame, k, None)
+    }
+
+    /// Like [`RapMiner::localize`], also returning the full
+    /// [`LocalizationTrace`] — per-attribute classification powers and
+    /// deletion verdicts, per-BFS-layer cuboid/combination counts, the
+    /// confidence of every Criteria-2 candidate, stage timings, and the
+    /// aggregate [`SearchStats`]. This is the "explain" payload rapd
+    /// attaches to each incident.
+    ///
+    /// Tracing costs one extra CP pass only when redundant deletion is
+    /// disabled (to still report per-attribute powers); otherwise the trace
+    /// reuses work the plain path already does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnlabelledFrame`] when the frame carries no anomaly
+    /// labels.
+    pub fn localize_traced(
+        &self,
+        frame: &LeafFrame,
+        k: usize,
+    ) -> Result<(Vec<MinedRap>, LocalizationTrace)> {
+        let mut trace = LocalizationTrace::default();
+        let (raps, stats) = self.localize_inner(frame, k, Some(&mut trace))?;
+        trace.stats = stats;
+        Ok((raps, trace))
+    }
+
+    fn localize_inner(
+        &self,
+        frame: &LeafFrame,
+        k: usize,
+        mut trace: Option<&mut LocalizationTrace>,
+    ) -> Result<(Vec<MinedRap>, SearchStats)> {
         if frame.labels().is_none() {
             return Err(Error::UnlabelledFrame);
         }
         let index = LeafIndex::new(frame);
         let mut stats = SearchStats::default();
 
+        let cp_started = Instant::now();
         let attrs = if self.config.redundant_deletion() {
             let outcome = delete_redundant_attributes(frame, &index, self.config.t_cp());
             stats.attrs_deleted = outcome.deleted.len();
+            if let Some(t) = trace.as_deref_mut() {
+                t.attrs = attr_powers(frame, &outcome);
+            }
             outcome.kept.iter().map(|(a, _)| *a).collect()
         } else {
             // Keep every attribute, original schema order.
+            if let Some(t) = trace.as_deref_mut() {
+                t.attrs = frame
+                    .schema()
+                    .attr_ids()
+                    .map(|a| AttrPower {
+                        attribute: frame.schema().attribute(a).name().to_string(),
+                        cp: classification_power(frame, &index, a),
+                        deleted: false,
+                    })
+                    .collect();
+            }
             frame.schema().attr_ids().collect::<Vec<_>>()
         };
+        let cp_seconds = cp_started.elapsed().as_secs_f64();
 
-        let raps = search::top_down_search(frame, &index, &attrs, &self.config, k, &mut stats);
+        let search_started = Instant::now();
+        let raps = search::top_down_search(
+            frame,
+            &index,
+            &attrs,
+            &self.config,
+            k,
+            &mut stats,
+            trace.as_deref_mut(),
+        );
+        if let Some(t) = trace {
+            t.cp_seconds = cp_seconds;
+            t.search_seconds = search_started.elapsed().as_secs_f64();
+        }
         Ok((raps, stats))
     }
+}
+
+/// Flatten a [`DeletionOutcome`] into named per-attribute trace entries,
+/// kept (CP-descending) first, then deleted in schema order.
+fn attr_powers(frame: &LeafFrame, outcome: &DeletionOutcome) -> Vec<AttrPower> {
+    let name = |a: mdkpi::AttrId| frame.schema().attribute(a).name().to_string();
+    outcome
+        .kept
+        .iter()
+        .map(|&(a, cp)| AttrPower {
+            attribute: name(a),
+            cp,
+            deleted: false,
+        })
+        .chain(outcome.deleted.iter().map(|&(a, cp)| AttrPower {
+            attribute: name(a),
+            cp,
+            deleted: true,
+        }))
+        .collect()
 }

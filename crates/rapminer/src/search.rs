@@ -1,6 +1,7 @@
 use mdkpi::{aggregate_labels, Bitset, Combination, CuboidLattice, LeafFrame, LeafIndex};
 
 use crate::config::Config;
+use crate::trace::{CandidateTrace, LayerTrace, LocalizationTrace};
 
 /// One mined root anomaly pattern with its ranking metrics.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,7 +76,10 @@ pub(crate) fn top_down_search(
     config: &Config,
     k: usize,
     stats: &mut SearchStats,
+    mut trace: Option<&mut LocalizationTrace>,
 ) -> Vec<MinedRap> {
+    let search_span = obs::span("rapminer.search");
+    search_span.record("attrs", attrs.len());
     let anomalous = index
         .anomalous_rows()
         .expect("caller verified the frame is labelled");
@@ -86,8 +90,12 @@ pub(crate) fn top_down_search(
     let mut candidates: Vec<MinedRap> = Vec::new();
     let mut covered = Bitset::new(frame.num_rows());
 
-    'outer: for layer in 1..=lattice.num_layers() {
-        for &cuboid in lattice.layer(layer) {
+    for layer in 1..=lattice.num_layers() {
+        let layer_span = obs::span("rapminer.layer");
+        layer_span.record("layer", layer);
+        let at_entry = *stats;
+        let mut stop = false;
+        'cuboids: for &cuboid in lattice.layer(layer) {
             stats.cuboids_visited += 1;
             for (ac, support, anom_support) in aggregate_labels(frame, cuboid) {
                 // Criteria 3: descendants of an accepted RAP are pruned.
@@ -102,6 +110,26 @@ pub(crate) fn top_down_search(
                 // Criteria 2: the combination is anomalous.
                 if confidence > config.t_conf() {
                     covered.union_with(&index.rows_matching(&ac));
+                    if obs::enabled() {
+                        obs::debug(
+                            "rapminer.search",
+                            "candidate",
+                            &[
+                                ("combination", obs::Value::from(ac.to_string())),
+                                ("confidence", obs::Value::from(confidence)),
+                                ("layer", obs::Value::from(layer)),
+                            ],
+                        );
+                    }
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.candidates.push(CandidateTrace {
+                            combination: ac.to_string(),
+                            confidence,
+                            layer,
+                            score: rap_score(confidence, layer),
+                            kept: false, // resolved after the top-k cut
+                        });
+                    }
                     candidates.push(MinedRap {
                         score: rap_score(confidence, layer),
                         combination: ac,
@@ -112,10 +140,26 @@ pub(crate) fn top_down_search(
                     // Early stop: every anomalous leaf is explained.
                     if config.early_stop() && anomalous.is_subset_of(&covered) {
                         stats.early_stopped = true;
-                        break 'outer;
+                        stop = true;
+                        break 'cuboids;
                     }
                 }
             }
+        }
+        let in_layer = LayerTrace {
+            layer,
+            cuboids: stats.cuboids_visited - at_entry.cuboids_visited,
+            combos: stats.combos_visited - at_entry.combos_visited,
+            candidates: stats.candidates_found - at_entry.candidates_found,
+        };
+        layer_span.record("cuboids", in_layer.cuboids);
+        layer_span.record("combos", in_layer.combos);
+        layer_span.record("candidates", in_layer.candidates);
+        if let Some(t) = trace.as_deref_mut() {
+            t.layers.push(in_layer);
+        }
+        if stop {
+            break;
         }
     }
 
@@ -128,6 +172,17 @@ pub(crate) fn top_down_search(
             .then_with(|| a.combination.cmp(&b.combination))
     });
     candidates.truncate(k);
+    if let Some(t) = trace {
+        for c in &mut t.candidates {
+            c.kept = candidates
+                .iter()
+                .any(|r| r.layer == c.layer && r.combination.to_string() == c.combination);
+        }
+    }
+    search_span.record("cuboids", stats.cuboids_visited);
+    search_span.record("combos", stats.combos_visited);
+    search_span.record("candidates", stats.candidates_found);
+    search_span.record("early_stopped", stats.early_stopped);
     candidates
 }
 
@@ -362,6 +417,65 @@ mod tests {
     #[should_panic(expected = "layer")]
     fn rap_score_rejects_layer_zero() {
         rap_score(1.0, 0);
+    }
+
+    #[test]
+    fn traced_run_matches_stats_and_output() {
+        let frame = fig7_frame();
+        let miner = RapMiner::with_config(
+            Config::new()
+                .with_redundant_deletion(false)
+                .with_early_stop(false),
+        );
+        let (raps, trace) = miner.localize_traced(&frame, 5).unwrap();
+        let (plain, stats) = miner.localize_with_stats(&frame, 5).unwrap();
+        assert_eq!(raps, plain, "tracing must not change the answer");
+        assert_eq!(trace.stats, stats);
+        assert!(trace.is_consistent(), "trace: {trace:?}");
+        let kept = trace.candidates.iter().filter(|c| c.kept).count();
+        assert_eq!(kept, raps.len());
+        assert_eq!(trace.attrs.len(), 3, "all attrs get a CP entry");
+        assert!(trace.attrs.iter().all(|a| !a.deleted));
+        assert!(trace.cp_seconds >= 0.0 && trace.search_seconds >= 0.0);
+        // every accepted candidate carries its discovery confidence
+        for c in &trace.candidates {
+            assert!(c.confidence > miner.config().t_conf());
+            assert!((c.score - rap_score(c.confidence, c.layer)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn traced_run_reports_deleted_attributes() {
+        // anomaly is purely (a1, *, *): b and c are redundant.
+        let schema = Schema::builder()
+            .attribute("a", ["a1", "a2", "a3"])
+            .attribute("b", ["b1", "b2"])
+            .attribute("c", ["c1", "c2"])
+            .build()
+            .unwrap();
+        let mut builder = LeafFrame::builder(&schema);
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                for c in 0..2u32 {
+                    builder.push_labelled(
+                        &[ElementId(a), ElementId(b), ElementId(c)],
+                        1.0,
+                        1.0,
+                        a == 0,
+                    );
+                }
+            }
+        }
+        let frame = builder.build();
+        let (raps, trace) = RapMiner::new().localize_traced(&frame, 3).unwrap();
+        assert_eq!(raps[0].combination.to_string(), "(a1, *, *)");
+        assert_eq!(trace.deleted_attributes(), vec!["b", "c"]);
+        assert_eq!(trace.stats.attrs_deleted, 2);
+        assert!(trace.is_consistent(), "trace: {trace:?}");
+        assert!(!trace.layers.is_empty());
+        // kept attr leads and has the highest CP
+        assert_eq!(trace.attrs[0].attribute, "a");
+        assert!(trace.attrs[0].cp > trace.attrs[1].cp);
     }
 
     #[test]

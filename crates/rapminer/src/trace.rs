@@ -1,0 +1,148 @@
+//! The localization trace: the operator-readable evidence behind one
+//! [`crate::RapMiner::localize_traced`] run.
+//!
+//! A trace answers *why this RAP* — which dimensions even mattered
+//! (per-attribute classification power and Criteria-1 deletions), how the
+//! layer-by-layer search progressed (cuboids/combinations per BFS layer),
+//! and the confidence of every candidate Criteria 2 accepted, including
+//! the ones the top-`k` cut dropped. rapd serializes the trace into the
+//! incident spool and serves it over the control socket.
+
+use crate::search::SearchStats;
+
+/// Classification power of one attribute and Algorithm 1's verdict on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrPower {
+    /// Attribute name from the schema.
+    pub attribute: String,
+    /// The paper's Eq. 1 classification power in `[0, 1]`.
+    pub cp: f64,
+    /// Whether Criteria 1 (`CP ≤ t_CP`) removed the attribute.
+    pub deleted: bool,
+}
+
+/// Search effort spent in one BFS layer of the cuboid lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTrace {
+    /// The 1-based lattice layer.
+    pub layer: usize,
+    /// Cuboids enumerated in this layer.
+    pub cuboids: usize,
+    /// Attribute combinations evaluated against Criteria 2.
+    pub combos: usize,
+    /// RAP candidates accepted in this layer.
+    pub candidates: usize,
+}
+
+/// One combination that passed Criteria 2 (`confidence > t_conf`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateTrace {
+    /// The candidate combination, rendered like `"(a1, *, *)"`.
+    pub combination: String,
+    /// `Confidence(ac ⇒ Anomaly)` at discovery time.
+    pub confidence: f64,
+    /// The cuboid layer the candidate lives in (1-based).
+    pub layer: usize,
+    /// The Eq. 3 ranking score, `confidence / √layer`.
+    pub score: f64,
+    /// Whether the candidate survived the final top-`k` ranking cut.
+    pub kept: bool,
+}
+
+/// The full evidence trail of one localization run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalizationTrace {
+    /// Every attribute with its CP and deletion verdict, kept-first
+    /// (kept sorted by CP descending, then deleted in schema order).
+    pub attrs: Vec<AttrPower>,
+    /// Per-BFS-layer search effort, in visit order. Layers the early stop
+    /// skipped do not appear.
+    pub layers: Vec<LayerTrace>,
+    /// Every Criteria-2 candidate with its confidence, discovery order.
+    pub candidates: Vec<CandidateTrace>,
+    /// The aggregate diagnostics of the run.
+    pub stats: SearchStats,
+    /// Wall-clock seconds spent in CP computation + attribute deletion.
+    pub cp_seconds: f64,
+    /// Wall-clock seconds spent in the top-down search.
+    pub search_seconds: f64,
+}
+
+impl LocalizationTrace {
+    /// Names of the attributes Criteria 1 deleted, in `attrs` order.
+    pub fn deleted_attributes(&self) -> Vec<&str> {
+        self.attrs
+            .iter()
+            .filter(|a| a.deleted)
+            .map(|a| a.attribute.as_str())
+            .collect()
+    }
+
+    /// Sanity: per-layer counts must sum to the aggregate [`SearchStats`].
+    pub fn is_consistent(&self) -> bool {
+        let cuboids: usize = self.layers.iter().map(|l| l.cuboids).sum();
+        let combos: usize = self.layers.iter().map(|l| l.combos).sum();
+        let candidates: usize = self.layers.iter().map(|l| l.candidates).sum();
+        cuboids == self.stats.cuboids_visited
+            && combos == self.stats.combos_visited
+            && candidates == self.stats.candidates_found
+            && candidates == self.candidates.len()
+            && self.attrs.iter().filter(|a| a.deleted).count() == self.stats.attrs_deleted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deleted_attributes_filters_and_preserves_order() {
+        let trace = LocalizationTrace {
+            attrs: vec![
+                AttrPower {
+                    attribute: "a".into(),
+                    cp: 1.0,
+                    deleted: false,
+                },
+                AttrPower {
+                    attribute: "b".into(),
+                    cp: 0.0,
+                    deleted: true,
+                },
+                AttrPower {
+                    attribute: "c".into(),
+                    cp: 0.01,
+                    deleted: true,
+                },
+            ],
+            ..LocalizationTrace::default()
+        };
+        assert_eq!(trace.deleted_attributes(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn consistency_check_detects_mismatched_counts() {
+        let mut trace = LocalizationTrace {
+            layers: vec![LayerTrace {
+                layer: 1,
+                cuboids: 2,
+                combos: 5,
+                candidates: 1,
+            }],
+            candidates: vec![CandidateTrace {
+                combination: "(a1, *)".into(),
+                confidence: 1.0,
+                layer: 1,
+                score: 1.0,
+                kept: true,
+            }],
+            ..LocalizationTrace::default()
+        };
+        trace.stats.cuboids_visited = 2;
+        trace.stats.combos_visited = 5;
+        trace.stats.candidates_found = 1;
+        assert!(trace.is_consistent());
+        trace.stats.combos_visited = 4;
+        assert!(!trace.is_consistent());
+    }
+}

@@ -29,6 +29,10 @@ pub struct ServiceConfig {
     pub max_frame_bytes: usize,
     /// Moving-average window of the per-tenant forecaster.
     pub forecast_window: usize,
+    /// Emit structured JSON log lines (the `obs` event stream) on stderr.
+    /// When a process-wide event sink is already installed — e.g. by an
+    /// embedding test harness — the existing sink is left in place.
+    pub log_json: bool,
     /// Streaming-pipeline tunables applied to every tenant.
     pub pipeline: PipelineConfig,
 }
@@ -44,6 +48,7 @@ impl Default for ServiceConfig {
             ring_capacity: 256,
             max_frame_bytes: 1 << 20,
             forecast_window: 10,
+            log_json: false,
             pipeline: PipelineConfig::default(),
         }
     }

@@ -21,8 +21,16 @@ pub struct ShardMetrics {
 }
 
 /// A fixed-bucket latency histogram (seconds).
+///
+/// Storage is *non-cumulative*: each observation lands in exactly the
+/// first bucket whose bound contains it (one `fetch_add`), and the
+/// Prometheus-mandated cumulative counts are computed at render time.
+/// This keeps `observe` O(1) atomics instead of O(buckets) and removes the
+/// torn-read window where a concurrent scrape could see non-monotonic
+/// cumulative buckets.
 #[derive(Debug)]
 pub struct Histogram {
+    /// `buckets[i]` counts observations in `(bound[i-1], bound[i]]`.
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     /// Sum in microseconds so an atomic integer suffices.
@@ -42,21 +50,70 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Record one observation.
+    /// Record one observation. NaN, negative, and infinite values are the
+    /// caller measuring wrong — they are rejected outright rather than
+    /// silently clamped into the sum, so every count in the export is a
+    /// real measurement.
     pub fn observe(&self, seconds: f64) {
-        for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
-            if seconds <= *bound {
-                self.buckets[i].fetch_add(1, Ordering::Relaxed);
-            }
+        if !seconds.is_finite() || seconds < 0.0 {
+            return;
         }
+        if let Some(i) = LATENCY_BOUNDS.iter().position(|bound| seconds <= *bound) {
+            self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        // beyond the last bound: counted only by `count` (the +Inf bucket)
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_micros
-            .fetch_add((seconds * 1e6).max(0.0) as u64, Ordering::Relaxed);
+            .fetch_add((seconds * 1e6) as u64, Ordering::Relaxed);
     }
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Cumulative per-bound counts (`le="bound[i]"` values), computed from
+    /// the non-cumulative storage.
+    fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.buckets
+            .iter()
+            .map(|b| {
+                total += b.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+}
+
+/// Per-stage localization timing histograms, exported as one
+/// `rapd_stage_seconds` family with a `stage` label. Each stage observes
+/// exactly once per incident, so all three counts equal
+/// `rapd_alarms_total` — a scrape-time consistency invariant dashboards
+/// can assert on.
+#[derive(Debug, Default)]
+pub struct StageHistograms {
+    /// Algorithm 1: CP computation + redundant attribute deletion.
+    pub cp: Histogram,
+    /// Algorithm 2: top-down lattice search.
+    pub search: Histogram,
+    /// Per-leaf forecasting and anomaly labelling.
+    pub detect: Histogram,
+}
+
+impl StageHistograms {
+    /// `(stage-label, histogram)` pairs in export order.
+    pub fn named(&self) -> [(&'static str, &Histogram); 3] {
+        [
+            ("cp", &self.cp),
+            ("search", &self.search),
+            ("detect", &self.detect),
+        ]
     }
 }
 
@@ -73,6 +130,8 @@ pub struct Metrics {
     pub pipeline_errors: AtomicU64,
     /// Latency of observe calls that triggered localization.
     pub localization: Histogram,
+    /// Per-stage timings of each triggered localization.
+    pub stages: StageHistograms,
     shards: Vec<ShardMetrics>,
 }
 
@@ -85,6 +144,7 @@ impl Metrics {
             protocol_errors: AtomicU64::new(0),
             pipeline_errors: AtomicU64::new(0),
             localization: Histogram::default(),
+            stages: StageHistograms::default(),
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -179,58 +239,291 @@ impl Metrics {
             "# HELP rapd_localization_seconds Latency of observe calls that localized an incident.\n",
         );
         out.push_str("# TYPE rapd_localization_seconds histogram\n");
-        for (i, bound) in LATENCY_BOUNDS.iter().enumerate() {
-            out.push_str(&format!(
-                "rapd_localization_seconds_bucket{{le=\"{bound}\"}} {}\n",
-                self.localization.buckets[i].load(Ordering::Relaxed)
-            ));
+        render_histogram(
+            &mut out,
+            "rapd_localization_seconds",
+            &[],
+            &self.localization,
+        );
+
+        out.push_str(
+            "# HELP rapd_stage_seconds Per-stage timing of each triggered localization.\n",
+        );
+        out.push_str("# TYPE rapd_stage_seconds histogram\n");
+        for (stage, histogram) in self.stages.named() {
+            render_histogram(
+                &mut out,
+                "rapd_stage_seconds",
+                &[("stage", stage)],
+                histogram,
+            );
         }
-        let count = self.localization.count.load(Ordering::Relaxed);
-        out.push_str(&format!(
-            "rapd_localization_seconds_bucket{{le=\"+Inf\"}} {count}\n"
-        ));
-        out.push_str(&format!(
-            "rapd_localization_seconds_sum {}\n",
-            self.localization.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
-        ));
-        out.push_str(&format!("rapd_localization_seconds_count {count}\n"));
         out
     }
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline must be backslash-escaped.
+pub(crate) fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `{a="x",b="y",le="bound"}` with escaped values.
+fn label_set(labels: &[(&str, &str)], le: Option<&str>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render one histogram's `_bucket`/`_sum`/`_count` lines (cumulative
+/// buckets computed here, per the exposition format).
+fn render_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+    let cumulative = h.cumulative();
+    for (bound, cum) in LATENCY_BOUNDS.iter().zip(&cumulative) {
+        let bound = bound.to_string();
+        out.push_str(&format!(
+            "{name}_bucket{} {cum}\n",
+            label_set(labels, Some(&bound))
+        ));
+    }
+    let count = h.count();
+    out.push_str(&format!(
+        "{name}_bucket{} {count}\n",
+        label_set(labels, Some("+Inf"))
+    ));
+    out.push_str(&format!(
+        "{name}_sum{} {}\n",
+        label_set(labels, None),
+        h.sum_seconds()
+    ));
+    out.push_str(&format!(
+        "{name}_count{} {count}\n",
+        label_set(labels, None)
+    ));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
-    fn histogram_buckets_are_cumulative() {
+    fn observe_touches_exactly_one_bucket() {
         let h = Histogram::default();
-        h.observe(0.0001);
-        h.observe(0.01);
-        h.observe(10.0); // beyond the last bound: only +Inf
+        h.observe(0.0001); // -> bucket[0] (le 0.0005)
+        h.observe(0.01); // -> bucket[3] (le 0.01, boundary is inclusive)
+        h.observe(10.0); // beyond the last bound: only count/+Inf
         assert_eq!(h.count(), 3);
-        // le="0.0005" sees one, le="0.05" sees two, +Inf (count) sees three
-        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 1);
-        assert_eq!(h.buckets[4].load(Ordering::Relaxed), 2);
+        let raw: Vec<u64> = h
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        assert_eq!(raw.iter().sum::<u64>(), 2, "one fetch_add per observation");
+        assert_eq!(raw[0], 1);
+        assert_eq!(raw[3], 1);
+        // cumulative view is what the scraper sees
+        let cum = h.cumulative();
+        assert_eq!(cum[0], 1);
+        assert_eq!(cum[3], 2);
+        assert_eq!(*cum.last().unwrap(), 2, "+Inf adds the out-of-range one");
     }
 
     #[test]
-    fn prometheus_rendering_contains_every_family() {
+    fn non_finite_and_negative_observations_are_rejected() {
+        let h = Histogram::default();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(-1.0);
+        assert_eq!(h.count(), 0, "junk must not inflate the count");
+        assert_eq!(h.sum_seconds(), 0.0, "junk must not pollute the sum");
+        h.observe(0.25);
+        assert_eq!(h.count(), 1);
+        assert!((h.sum_seconds() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn buckets_stay_monotonic_under_concurrent_observe() {
+        let h = Arc::new(Histogram::default());
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..2000u32 {
+                        // spread across all buckets and past the last bound
+                        let v = (f64::from(i % 11)) * 0.6e-3 + f64::from(t) * 1e-5;
+                        h.observe(v);
+                    }
+                })
+            })
+            .collect();
+        // scrape concurrently with the writers
+        for _ in 0..200 {
+            let cum = h.cumulative();
+            for w in cum.windows(2) {
+                assert!(w[0] <= w[1], "non-monotonic cumulative buckets: {cum:?}");
+            }
+            assert!(
+                *cum.last().unwrap() <= h.count(),
+                "+Inf below the last finite bound"
+            );
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+        // every value is <= ~6ms, well under the last bound, so the final
+        // cumulative bucket must account for all of them
+        assert_eq!(*h.cumulative().last().unwrap(), 8000);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(
+            escape_label_value("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd",
+            "quote, backslash, and newline must be escaped"
+        );
+        let rendered = label_set(&[("tenant", "we\"ird\\\n")], Some("0.5"));
+        assert_eq!(rendered, "{tenant=\"we\\\"ird\\\\\\n\",le=\"0.5\"}");
+        assert!(!rendered.contains('\n'), "newlines would break the format");
+    }
+
+    /// A minimal Prometheus text-format 0.0.4 line validator: every
+    /// non-comment line must be `name[{label="value",...}] value` with a
+    /// parseable numeric value and properly quoted labels.
+    fn validate_exposition(text: &str) {
+        for line in text.lines() {
+            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment form: {line}");
+            let (series, value) = line.rsplit_once(' ').expect("line needs a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in: {line}");
+            let name = match series.split_once('{') {
+                None => series,
+                Some((name, rest)) => {
+                    let body = rest.strip_suffix('}').expect("unterminated label set");
+                    for pair in split_label_pairs(body) {
+                        let (k, v) = pair.split_once('=').expect("label needs =");
+                        assert!(
+                            k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                            "bad label name {k} in: {line}"
+                        );
+                        assert!(
+                            v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                            "unquoted label value {v} in: {line}"
+                        );
+                    }
+                    name
+                }
+            };
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in: {line}"
+            );
+        }
+    }
+
+    /// Split `a="x",b="y"` on commas outside quotes (escaped quotes count
+    /// as inside).
+    fn split_label_pairs(body: &str) -> Vec<String> {
+        let mut pairs = Vec::new();
+        let mut cur = String::new();
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for c in body.chars() {
+            if escaped {
+                cur.push(c);
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_quotes => {
+                    cur.push(c);
+                    escaped = true;
+                }
+                '"' => {
+                    cur.push(c);
+                    in_quotes = !in_quotes;
+                }
+                ',' if !in_quotes => pairs.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            pairs.push(cur);
+        }
+        pairs
+    }
+
+    #[test]
+    fn every_family_round_trips_through_the_line_validator() {
         let m = Metrics::new(2);
         m.frames_ingested.fetch_add(5, Ordering::Relaxed);
         m.shard(1).dropped.fetch_add(3, Ordering::Relaxed);
         m.localization.observe(0.002);
+        m.stages.cp.observe(0.0001);
+        m.stages.search.observe(0.003);
+        m.stages.detect.observe(0.7);
         let text = m.render_prometheus();
+        validate_exposition(&text);
         assert!(text.contains("rapd_frames_ingested_total 5"));
         assert!(text.contains("rapd_frames_dropped_total{shard=\"1\"} 3"));
         assert!(text.contains("rapd_frames_dropped_total{shard=\"0\"} 0"));
         assert!(text.contains("rapd_queue_depth{shard=\"0\"} 0"));
         assert!(text.contains("rapd_localization_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("rapd_localization_seconds_count 1"));
-        // every non-comment line is "name{labels} value"
-        for line in text.lines().filter(|l| !l.starts_with('#')) {
-            assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        // stage family: one histogram per stage label, counts independent
+        assert!(text.contains("rapd_stage_seconds_bucket{stage=\"cp\",le=\"0.0005\"} 1"));
+        assert!(text.contains("rapd_stage_seconds_count{stage=\"search\"} 1"));
+        assert!(text.contains("rapd_stage_seconds_bucket{stage=\"detect\",le=\"0.5\"} 0"));
+        assert!(text.contains("rapd_stage_seconds_bucket{stage=\"detect\",le=\"1\"} 1"));
+        // each TYPE comment appears exactly once per family
+        assert_eq!(
+            text.matches("# TYPE rapd_stage_seconds histogram").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn rendered_cumulative_buckets_are_monotonic() {
+        let m = Metrics::new(1);
+        for v in [0.0001, 0.0008, 0.02, 0.2, 3.0, 100.0] {
+            m.localization.observe(v);
         }
+        let text = m.render_prometheus();
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("rapd_localization_seconds_bucket"))
+        {
+            let v: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(v >= last, "bucket decreased: {line}");
+            last = v;
+        }
+        assert_eq!(last, 6, "+Inf bucket must equal the count");
     }
 
     #[test]

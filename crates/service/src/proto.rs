@@ -8,6 +8,7 @@
 //! {"type":"flush"}
 //! {"type":"stats"}
 //! {"type":"incidents","limit":10}
+//! {"type":"trace","limit":50}
 //! ```
 //!
 //! Every request gets exactly one reply line: `{"type":"ok",...}`, a typed
@@ -46,6 +47,11 @@ pub enum Request {
     /// The most recent incidents from the in-memory ring.
     Incidents {
         /// Maximum number of incidents to return (newest first).
+        limit: usize,
+    },
+    /// The most recently completed tracing spans from the in-process ring.
+    Trace {
+        /// Maximum number of spans to return (newest first).
         limit: usize,
     },
 }
@@ -203,6 +209,17 @@ pub fn parse_request(line: &str, max_bytes: usize) -> Result<Request, ProtoError
                 })? as usize,
             };
             Ok(Request::Incidents { limit })
+        }
+        "trace" => {
+            let limit = match doc.get("limit") {
+                None => 50,
+                Some(v) => v.as_u64().ok_or(ProtoError::BadField {
+                    msg: "trace",
+                    field: "limit",
+                    expected: "a non-negative integer",
+                })? as usize,
+            };
+            Ok(Request::Trace { limit })
         }
         other => Err(ProtoError::UnknownType(other.to_string())),
     }
@@ -391,6 +408,14 @@ mod tests {
             parse_request(r#"{"type":"incidents"}"#, MAX).unwrap(),
             Request::Incidents { limit: 20 }
         );
+        assert_eq!(
+            parse_request(r#"{"type":"trace","limit":7}"#, MAX).unwrap(),
+            Request::Trace { limit: 7 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"trace"}"#, MAX).unwrap(),
+            Request::Trace { limit: 50 }
+        );
     }
 
     #[test]
@@ -413,6 +438,8 @@ mod tests {
             r#"{"type":"schema","tenant":"t","attributes":[["a","b"]]}"#,
             r#"{"type":"incidents","limit":-3}"#,
             r#"{"type":"incidents","limit":1.5}"#,
+            r#"{"type":"trace","limit":-1}"#,
+            r#"{"type":"trace","limit":"all"}"#,
         ] {
             let err = parse_request(line, MAX).expect_err(line);
             // every error renders a reply line that is itself valid JSON

@@ -152,6 +152,11 @@ impl Drop for ServerHandle {
 /// [`StartError::Io`] when a listener or the spool cannot be created.
 pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerHandle, StartError> {
     config.validate().map_err(StartError::Config)?;
+    if config.log_json && !obs::sink_installed() {
+        // an embedding harness may have installed its own sink first; never
+        // replace it
+        obs::install_sink(Box::new(io::stderr()));
+    }
     let metrics = Arc::new(Metrics::new(config.shards));
     let sink = Arc::new(IncidentSink::new(
         config.spool_dir.as_deref(),
@@ -330,6 +335,11 @@ fn respond(writer: &mut TcpStream, raw: &[u8], shared: &Shared) -> io::Result<()
                 .metrics
                 .protocol_errors
                 .fetch_add(1, Ordering::Relaxed);
+            obs::warn(
+                "rapd.server",
+                "protocol_error",
+                &[("reason", obs::Value::Str(e.to_string()))],
+            );
             e.to_reply()
         }
     };
@@ -388,7 +398,54 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
             ])
             .render())
         }
+        Request::Trace { limit } => {
+            let spans = obs::recent_spans(limit).iter().map(span_to_json).collect();
+            Ok(Json::Obj(vec![
+                ("type".to_string(), Json::str("trace")),
+                ("spans".to_string(), Json::Arr(spans)),
+            ])
+            .render())
+        }
     }
+}
+
+/// One completed span in the `trace` reply.
+fn span_to_json(span: &obs::SpanRecord) -> Json {
+    let fields = span
+        .fields
+        .iter()
+        .map(|(k, v)| {
+            let value = match v {
+                obs::Value::Bool(b) => Json::Bool(*b),
+                obs::Value::U64(n) => Json::Num(*n as f64),
+                obs::Value::F64(x) if x.is_finite() => Json::Num(*x),
+                obs::Value::F64(_) => Json::Null,
+                obs::Value::Str(s) => Json::str(s.as_str()),
+            };
+            ((*k).to_string(), value)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("id".to_string(), Json::Num(span.id as f64)),
+        (
+            "parent".to_string(),
+            match span.parent {
+                None => Json::Null,
+                Some(p) => Json::Num(p as f64),
+            },
+        ),
+        ("trace".to_string(), Json::Num(span.trace as f64)),
+        ("name".to_string(), Json::str(span.name)),
+        (
+            "start_micros".to_string(),
+            Json::Num(span.start_micros as f64),
+        ),
+        (
+            "elapsed_micros".to_string(),
+            Json::Num(span.elapsed_micros as f64),
+        ),
+        ("fields".to_string(), Json::Obj(fields)),
+    ])
 }
 
 fn ok_reply(mut extra: Vec<(String, Json)>) -> String {

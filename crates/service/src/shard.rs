@@ -261,11 +261,30 @@ fn worker_loop(
                     )
                     .expect("service config validated at boot")
                 });
+                let frame_span = obs::span("rapd.frame");
+                frame_span.record("shard", shard as u64);
+                frame_span.record("tenant", tenant.as_ref());
                 let start = Instant::now();
                 match pipe.observe(&frame) {
                     Ok(Some(report)) => {
                         metrics.localization.observe(start.elapsed().as_secs_f64());
                         metrics.alarms.fetch_add(1, Ordering::Relaxed);
+                        // one observation per stage per incident, so every
+                        // stage count in /metrics equals rapd_alarms_total
+                        metrics.stages.cp.observe(report.timings.cp_seconds);
+                        metrics.stages.search.observe(report.timings.search_seconds);
+                        metrics.stages.detect.observe(report.timings.detect_seconds);
+                        frame_span.record("alarm", true);
+                        obs::info(
+                            "rapd.shard",
+                            "incident",
+                            &[
+                                ("tenant", obs::Value::Str(tenant.to_string())),
+                                ("step", obs::Value::U64(report.step as u64)),
+                                ("raps", obs::Value::U64(report.raps.len() as u64)),
+                                ("total_deviation", obs::Value::F64(report.total_deviation)),
+                            ],
+                        );
                         if sink
                             .record(IncidentRecord::from_report(&tenant, &report))
                             .is_err()
@@ -274,8 +293,16 @@ fn worker_loop(
                         }
                     }
                     Ok(None) => {}
-                    Err(_) => {
+                    Err(e) => {
                         metrics.pipeline_errors.fetch_add(1, Ordering::Relaxed);
+                        obs::error(
+                            "rapd.shard",
+                            "pipeline_error",
+                            &[
+                                ("tenant", obs::Value::Str(tenant.to_string())),
+                                ("reason", obs::Value::Str(e.to_string())),
+                            ],
+                        );
                     }
                 }
                 shard_metrics.processed.fetch_add(1, Ordering::Relaxed);
@@ -383,6 +410,14 @@ mod tests {
         assert_eq!(incidents[0].tenant, "edge");
         assert_eq!(incidents[0].raps[0].0, "(a1)");
         assert_eq!(metrics.localization.count(), 1);
+        // each stage observes exactly once per incident, so the stage
+        // counts track the alarm counter
+        assert_eq!(metrics.stages.cp.count(), 1);
+        assert_eq!(metrics.stages.search.count(), 1);
+        assert_eq!(metrics.stages.detect.count(), 1);
+        // the RAPMiner localizer attaches a consistent localization trace
+        let trace = incidents[0].trace.as_ref().expect("trace attached");
+        assert!(trace.is_consistent());
         pool.shutdown();
     }
 

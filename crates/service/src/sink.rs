@@ -12,7 +12,8 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use pipeline::IncidentReport;
+use pipeline::{IncidentReport, StageTimings};
+use rapminer::LocalizationTrace;
 
 use crate::json::Json;
 
@@ -32,6 +33,11 @@ pub struct IncidentRecord {
     pub total_leaves: usize,
     /// Ranked root anomaly patterns as `(pattern, score)`, best first.
     pub raps: Vec<(String, f64)>,
+    /// Wall-clock seconds spent in each pipeline stage.
+    pub timings: StageTimings,
+    /// The full localization trace (per-attribute CP, per-layer search
+    /// counts, candidate confidences), when the localizer produced one.
+    pub trace: Option<LocalizationTrace>,
 }
 
 impl IncidentRecord {
@@ -48,6 +54,8 @@ impl IncidentRecord {
                 .iter()
                 .map(|r| (r.combination.to_string(), r.score))
                 .collect(),
+            timings: report.timings,
+            trace: report.trace.clone(),
         }
     }
 
@@ -79,8 +87,102 @@ impl IncidentRecord {
                         .collect(),
                 ),
             ),
+            ("timings".to_string(), timings_to_json(&self.timings)),
+            (
+                "trace".to_string(),
+                match &self.trace {
+                    None => Json::Null,
+                    Some(trace) => trace_to_json(trace),
+                },
+            ),
         ])
     }
+}
+
+fn timings_to_json(t: &StageTimings) -> Json {
+    Json::Obj(vec![
+        ("detect_seconds".to_string(), Json::Num(t.detect_seconds)),
+        ("cp_seconds".to_string(), Json::Num(t.cp_seconds)),
+        ("search_seconds".to_string(), Json::Num(t.search_seconds)),
+        (
+            "localize_seconds".to_string(),
+            Json::Num(t.localize_seconds),
+        ),
+    ])
+}
+
+/// Serialize a [`LocalizationTrace`] to the interchange form shared by the
+/// spool and the control socket.
+fn trace_to_json(trace: &LocalizationTrace) -> Json {
+    let attrs = trace
+        .attrs
+        .iter()
+        .map(|a| {
+            Json::Obj(vec![
+                ("attribute".to_string(), Json::str(&a.attribute)),
+                ("cp".to_string(), Json::Num(a.cp)),
+                ("deleted".to_string(), Json::Bool(a.deleted)),
+            ])
+        })
+        .collect();
+    let layers = trace
+        .layers
+        .iter()
+        .map(|l| {
+            Json::Obj(vec![
+                ("layer".to_string(), Json::Num(l.layer as f64)),
+                ("cuboids".to_string(), Json::Num(l.cuboids as f64)),
+                ("combos".to_string(), Json::Num(l.combos as f64)),
+                ("candidates".to_string(), Json::Num(l.candidates as f64)),
+            ])
+        })
+        .collect();
+    let candidates = trace
+        .candidates
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("combination".to_string(), Json::str(&c.combination)),
+                ("confidence".to_string(), Json::Num(c.confidence)),
+                ("layer".to_string(), Json::Num(c.layer as f64)),
+                ("score".to_string(), Json::Num(c.score)),
+                ("kept".to_string(), Json::Bool(c.kept)),
+            ])
+        })
+        .collect();
+    let stats = Json::Obj(vec![
+        (
+            "attrs_deleted".to_string(),
+            Json::Num(trace.stats.attrs_deleted as f64),
+        ),
+        (
+            "cuboids_visited".to_string(),
+            Json::Num(trace.stats.cuboids_visited as f64),
+        ),
+        (
+            "combos_visited".to_string(),
+            Json::Num(trace.stats.combos_visited as f64),
+        ),
+        (
+            "candidates_found".to_string(),
+            Json::Num(trace.stats.candidates_found as f64),
+        ),
+        (
+            "early_stopped".to_string(),
+            Json::Bool(trace.stats.early_stopped),
+        ),
+    ]);
+    Json::Obj(vec![
+        ("attrs".to_string(), Json::Arr(attrs)),
+        ("layers".to_string(), Json::Arr(layers)),
+        ("candidates".to_string(), Json::Arr(candidates)),
+        ("stats".to_string(), stats),
+        ("cp_seconds".to_string(), Json::Num(trace.cp_seconds)),
+        (
+            "search_seconds".to_string(),
+            Json::Num(trace.search_seconds),
+        ),
+    ])
 }
 
 /// Where incidents go: JSONL spool file (optional) + bounded ring.
@@ -177,6 +279,13 @@ mod tests {
             anomalous_leaves: 2,
             total_leaves: 8,
             raps: vec![("(L1, *)".to_string(), 0.93)],
+            timings: StageTimings {
+                detect_seconds: 0.001,
+                cp_seconds: 0.002,
+                search_seconds: 0.003,
+                localize_seconds: 0.006,
+            },
+            trace: None,
         }
     }
 
@@ -217,5 +326,70 @@ mod tests {
         let doc = rec.to_json();
         assert_eq!(doc.get("total_deviation").unwrap().as_f64(), Some(-0.4));
         assert_eq!(doc.get("total_leaves").unwrap().as_u64(), Some(8));
+        let timings = doc.get("timings").unwrap();
+        assert_eq!(timings.get("cp_seconds").unwrap().as_f64(), Some(0.002));
+        assert_eq!(doc.get("trace"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn localization_trace_serializes_fully() {
+        use rapminer::{AttrPower, CandidateTrace, LayerTrace, SearchStats};
+        let mut rec = record("t", 1);
+        rec.trace = Some(LocalizationTrace {
+            attrs: vec![
+                AttrPower {
+                    attribute: "isp".to_string(),
+                    cp: 0.9,
+                    deleted: false,
+                },
+                AttrPower {
+                    attribute: "province".to_string(),
+                    cp: 0.1,
+                    deleted: true,
+                },
+            ],
+            layers: vec![LayerTrace {
+                layer: 1,
+                cuboids: 1,
+                combos: 2,
+                candidates: 1,
+            }],
+            candidates: vec![CandidateTrace {
+                combination: "(I1)".to_string(),
+                confidence: 0.95,
+                layer: 1,
+                score: 0.95,
+                kept: true,
+            }],
+            stats: SearchStats {
+                attrs_deleted: 1,
+                cuboids_visited: 1,
+                combos_visited: 2,
+                candidates_found: 1,
+                early_stopped: true,
+            },
+            cp_seconds: 0.004,
+            search_seconds: 0.005,
+        });
+        // the spool line (and hence the control-socket reply) must carry
+        // the whole trace and survive a parse round-trip
+        let line = rec.to_json().render();
+        let doc = crate::json::parse(&line).unwrap();
+        let trace = doc.get("trace").unwrap();
+        let attrs = trace.get("attrs").unwrap().as_arr().unwrap();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[1].get("deleted").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            attrs[1].get("attribute").unwrap().as_str(),
+            Some("province")
+        );
+        let layers = trace.get("layers").unwrap().as_arr().unwrap();
+        assert_eq!(layers[0].get("combos").unwrap().as_u64(), Some(2));
+        let stats = trace.get("stats").unwrap();
+        assert_eq!(stats.get("early_stopped").unwrap().as_bool(), Some(true));
+        assert_eq!(stats.get("attrs_deleted").unwrap().as_u64(), Some(1));
+        let cands = trace.get("candidates").unwrap().as_arr().unwrap();
+        assert_eq!(cands[0].get("combination").unwrap().as_str(), Some("(I1)"));
+        assert_eq!(cands[0].get("kept").unwrap().as_bool(), Some(true));
     }
 }

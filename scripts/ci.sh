@@ -6,6 +6,11 @@
 #   2. cargo clippy -D warnings -- lint-clean across the whole workspace
 #   3. cargo build --release    -- the release artifacts must build
 #   4. cargo test -q            -- full test suite (unit + property + e2e)
+#   5. cargo bench --no-run     -- Criterion benches must compile
+#   6. obs_overhead             -- tracing overhead smoke test: spans
+#                                  enabled vs disabled must stay within a
+#                                  5% budget on the localizers bench
+#                                  fixture
 #
 # The workspace is fully offline (external deps resolve to crates/shims/),
 # so --offline is passed everywhere; no network access is required.
@@ -21,5 +26,7 @@ run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --release --offline
 run cargo test --workspace -q --offline
+run cargo bench --workspace --offline --no-run
+run cargo run --release --offline -p rapminer-bench --bin obs_overhead -- 5.0
 
 echo "==> tier-1 gate passed"
