@@ -71,6 +71,27 @@ pub trait Localizer: Send + Sync {
             trace: None,
         })
     }
+
+    /// Like [`Localizer::localize_explained`] with a cooperative
+    /// cancellation hook, polled at method-defined preemption points.
+    /// Callers (rapd's deadline-bounded pipelines) use it to bound a
+    /// pathological localization; a cancelled run returns a partial but
+    /// well-formed answer. The default ignores `cancel` — methods without
+    /// internal preemption points simply run to completion; RAPMiner
+    /// overrides it to poll between BFS layers.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Localizer::localize`].
+    fn localize_explained_with_cancel(
+        &self,
+        frame: &LeafFrame,
+        k: usize,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<Explained> {
+        let _ = cancel;
+        self.localize_explained(frame, k)
+    }
 }
 
 impl<L: Localizer + ?Sized> Localizer for Box<L> {
@@ -84,6 +105,15 @@ impl<L: Localizer + ?Sized> Localizer for Box<L> {
     // implementation's trace behind `Box<dyn Localizer>`.
     fn localize_explained(&self, frame: &LeafFrame, k: usize) -> Result<Explained> {
         (**self).localize_explained(frame, k)
+    }
+    // Same: the default body would bypass the inner cancellation support.
+    fn localize_explained_with_cancel(
+        &self,
+        frame: &LeafFrame,
+        k: usize,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<Explained> {
+        (**self).localize_explained_with_cancel(frame, k, cancel)
     }
 }
 

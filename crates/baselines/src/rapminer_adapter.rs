@@ -67,6 +67,27 @@ impl Localizer for RapMinerLocalizer {
             trace: Some(trace),
         })
     }
+
+    fn localize_explained_with_cancel(
+        &self,
+        frame: &LeafFrame,
+        k: usize,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<Explained> {
+        let (raps, trace) = self
+            .miner
+            .localize_traced_with_cancel(frame, k, Some(cancel))?;
+        Ok(Explained {
+            results: raps
+                .into_iter()
+                .map(|r| ScoredCombination {
+                    combination: r.combination,
+                    score: r.score,
+                })
+                .collect(),
+            trace: Some(trace),
+        })
+    }
 }
 
 #[cfg(test)]

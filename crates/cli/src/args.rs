@@ -97,6 +97,14 @@ pub enum Command {
         window: usize,
         /// Emit structured JSON log lines on stderr.
         log_json: bool,
+        /// Localization deadline in milliseconds; `0` means unbounded.
+        localize_deadline_ms: u64,
+        /// Consecutive pipeline failures that open a tenant's circuit
+        /// breaker; `0` disables the breaker.
+        breaker_threshold: u32,
+        /// How long an open breaker sheds frames before probing, in
+        /// milliseconds.
+        breaker_cooldown_ms: u64,
     },
     /// `methods`: list available localizers.
     Methods,
@@ -133,7 +141,8 @@ USAGE:
                     [--shards N] [--queue N] [--spool DIR] [--ring N]
                     [--history N] [--warmup N] [--alarm-threshold X]
                     [--leaf-threshold X] [--k N] [--window N]
-                    [--log-json true]
+                    [--log-json true] [--localize-deadline-ms N]
+                    [--breaker-threshold N] [--breaker-cooldown-ms N]
   rapminer methods
   rapminer help
 ";
@@ -209,6 +218,9 @@ impl Args {
                 k: parse_num(&flags, "k", 3)?,
                 window: parse_num(&flags, "window", 10)?,
                 log_json: parse_bool(&flags, "log-json")?,
+                localize_deadline_ms: parse_num(&flags, "localize-deadline-ms", 0)?,
+                breaker_threshold: parse_num(&flags, "breaker-threshold", 5)?,
+                breaker_cooldown_ms: parse_num(&flags, "breaker-cooldown-ms", 10_000)?,
             },
             "methods" => Command::Methods,
             "help" | "--help" | "-h" => Command::Help,
@@ -374,6 +386,47 @@ mod tests {
         // booleans still default off
         match Args::parse(["serve"]).unwrap().command {
             Command::Serve { log_json, .. } => assert!(!log_json),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_fault_tolerance_flags() {
+        let args = Args::parse([
+            "serve",
+            "--localize-deadline-ms",
+            "250",
+            "--breaker-threshold",
+            "3",
+            "--breaker-cooldown-ms",
+            "5000",
+        ])
+        .unwrap();
+        match args.command {
+            Command::Serve {
+                localize_deadline_ms,
+                breaker_threshold,
+                breaker_cooldown_ms,
+                ..
+            } => {
+                assert_eq!(localize_deadline_ms, 250);
+                assert_eq!(breaker_threshold, 3);
+                assert_eq!(breaker_cooldown_ms, 5000);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // defaults: unbounded localization, breaker 5 failures / 10 s
+        match Args::parse(["serve"]).unwrap().command {
+            Command::Serve {
+                localize_deadline_ms,
+                breaker_threshold,
+                breaker_cooldown_ms,
+                ..
+            } => {
+                assert_eq!(localize_deadline_ms, 0);
+                assert_eq!(breaker_threshold, 5);
+                assert_eq!(breaker_cooldown_ms, 10_000);
+            }
             other => panic!("wrong command {other:?}"),
         }
     }

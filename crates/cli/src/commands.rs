@@ -135,6 +135,9 @@ pub(crate) fn serve_start(
         k,
         window,
         log_json,
+        localize_deadline_ms,
+        breaker_threshold,
+        breaker_cooldown_ms,
     } = command
     else {
         return Err(CliError::new("serve_start requires the serve command"));
@@ -148,12 +151,19 @@ pub(crate) fn serve_start(
         ring_capacity: *ring,
         forecast_window: *window,
         log_json: *log_json,
+        breaker_threshold: *breaker_threshold,
+        breaker_cooldown: std::time::Duration::from_millis(*breaker_cooldown_ms),
         pipeline: pipeline::PipelineConfig {
             history_len: *history,
             warmup: *warmup,
             alarm_threshold: *alarm_threshold,
             leaf_threshold: *leaf_threshold,
             k: *k,
+            // 0 on the command line means "no deadline"
+            localize_deadline: match *localize_deadline_ms {
+                0 => None,
+                ms => Some(std::time::Duration::from_millis(ms)),
+            },
         },
         ..service::ServiceConfig::default()
     };
@@ -210,6 +220,7 @@ fn simulate(
             alarm_threshold: 0.08,
             leaf_threshold: 0.3,
             k: 3,
+            ..PipelineConfig::default()
         },
         MovingAverage::new(10),
         RapMinerLocalizer::default(),

@@ -1,0 +1,319 @@
+//! A tiny zero-dependency failpoint harness (the `fail_point!` pattern).
+//!
+//! Fault-injection sites are named call points compiled into the binary;
+//! tests (or an operator via the `RAPD_FAILPOINTS` environment variable)
+//! *arm* a site with an [`Action`] — panic, injected error, or sleep —
+//! and the site performs it when evaluated. With the `fail` cargo feature
+//! disabled (the default) every function here is an inlineable no-op and
+//! the registry does not exist, so production builds pay nothing.
+//!
+//! Sites are evaluated with [`apply`] (panic/sleep in place),
+//! [`should_error`] (the caller maps `true` to its own error type), or
+//! [`eval`] for full control. A site may be armed for a limited number of
+//! activations ([`cfg_times`]) or restricted to a matching tag
+//! ([`cfg_tagged`]) — rapd uses tags to fault only one tenant's frames.
+//!
+//! `RAPD_FAILPOINTS` is read once, on first registry access, with the
+//! grammar `name=action[;name=action...]` where `action` is `panic`,
+//! `error`, `sleep(MILLIS)`, or `COUNT*action` for a limited arm, e.g.
+//! `RAPD_FAILPOINTS="pipeline-panic=2*panic;slow-localize=sleep(50)"`.
+
+/// What an armed failpoint does when its site is evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Panic at the site (exercises `catch_unwind` supervision paths).
+    Panic,
+    /// Report an injected error; the site maps it to its own error type.
+    Error,
+    /// Sleep for this many milliseconds before continuing.
+    Sleep(u64),
+}
+
+#[cfg(feature = "fail")]
+mod imp {
+    use super::Action;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    #[derive(Debug, Clone)]
+    struct FailPoint {
+        action: Action,
+        /// Remaining activations; `None` means unlimited.
+        remaining: Option<u32>,
+        /// Only fire when the site's tag matches; `None` matches any tag.
+        tag: Option<String>,
+    }
+
+    fn registry() -> MutexGuard<'static, HashMap<String, FailPoint>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, FailPoint>>> = OnceLock::new();
+        REGISTRY
+            .get_or_init(|| {
+                let mut map = HashMap::new();
+                if let Ok(spec) = std::env::var("RAPD_FAILPOINTS") {
+                    seed_from_spec(&mut map, &spec);
+                }
+                Mutex::new(map)
+            })
+            .lock()
+            // a panicking failpoint may poison the registry by design;
+            // the data is still consistent (plain inserts/removes)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn seed_from_spec(map: &mut HashMap<String, FailPoint>, spec: &str) {
+        for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+            let Some((name, action)) = entry.split_once('=') else {
+                continue;
+            };
+            if let Some((action, remaining)) = parse_action(action.trim()) {
+                map.insert(
+                    name.trim().to_string(),
+                    FailPoint {
+                        action,
+                        remaining,
+                        tag: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Parse `panic`, `error`, `sleep(MILLIS)`, or `COUNT*action`.
+    fn parse_action(s: &str) -> Option<(Action, Option<u32>)> {
+        if let Some((count, rest)) = s.split_once('*') {
+            let count: u32 = count.trim().parse().ok()?;
+            let (action, _) = parse_action(rest.trim())?;
+            return Some((action, Some(count)));
+        }
+        match s {
+            "panic" => Some((Action::Panic, None)),
+            "error" => Some((Action::Error, None)),
+            _ => {
+                let millis = s.strip_prefix("sleep(")?.strip_suffix(')')?;
+                Some((Action::Sleep(millis.trim().parse().ok()?), None))
+            }
+        }
+    }
+
+    /// Arm `name` with `action` for every future evaluation.
+    pub fn cfg(name: &str, action: Action) {
+        registry().insert(
+            name.to_string(),
+            FailPoint {
+                action,
+                remaining: None,
+                tag: None,
+            },
+        );
+    }
+
+    /// Arm `name` for at most `times` activations, then it disarms itself.
+    pub fn cfg_times(name: &str, action: Action, times: u32) {
+        registry().insert(
+            name.to_string(),
+            FailPoint {
+                action,
+                remaining: Some(times),
+                tag: None,
+            },
+        );
+    }
+
+    /// Arm `name` to fire only when the site passes a matching tag
+    /// (see [`apply_tagged`] / [`eval_tagged`]).
+    pub fn cfg_tagged(name: &str, action: Action, tag: &str) {
+        registry().insert(
+            name.to_string(),
+            FailPoint {
+                action,
+                remaining: None,
+                tag: Some(tag.to_string()),
+            },
+        );
+    }
+
+    /// Disarm one failpoint.
+    pub fn remove(name: &str) {
+        registry().remove(name);
+    }
+
+    /// Disarm every failpoint (tests call this between scenarios).
+    pub fn reset() {
+        registry().clear();
+    }
+
+    /// Evaluate an untagged site: the armed [`Action`], or `None` when the
+    /// site is disarmed (or its activation budget is spent). Each `Some`
+    /// return consumes one activation of a [`cfg_times`] arm.
+    pub fn eval(name: &str) -> Option<Action> {
+        eval_tagged(name, None)
+    }
+
+    /// Evaluate a site carrying a tag (e.g. the tenant being processed).
+    /// A point armed with [`cfg_tagged`] fires only on a matching tag.
+    pub fn eval_tagged(name: &str, tag: Option<&str>) -> Option<Action> {
+        let mut map = registry();
+        let point = map.get_mut(name)?;
+        if let Some(want) = &point.tag {
+            if tag != Some(want.as_str()) {
+                return None;
+            }
+        }
+        match &mut point.remaining {
+            None => Some(point.action.clone()),
+            Some(0) => None,
+            Some(n) => {
+                *n -= 1;
+                Some(point.action.clone())
+            }
+        }
+    }
+
+    /// Evaluate and act in place: [`Action::Panic`] panics,
+    /// [`Action::Sleep`] sleeps; [`Action::Error`] is a no-op here (use
+    /// [`should_error`] at sites that can surface an error).
+    pub fn apply(name: &str) {
+        act(name, eval(name));
+    }
+
+    /// Tagged variant of [`apply`].
+    pub fn apply_tagged(name: &str, tag: &str) {
+        act(name, eval_tagged(name, Some(tag)));
+    }
+
+    fn act(name: &str, action: Option<Action>) {
+        match action {
+            Some(Action::Panic) => panic!("failpoint '{name}' triggered"),
+            Some(Action::Sleep(millis)) => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+            }
+            Some(Action::Error) | None => {}
+        }
+    }
+
+    /// Whether the site is armed with [`Action::Error`] right now.
+    pub fn should_error(name: &str) -> bool {
+        matches!(eval(name), Some(Action::Error))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        // the registry is process-global; tests share it, so each test
+        // uses its own site names and never calls reset()
+
+        #[test]
+        fn disarmed_sites_do_nothing() {
+            assert_eq!(eval("fail-test-unarmed"), None);
+            apply("fail-test-unarmed"); // must not panic
+            assert!(!should_error("fail-test-unarmed"));
+        }
+
+        #[test]
+        fn armed_site_fires_until_removed() {
+            cfg("fail-test-err", Action::Error);
+            assert!(should_error("fail-test-err"));
+            assert!(should_error("fail-test-err"));
+            remove("fail-test-err");
+            assert!(!should_error("fail-test-err"));
+        }
+
+        #[test]
+        fn times_budget_is_consumed() {
+            cfg_times("fail-test-twice", Action::Error, 2);
+            assert!(should_error("fail-test-twice"));
+            assert!(should_error("fail-test-twice"));
+            assert!(!should_error("fail-test-twice"), "budget spent");
+        }
+
+        #[test]
+        fn tags_scope_the_blast_radius() {
+            cfg_tagged("fail-test-tag", Action::Error, "victim");
+            assert_eq!(eval_tagged("fail-test-tag", Some("healthy")), None);
+            assert_eq!(eval_tagged("fail-test-tag", None), None);
+            assert_eq!(
+                eval_tagged("fail-test-tag", Some("victim")),
+                Some(Action::Error)
+            );
+            remove("fail-test-tag");
+        }
+
+        #[test]
+        #[should_panic(expected = "failpoint 'fail-test-boom' triggered")]
+        fn panic_action_panics_with_the_site_name() {
+            cfg("fail-test-boom", Action::Panic);
+            apply("fail-test-boom");
+        }
+
+        #[test]
+        fn spec_grammar_parses() {
+            assert_eq!(parse_action("panic"), Some((Action::Panic, None)));
+            assert_eq!(parse_action("error"), Some((Action::Error, None)));
+            assert_eq!(parse_action("sleep(50)"), Some((Action::Sleep(50), None)));
+            assert_eq!(parse_action("3*panic"), Some((Action::Panic, Some(3))));
+            assert_eq!(parse_action("bogus"), None);
+            assert_eq!(parse_action("sleep(x)"), None);
+            let mut map = std::collections::HashMap::new();
+            seed_from_spec(&mut map, "a=panic; b=2*sleep(5) ;;junk; c");
+            assert_eq!(map.len(), 2);
+            assert_eq!(map["a"].action, Action::Panic);
+            assert_eq!(map["b"].remaining, Some(2));
+        }
+    }
+}
+
+#[cfg(not(feature = "fail"))]
+mod imp {
+    use super::Action;
+
+    /// No-op: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn cfg(_name: &str, _action: Action) {}
+
+    /// No-op: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn cfg_times(_name: &str, _action: Action, _times: u32) {}
+
+    /// No-op: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn cfg_tagged(_name: &str, _action: Action, _tag: &str) {}
+
+    /// No-op: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn remove(_name: &str) {}
+
+    /// No-op: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Always `None`: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn eval(_name: &str) -> Option<Action> {
+        None
+    }
+
+    /// Always `None`: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn eval_tagged(_name: &str, _tag: Option<&str>) -> Option<Action> {
+        None
+    }
+
+    /// No-op: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn apply(_name: &str) {}
+
+    /// No-op: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn apply_tagged(_name: &str, _tag: &str) {}
+
+    /// Always `false`: the `fail` feature is disabled.
+    #[inline(always)]
+    pub fn should_error(_name: &str) -> bool {
+        false
+    }
+}
+
+pub use imp::{
+    apply, apply_tagged, cfg, cfg_tagged, cfg_times, eval, eval_tagged, remove, reset, should_error,
+};

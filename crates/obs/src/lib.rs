@@ -12,6 +12,12 @@
 //!   emitting thread's current span/trace ids so logs correlate with
 //!   spans.
 //!
+//! A third, test-only primitive rides along: **failpoints** ([`fail`]) —
+//! named fault-injection sites compiled to no-ops unless the `fail` cargo
+//! feature is on. They live here because this crate sits at the bottom of
+//! the dependency stack, so any layer (search, pipeline, daemon) can host
+//! a site.
+//!
 //! Everything is `std`-only, allocation-light, and has two kill switches:
 //! [`set_enabled`]`(false)` at runtime (one relaxed atomic load per
 //! would-be span/event) and the `off` cargo feature at compile time
@@ -23,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod fail;
 mod span;
 mod value;
 

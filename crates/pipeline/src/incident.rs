@@ -39,6 +39,10 @@ pub struct IncidentReport {
     /// The localizer's evidence trail (CP values, deletions, per-layer
     /// counts, candidate confidences), when the method produces one.
     pub trace: Option<LocalizationTrace>,
+    /// Whether the localization deadline expired during this incident. A
+    /// `true` here means `raps` is the best partial answer from the layers
+    /// the search completed before the budget ran out (possibly empty).
+    pub deadline_exceeded: bool,
 }
 
 impl IncidentReport {
@@ -50,12 +54,17 @@ impl IncidentReport {
             .map(|r| r.combination.to_string())
             .unwrap_or_else(|| "<no pattern>".to_string());
         format!(
-            "step {}: total deviation {:+.1}%, {}/{} leaves anomalous, top RAP {}",
+            "step {}: total deviation {:+.1}%, {}/{} leaves anomalous, top RAP {}{}",
             self.step,
             100.0 * self.total_deviation,
             self.anomalous_leaves,
             self.total_leaves,
-            top
+            top,
+            if self.deadline_exceeded {
+                " (deadline exceeded)"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -79,12 +88,14 @@ mod tests {
             }],
             timings: StageTimings::default(),
             trace: None,
+            deadline_exceeded: false,
         };
         let s = report.summary();
         assert!(s.contains("step 42"));
         assert!(s.contains("+35.0%"));
         assert!(s.contains("3/10"));
         assert!(s.contains("(a1)"));
+        assert!(!s.contains("deadline"));
     }
 
     #[test]
@@ -97,7 +108,10 @@ mod tests {
             raps: Vec::new(),
             timings: StageTimings::default(),
             trace: None,
+            deadline_exceeded: true,
         };
-        assert!(report.summary().contains("<no pattern>"));
+        let s = report.summary();
+        assert!(s.contains("<no pattern>"));
+        assert!(s.contains("(deadline exceeded)"));
     }
 }

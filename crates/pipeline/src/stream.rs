@@ -1,6 +1,7 @@
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use baselines::Localizer;
 use mdkpi::{ElementId, LeafFrame, Schema};
@@ -23,6 +24,13 @@ pub struct PipelineConfig {
     pub leaf_threshold: f64,
     /// Root anomaly patterns to report per incident.
     pub k: usize,
+    /// Wall-clock budget for one triggered localization. `None` (the
+    /// default) never cancels; `Some(d)` polls the deadline between BFS
+    /// layers and marks the incident
+    /// [`IncidentReport::deadline_exceeded`](crate::IncidentReport::deadline_exceeded)
+    /// when the budget ran out, keeping a pathological frame from stalling
+    /// a shard worker indefinitely.
+    pub localize_deadline: Option<Duration>,
 }
 
 impl Default for PipelineConfig {
@@ -33,6 +41,7 @@ impl Default for PipelineConfig {
             alarm_threshold: 0.1,
             leaf_threshold: 0.3,
             k: 3,
+            localize_deadline: None,
         }
     }
 }
@@ -43,8 +52,8 @@ impl PipelineConfig {
     /// # Errors
     ///
     /// Returns the first violated invariant: zero `history_len`, zero
-    /// `warmup`, zero `k`, or a threshold that is not a positive finite
-    /// number.
+    /// `warmup`, zero `k`, a threshold that is not a positive finite
+    /// number, or a zero `localize_deadline` (use `None` to disable).
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.history_len == 0 {
             return Err(ConfigError::ZeroField {
@@ -64,6 +73,13 @@ impl PipelineConfig {
             if !(v.is_finite() && v > 0.0) {
                 return Err(ConfigError::BadThreshold { field, value: v });
             }
+        }
+        if self.localize_deadline.is_some_and(|d| d.is_zero()) {
+            // `None` means "no deadline"; an explicit zero budget would
+            // cancel every localization before its first layer.
+            return Err(ConfigError::ZeroField {
+                field: "localize_deadline",
+            });
         }
         Ok(())
     }
@@ -316,16 +332,64 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
         let detect_seconds = detect_started.elapsed().as_secs_f64();
 
         let localize_started = Instant::now();
+        let cancel_fired = Cell::new(false);
         let explained = {
             let localize_span = obs::span("pipeline.localize");
             localize_span.record("method", self.localizer.name());
-            let explained = self
-                .localizer
-                .localize_explained(&labelled, self.config.k)?;
+            let explained = match self.config.localize_deadline {
+                Some(budget) => {
+                    let deadline = localize_started + budget;
+                    let cancel = || {
+                        if Instant::now() >= deadline {
+                            cancel_fired.set(true);
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    self.localizer.localize_explained_with_cancel(
+                        &labelled,
+                        self.config.k,
+                        &cancel,
+                    )?
+                }
+                None => self
+                    .localizer
+                    .localize_explained(&labelled, self.config.k)?,
+            };
             localize_span.record("raps", explained.results.len());
             explained
         };
         let localize_seconds = localize_started.elapsed().as_secs_f64();
+        // A localizer without preemption points never polls `cancel`, so
+        // also compare elapsed time against the budget directly.
+        let deadline_exceeded = cancel_fired.get()
+            || self
+                .config
+                .localize_deadline
+                .is_some_and(|budget| localize_started.elapsed() >= budget);
+        if deadline_exceeded {
+            obs::warn(
+                "pipeline",
+                "localize_deadline_exceeded",
+                &[
+                    ("step", obs::Value::from(self.steps)),
+                    (
+                        "budget_ms",
+                        obs::Value::from(
+                            self.config
+                                .localize_deadline
+                                .map(|d| d.as_millis() as u64)
+                                .unwrap_or(0),
+                        ),
+                    ),
+                    (
+                        "elapsed_ms",
+                        obs::Value::from(localize_started.elapsed().as_millis() as u64),
+                    ),
+                ],
+            );
+        }
 
         let (cp_seconds, search_seconds) = explained
             .trace
@@ -345,6 +409,7 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
                 localize_seconds,
             },
             trace: explained.trace,
+            deadline_exceeded,
         })
     }
 }
@@ -602,6 +667,154 @@ mod tests {
             MovingAverage::new(3),
             RapMinerLocalizer::default(),
         );
+    }
+
+    /// A localizer that burns wall-clock time at its preemption points,
+    /// standing in for a pathological cuboid lattice.
+    #[derive(Debug)]
+    struct SlowLocalizer {
+        delay: Duration,
+    }
+
+    impl Localizer for SlowLocalizer {
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+        fn localize(
+            &self,
+            frame: &LeafFrame,
+            _k: usize,
+        ) -> baselines::Result<Vec<baselines::ScoredCombination>> {
+            std::thread::sleep(self.delay);
+            Ok(vec![baselines::ScoredCombination {
+                combination: mdkpi::Combination::root(frame.schema()),
+                score: 1.0,
+            }])
+        }
+        fn localize_explained_with_cancel(
+            &self,
+            frame: &LeafFrame,
+            k: usize,
+            cancel: &dyn Fn() -> bool,
+        ) -> baselines::Result<baselines::Explained> {
+            // Poll like rapminer does between layers: sleep, then check.
+            std::thread::sleep(self.delay);
+            if cancel() {
+                return Ok(baselines::Explained {
+                    results: Vec::new(),
+                    trace: None,
+                });
+            }
+            self.localize_explained(frame, k)
+        }
+    }
+
+    fn slow_pipeline(
+        deadline: Option<Duration>,
+        delay: Duration,
+    ) -> LocalizationPipeline<MovingAverage, SlowLocalizer> {
+        LocalizationPipeline::new(
+            PipelineConfig {
+                warmup: 5,
+                localize_deadline: deadline,
+                ..PipelineConfig::default()
+            },
+            MovingAverage::new(5),
+            SlowLocalizer { delay },
+        )
+    }
+
+    #[test]
+    fn deadline_marks_slow_incident_and_keeps_pipeline_alive() {
+        let s = schema();
+        let mut p = slow_pipeline(Some(Duration::from_millis(5)), Duration::from_millis(30));
+        for _ in 0..10 {
+            assert!(p
+                .observe(&frame(&s, [100.0, 100.0, 100.0, 100.0]))
+                .unwrap()
+                .is_none());
+        }
+        let report = p
+            .observe(&frame(&s, [5.0, 5.0, 100.0, 100.0]))
+            .unwrap()
+            .expect("alarm still fires under deadline");
+        assert!(report.deadline_exceeded, "30ms localize vs 5ms budget");
+        assert!(report.raps.is_empty(), "cancelled before any layer");
+        assert!(report.summary().contains("(deadline exceeded)"));
+        // the pipeline keeps observing normally afterwards
+        assert!(p
+            .observe(&frame(&s, [100.0, 100.0, 100.0, 100.0]))
+            .unwrap()
+            .is_some_and(|r| r.deadline_exceeded));
+    }
+
+    #[test]
+    fn generous_deadline_is_not_marked() {
+        let s = schema();
+        let mut p = slow_pipeline(Some(Duration::from_secs(30)), Duration::from_millis(1));
+        for _ in 0..10 {
+            p.observe(&frame(&s, [100.0, 100.0, 100.0, 100.0])).unwrap();
+        }
+        let report = p
+            .observe(&frame(&s, [5.0, 5.0, 100.0, 100.0]))
+            .unwrap()
+            .expect("alarm");
+        assert!(!report.deadline_exceeded);
+        assert!(!report.raps.is_empty());
+    }
+
+    #[test]
+    fn deadline_marks_cancel_ignoring_localizer_by_elapsed_time() {
+        // `localize` (no cancel support) via the default explained path:
+        // the hook is never polled, but elapsed-vs-budget still marks it.
+        struct Oblivious(Duration);
+        impl Localizer for Oblivious {
+            fn name(&self) -> &'static str {
+                "oblivious"
+            }
+            fn localize(
+                &self,
+                frame: &LeafFrame,
+                _k: usize,
+            ) -> baselines::Result<Vec<baselines::ScoredCombination>> {
+                std::thread::sleep(self.0);
+                Ok(vec![baselines::ScoredCombination {
+                    combination: mdkpi::Combination::root(frame.schema()),
+                    score: 1.0,
+                }])
+            }
+        }
+        let s = schema();
+        let mut p = LocalizationPipeline::new(
+            PipelineConfig {
+                warmup: 5,
+                localize_deadline: Some(Duration::from_millis(5)),
+                ..PipelineConfig::default()
+            },
+            MovingAverage::new(5),
+            Oblivious(Duration::from_millis(30)),
+        );
+        for _ in 0..10 {
+            p.observe(&frame(&s, [100.0, 100.0, 100.0, 100.0])).unwrap();
+        }
+        let report = p
+            .observe(&frame(&s, [5.0, 5.0, 100.0, 100.0]))
+            .unwrap()
+            .expect("alarm");
+        assert!(report.deadline_exceeded);
+        // the run-to-completion localizer still returned its full answer
+        assert_eq!(report.raps.len(), 1);
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected() {
+        let err = PipelineConfig {
+            localize_deadline: Some(Duration::ZERO),
+            ..PipelineConfig::default()
+        }
+        .validate()
+        .expect_err("zero deadline must be rejected");
+        assert!(err.to_string().contains("localize_deadline"));
     }
 
     #[test]

@@ -155,6 +155,7 @@ mod tests {
             raps,
             timings: crate::StageTimings::default(),
             trace: None,
+            deadline_exceeded: false,
         }
     }
 

@@ -172,7 +172,7 @@ impl RapMiner {
         frame: &LeafFrame,
         k: usize,
     ) -> Result<(Vec<MinedRap>, SearchStats)> {
-        self.localize_inner(frame, k, None)
+        self.localize_inner(frame, k, None, None)
     }
 
     /// Like [`RapMiner::localize`], also returning the full
@@ -195,8 +195,29 @@ impl RapMiner {
         frame: &LeafFrame,
         k: usize,
     ) -> Result<(Vec<MinedRap>, LocalizationTrace)> {
+        self.localize_traced_with_cancel(frame, k, None)
+    }
+
+    /// Like [`RapMiner::localize_traced`] with a cooperative cancellation
+    /// hook: `cancel` is polled between BFS layers (the preemption points
+    /// of Algorithm 2). When it returns `true` the search stops, sets
+    /// [`SearchStats::cancelled`], and the completed layers' candidates
+    /// are ranked and returned — a partial but well-formed answer. This is
+    /// how rapd enforces a per-incident localization deadline without
+    /// killing the worker mid-search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnlabelledFrame`] when the frame carries no anomaly
+    /// labels.
+    pub fn localize_traced_with_cancel(
+        &self,
+        frame: &LeafFrame,
+        k: usize,
+        cancel: Option<&dyn Fn() -> bool>,
+    ) -> Result<(Vec<MinedRap>, LocalizationTrace)> {
         let mut trace = LocalizationTrace::default();
-        let (raps, stats) = self.localize_inner(frame, k, Some(&mut trace))?;
+        let (raps, stats) = self.localize_inner(frame, k, Some(&mut trace), cancel)?;
         trace.stats = stats;
         Ok((raps, trace))
     }
@@ -206,6 +227,7 @@ impl RapMiner {
         frame: &LeafFrame,
         k: usize,
         mut trace: Option<&mut LocalizationTrace>,
+        cancel: Option<&dyn Fn() -> bool>,
     ) -> Result<(Vec<MinedRap>, SearchStats)> {
         if frame.labels().is_none() {
             return Err(Error::UnlabelledFrame);
@@ -247,6 +269,7 @@ impl RapMiner {
             k,
             &mut stats,
             trace.as_deref_mut(),
+            cancel,
         );
         if let Some(t) = trace {
             t.cp_seconds = cp_seconds;

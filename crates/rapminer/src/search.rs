@@ -41,6 +41,10 @@ pub struct SearchStats {
     /// Whether the early stop fired (candidates covered every anomalous
     /// leaf before the lattice was exhausted).
     pub early_stopped: bool,
+    /// Whether a caller-supplied cancellation hook (e.g. a localization
+    /// deadline) stopped the search between layers; the results cover only
+    /// the layers completed before cancellation.
+    pub cancelled: bool,
 }
 
 /// The paper's Eq. 3: `RAPScore = Confidence(ac ⇒ Anomaly) / √Layer`.
@@ -69,6 +73,12 @@ pub fn rap_score(confidence: f64, layer: usize) -> f64 {
 /// evaluated (a zero-support combination has zero confidence by
 /// definition), so the per-cuboid cost is `O(rows)` instead of the
 /// cuboid's full Cartesian size.
+///
+/// `cancel` is polled once per BFS layer (the natural preemption points of
+/// Algorithm 2); when it returns `true` the search stops, marks
+/// [`SearchStats::cancelled`], and ranks whatever candidates the completed
+/// layers produced — a partial but well-formed answer.
+#[allow(clippy::too_many_arguments)] // crate-internal; mirrors Algorithm 2's inputs
 pub(crate) fn top_down_search(
     frame: &LeafFrame,
     index: &LeafIndex,
@@ -77,6 +87,7 @@ pub(crate) fn top_down_search(
     k: usize,
     stats: &mut SearchStats,
     mut trace: Option<&mut LocalizationTrace>,
+    cancel: Option<&dyn Fn() -> bool>,
 ) -> Vec<MinedRap> {
     let search_span = obs::span("rapminer.search");
     search_span.record("attrs", attrs.len());
@@ -91,6 +102,13 @@ pub(crate) fn top_down_search(
     let mut covered = Bitset::new(frame.num_rows());
 
     for layer in 1..=lattice.num_layers() {
+        if cancel.is_some_and(|c| c()) {
+            stats.cancelled = true;
+            search_span.record("cancelled", true);
+            break;
+        }
+        // fault injection: stall one layer to drive deadline tests
+        obs::fail::apply("slow-localize");
         let layer_span = obs::span("rapminer.layer");
         layer_span.record("layer", layer);
         let at_entry = *stats;
@@ -476,6 +494,48 @@ mod tests {
         // kept attr leads and has the highest CP
         assert_eq!(trace.attrs[0].attribute, "a");
         assert!(trace.attrs[0].cp > trace.attrs[1].cp);
+    }
+
+    #[test]
+    fn cancellation_between_layers_yields_partial_results() {
+        let frame = fig7_frame();
+        let miner = RapMiner::with_config(
+            Config::new()
+                .with_redundant_deletion(false)
+                .with_early_stop(false),
+        );
+        // cancel immediately: no layers run, no candidates, flag set
+        let (raps, trace) = miner
+            .localize_traced_with_cancel(&frame, 5, Some(&|| true))
+            .unwrap();
+        assert!(raps.is_empty());
+        assert!(trace.stats.cancelled);
+        assert!(trace.layers.is_empty());
+        assert!(trace.is_consistent(), "trace: {trace:?}");
+        // cancel after the first poll: exactly one layer completes and its
+        // candidates are still ranked and returned
+        let calls = std::cell::Cell::new(0u32);
+        let cancel = move || {
+            let n = calls.get();
+            calls.set(n + 1);
+            n >= 1
+        };
+        let (raps, trace) = miner
+            .localize_traced_with_cancel(&frame, 5, Some(&cancel))
+            .unwrap();
+        assert!(trace.stats.cancelled);
+        assert_eq!(trace.layers.len(), 1);
+        assert!(
+            raps.iter()
+                .any(|r| r.combination.to_string() == "(a1, *, *)"),
+            "layer-1 RAP must survive cancellation: {raps:?}"
+        );
+        assert!(trace.is_consistent(), "trace: {trace:?}");
+        // a hook that never fires leaves the run unmarked
+        let (_, trace) = miner
+            .localize_traced_with_cancel(&frame, 5, Some(&|| false))
+            .unwrap();
+        assert!(!trace.stats.cancelled);
     }
 
     #[test]

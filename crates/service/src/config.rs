@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use pipeline::{ConfigError, PipelineConfig};
 
@@ -33,6 +34,15 @@ pub struct ServiceConfig {
     /// When a process-wide event sink is already installed — e.g. by an
     /// embedding test harness — the existing sink is left in place.
     pub log_json: bool,
+    /// Consecutive per-tenant pipeline failures (errors, panics, or
+    /// localization deadline overruns) that open the tenant's circuit
+    /// breaker; further frames are shed until a cooldown probe succeeds.
+    /// `0` disables the breaker entirely.
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds a tenant's frames before letting one
+    /// probe frame through (half-open). Must be positive when the breaker
+    /// is enabled.
+    pub breaker_cooldown: Duration,
     /// Streaming-pipeline tunables applied to every tenant.
     pub pipeline: PipelineConfig,
 }
@@ -49,6 +59,8 @@ impl Default for ServiceConfig {
             max_frame_bytes: 1 << 20,
             forecast_window: 10,
             log_json: false,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(10),
             pipeline: PipelineConfig::default(),
         }
     }
@@ -72,6 +84,13 @@ impl ServiceConfig {
             if v == 0 {
                 return Err(ServiceConfigError::ZeroField { field });
             }
+        }
+        if self.breaker_threshold > 0 && self.breaker_cooldown.is_zero() {
+            // A zero cooldown would make the breaker open and immediately
+            // half-open — all bookkeeping, no shedding.
+            return Err(ServiceConfigError::ZeroField {
+                field: "breaker_cooldown",
+            });
         }
         self.pipeline
             .validate()
@@ -132,6 +151,19 @@ mod tests {
             let err = cfg.validate().expect_err(field);
             assert!(err.to_string().contains(field));
         }
+    }
+
+    #[test]
+    fn zero_cooldown_rejected_only_when_breaker_enabled() {
+        let mut cfg = ServiceConfig {
+            breaker_cooldown: Duration::ZERO,
+            ..ServiceConfig::default()
+        };
+        let err = cfg.validate().expect_err("enabled breaker, zero cooldown");
+        assert!(err.to_string().contains("breaker_cooldown"));
+        // threshold 0 disables the breaker; the cooldown then never applies
+        cfg.breaker_threshold = 0;
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]

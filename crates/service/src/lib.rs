@@ -16,9 +16,16 @@
 //! * **Backpressure**: bounded per-shard queues with an explicit
 //!   *drop-oldest* policy and exact dropped-frame accounting; flush
 //!   barriers are never dropped, so `flush` stays a reliable fence.
-//! * **Incident sink** ([`sink`]): every incident is spooled as a JSON
-//!   line (crash-safe, append-only) and kept in a bounded in-memory ring
-//!   queryable over the control socket.
+//! * **Incident sink** ([`sink`]): every incident is spooled as a
+//!   CRC-framed JSON line (crash-safe, append-only; torn tails are
+//!   truncated on restart) and kept in a bounded in-memory ring queryable
+//!   over the control socket. Spool I/O failure degrades the sink to
+//!   ring-only mode rather than failing ingestion.
+//! * **Fault tolerance** ([`shard`], [`sync`]): per-frame `catch_unwind`
+//!   quarantines a panicking tenant pipeline (dropped and rebuilt), a
+//!   supervisor respawns dead worker threads, a per-tenant circuit breaker
+//!   sheds frames from persistently failing tenants, and poisoned locks
+//!   are recovered instead of cascading the panic.
 //! * **Metrics** ([`metrics`], [`http`]): atomic counters and a latency
 //!   histogram rendered in the Prometheus text format on an embedded
 //!   `GET /metrics` HTTP listener.
@@ -61,6 +68,7 @@ pub mod proto;
 pub mod server;
 pub mod shard;
 pub mod sink;
+pub(crate) mod sync;
 
 use std::sync::Arc;
 
@@ -71,7 +79,7 @@ pub use metrics::Metrics;
 pub use proto::{ProtoError, Request};
 pub use server::{start, ServerHandle, StartError};
 pub use shard::LocalizerFactory;
-pub use sink::{IncidentRecord, IncidentSink};
+pub use sink::{IncidentRecord, IncidentSink, SpoolRecovery};
 
 /// The default per-tenant localizer: RAPMiner with its paper defaults.
 pub fn default_factory() -> LocalizerFactory {

@@ -18,6 +18,11 @@ pub struct ShardMetrics {
     pub processed: AtomicU64,
     /// Current queue depth (gauge, maintained by push/pop).
     pub depth: AtomicU64,
+    /// Frames shed by an open per-tenant circuit breaker (skipped without
+    /// touching the pipeline; disjoint from `processed` and `dropped`).
+    pub shed: AtomicU64,
+    /// Tenants currently behind an open breaker on this shard (gauge).
+    pub breaker_open: AtomicU64,
 }
 
 /// A fixed-bucket latency histogram (seconds).
@@ -128,6 +133,22 @@ pub struct Metrics {
     pub protocol_errors: AtomicU64,
     /// Pipeline-level failures inside shard workers (localizer errors…).
     pub pipeline_errors: AtomicU64,
+    /// Tenant pipelines quarantined (dropped and rebuilt) after a panic.
+    pub pipeline_restarts_panic: AtomicU64,
+    /// Shard worker threads respawned by the supervisor after dying.
+    pub worker_restarts: AtomicU64,
+    /// Incidents whose localization hit the configured deadline.
+    pub deadline_exceeded: AtomicU64,
+    /// Intact spool lines carried over at startup (CRC verified).
+    pub spool_recovered_lines: AtomicU64,
+    /// Pre-CRC spool lines accepted read-only at startup.
+    pub spool_legacy_lines: AtomicU64,
+    /// Torn/corrupt spool bytes truncated at startup.
+    pub spool_truncated_bytes: AtomicU64,
+    /// 1 while the sink runs ring-only after a spool write error (gauge).
+    pub spool_degraded: AtomicU64,
+    /// Spool write failures absorbed by degrading to ring-only mode.
+    pub spool_write_errors: AtomicU64,
     /// Latency of observe calls that triggered localization.
     pub localization: Histogram,
     /// Per-stage timings of each triggered localization.
@@ -143,6 +164,14 @@ impl Metrics {
             alarms: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             pipeline_errors: AtomicU64::new(0),
+            pipeline_restarts_panic: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            spool_recovered_lines: AtomicU64::new(0),
+            spool_legacy_lines: AtomicU64::new(0),
+            spool_truncated_bytes: AtomicU64::new(0),
+            spool_degraded: AtomicU64::new(0),
+            spool_write_errors: AtomicU64::new(0),
             localization: Histogram::default(),
             stages: StageHistograms::default(),
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
@@ -172,6 +201,22 @@ impl Metrics {
         self.shards
             .iter()
             .map(|s| s.processed.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total frames shed by open circuit breakers across all shards.
+    pub fn total_shed(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.shed.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Tenants currently behind an open breaker, across all shards.
+    pub fn total_breaker_open(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.breaker_open.load(Ordering::Relaxed))
             .sum()
     }
 
@@ -207,6 +252,66 @@ impl Metrics {
             "Localization failures inside shard workers.",
             self.pipeline_errors.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "rapd_worker_restarts_total",
+            "Shard worker threads respawned by the supervisor.",
+            self.worker_restarts.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_deadline_exceeded_total",
+            "Incidents whose localization hit the configured deadline.",
+            self.deadline_exceeded.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_spool_recovered_lines",
+            "Intact spool lines carried over at startup.",
+            self.spool_recovered_lines.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_spool_legacy_lines",
+            "Pre-CRC spool lines accepted read-only at startup.",
+            self.spool_legacy_lines.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_spool_truncated_bytes",
+            "Torn or corrupt spool bytes truncated at startup.",
+            self.spool_truncated_bytes.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_spool_write_errors_total",
+            "Spool write failures absorbed by degrading to ring-only mode.",
+            self.spool_write_errors.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP rapd_spool_degraded 1 while the incident sink runs ring-only after a spool write error.\n",
+        );
+        out.push_str("# TYPE rapd_spool_degraded gauge\n");
+        out.push_str(&format!(
+            "rapd_spool_degraded {}\n",
+            self.spool_degraded.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP rapd_pipeline_restarts_total Tenant pipelines quarantined and rebuilt, by reason.\n",
+        );
+        out.push_str("# TYPE rapd_pipeline_restarts_total counter\n");
+        out.push_str(&format!(
+            "rapd_pipeline_restarts_total{{reason=\"panic\"}} {}\n",
+            self.pipeline_restarts_panic.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP rapd_breaker_open_tenants Tenants currently behind an open circuit breaker.\n",
+        );
+        out.push_str("# TYPE rapd_breaker_open_tenants gauge\n");
+        out.push_str(&format!(
+            "rapd_breaker_open_tenants {}\n",
+            self.total_breaker_open()
+        ));
 
         out.push_str(
             "# HELP rapd_frames_dropped_total Frames dropped by backpressure, per shard.\n",
@@ -224,6 +329,16 @@ impl Metrics {
             out.push_str(&format!(
                 "rapd_frames_processed_total{{shard=\"{i}\"}} {}\n",
                 s.processed.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP rapd_frames_shed_total Frames shed by open circuit breakers, per shard.\n",
+        );
+        out.push_str("# TYPE rapd_frames_shed_total counter\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "rapd_frames_shed_total{{shard=\"{i}\"}} {}\n",
+                s.shed.load(Ordering::Relaxed)
             ));
         }
         out.push_str("# HELP rapd_queue_depth Frames currently queued, per shard.\n");
@@ -532,7 +647,39 @@ mod tests {
         m.shard(0).dropped.fetch_add(1, Ordering::Relaxed);
         m.shard(2).dropped.fetch_add(2, Ordering::Relaxed);
         m.shard(1).processed.fetch_add(7, Ordering::Relaxed);
+        m.shard(0).shed.fetch_add(4, Ordering::Relaxed);
+        m.shard(1).breaker_open.fetch_add(1, Ordering::Relaxed);
         assert_eq!(m.total_dropped(), 3);
         assert_eq!(m.total_processed(), 7);
+        assert_eq!(m.total_shed(), 4);
+        assert_eq!(m.total_breaker_open(), 1);
+    }
+
+    #[test]
+    fn fault_tolerance_families_render_and_validate() {
+        let m = Metrics::new(2);
+        m.pipeline_restarts_panic.fetch_add(2, Ordering::Relaxed);
+        m.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        m.deadline_exceeded.fetch_add(3, Ordering::Relaxed);
+        m.spool_recovered_lines.store(40, Ordering::Relaxed);
+        m.spool_legacy_lines.store(4, Ordering::Relaxed);
+        m.spool_truncated_bytes.store(17, Ordering::Relaxed);
+        m.spool_degraded.store(1, Ordering::Relaxed);
+        m.spool_write_errors.fetch_add(1, Ordering::Relaxed);
+        m.shard(1).shed.fetch_add(9, Ordering::Relaxed);
+        m.shard(0).breaker_open.store(2, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        validate_exposition(&text);
+        assert!(text.contains("rapd_pipeline_restarts_total{reason=\"panic\"} 2"));
+        assert!(text.contains("rapd_worker_restarts_total 1"));
+        assert!(text.contains("rapd_deadline_exceeded_total 3"));
+        assert!(text.contains("rapd_spool_recovered_lines 40"));
+        assert!(text.contains("rapd_spool_legacy_lines 4"));
+        assert!(text.contains("rapd_spool_truncated_bytes 17"));
+        assert!(text.contains("rapd_spool_degraded 1"));
+        assert!(text.contains("rapd_spool_write_errors_total 1"));
+        assert!(text.contains("rapd_frames_shed_total{shard=\"1\"} 9"));
+        assert!(text.contains("rapd_frames_shed_total{shard=\"0\"} 0"));
+        assert!(text.contains("rapd_breaker_open_tenants 2"));
     }
 }

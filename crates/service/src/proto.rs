@@ -9,6 +9,7 @@
 //! {"type":"stats"}
 //! {"type":"incidents","limit":10}
 //! {"type":"trace","limit":50}
+//! {"type":"health"}
 //! ```
 //!
 //! Every request gets exactly one reply line: `{"type":"ok",...}`, a typed
@@ -54,6 +55,10 @@ pub enum Request {
         /// Maximum number of spans to return (newest first).
         limit: usize,
     },
+    /// Fault-tolerance health summary: spool degradation, open breakers,
+    /// restart counters. `status` is `"degraded"` whenever any of those
+    /// indicate reduced service, `"ok"` otherwise.
+    Health,
 }
 
 /// Why a request line was rejected.
@@ -221,6 +226,7 @@ pub fn parse_request(line: &str, max_bytes: usize) -> Result<Request, ProtoError
             };
             Ok(Request::Trace { limit })
         }
+        "health" => Ok(Request::Health),
         other => Err(ProtoError::UnknownType(other.to_string())),
     }
 }
@@ -415,6 +421,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"type":"trace"}"#, MAX).unwrap(),
             Request::Trace { limit: 50 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"health"}"#, MAX).unwrap(),
+            Request::Health
         );
     }
 

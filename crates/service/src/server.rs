@@ -34,6 +34,7 @@ use crate::metrics::Metrics;
 use crate::proto::{build_frame, parse_request, ProtoError, Request};
 use crate::shard::{LocalizerFactory, ShardPool};
 use crate::sink::IncidentSink;
+use crate::sync::lock_recover;
 
 /// How long a `flush` request waits for the shards before giving up.
 const FLUSH_TIMEOUT: Duration = Duration::from_secs(60);
@@ -123,8 +124,7 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        let readers: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.readers.lock().expect("reader registry poisoned"));
+        let readers: Vec<JoinHandle<()>> = std::mem::take(&mut *lock_recover(&self.readers));
         for reader in readers {
             let _ = reader.join();
         }
@@ -158,9 +158,10 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
         obs::install_sink(Box::new(io::stderr()));
     }
     let metrics = Arc::new(Metrics::new(config.shards));
-    let sink = Arc::new(IncidentSink::new(
+    let sink = Arc::new(IncidentSink::open(
         config.spool_dir.as_deref(),
         config.ring_capacity,
+        Arc::clone(&metrics),
     )?);
     let pool = ShardPool::start(&config, Arc::clone(&metrics), Arc::clone(&sink), factory);
     let metrics_server = MetricsServer::start(&config.metrics_listen, Arc::clone(&metrics))?;
@@ -192,10 +193,7 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
                     .name("rapd-reader".to_string())
                     .spawn(move || handle_connection(stream, &conn_shared));
                 if let Ok(handle) = reader {
-                    accept_readers
-                        .lock()
-                        .expect("reader registry poisoned")
-                        .push(handle);
+                    lock_recover(&accept_readers).push(handle);
                 }
             }
         })?;
@@ -351,7 +349,7 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
         Request::Schema { tenant, attributes } => {
             let schema =
                 Schema::from_parts(attributes).map_err(|e| ProtoError::BadSchema(e.to_string()))?;
-            let mut schemas = shared.schemas.lock().expect("schema registry poisoned");
+            let mut schemas = lock_recover(&shared.schemas);
             match schemas.get(&tenant) {
                 Some(existing) if *existing != schema => {
                     return Err(ProtoError::SchemaConflict { tenant });
@@ -364,7 +362,7 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
         }
         Request::Observe { tenant, rows } => {
             let schema = {
-                let schemas = shared.schemas.lock().expect("schema registry poisoned");
+                let schemas = lock_recover(&shared.schemas);
                 schemas
                     .get(&tenant)
                     .cloned()
@@ -406,7 +404,40 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
             ])
             .render())
         }
+        Request::Health => Ok(health_reply(shared)),
     }
+}
+
+/// Fault-tolerance health summary: `"degraded"` whenever the spool fell
+/// back to ring-only mode or any tenant breaker is currently open.
+fn health_reply(shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let spool_degraded = shared.sink.is_degraded();
+    let open_breakers = m.total_breaker_open();
+    let status = if spool_degraded || open_breakers > 0 {
+        "degraded"
+    } else {
+        "ok"
+    };
+    Json::Obj(vec![
+        ("type".to_string(), Json::str("health")),
+        ("status".to_string(), Json::str(status)),
+        ("spool_degraded".to_string(), Json::Bool(spool_degraded)),
+        ("open_breakers".to_string(), Json::Num(open_breakers as f64)),
+        (
+            "worker_restarts".to_string(),
+            Json::Num(m.worker_restarts.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "pipeline_restarts".to_string(),
+            Json::Num(m.pipeline_restarts_panic.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "deadline_exceeded".to_string(),
+            Json::Num(m.deadline_exceeded.load(Ordering::Relaxed) as f64),
+        ),
+    ])
+    .render()
 }
 
 /// One completed span in the `trace` reply.
@@ -472,6 +503,14 @@ fn stats_reply(shared: &Shared) -> String {
                     "depth".to_string(),
                     Json::Num(s.depth.load(Ordering::Relaxed) as f64),
                 ),
+                (
+                    "shed".to_string(),
+                    Json::Num(s.shed.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "breaker_open".to_string(),
+                    Json::Num(s.breaker_open.load(Ordering::Relaxed) as f64),
+                ),
             ])
         })
         .collect();
@@ -488,6 +527,11 @@ fn stats_reply(shared: &Shared) -> String {
         (
             "frames_dropped".to_string(),
             Json::Num(m.total_dropped() as f64),
+        ),
+        ("frames_shed".to_string(), Json::Num(m.total_shed() as f64)),
+        (
+            "deadline_exceeded".to_string(),
+            Json::Num(m.deadline_exceeded.load(Ordering::Relaxed) as f64),
         ),
         (
             "alarms".to_string(),

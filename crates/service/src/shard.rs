@@ -1,5 +1,5 @@
 //! Shard workers: bounded queues with drop-oldest backpressure feeding
-//! per-tenant localization pipelines.
+//! per-tenant localization pipelines, under a small supervision tree.
 //!
 //! Tenants hash onto a fixed set of shards (FNV-1a over the tenant id), so
 //! one tenant's frames are always processed in arrival order by a single
@@ -9,9 +9,30 @@
 //! pipeline keeps seeing the freshest data and memory stays bounded.
 //! Flush barriers are never dropped, so `flush` remains an exact
 //! everything-before-this-was-processed fence even under overload.
+//!
+//! # Fault tolerance
+//!
+//! Three independent layers keep one bad tenant — or one bad frame — from
+//! taking the daemon down:
+//!
+//! * **Pipeline quarantine**: each frame is processed under
+//!   `catch_unwind`. A panicking pipeline is dropped on the spot (its
+//!   internal state may be torn mid-update) and lazily rebuilt on the
+//!   tenant's next frame; the worker thread and its other tenants never
+//!   notice. Counted in `rapd_pipeline_restarts_total{reason="panic"}`.
+//! * **Per-tenant circuit breaker**: consecutive failures (errors, panics,
+//!   localization deadline overruns) open a breaker that sheds the
+//!   tenant's frames — counted, never silently lost — until a cooldown
+//!   probe succeeds ([`ServiceConfig::breaker_threshold`] /
+//!   [`ServiceConfig::breaker_cooldown`]).
+//! * **Worker supervision**: a supervisor thread polls worker liveness
+//!   and respawns any shard thread that dies outside shutdown
+//!   (`rapd_worker_restarts_total`). The respawned worker rebuilds tenant
+//!   pipelines lazily from the shared queue.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::Ordering;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -23,6 +44,7 @@ use timeseries::MovingAverage;
 use crate::config::ServiceConfig;
 use crate::metrics::{Metrics, ShardMetrics};
 use crate::sink::{IncidentRecord, IncidentSink};
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 /// Builds one localizer per tenant pipeline; shared across shard threads.
 pub type LocalizerFactory = Arc<dyn Fn() -> Box<dyn Localizer> + Send + Sync>;
@@ -56,7 +78,7 @@ impl FlushGate {
     }
 
     fn done(&self) {
-        let mut remaining = self.remaining.lock().expect("flush gate poisoned");
+        let mut remaining = lock_recover(&self.remaining);
         *remaining = remaining.saturating_sub(1);
         if *remaining == 0 {
             self.cv.notify_all();
@@ -67,16 +89,13 @@ impl FlushGate {
     /// Returns whether the flush completed.
     pub fn wait(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut remaining = self.remaining.lock().expect("flush gate poisoned");
+        let mut remaining = lock_recover(&self.remaining);
         while *remaining > 0 {
             let now = Instant::now();
             if now >= deadline {
                 return false;
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(remaining, deadline - now)
-                .expect("flush gate poisoned");
+            let (guard, _) = wait_timeout_recover(&self.cv, remaining, deadline - now);
             remaining = guard;
         }
         true
@@ -102,7 +121,7 @@ impl ShardQueue {
     /// Enqueue a frame. When the queue is at capacity the oldest queued
     /// *frame* is evicted (barriers are never evicted) and counted.
     fn push_frame(&self, tenant: Arc<str>, frame: mdkpi::LeafFrame, metrics: &ShardMetrics) {
-        let mut jobs = self.jobs.lock().expect("shard queue poisoned");
+        let mut jobs = lock_recover(&self.jobs);
         let frames_queued = |jobs: &VecDeque<Job>| {
             jobs.iter()
                 .filter(|j| matches!(j, Job::Frame { .. }))
@@ -123,32 +142,140 @@ impl ShardQueue {
     /// Enqueue a control job (barrier/shutdown); never dropped, never
     /// counted against the frame capacity.
     fn push_control(&self, job: Job) {
-        let mut jobs = self.jobs.lock().expect("shard queue poisoned");
+        let mut jobs = lock_recover(&self.jobs);
         jobs.push_back(job);
         self.cv.notify_one();
     }
 
     fn pop(&self) -> Job {
-        let mut jobs = self.jobs.lock().expect("shard queue poisoned");
+        let mut jobs = lock_recover(&self.jobs);
         loop {
             if let Some(job) = jobs.pop_front() {
                 return job;
             }
-            jobs = self.cv.wait(jobs).expect("shard queue poisoned");
+            jobs = wait_recover(&self.cv, jobs);
         }
     }
 }
 
-/// The shard worker pool: `config.shards` threads, each owning the
-/// pipelines of the tenants that hash onto it.
-pub struct ShardPool {
+/// How often the supervisor polls worker liveness.
+const SUPERVISE_INTERVAL: Duration = Duration::from_millis(15);
+
+/// Per-tenant circuit breaker state (owned by one shard worker, so no
+/// synchronization is needed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Frames flow normally.
+    Closed,
+    /// Frames are shed until the cooldown deadline.
+    Open { until: Instant },
+    /// One probe frame is being let through.
+    HalfOpen,
+}
+
+/// Counts consecutive failures of one tenant's pipeline and decides
+/// whether its frames are processed, probed, or shed.
+#[derive(Debug)]
+struct Breaker {
+    failures: u32,
+    state: BreakerState,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker {
+            failures: 0,
+            state: BreakerState::Closed,
+        }
+    }
+}
+
+/// What to do with the frame that just arrived for a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// Breaker closed: process normally.
+    Process,
+    /// Breaker half-open: process as the recovery probe.
+    Probe,
+    /// Breaker open: skip the frame, count it shed.
+    Shed,
+}
+
+impl Breaker {
+    fn admit(&mut self, now: Instant) -> Admission {
+        match self.state {
+            BreakerState::Closed => Admission::Process,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::Shed
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when this closed a half-open breaker (the gauge of
+    /// open breakers must drop by one).
+    fn on_success(&mut self) -> bool {
+        self.failures = 0;
+        let closing = self.state == BreakerState::HalfOpen;
+        self.state = BreakerState::Closed;
+        closing
+    }
+
+    /// Returns `true` when this opened a closed breaker (the gauge of
+    /// open breakers must rise by one). A failed half-open probe re-opens
+    /// without a gauge change. `threshold == 0` disables the breaker.
+    fn on_failure(&mut self, threshold: u32, cooldown: Duration, now: Instant) -> bool {
+        if threshold == 0 {
+            return false;
+        }
+        self.failures = self.failures.saturating_add(1);
+        match self.state {
+            BreakerState::Closed if self.failures >= threshold => {
+                self.state = BreakerState::Open {
+                    until: now + cooldown,
+                };
+                true
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open {
+                    until: now + cooldown,
+                };
+                false
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Everything a shard worker (or the supervisor) needs, shared once.
+struct PoolShared {
     queues: Vec<Arc<ShardQueue>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
     metrics: Arc<Metrics>,
+    sink: Arc<IncidentSink>,
+    factory: LocalizerFactory,
+    pipeline_config: pipeline::PipelineConfig,
+    window: usize,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
+    shutting_down: AtomicBool,
+}
+
+/// The shard worker pool: `config.shards` threads, each owning the
+/// pipelines of the tenants that hash onto it, plus a supervisor thread
+/// that respawns any worker that dies outside shutdown.
+pub struct ShardPool {
+    shared: Arc<PoolShared>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ShardPool {
-    /// Start the workers.
+    /// Start the workers and their supervisor.
     pub fn start(
         config: &ServiceConfig,
         metrics: Arc<Metrics>,
@@ -158,36 +285,34 @@ impl ShardPool {
         let queues: Vec<Arc<ShardQueue>> = (0..config.shards)
             .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
             .collect();
-        let workers = queues
-            .iter()
-            .enumerate()
-            .map(|(i, queue)| {
-                let queue = Arc::clone(queue);
-                let metrics = Arc::clone(&metrics);
-                let sink = Arc::clone(&sink);
-                let factory = Arc::clone(&factory);
-                let pipeline_config = config.pipeline;
-                let window = config.forecast_window;
-                std::thread::Builder::new()
-                    .name(format!("rapd-shard-{i}"))
-                    .spawn(move || {
-                        worker_loop(
-                            i,
-                            &queue,
-                            &metrics,
-                            &sink,
-                            &factory,
-                            pipeline_config,
-                            window,
-                        )
-                    })
-                    .expect("spawn shard worker")
-            })
-            .collect();
-        ShardPool {
+        let shared = Arc::new(PoolShared {
             queues,
-            workers: Mutex::new(workers),
             metrics,
+            sink,
+            factory,
+            pipeline_config: config.pipeline,
+            window: config.forecast_window,
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown: config.breaker_cooldown,
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(
+            (0..shared.queues.len())
+                .map(|i| spawn_worker(i, &shared))
+                .collect(),
+        ));
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name("rapd-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared, &workers))
+                .expect("spawn supervisor")
+        };
+        ShardPool {
+            shared,
+            workers,
+            supervisor: Mutex::new(Some(supervisor)),
         }
     }
 
@@ -198,34 +323,44 @@ impl ShardPool {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x100000001b3);
         }
-        (h % self.queues.len() as u64) as usize
+        (h % self.shared.queues.len() as u64) as usize
     }
 
     /// Queue one frame onto the tenant's shard (drop-oldest on overflow).
     pub fn ingest(&self, tenant: &str, frame: mdkpi::LeafFrame) {
         let shard = self.shard_for(tenant);
-        self.queues[shard].push_frame(Arc::from(tenant), frame, self.metrics.shard(shard));
+        self.shared.queues[shard].push_frame(
+            Arc::from(tenant),
+            frame,
+            self.shared.metrics.shard(shard),
+        );
     }
 
     /// Post a barrier to every shard and wait for all of them to drain
     /// everything queued before it. Returns whether the flush completed
     /// within the timeout.
     pub fn flush(&self, timeout: Duration) -> bool {
-        let gate = Arc::new(FlushGate::new(self.queues.len()));
-        for queue in &self.queues {
+        let gate = Arc::new(FlushGate::new(self.shared.queues.len()));
+        for queue in &self.shared.queues {
             queue.push_control(Job::Barrier(Arc::clone(&gate)));
         }
         gate.wait(timeout)
     }
 
-    /// Stop every worker after it drains its queue. Idempotent.
+    /// Stop the supervisor, then every worker after it drains its queue.
+    /// Idempotent.
     pub fn shutdown(&self) {
-        let workers: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.workers.lock().expect("shard pool poisoned"));
+        // Stop the supervisor first so a worker exiting on its Shutdown
+        // job is not mistaken for a crash and respawned.
+        self.shared.shutting_down.store(true, Ordering::Relaxed);
+        if let Some(supervisor) = lock_recover(&self.supervisor).take() {
+            let _ = supervisor.join();
+        }
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *lock_recover(&self.workers));
         if workers.is_empty() {
             return;
         }
-        for queue in &self.queues {
+        for queue in &self.shared.queues {
             queue.push_control(Job::Shutdown);
         }
         for worker in workers {
@@ -234,39 +369,136 @@ impl ShardPool {
     }
 }
 
+fn spawn_worker(shard: usize, shared: &Arc<PoolShared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("rapd-shard-{shard}"))
+        .spawn(move || worker_loop(shard, &shared))
+        .expect("spawn shard worker")
+}
+
+/// Poll worker liveness and respawn any thread that died outside
+/// shutdown. The dead worker's tenant pipelines and breaker state die
+/// with it; the respawned worker rebuilds pipelines lazily, so the
+/// shard's open-breaker gauge is reset alongside.
+fn supervisor_loop(shared: &Arc<PoolShared>, workers: &Mutex<Vec<JoinHandle<()>>>) {
+    while !shared.shutting_down.load(Ordering::Relaxed) {
+        {
+            let mut workers = lock_recover(workers);
+            for shard in 0..workers.len() {
+                if !workers[shard].is_finished() {
+                    continue;
+                }
+                let dead = std::mem::replace(&mut workers[shard], spawn_worker(shard, shared));
+                let _ = dead.join();
+                shared
+                    .metrics
+                    .worker_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .shard(shard)
+                    .breaker_open
+                    .store(0, Ordering::Relaxed);
+                obs::warn(
+                    "rapd.shard",
+                    "worker_respawned",
+                    &[("shard", obs::Value::U64(shard as u64))],
+                );
+            }
+        }
+        std::thread::sleep(SUPERVISE_INTERVAL);
+    }
+}
+
 type TenantPipeline = LocalizationPipeline<MovingAverage, Box<dyn Localizer>>;
 
-fn worker_loop(
-    shard: usize,
-    queue: &ShardQueue,
-    metrics: &Metrics,
-    sink: &IncidentSink,
-    factory: &LocalizerFactory,
-    pipeline_config: pipeline::PipelineConfig,
-    window: usize,
-) {
+/// Render a caught panic payload for the event log.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn worker_loop(shard: usize, shared: &PoolShared) {
+    let metrics = &shared.metrics;
     let shard_metrics = metrics.shard(shard);
+    let queue = &shared.queues[shard];
     let mut pipelines: HashMap<Arc<str>, TenantPipeline> = HashMap::new();
+    let mut breakers: HashMap<Arc<str>, Breaker> = HashMap::new();
     loop {
+        // fault injection: a shard thread dying between jobs (before the
+        // pop, so the crash never takes a dequeued frame with it)
+        obs::fail::apply("shard-worker-panic");
         match queue.pop() {
             Job::Shutdown => return,
             Job::Barrier(gate) => gate.done(),
             Job::Frame { tenant, frame } => {
                 shard_metrics.depth.fetch_sub(1, Ordering::Relaxed);
-                let pipe = pipelines.entry(Arc::clone(&tenant)).or_insert_with(|| {
-                    LocalizationPipeline::try_new(
-                        pipeline_config,
-                        MovingAverage::new(window),
-                        factory(),
-                    )
-                    .expect("service config validated at boot")
-                });
+                let admission = breakers
+                    .entry(Arc::clone(&tenant))
+                    .or_default()
+                    .admit(Instant::now());
+                if admission == Admission::Shed {
+                    shard_metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 let frame_span = obs::span("rapd.frame");
                 frame_span.record("shard", shard as u64);
                 frame_span.record("tenant", tenant.as_ref());
                 let start = Instant::now();
-                match pipe.observe(&frame) {
-                    Ok(Some(report)) => {
+                // One bad frame (or one buggy localizer) must not kill the
+                // worker and its other tenants: panics are contained here
+                // and handled as pipeline failures.
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    // fault injection: a pipeline panicking mid-frame,
+                    // scoped to one tenant via the tag
+                    obs::fail::apply_tagged("pipeline-panic", tenant.as_ref());
+                    let pipe = pipelines.entry(Arc::clone(&tenant)).or_insert_with(|| {
+                        LocalizationPipeline::try_new(
+                            shared.pipeline_config,
+                            MovingAverage::new(shared.window),
+                            (shared.factory)(),
+                        )
+                        .expect("service config validated at boot")
+                    });
+                    pipe.observe(&frame)
+                }));
+                let failed = match outcome {
+                    Err(payload) => {
+                        // The pipeline may be torn mid-update: quarantine
+                        // it. The tenant's next frame builds a fresh one.
+                        pipelines.remove(&tenant);
+                        metrics
+                            .pipeline_restarts_panic
+                            .fetch_add(1, Ordering::Relaxed);
+                        obs::error(
+                            "rapd.shard",
+                            "pipeline_panic_quarantined",
+                            &[
+                                ("tenant", obs::Value::Str(tenant.to_string())),
+                                ("reason", obs::Value::Str(panic_message(payload.as_ref()))),
+                            ],
+                        );
+                        true
+                    }
+                    Ok(Err(e)) => {
+                        metrics.pipeline_errors.fetch_add(1, Ordering::Relaxed);
+                        obs::error(
+                            "rapd.shard",
+                            "pipeline_error",
+                            &[
+                                ("tenant", obs::Value::Str(tenant.to_string())),
+                                ("reason", obs::Value::Str(e.to_string())),
+                            ],
+                        );
+                        true
+                    }
+                    Ok(Ok(Some(report))) => {
                         metrics.localization.observe(start.elapsed().as_secs_f64());
                         metrics.alarms.fetch_add(1, Ordering::Relaxed);
                         // one observation per stage per incident, so every
@@ -283,27 +515,46 @@ fn worker_loop(
                                 ("step", obs::Value::U64(report.step as u64)),
                                 ("raps", obs::Value::U64(report.raps.len() as u64)),
                                 ("total_deviation", obs::Value::F64(report.total_deviation)),
+                                (
+                                    "deadline_exceeded",
+                                    obs::Value::Bool(report.deadline_exceeded),
+                                ),
                             ],
                         );
-                        if sink
-                            .record(IncidentRecord::from_report(&tenant, &report))
-                            .is_err()
-                        {
-                            metrics.pipeline_errors.fetch_add(1, Ordering::Relaxed);
+                        let deadline_exceeded = report.deadline_exceeded;
+                        shared
+                            .sink
+                            .record(IncidentRecord::from_report(&tenant, &report));
+                        if deadline_exceeded {
+                            metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                         }
+                        // a deadline overrun is a breaker failure: a tenant
+                        // whose every localization times out should be shed
+                        deadline_exceeded
                     }
-                    Ok(None) => {}
-                    Err(e) => {
-                        metrics.pipeline_errors.fetch_add(1, Ordering::Relaxed);
-                        obs::error(
+                    Ok(Ok(None)) => false,
+                };
+                let breaker = breakers.entry(Arc::clone(&tenant)).or_default();
+                if failed {
+                    if breaker.on_failure(
+                        shared.breaker_threshold,
+                        shared.breaker_cooldown,
+                        Instant::now(),
+                    ) {
+                        shard_metrics.breaker_open.fetch_add(1, Ordering::Relaxed);
+                        obs::warn(
                             "rapd.shard",
-                            "pipeline_error",
-                            &[
-                                ("tenant", obs::Value::Str(tenant.to_string())),
-                                ("reason", obs::Value::Str(e.to_string())),
-                            ],
+                            "breaker_opened",
+                            &[("tenant", obs::Value::Str(tenant.to_string()))],
                         );
                     }
+                } else if breaker.on_success() {
+                    shard_metrics.breaker_open.fetch_sub(1, Ordering::Relaxed);
+                    obs::info(
+                        "rapd.shard",
+                        "breaker_closed",
+                        &[("tenant", obs::Value::Str(tenant.to_string()))],
+                    );
                 }
                 shard_metrics.processed.fetch_add(1, Ordering::Relaxed);
             }
@@ -342,6 +593,7 @@ mod tests {
                 alarm_threshold: 0.2,
                 leaf_threshold: 0.3,
                 k: 2,
+                ..pipeline::PipelineConfig::default()
             },
             ..ServiceConfig::default()
         }
@@ -351,11 +603,15 @@ mod tests {
         Arc::new(|| Box::new(RapMinerLocalizer::default()) as Box<dyn Localizer>)
     }
 
+    fn sink(metrics: &Arc<Metrics>) -> Arc<IncidentSink> {
+        Arc::new(IncidentSink::open(None, 8, Arc::clone(metrics)).unwrap())
+    }
+
     #[test]
     fn tenants_hash_deterministically_within_range() {
         let cfg = small_config(16);
         let metrics = Arc::new(Metrics::new(cfg.shards));
-        let sink = Arc::new(IncidentSink::new(None, 8).unwrap());
+        let sink = sink(&metrics);
         let pool = ShardPool::start(&cfg, metrics, sink, default_factory());
         for tenant in ["a", "b", "edge-7", ""] {
             let s = pool.shard_for(tenant);
@@ -369,7 +625,7 @@ mod tests {
     fn steady_traffic_processes_without_alarms() {
         let cfg = small_config(64);
         let metrics = Arc::new(Metrics::new(cfg.shards));
-        let sink = Arc::new(IncidentSink::new(None, 8).unwrap());
+        let sink = sink(&metrics);
         let pool = ShardPool::start(
             &cfg,
             Arc::clone(&metrics),
@@ -391,7 +647,7 @@ mod tests {
     fn collapse_fires_alarm_into_sink() {
         let cfg = small_config(64);
         let metrics = Arc::new(Metrics::new(cfg.shards));
-        let sink = Arc::new(IncidentSink::new(None, 8).unwrap());
+        let sink = sink(&metrics);
         let pool = ShardPool::start(
             &cfg,
             Arc::clone(&metrics),
@@ -449,11 +705,12 @@ mod tests {
                 alarm_threshold: 0.01,
                 leaf_threshold: 0.01,
                 k: 1,
+                ..pipeline::PipelineConfig::default()
             },
             ..ServiceConfig::default()
         };
         let metrics = Arc::new(Metrics::new(1));
-        let sink = Arc::new(IncidentSink::new(None, 4).unwrap());
+        let sink = sink(&metrics);
         let pool = ShardPool::start(
             &cfg,
             Arc::clone(&metrics),
@@ -487,9 +744,238 @@ mod tests {
     fn flush_on_idle_pool_returns_immediately() {
         let cfg = small_config(4);
         let metrics = Arc::new(Metrics::new(cfg.shards));
-        let sink = Arc::new(IncidentSink::new(None, 4).unwrap());
+        let sink = sink(&metrics);
         let pool = ShardPool::start(&cfg, metrics, sink, default_factory());
         assert!(pool.flush(Duration::from_secs(5)));
         pool.shutdown();
+    }
+
+    /// A localizer that panics while its switch is on — a stand-in for a
+    /// pipeline bug triggered by specific tenant data.
+    struct Panicky {
+        armed: Arc<AtomicBool>,
+        inner: RapMinerLocalizer,
+    }
+
+    impl Localizer for Panicky {
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+        fn localize(
+            &self,
+            frame: &LeafFrame,
+            k: usize,
+        ) -> baselines::Result<Vec<ScoredCombination>> {
+            assert!(!self.armed.load(Ordering::Relaxed), "injected pipeline bug");
+            self.inner.localize(frame, k)
+        }
+    }
+
+    fn panicky_factory(armed: &Arc<AtomicBool>) -> LocalizerFactory {
+        let armed = Arc::clone(armed);
+        Arc::new(move || {
+            Box::new(Panicky {
+                armed: Arc::clone(&armed),
+                inner: RapMinerLocalizer::default(),
+            }) as Box<dyn Localizer>
+        })
+    }
+
+    /// A localizer that *errors* (not panics) while its switch is on. The
+    /// pipeline survives an error, so consecutive failures accumulate on
+    /// the same pipeline — exactly the pattern the breaker watches for.
+    struct Faily {
+        armed: Arc<AtomicBool>,
+        inner: RapMinerLocalizer,
+    }
+
+    impl Localizer for Faily {
+        fn name(&self) -> &'static str {
+            "faily"
+        }
+        fn localize(
+            &self,
+            frame: &LeafFrame,
+            k: usize,
+        ) -> baselines::Result<Vec<ScoredCombination>> {
+            if self.armed.load(Ordering::Relaxed) {
+                return Err(baselines::Error::UnlabelledFrame { method: "faily" });
+            }
+            self.inner.localize(frame, k)
+        }
+    }
+
+    fn faily_factory(armed: &Arc<AtomicBool>) -> LocalizerFactory {
+        let armed = Arc::clone(armed);
+        Arc::new(move || {
+            Box::new(Faily {
+                armed: Arc::clone(&armed),
+                inner: RapMinerLocalizer::default(),
+            }) as Box<dyn Localizer>
+        })
+    }
+
+    /// An alarm-on-every-frame single-shard config for fault tests.
+    fn touchy_config(breaker_threshold: u32, cooldown: Duration) -> ServiceConfig {
+        ServiceConfig {
+            shards: 1,
+            queue_capacity: 1024,
+            forecast_window: 2,
+            breaker_threshold,
+            breaker_cooldown: cooldown,
+            pipeline: pipeline::PipelineConfig {
+                history_len: 8,
+                warmup: 1,
+                alarm_threshold: 0.01,
+                leaf_threshold: 0.01,
+                k: 1,
+                ..pipeline::PipelineConfig::default()
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// A geometric collapse: every post-warmup frame deviates hugely from
+    /// the forecast, and because anomalous frames are excluded from the
+    /// history, the alarms are *consecutive* — the breaker's trigger shape.
+    fn collapsing_value(i: usize) -> f64 {
+        1000.0 * 0.5f64.powi(i as i32)
+    }
+
+    #[test]
+    fn panicking_pipeline_is_quarantined_and_worker_survives() {
+        let cfg = touchy_config(0, Duration::from_secs(1)); // breaker off
+        let armed = Arc::new(AtomicBool::new(true));
+        let metrics = Arc::new(Metrics::new(1));
+        let sink = sink(&metrics);
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            panicky_factory(&armed),
+        );
+        let s = schema();
+        let mut ingested = 0u64;
+        for i in 0..6 {
+            let v = collapsing_value(i);
+            pool.ingest("victim", frame(&s, v, v));
+            ingested += 1;
+        }
+        assert!(pool.flush(Duration::from_secs(10)));
+        let restarts = metrics.pipeline_restarts_panic.load(Ordering::Relaxed);
+        assert!(restarts >= 1, "alarming frames must hit the injected panic");
+        // every frame is accounted even though localization panicked
+        assert_eq!(metrics.total_processed(), ingested);
+        assert_eq!(metrics.total_dropped(), 0);
+        assert_eq!(metrics.total_shed(), 0);
+        // disarm the bug: the tenant recovers on a fresh pipeline
+        armed.store(false, Ordering::Relaxed);
+        for i in 0..6 {
+            let v = collapsing_value(i);
+            pool.ingest("victim", frame(&s, v, v));
+            ingested += 1;
+        }
+        assert!(pool.flush(Duration::from_secs(10)));
+        assert_eq!(metrics.total_processed(), ingested);
+        assert!(
+            metrics.alarms.load(Ordering::Relaxed) >= 1,
+            "recovered pipeline must localize again"
+        );
+        assert!(!sink.recent(10).is_empty());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn breaker_opens_sheds_and_recovers_after_cooldown() {
+        let cooldown = Duration::from_millis(100);
+        let cfg = touchy_config(2, cooldown);
+        let armed = Arc::new(AtomicBool::new(true));
+        let metrics = Arc::new(Metrics::new(1));
+        let sink = sink(&metrics);
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            faily_factory(&armed),
+        );
+        let s = schema();
+        let mut ingested = 0u64;
+        // enough alarming frames to trip the 2-failure threshold, then
+        // keep pushing into the open breaker
+        for i in 0..10 {
+            let v = collapsing_value(i);
+            pool.ingest("flappy", frame(&s, v, v));
+            ingested += 1;
+            // serialize frames so "consecutive failures" is deterministic
+            assert!(pool.flush(Duration::from_secs(10)));
+        }
+        assert!(
+            metrics.total_shed() > 0,
+            "open breaker must shed frames, got {} pipeline errors",
+            metrics.pipeline_errors.load(Ordering::Relaxed)
+        );
+        assert_eq!(metrics.total_breaker_open(), 1, "breaker gauge up");
+        assert_eq!(
+            metrics.total_processed() + metrics.total_dropped() + metrics.total_shed(),
+            ingested,
+            "accounting invariant"
+        );
+        // heal the tenant and wait out the cooldown: the half-open probe
+        // must close the breaker and frames must flow again
+        armed.store(false, Ordering::Relaxed);
+        std::thread::sleep(cooldown + Duration::from_millis(50));
+        let processed_before = metrics.total_processed();
+        for i in 0..4 {
+            let v = collapsing_value(i);
+            pool.ingest("flappy", frame(&s, v, v));
+            ingested += 1;
+            assert!(pool.flush(Duration::from_secs(10)));
+        }
+        assert_eq!(metrics.total_breaker_open(), 0, "breaker closed again");
+        assert!(
+            metrics.total_processed() >= processed_before + 4,
+            "post-recovery frames must be processed, not shed"
+        );
+        assert_eq!(
+            metrics.total_processed() + metrics.total_dropped() + metrics.total_shed(),
+            ingested,
+            "accounting invariant after recovery"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn breaker_state_machine_transitions() {
+        let t0 = Instant::now();
+        let cooldown = Duration::from_secs(5);
+        let mut b = Breaker::default();
+        assert_eq!(b.admit(t0), Admission::Process);
+        // below threshold: stays closed
+        assert!(!b.on_failure(3, cooldown, t0));
+        assert!(!b.on_failure(3, cooldown, t0));
+        assert_eq!(b.admit(t0), Admission::Process);
+        // success resets the consecutive count
+        assert!(!b.on_success());
+        assert!(!b.on_failure(3, cooldown, t0));
+        assert!(!b.on_failure(3, cooldown, t0));
+        // third consecutive failure opens it
+        assert!(b.on_failure(3, cooldown, t0));
+        assert_eq!(b.admit(t0), Admission::Shed);
+        assert_eq!(b.admit(t0 + Duration::from_secs(1)), Admission::Shed);
+        // cooldown elapsed: half-open probe
+        assert_eq!(b.admit(t0 + cooldown), Admission::Probe);
+        // failed probe re-opens without a gauge change
+        assert!(!b.on_failure(3, cooldown, t0 + cooldown));
+        assert_eq!(b.admit(t0 + cooldown), Admission::Shed);
+        // next probe succeeds: closed, gauge drops
+        assert_eq!(b.admit(t0 + cooldown + cooldown), Admission::Probe);
+        assert!(b.on_success());
+        assert_eq!(b.admit(t0), Admission::Process);
+        // threshold 0 disables the breaker entirely
+        let mut off = Breaker::default();
+        for _ in 0..100 {
+            assert!(!off.on_failure(0, cooldown, t0));
+        }
+        assert_eq!(off.admit(t0), Admission::Process);
     }
 }

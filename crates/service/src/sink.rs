@@ -1,21 +1,43 @@
-//! The incident sink: a JSONL spool on disk plus an in-memory ring.
+//! The incident sink: a crash-safe JSONL spool on disk plus an in-memory
+//! ring.
 //!
 //! Shard workers hand every [`pipeline::IncidentReport`] here. The sink
-//! appends one JSON line per incident to `incidents.jsonl` in the spool
+//! appends one line per incident to `incidents.jsonl` in the spool
 //! directory (when configured) and keeps the most recent incidents in a
 //! bounded ring so the control socket can answer `incidents` queries
 //! without touching disk.
+//!
+//! # Spool framing and recovery
+//!
+//! Each spool line is `{json}\t{crc32:08x}` — the IEEE CRC-32 of the JSON
+//! bytes, hex-encoded after a tab. On startup [`IncidentSink::open`] scans
+//! any existing spool: lines whose checksum verifies are kept, pre-CRC
+//! lines that still parse as JSON are kept read-only (legacy), and
+//! torn/corrupt bytes — typically the tail left by a crash mid-write — are
+//! truncated, with every outcome counted in [`crate::Metrics`]. The repair
+//! rewrites through a temp file and renames it into place, so a crash
+//! during recovery itself never loses the original spool.
+//!
+//! # Degraded mode
+//!
+//! [`IncidentSink::record`] is infallible from the worker's perspective:
+//! if a spool write fails (disk full, volume gone), the sink latches into
+//! ring-only mode — one warning event, `rapd_spool_degraded` set to 1 —
+//! and keeps serving from memory instead of failing frames.
 
 use std::collections::VecDeque;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use pipeline::{IncidentReport, StageTimings};
 use rapminer::LocalizationTrace;
 
 use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::sync::lock_recover;
 
 /// One incident, flattened to the interchange form the spool and the
 /// control socket share.
@@ -38,6 +60,9 @@ pub struct IncidentRecord {
     /// The full localization trace (per-attribute CP, per-layer search
     /// counts, candidate confidences), when the localizer produced one.
     pub trace: Option<LocalizationTrace>,
+    /// Whether the localization deadline expired; `raps` is then the
+    /// partial answer from the layers completed in budget.
+    pub deadline_exceeded: bool,
 }
 
 impl IncidentRecord {
@@ -56,6 +81,7 @@ impl IncidentRecord {
                 .collect(),
             timings: report.timings,
             trace: report.trace.clone(),
+            deadline_exceeded: report.deadline_exceeded,
         }
     }
 
@@ -94,6 +120,10 @@ impl IncidentRecord {
                     None => Json::Null,
                     Some(trace) => trace_to_json(trace),
                 },
+            ),
+            (
+                "deadline_exceeded".to_string(),
+                Json::Bool(self.deadline_exceeded),
             ),
         ])
     }
@@ -171,6 +201,7 @@ fn trace_to_json(trace: &LocalizationTrace) -> Json {
             "early_stopped".to_string(),
             Json::Bool(trace.stats.early_stopped),
         ),
+        ("cancelled".to_string(), Json::Bool(trace.stats.cancelled)),
     ]);
     Json::Obj(vec![
         ("attrs".to_string(), Json::Arr(attrs)),
@@ -185,37 +216,169 @@ fn trace_to_json(trace: &LocalizationTrace) -> Json {
     ])
 }
 
-/// Where incidents go: JSONL spool file (optional) + bounded ring.
+/// IEEE CRC-32 (polynomial `0xEDB88320`), bitwise — the spool is
+/// low-volume (one line per incident) so a lookup table buys nothing.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One spool line's payload with its checksum suffix.
+fn frame_spool_line(json: &str) -> String {
+    format!("{json}\t{:08x}", crc32(json.as_bytes()))
+}
+
+/// What [`IncidentSink::open`] found when scanning an existing spool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpoolRecovery {
+    /// Lines whose CRC-32 suffix verified.
+    pub recovered: u64,
+    /// Pre-CRC lines accepted read-only because they parse as JSON.
+    pub legacy: u64,
+    /// Torn or corrupt bytes dropped from the file.
+    pub truncated_bytes: u64,
+}
+
+/// Verdict on one scanned spool line.
+enum LineVerdict {
+    /// CRC suffix present and correct.
+    Verified,
+    /// No CRC suffix, but the whole line parses as a JSON object
+    /// (a spool written before checksumming existed).
+    Legacy,
+    /// Torn or corrupt: drop it.
+    Corrupt,
+}
+
+fn judge_line(line: &str) -> LineVerdict {
+    if let Some((json, suffix)) = line.rsplit_once('\t') {
+        if suffix.len() == 8
+            && suffix.chars().all(|c| c.is_ascii_hexdigit())
+            && u32::from_str_radix(suffix, 16) == Ok(crc32(json.as_bytes()))
+        {
+            return LineVerdict::Verified;
+        }
+    }
+    match crate::json::parse(line) {
+        Ok(Json::Obj(_)) => LineVerdict::Legacy,
+        _ => LineVerdict::Corrupt,
+    }
+}
+
+/// Scan an existing spool, keep every intact line, and truncate the rest.
+///
+/// The repaired content is written to a sibling temp file first and
+/// renamed over the original, so a crash mid-repair leaves either the old
+/// or the new spool — never a half-written one. A missing file is an empty
+/// recovery, not an error.
+fn repair_spool(path: &Path) -> io::Result<SpoolRecovery> {
+    let data = match fs::read_to_string(path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(SpoolRecovery::default()),
+        Err(e) => return Err(e),
+    };
+    let mut recovery = SpoolRecovery::default();
+    let mut kept = String::with_capacity(data.len());
+    let mut dropped_any = false;
+    // `lines()` also yields a final unterminated fragment; if its checksum
+    // verifies the write actually completed and only the newline was lost,
+    // so it is kept (re-terminated). Anything else at the tail is torn.
+    let unterminated_tail = !data.is_empty() && !data.ends_with('\n');
+    for line in data.lines() {
+        match judge_line(line) {
+            LineVerdict::Verified => recovery.recovered += 1,
+            LineVerdict::Legacy => recovery.legacy += 1,
+            LineVerdict::Corrupt => {
+                dropped_any = true;
+                continue;
+            }
+        }
+        kept.push_str(line);
+        kept.push('\n');
+    }
+    recovery.truncated_bytes = (data.len() as u64).saturating_sub(kept.len() as u64);
+    if dropped_any || unterminated_tail {
+        let tmp = path.with_extension("jsonl.repair");
+        fs::write(&tmp, &kept)?;
+        fs::rename(&tmp, path)?;
+    }
+    Ok(recovery)
+}
+
+/// Where incidents go: crash-safe JSONL spool (optional) + bounded ring.
 #[derive(Debug)]
 pub struct IncidentSink {
     spool: Option<Spool>,
     ring: Mutex<VecDeque<IncidentRecord>>,
     ring_capacity: usize,
+    metrics: Arc<Metrics>,
 }
 
 #[derive(Debug)]
 struct Spool {
     path: PathBuf,
     file: Mutex<File>,
+    /// Latched on the first write error; the sink then serves ring-only.
+    degraded: AtomicBool,
 }
 
 impl IncidentSink {
-    /// Create the sink. When `spool_dir` is given the directory is created
-    /// and `incidents.jsonl` inside it is opened for append.
+    /// Open the sink. When `spool_dir` is given the directory is created,
+    /// any existing `incidents.jsonl` is scanned and repaired (see the
+    /// module docs), and the file is opened for append. Recovery tallies
+    /// land in `metrics` (`rapd_spool_recovered_lines`,
+    /// `rapd_spool_legacy_lines`, `rapd_spool_truncated_bytes`).
     ///
     /// # Errors
     ///
-    /// Fails when the spool directory or file cannot be created.
-    pub fn new(spool_dir: Option<&Path>, ring_capacity: usize) -> io::Result<Self> {
+    /// Fails when the spool directory or file cannot be created, or an
+    /// existing spool cannot be read for repair.
+    pub fn open(
+        spool_dir: Option<&Path>,
+        ring_capacity: usize,
+        metrics: Arc<Metrics>,
+    ) -> io::Result<Self> {
         let spool = match spool_dir {
             None => None,
             Some(dir) => {
                 fs::create_dir_all(dir)?;
                 let path = dir.join("incidents.jsonl");
+                let recovery = repair_spool(&path)?;
+                metrics
+                    .spool_recovered_lines
+                    .store(recovery.recovered, Ordering::Relaxed);
+                metrics
+                    .spool_legacy_lines
+                    .store(recovery.legacy, Ordering::Relaxed);
+                metrics
+                    .spool_truncated_bytes
+                    .store(recovery.truncated_bytes, Ordering::Relaxed);
+                if recovery != SpoolRecovery::default() {
+                    obs::info(
+                        "sink",
+                        "spool_recovered",
+                        &[
+                            ("recovered", obs::Value::from(recovery.recovered)),
+                            ("legacy", obs::Value::from(recovery.legacy)),
+                            (
+                                "truncated_bytes",
+                                obs::Value::from(recovery.truncated_bytes),
+                            ),
+                        ],
+                    );
+                }
                 let file = OpenOptions::new().create(true).append(true).open(&path)?;
                 Some(Spool {
                     path,
                     file: Mutex::new(file),
+                    degraded: AtomicBool::new(false),
                 })
             }
         };
@@ -223,6 +386,7 @@ impl IncidentSink {
             spool,
             ring: Mutex::new(VecDeque::new()),
             ring_capacity: ring_capacity.max(1),
+            metrics,
         })
     }
 
@@ -231,45 +395,79 @@ impl IncidentSink {
         self.spool.as_ref().map(|s| s.path.as_path())
     }
 
-    /// Record one incident: append the JSON line (flushed immediately —
-    /// incidents are rare and must survive a crash) and push to the ring,
-    /// evicting the oldest entry when full.
+    /// Whether a spool write error has degraded the sink to ring-only.
+    pub fn is_degraded(&self) -> bool {
+        self.spool
+            .as_ref()
+            .is_some_and(|s| s.degraded.load(Ordering::Relaxed))
+    }
+
+    /// Record one incident: push to the ring (evicting the oldest entry
+    /// when full) and append the checksummed spool line, flushed
+    /// immediately — incidents are rare and must survive a crash.
     ///
-    /// # Errors
-    ///
-    /// Fails when the spool write fails; the ring is updated regardless.
-    pub fn record(&self, record: IncidentRecord) -> io::Result<()> {
-        let line = record.to_json().render();
+    /// Infallible from the caller's perspective: a spool write failure
+    /// degrades the sink to ring-only mode (one warning event,
+    /// `rapd_spool_degraded` gauge set) instead of surfacing an error the
+    /// worker could do nothing useful with.
+    pub fn record(&self, record: IncidentRecord) {
+        let line = frame_spool_line(&record.to_json().render());
         {
-            let mut ring = self.ring.lock().expect("sink ring poisoned");
+            let mut ring = lock_recover(&self.ring);
             if ring.len() == self.ring_capacity {
                 ring.pop_front();
             }
             ring.push_back(record);
         }
-        if let Some(spool) = &self.spool {
-            let mut file = spool.file.lock().expect("spool file poisoned");
-            writeln!(file, "{line}")?;
-            file.flush()?;
+        let Some(spool) = &self.spool else { return };
+        if spool.degraded.load(Ordering::Relaxed) {
+            return;
         }
-        Ok(())
+        let result = {
+            let mut file = lock_recover(&spool.file);
+            if obs::fail::should_error("spool-write-error") {
+                Err(io::Error::other("injected spool write error"))
+            } else {
+                writeln!(file, "{line}").and_then(|()| file.flush())
+            }
+        };
+        if let Err(e) = result {
+            self.metrics
+                .spool_write_errors
+                .fetch_add(1, Ordering::Relaxed);
+            if !spool.degraded.swap(true, Ordering::Relaxed) {
+                self.metrics.spool_degraded.store(1, Ordering::Relaxed);
+                obs::warn(
+                    "sink",
+                    "spool_degraded",
+                    &[
+                        ("error", obs::Value::from(e.to_string())),
+                        ("path", obs::Value::from(spool.path.display().to_string())),
+                    ],
+                );
+            }
+        }
     }
 
     /// The most recent incidents, newest first, at most `limit`.
     pub fn recent(&self, limit: usize) -> Vec<IncidentRecord> {
-        let ring = self.ring.lock().expect("sink ring poisoned");
+        let ring = lock_recover(&self.ring);
         ring.iter().rev().take(limit).cloned().collect()
     }
 
     /// Incidents currently held in the ring.
     pub fn ring_len(&self) -> usize {
-        self.ring.lock().expect("sink ring poisoned").len()
+        lock_recover(&self.ring).len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn metrics() -> Arc<Metrics> {
+        Arc::new(Metrics::new(1))
+    }
 
     fn record(tenant: &str, step: usize) -> IncidentRecord {
         IncidentRecord {
@@ -286,14 +484,22 @@ mod tests {
                 localize_seconds: 0.006,
             },
             trace: None,
+            deadline_exceeded: false,
         }
+    }
+
+    /// A scratch directory unique to the calling test.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rapd-sink-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
     fn ring_keeps_newest_and_bounds_memory() {
-        let sink = IncidentSink::new(None, 3).unwrap();
+        let sink = IncidentSink::open(None, 3, metrics()).unwrap();
         for step in 0..10 {
-            sink.record(record("t", step)).unwrap();
+            sink.record(record("t", step));
         }
         assert_eq!(sink.ring_len(), 3);
         let recent = sink.recent(2);
@@ -303,21 +509,168 @@ mod tests {
     }
 
     #[test]
-    fn spool_appends_valid_json_lines() {
-        let dir = std::env::temp_dir().join(format!("rapd-sink-test-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        let sink = IncidentSink::new(Some(&dir), 8).unwrap();
-        sink.record(record("edge", 5)).unwrap();
-        sink.record(record("edge", 6)).unwrap();
+    fn spool_appends_checksummed_json_lines() {
+        let dir = scratch("append");
+        let sink = IncidentSink::open(Some(&dir), 8, metrics()).unwrap();
+        sink.record(record("edge", 5));
+        sink.record(record("edge", 6));
         let text = fs::read_to_string(sink.spool_path().unwrap()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
-        let doc = crate::json::parse(lines[1]).unwrap();
+        for line in &lines {
+            assert!(
+                matches!(judge_line(line), LineVerdict::Verified),
+                "bad frame: {line}"
+            );
+        }
+        let (json, _crc) = lines[1].rsplit_once('\t').unwrap();
+        let doc = crate::json::parse(json).unwrap();
         assert_eq!(doc.get("tenant").unwrap().as_str(), Some("edge"));
         assert_eq!(doc.get("step").unwrap().as_u64(), Some(6));
+        assert_eq!(doc.get("deadline_exceeded").unwrap().as_bool(), Some(false));
         let raps = doc.get("raps").unwrap().as_arr().unwrap();
         assert_eq!(raps[0].as_arr().unwrap()[0].as_str(), Some("(L1, *)"));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // standard IEEE CRC-32 check values
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn empty_spool_recovers_to_nothing() {
+        let dir = scratch("empty");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("incidents.jsonl");
+        fs::write(&path, "").unwrap();
+        assert_eq!(repair_spool(&path).unwrap(), SpoolRecovery::default());
+        // missing file behaves the same
+        assert_eq!(
+            repair_spool(&dir.join("absent.jsonl")).unwrap(),
+            SpoolRecovery::default()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_and_appends_continue() {
+        let dir = scratch("torn");
+        let m = metrics();
+        {
+            let sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m)).unwrap();
+            sink.record(record("t", 1));
+            sink.record(record("t", 2));
+        }
+        let path = dir.join("incidents.jsonl");
+        let intact = fs::read_to_string(&path).unwrap();
+        // simulate a crash mid-write: half a JSON line, no newline
+        let torn = r#"{"tenant":"t","step":3,"total_dev"#;
+        fs::write(&path, format!("{intact}{torn}")).unwrap();
+
+        let m2 = metrics();
+        let sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m2)).unwrap();
+        assert_eq!(m2.spool_recovered_lines.load(Ordering::Relaxed), 2);
+        assert_eq!(m2.spool_legacy_lines.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            m2.spool_truncated_bytes.load(Ordering::Relaxed),
+            torn.len() as u64
+        );
+        let repaired = fs::read_to_string(&path).unwrap();
+        assert_eq!(repaired, intact, "intact prefix must survive untouched");
+        // and the repaired spool accepts new incidents
+        sink.record(record("t", 4));
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text
+            .lines()
+            .all(|l| matches!(judge_line(l), LineVerdict::Verified)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corrupt_crc_is_dropped_and_counted() {
+        let dir = scratch("corrupt");
+        let m = metrics();
+        {
+            let sink = IncidentSink::open(Some(&dir), 8, m).unwrap();
+            for step in 1..=3 {
+                sink.record(record("t", step));
+            }
+        }
+        let path = dir.join("incidents.jsonl");
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        // flip a payload byte of the middle line; its CRC no longer matches
+        lines[1] = lines[1].replacen("\"step\":2", "\"step\":9", 1);
+        let corrupted_len = lines[1].len() as u64 + 1; // + newline
+        fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let m2 = metrics();
+        let _sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m2)).unwrap();
+        assert_eq!(m2.spool_recovered_lines.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            m2.spool_truncated_bytes.load(Ordering::Relaxed),
+            corrupted_len
+        );
+        let repaired = fs::read_to_string(&path).unwrap();
+        assert_eq!(repaired.lines().count(), 2);
+        assert!(!repaired.contains("\"step\":9"), "tampered line must go");
+        assert!(repaired.contains("\"step\":1") && repaired.contains("\"step\":3"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_pre_crc_lines_are_accepted_read_only() {
+        let dir = scratch("legacy");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("incidents.jsonl");
+        // a spool written before checksumming: bare JSON lines
+        let legacy1 = record("old", 1).to_json().render();
+        let legacy2 = record("old", 2).to_json().render();
+        fs::write(&path, format!("{legacy1}\n{legacy2}\n")).unwrap();
+
+        let m = metrics();
+        let sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m)).unwrap();
+        assert_eq!(m.spool_recovered_lines.load(Ordering::Relaxed), 0);
+        assert_eq!(m.spool_legacy_lines.load(Ordering::Relaxed), 2);
+        assert_eq!(m.spool_truncated_bytes.load(Ordering::Relaxed), 0);
+        // legacy lines stay byte-identical; new lines get checksums
+        sink.record(record("new", 3));
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], legacy1);
+        assert!(matches!(judge_line(lines[0]), LineVerdict::Legacy));
+        assert!(matches!(judge_line(lines[2]), LineVerdict::Verified));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unterminated_but_intact_final_line_is_kept() {
+        let dir = scratch("unterminated");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("incidents.jsonl");
+        // the write completed but the trailing newline was lost
+        let framed = frame_spool_line(&record("t", 7).to_json().render());
+        fs::write(&path, &framed).unwrap();
+        let m = metrics();
+        let _sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m)).unwrap();
+        assert_eq!(m.spool_recovered_lines.load(Ordering::Relaxed), 1);
+        assert_eq!(m.spool_truncated_bytes.load(Ordering::Relaxed), 0);
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, format!("{framed}\n"), "re-terminated in place");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ring_only_sink_never_degrades() {
+        let sink = IncidentSink::open(None, 4, metrics()).unwrap();
+        sink.record(record("t", 1));
+        assert!(!sink.is_degraded());
+        assert!(sink.spool_path().is_none());
     }
 
     #[test]
@@ -367,6 +720,7 @@ mod tests {
                 combos_visited: 2,
                 candidates_found: 1,
                 early_stopped: true,
+                cancelled: false,
             },
             cp_seconds: 0.004,
             search_seconds: 0.005,
@@ -387,6 +741,7 @@ mod tests {
         assert_eq!(layers[0].get("combos").unwrap().as_u64(), Some(2));
         let stats = trace.get("stats").unwrap();
         assert_eq!(stats.get("early_stopped").unwrap().as_bool(), Some(true));
+        assert_eq!(stats.get("cancelled").unwrap().as_bool(), Some(false));
         assert_eq!(stats.get("attrs_deleted").unwrap().as_u64(), Some(1));
         let cands = trace.get("candidates").unwrap().as_arr().unwrap();
         assert_eq!(cands[0].get("combination").unwrap().as_str(), Some("(I1)"));

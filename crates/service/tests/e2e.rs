@@ -140,6 +140,7 @@ fn rapd_localizes_a_streamed_cdn_failure_under_backpressure() {
             alarm_threshold: 0.08,
             leaf_threshold: 0.3,
             k: 3,
+            ..pipeline::PipelineConfig::default()
         },
         ..ServiceConfig::default()
     };
@@ -305,10 +306,18 @@ fn rapd_localizes_a_streamed_cdn_failure_under_backpressure() {
         "some incident must localize to the injected L4 outage, got {top_raps:?}"
     );
 
-    // --- the spool holds the same incidents as JSON lines ---
+    // --- the spool holds the same incidents as CRC-framed JSON lines ---
     let spool_text =
         std::fs::read_to_string(spool_dir.join("incidents.jsonl")).expect("spool file exists");
-    let spool_lines: Vec<&str> = spool_text.lines().collect();
+    let spool_lines: Vec<&str> = spool_text
+        .lines()
+        .map(|line| {
+            // every line carries a `\t<crc32 hex>` integrity suffix
+            let (json, crc) = line.rsplit_once('\t').expect("CRC-framed spool line");
+            assert_eq!(crc.len(), 8, "8 hex digits of CRC32: {line}");
+            json
+        })
+        .collect();
     assert_eq!(spool_lines.len() as u64, alarms, "one spool line per alarm");
     let spooled_l4 = spool_lines.iter().any(|line| {
         let doc = parse(line).expect("spool lines are valid JSON");

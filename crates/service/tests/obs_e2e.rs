@@ -123,6 +123,7 @@ fn rapd_emits_logs_traces_and_stage_metrics_for_an_injected_outage() {
             alarm_threshold: 0.2,
             leaf_threshold: 0.3,
             k: 3,
+            ..pipeline::PipelineConfig::default()
         },
         ..ServiceConfig::default()
     };

@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             alarm_threshold: 0.08,
             leaf_threshold: 0.3,
             k: 3,
+            ..PipelineConfig::default()
         },
         // minute-scale smoothing: traffic moves slowly minute to minute
         MovingAverage::new(10),

@@ -6,8 +6,14 @@
 #   2. cargo clippy -D warnings -- lint-clean across the whole workspace
 #   3. cargo build --release    -- the release artifacts must build
 #   4. cargo test -q            -- full test suite (unit + property + e2e)
-#   5. cargo bench --no-run     -- Criterion benches must compile
-#   6. obs_overhead             -- tracing overhead smoke test: spans
+#   5. clippy unwrap gate       -- service/pipeline non-test code must not
+#                                  unwrap (fault-tolerance policy: recover
+#                                  or degrade, never panic the daemon)
+#   6. fault injection          -- the failpoint suite: rapd must survive
+#                                  injected panics, spool I/O errors, slow
+#                                  localizations, and worker deaths
+#   7. cargo bench --no-run     -- Criterion benches must compile
+#   8. obs_overhead             -- tracing overhead smoke test: spans
 #                                  enabled vs disabled must stay within a
 #                                  5% budget on the localizers bench
 #                                  fixture
@@ -26,6 +32,8 @@ run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo build --workspace --release --offline
 run cargo test --workspace -q --offline
+run cargo clippy -p service -p pipeline --offline -- -D warnings -D clippy::unwrap_used
+run cargo test -p service --features fail --offline -q --test fault_injection
 run cargo bench --workspace --offline --no-run
 run cargo run --release --offline -p rapminer-bench --bin obs_overhead -- 5.0
 
