@@ -1,0 +1,424 @@
+//! Dirty-telemetry corruption: turn a clean simulated stream into the kind
+//! of garbage a real CDN collection plane delivers.
+//!
+//! The paper evaluates on curated data; production telemetry is not curated.
+//! Collectors emit NaN when a probe times out, double-report a leaf after a
+//! retry, deliver frames out of order across relays, replay frames on
+//! reconnect, and grow attribute values the control plane has never seen.
+//! [`Corruptor`] applies exactly those faults to a clean `(timestamp,
+//! [`LeafFrame`])` stream — deterministically, so rapd's admission-control
+//! layer can be exercised end to end and its output compared byte-for-byte
+//! against an uncorrupted run (`tests/dirty_stream.rs`).
+//!
+//! Each delivered frame is tagged with its [`Corruption`] kind, which also
+//! states the expected admission outcome: [`Corruption::quarantined`] kinds
+//! never reach a pipeline, [`Corruption::restored`] kinds reach it with the
+//! *original* payload after repair/reordering, and the rest reach it
+//! repaired but altered.
+
+use mdkpi::LeafFrame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The corruption applied to one delivered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Untouched.
+    Clean,
+    /// One row's value replaced with NaN (wire encoding: `null`). rapd
+    /// quarantines the whole frame.
+    NanValue,
+    /// One leaf reported three times: the original, a junk-valued copy, and
+    /// a final copy carrying the original value. rapd's keep-last repair
+    /// restores the original frame exactly.
+    DuplicateLeaf,
+    /// One row's value flipped negative. rapd clamps it to zero, so the
+    /// frame is admitted but altered.
+    NegativeValue,
+    /// One extra row naming an attribute value absent from the schema.
+    /// Within the drift allowance rapd strips it, restoring the original.
+    DriftRow,
+    /// Swapped with the following frame in delivery order. The watermark
+    /// reorder buffer restores timestamp order.
+    Reordered,
+    /// A byte-identical copy of the preceding frame (same timestamp). The
+    /// reorder buffer rejects it as a replay.
+    Replay,
+}
+
+impl Corruption {
+    /// Whether rapd quarantines the whole frame (it never reaches a
+    /// pipeline).
+    pub fn quarantined(self) -> bool {
+        matches!(self, Corruption::NanValue | Corruption::Replay)
+    }
+
+    /// Whether the pipeline sees the frame with its **original** payload
+    /// once admission repair and watermark reordering are done.
+    pub fn restored(self) -> bool {
+        matches!(
+            self,
+            Corruption::Clean
+                | Corruption::DuplicateLeaf
+                | Corruption::DriftRow
+                | Corruption::Reordered
+        )
+    }
+}
+
+/// One frame as delivered on the wire: named rows plus a timestamp, tagged
+/// with the corruption it carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirtyFrame {
+    /// Epoch-milliseconds timestamp carried on the wire.
+    pub ts: u64,
+    /// `(attribute values in schema order, value)` rows, post-corruption.
+    pub rows: Vec<(Vec<String>, f64)>,
+    /// What was done to this frame.
+    pub kind: Corruption,
+}
+
+/// Per-kind corruption rates (fractions of frames; the remainder stays
+/// clean). Rates are cumulative draws, so their sum should stay below 1.
+#[derive(Debug, Clone)]
+pub struct CorruptionConfig {
+    /// Fraction of frames that get one NaN value.
+    pub nan: f64,
+    /// Fraction that get one leaf duplicated (keep-last repair target).
+    pub duplicate: f64,
+    /// Fraction that get one value flipped negative (clamp repair target).
+    pub negative: f64,
+    /// Fraction that get one unknown-attribute-value row appended.
+    pub drift: f64,
+    /// Fraction swapped with the following frame in delivery order.
+    pub reorder: f64,
+    /// Fraction delivered twice (the second copy is the replay).
+    pub replay: f64,
+    /// Number of distinct unknown attribute values drift rows cycle
+    /// through. Keep it below rapd's `--schema-drift-limit` to exercise
+    /// repair, push it above to exercise drift quarantine.
+    pub drift_pool: usize,
+}
+
+impl Default for CorruptionConfig {
+    /// Roughly 12% of frames dirty, spread across every kind except
+    /// negative values (which alter the admitted payload and so are opt-in
+    /// for byte-identical comparisons).
+    fn default() -> Self {
+        CorruptionConfig {
+            nan: 0.03,
+            duplicate: 0.03,
+            negative: 0.0,
+            drift: 0.02,
+            reorder: 0.02,
+            replay: 0.02,
+            drift_pool: 4,
+        }
+    }
+}
+
+/// Convert a [`LeafFrame`] into wire-shaped named rows via its schema.
+pub fn named_rows(frame: &LeafFrame) -> Vec<(Vec<String>, f64)> {
+    let schema = frame.schema();
+    (0..frame.num_rows())
+        .map(|i| {
+            let names = frame
+                .row_elements(i)
+                .iter()
+                .zip(schema.attr_ids())
+                .map(|(e, a)| schema.attribute(a).element_name(*e).to_string())
+                .collect();
+            (names, frame.v(i))
+        })
+        .collect()
+}
+
+/// Seeded corruptor: applies [`CorruptionConfig`] faults to a clean stream.
+#[derive(Debug)]
+pub struct Corruptor {
+    rng: StdRng,
+    config: CorruptionConfig,
+    drift_next: usize,
+}
+
+impl Corruptor {
+    /// Create a corruptor with the given rates and seed. Identical inputs
+    /// produce identical delivery sequences.
+    pub fn new(config: CorruptionConfig, seed: u64) -> Corruptor {
+        Corruptor {
+            rng: StdRng::seed_from_u64(seed ^ 0xD127_7E1E),
+            config,
+            drift_next: 0,
+        }
+    }
+
+    /// Corrupt a timestamp-ordered clean stream into a delivery sequence.
+    ///
+    /// The output may be longer than the input (replays add copies) and
+    /// adjacent frames may be swapped (reordering), but every input frame
+    /// appears exactly once with its own timestamp.
+    pub fn corrupt_stream(&mut self, frames: &[(u64, LeafFrame)]) -> Vec<DirtyFrame> {
+        let mut out: Vec<DirtyFrame> = Vec::with_capacity(frames.len());
+        for (ts, frame) in frames {
+            let mut rows = named_rows(frame);
+            let mut kind = self.draw();
+            if rows.is_empty() && !matches!(kind, Corruption::Reordered | Corruption::Replay) {
+                kind = Corruption::Clean; // nothing to corrupt in-place
+            }
+            match kind {
+                Corruption::NanValue => {
+                    let i = self.rng.gen_range(0..rows.len());
+                    rows[i].1 = f64::NAN;
+                }
+                Corruption::DuplicateLeaf => {
+                    let i = self.rng.gen_range(0..rows.len());
+                    let (names, v) = rows[i].clone();
+                    rows.push((names.clone(), v * 2.0 + 1.0)); // junk copy
+                    rows.push((names, v)); // keep-last restores this one
+                }
+                Corruption::NegativeValue => {
+                    let i = self.rng.gen_range(0..rows.len());
+                    rows[i].1 = -(rows[i].1 + 1.0);
+                }
+                Corruption::DriftRow => {
+                    let mut names = rows[0].0.clone();
+                    let ghost = self.drift_next % self.config.drift_pool.max(1);
+                    self.drift_next += 1;
+                    let last = names.len() - 1;
+                    names[last] = format!("Ghost{ghost}");
+                    rows.push((names, 1.0));
+                }
+                Corruption::Replay => {
+                    out.push(DirtyFrame {
+                        ts: *ts,
+                        rows: rows.clone(),
+                        kind: Corruption::Clean,
+                    });
+                    out.push(DirtyFrame {
+                        ts: *ts,
+                        rows,
+                        kind: Corruption::Replay,
+                    });
+                    continue;
+                }
+                Corruption::Clean | Corruption::Reordered => {}
+            }
+            out.push(DirtyFrame {
+                ts: *ts,
+                rows,
+                kind,
+            });
+        }
+        // Delivery-order pass: swap each reordered frame with its successor.
+        // Replay copies stay glued behind their originals — swapping one
+        // ahead would flip which copy the reorder buffer accepts.
+        let mut i = 0;
+        while i + 1 < out.len() {
+            if out[i].kind == Corruption::Reordered && out[i + 1].kind != Corruption::Replay {
+                out.swap(i, i + 1);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn draw(&mut self) -> Corruption {
+        let x: f64 = self.rng.gen();
+        let c = &self.config;
+        let kinds = [
+            (c.nan, Corruption::NanValue),
+            (c.duplicate, Corruption::DuplicateLeaf),
+            (c.negative, Corruption::NegativeValue),
+            (c.drift, Corruption::DriftRow),
+            (c.reorder, Corruption::Reordered),
+            (c.replay, Corruption::Replay),
+        ];
+        let mut acc = 0.0;
+        for (rate, kind) in kinds {
+            acc += rate;
+            if x < acc {
+                return kind;
+            }
+        }
+        Corruption::Clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdnTopology, TrafficConfig, TrafficModel};
+
+    fn clean_stream(n: usize) -> Vec<(u64, LeafFrame)> {
+        let topology = CdnTopology::small(11);
+        let model = TrafficModel::new(topology, TrafficConfig::default(), 11);
+        (0..n)
+            .map(|step| ((step as u64) * 60_000, model.snapshot(600 + step)))
+            .collect()
+    }
+
+    fn heavy() -> CorruptionConfig {
+        CorruptionConfig {
+            nan: 0.05,
+            duplicate: 0.05,
+            negative: 0.05,
+            drift: 0.05,
+            reorder: 0.05,
+            replay: 0.05,
+            drift_pool: 3,
+        }
+    }
+
+    #[test]
+    fn named_rows_match_the_schema() {
+        let stream = clean_stream(1);
+        let (_, frame) = &stream[0];
+        let rows = named_rows(frame);
+        assert_eq!(rows.len(), frame.num_rows());
+        let schema = frame.schema();
+        for (names, v) in &rows {
+            assert_eq!(names.len(), schema.num_attributes());
+            assert!(v.is_finite());
+            // every name resolves back to a schema element
+            for (a, name) in schema.attr_ids().zip(names.iter()) {
+                assert!(
+                    schema.attribute(a).element(name).is_some(),
+                    "unknown element {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let stream = clean_stream(40);
+        let a = Corruptor::new(heavy(), 7).corrupt_stream(&stream);
+        let b = Corruptor::new(heavy(), 7).corrupt_stream(&stream);
+        let c = Corruptor::new(heavy(), 8).corrupt_stream(&stream);
+        // Debug formatting treats NaN as equal to itself, unlike PartialEq.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn every_kind_appears_and_every_input_frame_survives() {
+        let stream = clean_stream(300);
+        let dirty = Corruptor::new(heavy(), 3).corrupt_stream(&stream);
+        for kind in [
+            Corruption::NanValue,
+            Corruption::DuplicateLeaf,
+            Corruption::NegativeValue,
+            Corruption::DriftRow,
+            Corruption::Reordered,
+            Corruption::Replay,
+        ] {
+            assert!(
+                dirty.iter().any(|f| f.kind == kind),
+                "missing kind {kind:?}"
+            );
+        }
+        // every input ts appears exactly once as a non-replay frame
+        let mut non_replay: Vec<u64> = dirty
+            .iter()
+            .filter(|f| f.kind != Corruption::Replay)
+            .map(|f| f.ts)
+            .collect();
+        non_replay.sort_unstable();
+        let expected: Vec<u64> = stream.iter().map(|(ts, _)| *ts).collect();
+        assert_eq!(non_replay, expected);
+        let corrupted = dirty.iter().filter(|f| f.kind != Corruption::Clean).count();
+        assert!(
+            corrupted as f64 >= 0.05 * dirty.len() as f64,
+            "only {corrupted}/{} corrupted",
+            dirty.len()
+        );
+    }
+
+    #[test]
+    fn replay_copies_follow_their_original_byte_for_byte() {
+        let stream = clean_stream(200);
+        let dirty = Corruptor::new(heavy(), 5).corrupt_stream(&stream);
+        let mut replays = 0;
+        for (i, f) in dirty.iter().enumerate() {
+            if f.kind == Corruption::Replay {
+                replays += 1;
+                let prev = &dirty[i - 1];
+                assert_eq!(prev.ts, f.ts);
+                assert_eq!(prev.rows, f.rows);
+            }
+        }
+        assert!(replays > 0, "heavy config must replay something");
+    }
+
+    #[test]
+    fn reordered_frames_swap_with_a_neighbor() {
+        let stream = clean_stream(200);
+        let dirty = Corruptor::new(heavy(), 9).corrupt_stream(&stream);
+        let swapped = dirty
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| f.kind == Corruption::Reordered && *i > 0 && dirty[*i - 1].ts > f.ts)
+            .count();
+        assert!(swapped > 0, "heavy config must deliver something late");
+    }
+
+    #[test]
+    fn corrupted_payloads_carry_the_advertised_fault() {
+        let stream = clean_stream(300);
+        let dirty = Corruptor::new(heavy(), 13).corrupt_stream(&stream);
+        for f in &dirty {
+            match f.kind {
+                Corruption::NanValue => {
+                    assert!(f.rows.iter().any(|(_, v)| v.is_nan()));
+                }
+                Corruption::NegativeValue => {
+                    assert!(f.rows.iter().any(|(_, v)| *v < 0.0));
+                }
+                Corruption::DuplicateLeaf => {
+                    let names: Vec<&Vec<String>> = f.rows.iter().map(|(n, _)| n).collect();
+                    let distinct: std::collections::HashSet<&Vec<String>> =
+                        names.iter().copied().collect();
+                    assert!(distinct.len() < names.len(), "no duplicate leaf");
+                    // keep-last restores the original value: the final
+                    // occurrence equals the first one
+                    let dup = names
+                        .iter()
+                        .find(|n| names.iter().filter(|m| m == n).count() > 1)
+                        .unwrap();
+                    let values: Vec<f64> = f
+                        .rows
+                        .iter()
+                        .filter(|(n, _)| n == *dup)
+                        .map(|(_, v)| *v)
+                        .collect();
+                    assert_eq!(values.first(), values.last());
+                    assert_eq!(values.len(), 3);
+                }
+                Corruption::DriftRow => {
+                    assert!(f
+                        .rows
+                        .iter()
+                        .any(|(n, _)| n.last().is_some_and(|s| s.starts_with("Ghost"))));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn drift_values_cycle_through_the_pool() {
+        let stream = clean_stream(300);
+        let dirty = Corruptor::new(heavy(), 17).corrupt_stream(&stream);
+        let ghosts: std::collections::HashSet<&str> = dirty
+            .iter()
+            .flat_map(|f| f.rows.iter())
+            .filter_map(|(n, _)| n.last())
+            .filter(|s| s.starts_with("Ghost"))
+            .map(String::as_str)
+            .collect();
+        assert!(!ghosts.is_empty());
+        assert!(ghosts.len() <= 3, "pool of 3 exceeded: {ghosts:?}");
+    }
+}

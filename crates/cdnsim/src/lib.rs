@@ -17,7 +17,10 @@
 //! * [`KpiKind`] — fundamental KPIs (`OutFlow`, `Requests`, `CacheHits`) and
 //!   the derived cache-hit-ratio transformation;
 //! * [`FailureInjector`] — suppress the traffic of every leaf under a set of
-//!   root anomaly patterns.
+//!   root anomaly patterns;
+//! * [`Corruptor`] — dirty-telemetry faults (NaN values, duplicate leaves,
+//!   out-of-order delivery, replays, schema drift) for testing ingestion
+//!   admission control.
 //!
 //! All generation is seeded and deterministic.
 //!
@@ -36,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod corruption;
 mod diurnal;
 mod failure;
 mod kpis;
 mod topology;
 mod traffic;
 
+pub use corruption::{named_rows, Corruption, CorruptionConfig, Corruptor, DirtyFrame};
 pub use diurnal::DiurnalProfile;
 pub use failure::{FailureInjector, InjectedFailure};
 pub use kpis::{derive_hit_ratio, derive_mean_delay, KpiKind};

@@ -105,6 +105,14 @@ pub enum Command {
         /// How long an open breaker sheds frames before probing, in
         /// milliseconds.
         breaker_cooldown_ms: u64,
+        /// Distinct unknown attribute values tolerated per tenant before
+        /// drifted frames quarantine; `0` quarantines all drift.
+        schema_drift_limit: usize,
+        /// Frames buffered per tenant for timestamp reordering.
+        reorder_window: usize,
+        /// Out-of-orderness tolerated before a timestamped frame is late,
+        /// in milliseconds.
+        max_lateness_ms: u64,
     },
     /// `methods`: list available localizers.
     Methods,
@@ -143,6 +151,8 @@ USAGE:
                     [--leaf-threshold X] [--k N] [--window N]
                     [--log-json true] [--localize-deadline-ms N]
                     [--breaker-threshold N] [--breaker-cooldown-ms N]
+                    [--schema-drift-limit N] [--reorder-window N]
+                    [--max-lateness-ms N]
   rapminer methods
   rapminer help
 ";
@@ -221,6 +231,9 @@ impl Args {
                 localize_deadline_ms: parse_num(&flags, "localize-deadline-ms", 0)?,
                 breaker_threshold: parse_num(&flags, "breaker-threshold", 5)?,
                 breaker_cooldown_ms: parse_num(&flags, "breaker-cooldown-ms", 10_000)?,
+                schema_drift_limit: parse_num(&flags, "schema-drift-limit", 8)?,
+                reorder_window: parse_num(&flags, "reorder-window", 32)?,
+                max_lateness_ms: parse_num(&flags, "max-lateness-ms", 2_000)?,
             },
             "methods" => Command::Methods,
             "help" | "--help" | "-h" => Command::Help,
@@ -426,6 +439,47 @@ mod tests {
                 assert_eq!(localize_deadline_ms, 0);
                 assert_eq!(breaker_threshold, 5);
                 assert_eq!(breaker_cooldown_ms, 10_000);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_admission_flags() {
+        let args = Args::parse([
+            "serve",
+            "--schema-drift-limit",
+            "2",
+            "--reorder-window",
+            "64",
+            "--max-lateness-ms",
+            "500",
+        ])
+        .unwrap();
+        match args.command {
+            Command::Serve {
+                schema_drift_limit,
+                reorder_window,
+                max_lateness_ms,
+                ..
+            } => {
+                assert_eq!(schema_drift_limit, 2);
+                assert_eq!(reorder_window, 64);
+                assert_eq!(max_lateness_ms, 500);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // defaults: 8 drifted values, 32-frame window, 2 s lateness
+        match Args::parse(["serve"]).unwrap().command {
+            Command::Serve {
+                schema_drift_limit,
+                reorder_window,
+                max_lateness_ms,
+                ..
+            } => {
+                assert_eq!(schema_drift_limit, 8);
+                assert_eq!(reorder_window, 32);
+                assert_eq!(max_lateness_ms, 2_000);
             }
             other => panic!("wrong command {other:?}"),
         }

@@ -138,6 +138,9 @@ pub(crate) fn serve_start(
         localize_deadline_ms,
         breaker_threshold,
         breaker_cooldown_ms,
+        schema_drift_limit,
+        reorder_window,
+        max_lateness_ms,
     } = command
     else {
         return Err(CliError::new("serve_start requires the serve command"));
@@ -153,6 +156,9 @@ pub(crate) fn serve_start(
         log_json: *log_json,
         breaker_threshold: *breaker_threshold,
         breaker_cooldown: std::time::Duration::from_millis(*breaker_cooldown_ms),
+        schema_drift_limit: *schema_drift_limit,
+        reorder_window: *reorder_window,
+        max_lateness: std::time::Duration::from_millis(*max_lateness_ms),
         pipeline: pipeline::PipelineConfig {
             history_len: *history,
             warmup: *warmup,

@@ -22,8 +22,9 @@ const LABEL_COL: &str = "label";
 ///
 /// # Errors
 ///
-/// Fails on missing value columns, unparsable numbers or labels, and
-/// malformed CSV.
+/// Fails on missing value columns, unparsable or non-finite numbers
+/// (NaN/±inf are rejected with [`Error::NonFiniteValue`] naming the row),
+/// bad labels, and malformed CSV.
 ///
 /// # Example
 ///
@@ -89,9 +90,20 @@ pub fn read_frame_csv<R: Read>(reader: R) -> Result<LeafFrame> {
         };
         let parse_num = |col: usize, name: &str| -> Result<f64> {
             let s = get(col)?;
-            s.trim().parse::<f64>().map_err(|_| Error::Csv {
+            let v = s.trim().parse::<f64>().map_err(|_| Error::Csv {
                 message: format!("row {line}: `{name}` value `{s}` is not a number"),
-            })
+            })?;
+            // `str::parse::<f64>` happily accepts "NaN" and "inf"; such
+            // values would flow into deviation/CP math and poison every
+            // comparison downstream, so name the row and reject here.
+            if !v.is_finite() {
+                return Err(Error::NonFiniteValue {
+                    row: line,
+                    column: name.to_string(),
+                    value: v,
+                });
+            }
+            Ok(v)
         };
         let mut elements = Vec::with_capacity(attr_cols.len());
         for (ai, (col, _)) in attr_cols.iter().enumerate() {
@@ -266,6 +278,29 @@ mod tests {
         assert!(err.to_string().contains("not a number"));
         let err = read_frame_csv("a,real,predict,label\na1,1,1,maybe\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("bad label"));
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_with_the_row() {
+        for (body, col) in [
+            ("a,real,predict\na1,1,1\na2,NaN,1\n", "real"),
+            ("a,real,predict\na1,inf,1\n", "real"),
+            ("a,real,predict\na1,1,-inf\n", "predict"),
+        ] {
+            let err = read_frame_csv(body.as_bytes()).unwrap_err();
+            match &err {
+                Error::NonFiniteValue { row, column, value } => {
+                    let expected_row = body.lines().count() - 2; // last data row
+                    assert_eq!(*row, expected_row);
+                    assert_eq!(column, col);
+                    assert!(!value.is_finite());
+                }
+                other => panic!("expected NonFiniteValue, got {other:?}"),
+            }
+            let msg = err.to_string();
+            assert!(msg.contains("not finite"), "message was `{msg}`");
+            assert!(msg.contains(col), "message was `{msg}`");
+        }
     }
 
     #[test]

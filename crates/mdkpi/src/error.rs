@@ -57,6 +57,16 @@ pub enum Error {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A value column held NaN or ±infinity, which would poison every
+    /// downstream deviation and CP computation.
+    NonFiniteValue {
+        /// Zero-based data row index (excluding the header).
+        row: usize,
+        /// Name of the offending column (`real` or `predict`).
+        column: String,
+        /// The parsed non-finite value.
+        value: f64,
+    },
     /// Underlying I/O error.
     Io(std::io::Error),
 }
@@ -90,6 +100,9 @@ impl fmt::Display for Error {
                 write!(f, "row index {row} out of bounds for frame of {len} rows")
             }
             Error::Csv { message } => write!(f, "malformed csv: {message}"),
+            Error::NonFiniteValue { row, column, value } => {
+                write!(f, "row {row}: `{column}` value `{value}` is not finite")
+            }
             Error::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -43,6 +43,11 @@ pub struct IncidentReport {
     /// `true` here means `raps` is the best partial answer from the layers
     /// the search completed before the budget ran out (possibly empty).
     pub deadline_exceeded: bool,
+    /// Whether any forecast feeding this incident (the total KPI or a
+    /// per-leaf value) came from the degradation fallback because the
+    /// primary forecaster produced a non-finite value. Treat the scores
+    /// with extra suspicion: the detector was running on repaired inputs.
+    pub degraded_forecast: bool,
 }
 
 impl IncidentReport {
@@ -54,7 +59,7 @@ impl IncidentReport {
             .map(|r| r.combination.to_string())
             .unwrap_or_else(|| "<no pattern>".to_string());
         format!(
-            "step {}: total deviation {:+.1}%, {}/{} leaves anomalous, top RAP {}{}",
+            "step {}: total deviation {:+.1}%, {}/{} leaves anomalous, top RAP {}{}{}",
             self.step,
             100.0 * self.total_deviation,
             self.anomalous_leaves,
@@ -62,6 +67,11 @@ impl IncidentReport {
             top,
             if self.deadline_exceeded {
                 " (deadline exceeded)"
+            } else {
+                ""
+            },
+            if self.degraded_forecast {
+                " (degraded forecast)"
             } else {
                 ""
             }
@@ -89,6 +99,7 @@ mod tests {
             timings: StageTimings::default(),
             trace: None,
             deadline_exceeded: false,
+            degraded_forecast: false,
         };
         let s = report.summary();
         assert!(s.contains("step 42"));
@@ -96,6 +107,7 @@ mod tests {
         assert!(s.contains("3/10"));
         assert!(s.contains("(a1)"));
         assert!(!s.contains("deadline"));
+        assert!(!s.contains("degraded"));
     }
 
     #[test]
@@ -109,9 +121,11 @@ mod tests {
             timings: StageTimings::default(),
             trace: None,
             deadline_exceeded: true,
+            degraded_forecast: true,
         };
         let s = report.summary();
         assert!(s.contains("<no pattern>"));
         assert!(s.contains("(deadline exceeded)"));
+        assert!(s.contains("(degraded forecast)"));
     }
 }

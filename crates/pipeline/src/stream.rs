@@ -5,9 +5,16 @@ use std::time::{Duration, Instant};
 
 use baselines::Localizer;
 use mdkpi::{ElementId, LeafFrame, Schema};
-use timeseries::{deviation, Forecaster};
+use timeseries::{deviation, Ewma, Forecaster, SeasonalNaive};
 
 use crate::incident::{IncidentReport, StageTimings};
+
+/// Smoothing factor of the [`Ewma`] degradation fallback.
+const FALLBACK_EWMA_ALPHA: f64 = 0.3;
+/// Season length (points) above which the degradation fallback prefers
+/// [`SeasonalNaive`]: one day at minute granularity, matching the default
+/// `history_len`. Shorter clean histories fall back to the EWMA.
+const FALLBACK_SEASON: usize = 1440;
 
 /// Tunables of the streaming loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -262,17 +269,20 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
         let total_v = frame.total_v();
         let mut report = None;
         if self.steps >= self.config.warmup {
-            let total_dev = {
+            let (total_dev, total_degraded) = {
                 let forecast_span = obs::span("pipeline.forecast");
                 let total_hist: Vec<f64> = self.total_history.iter().copied().collect();
-                let total_f = self.forecaster.forecast_next(&total_hist);
+                let (total_f, degraded) = self.forecast_with_fallback(&total_hist);
                 let total_dev = deviation(total_v, total_f);
                 forecast_span.record("deviation", total_dev);
-                total_dev
+                if degraded {
+                    forecast_span.record("degraded", true);
+                }
+                (total_dev, degraded)
             };
             if total_dev.abs() > self.config.alarm_threshold {
                 observe_span.record("alarm", true);
-                report = Some(self.localize_incident(&schema, frame, total_dev)?);
+                report = Some(self.localize_incident(&schema, frame, total_dev, total_degraded)?);
             }
         }
 
@@ -296,13 +306,36 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
         Ok(report)
     }
 
+    /// Forecast the next point, substituting a degradation fallback when
+    /// the primary forecaster returns a non-finite value (which happens as
+    /// soon as one NaN slips into a history it averages over). The fallback
+    /// is warmed from the finite subset of the same history: seasonal-naive
+    /// when at least two clean seasons exist, EWMA otherwise, and a flat
+    /// zero when not even the fallback can produce a finite number. Returns
+    /// `(forecast, degraded)`.
+    fn forecast_with_fallback(&self, hist: &[f64]) -> (f64, bool) {
+        let f = self.forecaster.forecast_next(hist);
+        if f.is_finite() {
+            return (f, false);
+        }
+        let finite: Vec<f64> = hist.iter().copied().filter(|v| v.is_finite()).collect();
+        let fallback = if finite.len() >= 2 * FALLBACK_SEASON {
+            SeasonalNaive::new(FALLBACK_SEASON).forecast_next(&finite)
+        } else {
+            Ewma::new(FALLBACK_EWMA_ALPHA).forecast_next(&finite)
+        };
+        (if fallback.is_finite() { fallback } else { 0.0 }, true)
+    }
+
     /// Forecast every known leaf, label by deviation, and localize.
     fn localize_incident(
         &self,
         schema: &Schema,
         frame: &LeafFrame,
         total_dev: f64,
+        total_degraded: bool,
     ) -> Result<IncidentReport, PipelineError> {
+        let mut degraded_forecast = total_degraded;
         let detect_started = Instant::now();
         let labelled = {
             let detect_span = obs::span("pipeline.detect");
@@ -316,7 +349,9 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
             keys.sort(); // deterministic row order
             for elements in keys {
                 let hist: Vec<f64> = self.history[elements].iter().copied().collect();
-                let f = self.forecaster.forecast_next(&hist).max(0.0);
+                let (raw_f, leaf_degraded) = self.forecast_with_fallback(&hist);
+                degraded_forecast |= leaf_degraded;
+                let f = raw_f.max(0.0);
                 let v = current.get(elements.as_slice()).copied().unwrap_or(0.0);
                 builder.push(elements, v, f);
                 labels.push(deviation(v, f).abs() > self.config.leaf_threshold);
@@ -410,6 +445,7 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
             },
             trace: explained.trace,
             deadline_exceeded,
+            degraded_forecast,
         })
     }
 }
@@ -502,6 +538,51 @@ mod tests {
         assert_eq!(report.anomalous_leaves, 2);
         assert_eq!(report.raps[0].combination.to_string(), "(a1, *)");
         assert!(report.summary().contains("(a1, *)"));
+        assert!(!report.degraded_forecast, "clean history is not degraded");
+    }
+
+    #[test]
+    fn nan_history_degrades_forecast_instead_of_silencing_alarms() {
+        let s = schema();
+        let mut p = pipeline();
+        for _ in 0..8 {
+            p.observe(&frame(&s, [100.0, 100.0, 100.0, 100.0])).unwrap();
+        }
+        // One corrupt snapshot poisons every history with a NaN point; from
+        // now on MovingAverage(5) returns NaN for every series.
+        assert!(p
+            .observe(&frame(&s, [f64::NAN, 100.0, 100.0, 100.0]))
+            .unwrap()
+            .is_none());
+        // Steady traffic under the fallback forecaster: no false alarm.
+        assert!(p
+            .observe(&frame(&s, [100.0, 100.0, 100.0, 100.0]))
+            .unwrap()
+            .is_none());
+        // A real collapse still alarms and localizes correctly — but the
+        // incident is flagged as produced on degraded forecasts.
+        let report = p
+            .observe(&frame(&s, [5.0, 5.0, 100.0, 100.0]))
+            .unwrap()
+            .expect("collapse must still alarm on fallback forecasts");
+        assert!(report.degraded_forecast);
+        assert_eq!(report.raps[0].combination.to_string(), "(a1, *)");
+        assert!(report.summary().contains("(degraded forecast)"));
+        assert!(report.total_deviation.is_finite());
+    }
+
+    #[test]
+    fn all_nan_history_falls_back_to_zero_forecast() {
+        let p = pipeline();
+        let (f, degraded) = p.forecast_with_fallback(&[f64::NAN, f64::NAN]);
+        assert_eq!(f, 0.0);
+        assert!(degraded);
+        let (f, degraded) = p.forecast_with_fallback(&[f64::NAN, 7.0, 9.0]);
+        assert!(degraded);
+        assert!(f.is_finite() && f > 0.0, "ewma over the finite subset");
+        let (f, degraded) = p.forecast_with_fallback(&[7.0, 9.0]);
+        assert!(!degraded);
+        assert_eq!(f, 8.0, "primary moving average untouched");
     }
 
     #[test]

@@ -156,6 +156,7 @@ mod tests {
             timings: crate::StageTimings::default(),
             trace: None,
             deadline_exceeded: false,
+            degraded_forecast: false,
         }
     }
 

@@ -224,13 +224,26 @@ mod tests {
 
     #[test]
     fn degenerate_labels_have_zero_power() {
-        let mut frame = fig6_frame();
-        frame.set_labels(vec![false; frame.num_rows()]).unwrap();
-        let index = LeafIndex::new(&frame);
-        assert_eq!(classification_power(&frame, &index, AttrId(0)), 0.0);
-        frame.set_labels(vec![true; frame.num_rows()]).unwrap();
-        let index = LeafIndex::new(&frame);
-        assert_eq!(classification_power(&frame, &index, AttrId(0)), 0.0);
+        // Both degenerate datasets — all-normal and all-anomalous — have
+        // Info(D) = 0; every attribute must report CP = 0 (never NaN from
+        // the 0/0 normalization) and deletion must stay total-order-safe.
+        for label in [false, true] {
+            let mut frame = fig6_frame();
+            frame.set_labels(vec![label; frame.num_rows()]).unwrap();
+            let index = LeafIndex::new(&frame);
+            for attr in frame.schema().attr_ids() {
+                let cp = classification_power(&frame, &index, attr);
+                assert!(cp.is_finite(), "all-{label} labels gave cp = {cp}");
+                assert_eq!(cp, 0.0, "all-{label} labels must give zero power");
+            }
+            let outcome = delete_redundant_attributes(&frame, &index, 0.02);
+            assert_eq!(outcome.kept.len(), 1, "fallback keeps one attribute");
+            assert!(outcome
+                .kept
+                .iter()
+                .chain(&outcome.deleted)
+                .all(|(_, cp)| *cp == 0.0));
+        }
     }
 
     #[test]

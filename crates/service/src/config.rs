@@ -43,6 +43,18 @@ pub struct ServiceConfig {
     /// probe frame through (half-open). Must be positive when the breaker
     /// is enabled.
     pub breaker_cooldown: Duration,
+    /// Distinct unknown attribute values each tenant may accumulate before
+    /// further drifted frames are quarantined whole instead of repaired by
+    /// stripping the drifted rows. `0` quarantines on the first unknown
+    /// value.
+    pub schema_drift_limit: usize,
+    /// Timestamped frames buffered per tenant for watermark reordering.
+    /// When the buffer overflows, the oldest frame is emitted regardless
+    /// of the watermark. Frames without a timestamp bypass the buffer.
+    pub reorder_window: usize,
+    /// How far behind the newest seen timestamp the watermark trails.
+    /// Frames older than `max(ts) − max_lateness` are quarantined as late.
+    pub max_lateness: Duration,
     /// Streaming-pipeline tunables applied to every tenant.
     pub pipeline: PipelineConfig,
 }
@@ -61,6 +73,9 @@ impl Default for ServiceConfig {
             log_json: false,
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_secs(10),
+            schema_drift_limit: 8,
+            reorder_window: 32,
+            max_lateness: Duration::from_secs(2),
             pipeline: PipelineConfig::default(),
         }
     }
@@ -80,6 +95,9 @@ impl ServiceConfig {
             ("ring_capacity", self.ring_capacity),
             ("max_frame_bytes", self.max_frame_bytes),
             ("forecast_window", self.forecast_window),
+            // schema_drift_limit = 0 is legal (zero tolerance); the reorder
+            // window must hold at least one frame to be a buffer at all.
+            ("reorder_window", self.reorder_window),
         ] {
             if v == 0 {
                 return Err(ServiceConfigError::ZeroField { field });
@@ -139,6 +157,7 @@ mod tests {
             "ring_capacity",
             "max_frame_bytes",
             "forecast_window",
+            "reorder_window",
         ] {
             let mut cfg = ServiceConfig::default();
             match field {
@@ -146,11 +165,23 @@ mod tests {
                 "queue_capacity" => cfg.queue_capacity = 0,
                 "ring_capacity" => cfg.ring_capacity = 0,
                 "max_frame_bytes" => cfg.max_frame_bytes = 0,
+                "reorder_window" => cfg.reorder_window = 0,
                 _ => cfg.forecast_window = 0,
             }
             let err = cfg.validate().expect_err(field);
             assert!(err.to_string().contains(field));
         }
+    }
+
+    #[test]
+    fn zero_drift_limit_and_zero_lateness_are_legal() {
+        // zero tolerance is a policy, not a misconfiguration
+        let cfg = ServiceConfig {
+            schema_drift_limit: 0,
+            max_lateness: Duration::ZERO,
+            ..ServiceConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]

@@ -16,6 +16,17 @@
 //! * **Backpressure**: bounded per-shard queues with an explicit
 //!   *drop-oldest* policy and exact dropped-frame accounting; flush
 //!   barriers are never dropped, so `flush` stays a reliable fence.
+//! * **Admission control** ([`server`]): every `observe` frame is
+//!   validated before it reaches a shard — non-finite values and
+//!   unbounded schema drift quarantine the whole frame, while duplicate
+//!   leaves (keep-last), negative values (clamp to zero), and bounded
+//!   drift (strip the unknown rows) are repaired in place with per-reason
+//!   counters. Quarantined frames land in a per-tenant CRC-framed spool
+//!   and a bounded ring queryable via the `quarantine` control verb.
+//! * **Watermark reordering** ([`shard`]): timestamped frames pass
+//!   through a per-tenant bounded reorder buffer with a data-driven
+//!   watermark, so bounded out-of-order delivery is healed while late
+//!   frames and replays are quarantined instead of corrupting history.
 //! * **Incident sink** ([`sink`]): every incident is spooled as a
 //!   CRC-framed JSON line (crash-safe, append-only; torn tails are
 //!   truncated on restart) and kept in a bounded in-memory ring queryable
@@ -60,11 +71,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod admission;
 pub mod config;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod proto;
+pub(crate) mod quarantine;
 pub mod server;
 pub mod shard;
 pub mod sink;
@@ -77,6 +90,7 @@ use baselines::{Localizer, RapMinerLocalizer};
 pub use config::{ServiceConfig, ServiceConfigError};
 pub use metrics::Metrics;
 pub use proto::{ProtoError, Request};
+pub use quarantine::QuarantineRecord;
 pub use server::{start, ServerHandle, StartError};
 pub use shard::LocalizerFactory;
 pub use sink::{IncidentRecord, IncidentSink, SpoolRecovery};

@@ -122,6 +122,72 @@ impl StageHistograms {
     }
 }
 
+/// Frames diverted to the quarantine spool, by reason — exported as one
+/// `rapd_frames_quarantined_total` family with a `reason` label.
+#[derive(Debug, Default)]
+pub struct QuarantineCounters {
+    /// A row value was NaN or ±infinity (the whole frame is quarantined —
+    /// partial admission would skew the tenant's history).
+    pub non_finite: AtomicU64,
+    /// Unknown attribute values exceeded the tenant's drift allowance.
+    pub schema_drift: AtomicU64,
+    /// The frame's timestamp was behind the reorder watermark.
+    pub late: AtomicU64,
+    /// A frame with the same (tenant, timestamp) was already accepted.
+    pub replay: AtomicU64,
+}
+
+impl QuarantineCounters {
+    /// `(reason-label, counter)` pairs in export order.
+    pub fn named(&self) -> [(&'static str, &AtomicU64); 4] {
+        [
+            ("non_finite", &self.non_finite),
+            ("schema_drift", &self.schema_drift),
+            ("late", &self.late),
+            ("replay", &self.replay),
+        ]
+    }
+
+    /// Sum across all reasons.
+    pub fn total(&self) -> u64 {
+        self.named()
+            .iter()
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Leaf rows repaired in place during admission, by reason — exported as
+/// one `rapd_leaves_repaired_total` family with a `reason` label.
+#[derive(Debug, Default)]
+pub struct RepairCounters {
+    /// Extra occurrences of a duplicated leaf collapsed keep-last.
+    pub duplicate: AtomicU64,
+    /// Negative values clamped to zero.
+    pub negative: AtomicU64,
+    /// Rows with an already-registered drifted attribute value stripped.
+    pub schema_drift: AtomicU64,
+}
+
+impl RepairCounters {
+    /// `(reason-label, counter)` pairs in export order.
+    pub fn named(&self) -> [(&'static str, &AtomicU64); 3] {
+        [
+            ("duplicate", &self.duplicate),
+            ("negative", &self.negative),
+            ("schema_drift", &self.schema_drift),
+        ]
+    }
+
+    /// Sum across all reasons.
+    pub fn total(&self) -> u64 {
+        self.named()
+            .iter()
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
 /// All counters the daemon exports.
 #[derive(Debug)]
 pub struct Metrics {
@@ -149,6 +215,15 @@ pub struct Metrics {
     pub spool_degraded: AtomicU64,
     /// Spool write failures absorbed by degrading to ring-only mode.
     pub spool_write_errors: AtomicU64,
+    /// Frames diverted to quarantine, by reason.
+    pub frames_quarantined: QuarantineCounters,
+    /// Leaf rows repaired in place at admission, by reason.
+    pub leaves_repaired: RepairCounters,
+    /// Quarantine spool write failures absorbed by degrading to ring-only.
+    pub quarantine_write_errors: AtomicU64,
+    /// 1 while the quarantine spool runs ring-only after a write error
+    /// (gauge).
+    pub quarantine_degraded: AtomicU64,
     /// Latency of observe calls that triggered localization.
     pub localization: Histogram,
     /// Per-stage timings of each triggered localization.
@@ -172,6 +247,10 @@ impl Metrics {
             spool_truncated_bytes: AtomicU64::new(0),
             spool_degraded: AtomicU64::new(0),
             spool_write_errors: AtomicU64::new(0),
+            frames_quarantined: QuarantineCounters::default(),
+            leaves_repaired: RepairCounters::default(),
+            quarantine_write_errors: AtomicU64::new(0),
+            quarantine_degraded: AtomicU64::new(0),
             localization: Histogram::default(),
             stages: StageHistograms::default(),
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
@@ -210,6 +289,11 @@ impl Metrics {
             .iter()
             .map(|s| s.shed.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// Total frames quarantined across all reasons.
+    pub fn total_quarantined(&self) -> u64 {
+        self.frames_quarantined.total()
     }
 
     /// Tenants currently behind an open breaker, across all shards.
@@ -303,6 +387,40 @@ impl Metrics {
         out.push_str(&format!(
             "rapd_pipeline_restarts_total{{reason=\"panic\"}} {}\n",
             self.pipeline_restarts_panic.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP rapd_frames_quarantined_total Frames diverted to the quarantine spool, by reason.\n",
+        );
+        out.push_str("# TYPE rapd_frames_quarantined_total counter\n");
+        for (reason, c) in self.frames_quarantined.named() {
+            out.push_str(&format!(
+                "rapd_frames_quarantined_total{{reason=\"{reason}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP rapd_leaves_repaired_total Leaf rows repaired in place at admission, by reason.\n",
+        );
+        out.push_str("# TYPE rapd_leaves_repaired_total counter\n");
+        for (reason, c) in self.leaves_repaired.named() {
+            out.push_str(&format!(
+                "rapd_leaves_repaired_total{{reason=\"{reason}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
+        counter(
+            &mut out,
+            "rapd_quarantine_write_errors_total",
+            "Quarantine spool write failures absorbed by degrading to ring-only mode.",
+            self.quarantine_write_errors.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP rapd_quarantine_degraded 1 while the quarantine spool runs ring-only after a write error.\n",
+        );
+        out.push_str("# TYPE rapd_quarantine_degraded gauge\n");
+        out.push_str(&format!(
+            "rapd_quarantine_degraded {}\n",
+            self.quarantine_degraded.load(Ordering::Relaxed)
         ));
         out.push_str(
             "# HELP rapd_breaker_open_tenants Tenants currently behind an open circuit breaker.\n",
@@ -681,5 +799,49 @@ mod tests {
         assert!(text.contains("rapd_frames_shed_total{shard=\"1\"} 9"));
         assert!(text.contains("rapd_frames_shed_total{shard=\"0\"} 0"));
         assert!(text.contains("rapd_breaker_open_tenants 2"));
+    }
+
+    #[test]
+    fn quarantine_and_repair_families_render_and_validate() {
+        let m = Metrics::new(2);
+        m.frames_quarantined
+            .non_finite
+            .fetch_add(3, Ordering::Relaxed);
+        m.frames_quarantined
+            .schema_drift
+            .fetch_add(1, Ordering::Relaxed);
+        m.frames_quarantined.late.fetch_add(4, Ordering::Relaxed);
+        m.frames_quarantined.replay.fetch_add(2, Ordering::Relaxed);
+        m.leaves_repaired.duplicate.fetch_add(7, Ordering::Relaxed);
+        m.leaves_repaired.negative.fetch_add(5, Ordering::Relaxed);
+        m.leaves_repaired
+            .schema_drift
+            .fetch_add(6, Ordering::Relaxed);
+        m.quarantine_write_errors.fetch_add(1, Ordering::Relaxed);
+        m.quarantine_degraded.store(1, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        validate_exposition(&text);
+        assert!(text.contains("rapd_frames_quarantined_total{reason=\"non_finite\"} 3"));
+        assert!(text.contains("rapd_frames_quarantined_total{reason=\"schema_drift\"} 1"));
+        assert!(text.contains("rapd_frames_quarantined_total{reason=\"late\"} 4"));
+        assert!(text.contains("rapd_frames_quarantined_total{reason=\"replay\"} 2"));
+        assert!(text.contains("rapd_leaves_repaired_total{reason=\"duplicate\"} 7"));
+        assert!(text.contains("rapd_leaves_repaired_total{reason=\"negative\"} 5"));
+        assert!(text.contains("rapd_leaves_repaired_total{reason=\"schema_drift\"} 6"));
+        assert!(text.contains("rapd_quarantine_write_errors_total 1"));
+        assert!(text.contains("rapd_quarantine_degraded 1"));
+        // each TYPE comment appears exactly once per labelled family
+        assert_eq!(
+            text.matches("# TYPE rapd_frames_quarantined_total counter")
+                .count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE rapd_leaves_repaired_total counter")
+                .count(),
+            1
+        );
+        assert_eq!(m.total_quarantined(), 10);
+        assert_eq!(m.leaves_repaired.total(), 18);
     }
 }

@@ -4,11 +4,12 @@
 //!
 //! ```json
 //! {"type":"schema","tenant":"cdn-edge","attributes":[["location",["L1","L2"]],["isp",["I1","I2"]]]}
-//! {"type":"observe","tenant":"cdn-edge","rows":[[["L1","I1"],42.5],[["L2","I2"],17.0]]}
+//! {"type":"observe","tenant":"cdn-edge","ts":1700000000000,"rows":[[["L1","I1"],42.5],[["L2","I2"],17.0]]}
 //! {"type":"flush"}
 //! {"type":"stats"}
 //! {"type":"incidents","limit":10}
 //! {"type":"trace","limit":50}
+//! {"type":"quarantine","limit":20}
 //! {"type":"health"}
 //! ```
 //!
@@ -16,6 +17,13 @@
 //! payload (`stats`, `incidents`), or `{"type":"error","reason":...}`.
 //! Malformed input of any kind is a [`ProtoError`] — reader threads reply
 //! and keep serving; they never panic or die on bad input.
+//!
+//! `observe` extras: `ts` (optional, milliseconds) routes the frame through
+//! the per-tenant watermark reorder buffer; omitting it bypasses
+//! reordering. A row *value* of JSON `null` is the wire encoding of a
+//! missing/NaN measurement (JSON itself cannot carry NaN) — such frames
+//! are accepted at the protocol layer and diverted by admission control,
+//! never parsed as errors.
 
 use std::fmt;
 
@@ -38,8 +46,13 @@ pub enum Request {
         /// The tenant id.
         tenant: String,
         /// `(elements, value)` rows; elements are positional per the
-        /// registered schema's attribute order.
+        /// registered schema's attribute order. A value may be NaN (wire
+        /// form: JSON `null`) — admission control quarantines such frames.
         rows: Vec<(Vec<String>, f64)>,
+        /// Optional event timestamp in milliseconds. Present → the frame
+        /// goes through the watermark reorder buffer; absent → it is
+        /// processed in arrival order.
+        ts: Option<u64>,
     },
     /// Barrier: drain every shard queue before replying.
     Flush,
@@ -53,6 +66,11 @@ pub enum Request {
     /// The most recently completed tracing spans from the in-process ring.
     Trace {
         /// Maximum number of spans to return (newest first).
+        limit: usize,
+    },
+    /// The most recent quarantined frames from the in-memory ring.
+    Quarantine {
+        /// Maximum number of records to return (newest first).
         limit: usize,
     },
     /// Fault-tolerance health summary: spool degradation, open breakers,
@@ -226,6 +244,17 @@ pub fn parse_request(line: &str, max_bytes: usize) -> Result<Request, ProtoError
             };
             Ok(Request::Trace { limit })
         }
+        "quarantine" => {
+            let limit = match doc.get("limit") {
+                None => 20,
+                Some(v) => v.as_u64().ok_or(ProtoError::BadField {
+                    msg: "quarantine",
+                    field: "limit",
+                    expected: "a non-negative integer",
+                })? as usize,
+            };
+            Ok(Request::Quarantine { limit })
+        }
         "health" => Ok(Request::Health),
         other => Err(ProtoError::UnknownType(other.to_string())),
     }
@@ -310,17 +339,25 @@ fn parse_observe(doc: &Json) -> Result<Request, ProtoError> {
             .iter()
             .map(|e| e.as_str().map(str::to_string).ok_or_else(|| bad.clone()))
             .collect::<Result<Vec<String>, ProtoError>>()?;
-        let value = value.as_f64().ok_or_else(|| bad.clone())?;
-        if !value.is_finite() {
-            return Err(ProtoError::BadField {
-                msg: "observe",
-                field: "rows",
-                expected: "finite values",
-            });
-        }
+        // JSON cannot carry NaN, so `null` is the wire form of a missing
+        // or NaN measurement; the parser itself guarantees `Json::Num` is
+        // finite. The NaN survives to admission control, which quarantines
+        // the frame with a reason instead of dropping it as a parse error.
+        let value = match value {
+            Json::Null => f64::NAN,
+            v => v.as_f64().ok_or_else(|| bad.clone())?,
+        };
         rows.push((elements, value));
     }
-    Ok(Request::Observe { tenant, rows })
+    let ts = match doc.get("ts") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or(ProtoError::BadField {
+            msg: "observe",
+            field: "ts",
+            expected: "a non-negative integer (milliseconds)",
+        })?),
+    };
+    Ok(Request::Observe { tenant, rows, ts })
 }
 
 /// Resolve an observe message's rows against the tenant's schema into a
@@ -396,6 +433,20 @@ mod tests {
             Request::Observe {
                 tenant: "t".to_string(),
                 rows: vec![(vec!["L1".to_string(), "I1".to_string()], 42.5)],
+                ts: None,
+            }
+        );
+        let req = parse_request(
+            r#"{"type":"observe","tenant":"t","ts":1700000000000,"rows":[[["L1","I1"],1.0]]}"#,
+            MAX,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Observe {
+                tenant: "t".to_string(),
+                rows: vec![(vec!["L1".to_string(), "I1".to_string()], 1.0)],
+                ts: Some(1_700_000_000_000),
             }
         );
         assert_eq!(
@@ -421,6 +472,14 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"type":"trace"}"#, MAX).unwrap(),
             Request::Trace { limit: 50 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"quarantine","limit":3}"#, MAX).unwrap(),
+            Request::Quarantine { limit: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"quarantine"}"#, MAX).unwrap(),
+            Request::Quarantine { limit: 20 }
         );
         assert_eq!(
             parse_request(r#"{"type":"health"}"#, MAX).unwrap(),
@@ -450,12 +509,33 @@ mod tests {
             r#"{"type":"incidents","limit":1.5}"#,
             r#"{"type":"trace","limit":-1}"#,
             r#"{"type":"trace","limit":"all"}"#,
+            r#"{"type":"quarantine","limit":-1}"#,
+            r#"{"type":"observe","tenant":"t","ts":-5,"rows":[]}"#,
+            r#"{"type":"observe","tenant":"t","ts":1.5,"rows":[]}"#,
+            r#"{"type":"observe","tenant":"t","ts":"now","rows":[]}"#,
         ] {
             let err = parse_request(line, MAX).expect_err(line);
             // every error renders a reply line that is itself valid JSON
             let reply = crate::json::parse(&err.to_reply()).unwrap();
             assert_eq!(reply.get("type").unwrap().as_str(), Some("error"));
         }
+    }
+
+    #[test]
+    fn null_row_value_parses_to_nan() {
+        // JSON cannot encode NaN; `null` is its wire form. The frame must
+        // survive parsing so admission control can quarantine it with a
+        // reason instead of the reader bouncing it as malformed.
+        let req = parse_request(
+            r#"{"type":"observe","tenant":"t","rows":[[["L1","I1"],null],[["L2","I2"],7.0]]}"#,
+            MAX,
+        )
+        .unwrap();
+        let Request::Observe { rows, .. } = req else {
+            panic!("expected observe");
+        };
+        assert!(rows[0].1.is_nan());
+        assert_eq!(rows[1].1, 7.0);
     }
 
     #[test]

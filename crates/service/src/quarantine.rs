@@ -1,0 +1,333 @@
+//! The quarantine spool: where rejected telemetry goes to be examined,
+//! not lost.
+//!
+//! Frames the admission layer or the watermark reorder buffer refuses are
+//! written as checksummed JSONL to a per-tenant file under
+//! `<spool_dir>/quarantine/` (same `{json}\t{crc32:08x}` framing as the
+//! incident spool) and retained in a bounded in-memory ring that the
+//! `quarantine` control verb serves. Recording is infallible from the
+//! caller's perspective: a write failure latches the sink into ring-only
+//! mode (`rapd_quarantine_degraded` gauge,
+//! `rapd_quarantine_write_errors_total` counter) instead of failing the
+//! ingest path.
+//!
+//! Quarantine records produced by the reorder buffer (`late`, `replay`)
+//! carry no rows: by that point the frame has been resolved to internal
+//! element ids, so the record preserves provenance (tenant, timestamp,
+//! reason) rather than payload.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::sink::frame_spool_line;
+use crate::sync::lock_recover;
+
+/// One quarantined frame, as served by the `quarantine` control verb and
+/// spooled to disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// The tenant whose frame was refused.
+    pub tenant: String,
+    /// The frame's event timestamp (milliseconds), when it carried one.
+    pub ts: Option<u64>,
+    /// Why it was refused (a `rapd_frames_quarantined_total` reason:
+    /// `non_finite`, `schema_drift`, `late`, or `replay`).
+    pub reason: &'static str,
+    /// Human-oriented explanation.
+    pub detail: String,
+    /// The offending wire rows; empty for reorder-buffer rejects (`late`,
+    /// `replay`), whose payload is already resolved to internal ids.
+    pub rows: Vec<(Vec<String>, f64)>,
+}
+
+impl QuarantineRecord {
+    /// The JSON form shared by spool lines and control-socket replies.
+    /// NaN row values render as JSON `null`, mirroring the wire encoding.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|(names, value)| {
+                Json::Arr(vec![
+                    Json::Arr(names.iter().map(Json::str).collect()),
+                    Json::Num(*value),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("tenant".to_string(), Json::str(&self.tenant)),
+            (
+                "ts".to_string(),
+                match self.ts {
+                    None => Json::Null,
+                    Some(t) => Json::Num(t as f64),
+                },
+            ),
+            ("reason".to_string(), Json::str(self.reason)),
+            ("detail".to_string(), Json::str(&self.detail)),
+            ("rows".to_string(), Json::Arr(rows)),
+        ])
+    }
+}
+
+/// Map a tenant id onto a safe file stem: anything outside
+/// `[A-Za-z0-9_-]` becomes `_`, so a hostile tenant string cannot escape
+/// the quarantine directory.
+fn sanitize_tenant(tenant: &str) -> String {
+    let stem: String = tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if stem.is_empty() {
+        "_".to_string()
+    } else {
+        stem
+    }
+}
+
+/// Where refused frames go: per-tenant checksummed JSONL spools plus a
+/// bounded in-memory ring.
+#[derive(Debug)]
+pub(crate) struct QuarantineSink {
+    /// `<spool_dir>/quarantine`; `None` keeps records ring-only.
+    dir: Option<PathBuf>,
+    /// Lazily opened per-tenant append handles, keyed by sanitized stem.
+    files: Mutex<HashMap<String, File>>,
+    ring: Mutex<VecDeque<QuarantineRecord>>,
+    ring_capacity: usize,
+    metrics: Arc<Metrics>,
+    /// Latched on the first write error; the sink then serves ring-only.
+    degraded: AtomicBool,
+}
+
+impl QuarantineSink {
+    /// Open the sink. When `spool_dir` is given, `<spool_dir>/quarantine`
+    /// is created; per-tenant files open lazily on first use.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the quarantine directory cannot be created.
+    pub fn open(
+        spool_dir: Option<&std::path::Path>,
+        ring_capacity: usize,
+        metrics: Arc<Metrics>,
+    ) -> io::Result<Self> {
+        let dir = match spool_dir {
+            None => None,
+            Some(base) => {
+                let dir = base.join("quarantine");
+                fs::create_dir_all(&dir)?;
+                Some(dir)
+            }
+        };
+        Ok(QuarantineSink {
+            dir,
+            files: Mutex::new(HashMap::new()),
+            ring: Mutex::new(VecDeque::new()),
+            ring_capacity: ring_capacity.max(1),
+            metrics,
+            degraded: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether a write error has degraded the sink to ring-only.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Record one refused frame: bump the reason's
+    /// `rapd_frames_quarantined_total` counter, push to the ring
+    /// (evicting the oldest when full), and append the checksummed spool
+    /// line. Infallible: a write failure degrades the sink to ring-only.
+    pub fn record(&self, record: QuarantineRecord) {
+        for (label, counter) in self.metrics.frames_quarantined.named() {
+            if label == record.reason {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        obs::warn(
+            "rapd.quarantine",
+            "frame_quarantined",
+            &[
+                ("tenant", obs::Value::Str(record.tenant.clone())),
+                ("reason", obs::Value::Str(record.reason.to_string())),
+                ("detail", obs::Value::Str(record.detail.clone())),
+            ],
+        );
+        let line = frame_spool_line(&record.to_json().render());
+        let stem = sanitize_tenant(&record.tenant);
+        {
+            let mut ring = lock_recover(&self.ring);
+            if ring.len() == self.ring_capacity {
+                ring.pop_front();
+            }
+            ring.push_back(record);
+        }
+        let Some(dir) = &self.dir else { return };
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let result = (|| {
+            let mut files = lock_recover(&self.files);
+            let file = match files.entry(stem) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let path = dir.join(format!("{}.jsonl", e.key()));
+                    e.insert(OpenOptions::new().create(true).append(true).open(path)?)
+                }
+            };
+            if obs::fail::should_error("quarantine-write-error") {
+                return Err(io::Error::other("injected quarantine write error"));
+            }
+            writeln!(file, "{line}").and_then(|()| file.flush())
+        })();
+        if let Err(e) = result {
+            self.metrics
+                .quarantine_write_errors
+                .fetch_add(1, Ordering::Relaxed);
+            if !self.degraded.swap(true, Ordering::Relaxed) {
+                self.metrics.quarantine_degraded.store(1, Ordering::Relaxed);
+                obs::warn(
+                    "rapd.quarantine",
+                    "quarantine_degraded",
+                    &[
+                        ("error", obs::Value::Str(e.to_string())),
+                        ("dir", obs::Value::Str(dir.display().to_string())),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// The most recent records, newest first, at most `limit`.
+    pub fn recent(&self, limit: usize) -> Vec<QuarantineRecord> {
+        let ring = lock_recover(&self.ring);
+        ring.iter().rev().take(limit).cloned().collect()
+    }
+
+    /// Records currently held in the ring.
+    #[cfg(test)]
+    pub fn ring_len(&self) -> usize {
+        lock_recover(&self.ring).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{judge_line, LineVerdict};
+
+    fn metrics() -> Arc<Metrics> {
+        Arc::new(Metrics::new(1))
+    }
+
+    fn record(tenant: &str, reason: &'static str, ts: Option<u64>) -> QuarantineRecord {
+        QuarantineRecord {
+            tenant: tenant.to_string(),
+            ts,
+            reason,
+            detail: format!("test {reason}"),
+            rows: vec![(vec!["L1".to_string(), "I1".to_string()], f64::NAN)],
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rapd-quar-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn ring_only_sink_counts_and_bounds() {
+        let m = metrics();
+        let sink = QuarantineSink::open(None, 3, Arc::clone(&m)).unwrap();
+        for i in 0..5 {
+            sink.record(record("t", "non_finite", Some(i)));
+        }
+        sink.record(record("t", "late", None));
+        assert_eq!(sink.ring_len(), 3);
+        let recent = sink.recent(2);
+        assert_eq!(recent[0].reason, "late");
+        assert_eq!(recent[1].ts, Some(4));
+        assert_eq!(
+            m.frames_quarantined.non_finite.load(Ordering::Relaxed),
+            5,
+            "record() itself owns the counters"
+        );
+        assert_eq!(m.frames_quarantined.late.load(Ordering::Relaxed), 1);
+        assert!(!sink.is_degraded(), "no spool, nothing to degrade");
+    }
+
+    #[test]
+    fn spooled_records_are_checksummed_per_tenant() {
+        let dir = scratch("spool");
+        let sink = QuarantineSink::open(Some(&dir), 8, metrics()).unwrap();
+        sink.record(record("edge-1", "non_finite", Some(7)));
+        sink.record(record("edge-1", "schema_drift", None));
+        sink.record(record("other", "replay", Some(9)));
+        let a = fs::read_to_string(dir.join("quarantine/edge-1.jsonl")).unwrap();
+        assert_eq!(a.lines().count(), 2);
+        for line in a.lines() {
+            assert!(matches!(judge_line(line), LineVerdict::Verified));
+        }
+        // NaN row values render as JSON null, like the wire encoding
+        let (json, _) = a.lines().next().unwrap().rsplit_once('\t').unwrap();
+        let doc = crate::json::parse(json).unwrap();
+        assert_eq!(doc.get("reason").unwrap().as_str(), Some("non_finite"));
+        assert_eq!(doc.get("ts").unwrap().as_u64(), Some(7));
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].as_arr().unwrap()[1], Json::Null);
+        let b = fs::read_to_string(dir.join("quarantine/other.jsonl")).unwrap();
+        assert_eq!(b.lines().count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hostile_tenant_names_cannot_escape_the_directory() {
+        assert_eq!(sanitize_tenant("../../etc/passwd"), "______etc_passwd");
+        assert_eq!(sanitize_tenant("ok-Tenant_9"), "ok-Tenant_9");
+        assert_eq!(sanitize_tenant(""), "_");
+        let dir = scratch("hostile");
+        let sink = QuarantineSink::open(Some(&dir), 8, metrics()).unwrap();
+        sink.record(record("../escape", "late", None));
+        assert!(dir.join("quarantine/___escape.jsonl").is_file());
+        assert!(!dir.parent().unwrap().join("escape.jsonl").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_failure_degrades_to_ring_only() {
+        let dir = scratch("degraded");
+        let m = metrics();
+        let sink = QuarantineSink::open(Some(&dir), 8, Arc::clone(&m)).unwrap();
+        // occupy the tenant's spool path with a *directory* so the lazy
+        // open fails — a stand-in for a full or vanished volume
+        fs::create_dir_all(dir.join("quarantine/t.jsonl")).unwrap();
+        sink.record(record("t", "non_finite", None));
+        assert!(sink.is_degraded());
+        assert_eq!(m.quarantine_write_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(m.quarantine_degraded.load(Ordering::Relaxed), 1);
+        // later records still land in the ring and keep counting
+        sink.record(record("t", "late", None));
+        assert_eq!(sink.ring_len(), 2);
+        assert_eq!(m.frames_quarantined.late.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            m.quarantine_write_errors.load(Ordering::Relaxed),
+            1,
+            "degraded sink stops touching the disk"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

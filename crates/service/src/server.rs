@@ -27,11 +27,13 @@ use std::time::Duration;
 
 use mdkpi::Schema;
 
+use crate::admission::{AdmissionControl, Verdict};
 use crate::config::{ServiceConfig, ServiceConfigError};
 use crate::http::MetricsServer;
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::proto::{build_frame, parse_request, ProtoError, Request};
+use crate::quarantine::{QuarantineRecord, QuarantineSink};
 use crate::shard::{LocalizerFactory, ShardPool};
 use crate::sink::IncidentSink;
 use crate::sync::lock_recover;
@@ -73,6 +75,8 @@ struct Shared {
     config: ServiceConfig,
     metrics: Arc<Metrics>,
     sink: Arc<IncidentSink>,
+    quarantine: Arc<QuarantineSink>,
+    admission: AdmissionControl,
     pool: ShardPool,
     schemas: Mutex<HashMap<String, Schema>>,
     shutdown: AtomicBool,
@@ -110,6 +114,11 @@ impl ServerHandle {
     /// The incident sink (ring + spool).
     pub fn sink(&self) -> Arc<IncidentSink> {
         Arc::clone(&self.shared.sink)
+    }
+
+    /// The most recent quarantined frames, newest first, at most `limit`.
+    pub fn quarantined(&self, limit: usize) -> Vec<QuarantineRecord> {
+        self.shared.quarantine.recent(limit)
     }
 
     /// Stop listeners, drain shard queues, and join every thread.
@@ -163,15 +172,29 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
         config.ring_capacity,
         Arc::clone(&metrics),
     )?);
-    let pool = ShardPool::start(&config, Arc::clone(&metrics), Arc::clone(&sink), factory);
+    let quarantine = Arc::new(QuarantineSink::open(
+        config.spool_dir.as_deref(),
+        config.ring_capacity,
+        Arc::clone(&metrics),
+    )?);
+    let pool = ShardPool::start(
+        &config,
+        Arc::clone(&metrics),
+        Arc::clone(&sink),
+        Arc::clone(&quarantine),
+        factory,
+    );
     let metrics_server = MetricsServer::start(&config.metrics_listen, Arc::clone(&metrics))?;
 
     let listener = TcpListener::bind(&config.listen)?;
     let ingest_addr = listener.local_addr()?;
+    let admission = AdmissionControl::new(config.schema_drift_limit);
     let shared = Arc::new(Shared {
         config,
         metrics,
         sink,
+        quarantine,
+        admission,
         pool,
         schemas: Mutex::new(HashMap::new()),
         shutdown: AtomicBool::new(false),
@@ -360,7 +383,7 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
             }
             Ok(ok_reply(vec![("tenant".to_string(), Json::str(tenant))]))
         }
-        Request::Observe { tenant, rows } => {
+        Request::Observe { tenant, rows, ts } => {
             let schema = {
                 let schemas = lock_recover(&shared.schemas);
                 schemas
@@ -370,13 +393,50 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
                         tenant: tenant.clone(),
                     })?
             };
-            let frame = build_frame(&schema, &rows)?;
+            // Admission judges the frame *after* protocol-level checks
+            // (arity is an error and does not count as ingested) but
+            // *before* the ingested counter, so `processed + dropped +
+            // shed + quarantined == ingested` holds at every fence.
+            let verdict = shared.admission.admit(&tenant, &schema, &rows)?;
             shared
                 .metrics
                 .frames_ingested
                 .fetch_add(1, Ordering::Relaxed);
-            shared.pool.ingest(&tenant, frame);
-            Ok(ok_reply(vec![("queued".to_string(), Json::Bool(true))]))
+            match verdict {
+                Verdict::Quarantine { reason, detail } => {
+                    shared.quarantine.record(QuarantineRecord {
+                        tenant,
+                        ts,
+                        reason,
+                        detail: detail.clone(),
+                        rows,
+                    });
+                    Ok(ok_reply(vec![
+                        ("queued".to_string(), Json::Bool(false)),
+                        ("quarantined".to_string(), Json::Bool(true)),
+                        ("reason".to_string(), Json::str(reason)),
+                        ("detail".to_string(), Json::str(detail)),
+                    ]))
+                }
+                Verdict::Admit(admitted) => {
+                    let m = &shared.metrics.leaves_repaired;
+                    m.duplicate
+                        .fetch_add(admitted.repaired_duplicate, Ordering::Relaxed);
+                    m.negative
+                        .fetch_add(admitted.repaired_negative, Ordering::Relaxed);
+                    m.schema_drift
+                        .fetch_add(admitted.repaired_drift, Ordering::Relaxed);
+                    // admission already resolved every element, so this
+                    // cannot fail on data; it stays fallible for safety
+                    let frame = build_frame(&schema, &admitted.rows)?;
+                    let repaired = admitted.repaired();
+                    shared.pool.ingest(&tenant, frame, ts);
+                    Ok(ok_reply(vec![
+                        ("queued".to_string(), Json::Bool(true)),
+                        ("repaired".to_string(), Json::Bool(repaired)),
+                    ]))
+                }
+            }
         }
         Request::Flush => {
             let flushed = shared.pool.flush(FLUSH_TIMEOUT);
@@ -404,17 +464,32 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
             ])
             .render())
         }
+        Request::Quarantine { limit } => {
+            let records = shared
+                .quarantine
+                .recent(limit)
+                .iter()
+                .map(QuarantineRecord::to_json)
+                .collect();
+            Ok(Json::Obj(vec![
+                ("type".to_string(), Json::str("quarantine")),
+                ("records".to_string(), Json::Arr(records)),
+            ])
+            .render())
+        }
         Request::Health => Ok(health_reply(shared)),
     }
 }
 
-/// Fault-tolerance health summary: `"degraded"` whenever the spool fell
-/// back to ring-only mode or any tenant breaker is currently open.
+/// Fault-tolerance health summary: `"degraded"` whenever the incident or
+/// quarantine spool fell back to ring-only mode or any tenant breaker is
+/// currently open.
 fn health_reply(shared: &Shared) -> String {
     let m = &shared.metrics;
     let spool_degraded = shared.sink.is_degraded();
+    let quarantine_degraded = shared.quarantine.is_degraded();
     let open_breakers = m.total_breaker_open();
-    let status = if spool_degraded || open_breakers > 0 {
+    let status = if spool_degraded || quarantine_degraded || open_breakers > 0 {
         "degraded"
     } else {
         "ok"
@@ -423,6 +498,10 @@ fn health_reply(shared: &Shared) -> String {
         ("type".to_string(), Json::str("health")),
         ("status".to_string(), Json::str(status)),
         ("spool_degraded".to_string(), Json::Bool(spool_degraded)),
+        (
+            "quarantine_degraded".to_string(),
+            Json::Bool(quarantine_degraded),
+        ),
         ("open_breakers".to_string(), Json::Num(open_breakers as f64)),
         (
             "worker_restarts".to_string(),
@@ -529,6 +608,14 @@ fn stats_reply(shared: &Shared) -> String {
             Json::Num(m.total_dropped() as f64),
         ),
         ("frames_shed".to_string(), Json::Num(m.total_shed() as f64)),
+        (
+            "frames_quarantined".to_string(),
+            Json::Num(m.total_quarantined() as f64),
+        ),
+        (
+            "leaves_repaired".to_string(),
+            Json::Num(m.leaves_repaired.total() as f64),
+        ),
         (
             "deadline_exceeded".to_string(),
             Json::Num(m.deadline_exceeded.load(Ordering::Relaxed) as f64),

@@ -29,8 +29,24 @@
 //!   and respawns any shard thread that dies outside shutdown
 //!   (`rapd_worker_restarts_total`). The respawned worker rebuilds tenant
 //!   pipelines lazily from the shared queue.
+//!
+//! # Watermark reordering
+//!
+//! Frames that carry an event timestamp (`ts` on the observe message) go
+//! through a per-tenant reorder buffer before the pipeline. The buffer
+//! holds up to [`ServiceConfig::reorder_window`] frames and emits them in
+//! timestamp order once the watermark — the newest timestamp seen minus
+//! [`ServiceConfig::max_lateness`] — passes them. Frames behind the last
+//! emitted timestamp are quarantined as `late`; frames whose timestamp
+//! was already buffered or just emitted are quarantined as `replay`.
+//! Frames without a timestamp bypass the buffer entirely (arrival order).
+//! Flush barriers and shutdown drain every buffer first, so `flush`
+//! remains an exact fence and the `processed + dropped + shed +
+//! quarantined == ingested` invariant holds at every quiescent point.
+//! Known limitation: a worker that dies outside shutdown loses its
+//! buffered frames along with its queue, exactly like queued frames.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -43,6 +59,7 @@ use timeseries::MovingAverage;
 
 use crate::config::ServiceConfig;
 use crate::metrics::{Metrics, ShardMetrics};
+use crate::quarantine::{QuarantineRecord, QuarantineSink};
 use crate::sink::{IncidentRecord, IncidentSink};
 use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 
@@ -51,10 +68,12 @@ pub type LocalizerFactory = Arc<dyn Fn() -> Box<dyn Localizer> + Send + Sync>;
 
 /// One unit of shard work.
 enum Job {
-    /// A snapshot for one tenant.
+    /// A snapshot for one tenant; `ts` routes it through the tenant's
+    /// reorder buffer.
     Frame {
         tenant: Arc<str>,
         frame: mdkpi::LeafFrame,
+        ts: Option<u64>,
     },
     /// A flush barrier: mark the gate done once everything queued before
     /// it has been processed.
@@ -120,7 +139,13 @@ impl ShardQueue {
 
     /// Enqueue a frame. When the queue is at capacity the oldest queued
     /// *frame* is evicted (barriers are never evicted) and counted.
-    fn push_frame(&self, tenant: Arc<str>, frame: mdkpi::LeafFrame, metrics: &ShardMetrics) {
+    fn push_frame(
+        &self,
+        tenant: Arc<str>,
+        frame: mdkpi::LeafFrame,
+        ts: Option<u64>,
+        metrics: &ShardMetrics,
+    ) {
         let mut jobs = lock_recover(&self.jobs);
         let frames_queued = |jobs: &VecDeque<Job>| {
             jobs.iter()
@@ -134,7 +159,7 @@ impl ShardQueue {
                 metrics.depth.fetch_sub(1, Ordering::Relaxed);
             }
         }
-        jobs.push_back(Job::Frame { tenant, frame });
+        jobs.push_back(Job::Frame { tenant, frame, ts });
         metrics.depth.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_one();
     }
@@ -252,16 +277,102 @@ impl Breaker {
     }
 }
 
+/// Why the reorder buffer refused a timestamped frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rejected {
+    /// The timestamp is behind the last emitted one.
+    Late { last_emitted: u64 },
+    /// A frame with this timestamp was already buffered or just emitted.
+    Replay,
+}
+
+/// A per-tenant watermark reorder buffer (data-driven: the watermark
+/// advances with observed timestamps, never with wall-clock time, so a
+/// paused stream neither drops nor reorders anything).
+#[derive(Debug, Default)]
+struct ReorderBuffer {
+    /// Buffered frames by timestamp; `BTreeMap` keeps emission ordered.
+    buf: BTreeMap<u64, mdkpi::LeafFrame>,
+    /// The newest timestamp handed to the pipeline so far.
+    last_emitted: Option<u64>,
+    /// The newest timestamp ever offered (drives the watermark).
+    max_seen: u64,
+}
+
+impl ReorderBuffer {
+    /// Offer one timestamped frame. Returns the frames the watermark (or
+    /// a window overflow) released, oldest first — possibly none, and
+    /// possibly not including the offered frame itself.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::Late`] when `ts` is behind the last emitted timestamp,
+    /// [`Rejected::Replay`] when `ts` equals a buffered or the
+    /// just-emitted timestamp.
+    fn offer(
+        &mut self,
+        ts: u64,
+        frame: mdkpi::LeafFrame,
+        window: usize,
+        lateness_ms: u64,
+    ) -> Result<Vec<(u64, mdkpi::LeafFrame)>, Rejected> {
+        if let Some(last) = self.last_emitted {
+            if ts == last {
+                return Err(Rejected::Replay);
+            }
+            if ts < last {
+                return Err(Rejected::Late { last_emitted: last });
+            }
+        }
+        if self.buf.contains_key(&ts) {
+            return Err(Rejected::Replay);
+        }
+        self.buf.insert(ts, frame);
+        self.max_seen = self.max_seen.max(ts);
+        let watermark = self.max_seen.saturating_sub(lateness_ms);
+        let mut ready = Vec::new();
+        loop {
+            let overflowing = self.buf.len() > window;
+            let Some(entry) = self.buf.first_entry() else {
+                break;
+            };
+            // emit past the watermark in order; overflow past the window
+            // releases the oldest frame even if the watermark lags
+            if *entry.key() > watermark && !overflowing {
+                break;
+            }
+            ready.push(entry.remove_entry());
+        }
+        if let Some((ts, _)) = ready.last() {
+            self.last_emitted = Some(*ts);
+        }
+        Ok(ready)
+    }
+
+    /// Release everything still buffered, oldest first (flush/shutdown).
+    fn drain(&mut self) -> Vec<(u64, mdkpi::LeafFrame)> {
+        let drained: Vec<(u64, mdkpi::LeafFrame)> =
+            std::mem::take(&mut self.buf).into_iter().collect();
+        if let Some((ts, _)) = drained.last() {
+            self.last_emitted = Some(*ts);
+        }
+        drained
+    }
+}
+
 /// Everything a shard worker (or the supervisor) needs, shared once.
 struct PoolShared {
     queues: Vec<Arc<ShardQueue>>,
     metrics: Arc<Metrics>,
     sink: Arc<IncidentSink>,
+    quarantine: Arc<QuarantineSink>,
     factory: LocalizerFactory,
     pipeline_config: pipeline::PipelineConfig,
     window: usize,
     breaker_threshold: u32,
     breaker_cooldown: Duration,
+    reorder_window: usize,
+    max_lateness_ms: u64,
     shutting_down: AtomicBool,
 }
 
@@ -276,10 +387,11 @@ pub struct ShardPool {
 
 impl ShardPool {
     /// Start the workers and their supervisor.
-    pub fn start(
+    pub(crate) fn start(
         config: &ServiceConfig,
         metrics: Arc<Metrics>,
         sink: Arc<IncidentSink>,
+        quarantine: Arc<QuarantineSink>,
         factory: LocalizerFactory,
     ) -> ShardPool {
         let queues: Vec<Arc<ShardQueue>> = (0..config.shards)
@@ -289,11 +401,14 @@ impl ShardPool {
             queues,
             metrics,
             sink,
+            quarantine,
             factory,
             pipeline_config: config.pipeline,
             window: config.forecast_window,
             breaker_threshold: config.breaker_threshold,
             breaker_cooldown: config.breaker_cooldown,
+            reorder_window: config.reorder_window,
+            max_lateness_ms: config.max_lateness.as_millis() as u64,
             shutting_down: AtomicBool::new(false),
         });
         let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(
@@ -327,11 +442,14 @@ impl ShardPool {
     }
 
     /// Queue one frame onto the tenant's shard (drop-oldest on overflow).
-    pub fn ingest(&self, tenant: &str, frame: mdkpi::LeafFrame) {
+    /// A timestamp routes the frame through the tenant's reorder buffer;
+    /// `None` processes it in arrival order.
+    pub fn ingest(&self, tenant: &str, frame: mdkpi::LeafFrame, ts: Option<u64>) {
         let shard = self.shard_for(tenant);
         self.shared.queues[shard].push_frame(
             Arc::from(tenant),
             frame,
+            ts,
             self.shared.metrics.shard(shard),
         );
     }
@@ -424,142 +542,215 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The per-tenant state one shard worker owns.
+#[derive(Default)]
+struct WorkerState {
+    pipelines: HashMap<Arc<str>, TenantPipeline>,
+    breakers: HashMap<Arc<str>, Breaker>,
+    reorder: HashMap<Arc<str>, ReorderBuffer>,
+}
+
+impl WorkerState {
+    /// Release every buffered frame of every tenant through the pipeline
+    /// (flush barriers and shutdown).
+    fn drain_reorder(&mut self, shard: usize, shared: &PoolShared) {
+        let mut ready: Vec<(Arc<str>, mdkpi::LeafFrame)> = Vec::new();
+        for (tenant, buffer) in &mut self.reorder {
+            for (_, frame) in buffer.drain() {
+                ready.push((Arc::clone(tenant), frame));
+            }
+        }
+        for (tenant, frame) in ready {
+            process_frame(shard, shared, self, &tenant, &frame);
+        }
+    }
+}
+
 fn worker_loop(shard: usize, shared: &PoolShared) {
-    let metrics = &shared.metrics;
-    let shard_metrics = metrics.shard(shard);
+    let shard_metrics = shared.metrics.shard(shard);
     let queue = &shared.queues[shard];
-    let mut pipelines: HashMap<Arc<str>, TenantPipeline> = HashMap::new();
-    let mut breakers: HashMap<Arc<str>, Breaker> = HashMap::new();
+    let mut state = WorkerState::default();
     loop {
         // fault injection: a shard thread dying between jobs (before the
         // pop, so the crash never takes a dequeued frame with it)
         obs::fail::apply("shard-worker-panic");
         match queue.pop() {
-            Job::Shutdown => return,
-            Job::Barrier(gate) => gate.done(),
-            Job::Frame { tenant, frame } => {
+            Job::Shutdown => {
+                state.drain_reorder(shard, shared);
+                return;
+            }
+            Job::Barrier(gate) => {
+                // the barrier is an everything-before-it fence, so frames
+                // still parked in reorder buffers must go through first
+                state.drain_reorder(shard, shared);
+                gate.done();
+            }
+            Job::Frame { tenant, frame, ts } => {
                 shard_metrics.depth.fetch_sub(1, Ordering::Relaxed);
-                let admission = breakers
-                    .entry(Arc::clone(&tenant))
-                    .or_default()
-                    .admit(Instant::now());
-                if admission == Admission::Shed {
-                    shard_metrics.shed.fetch_add(1, Ordering::Relaxed);
+                let Some(ts) = ts else {
+                    process_frame(shard, shared, &mut state, &tenant, &frame);
                     continue;
-                }
-                let frame_span = obs::span("rapd.frame");
-                frame_span.record("shard", shard as u64);
-                frame_span.record("tenant", tenant.as_ref());
-                let start = Instant::now();
-                // One bad frame (or one buggy localizer) must not kill the
-                // worker and its other tenants: panics are contained here
-                // and handled as pipeline failures.
-                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    // fault injection: a pipeline panicking mid-frame,
-                    // scoped to one tenant via the tag
-                    obs::fail::apply_tagged("pipeline-panic", tenant.as_ref());
-                    let pipe = pipelines.entry(Arc::clone(&tenant)).or_insert_with(|| {
-                        LocalizationPipeline::try_new(
-                            shared.pipeline_config,
-                            MovingAverage::new(shared.window),
-                            (shared.factory)(),
-                        )
-                        .expect("service config validated at boot")
-                    });
-                    pipe.observe(&frame)
-                }));
-                let failed = match outcome {
-                    Err(payload) => {
-                        // The pipeline may be torn mid-update: quarantine
-                        // it. The tenant's next frame builds a fresh one.
-                        pipelines.remove(&tenant);
-                        metrics
-                            .pipeline_restarts_panic
-                            .fetch_add(1, Ordering::Relaxed);
-                        obs::error(
-                            "rapd.shard",
-                            "pipeline_panic_quarantined",
-                            &[
-                                ("tenant", obs::Value::Str(tenant.to_string())),
-                                ("reason", obs::Value::Str(panic_message(payload.as_ref()))),
-                            ],
-                        );
-                        true
-                    }
-                    Ok(Err(e)) => {
-                        metrics.pipeline_errors.fetch_add(1, Ordering::Relaxed);
-                        obs::error(
-                            "rapd.shard",
-                            "pipeline_error",
-                            &[
-                                ("tenant", obs::Value::Str(tenant.to_string())),
-                                ("reason", obs::Value::Str(e.to_string())),
-                            ],
-                        );
-                        true
-                    }
-                    Ok(Ok(Some(report))) => {
-                        metrics.localization.observe(start.elapsed().as_secs_f64());
-                        metrics.alarms.fetch_add(1, Ordering::Relaxed);
-                        // one observation per stage per incident, so every
-                        // stage count in /metrics equals rapd_alarms_total
-                        metrics.stages.cp.observe(report.timings.cp_seconds);
-                        metrics.stages.search.observe(report.timings.search_seconds);
-                        metrics.stages.detect.observe(report.timings.detect_seconds);
-                        frame_span.record("alarm", true);
-                        obs::info(
-                            "rapd.shard",
-                            "incident",
-                            &[
-                                ("tenant", obs::Value::Str(tenant.to_string())),
-                                ("step", obs::Value::U64(report.step as u64)),
-                                ("raps", obs::Value::U64(report.raps.len() as u64)),
-                                ("total_deviation", obs::Value::F64(report.total_deviation)),
-                                (
-                                    "deadline_exceeded",
-                                    obs::Value::Bool(report.deadline_exceeded),
-                                ),
-                            ],
-                        );
-                        let deadline_exceeded = report.deadline_exceeded;
-                        shared
-                            .sink
-                            .record(IncidentRecord::from_report(&tenant, &report));
-                        if deadline_exceeded {
-                            metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-                        }
-                        // a deadline overrun is a breaker failure: a tenant
-                        // whose every localization times out should be shed
-                        deadline_exceeded
-                    }
-                    Ok(Ok(None)) => false,
                 };
-                let breaker = breakers.entry(Arc::clone(&tenant)).or_default();
-                if failed {
-                    if breaker.on_failure(
-                        shared.breaker_threshold,
-                        shared.breaker_cooldown,
-                        Instant::now(),
-                    ) {
-                        shard_metrics.breaker_open.fetch_add(1, Ordering::Relaxed);
-                        obs::warn(
-                            "rapd.shard",
-                            "breaker_opened",
-                            &[("tenant", obs::Value::Str(tenant.to_string()))],
-                        );
+                let buffer = state.reorder.entry(Arc::clone(&tenant)).or_default();
+                match buffer.offer(ts, frame, shared.reorder_window, shared.max_lateness_ms) {
+                    Ok(ready) => {
+                        for (_, frame) in ready {
+                            process_frame(shard, shared, &mut state, &tenant, &frame);
+                        }
                     }
-                } else if breaker.on_success() {
-                    shard_metrics.breaker_open.fetch_sub(1, Ordering::Relaxed);
-                    obs::info(
-                        "rapd.shard",
-                        "breaker_closed",
-                        &[("tenant", obs::Value::Str(tenant.to_string()))],
-                    );
+                    Err(rejected) => {
+                        let (reason, detail) = match rejected {
+                            Rejected::Late { last_emitted } => (
+                                "late",
+                                format!("ts {ts} behind last emitted ts {last_emitted}"),
+                            ),
+                            Rejected::Replay => ("replay", format!("ts {ts} was already accepted")),
+                        };
+                        shared.quarantine.record(QuarantineRecord {
+                            tenant: tenant.to_string(),
+                            ts: Some(ts),
+                            reason,
+                            detail,
+                            rows: Vec::new(),
+                        });
+                    }
                 }
-                shard_metrics.processed.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
+}
+
+/// Run one frame through the tenant's breaker and pipeline, with panic
+/// containment, incident recording, and breaker bookkeeping.
+fn process_frame(
+    shard: usize,
+    shared: &PoolShared,
+    state: &mut WorkerState,
+    tenant: &Arc<str>,
+    frame: &mdkpi::LeafFrame,
+) {
+    let metrics = &shared.metrics;
+    let shard_metrics = metrics.shard(shard);
+    let admission = state
+        .breakers
+        .entry(Arc::clone(tenant))
+        .or_default()
+        .admit(Instant::now());
+    if admission == Admission::Shed {
+        shard_metrics.shed.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let frame_span = obs::span("rapd.frame");
+    frame_span.record("shard", shard as u64);
+    frame_span.record("tenant", tenant.as_ref());
+    let start = Instant::now();
+    // One bad frame (or one buggy localizer) must not kill the
+    // worker and its other tenants: panics are contained here
+    // and handled as pipeline failures.
+    let pipelines = &mut state.pipelines;
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        // fault injection: a pipeline panicking mid-frame,
+        // scoped to one tenant via the tag
+        obs::fail::apply_tagged("pipeline-panic", tenant.as_ref());
+        let pipe = pipelines.entry(Arc::clone(tenant)).or_insert_with(|| {
+            LocalizationPipeline::try_new(
+                shared.pipeline_config,
+                MovingAverage::new(shared.window),
+                (shared.factory)(),
+            )
+            .expect("service config validated at boot")
+        });
+        pipe.observe(frame)
+    }));
+    let failed = match outcome {
+        Err(payload) => {
+            // The pipeline may be torn mid-update: quarantine
+            // it. The tenant's next frame builds a fresh one.
+            state.pipelines.remove(tenant);
+            metrics
+                .pipeline_restarts_panic
+                .fetch_add(1, Ordering::Relaxed);
+            obs::error(
+                "rapd.shard",
+                "pipeline_panic_quarantined",
+                &[
+                    ("tenant", obs::Value::Str(tenant.to_string())),
+                    ("reason", obs::Value::Str(panic_message(payload.as_ref()))),
+                ],
+            );
+            true
+        }
+        Ok(Err(e)) => {
+            metrics.pipeline_errors.fetch_add(1, Ordering::Relaxed);
+            obs::error(
+                "rapd.shard",
+                "pipeline_error",
+                &[
+                    ("tenant", obs::Value::Str(tenant.to_string())),
+                    ("reason", obs::Value::Str(e.to_string())),
+                ],
+            );
+            true
+        }
+        Ok(Ok(Some(report))) => {
+            metrics.localization.observe(start.elapsed().as_secs_f64());
+            metrics.alarms.fetch_add(1, Ordering::Relaxed);
+            // one observation per stage per incident, so every
+            // stage count in /metrics equals rapd_alarms_total
+            metrics.stages.cp.observe(report.timings.cp_seconds);
+            metrics.stages.search.observe(report.timings.search_seconds);
+            metrics.stages.detect.observe(report.timings.detect_seconds);
+            frame_span.record("alarm", true);
+            obs::info(
+                "rapd.shard",
+                "incident",
+                &[
+                    ("tenant", obs::Value::Str(tenant.to_string())),
+                    ("step", obs::Value::U64(report.step as u64)),
+                    ("raps", obs::Value::U64(report.raps.len() as u64)),
+                    ("total_deviation", obs::Value::F64(report.total_deviation)),
+                    (
+                        "deadline_exceeded",
+                        obs::Value::Bool(report.deadline_exceeded),
+                    ),
+                ],
+            );
+            let deadline_exceeded = report.deadline_exceeded;
+            shared
+                .sink
+                .record(IncidentRecord::from_report(tenant, &report));
+            if deadline_exceeded {
+                metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            // a deadline overrun is a breaker failure: a tenant
+            // whose every localization times out should be shed
+            deadline_exceeded
+        }
+        Ok(Ok(None)) => false,
+    };
+    let breaker = state.breakers.entry(Arc::clone(tenant)).or_default();
+    if failed {
+        if breaker.on_failure(
+            shared.breaker_threshold,
+            shared.breaker_cooldown,
+            Instant::now(),
+        ) {
+            shard_metrics.breaker_open.fetch_add(1, Ordering::Relaxed);
+            obs::warn(
+                "rapd.shard",
+                "breaker_opened",
+                &[("tenant", obs::Value::Str(tenant.to_string()))],
+            );
+        }
+    } else if breaker.on_success() {
+        shard_metrics.breaker_open.fetch_sub(1, Ordering::Relaxed);
+        obs::info(
+            "rapd.shard",
+            "breaker_closed",
+            &[("tenant", obs::Value::Str(tenant.to_string()))],
+        );
+    }
+    shard_metrics.processed.fetch_add(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -607,12 +798,17 @@ mod tests {
         Arc::new(IncidentSink::open(None, 8, Arc::clone(metrics)).unwrap())
     }
 
+    fn quarantine(metrics: &Arc<Metrics>) -> Arc<QuarantineSink> {
+        Arc::new(QuarantineSink::open(None, 8, Arc::clone(metrics)).unwrap())
+    }
+
     #[test]
     fn tenants_hash_deterministically_within_range() {
         let cfg = small_config(16);
         let metrics = Arc::new(Metrics::new(cfg.shards));
         let sink = sink(&metrics);
-        let pool = ShardPool::start(&cfg, metrics, sink, default_factory());
+        let quarantine = quarantine(&metrics);
+        let pool = ShardPool::start(&cfg, metrics, sink, quarantine, default_factory());
         for tenant in ["a", "b", "edge-7", ""] {
             let s = pool.shard_for(tenant);
             assert!(s < 2);
@@ -630,11 +826,12 @@ mod tests {
             &cfg,
             Arc::clone(&metrics),
             Arc::clone(&sink),
+            quarantine(&metrics),
             default_factory(),
         );
         let s = schema();
         for _ in 0..10 {
-            pool.ingest("tenant", frame(&s, 50.0, 50.0));
+            pool.ingest("tenant", frame(&s, 50.0, 50.0), None);
         }
         assert!(pool.flush(Duration::from_secs(10)));
         assert_eq!(metrics.total_processed(), 10);
@@ -652,13 +849,14 @@ mod tests {
             &cfg,
             Arc::clone(&metrics),
             Arc::clone(&sink),
+            quarantine(&metrics),
             default_factory(),
         );
         let s = schema();
         for _ in 0..8 {
-            pool.ingest("edge", frame(&s, 100.0, 100.0));
+            pool.ingest("edge", frame(&s, 100.0, 100.0), None);
         }
-        pool.ingest("edge", frame(&s, 0.0, 100.0));
+        pool.ingest("edge", frame(&s, 0.0, 100.0), None);
         assert!(pool.flush(Duration::from_secs(10)));
         assert_eq!(metrics.alarms.load(Ordering::Relaxed), 1);
         let incidents = sink.recent(10);
@@ -715,13 +913,14 @@ mod tests {
             &cfg,
             Arc::clone(&metrics),
             Arc::clone(&sink),
+            quarantine(&metrics),
             Arc::new(|| Box::new(Slow(RapMinerLocalizer::default())) as Box<dyn Localizer>),
         );
         let s = schema();
         let total = 200;
         for i in 0..total {
             let v = if i % 2 == 0 { 10.0 } else { 200.0 };
-            pool.ingest("t", frame(&s, v, v));
+            pool.ingest("t", frame(&s, v, v), None);
         }
         assert!(
             pool.flush(Duration::from_secs(30)),
@@ -745,7 +944,8 @@ mod tests {
         let cfg = small_config(4);
         let metrics = Arc::new(Metrics::new(cfg.shards));
         let sink = sink(&metrics);
-        let pool = ShardPool::start(&cfg, metrics, sink, default_factory());
+        let quarantine = quarantine(&metrics);
+        let pool = ShardPool::start(&cfg, metrics, sink, quarantine, default_factory());
         assert!(pool.flush(Duration::from_secs(5)));
         pool.shutdown();
     }
@@ -852,13 +1052,14 @@ mod tests {
             &cfg,
             Arc::clone(&metrics),
             Arc::clone(&sink),
+            quarantine(&metrics),
             panicky_factory(&armed),
         );
         let s = schema();
         let mut ingested = 0u64;
         for i in 0..6 {
             let v = collapsing_value(i);
-            pool.ingest("victim", frame(&s, v, v));
+            pool.ingest("victim", frame(&s, v, v), None);
             ingested += 1;
         }
         assert!(pool.flush(Duration::from_secs(10)));
@@ -872,7 +1073,7 @@ mod tests {
         armed.store(false, Ordering::Relaxed);
         for i in 0..6 {
             let v = collapsing_value(i);
-            pool.ingest("victim", frame(&s, v, v));
+            pool.ingest("victim", frame(&s, v, v), None);
             ingested += 1;
         }
         assert!(pool.flush(Duration::from_secs(10)));
@@ -896,6 +1097,7 @@ mod tests {
             &cfg,
             Arc::clone(&metrics),
             Arc::clone(&sink),
+            quarantine(&metrics),
             faily_factory(&armed),
         );
         let s = schema();
@@ -904,7 +1106,7 @@ mod tests {
         // keep pushing into the open breaker
         for i in 0..10 {
             let v = collapsing_value(i);
-            pool.ingest("flappy", frame(&s, v, v));
+            pool.ingest("flappy", frame(&s, v, v), None);
             ingested += 1;
             // serialize frames so "consecutive failures" is deterministic
             assert!(pool.flush(Duration::from_secs(10)));
@@ -927,7 +1129,7 @@ mod tests {
         let processed_before = metrics.total_processed();
         for i in 0..4 {
             let v = collapsing_value(i);
-            pool.ingest("flappy", frame(&s, v, v));
+            pool.ingest("flappy", frame(&s, v, v), None);
             ingested += 1;
             assert!(pool.flush(Duration::from_secs(10)));
         }
@@ -977,5 +1179,158 @@ mod tests {
             assert!(!off.on_failure(0, cooldown, t0));
         }
         assert_eq!(off.admit(t0), Admission::Process);
+    }
+
+    /// Offer a frame stamped with `ts` and return the released timestamps.
+    fn offer(b: &mut ReorderBuffer, s: &Schema, ts: u64, window: usize, lateness: u64) -> Vec<u64> {
+        b.offer(ts, frame(s, 1.0, 1.0), window, lateness)
+            .unwrap_or_else(|r| panic!("ts {ts} rejected: {r:?}"))
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    #[test]
+    fn reorder_buffer_emits_in_timestamp_order_behind_the_watermark() {
+        let s = schema();
+        let mut b = ReorderBuffer::default();
+        // lateness 10: nothing is released until the watermark passes it
+        assert_eq!(offer(&mut b, &s, 100, 32, 10), Vec::<u64>::new());
+        assert_eq!(offer(&mut b, &s, 105, 32, 10), Vec::<u64>::new());
+        // 102 arrives out of order but is still ahead of the watermark
+        assert_eq!(offer(&mut b, &s, 102, 32, 10), Vec::<u64>::new());
+        // 115 pushes the watermark to 105: releases 100, 102, 105 in order
+        assert_eq!(offer(&mut b, &s, 115, 32, 10), vec![100, 102, 105]);
+        assert_eq!(b.last_emitted, Some(105));
+        // now 101 is behind the last emitted frame → late
+        assert_eq!(
+            b.offer(101, frame(&s, 1.0, 1.0), 32, 10),
+            Err(Rejected::Late { last_emitted: 105 })
+        );
+    }
+
+    #[test]
+    fn reorder_buffer_rejects_replays() {
+        let s = schema();
+        let mut b = ReorderBuffer::default();
+        assert_eq!(offer(&mut b, &s, 50, 32, 100), Vec::<u64>::new());
+        // same ts while still buffered → replay
+        assert_eq!(
+            b.offer(50, frame(&s, 1.0, 1.0), 32, 100),
+            Err(Rejected::Replay)
+        );
+        // emit it, then the same ts again → still replay, not late
+        assert_eq!(offer(&mut b, &s, 200, 32, 100), vec![50]);
+        assert_eq!(
+            b.offer(50, frame(&s, 1.0, 1.0), 32, 100),
+            Err(Rejected::Replay)
+        );
+        assert_eq!(
+            b.offer(200, frame(&s, 1.0, 1.0), 32, 100),
+            Err(Rejected::Replay),
+            "the buffered watermark-driver ts is a replay too"
+        );
+    }
+
+    #[test]
+    fn reorder_buffer_overflow_releases_oldest_and_drain_empties() {
+        let s = schema();
+        let mut b = ReorderBuffer::default();
+        // a huge lateness keeps the watermark at 0, so only the window
+        // bound forces emission
+        for ts in [10, 20, 30] {
+            assert_eq!(offer(&mut b, &s, ts, 3, 1_000_000), Vec::<u64>::new());
+        }
+        assert_eq!(offer(&mut b, &s, 40, 3, 1_000_000), vec![10]);
+        assert_eq!(b.buf.len(), 3);
+        let drained: Vec<u64> = b.drain().into_iter().map(|(t, _)| t).collect();
+        assert_eq!(drained, vec![20, 30, 40]);
+        assert_eq!(b.last_emitted, Some(40));
+        assert!(b.buf.is_empty());
+    }
+
+    #[test]
+    fn timestamped_frames_reorder_and_flush_drains_the_buffer() {
+        let cfg = ServiceConfig {
+            max_lateness: Duration::from_millis(1_000_000),
+            ..small_config(64)
+        };
+        let metrics = Arc::new(Metrics::new(cfg.shards));
+        let sink = sink(&metrics);
+        let quarantine = quarantine(&metrics);
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            Arc::clone(&quarantine),
+            default_factory(),
+        );
+        let s = schema();
+        // steady history, then a collapse frame — sent FIRST but stamped
+        // LAST, so only reordering can place it after the history
+        pool.ingest("edge", frame(&s, 0.0, 100.0), Some(9_000));
+        for ts in 1..=8u64 {
+            pool.ingest("edge", frame(&s, 100.0, 100.0), Some(ts * 1_000));
+        }
+        // the huge lateness parks everything until the flush barrier
+        assert!(pool.flush(Duration::from_secs(10)));
+        assert_eq!(metrics.total_processed(), 9, "flush drains the buffer");
+        assert_eq!(
+            metrics.alarms.load(Ordering::Relaxed),
+            1,
+            "the collapse frame must be processed last, after warmup"
+        );
+        assert_eq!(sink.recent(10)[0].raps[0].0, "(a1)");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn late_and_replayed_frames_are_quarantined_and_accounted() {
+        let cfg = ServiceConfig {
+            max_lateness: Duration::from_millis(2),
+            ..small_config(64)
+        };
+        let metrics = Arc::new(Metrics::new(cfg.shards));
+        let sink = sink(&metrics);
+        let quarantine = quarantine(&metrics);
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            Arc::clone(&quarantine),
+            default_factory(),
+        );
+        let s = schema();
+        let mut ingested = 0u64;
+        for ts in [100u64, 200, 300, 400] {
+            pool.ingest("t", frame(&s, 50.0, 50.0), Some(ts));
+            ingested += 1;
+        }
+        // at ts=400 the watermark is 398, so 100..=300 were emitted and
+        // 400 is still buffered: re-sending 400 is a replay, and anything
+        // behind the last emitted ts (300) is late
+        pool.ingest("t", frame(&s, 50.0, 50.0), Some(400));
+        pool.ingest("t", frame(&s, 50.0, 50.0), Some(150));
+        ingested += 2;
+        assert!(pool.flush(Duration::from_secs(10)));
+        assert_eq!(metrics.frames_quarantined.replay.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.frames_quarantined.late.load(Ordering::Relaxed), 1);
+        let records = quarantine.recent(10);
+        assert_eq!(records.len(), 2);
+        assert!(records
+            .iter()
+            .any(|r| r.reason == "late" && r.ts == Some(150)));
+        assert!(records
+            .iter()
+            .any(|r| r.reason == "replay" && r.ts == Some(400)));
+        assert_eq!(
+            metrics.total_processed()
+                + metrics.total_dropped()
+                + metrics.total_shed()
+                + metrics.total_quarantined(),
+            ingested,
+            "accounting invariant with quarantines"
+        );
+        pool.shutdown();
     }
 }

@@ -63,6 +63,10 @@ pub struct IncidentRecord {
     /// Whether the localization deadline expired; `raps` is then the
     /// partial answer from the layers completed in budget.
     pub deadline_exceeded: bool,
+    /// Whether any forecast feeding this incident came from the pipeline's
+    /// degradation fallback (primary forecaster returned a non-finite
+    /// value).
+    pub degraded_forecast: bool,
 }
 
 impl IncidentRecord {
@@ -82,6 +86,7 @@ impl IncidentRecord {
             timings: report.timings,
             trace: report.trace.clone(),
             deadline_exceeded: report.deadline_exceeded,
+            degraded_forecast: report.degraded_forecast,
         }
     }
 
@@ -124,6 +129,10 @@ impl IncidentRecord {
             (
                 "deadline_exceeded".to_string(),
                 Json::Bool(self.deadline_exceeded),
+            ),
+            (
+                "degraded_forecast".to_string(),
+                Json::Bool(self.degraded_forecast),
             ),
         ])
     }
@@ -218,7 +227,7 @@ fn trace_to_json(trace: &LocalizationTrace) -> Json {
 
 /// IEEE CRC-32 (polynomial `0xEDB88320`), bitwise — the spool is
 /// low-volume (one line per incident) so a lookup table buys nothing.
-fn crc32(data: &[u8]) -> u32 {
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= u32::from(b);
@@ -231,7 +240,7 @@ fn crc32(data: &[u8]) -> u32 {
 }
 
 /// One spool line's payload with its checksum suffix.
-fn frame_spool_line(json: &str) -> String {
+pub(crate) fn frame_spool_line(json: &str) -> String {
     format!("{json}\t{:08x}", crc32(json.as_bytes()))
 }
 
@@ -247,7 +256,8 @@ pub struct SpoolRecovery {
 }
 
 /// Verdict on one scanned spool line.
-enum LineVerdict {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LineVerdict {
     /// CRC suffix present and correct.
     Verified,
     /// No CRC suffix, but the whole line parses as a JSON object
@@ -257,7 +267,7 @@ enum LineVerdict {
     Corrupt,
 }
 
-fn judge_line(line: &str) -> LineVerdict {
+pub(crate) fn judge_line(line: &str) -> LineVerdict {
     if let Some((json, suffix)) = line.rsplit_once('\t') {
         if suffix.len() == 8
             && suffix.chars().all(|c| c.is_ascii_hexdigit())
@@ -485,6 +495,7 @@ mod tests {
             },
             trace: None,
             deadline_exceeded: false,
+            degraded_forecast: false,
         }
     }
 
@@ -682,6 +693,31 @@ mod tests {
         let timings = doc.get("timings").unwrap();
         assert_eq!(timings.get("cp_seconds").unwrap().as_f64(), Some(0.002));
         assert_eq!(doc.get("trace"), Some(&Json::Null));
+        assert_eq!(doc.get("degraded_forecast").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn judge_line_distinguishes_every_verdict() {
+        // checksummed line → Verified
+        let framed = frame_spool_line(r#"{"tenant":"t"}"#);
+        assert_eq!(judge_line(&framed), LineVerdict::Verified);
+        // bare JSON object (pre-CRC spool) → Legacy
+        assert_eq!(judge_line(r#"{"tenant":"t"}"#), LineVerdict::Legacy);
+        // legacy JSON containing a literal tab in a string still judges
+        // correctly: the suffix after the tab is not an 8-hex CRC
+        assert_eq!(judge_line("{\"note\":\"a\tb\"}"), LineVerdict::Legacy);
+        // wrong checksum → Corrupt (not legacy: the tab suffix breaks parse)
+        let mut tampered = framed.clone();
+        tampered.replace_range(..1, " ");
+        assert_eq!(judge_line(&tampered), LineVerdict::Corrupt);
+        // torn fragments and non-object JSON → Corrupt
+        assert_eq!(judge_line(r#"{"tenant":"t"#), LineVerdict::Corrupt);
+        assert_eq!(judge_line("[1,2,3]"), LineVerdict::Corrupt);
+        assert_eq!(judge_line(""), LineVerdict::Corrupt);
+        // an 8-hex suffix guarding different bytes → Corrupt
+        let (json, crc) = framed.rsplit_once('\t').unwrap();
+        let mismatched = format!("{json} \t{crc}");
+        assert_eq!(judge_line(&mismatched), LineVerdict::Corrupt);
     }
 
     #[test]

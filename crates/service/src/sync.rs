@@ -64,4 +64,36 @@ mod tests {
         assert!(timed_out.timed_out());
         assert!(!*guard);
     }
+
+    #[test]
+    fn condvar_wait_recovers_from_a_poisoned_mutex() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+
+        // Poison the mutex: a holder thread panics mid-update.
+        let p = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let _guard = p.0.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(pair.0.is_poisoned());
+
+        // A notifier flips the flag through the recovered lock and wakes us.
+        let p = Arc::clone(&pair);
+        let notifier = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            *lock_recover(&p.0) = true;
+            p.1.notify_all();
+        });
+
+        // wait_recover must survive the poisoned re-acquire instead of
+        // propagating the holder's panic into this thread.
+        let mut guard = lock_recover(&pair.0);
+        while !*guard {
+            guard = wait_recover(&pair.1, guard);
+        }
+        assert!(*guard);
+        drop(guard);
+        notifier.join().expect("notifier thread");
+    }
 }

@@ -12,8 +12,13 @@
 #   6. fault injection          -- the failpoint suite: rapd must survive
 #                                  injected panics, spool I/O errors, slow
 #                                  localizations, and worker deaths
-#   7. cargo bench --no-run     -- Criterion benches must compile
-#   8. obs_overhead             -- tracing overhead smoke test: spans
+#   7. dirty stream             -- the admission-control suite: ≥5%
+#                                  corrupted frames (NaN, duplicates,
+#                                  reorder, replay, schema drift) must
+#                                  quarantine/repair cleanly with
+#                                  byte-identical clean-subset output
+#   8. cargo bench --no-run     -- Criterion benches must compile
+#   9. obs_overhead             -- tracing overhead smoke test: spans
 #                                  enabled vs disabled must stay within a
 #                                  5% budget on the localizers bench
 #                                  fixture
@@ -34,6 +39,7 @@ run cargo build --workspace --release --offline
 run cargo test --workspace -q --offline
 run cargo clippy -p service -p pipeline --offline -- -D warnings -D clippy::unwrap_used
 run cargo test -p service --features fail --offline -q --test fault_injection
+run cargo test -p rapminer-suite --offline -q --test dirty_stream
 run cargo bench --workspace --offline --no-run
 run cargo run --release --offline -p rapminer-bench --bin obs_overhead -- 5.0
 
