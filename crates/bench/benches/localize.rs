@@ -1,0 +1,41 @@
+//! Criterion benchmark for the parallel localization core: RAPMiner
+//! end-to-end on the Fig. 10 thread-scaling fixture, serial vs. the
+//! work-stealing pool at several thread counts.
+//!
+//! The machine-readable record and the regression/speedup gates live in
+//! the `bench_localize` binary (which `scripts/ci.sh` runs); this bench
+//! exists for interactive `cargo bench` exploration of the same workload.
+
+use baselines::{Localizer, RapMinerLocalizer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rapminer::Config;
+use rapminer_bench::fig10_frame;
+
+const K: usize = 5;
+
+/// Serial vs. parallel localization on the scale-4 fixture (84 480
+/// leaves, full 15-cuboid sweep). Thread count 0 is the machine width.
+fn localize_scaling(c: &mut Criterion) {
+    let frame = fig10_frame(4);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("localize_scaling");
+    group.sample_size(5);
+    for threads in [1usize, 2, 4, 8, 0] {
+        if threads > cores.max(2) && threads != 0 {
+            continue; // oversubscribing a small host just measures noise
+        }
+        let localizer = RapMinerLocalizer::with_config(Config::new().with_threads(threads));
+        let label = if threads == 0 {
+            format!("machine({cores})")
+        } else {
+            threads.to_string()
+        };
+        group.bench_with_input(BenchmarkId::new("threads", label), &frame, |b, frame| {
+            b.iter(|| localizer.localize(frame, K).map(|r| r.len()).unwrap_or(0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, localize_scaling);
+criterion_main!(benches);

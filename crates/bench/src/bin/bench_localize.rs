@@ -1,0 +1,358 @@
+//! The parallel-search benchmark and regression gate behind
+//! `BENCH_localize.json`.
+//!
+//! Times RAPMiner end-to-end on the Fig. 10 thread-scaling fixture twice —
+//! once serial (`threads = 1`) and once on the parallel pool — and:
+//!
+//! 1. asserts the two runs produce **byte-identical** ranked output
+//!    (pattern strings, scores, and search counters), the determinism
+//!    contract of the parallel search;
+//! 2. writes a machine-readable `BENCH_localize.json` record (commit,
+//!    date, core count, thread count, timings, speedup);
+//! 3. compares the serial time against the checked-in baseline at
+//!    `results/BENCH_localize.baseline.json`, **normalized by a bitset
+//!    calibration micro-kernel** timed on both hosts, and exits non-zero
+//!    if the normalized serial time regressed by more than 20 %;
+//! 4. when the host has at least four cores, additionally requires the
+//!    parallel run to be at least 2.5× faster than serial (on smaller
+//!    hosts the speedup is physically unreachable, so only determinism
+//!    and the serial regression gate apply).
+//!
+//! The calibration kernel clones, intersects, and accumulates bitsets of
+//! the same width the search uses — mimicking the support memo's
+//! allocation churn, not just its arithmetic — so `serial_ns /
+//! calibrate_ns` is a host-independent measure of search efficiency: a
+//! slower or memory-pressured machine slows both numerator and
+//! denominator alike, while an algorithmic regression only slows the
+//! numerator. Serial and calibration trials are *interleaved* and the
+//! reported ratio is the **median of per-pair ratios**, so sustained
+//! host drift (CPU steal, thermal throttling, a noisy neighbour) cancels
+//! pairwise instead of biasing one measurement block.
+//!
+//! Usage: `bench_localize [scale] [--write-baseline]`
+//!   scale             website-count multiplier for the fixture (default 4;
+//!                     at 4 the search keeps all four attributes and sweeps
+//!                     the full 15-cuboid lattice, ~64 k combinations)
+//!   --write-baseline  rewrite `results/BENCH_localize.baseline.json`
+
+use std::time::Instant;
+
+use baselines::{Localizer, RapMinerLocalizer};
+use mdkpi::Bitset;
+use rapminer::Config;
+use rapminer_bench::fig10_frame;
+
+const K: usize = 5;
+const TRIALS: usize = 7;
+const BASELINE_PATH: &str = "results/BENCH_localize.baseline.json";
+const OUTPUT_PATH: &str = "BENCH_localize.json";
+/// Normalized serial-time regression budget (fraction over baseline).
+const REGRESSION_BUDGET: f64 = 0.20;
+/// Required parallel speedup on hosts with at least this many cores.
+const SPEEDUP_FLOOR: f64 = 2.5;
+const SPEEDUP_MIN_CORES: usize = 4;
+
+/// Render one localization deterministically: ranked patterns, scores,
+/// and the search counters. Two runs are "byte-identical" iff these
+/// strings are equal.
+fn render(localizer: &RapMinerLocalizer, frame: &mdkpi::LeafFrame) -> String {
+    let explained = localizer
+        .localize_explained(frame, K)
+        .expect("fixture localizes");
+    let mut out = String::new();
+    for (i, r) in explained.results.iter().enumerate() {
+        out.push_str(&format!("{} {} {:.9}\n", i + 1, r.combination, r.score));
+    }
+    if let Some(trace) = &explained.trace {
+        let s = &trace.stats;
+        out.push_str(&format!(
+            "stats {} {} {} {} {}\n",
+            s.attrs_deleted,
+            s.cuboids_visited,
+            s.combos_visited,
+            s.candidates_found,
+            s.early_stopped
+        ));
+    }
+    out
+}
+
+/// Wall nanoseconds of one localization.
+fn localize_once_ns(localizer: &RapMinerLocalizer, frame: &mdkpi::LeafFrame) -> u64 {
+    let start = Instant::now();
+    let n = localizer.localize(frame, K).map(|r| r.len()).unwrap_or(0);
+    std::hint::black_box(n);
+    start.elapsed().as_nanos() as u64
+}
+
+/// One pass of the host-calibration micro-kernel: clone + intersect +
+/// retain bitsets at the fixture's row width, mirroring the support
+/// memo's per-layer churn (the search's dominant cost is exactly this —
+/// allocate a child row set, AND it with a posting, keep it for the next
+/// layer). Returns wall nanoseconds for a fixed amount of work.
+fn calibrate_once_ns(rows: usize) -> u64 {
+    let mut a = Bitset::new(rows);
+    let mut b = Bitset::new(rows);
+    for i in (0..rows).step_by(3) {
+        a.insert(i);
+    }
+    for i in (0..rows).step_by(7) {
+        b.insert(i);
+    }
+    let start = Instant::now();
+    let mut acc = 0usize;
+    let mut memo: Vec<Bitset> = Vec::new();
+    for i in 0..20_000 {
+        let mut c = a.clone();
+        c.intersect_with(&b);
+        acc = acc.wrapping_add(c.count());
+        // retain like the memo does, releasing a "layer" at a time
+        memo.push(c);
+        if i % 2_000 == 1_999 {
+            memo.clear();
+        }
+    }
+    std::hint::black_box((acc, memo.len()));
+    start.elapsed().as_nanos() as u64
+}
+
+/// The median of a sample (averaging the middle pair on even sizes).
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    let n = xs.len();
+    if n == 0 {
+        return 0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2
+    }
+}
+
+/// Interleaved measurement: `TRIALS` rounds of serial localize, parallel
+/// localize, and the calibration kernel back to back. Returns the median
+/// of each series plus the median per-round `serial / calibrate` ratio
+/// (the drift-immune number the regression gate checks).
+fn measure(
+    serial: &RapMinerLocalizer,
+    parallel: &RapMinerLocalizer,
+    frame: &mdkpi::LeafFrame,
+) -> (u64, u64, u64, f64) {
+    let mut serial_ns = Vec::with_capacity(TRIALS);
+    let mut parallel_ns = Vec::with_capacity(TRIALS);
+    let mut cal_ns = Vec::with_capacity(TRIALS);
+    let mut ratios = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        let s = localize_once_ns(serial, frame);
+        let p = localize_once_ns(parallel, frame);
+        let c = calibrate_once_ns(frame.num_rows()).max(1);
+        serial_ns.push(s);
+        parallel_ns.push(p);
+        cal_ns.push(c);
+        ratios.push(s as f64 / c as f64);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    (
+        median(serial_ns),
+        median(parallel_ns),
+        median(cal_ns),
+        ratios[TRIALS / 2],
+    )
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a work tree.
+fn commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Days since the Unix epoch rendered as an ISO date (proleptic civil
+/// calendar; no external time crate).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days
+    days += 719_468;
+    let era = days.div_euclid(146_097);
+    let doe = days.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Pull `"field": <number>` out of a flat JSON object without a JSON
+/// dependency. Good enough for the records this binary itself writes.
+fn json_f64(text: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[allow(clippy::too_many_arguments)] // flat record, one field per column
+fn record(
+    scale: usize,
+    cores: usize,
+    parallel_threads: usize,
+    serial_ns: u64,
+    parallel_ns: u64,
+    cal_ns: u64,
+    normalized: f64,
+) -> String {
+    format!(
+        "{{\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n  \"scale\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"speedup\": {:.3},\n  \"calibrate_ns\": {},\n  \"normalized\": {:.4}\n}}\n",
+        commit(),
+        today_utc(),
+        scale,
+        cores,
+        parallel_threads,
+        serial_ns,
+        parallel_ns,
+        serial_ns as f64 / parallel_ns as f64,
+        cal_ns,
+        normalized,
+    )
+}
+
+fn main() {
+    let mut scale = 4usize;
+    let mut write_baseline = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--write-baseline" {
+            write_baseline = true;
+        } else {
+            scale = arg.parse().expect("scale must be a positive integer");
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // always exercise the pool path, even on small hosts
+    let parallel_threads = cores.max(2);
+    let frame = fig10_frame(scale);
+    println!(
+        "fig10 fixture: {} leaves ({} anomalous), host cores: {cores}",
+        frame.num_rows(),
+        frame
+            .labels()
+            .map_or(0, |l| l.iter().filter(|&&x| x).count()),
+    );
+
+    let serial = RapMinerLocalizer::with_config(Config::new().with_threads(1));
+    let parallel = RapMinerLocalizer::with_config(Config::new().with_threads(parallel_threads));
+
+    // determinism contract: byte-identical ranked output and counters
+    let serial_out = render(&serial, &frame);
+    let parallel_out = render(&parallel, &frame);
+    assert_eq!(
+        serial_out, parallel_out,
+        "parallel output diverged from serial"
+    );
+    println!("determinism: serial and {parallel_threads}-thread output byte-identical");
+    print!("{serial_out}");
+
+    let (serial_ns, parallel_ns, cal_ns, normalized) = measure(&serial, &parallel, &frame);
+    let speedup = serial_ns as f64 / parallel_ns as f64;
+    println!(
+        "serial: {:.3} ms, {parallel_threads} threads: {:.3} ms, speedup {speedup:.2}x, \
+         calibrate {:.3} ms, normalized {normalized:.2} (medians of {TRIALS} paired trials)",
+        serial_ns as f64 / 1e6,
+        parallel_ns as f64 / 1e6,
+        cal_ns as f64 / 1e6,
+    );
+
+    let json = record(
+        scale,
+        cores,
+        parallel_threads,
+        serial_ns,
+        parallel_ns,
+        cal_ns,
+        normalized,
+    );
+    std::fs::write(OUTPUT_PATH, &json).expect("write BENCH_localize.json");
+    println!("wrote {OUTPUT_PATH}");
+    if write_baseline {
+        std::fs::write(BASELINE_PATH, &json).expect("write baseline");
+        println!("wrote {BASELINE_PATH}");
+        return;
+    }
+
+    let mut failed = false;
+    match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(base) => {
+            // prefer the paired-median ratio; fall back to the quotient of
+            // medians for baselines written before the field existed
+            let base_norm = json_f64(&base, "normalized").or_else(|| {
+                match (
+                    json_f64(&base, "serial_ns"),
+                    json_f64(&base, "calibrate_ns"),
+                ) {
+                    (Some(s), Some(c)) if c > 0.0 => Some(s / c),
+                    _ => None,
+                }
+            });
+            match base_norm {
+                Some(there) if there > 0.0 => {
+                    let here = normalized;
+                    let delta = here / there - 1.0;
+                    println!(
+                        "serial regression check: normalized {here:.2} vs baseline {there:.2} ({:+.1} %)",
+                        delta * 100.0
+                    );
+                    if delta > REGRESSION_BUDGET {
+                        eprintln!(
+                            "FAIL: serial path regressed {:.1} % > {:.0} % budget",
+                            delta * 100.0,
+                            REGRESSION_BUDGET * 100.0
+                        );
+                        failed = true;
+                    }
+                }
+                _ => {
+                    eprintln!("FAIL: baseline {BASELINE_PATH} is malformed");
+                    failed = true;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: no baseline at {BASELINE_PATH} ({e}); run with --write-baseline");
+            failed = true;
+        }
+    }
+
+    if cores >= SPEEDUP_MIN_CORES {
+        if speedup < SPEEDUP_FLOOR {
+            eprintln!(
+                "FAIL: speedup {speedup:.2}x < {SPEEDUP_FLOOR}x floor on a {cores}-core host"
+            );
+            failed = true;
+        }
+    } else {
+        println!(
+            "(speedup floor of {SPEEDUP_FLOOR}x waived: host has {cores} < {SPEEDUP_MIN_CORES} cores)"
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bench_localize: all gates passed");
+}

@@ -15,9 +15,90 @@
 pub mod experiments;
 
 use datasets::{Dataset, RapmdConfig, RapmdGenerator, SqueezeGenConfig, SqueezeGenerator};
+use mdkpi::{ElementId, LeafFrame, Schema};
 
 /// Seed used by every experiment binary (printed in their headers).
 pub const EXPERIMENT_SEED: u64 = 20220607; // DSN'22 vintage
+
+/// One splitmix64 step (Vigna, 2015). Inlined so the fixture needs no RNG
+/// dependency and its byte stream is pinned forever — the thread-scaling
+/// gates diff localization output across thread counts and across runs.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the splitmix64 stream.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The Fig. 10 thread-scaling fixture: one labelled frame over the paper's
+/// full 33×4×4×20 CDN cross-product (`scale` multiplies the website count,
+/// so `scale = 1` is the paper's 10 560 leaves).
+///
+/// Three fixed root-cause patterns in three different cuboids are injected
+/// (`location=L05`, `isp=I2 & channel=C3`, `location=L12 & website=S07`),
+/// plus ~3 % scattered single-leaf anomalies. The scattered noise is never
+/// covered by a concise pattern, so the search cannot early-stop and must
+/// sweep every layer of the lattice — the worst case Fig. 10 scales, and
+/// the workload the serial-vs-parallel benchmark times. Forecasts are
+/// reconstructed from Eq. 5 exactly as the RAPMD generator does.
+pub fn fig10_frame(scale: usize) -> LeafFrame {
+    let scale = scale.max(1);
+    let locations: Vec<String> = (1..=33).map(|i| format!("L{i:02}")).collect();
+    let isps: Vec<String> = (1..=4).map(|i| format!("I{i}")).collect();
+    let channels: Vec<String> = (1..=4).map(|i| format!("C{i}")).collect();
+    let websites: Vec<String> = (1..=20 * scale).map(|i| format!("S{i:02}")).collect();
+    let schema = Schema::builder()
+        .attribute("location", locations)
+        .attribute("isp", isps)
+        .attribute("channel", channels)
+        .attribute("website", websites)
+        .build()
+        .expect("fixture schema is valid");
+
+    let eps = 1e-9; // Eq. 4/5 division guard
+    let mut state = EXPERIMENT_SEED ^ 0xF16_10F1;
+    let mut builder = LeafFrame::builder(&schema);
+    let mut labels = Vec::new();
+    for loc in 0..33u32 {
+        for isp in 0..4u32 {
+            for chan in 0..4u32 {
+                for site in 0..20 * scale as u32 {
+                    // truth: (L05,*,*,*), (*,I2,C3,*), (L12,*,*,S07)
+                    let truth = loc == 4 || (isp == 1 && chan == 2) || (loc == 11 && site == 6);
+                    let noise = unit(&mut state) < 0.03;
+                    let anomalous = truth || noise;
+                    let dev = if anomalous {
+                        0.1 + 0.8 * unit(&mut state)
+                    } else {
+                        -0.02 + 0.11 * unit(&mut state)
+                    };
+                    let v = 20.0 + 100.0 * unit(&mut state);
+                    let f = (v + dev * eps) / (1.0 - dev);
+                    builder.push(
+                        &[
+                            ElementId(loc),
+                            ElementId(isp),
+                            ElementId(chan),
+                            ElementId(site),
+                        ],
+                        v,
+                        f,
+                    );
+                    labels.push(anomalous);
+                }
+            }
+        }
+    }
+    let mut frame = builder.build();
+    frame.set_labels(labels).expect("one label per pushed row");
+    frame
+}
 
 /// The Squeeze-B0 dataset at evaluation size (9 groups × `cases_per_group`
 /// cases).
@@ -93,6 +174,18 @@ mod tests {
         assert!(summary.contains("bench.outer: 3 spans"), "got: {summary}");
         assert!(summary.contains("bench.inner: 3 spans"), "got: {summary}");
         obs::clear_spans();
+    }
+
+    #[test]
+    fn fig10_frame_is_reproducible_and_labelled() {
+        let a = fig10_frame(1);
+        assert_eq!(a.num_rows(), 33 * 4 * 4 * 20);
+        let anomalous = a.labels().expect("labelled").iter().filter(|&&l| l).count();
+        // three injected RAPs plus ~3 % scattered noise
+        assert!(anomalous > 1000, "got {anomalous} anomalous leaves");
+        assert!(anomalous < a.num_rows() / 2, "got {anomalous}");
+        assert_eq!(a, fig10_frame(1));
+        assert_eq!(fig10_frame(2).num_rows(), 2 * 33 * 4 * 4 * 20);
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub enum Command {
         /// candidates found, early-stop status) when the method reports
         /// them.
         stats: bool,
+        /// Intra-frame worker threads for RAPMiner (`0` = machine width,
+        /// `1` = serial); results are byte-identical at any setting.
+        threads: usize,
     },
     /// `evaluate`: score methods against a dataset directory.
     Evaluate {
@@ -113,6 +116,10 @@ pub enum Command {
         /// Out-of-orderness tolerated before a timestamped frame is late,
         /// in milliseconds.
         max_lateness_ms: u64,
+        /// Intra-frame localization threads per shard worker (`1` keeps a
+        /// frame on its shard's core, `0` fans one frame out over the
+        /// machine).
+        intra_frame_threads: usize,
     },
     /// `methods`: list available localizers.
     Methods,
@@ -141,7 +148,7 @@ USAGE:
                     [--failures N] [--cases-per-group N] [--seed N]
   rapminer localize --input <case.csv> [--method NAME] [--k N]
                     [--t-cp X] [--t-conf X] [--detect-threshold X]
-                    [--explain true] [--stats true]
+                    [--explain true] [--stats true] [--threads N]
   rapminer evaluate --dir <dataset-dir> [--protocol rc|f1] [--k 3,4,5]
                     [--method NAME]
   rapminer simulate [--steps N] [--failure-at N] [--seed N] [--rap SPEC]
@@ -152,7 +159,7 @@ USAGE:
                     [--log-json true] [--localize-deadline-ms N]
                     [--breaker-threshold N] [--breaker-cooldown-ms N]
                     [--schema-drift-limit N] [--reorder-window N]
-                    [--max-lateness-ms N]
+                    [--max-lateness-ms N] [--intra-frame-threads N]
   rapminer methods
   rapminer help
 ";
@@ -192,6 +199,7 @@ impl Args {
                 detect_threshold: parse_float(&flags, "detect-threshold", 0.095)?,
                 explain: parse_bool(&flags, "explain")?,
                 stats: parse_bool(&flags, "stats")?,
+                threads: parse_num(&flags, "threads", 0)?,
             },
             "evaluate" => Command::Evaluate {
                 dir: require(&flags, "dir")?,
@@ -234,6 +242,7 @@ impl Args {
                 schema_drift_limit: parse_num(&flags, "schema-drift-limit", 8)?,
                 reorder_window: parse_num(&flags, "reorder-window", 32)?,
                 max_lateness_ms: parse_num(&flags, "max-lateness-ms", 2_000)?,
+                intra_frame_threads: parse_num(&flags, "intra-frame-threads", 1)?,
             },
             "methods" => Command::Methods,
             "help" | "--help" | "-h" => Command::Help,
@@ -370,6 +379,7 @@ mod tests {
                 detect_threshold,
                 explain,
                 stats,
+                threads,
             } => {
                 assert_eq!(input, "a.csv");
                 assert_eq!(method, "squeeze");
@@ -379,6 +389,7 @@ mod tests {
                 assert_eq!(detect_threshold, 0.095);
                 assert!(!explain);
                 assert!(!stats);
+                assert_eq!(threads, 0, "default = machine width");
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -483,6 +494,32 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_thread_flags() {
+        let args = Args::parse(["localize", "--input", "a.csv", "--threads", "8"]).unwrap();
+        match args.command {
+            Command::Localize { threads, .. } => assert_eq!(threads, 8),
+            other => panic!("wrong command {other:?}"),
+        }
+        let args = Args::parse(["serve", "--intra-frame-threads", "4"]).unwrap();
+        match args.command {
+            Command::Serve {
+                intra_frame_threads,
+                ..
+            } => assert_eq!(intra_frame_threads, 4),
+            other => panic!("wrong command {other:?}"),
+        }
+        // default: one core per shard frame, as before this flag existed
+        match Args::parse(["serve"]).unwrap().command {
+            Command::Serve {
+                intra_frame_threads,
+                ..
+            } => assert_eq!(intra_frame_threads, 1),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(Args::parse(["localize", "--input", "a", "--threads", "x"]).is_err());
     }
 
     #[test]

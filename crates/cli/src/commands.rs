@@ -80,6 +80,7 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             detect_threshold,
             explain,
             stats,
+            threads,
         } => localize(
             input,
             method,
@@ -89,6 +90,7 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             *detect_threshold,
             *explain,
             *stats,
+            *threads,
             out,
         ),
         Command::Evaluate {
@@ -141,6 +143,7 @@ pub(crate) fn serve_start(
         schema_drift_limit,
         reorder_window,
         max_lateness_ms,
+        intra_frame_threads,
     } = command
     else {
         return Err(CliError::new("serve_start requires the serve command"));
@@ -170,6 +173,7 @@ pub(crate) fn serve_start(
                 0 => None,
                 ms => Some(std::time::Duration::from_millis(ms)),
             },
+            localize_threads: *intra_frame_threads,
         },
         ..service::ServiceConfig::default()
     };
@@ -297,14 +301,16 @@ fn generate(
     Ok(())
 }
 
-/// Resolve a method by name, applying RAPMiner threshold overrides.
+/// Resolve a method by name, applying RAPMiner threshold overrides and
+/// the intra-frame thread count (`0` = machine width, `1` = serial).
 fn resolve_method(
     name: &str,
     t_cp: Option<f64>,
     t_conf: Option<f64>,
+    threads: usize,
 ) -> Result<Box<dyn Localizer>, CliError> {
     if name == "rapminer" {
-        let mut config = Config::new();
+        let mut config = Config::new().with_threads(threads);
         if let Some(v) = t_cp {
             config = config
                 .with_t_cp(v)
@@ -342,6 +348,7 @@ fn localize(
     detect_threshold: f64,
     explain: bool,
     stats: bool,
+    threads: usize,
     out: &mut dyn std::io::Write,
 ) -> Result<(), CliError> {
     let file = std::fs::File::open(input)
@@ -389,7 +396,7 @@ fn localize(
         }
         write!(out, "{table}").map_err(io_err)?;
     }
-    let localizer = resolve_method(method, t_cp, t_conf)?;
+    let localizer = resolve_method(method, t_cp, t_conf, threads)?;
     let explained = localizer.localize_explained(&frame, k)?;
     if stats {
         match &explained.trace {
@@ -443,7 +450,7 @@ fn evaluate(
     let dataset = load_dataset(Path::new(dir))?;
     let methods: Vec<Box<dyn Localizer>> = match method {
         None => all_localizers(),
-        Some(name) => vec![resolve_method(name, None, None)?],
+        Some(name) => vec![resolve_method(name, None, None, 0)?],
     };
     writeln!(
         out,
@@ -599,9 +606,9 @@ mod tests {
 
     #[test]
     fn threshold_overrides_rejected_for_other_methods() {
-        assert!(resolve_method("squeeze", Some(0.1), None).is_err());
-        assert!(resolve_method("rapminer", Some(0.1), Some(0.9)).is_ok());
-        assert!(resolve_method("nope", None, None).is_err());
+        assert!(resolve_method("squeeze", Some(0.1), None, 0).is_err());
+        assert!(resolve_method("rapminer", Some(0.1), Some(0.9), 8).is_ok());
+        assert!(resolve_method("nope", None, None, 0).is_err());
     }
 
     #[test]

@@ -98,18 +98,18 @@ fn mean_seconds(outcomes: &[CaseOutcome]) -> f64 {
     }
 }
 
-/// Run every case through the localizer, in parallel chunks across worker
-/// threads, preserving case order.
+/// Run every case through the localizer, fanned out over a work-stealing
+/// pool sized to the machine. The pool's map preserves case order, so the
+/// outcome vector lines up with the input regardless of which worker
+/// finished first — and stealing keeps cores busy even when one group's
+/// cases are much slower than another's (static chunking serialized on the
+/// slowest chunk).
 fn run_cases<L: Localizer + ?Sized>(
     localizer: &L,
     cases: &[LocalizationCase],
     k_for: impl Fn(&LocalizationCase) -> usize + Sync,
 ) -> Vec<CaseOutcome> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(cases.len().max(1));
-    let run_one = |case: &LocalizationCase| -> CaseOutcome {
+    par::Pool::new(0).map(cases, |_, case| {
         let k = k_for(case);
         let start = Instant::now();
         let predictions = localizer
@@ -121,23 +121,7 @@ fn run_cases<L: Localizer + ?Sized>(
             predictions,
             seconds: start.elapsed().as_secs_f64(),
         }
-    };
-    if workers <= 1 || cases.len() <= 1 {
-        return cases.iter().map(run_one).collect();
-    }
-    let chunk_size = cases.len().div_ceil(workers);
-    let chunks: Vec<&[LocalizationCase]> = cases.chunks(chunk_size).collect();
-    let mut results: Vec<Vec<CaseOutcome>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| scope.spawn(|| chunk.iter().map(run_one).collect::<Vec<_>>()))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("worker thread panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,303 @@
+//! # par — scoped work-stealing data parallelism, zero dependencies
+//!
+//! The workspace is fully offline (no rayon), yet the RAPMiner hot paths —
+//! Algorithm 2's per-layer combination evaluation, Algorithm 1's
+//! per-attribute CP scan, and the eval runner's per-case fan-out — are
+//! embarrassingly parallel. This crate provides the one primitive they all
+//! need: an **order-preserving parallel map** over a slice.
+//!
+//! Design:
+//!
+//! * No persistent worker threads. Every [`Pool::map`] call opens a
+//!   [`std::thread::scope`], so borrowed inputs (`&LeafIndex`, `&[Case]`)
+//!   work without `Arc` gymnastics and there is no global state to poison.
+//! * Work stealing over contiguous index ranges. Each worker owns a
+//!   `Mutex<(start, end)>` range of the input; when its range drains it
+//!   steals the back half of the largest remaining victim range. Long items
+//!   therefore cannot serialize the tail the way static chunking does.
+//! * **Determinism by construction**: results are merged by input index,
+//!   never by completion order. `pool.map(items, f)` is observably
+//!   equivalent to `items.iter().enumerate().map(f).collect()` for any pure
+//!   `f`, regardless of thread count, scheduling, or steals.
+//! * A pool with one thread (or a single-item input) runs inline on the
+//!   caller's thread — no spawn, no locks — so `threads = 1` *is* the
+//!   serial path, not a simulation of it.
+//!
+//! A worker panic propagates to the caller (the scope joins every handle),
+//! matching what the same loop would do serially.
+//!
+//! # Example
+//!
+//! ```
+//! use par::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let squares = pool.map(&[1u64, 2, 3, 4, 5], |_, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Mutex;
+
+/// A fixed-width scoped thread pool. Cheap to construct (it holds only the
+/// thread count); threads are spawned per [`Pool::map`] call inside a
+/// [`std::thread::scope`].
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// A pool sized to the machine (`Pool::new(0)`).
+    fn default() -> Self {
+        Pool::new(0)
+    }
+}
+
+impl Pool {
+    /// Create a pool of `threads` workers; `0` means "use the machine's
+    /// available parallelism" (falling back to 1 when that is unknown).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Pool { threads }
+    }
+
+    /// A single-threaded pool: every map runs inline on the caller.
+    pub fn serial() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// The resolved worker count (never 0).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item and collect the results **in input order**.
+    ///
+    /// `f` receives `(index, &item)`. With one thread or at most one item
+    /// the map runs inline; otherwise `min(threads, items.len())` scoped
+    /// workers split the index space and steal from each other as they
+    /// drain. The output is identical to the serial map for any pure `f`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `f` on the calling thread.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let workers = self.threads.min(n);
+        // Contiguous starting ranges, one per worker, sized within one of
+        // each other; stealing rebalances whatever the split gets wrong.
+        let base = n / workers;
+        let extra = n % workers;
+        let mut start = 0;
+        let ranges: Vec<Mutex<(usize, usize)>> = (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < extra);
+                let r = (start, start + len);
+                start += len;
+                Mutex::new(r)
+            })
+            .collect();
+
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let produced: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let ranges = &ranges;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let next = {
+                                let mut r = lock(&ranges[w]);
+                                if r.0 < r.1 {
+                                    let i = r.0;
+                                    r.0 += 1;
+                                    Some(i)
+                                } else {
+                                    None
+                                }
+                            };
+                            match next {
+                                Some(i) => local.push((i, f(i, &items[i]))),
+                                None => {
+                                    if !steal_into(w, ranges) {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        for chunk in produced {
+            for (i, r) in chunk {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index is claimed by exactly one worker"))
+            .collect()
+    }
+}
+
+/// Lock a range, tolerating poison: a poisoned range only means another
+/// worker panicked mid-claim, and that panic is re-raised at join anyway.
+fn lock(m: &Mutex<(usize, usize)>) -> std::sync::MutexGuard<'_, (usize, usize)> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Move the back half of the largest remaining victim range into worker
+/// `w`'s (empty) range. Returns `false` when every other range is empty,
+/// which is the worker's signal to exit.
+fn steal_into(w: usize, ranges: &[Mutex<(usize, usize)>]) -> bool {
+    let mut victim: Option<(usize, usize)> = None; // (index, remaining)
+    for (v, m) in ranges.iter().enumerate() {
+        if v == w {
+            continue;
+        }
+        let r = lock(m);
+        let remaining = r.1 - r.0;
+        if remaining > 0 && victim.is_none_or(|(_, best)| remaining > best) {
+            victim = Some((v, remaining));
+        }
+    }
+    let Some((v, _)) = victim else {
+        return false;
+    };
+    let stolen = {
+        let mut r = lock(&ranges[v]);
+        let remaining = r.1 - r.0;
+        if remaining == 0 {
+            // lost the race to the victim itself; rescan on the next loop
+            return true;
+        }
+        let take = remaining.div_ceil(2);
+        let split = r.1 - take;
+        let stolen = (split, r.1);
+        r.1 = split;
+        stolen
+    };
+    *lock(&ranges[w]) = stolen;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_threads_resolves_to_machine_width() {
+        let pool = Pool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(Pool::serial().threads(), 1);
+        assert!(Pool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let doubled = pool.map(&items, |_, x| x * 2);
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let pool = Pool::new(4);
+        let tagged = pool.map(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(tagged, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..counters.len()).collect();
+        Pool::new(8).map(&items, |_, &i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn uneven_item_costs_still_complete() {
+        // one pathologically slow head item: stealing must keep the rest
+        // flowing and the output must stay ordered
+        let items: Vec<u64> = (0..64).collect();
+        let pool = Pool::new(4);
+        let out = pool.map(&items, |i, &x| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.map(&empty, |_, x| *x).is_empty());
+        assert_eq!(pool.map(&[41u32], |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let pool = Pool::new(64);
+        let out = pool.map(&[1u8, 2, 3], |_, x| *x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(2).map(&[0u32, 1, 2, 3], |_, &x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn borrowed_captures_work_without_arc() {
+        // the whole point of scoped spawning: borrow locals in the closure
+        let table = [10u64, 20, 30];
+        let items = vec![0usize, 1, 2, 1, 0];
+        let out = Pool::new(3).map(&items, |_, &i| table[i]);
+        assert_eq!(out, vec![10, 20, 30, 20, 10]);
+    }
+}

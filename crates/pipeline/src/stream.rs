@@ -38,6 +38,11 @@ pub struct PipelineConfig {
     /// when the budget ran out, keeping a pathological frame from stalling
     /// a shard worker indefinitely.
     pub localize_deadline: Option<Duration>,
+    /// Intra-frame localization threads handed to the localizer factory:
+    /// `1` (the default) keeps one core per shard frame, `0` sizes the
+    /// per-frame pool to the machine. Results are byte-identical either
+    /// way; only wall-clock time changes.
+    pub localize_threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +54,7 @@ impl Default for PipelineConfig {
             leaf_threshold: 0.3,
             k: 3,
             localize_deadline: None,
+            localize_threads: 1,
         }
     }
 }

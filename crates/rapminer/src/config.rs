@@ -13,6 +13,10 @@ use crate::{Error, Result};
 /// * `redundant_deletion` — disable to reproduce the paper's Table VI
 ///   ablation (RAPMiner *without* redundant attribute deletion).
 /// * `early_stop` — disable the Algorithm 2 early stop for ablation.
+/// * `threads` — intra-frame parallelism for the CP scan and the per-layer
+///   combination evaluation. `0` (the default) uses the machine's available
+///   parallelism, `1` runs fully serially; every setting produces
+///   byte-identical output (see `DESIGN.md` §13).
 ///
 /// # Example
 ///
@@ -32,6 +36,7 @@ pub struct Config {
     t_conf: f64,
     redundant_deletion: bool,
     early_stop: bool,
+    threads: usize,
 }
 
 impl Default for Config {
@@ -48,6 +53,7 @@ impl Default for Config {
             t_conf: 0.8,
             redundant_deletion: true,
             early_stop: true,
+            threads: 0,
         }
     }
 }
@@ -102,6 +108,14 @@ impl Config {
         self
     }
 
+    /// Set the intra-frame worker-thread count: `0` = available
+    /// parallelism, `1` = fully serial. Any value yields byte-identical
+    /// results; only wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The classification-power threshold.
     pub fn t_cp(&self) -> f64 {
         self.t_cp
@@ -121,6 +135,11 @@ impl Config {
     pub fn early_stop(&self) -> bool {
         self.early_stop
     }
+
+    /// The configured worker-thread count (`0` = available parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +153,13 @@ mod tests {
         assert_eq!(c.t_conf(), 0.8);
         assert!(c.redundant_deletion());
         assert!(c.early_stop());
+        assert_eq!(c.threads(), 0, "default = available parallelism");
+    }
+
+    #[test]
+    fn threads_builder_round_trips() {
+        assert_eq!(Config::new().with_threads(8).threads(), 8);
+        assert_eq!(Config::new().with_threads(1).threads(), 1);
     }
 
     #[test]

@@ -137,14 +137,28 @@ pub fn delete_redundant_attributes(
     index: &LeafIndex,
     t_cp: f64,
 ) -> DeletionOutcome {
+    delete_redundant_attributes_pooled(frame, index, t_cp, &par::Pool::serial())
+}
+
+/// [`delete_redundant_attributes`] with the per-attribute CP scan fanned
+/// out over `pool`. Attributes are partitioned in schema order from the
+/// pool's order-preserving map, so the outcome is identical to the serial
+/// scan for any thread count.
+pub(crate) fn delete_redundant_attributes_pooled(
+    frame: &LeafFrame,
+    index: &LeafIndex,
+    t_cp: f64,
+    pool: &par::Pool,
+) -> DeletionOutcome {
     let delete_span = obs::span("rapminer.delete");
     let mut kept: Vec<(AttrId, f64)> = Vec::new();
     let mut deleted: Vec<(AttrId, f64)> = Vec::new();
     {
         let cp_span = obs::span("rapminer.cp");
         cp_span.record("attrs", frame.schema().num_attributes());
-        for attr in frame.schema().attr_ids() {
-            let cp = classification_power(frame, index, attr);
+        let attrs: Vec<AttrId> = frame.schema().attr_ids().collect();
+        let powers = pool.map(&attrs, |_, &attr| classification_power(frame, index, attr));
+        for (&attr, cp) in attrs.iter().zip(powers) {
             if cp > t_cp {
                 kept.push((attr, cp));
             } else {

@@ -234,10 +234,14 @@ impl RapMiner {
         }
         let index = LeafIndex::new(frame);
         let mut stats = SearchStats::default();
+        // One pool for both stages; `Config::threads` = 0 sizes it to the
+        // machine, 1 keeps everything on the calling thread.
+        let pool = par::Pool::new(self.config.threads());
 
         let cp_started = Instant::now();
         let attrs = if self.config.redundant_deletion() {
-            let outcome = delete_redundant_attributes(frame, &index, self.config.t_cp());
+            let outcome =
+                cp::delete_redundant_attributes_pooled(frame, &index, self.config.t_cp(), &pool);
             stats.attrs_deleted = outcome.deleted.len();
             if let Some(t) = trace.as_deref_mut() {
                 t.attrs = attr_powers(frame, &outcome);
@@ -246,12 +250,14 @@ impl RapMiner {
         } else {
             // Keep every attribute, original schema order.
             if let Some(t) = trace.as_deref_mut() {
-                t.attrs = frame
-                    .schema()
-                    .attr_ids()
-                    .map(|a| AttrPower {
+                let all: Vec<mdkpi::AttrId> = frame.schema().attr_ids().collect();
+                let powers = pool.map(&all, |_, &a| classification_power(frame, &index, a));
+                t.attrs = all
+                    .iter()
+                    .zip(powers)
+                    .map(|(&a, cp)| AttrPower {
                         attribute: frame.schema().attribute(a).name().to_string(),
-                        cp: classification_power(frame, &index, a),
+                        cp,
                         deleted: false,
                     })
                     .collect();
@@ -270,6 +276,7 @@ impl RapMiner {
             &mut stats,
             trace.as_deref_mut(),
             cancel,
+            &pool,
         );
         if let Some(t) = trace {
             t.cp_seconds = cp_seconds;

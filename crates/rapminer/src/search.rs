@@ -1,4 +1,6 @@
-use mdkpi::{aggregate_labels, Bitset, Combination, CuboidLattice, LeafFrame, LeafIndex};
+use std::collections::{HashMap, HashSet};
+
+use mdkpi::{AttrId, Bitset, Combination, Cuboid, CuboidLattice, ElementId, LeafFrame, LeafIndex};
 
 use crate::config::Config;
 use crate::trace::{CandidateTrace, LayerTrace, LocalizationTrace};
@@ -66,18 +68,190 @@ pub fn rap_score(confidence: f64, layer: usize) -> f64 {
     confidence / (layer as f64).sqrt()
 }
 
+/// Evaluation outcome of one visited combination: produced by a worker,
+/// consumed — in deterministic combination order — by the serial replay.
+struct ComboOutcome {
+    combination: Combination,
+    support: usize,
+    anom_support: usize,
+    /// `rows_matching(combination)`, kept only when this cuboid seeds the
+    /// next layer's enumeration (the support-count memo).
+    rows: Option<Bitset>,
+}
+
+/// The enumeration source of one work unit — a contiguous slice of one
+/// cuboid's support-positive combination space.
+enum UnitSource<'a> {
+    /// Layer 1: elements `[lo, hi)` of the cuboid's single attribute. The
+    /// postings themselves are the matching-row sets; no AND is needed.
+    Elements(AttrId, u32, u32),
+    /// Deeper layers: each surviving parent combination of the cuboid's
+    /// prefix parent, extended with every element of the cuboid's largest
+    /// attribute — one bitset AND per child instead of a fresh group-by
+    /// scan over every leaf row (the support-count cache).
+    Parents(&'a [(Combination, Bitset)], AttrId),
+}
+
+/// One deterministic work unit of a layer.
+struct WorkUnit<'a> {
+    cuboid_pos: usize,
+    keep_rows: bool,
+    source: UnitSource<'a>,
+}
+
+/// The previous layer's visited-but-not-accepted combinations with their
+/// matching-row bitsets, grouped by cuboid.
+type Memo = HashMap<Cuboid, Vec<(Combination, Bitset)>>;
+
+/// A cuboid's prefix parent (every attribute but its largest) plus that
+/// largest attribute. Extending the prefix parent's combinations over the
+/// largest attribute enumerates exactly the cuboid's support-positive
+/// combinations, in `Combination::cmp` order: the prefix's concrete
+/// positions all precede the appended one, so (parent order, element order)
+/// is the combination's lexicographic cell order.
+fn split_largest(cuboid: Cuboid) -> (Cuboid, AttrId) {
+    let attrs: Vec<AttrId> = cuboid.attrs().collect();
+    let (&last, prefix) = attrs.split_last().expect("cuboids are non-root");
+    (Cuboid::from_attrs(prefix.iter().copied()), last)
+}
+
+/// Slice a layer's cuboids into work units of roughly `chunk`-sized runs of
+/// enumeration sources (elements for layer 1, memo parents deeper), so the
+/// pool can balance cuboids of very different sizes.
+fn build_units<'a>(
+    cuboids: &[Cuboid],
+    layer: usize,
+    memo: &'a Memo,
+    prefixes: &HashSet<Cuboid>,
+    frame: &LeafFrame,
+    threads: usize,
+) -> Vec<WorkUnit<'a>> {
+    // ~8 units per worker: enough slack for stealing to smooth out skew,
+    // few enough that per-unit overhead stays negligible. Chunk boundaries
+    // never affect results — the replay flattens units in input order.
+    const UNITS_PER_WORKER: usize = 8;
+    let single_attr = |c: Cuboid| c.attrs().next().expect("cuboids are non-root");
+    let sizes: Vec<usize> = cuboids
+        .iter()
+        .map(|&c| {
+            if layer == 1 {
+                frame.schema().attribute(single_attr(c)).len()
+            } else {
+                memo.get(&split_largest(c).0).map_or(0, Vec::len)
+            }
+        })
+        .collect();
+    let total: usize = sizes.iter().sum();
+    let chunk = total
+        .div_ceil(threads.saturating_mul(UNITS_PER_WORKER).max(1))
+        .max(1);
+
+    let mut units = Vec::new();
+    for (pos, (&cuboid, &len)) in cuboids.iter().zip(&sizes).enumerate() {
+        let keep_rows = prefixes.contains(&cuboid);
+        let mut lo = 0;
+        while lo < len {
+            let hi = (lo + chunk).min(len);
+            let source = if layer == 1 {
+                UnitSource::Elements(single_attr(cuboid), lo as u32, hi as u32)
+            } else {
+                let (prefix, last) = split_largest(cuboid);
+                let parents = memo.get(&prefix).expect("len > 0 implies entry");
+                UnitSource::Parents(&parents[lo..hi], last)
+            };
+            units.push(WorkUnit {
+                cuboid_pos: pos,
+                keep_rows,
+                source,
+            });
+            lo = hi;
+        }
+    }
+    units
+}
+
+/// Evaluate one work unit: enumerate its support-positive combinations in
+/// `Combination::cmp` order, prune against the frozen candidate snapshot
+/// (Criteria 3 — only earlier layers' candidates can generalize this
+/// layer's combinations, so the snapshot equals what the serial loop would
+/// have consulted), and count support/anomalous support from bitsets.
+///
+/// Workers touch no shared mutable state: stats, traces, debug events, and
+/// coverage all happen in the caller's serial replay.
+fn evaluate_unit(
+    unit: &WorkUnit<'_>,
+    frame: &LeafFrame,
+    index: &LeafIndex,
+    anomalous: &Bitset,
+    prior: &[MinedRap],
+) -> Vec<ComboOutcome> {
+    let mut out = Vec::new();
+    let pruned = |ac: &Combination| prior.iter().any(|c| c.combination.generalizes(ac));
+    match unit.source {
+        UnitSource::Elements(attr, lo, hi) => {
+            for e in (lo..hi).map(ElementId) {
+                let posting = index.posting(attr, e);
+                if posting.is_zero() {
+                    continue; // zero support: never occurs in the data
+                }
+                let ac = Combination::from_pairs(frame.schema(), [(attr, e)]);
+                if pruned(&ac) {
+                    continue;
+                }
+                out.push(ComboOutcome {
+                    support: posting.count(),
+                    anom_support: posting.intersection_count(anomalous),
+                    rows: unit.keep_rows.then(|| posting.clone()),
+                    combination: ac,
+                });
+            }
+        }
+        UnitSource::Parents(parents, last) => {
+            let elements: Vec<ElementId> = frame.schema().attribute(last).element_ids().collect();
+            for (q, q_rows) in parents {
+                for &e in &elements {
+                    let mut rows = q_rows.clone();
+                    rows.intersect_with(index.posting(last, e));
+                    if rows.is_zero() {
+                        continue;
+                    }
+                    let ac = q.with_cell(last, Some(e));
+                    if pruned(&ac) {
+                        continue;
+                    }
+                    out.push(ComboOutcome {
+                        support: rows.count(),
+                        anom_support: rows.intersection_count(anomalous),
+                        rows: unit.keep_rows.then_some(rows),
+                        combination: ac,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Algorithm 2: anomaly-confidence-guided layer-by-layer top-down search
 /// over the cuboid lattice of `attrs`.
 ///
 /// Within each cuboid only combinations that actually occur in the data are
 /// evaluated (a zero-support combination has zero confidence by
-/// definition), so the per-cuboid cost is `O(rows)` instead of the
-/// cuboid's full Cartesian size.
+/// definition): layer 1 reads them straight off the index postings, deeper
+/// layers extend the previous layer's surviving combinations via the
+/// support-count memo, one bitset AND per child.
+///
+/// Each layer is evaluated by `pool` in parallel work units and then
+/// **replayed serially in combination order** — counters, traces, debug
+/// events, coverage, and the early stop all happen in the replay, so the
+/// output is byte-identical to the serial algorithm for every thread count
+/// (the determinism argument lives in `DESIGN.md` §13).
 ///
 /// `cancel` is polled once per BFS layer (the natural preemption points of
-/// Algorithm 2); when it returns `true` the search stops, marks
-/// [`SearchStats::cancelled`], and ranks whatever candidates the completed
-/// layers produced — a partial but well-formed answer.
+/// Algorithm 2, and the layer barriers of the parallel evaluation); when it
+/// returns `true` the search stops, marks [`SearchStats::cancelled`], and
+/// ranks whatever candidates the completed layers produced — a partial but
+/// well-formed answer.
 #[allow(clippy::too_many_arguments)] // crate-internal; mirrors Algorithm 2's inputs
 pub(crate) fn top_down_search(
     frame: &LeafFrame,
@@ -88,6 +262,7 @@ pub(crate) fn top_down_search(
     stats: &mut SearchStats,
     mut trace: Option<&mut LocalizationTrace>,
     cancel: Option<&dyn Fn() -> bool>,
+    pool: &par::Pool,
 ) -> Vec<MinedRap> {
     let search_span = obs::span("rapminer.search");
     search_span.record("attrs", attrs.len());
@@ -100,6 +275,7 @@ pub(crate) fn top_down_search(
     let lattice = CuboidLattice::over_attrs(attrs.iter().copied());
     let mut candidates: Vec<MinedRap> = Vec::new();
     let mut covered = Bitset::new(frame.num_rows());
+    let mut memo: Memo = HashMap::new();
 
     for layer in 1..=lattice.num_layers() {
         if cancel.is_some_and(|c| c()) {
@@ -113,21 +289,52 @@ pub(crate) fn top_down_search(
         layer_span.record("layer", layer);
         let at_entry = *stats;
         let mut stop = false;
-        'cuboids: for &cuboid in lattice.layer(layer) {
+
+        let cuboids = lattice.layer(layer);
+        // Only cuboids that seed next layer's enumeration need their
+        // survivors' row bitsets carried across the layer barrier.
+        let prefixes: HashSet<Cuboid> = if layer < lattice.num_layers() {
+            lattice
+                .layer(layer + 1)
+                .iter()
+                .map(|&c| split_largest(c).0)
+                .collect()
+        } else {
+            HashSet::new()
+        };
+        let units = build_units(cuboids, layer, &memo, &prefixes, frame, pool.threads());
+        // Parallel half of the layer. Workers read the frozen candidate
+        // snapshot; distinct same-layer combinations can never generalize
+        // each other, so the snapshot equals serial's incremental check.
+        let outcomes = pool.map(&units, |_, unit| {
+            evaluate_unit(unit, frame, index, anomalous, &candidates)
+        });
+        let mut per_cuboid: Vec<Vec<ComboOutcome>> =
+            (0..cuboids.len()).map(|_| Vec::new()).collect();
+        for (unit, outs) in units.iter().zip(outcomes) {
+            per_cuboid[unit.cuboid_pos].extend(outs);
+        }
+
+        // Serial replay: identical control flow to the serial algorithm,
+        // including where exactly the early stop lands mid-layer.
+        let mut next_memo: Memo = HashMap::new();
+        'cuboids: for (pos, &cuboid) in cuboids.iter().enumerate() {
             stats.cuboids_visited += 1;
-            for (ac, support, anom_support) in aggregate_labels(frame, cuboid) {
-                // Criteria 3: descendants of an accepted RAP are pruned.
-                if candidates.iter().any(|c| c.combination.generalizes(&ac)) {
-                    continue;
-                }
+            for outcome in per_cuboid[pos].drain(..) {
                 stats.combos_visited += 1;
-                if support == 0 {
-                    continue;
-                }
+                let ComboOutcome {
+                    combination: ac,
+                    support,
+                    anom_support,
+                    rows,
+                } = outcome;
                 let confidence = anom_support as f64 / support as f64;
                 // Criteria 2: the combination is anomalous.
                 if confidence > config.t_conf() {
-                    covered.union_with(&index.rows_matching(&ac));
+                    match &rows {
+                        Some(r) => covered.union_with(r),
+                        None => covered.union_with(&index.rows_matching(&ac)),
+                    }
                     if obs::enabled() {
                         obs::debug(
                             "rapminer.search",
@@ -161,9 +368,15 @@ pub(crate) fn top_down_search(
                         stop = true;
                         break 'cuboids;
                     }
+                } else if let Some(rows) = rows {
+                    // Not anomalous: a live parent for the next layer.
+                    // Accepted combinations are excluded, which prunes
+                    // their whole subtree exactly as Criteria 3 requires.
+                    next_memo.entry(cuboid).or_default().push((ac, rows));
                 }
             }
         }
+        memo = next_memo;
         let in_layer = LayerTrace {
             layer,
             cuboids: stats.cuboids_visited - at_entry.cuboids_visited,
@@ -536,6 +749,55 @@ mod tests {
             .localize_traced_with_cancel(&frame, 5, Some(&|| false))
             .unwrap();
         assert!(!trace.stats.cancelled);
+    }
+
+    #[test]
+    fn parallel_stats_are_exact_not_racy() {
+        // Hand-derived serial counts for fig7 with deletion and early stop
+        // off: layer 1 visits cuboids {a},{b},{c} with 3+2+2 combinations
+        // and accepts (a1,*,*); layer 2 visits 4+4+4 combinations after
+        // pruning a1's four layer-2 descendants and accepts (a2,b2,*);
+        // layer 3 visits the 6 leaves under neither RAP. Totals: 7
+        // cuboids, 25 combinations, 2 candidates. Every thread count must
+        // reproduce them exactly — counters accumulate per worker and
+        // reduce at the layer barrier, so a racy counter would show here.
+        let frame = fig7_frame();
+        let mut baseline = None;
+        for threads in [1usize, 2, 4, 8] {
+            let miner = RapMiner::with_config(
+                Config::new()
+                    .with_redundant_deletion(false)
+                    .with_early_stop(false)
+                    .with_threads(threads),
+            );
+            let (raps, stats) = miner.localize_with_stats(&frame, 10).unwrap();
+            assert_eq!(stats.cuboids_visited, 7, "threads={threads}");
+            assert_eq!(stats.combos_visited, 25, "threads={threads}");
+            assert_eq!(stats.candidates_found, 2, "threads={threads}");
+            assert!(!stats.early_stopped);
+            match &baseline {
+                None => baseline = Some((raps, stats)),
+                Some((r0, s0)) => {
+                    assert_eq!(&raps, r0, "threads={threads} changed the answer");
+                    assert_eq!(&stats, s0, "threads={threads} changed the stats");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree_on_traced_output() {
+        let frame = fig7_frame();
+        let serial = RapMiner::with_config(Config::new().with_threads(1));
+        let pooled = RapMiner::with_config(Config::new().with_threads(4));
+        let (raps_s, trace_s) = serial.localize_traced(&frame, 5).unwrap();
+        let (raps_p, trace_p) = pooled.localize_traced(&frame, 5).unwrap();
+        assert_eq!(raps_s, raps_p);
+        assert_eq!(trace_s.stats, trace_p.stats);
+        assert_eq!(trace_s.layers, trace_p.layers);
+        assert_eq!(trace_s.candidates, trace_p.candidates);
+        assert_eq!(trace_s.attrs, trace_p.attrs);
+        assert!(trace_p.is_consistent(), "trace: {trace_p:?}");
     }
 
     #[test]

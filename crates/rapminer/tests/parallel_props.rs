@@ -1,0 +1,150 @@
+//! Property tests for the parallel localization core: on random frames,
+//! the work-stealing pool must produce output *identical* to the serial
+//! algorithm — same ranked RAPs, same scores, same search counters, same
+//! trace — for every thread count, including when the search is cancelled
+//! part-way through.
+//!
+//! This is the determinism contract of `search.rs` (`DESIGN.md` §13)
+//! exercised adversarially rather than on hand-picked fixtures.
+
+use std::cell::Cell;
+
+use mdkpi::{AttrId, Combination, ElementId, LeafFrame, Schema};
+use proptest::prelude::*;
+use rapminer::{Config, LocalizationTrace, RapMiner};
+
+/// Compare everything in a trace except the wall-clock timing fields,
+/// which legitimately differ between runs.
+fn assert_traces_agree(a: &LocalizationTrace, b: &LocalizationTrace) -> Result<(), String> {
+    prop_assert_eq!(&a.attrs, &b.attrs, "attribute CP breakdown diverged");
+    prop_assert_eq!(&a.layers, &b.layers, "per-layer trace diverged");
+    prop_assert_eq!(&a.candidates, &b.candidates, "candidate trace diverged");
+    prop_assert_eq!(a.stats, b.stats, "search counters diverged");
+    Ok(())
+}
+
+/// A random schema with 2..=4 attributes of 2..=4 elements each.
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(2usize..=4, 2..=4).prop_map(|sizes| {
+        let mut b = Schema::builder();
+        for (i, n) in sizes.iter().enumerate() {
+            b = b.attribute(format!("attr{i}"), (0..*n).map(|j| format!("e{i}_{j}")));
+        }
+        b.build().expect("valid schema")
+    })
+}
+
+/// The full-grid frame for a schema with caller-provided labels.
+fn labelled_grid(schema: &Schema, labels: Vec<bool>) -> LeafFrame {
+    let n = schema.num_attributes();
+    let sizes: Vec<u32> = (0..n)
+        .map(|i| schema.attribute(AttrId(i as u16)).len() as u32)
+        .collect();
+    let mut builder = LeafFrame::builder(schema);
+    let mut counters = vec![0u32; n];
+    'rows: loop {
+        let elements: Vec<ElementId> = counters.iter().map(|&c| ElementId(c)).collect();
+        builder.push(&elements, 1.0, 10.0);
+        let mut i = n;
+        loop {
+            if i == 0 {
+                break 'rows;
+            }
+            i -= 1;
+            counters[i] += 1;
+            if counters[i] < sizes[i] {
+                break;
+            }
+            counters[i] = 0;
+        }
+    }
+    let mut frame = builder.build();
+    frame.set_labels(labels).expect("one label per grid cell");
+    frame
+}
+
+/// A random-frame strategy: random schema, random labels over its grid.
+fn frame_strategy() -> impl Strategy<Value = LeafFrame> {
+    schema_strategy().prop_flat_map(|s| {
+        let leaves = s.num_leaves() as usize;
+        prop::collection::vec(any::<bool>(), leaves)
+            .prop_map(move |labels| labelled_grid(&s, labels))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel and serial localization agree exactly on random frames,
+    /// for 2 and 8 worker threads, with deletion and early stop enabled.
+    #[test]
+    fn thread_count_never_changes_output(frame in frame_strategy()) {
+        let config = Config::new().with_t_conf(0.7).unwrap();
+        let serial = RapMiner::with_config(config.with_threads(1))
+            .localize_traced(&frame, 10)
+            .expect("labelled");
+        for threads in [2usize, 8] {
+            let parallel = RapMiner::with_config(config.with_threads(threads))
+                .localize_traced(&frame, 10)
+                .expect("labelled");
+            prop_assert_eq!(&serial.0, &parallel.0, "RAPs diverged at {} threads", threads);
+            assert_traces_agree(&serial.1, &parallel.1)?;
+        }
+    }
+
+    /// Mid-search cancellation lands on the same layer boundary for every
+    /// thread count, so even *partial* results are thread-count-invariant.
+    #[test]
+    fn cancellation_is_thread_count_invariant(
+        frame in frame_strategy(),
+        cancel_after in 0usize..=3,
+    ) {
+        // early stop off so deep lattices actually reach the cancel poll
+        let config = Config::new()
+            .with_t_conf(0.7)
+            .unwrap()
+            .with_early_stop(false);
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            // fresh countdown per run: the hook trips on poll `cancel_after`
+            let polls = Cell::new(0usize);
+            let cancel = move || {
+                let seen = polls.get();
+                polls.set(seen + 1);
+                seen >= cancel_after
+            };
+            let out = RapMiner::with_config(config.with_threads(threads))
+                .localize_traced_with_cancel(&frame, 10, Some(&cancel))
+                .expect("labelled");
+            outputs.push(out);
+        }
+        let (first, rest) = outputs.split_first().expect("three runs");
+        for (i, out) in rest.iter().enumerate() {
+            prop_assert_eq!(&first.0, &out.0, "partial RAPs diverged (run {})", i + 1);
+            assert_traces_agree(&first.1, &out.1)?;
+        }
+    }
+
+    /// `localize_with_stats` (the non-traced entry) also agrees — counters
+    /// included — so the cheap path is exactly as deterministic as the
+    /// traced one.
+    #[test]
+    fn stats_path_agrees_across_threads(frame in frame_strategy()) {
+        let config = Config::new().with_t_conf(0.7).unwrap();
+        let (serial_raps, serial_stats) = RapMiner::with_config(config.with_threads(1))
+            .localize_with_stats(&frame, 10)
+            .expect("labelled");
+        for threads in [2usize, 8] {
+            let (raps, stats) = RapMiner::with_config(config.with_threads(threads))
+                .localize_with_stats(&frame, 10)
+                .expect("labelled");
+            prop_assert_eq!(&serial_raps, &raps);
+            prop_assert_eq!(serial_stats, stats);
+        }
+        // sanity: the serial result is itself well-formed
+        for w in serial_raps.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        let _ = Combination::from_pairs(frame.schema(), []); // schema still usable
+    }
+}

@@ -86,6 +86,7 @@ pub(crate) mod sync;
 use std::sync::Arc;
 
 use baselines::{Localizer, RapMinerLocalizer};
+use rapminer::Config as RapMinerConfig;
 
 pub use config::{ServiceConfig, ServiceConfigError};
 pub use metrics::Metrics;
@@ -95,7 +96,13 @@ pub use server::{start, ServerHandle, StartError};
 pub use shard::LocalizerFactory;
 pub use sink::{IncidentRecord, IncidentSink, SpoolRecovery};
 
-/// The default per-tenant localizer: RAPMiner with its paper defaults.
+/// The default per-tenant localizer: RAPMiner with its paper defaults,
+/// running each frame's search on the configured number of intra-frame
+/// threads (`--intra-frame-threads`; `1` = serial, `0` = machine width).
 pub fn default_factory() -> LocalizerFactory {
-    Arc::new(|| Box::new(RapMinerLocalizer::default()) as Box<dyn Localizer>)
+    Arc::new(|threads| {
+        Box::new(RapMinerLocalizer::with_config(
+            RapMinerConfig::new().with_threads(threads),
+        )) as Box<dyn Localizer>
+    })
 }

@@ -64,7 +64,10 @@ use crate::sink::{IncidentRecord, IncidentSink};
 use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 /// Builds one localizer per tenant pipeline; shared across shard threads.
-pub type LocalizerFactory = Arc<dyn Fn() -> Box<dyn Localizer> + Send + Sync>;
+/// The argument is the configured intra-frame thread count
+/// ([`pipeline::PipelineConfig::localize_threads`]): `1` keeps a frame on
+/// its shard worker's core, `0` lets one frame fan out over the machine.
+pub type LocalizerFactory = Arc<dyn Fn(usize) -> Box<dyn Localizer> + Send + Sync>;
 
 /// One unit of shard work.
 enum Job {
@@ -656,7 +659,7 @@ fn process_frame(
             LocalizationPipeline::try_new(
                 shared.pipeline_config,
                 MovingAverage::new(shared.window),
-                (shared.factory)(),
+                (shared.factory)(shared.pipeline_config.localize_threads),
             )
             .expect("service config validated at boot")
         });
@@ -791,7 +794,7 @@ mod tests {
     }
 
     fn default_factory() -> LocalizerFactory {
-        Arc::new(|| Box::new(RapMinerLocalizer::default()) as Box<dyn Localizer>)
+        Arc::new(|_threads| Box::new(RapMinerLocalizer::default()) as Box<dyn Localizer>)
     }
 
     fn sink(metrics: &Arc<Metrics>) -> Arc<IncidentSink> {
@@ -914,7 +917,7 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             quarantine(&metrics),
-            Arc::new(|| Box::new(Slow(RapMinerLocalizer::default())) as Box<dyn Localizer>),
+            Arc::new(|_threads| Box::new(Slow(RapMinerLocalizer::default())) as Box<dyn Localizer>),
         );
         let s = schema();
         let total = 200;
@@ -973,7 +976,7 @@ mod tests {
 
     fn panicky_factory(armed: &Arc<AtomicBool>) -> LocalizerFactory {
         let armed = Arc::clone(armed);
-        Arc::new(move || {
+        Arc::new(move |_threads| {
             Box::new(Panicky {
                 armed: Arc::clone(&armed),
                 inner: RapMinerLocalizer::default(),
@@ -1007,7 +1010,7 @@ mod tests {
 
     fn faily_factory(armed: &Arc<AtomicBool>) -> LocalizerFactory {
         let armed = Arc::clone(armed);
-        Arc::new(move || {
+        Arc::new(move |_threads| {
             Box::new(Faily {
                 armed: Arc::clone(&armed),
                 inner: RapMinerLocalizer::default(),

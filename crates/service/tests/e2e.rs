@@ -146,7 +146,7 @@ fn rapd_localizes_a_streamed_cdn_failure_under_backpressure() {
     };
     let server = service::start(
         config,
-        Arc::new(|| Box::new(SlowLocalizer(RapMinerLocalizer::default())) as Box<dyn Localizer>),
+        Arc::new(|_| Box::new(SlowLocalizer(RapMinerLocalizer::default())) as Box<dyn Localizer>),
     )
     .unwrap_or_else(|e: StartError| panic!("daemon failed to boot: {e}"));
 

@@ -22,6 +22,18 @@
 #                                  enabled vs disabled must stay within a
 #                                  5% budget on the localizers bench
 #                                  fixture
+#  10. determinism gate         -- `rapminer localize` on a fixed fixture
+#                                  must print byte-identical output at
+#                                  --threads 1 and --threads 8 (the
+#                                  parallel-search contract)
+#  11. bench regression         -- bench_localize re-checks determinism on
+#                                  the Fig. 10 fixture, writes
+#                                  BENCH_localize.json, and fails if the
+#                                  serial path regressed >20% against
+#                                  results/BENCH_localize.baseline.json
+#                                  (calibration-normalized), or if a >=4
+#                                  core host falls below the 2.5x speedup
+#                                  floor
 #
 # The workspace is fully offline (external deps resolve to crates/shims/),
 # so --offline is passed everywhere; no network access is required.
@@ -42,5 +54,27 @@ run cargo test -p service --features fail --offline -q --test fault_injection
 run cargo test -p rapminer-suite --offline -q --test dirty_stream
 run cargo bench --workspace --offline --no-run
 run cargo run --release --offline -p rapminer-bench --bin obs_overhead -- 5.0
+
+# 10. determinism gate: the CLI must emit byte-identical localizations for
+# any thread count. Generates a seeded fixture, then diffs serial vs
+# 8-thread output (ranked patterns, scores, and search counters).
+echo "==> determinism gate (localize --threads 1 vs --threads 8)"
+DET_DIR="$(mktemp -d)"
+trap 'rm -rf "$DET_DIR"' EXIT
+run cargo run --release --offline -p rapminer-cli --bin rapminer -- \
+    generate --dataset squeeze --out "$DET_DIR/data" --cases-per-group 1 --seed 20220607
+for case_csv in "$DET_DIR"/data/squeeze_*.csv; do
+    cargo run --release --offline -q -p rapminer-cli --bin rapminer -- \
+        localize --input "$case_csv" --k 5 --stats true --threads 1 \
+        >> "$DET_DIR/serial.txt"
+    cargo run --release --offline -q -p rapminer-cli --bin rapminer -- \
+        localize --input "$case_csv" --k 5 --stats true --threads 8 \
+        >> "$DET_DIR/parallel.txt"
+done
+run diff -u "$DET_DIR/serial.txt" "$DET_DIR/parallel.txt"
+echo "    localize output byte-identical across thread counts"
+
+# 11. bench regression: machine-readable record + serial-path budget
+run cargo run --release --offline -p rapminer-bench --bin bench_localize
 
 echo "==> tier-1 gate passed"
