@@ -43,6 +43,7 @@ mod corruption;
 mod diurnal;
 mod failure;
 mod kpis;
+mod stream;
 mod topology;
 mod traffic;
 
@@ -50,5 +51,6 @@ pub use corruption::{named_rows, Corruption, CorruptionConfig, Corruptor, DirtyF
 pub use diurnal::DiurnalProfile;
 pub use failure::{FailureInjector, InjectedFailure};
 pub use kpis::{derive_hit_ratio, derive_mean_delay, KpiKind};
+pub use stream::{AnomalyStream, AnomalyStreamConfig, StreamInjection};
 pub use topology::{CdnTopology, CdnTopologyBuilder};
 pub use traffic::{TrafficConfig, TrafficModel};

@@ -1,0 +1,302 @@
+//! Unlabelled anomalous streams with ground truth: the corpus a streaming
+//! detector is judged against.
+//!
+//! [`AnomalyStream`] replays [`crate::TrafficModel`] snapshots minute by
+//! minute and injects [`crate::FailureInjector`] failures at known steps.
+//! The emitted frames carry **no anomaly labels** — exactly what a raw
+//! telemetry feed looks like — while [`AnomalyStream::injections`] exposes
+//! the ground-truth injection times and root anomaly patterns, so an
+//! evaluation can score detection recall, false triggers, and trigger
+//! latency.
+//!
+//! Everything is deterministic in `(config, seed)`: the same stream is
+//! byte-identical across runs, which the CI detection gate relies on.
+
+use mdkpi::{Combination, LeafFrame};
+
+use crate::failure::FailureInjector;
+use crate::topology::CdnTopology;
+use crate::traffic::{TrafficConfig, TrafficModel};
+
+/// Shape of one generated anomalous stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyStreamConfig {
+    /// Total stream length in steps (minutes).
+    pub steps: usize,
+    /// Steps before the first injection may start — the detector's warmup
+    /// headroom.
+    pub warmup: usize,
+    /// Number of injected failures.
+    pub injections: usize,
+    /// Consecutive anomalous steps per failure.
+    pub duration: usize,
+    /// Per-leaf deviation range of the injector (`0 < min <= max < 1`).
+    pub dev_min: f64,
+    /// Upper bound of the per-leaf deviation range.
+    pub dev_max: f64,
+    /// Minimum share of total traffic a candidate root-cause element must
+    /// carry. The overall-KPI detector can only see *material* incidents —
+    /// the paper's operations loop alarms on the overall KPI — so ground
+    /// truth is drawn from elements above this floor.
+    pub min_share: f64,
+    /// Background traffic tunables.
+    pub traffic: TrafficConfig,
+}
+
+impl Default for AnomalyStreamConfig {
+    fn default() -> Self {
+        AnomalyStreamConfig {
+            steps: 360,
+            warmup: 60,
+            injections: 5,
+            duration: 4,
+            dev_min: 0.5,
+            dev_max: 0.9,
+            min_share: 0.1,
+            traffic: TrafficConfig::default(),
+        }
+    }
+}
+
+/// Ground truth of one injected failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamInjection {
+    /// First anomalous step.
+    pub step: usize,
+    /// Number of consecutive anomalous steps.
+    pub duration: usize,
+    /// The root anomaly patterns of the failure.
+    pub raps: Vec<Combination>,
+}
+
+impl StreamInjection {
+    /// Whether `step` falls inside this injection's anomalous window.
+    pub fn covers(&self, step: usize) -> bool {
+        step >= self.step && step < self.step + self.duration
+    }
+}
+
+/// A deterministic unlabelled KPI stream with seeded failures.
+#[derive(Debug, Clone)]
+pub struct AnomalyStream {
+    model: TrafficModel,
+    injector: FailureInjector,
+    injections: Vec<StreamInjection>,
+    steps: usize,
+    seed: u64,
+}
+
+impl AnomalyStream {
+    /// Build the stream: topology and traffic from `seed`, injection
+    /// steps spread evenly through `[warmup, steps − duration]`, each
+    /// failure rooted at a material element of the first attribute
+    /// (round-robin over candidates, heaviest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config is inconsistent: zero steps/injections/
+    /// duration, a deviation range outside `0 < min ≤ max < 1`, or too
+    /// little room after `warmup` to place every injection.
+    pub fn new(config: AnomalyStreamConfig, seed: u64) -> Self {
+        assert!(config.steps > 0, "steps must be positive");
+        assert!(config.injections > 0, "injections must be positive");
+        assert!(config.duration > 0, "duration must be positive");
+        let span = config
+            .steps
+            .checked_sub(config.warmup + config.duration)
+            .filter(|span| *span >= config.injections)
+            .expect("not enough steps after warmup to place the injections");
+
+        let topology = CdnTopology::small(seed);
+        let model = TrafficModel::new(topology, config.traffic, seed);
+        let candidates = material_elements(&model, config.min_share);
+
+        let gap = span / config.injections;
+        let injections = (0..config.injections)
+            .map(|i| StreamInjection {
+                step: config.warmup + i * gap + gap / 2,
+                duration: config.duration,
+                raps: vec![candidates[i % candidates.len()].clone()],
+            })
+            .collect();
+
+        AnomalyStream {
+            model,
+            injector: FailureInjector::new(config.dev_min, config.dev_max),
+            injections,
+            steps: config.steps,
+            seed,
+        }
+    }
+
+    /// Stream length in steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The ground-truth injections, in step order.
+    pub fn injections(&self) -> &[StreamInjection] {
+        &self.injections
+    }
+
+    /// The underlying traffic model (schema, topology).
+    pub fn model(&self) -> &TrafficModel {
+        &self.model
+    }
+
+    /// Whether `step` falls inside any injection window.
+    pub fn is_anomalous_step(&self, step: usize) -> bool {
+        self.injections.iter().any(|inj| inj.covers(step))
+    }
+
+    /// The frame at `step`: a raw (unlabelled) snapshot, with the failure
+    /// applied when the step falls inside an injection window.
+    /// Deterministic in `(seed, step)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step >= self.steps()`.
+    pub fn frame(&self, step: usize) -> LeafFrame {
+        assert!(step < self.steps, "step {step} out of range");
+        let mut frame = self.model.snapshot(step);
+        if let Some(inj) = self.injections.iter().find(|inj| inj.covers(step)) {
+            self.injector
+                .inject(&mut frame, &inj.raps, self.seed ^ step as u64);
+        }
+        frame
+    }
+}
+
+/// Elements of the first attribute carrying at least `min_share` of the
+/// total traffic, heaviest first. Falls back to the single heaviest
+/// element when nothing clears the floor (heavy-tailed topologies can
+/// concentrate everything in one element).
+fn material_elements(model: &TrafficModel, min_share: f64) -> Vec<Combination> {
+    let frame = model.snapshot(0);
+    let schema = model.topology().schema();
+    let attr = schema.attr_ids().next().expect("schema has attributes");
+    let total: f64 = frame.total_v().max(f64::MIN_POSITIVE);
+    let mut shares: Vec<(f64, Combination)> = schema
+        .attribute(attr)
+        .element_ids()
+        .map(|e| {
+            let name = schema.attribute(attr).element_name(e);
+            let combo = schema
+                .parse_combination(&format!("{}={}", schema.attribute(attr).name(), name))
+                .expect("element from the schema itself");
+            let share: f64 = frame
+                .rows_matching(&combo)
+                .iter()
+                .map(|&r| frame.v(r))
+                .sum::<f64>()
+                / total;
+            (share, combo)
+        })
+        .collect();
+    shares.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.to_string().cmp(&b.1.to_string()))
+    });
+    let material: Vec<Combination> = shares
+        .iter()
+        .filter(|(s, _)| *s >= min_share)
+        .map(|(_, c)| c.clone())
+        .collect();
+    if material.is_empty() {
+        vec![shares[0].1.clone()]
+    } else {
+        material
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = AnomalyStream::new(AnomalyStreamConfig::default(), 7);
+        let b = AnomalyStream::new(AnomalyStreamConfig::default(), 7);
+        assert_eq!(a.injections(), b.injections());
+        for step in [0, 100, 200, 359] {
+            let fa = a.frame(step);
+            let fb = b.frame(step);
+            assert_eq!(fa.num_rows(), fb.num_rows());
+            for i in 0..fa.num_rows() {
+                assert_eq!(fa.v(i), fb.v(i));
+            }
+        }
+    }
+
+    #[test]
+    fn frames_are_unlabelled() {
+        let s = AnomalyStream::new(AnomalyStreamConfig::default(), 3);
+        let inj = &s.injections()[0];
+        assert!(s.frame(inj.step).labels().is_none());
+        assert!(s.frame(0).labels().is_none());
+    }
+
+    #[test]
+    fn injections_fit_the_configured_layout() {
+        let config = AnomalyStreamConfig::default();
+        let s = AnomalyStream::new(config, 11);
+        assert_eq!(s.injections().len(), config.injections);
+        let mut prev_end = 0;
+        for inj in s.injections() {
+            assert!(inj.step >= config.warmup, "injection inside warmup");
+            assert!(inj.step >= prev_end, "injection windows overlap");
+            assert!(inj.step + inj.duration <= config.steps);
+            assert!(!inj.raps.is_empty());
+            prev_end = inj.step + inj.duration;
+        }
+    }
+
+    #[test]
+    fn injected_steps_actually_suppress_traffic() {
+        let s = AnomalyStream::new(AnomalyStreamConfig::default(), 5);
+        let inj = &s.injections()[0];
+        let clean = s.model().snapshot(inj.step);
+        let dirty = s.frame(inj.step);
+        assert!(
+            dirty.total_v() < 0.97 * clean.total_v(),
+            "injection must be material: clean {} dirty {}",
+            clean.total_v(),
+            dirty.total_v()
+        );
+        // Steps outside every window are untouched.
+        let step = inj.step + inj.duration;
+        assert!(!s.is_anomalous_step(step));
+        assert_eq!(s.frame(step).total_v(), s.model().snapshot(step).total_v());
+    }
+
+    #[test]
+    fn ground_truth_raps_are_material() {
+        let s = AnomalyStream::new(AnomalyStreamConfig::default(), 13);
+        let frame = s.model().snapshot(0);
+        for inj in s.injections() {
+            for rap in &inj.raps {
+                let share: f64 = frame
+                    .rows_matching(rap)
+                    .iter()
+                    .map(|&r| frame.v(r))
+                    .sum::<f64>()
+                    / frame.total_v();
+                assert!(share > 0.05, "RAP {rap} carries only {share:.3} share");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough steps")]
+    fn impossible_layouts_are_rejected() {
+        AnomalyStream::new(
+            AnomalyStreamConfig {
+                steps: 50,
+                warmup: 49,
+                ..AnomalyStreamConfig::default()
+            },
+            1,
+        );
+    }
+}

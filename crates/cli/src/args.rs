@@ -120,6 +120,38 @@ pub enum Command {
         /// frame on its shard's core, `0` fans one frame out over the
         /// machine).
         intra_frame_threads: usize,
+        /// Run the streaming detector in front of localization: consume
+        /// raw unlabelled frames and self-trigger when the overall KPI
+        /// deviates.
+        detect: bool,
+        /// σ-score the detector must cross to trigger (detect mode only).
+        detect_threshold: f64,
+        /// Seasonal period of the detector's Holt–Winters forecaster;
+        /// `0` uses plain EWMA.
+        seasonal_period: usize,
+    },
+    /// `detect`: offline detection replay — play a seeded anomalous
+    /// stream through the streaming detector and score recall, false
+    /// triggers, and trigger latency against the ground truth.
+    Detect {
+        /// Stream length in steps.
+        steps: usize,
+        /// Clean steps before the first injection.
+        warmup: usize,
+        /// Number of injected failures.
+        injections: usize,
+        /// Anomalous steps per failure.
+        duration: usize,
+        /// Stream seed.
+        seed: u64,
+        /// σ-score that triggers a detection.
+        threshold: f64,
+        /// Seasonal period of the detector's forecaster (`0` = EWMA).
+        seasonal_period: usize,
+        /// Gate: minimum recall required for exit success.
+        min_recall: f64,
+        /// Gate: false triggers tolerated for exit success.
+        max_false_triggers: usize,
     },
     /// `methods`: list available localizers.
     Methods,
@@ -160,6 +192,12 @@ USAGE:
                     [--breaker-threshold N] [--breaker-cooldown-ms N]
                     [--schema-drift-limit N] [--reorder-window N]
                     [--max-lateness-ms N] [--intra-frame-threads N]
+                    [--detect true] [--detect-threshold X]
+                    [--seasonal-period N]
+  rapminer detect   [--steps N] [--warmup N] [--injections N]
+                    [--duration N] [--seed N] [--threshold X]
+                    [--seasonal-period N] [--min-recall X]
+                    [--max-false-triggers N]
   rapminer methods
   rapminer help
 ";
@@ -243,6 +281,20 @@ impl Args {
                 reorder_window: parse_num(&flags, "reorder-window", 32)?,
                 max_lateness_ms: parse_num(&flags, "max-lateness-ms", 2_000)?,
                 intra_frame_threads: parse_num(&flags, "intra-frame-threads", 1)?,
+                detect: parse_bool(&flags, "detect")?,
+                detect_threshold: parse_float(&flags, "detect-threshold", 4.0)?,
+                seasonal_period: parse_num(&flags, "seasonal-period", 0)?,
+            },
+            "detect" => Command::Detect {
+                steps: parse_num(&flags, "steps", 360)?,
+                warmup: parse_num(&flags, "warmup", 60)?,
+                injections: parse_num(&flags, "injections", 5)?,
+                duration: parse_num(&flags, "duration", 4)?,
+                seed: parse_num(&flags, "seed", 7)?,
+                threshold: parse_float(&flags, "threshold", 4.0)?,
+                seasonal_period: parse_num(&flags, "seasonal-period", 0)?,
+                min_recall: parse_float(&flags, "min-recall", 0.0)?,
+                max_false_triggers: parse_num(&flags, "max-false-triggers", usize::MAX)?,
             },
             "methods" => Command::Methods,
             "help" | "--help" | "-h" => Command::Help,
@@ -520,6 +572,90 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(Args::parse(["localize", "--input", "a", "--threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_detect_flags() {
+        let args = Args::parse([
+            "serve",
+            "--detect",
+            "true",
+            "--detect-threshold",
+            "5.5",
+            "--seasonal-period",
+            "1440",
+        ])
+        .unwrap();
+        match args.command {
+            Command::Serve {
+                detect,
+                detect_threshold,
+                seasonal_period,
+                ..
+            } => {
+                assert!(detect);
+                assert_eq!(detect_threshold, 5.5);
+                assert_eq!(seasonal_period, 1440);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // defaults: classic mode, 4σ, EWMA-only
+        match Args::parse(["serve"]).unwrap().command {
+            Command::Serve {
+                detect,
+                detect_threshold,
+                seasonal_period,
+                ..
+            } => {
+                assert!(!detect);
+                assert_eq!(detect_threshold, 4.0);
+                assert_eq!(seasonal_period, 0);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_detect_replay() {
+        let args = Args::parse([
+            "detect",
+            "--steps",
+            "240",
+            "--seed",
+            "11",
+            "--min-recall",
+            "0.9",
+            "--max-false-triggers",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(
+            args.command,
+            Command::Detect {
+                steps: 240,
+                warmup: 60,
+                injections: 5,
+                duration: 4,
+                seed: 11,
+                threshold: 4.0,
+                seasonal_period: 0,
+                min_recall: 0.9,
+                max_false_triggers: 1,
+            }
+        );
+        // defaults: no gate (recall 0, unlimited false triggers)
+        match Args::parse(["detect"]).unwrap().command {
+            Command::Detect {
+                min_recall,
+                max_false_triggers,
+                ..
+            } => {
+                assert_eq!(min_recall, 0.0);
+                assert_eq!(max_false_triggers, usize::MAX);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(Args::parse(["detect", "--threshold", "x"]).is_err());
     }
 
     #[test]

@@ -105,6 +105,30 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             seed,
             rap,
         } => simulate(*steps, *failure_at, *seed, rap.as_deref(), out),
+        Command::Detect {
+            steps,
+            warmup,
+            injections,
+            duration,
+            seed,
+            threshold,
+            seasonal_period,
+            min_recall,
+            max_false_triggers,
+        } => detect(
+            DetectArgs {
+                steps: *steps,
+                warmup: *warmup,
+                injections: *injections,
+                duration: *duration,
+                seed: *seed,
+                threshold: *threshold,
+                seasonal_period: *seasonal_period,
+                min_recall: *min_recall,
+                max_false_triggers: *max_false_triggers,
+            },
+            out,
+        ),
         Command::Serve { .. } => {
             let handle = serve_start(&args.command, out)?;
             // daemon mode: the listeners run until the process is killed
@@ -144,6 +168,9 @@ pub(crate) fn serve_start(
         reorder_window,
         max_lateness_ms,
         intra_frame_threads,
+        detect,
+        detect_threshold,
+        seasonal_period,
     } = command
     else {
         return Err(CliError::new("serve_start requires the serve command"));
@@ -162,6 +189,9 @@ pub(crate) fn serve_start(
         schema_drift_limit: *schema_drift_limit,
         reorder_window: *reorder_window,
         max_lateness: std::time::Duration::from_millis(*max_lateness_ms),
+        detect: *detect,
+        detect_threshold: *detect_threshold,
+        seasonal_period: *seasonal_period,
         pipeline: pipeline::PipelineConfig {
             history_len: *history,
             warmup: *warmup,
@@ -194,7 +224,126 @@ pub(crate) fn serve_start(
     if let Some(dir) = spool {
         writeln!(out, "rapd spooling incidents under {dir}").map_err(io_err)?;
     }
+    if *detect {
+        writeln!(
+            out,
+            "rapd detect mode: self-triggering localization at {detect_threshold}σ"
+        )
+        .map_err(io_err)?;
+    }
     Ok(handle)
+}
+
+/// The `detect` subcommand's knobs, bundled so the replay stays one call.
+struct DetectArgs {
+    steps: usize,
+    warmup: usize,
+    injections: usize,
+    duration: usize,
+    seed: u64,
+    threshold: f64,
+    seasonal_period: usize,
+    min_recall: f64,
+    max_false_triggers: usize,
+}
+
+/// Offline detection replay: play a seeded anomalous stream through the
+/// streaming detect-then-localize pipeline and score recall, false
+/// triggers, and trigger latency against the stream's ground truth.
+/// Fails (non-zero exit) when the `--min-recall` / `--max-false-triggers`
+/// gates are violated. Output is deterministic in the flags — no
+/// wall-clock columns — so CI can diff two runs byte-for-byte.
+fn detect(args: DetectArgs, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use cdnsim::{AnomalyStream, AnomalyStreamConfig};
+    use eval::evaluate_detection;
+    use pipeline::{DetectingPipeline, DetectorConfig, PipelineConfig};
+
+    let stream = AnomalyStream::new(
+        AnomalyStreamConfig {
+            steps: args.steps,
+            warmup: args.warmup,
+            injections: args.injections,
+            duration: args.duration,
+            ..AnomalyStreamConfig::default()
+        },
+        args.seed,
+    );
+    let detector_config = DetectorConfig {
+        sigma_threshold: args.threshold,
+        seasonal_period: args.seasonal_period,
+        ..DetectorConfig::default()
+    };
+    let mut pipe = DetectingPipeline::try_new(
+        PipelineConfig::default(),
+        detector_config,
+        RapMinerLocalizer::default(),
+    )
+    .map_err(|e| CliError::new(format!("invalid detector config: {e}")))?;
+
+    writeln!(
+        out,
+        "replaying {} steps, {} injected failures (seed {}, threshold {}σ)",
+        args.steps, args.injections, args.seed, args.threshold
+    )
+    .map_err(io_err)?;
+
+    let mut triggers = Vec::new();
+    for step in 0..stream.steps() {
+        let report = pipe
+            .observe(&stream.frame(step))
+            .map_err(|e| CliError::new(e.to_string()))?;
+        if let Some(report) = report {
+            triggers.push(step);
+            let severity = report
+                .severity
+                .map(|s| s.as_str())
+                .unwrap_or("uncategorized");
+            let rap = report
+                .raps
+                .first()
+                .map(|r| r.combination.to_string())
+                .unwrap_or_else(|| "(none)".to_string());
+            writeln!(
+                out,
+                "step {step}: {severity} detection, score {:.1}σ, top RAP {rap}",
+                report.detection.as_ref().map(|d| d.score).unwrap_or(0.0)
+            )
+            .map_err(io_err)?;
+        }
+    }
+
+    let windows: Vec<(usize, usize)> = stream
+        .injections()
+        .iter()
+        .map(|inj| (inj.step, inj.duration))
+        .collect();
+    let outcome = evaluate_detection(&windows, &triggers);
+    write!(out, "{}", outcome.table()).map_err(io_err)?;
+    writeln!(
+        out,
+        "recall {:.3}, precision {:.3}, false triggers {}, mean latency {:.1} steps",
+        outcome.recall(),
+        outcome.precision(),
+        outcome.false_triggers.len(),
+        outcome.mean_latency()
+    )
+    .map_err(io_err)?;
+
+    if outcome.recall() < args.min_recall {
+        return Err(CliError::new(format!(
+            "detection gate failed: recall {:.3} < required {}",
+            outcome.recall(),
+            args.min_recall
+        )));
+    }
+    if outcome.false_triggers.len() > args.max_false_triggers {
+        return Err(CliError::new(format!(
+            "detection gate failed: {} false triggers > allowed {}",
+            outcome.false_triggers.len(),
+            args.max_false_triggers
+        )));
+    }
+    Ok(())
 }
 
 /// The streaming operations demo: play the simulator, inject a failure,
@@ -725,6 +874,55 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("rapd listening on 127.0.0.1:"), "got: {text}");
         assert!(text.contains("/metrics"), "got: {text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn detect_replays_deterministically_and_gates() {
+        let argv = [
+            "detect",
+            "--steps",
+            "240",
+            "--warmup",
+            "40",
+            "--injections",
+            "3",
+            "--seed",
+            "7",
+        ];
+        let first = run_to_string(&argv).unwrap();
+        assert!(first.contains("replaying 240 steps"), "got: {first}");
+        assert!(first.contains("injection_step"), "got: {first}");
+        assert!(first.contains("recall "), "got: {first}");
+        // Deterministic: a second identical replay is byte-identical.
+        let second = run_to_string(&argv).unwrap();
+        assert_eq!(first, second);
+        // An impossible recall gate deterministically fails the run.
+        let mut gated = argv.to_vec();
+        gated.extend(["--min-recall", "1.1"]);
+        let err = run_to_string(&gated).expect_err("gate must fail");
+        assert!(err.to_string().contains("detection gate failed"), "{err}");
+    }
+
+    #[test]
+    fn serve_boots_in_detect_mode() {
+        let args = Args::parse([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics-listen",
+            "127.0.0.1:0",
+            "--detect",
+            "true",
+            "--detect-threshold",
+            "4.5",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        let handle = serve_start(&args.command, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("detect mode"), "got: {text}");
+        assert!(text.contains("4.5σ"), "got: {text}");
         handle.shutdown();
     }
 

@@ -1,0 +1,295 @@
+use std::fmt;
+
+/// Tunables of the streaming detector.
+///
+/// The σ severity tiers themselves (3/4/5) are fixed by convention — what
+/// is configurable is when a detection *fires* (`sigma_threshold`,
+/// `min_deviation`), how the per-leaf baseline forecasts
+/// (`ewma_alpha` / `seasonal_period`), and how much evidence must
+/// accumulate before the detector is allowed to speak (`min_samples`,
+/// `residual_window`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Residual samples required before any detection may fire. Also the
+    /// warmup length after a cold start (process restart, respawned shard
+    /// worker): the detector re-warms silently instead of alarming on an
+    /// unseeded baseline.
+    pub min_samples: usize,
+    /// EWMA smoothing factor in `(0, 1]` for the level component (both the
+    /// plain EWMA forecaster and the Holt-Winters level).
+    pub ewma_alpha: f64,
+    /// Season length in observations; `0` disables seasonality and every
+    /// leaf runs a plain incremental EWMA. With a period `p > 0` each leaf
+    /// runs incremental additive Holt-Winters with `p` seasonal slots.
+    pub seasonal_period: usize,
+    /// Holt-Winters trend smoothing factor in `(0, 1]`. Ignored when
+    /// `seasonal_period == 0`.
+    pub hw_beta: f64,
+    /// Holt-Winters seasonal smoothing factor in `(0, 1]`. Ignored when
+    /// `seasonal_period == 0`.
+    pub hw_gamma: f64,
+    /// Capacity of the per-leaf residual ring (recent normal-operation
+    /// residuals used to estimate the residual mean and σ).
+    pub residual_window: usize,
+    /// Aggregate σ-score at which a detection fires (the paper's alarm on
+    /// the overall KPI). Severity tiers above it are fixed: 3–4σ `warn`,
+    /// 4–5σ `high`, >5σ `critical`.
+    pub sigma_threshold: f64,
+    /// Minimum relative deviation `|f − v| / (f + ε)` of the overall KPI
+    /// for a detection to fire. On a near-noiseless series σ is tiny and a
+    /// pure σ-gate would alarm on measurement jitter; this floor keeps
+    /// detections material.
+    pub min_deviation: f64,
+    /// Consecutive triggered frames after which the detector gives up
+    /// holding the baseline and absorbs the new level (a sustained shift
+    /// becomes the new normal instead of alarming forever).
+    pub max_triggered: usize,
+    /// Relative σ floor: the effective residual σ is at least this
+    /// fraction of the forecast magnitude, so σ-scores stay finite and
+    /// sober on (near-)constant series.
+    pub sigma_floor_ratio: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            min_samples: 30,
+            ewma_alpha: 0.3,
+            seasonal_period: 0,
+            hw_beta: 0.05,
+            hw_gamma: 0.3,
+            residual_window: 240,
+            sigma_threshold: 4.0,
+            min_deviation: 0.02,
+            max_triggered: 60,
+            sigma_floor_ratio: 0.001,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Check every field; returns the first violation.
+    pub fn validate(&self) -> Result<(), DetectorConfigError> {
+        if self.min_samples == 0 {
+            return Err(DetectorConfigError::ZeroMinSamples);
+        }
+        for (name, v) in [("ewma_alpha", self.ewma_alpha)] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(DetectorConfigError::FactorOutOfRange { name, value: v });
+            }
+        }
+        if self.seasonal_period > 0 {
+            for (name, v) in [("hw_beta", self.hw_beta), ("hw_gamma", self.hw_gamma)] {
+                if !(v > 0.0 && v <= 1.0) {
+                    return Err(DetectorConfigError::FactorOutOfRange { name, value: v });
+                }
+            }
+        }
+        if self.residual_window < self.min_samples {
+            return Err(DetectorConfigError::WindowSmallerThanWarmup {
+                window: self.residual_window,
+                min_samples: self.min_samples,
+            });
+        }
+        if !(self.sigma_threshold.is_finite() && self.sigma_threshold > 0.0) {
+            return Err(DetectorConfigError::BadThreshold {
+                value: self.sigma_threshold,
+            });
+        }
+        if !(self.min_deviation.is_finite() && self.min_deviation >= 0.0) {
+            return Err(DetectorConfigError::BadMinDeviation {
+                value: self.min_deviation,
+            });
+        }
+        if self.max_triggered == 0 {
+            return Err(DetectorConfigError::ZeroMaxTriggered);
+        }
+        if !(self.sigma_floor_ratio.is_finite() && self.sigma_floor_ratio >= 0.0) {
+            return Err(DetectorConfigError::BadSigmaFloor {
+                value: self.sigma_floor_ratio,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`DetectorConfig`] field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorConfigError {
+    /// `min_samples` must be positive: a zero warmup would let the first
+    /// observation alarm against an empty baseline.
+    ZeroMinSamples,
+    /// A smoothing factor left `(0, 1]`.
+    FactorOutOfRange {
+        /// Which factor.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The residual ring cannot hold the warmup's worth of samples.
+    WindowSmallerThanWarmup {
+        /// Configured ring capacity.
+        window: usize,
+        /// Configured warmup.
+        min_samples: usize,
+    },
+    /// `sigma_threshold` must be a positive finite number.
+    BadThreshold {
+        /// The offending value.
+        value: f64,
+    },
+    /// `min_deviation` must be a non-negative finite number.
+    BadMinDeviation {
+        /// The offending value.
+        value: f64,
+    },
+    /// `max_triggered` must be positive.
+    ZeroMaxTriggered,
+    /// `sigma_floor_ratio` must be a non-negative finite number.
+    BadSigmaFloor {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DetectorConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorConfigError::ZeroMinSamples => {
+                write!(f, "min_samples must be positive")
+            }
+            DetectorConfigError::FactorOutOfRange { name, value } => {
+                write!(f, "{name} must be in (0, 1], got {value}")
+            }
+            DetectorConfigError::WindowSmallerThanWarmup {
+                window,
+                min_samples,
+            } => write!(
+                f,
+                "residual_window ({window}) must be >= min_samples ({min_samples})"
+            ),
+            DetectorConfigError::BadThreshold { value } => {
+                write!(
+                    f,
+                    "sigma_threshold must be positive and finite, got {value}"
+                )
+            }
+            DetectorConfigError::BadMinDeviation { value } => write!(
+                f,
+                "min_deviation must be non-negative and finite, got {value}"
+            ),
+            DetectorConfigError::ZeroMaxTriggered => {
+                write!(f, "max_triggered must be positive")
+            }
+            DetectorConfigError::BadSigmaFloor { value } => write!(
+                f,
+                "sigma_floor_ratio must be non-negative and finite, got {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DetectorConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(DetectorConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn each_field_is_checked() {
+        let ok = DetectorConfig::default();
+        let cases: Vec<(DetectorConfig, DetectorConfigError)> = vec![
+            (
+                DetectorConfig {
+                    min_samples: 0,
+                    ..ok
+                },
+                DetectorConfigError::ZeroMinSamples,
+            ),
+            (
+                DetectorConfig {
+                    ewma_alpha: 1.5,
+                    ..ok
+                },
+                DetectorConfigError::FactorOutOfRange {
+                    name: "ewma_alpha",
+                    value: 1.5,
+                },
+            ),
+            (
+                DetectorConfig {
+                    seasonal_period: 4,
+                    hw_beta: 0.0,
+                    ..ok
+                },
+                DetectorConfigError::FactorOutOfRange {
+                    name: "hw_beta",
+                    value: 0.0,
+                },
+            ),
+            (
+                DetectorConfig {
+                    residual_window: 10,
+                    min_samples: 20,
+                    ..ok
+                },
+                DetectorConfigError::WindowSmallerThanWarmup {
+                    window: 10,
+                    min_samples: 20,
+                },
+            ),
+            (
+                DetectorConfig {
+                    sigma_threshold: f64::NAN,
+                    ..ok
+                },
+                DetectorConfigError::BadThreshold { value: f64::NAN },
+            ),
+            (
+                DetectorConfig {
+                    min_deviation: -0.1,
+                    ..ok
+                },
+                DetectorConfigError::BadMinDeviation { value: -0.1 },
+            ),
+            (
+                DetectorConfig {
+                    max_triggered: 0,
+                    ..ok
+                },
+                DetectorConfigError::ZeroMaxTriggered,
+            ),
+        ];
+        for (config, want) in cases {
+            let got = config.validate().unwrap_err();
+            // NaN != NaN: compare the discriminant via Display instead.
+            assert_eq!(got.to_string(), want.to_string());
+        }
+    }
+
+    #[test]
+    fn hw_factors_ignored_without_seasonality() {
+        let config = DetectorConfig {
+            seasonal_period: 0,
+            hw_beta: 0.0,
+            hw_gamma: 9.0,
+            ..DetectorConfig::default()
+        };
+        assert_eq!(config.validate(), Ok(()));
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = DetectorConfigError::WindowSmallerThanWarmup {
+            window: 5,
+            min_samples: 9,
+        };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("9"));
+    }
+}

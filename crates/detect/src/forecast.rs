@@ -1,0 +1,287 @@
+//! Incremental forecaster state: `O(1)` memory and `O(1)` update per
+//! observation, in contrast to `timeseries::Forecaster` implementations
+//! which re-fit over the full history slice on every call.
+
+use crate::config::DetectorConfig;
+
+/// Incremental exponentially weighted moving average.
+///
+/// `level ← α·x + (1−α)·level`; the one-step-ahead forecast is the current
+/// level. Unseeded until the first update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncEwma {
+    alpha: f64,
+    level: Option<f64>,
+}
+
+impl IncEwma {
+    /// Create with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        IncEwma { alpha, level: None }
+    }
+
+    /// One-step-ahead forecast; `None` until the first update.
+    pub fn forecast_next(&self) -> Option<f64> {
+        self.level
+    }
+
+    /// Absorb one observation.
+    pub fn update(&mut self, x: f64) {
+        self.level = Some(match self.level {
+            None => x,
+            Some(level) => self.alpha * x + (1.0 - self.alpha) * level,
+        });
+    }
+}
+
+/// Incremental additive Holt-Winters (triple exponential smoothing).
+///
+/// Keeps a level, a trend, and `period` seasonal slots; each update touches
+/// exactly one slot, so the per-observation cost is `O(1)` regardless of
+/// how long the stream has run. Seasonal slots start at zero — the model
+/// behaves like damped EWMA-with-trend until a season's worth of structure
+/// accumulates, which is exactly the silent-warmup behaviour the detector
+/// wants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncHoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    level: Option<f64>,
+    trend: f64,
+    seasonal: Vec<f64>,
+    /// Phase of the *next* observation.
+    idx: usize,
+}
+
+impl IncHoltWinters {
+    /// Create with smoothing factors for level (`alpha`), trend (`beta`)
+    /// and seasonality (`gamma`), plus the season length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all factors are in `(0, 1]` and `period > 0`.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!(v > 0.0 && v <= 1.0, "{name} must be in (0, 1], got {v}");
+        }
+        assert!(period > 0, "period must be positive");
+        IncHoltWinters {
+            alpha,
+            beta,
+            gamma,
+            level: None,
+            trend: 0.0,
+            seasonal: vec![0.0; period],
+            idx: 0,
+        }
+    }
+
+    /// One-step-ahead forecast (`level + trend + seasonal[next phase]`);
+    /// `None` until the first update.
+    pub fn forecast_next(&self) -> Option<f64> {
+        self.level
+            .map(|level| level + self.trend + self.seasonal[self.idx])
+    }
+
+    /// Absorb one observation.
+    pub fn update(&mut self, x: f64) {
+        let s = self.seasonal[self.idx];
+        match self.level {
+            None => self.level = Some(x),
+            Some(prev) => {
+                let level = self.alpha * (x - s) + (1.0 - self.alpha) * (prev + self.trend);
+                self.trend = self.beta * (level - prev) + (1.0 - self.beta) * self.trend;
+                self.seasonal[self.idx] = self.gamma * (x - level) + (1.0 - self.gamma) * s;
+                self.level = Some(level);
+            }
+        }
+        self.idx = (self.idx + 1) % self.seasonal.len();
+    }
+}
+
+/// The per-leaf forecaster the detector actually runs: EWMA when no
+/// seasonal period is configured, additive Holt-Winters otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeafForecaster {
+    /// Plain incremental EWMA (no seasonality).
+    Ewma(IncEwma),
+    /// Incremental additive Holt-Winters.
+    HoltWinters(IncHoltWinters),
+}
+
+impl LeafForecaster {
+    /// Build the forecaster a [`DetectorConfig`] asks for.
+    pub fn from_config(config: &DetectorConfig) -> Self {
+        if config.seasonal_period == 0 {
+            LeafForecaster::Ewma(IncEwma::new(config.ewma_alpha))
+        } else {
+            LeafForecaster::HoltWinters(IncHoltWinters::new(
+                config.ewma_alpha,
+                config.hw_beta,
+                config.hw_gamma,
+                config.seasonal_period,
+            ))
+        }
+    }
+
+    /// One-step-ahead forecast; `None` until the first update.
+    pub fn forecast_next(&self) -> Option<f64> {
+        match self {
+            LeafForecaster::Ewma(f) => f.forecast_next(),
+            LeafForecaster::HoltWinters(f) => f.forecast_next(),
+        }
+    }
+
+    /// Absorb one observation.
+    pub fn update(&mut self, x: f64) {
+        match self {
+            LeafForecaster::Ewma(f) => f.update(x),
+            LeafForecaster::HoltWinters(f) => f.update(x),
+        }
+    }
+
+    /// Hold the baseline: absorb the model's own forecast instead of an
+    /// anomalous observation, so a sustained incident does not drag the
+    /// notion of normal toward the outage.
+    pub fn hold(&mut self) {
+        if let Some(f) = self.forecast_next() {
+            self.update(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_matches_hand_computed_values() {
+        // α = 0.5 over [10, 20, 14]:
+        //   level₀ = 10
+        //   level₁ = 0.5·20 + 0.5·10 = 15
+        //   level₂ = 0.5·14 + 0.5·15 = 14.5
+        let mut f = IncEwma::new(0.5);
+        assert_eq!(f.forecast_next(), None);
+        f.update(10.0);
+        assert_eq!(f.forecast_next(), Some(10.0));
+        f.update(20.0);
+        assert_eq!(f.forecast_next(), Some(15.0));
+        f.update(14.0);
+        assert_eq!(f.forecast_next(), Some(14.5));
+    }
+
+    #[test]
+    fn holt_winters_matches_hand_computed_values() {
+        // α = 0.5, β = 0.5, γ = 0.5, period 2, inputs [10, 14, 12].
+        //   t=0: seed level = 10, trend = 0, seasonal = [0, 0], idx → 1
+        //   t=1 (x=14, s=seasonal[1]=0):
+        //     level  = 0.5·(14−0) + 0.5·(10+0)   = 12
+        //     trend  = 0.5·(12−10) + 0.5·0       = 1
+        //     s[1]   = 0.5·(14−12) + 0.5·0       = 1
+        //     idx → 0; forecast = 12 + 1 + s[0]=0 = 13
+        //   t=2 (x=12, s=seasonal[0]=0):
+        //     level  = 0.5·(12−0) + 0.5·(12+1)   = 12.5
+        //     trend  = 0.5·(12.5−12) + 0.5·1     = 0.75
+        //     s[0]   = 0.5·(12−12.5) + 0.5·0     = −0.25
+        //     idx → 1; forecast = 12.5 + 0.75 + s[1]=1 = 14.25
+        let mut f = IncHoltWinters::new(0.5, 0.5, 0.5, 2);
+        assert_eq!(f.forecast_next(), None);
+        f.update(10.0);
+        assert_eq!(f.forecast_next(), Some(10.0));
+        f.update(14.0);
+        assert_eq!(f.forecast_next(), Some(13.0));
+        f.update(12.0);
+        assert_eq!(f.forecast_next(), Some(14.25));
+    }
+
+    #[test]
+    fn both_are_nan_free_on_constant_series() {
+        let mut ewma = IncEwma::new(0.3);
+        let mut hw = IncHoltWinters::new(0.3, 0.1, 0.3, 7);
+        for _ in 0..500 {
+            ewma.update(42.0);
+            hw.update(42.0);
+            assert!(ewma.forecast_next().unwrap().is_finite());
+            assert!(hw.forecast_next().unwrap().is_finite());
+        }
+        assert!((ewma.forecast_next().unwrap() - 42.0).abs() < 1e-9);
+        assert!((hw.forecast_next().unwrap() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn both_are_nan_free_on_zero_series() {
+        let mut ewma = IncEwma::new(0.5);
+        let mut hw = IncHoltWinters::new(0.5, 0.5, 0.5, 3);
+        for _ in 0..100 {
+            ewma.update(0.0);
+            hw.update(0.0);
+        }
+        assert_eq!(ewma.forecast_next(), Some(0.0));
+        assert_eq!(hw.forecast_next(), Some(0.0));
+    }
+
+    #[test]
+    fn holt_winters_learns_a_periodic_pattern() {
+        let pattern = [10.0, 30.0, 20.0, 40.0];
+        let mut f = IncHoltWinters::new(0.3, 0.05, 0.4, pattern.len());
+        for t in 0..400 {
+            f.update(pattern[t % pattern.len()]);
+        }
+        // After 100 seasons the next forecast must be close to the next
+        // phase value (t = 400 → phase 0 → 10.0).
+        let fc = f.forecast_next().unwrap();
+        assert!((fc - 10.0).abs() < 1.0, "forecast {fc} too far from 10");
+    }
+
+    #[test]
+    fn hold_keeps_the_baseline_fixed() {
+        let mut f = LeafForecaster::Ewma(IncEwma::new(0.5));
+        f.update(100.0);
+        let before = f.forecast_next();
+        for _ in 0..10 {
+            f.hold();
+        }
+        assert_eq!(f.forecast_next(), before);
+    }
+
+    #[test]
+    fn from_config_picks_the_right_model() {
+        let ewma_config = DetectorConfig {
+            seasonal_period: 0,
+            ..DetectorConfig::default()
+        };
+        assert!(matches!(
+            LeafForecaster::from_config(&ewma_config),
+            LeafForecaster::Ewma(_)
+        ));
+        let hw_config = DetectorConfig {
+            seasonal_period: 12,
+            ..DetectorConfig::default()
+        };
+        assert!(matches!(
+            LeafForecaster::from_config(&hw_config),
+            LeafForecaster::HoltWinters(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        IncEwma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn holt_winters_rejects_zero_period() {
+        IncHoltWinters::new(0.5, 0.5, 0.5, 0);
+    }
+}

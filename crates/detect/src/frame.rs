@@ -1,0 +1,505 @@
+//! Frame-level detection: one incremental detector per leaf plus one for
+//! the overall KPI, combined into an aggregate anomaly score and a
+//! `warmup → steady → triggered` state machine.
+
+use std::collections::HashMap;
+
+use mdkpi::{ElementId, LeafFrame};
+
+use crate::config::{DetectorConfig, DetectorConfigError};
+use crate::forecast::LeafForecaster;
+use crate::residual::ResidualWindow;
+use crate::severity::Severity;
+
+/// Guard against division by zero in relative deviations (the paper's
+/// Eq. 4 ε).
+const EPS: f64 = 1e-9;
+
+/// Per-leaf σ floor for the "is this *leaf* anomalous" call that decides
+/// which leaves get their baseline held and which rows are labelled for
+/// localization. Matches the `warn` tier floor.
+const LEAF_SIGMA: f64 = 3.0;
+
+/// How many of the highest-scoring leaves a [`FrameDetection`] names.
+const TOP_LEAVES: usize = 8;
+
+/// One leaf's incremental detector: forecaster state plus a residual ring.
+///
+/// All state is `O(residual_window)`-bounded and every update is `O(1)` —
+/// there is no history buffer and no refit.
+#[derive(Debug, Clone)]
+pub struct LeafDetector {
+    forecaster: LeafForecaster,
+    residuals: ResidualWindow,
+}
+
+impl LeafDetector {
+    /// Fresh (cold) detector state for one leaf.
+    pub fn new(config: &DetectorConfig) -> Self {
+        LeafDetector {
+            forecaster: LeafForecaster::from_config(config),
+            residuals: ResidualWindow::new(config.residual_window),
+        }
+    }
+
+    /// Whether enough residuals accumulated for σ-scores to mean anything.
+    pub fn is_warm(&self, min_samples: usize) -> bool {
+        self.residuals.len() >= min_samples
+    }
+
+    /// One-step-ahead forecast; `None` on cold state.
+    pub fn forecast_next(&self) -> Option<f64> {
+        self.forecaster.forecast_next()
+    }
+
+    /// σ-score of observation `x` against the residual distribution;
+    /// `None` while cold or during warmup. Never panics and never returns
+    /// a non-finite value.
+    pub fn score(&self, x: f64, config: &DetectorConfig) -> Option<f64> {
+        if !self.is_warm(config.min_samples) {
+            return None;
+        }
+        let f = self.forecaster.forecast_next()?;
+        let floor = (config.sigma_floor_ratio * f.abs()).max(EPS);
+        let std = self.residuals.std().max(floor);
+        let z = ((x - f - self.residuals.mean()) / std).abs();
+        z.is_finite().then_some(z)
+    }
+
+    /// Absorb a normal observation: record its residual, then advance the
+    /// forecaster.
+    pub fn absorb(&mut self, x: f64) {
+        if let Some(f) = self.forecaster.forecast_next() {
+            self.residuals.push(x - f);
+        }
+        self.forecaster.update(x);
+    }
+
+    /// Hold the baseline through an anomalous observation: the forecaster
+    /// absorbs its own prediction and the residual ring is untouched.
+    pub fn hold(&mut self) {
+        self.forecaster.hold();
+    }
+}
+
+/// Where the detector's state machine currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorState {
+    /// Accumulating the first `min_samples` residuals; detections are
+    /// gated off.
+    Warmup,
+    /// Baseline established, nothing anomalous in flight.
+    Steady,
+    /// An aggregate-score excursion is in progress; baselines are held.
+    Triggered,
+}
+
+/// What one [`FrameDetector::observe`] call concluded.
+#[derive(Debug, Clone)]
+pub struct FrameDetection {
+    /// 0-based observation index.
+    pub step: usize,
+    /// Aggregate frame anomaly score: the overall KPI's σ-score
+    /// (`0.0` during warmup).
+    pub score: f64,
+    /// Relative deviation of the overall KPI from its forecast,
+    /// `(f − v) / (f + ε)` (Eq. 4; `0.0` during warmup).
+    pub deviation: f64,
+    /// σ-tier of `score`; `None` below the `warn` floor.
+    pub severity: Option<Severity>,
+    /// Whether *this frame* is the rising edge of a detection — the
+    /// moment localization should run. At most one rising edge per
+    /// excursion.
+    pub triggered: bool,
+    /// State after this observation.
+    pub state: DetectorState,
+    /// Per-row σ-scores aligned with the observed frame's rows; `None`
+    /// for rows whose leaf detector is still warming up.
+    pub row_scores: Vec<Option<f64>>,
+    /// Per-row one-step-ahead forecasts from each leaf's baseline,
+    /// aligned with the observed frame's rows; `None` for cold leaves.
+    /// These are the forecasts the σ-scores were computed against —
+    /// downstream localization labels rows with them.
+    pub row_forecasts: Vec<Option<f64>>,
+    /// The highest-scoring leaves `(combination, σ-score)`, best first,
+    /// capped at a small fixed count. Deterministic: ties break on the
+    /// combination string.
+    pub leaf_scores: Vec<(String, f64)>,
+}
+
+impl FrameDetection {
+    /// Row labels for localization: a row is anomalous when its leaf
+    /// σ-score clears the `warn` floor.
+    pub fn row_labels(&self) -> Vec<bool> {
+        self.row_scores
+            .iter()
+            .map(|z| z.map(|z| z >= LEAF_SIGMA).unwrap_or(false))
+            .collect()
+    }
+}
+
+/// The per-tenant streaming detector: per-leaf incremental state plus an
+/// overall-KPI detector and the `warmup → steady → triggered` machine.
+///
+/// A fresh instance is always safe to observe into — a respawned shard
+/// worker rebuilds one cold and it silently re-warms from the live stream
+/// (no detections until `min_samples` residuals accumulate, no panics).
+#[derive(Debug, Clone)]
+pub struct FrameDetector {
+    config: DetectorConfig,
+    total: LeafDetector,
+    leaves: HashMap<Vec<ElementId>, LeafDetector>,
+    state: DetectorState,
+    /// Consecutive anomalous frames in the current excursion.
+    triggered_frames: usize,
+    steps: usize,
+}
+
+impl FrameDetector {
+    /// Create with a validated config.
+    pub fn new(config: DetectorConfig) -> Result<Self, DetectorConfigError> {
+        config.validate()?;
+        Ok(FrameDetector {
+            total: LeafDetector::new(&config),
+            leaves: HashMap::new(),
+            state: DetectorState::Warmup,
+            triggered_frames: 0,
+            steps: 0,
+            config,
+        })
+    }
+
+    /// The validated config this detector runs with.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Current state-machine position.
+    pub fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    /// Observations consumed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Distinct leaves with detector state.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Consume one raw (unlabelled) frame and decide whether it is the
+    /// rising edge of an anomaly.
+    ///
+    /// Per frame the cost is `O(rows)` — each row does an `O(1)` state
+    /// update — independent of how long the stream has run.
+    pub fn observe(&mut self, frame: &LeafFrame) -> FrameDetection {
+        let step = self.steps;
+        self.steps += 1;
+        if frame.is_empty() {
+            // Nothing to learn from and nothing to alarm on; leave every
+            // baseline untouched.
+            return FrameDetection {
+                step,
+                score: 0.0,
+                deviation: 0.0,
+                severity: None,
+                triggered: false,
+                state: self.state,
+                row_scores: Vec::new(),
+                row_forecasts: Vec::new(),
+                leaf_scores: Vec::new(),
+            };
+        }
+
+        let total_v = frame.total_v();
+        let score = self.total.score(total_v, &self.config).unwrap_or(0.0);
+        let deviation = match self.total.forecast_next() {
+            Some(f) => (f - total_v) / (f + EPS),
+            None => 0.0,
+        };
+        let warm = self.total.is_warm(self.config.min_samples);
+
+        // Per-row scores and forecasts against each leaf's own baseline.
+        let mut row_scores = Vec::with_capacity(frame.num_rows());
+        let mut row_forecasts = Vec::with_capacity(frame.num_rows());
+        for row in frame.iter() {
+            let leaf = self.leaves.get(row.elements());
+            row_scores.push(leaf.and_then(|d| d.score(row.v(), &self.config)));
+            row_forecasts.push(leaf.and_then(|d| d.forecast_next()));
+        }
+
+        let anomalous = warm
+            && score >= self.config.sigma_threshold
+            && deviation.abs() >= self.config.min_deviation;
+
+        // State transition + choose absorb vs hold.
+        let (triggered, absorb_frame) = if !warm {
+            self.state = DetectorState::Warmup;
+            self.triggered_frames = 0;
+            (false, true)
+        } else if anomalous {
+            self.triggered_frames += 1;
+            if self.triggered_frames >= self.config.max_triggered {
+                // Sustained excursion: give up holding, absorb the new
+                // level as normal.
+                self.state = DetectorState::Steady;
+                self.triggered_frames = 0;
+                (false, true)
+            } else {
+                let rising = self.state != DetectorState::Triggered;
+                self.state = DetectorState::Triggered;
+                (rising, false)
+            }
+        } else {
+            self.state = DetectorState::Steady;
+            self.triggered_frames = 0;
+            (false, true)
+        };
+
+        // Update baselines. On anomalous frames the overall KPI and the
+        // anomalous leaves hold; healthy leaves keep learning.
+        if absorb_frame {
+            self.total.absorb(total_v);
+        } else {
+            self.total.hold();
+        }
+        for (i, row) in frame.iter().enumerate() {
+            let leaf = self
+                .leaves
+                .entry(row.elements().to_vec())
+                .or_insert_with(|| LeafDetector::new(&self.config));
+            let leaf_anomalous = row_scores[i].map(|z| z >= LEAF_SIGMA).unwrap_or(false);
+            if absorb_frame || !leaf_anomalous {
+                leaf.absorb(row.v());
+            } else {
+                leaf.hold();
+            }
+        }
+
+        // Top leaves by score, deterministic order.
+        let mut top: Vec<(String, f64)> = row_scores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, z)| z.map(|z| (frame.combination(i).to_string(), z)))
+            .collect();
+        top.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        top.truncate(TOP_LEAVES);
+
+        FrameDetection {
+            step,
+            score,
+            deviation,
+            severity: if anomalous {
+                Severity::from_sigma(score)
+            } else {
+                None
+            },
+            triggered,
+            state: self.state,
+            row_scores,
+            row_forecasts,
+            leaf_scores: top,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdkpi::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attribute("loc", ["L1", "L2", "L3"])
+            .build()
+            .expect("valid schema")
+    }
+
+    fn frame(schema: &Schema, scale: f64) -> LeafFrame {
+        let mut b = LeafFrame::builder(schema);
+        b.push_named(&[("loc", "L1")], 100.0 * scale, 0.0)
+            .expect("valid row");
+        b.push_named(&[("loc", "L2")], 200.0 * scale, 0.0)
+            .expect("valid row");
+        b.push_named(&[("loc", "L3")], 300.0 * scale, 0.0)
+            .expect("valid row");
+        b.build()
+    }
+
+    fn config() -> DetectorConfig {
+        DetectorConfig {
+            min_samples: 10,
+            residual_window: 32,
+            ..DetectorConfig::default()
+        }
+    }
+
+    #[test]
+    fn warmup_never_fires_before_min_samples() {
+        let s = schema();
+        let mut d = FrameDetector::new(config()).expect("valid config");
+        // Even a gigantic swing inside warmup must not trigger.
+        for i in 0..config().min_samples {
+            let scale = if i % 2 == 0 { 1.0 } else { 100.0 };
+            let det = d.observe(&frame(&s, scale));
+            assert!(!det.triggered, "triggered during warmup at step {i}");
+            assert_eq!(det.state, DetectorState::Warmup);
+            assert_eq!(det.severity, None);
+        }
+    }
+
+    #[test]
+    fn steady_traffic_then_drop_triggers_once_with_severity() {
+        let s = schema();
+        let mut d = FrameDetector::new(config()).expect("valid config");
+        for _ in 0..50 {
+            let det = d.observe(&frame(&s, 1.0));
+            assert!(!det.triggered);
+        }
+        assert_eq!(d.state(), DetectorState::Steady);
+        // 80% drop: rising edge, critical, leaves scored.
+        let det = d.observe(&frame(&s, 0.2));
+        assert!(det.triggered);
+        assert_eq!(det.state, DetectorState::Triggered);
+        assert_eq!(det.severity, Some(Severity::Critical));
+        assert!(det.score > 5.0);
+        assert!(det.deviation > 0.5);
+        assert_eq!(det.row_labels(), vec![true, true, true]);
+        assert_eq!(det.leaf_scores.len(), 3);
+        // Second anomalous frame: still triggered, but no new rising edge.
+        let det = d.observe(&frame(&s, 0.2));
+        assert!(!det.triggered);
+        assert_eq!(det.state, DetectorState::Triggered);
+        // Recovery: back to steady, then a later episode re-triggers.
+        for _ in 0..5 {
+            let det = d.observe(&frame(&s, 1.0));
+            assert!(!det.triggered);
+        }
+        assert_eq!(d.state(), DetectorState::Steady);
+        let det = d.observe(&frame(&s, 0.3));
+        assert!(det.triggered, "second episode must re-trigger");
+    }
+
+    #[test]
+    fn held_baseline_survives_a_sustained_incident() {
+        let s = schema();
+        let mut d = FrameDetector::new(config()).expect("valid config");
+        for _ in 0..50 {
+            d.observe(&frame(&s, 1.0));
+        }
+        // 20 anomalous frames (under max_triggered): baseline must not
+        // drift toward the outage, so recovery is instant.
+        for _ in 0..20 {
+            d.observe(&frame(&s, 0.2));
+        }
+        let det = d.observe(&frame(&s, 1.0));
+        assert_eq!(det.state, DetectorState::Steady);
+        assert!(det.score < 3.0, "recovered frame scored {}", det.score);
+    }
+
+    #[test]
+    fn sustained_shift_is_absorbed_after_max_triggered() {
+        let s = schema();
+        let cfg = DetectorConfig {
+            max_triggered: 8,
+            ..config()
+        };
+        let mut d = FrameDetector::new(cfg).expect("valid config");
+        for _ in 0..50 {
+            d.observe(&frame(&s, 1.0));
+        }
+        // A permanent level shift: after max_triggered frames the detector
+        // must stop holding and eventually return to steady.
+        let mut steady_again = false;
+        for _ in 0..200 {
+            let det = d.observe(&frame(&s, 0.4));
+            if det.state == DetectorState::Steady {
+                steady_again = true;
+            }
+        }
+        assert!(steady_again, "level shift never became the new normal");
+    }
+
+    #[test]
+    fn cold_state_never_panics_and_rewars_silently() {
+        let s = schema();
+        // Simulates a respawned shard worker: brand-new detector fed an
+        // anomalous stream mid-incident.
+        let mut d = FrameDetector::new(config()).expect("valid config");
+        for _ in 0..5 {
+            let det = d.observe(&frame(&s, 0.2));
+            assert!(!det.triggered);
+            assert_eq!(det.state, DetectorState::Warmup);
+        }
+        // It warms against whatever it sees and only then may alarm.
+        for _ in 0..30 {
+            d.observe(&frame(&s, 0.2));
+        }
+        assert_eq!(d.state(), DetectorState::Steady);
+    }
+
+    #[test]
+    fn empty_frames_are_inert() {
+        let s = schema();
+        let mut d = FrameDetector::new(config()).expect("valid config");
+        for _ in 0..30 {
+            d.observe(&frame(&s, 1.0));
+        }
+        let before_state = d.state();
+        let det = d.observe(&LeafFrame::builder(&s).build());
+        assert!(!det.triggered);
+        assert_eq!(det.state, before_state);
+        assert!(det.row_scores.is_empty());
+    }
+
+    #[test]
+    fn new_leaves_mid_stream_warm_independently() {
+        let s = schema();
+        let mut d = FrameDetector::new(config()).expect("valid config");
+        let partial = |scale: f64| {
+            let mut b = LeafFrame::builder(&s);
+            b.push_named(&[("loc", "L1")], 100.0 * scale, 0.0)
+                .expect("valid row");
+            b.push_named(&[("loc", "L2")], 200.0 * scale, 0.0)
+                .expect("valid row");
+            b.build()
+        };
+        for _ in 0..40 {
+            d.observe(&partial(1.0));
+        }
+        assert_eq!(d.leaf_count(), 2);
+        // A small third leaf appears (≈1% of the total, below
+        // min_deviation): its row must score None (cold) without
+        // disturbing the frame-level state.
+        let mut b = LeafFrame::builder(&s);
+        b.push_named(&[("loc", "L1")], 100.0, 0.0)
+            .expect("valid row");
+        b.push_named(&[("loc", "L2")], 200.0, 0.0)
+            .expect("valid row");
+        b.push_named(&[("loc", "L3")], 3.0, 0.0).expect("valid row");
+        let det = d.observe(&b.build());
+        assert_eq!(det.row_scores[2], None);
+        assert!(!det.triggered);
+        assert_eq!(d.leaf_count(), 3);
+    }
+
+    #[test]
+    fn scores_are_finite_on_zero_variance_streams() {
+        let s = schema();
+        let mut d = FrameDetector::new(config()).expect("valid config");
+        for _ in 0..100 {
+            let det = d.observe(&frame(&s, 1.0));
+            assert!(det.score.is_finite());
+            assert!(det.deviation.is_finite());
+            for z in det.row_scores.iter().flatten() {
+                assert!(z.is_finite());
+            }
+        }
+    }
+}

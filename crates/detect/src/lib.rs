@@ -1,0 +1,79 @@
+//! # detect — streaming anomaly detection over multi-dimensional KPI frames
+//!
+//! The paper's pipeline *starts* with detection: the overall KPI of a
+//! multi-dimensional stream is watched continuously, and localization runs
+//! the moment an anomaly fires. This crate is that front half, built for a
+//! long-running daemon rather than an offline study:
+//!
+//! * **Incremental forecaster state** ([`IncEwma`], [`IncHoltWinters`]):
+//!   every leaf keeps `O(1)`-sized state that is updated in `O(1)` per
+//!   observation — no history buffer, no per-frame refit. The additive
+//!   Holt-Winters variant carries level, trend and one seasonal slot per
+//!   phase of the configured period.
+//! * **Ring-buffered residual windows** ([`ResidualWindow`]): forecast
+//!   residuals from normal operation accumulate in a bounded ring with
+//!   running sum/sum-of-squares, so the residual mean and standard
+//!   deviation are `O(1)` reads. A minimum-sample warmup gate keeps the
+//!   detector silent until the estimates mean something.
+//! * **σ-tiered severity** ([`Severity`]): `warn` at 3–4σ, `high` at 4–5σ,
+//!   `critical` above 5σ.
+//! * **Frame-level aggregation** ([`FrameDetector`]): one detector per
+//!   leaf plus one for the overall KPI. The aggregate frame anomaly score
+//!   is the overall KPI's σ-score; a detection fires when it crosses the
+//!   configured threshold *and* the relative deviation is material
+//!   (`min_deviation` suppresses hair-trigger alarms on near-zero-variance
+//!   series).
+//!
+//! The detector is a three-state machine per tenant:
+//! `warmup → steady → triggered`. In `triggered` the baselines of the
+//! overall KPI and of the anomalous leaves are *held* (the forecaster
+//! absorbs its own prediction instead of the anomalous value), so a
+//! sustained incident does not poison the notion of normal; a bounded
+//! `max_triggered` escape hatch re-absorbs after a configurable number of
+//! consecutive anomalous frames so a permanent level shift eventually
+//! becomes the new normal.
+//!
+//! # Example
+//!
+//! ```
+//! use detect::{DetectorConfig, FrameDetector, Severity};
+//! use mdkpi::{LeafFrame, Schema};
+//!
+//! let schema = Schema::builder()
+//!     .attribute("loc", ["L1", "L2"])
+//!     .build()
+//!     .unwrap();
+//! let frame = |v1: f64, v2: f64| {
+//!     let mut b = LeafFrame::builder(&schema);
+//!     b.push_named(&[("loc", "L1")], v1, 0.0).unwrap();
+//!     b.push_named(&[("loc", "L2")], v2, 0.0).unwrap();
+//!     b.build()
+//! };
+//! let config = DetectorConfig {
+//!     min_samples: 8,
+//!     ..DetectorConfig::default()
+//! };
+//! let mut detector = FrameDetector::new(config).unwrap();
+//! for _ in 0..50 {
+//!     let d = detector.observe(&frame(100.0, 200.0));
+//!     assert!(!d.triggered); // steady traffic never fires
+//! }
+//! let d = detector.observe(&frame(10.0, 20.0)); // 90% drop
+//! assert!(d.triggered);
+//! assert_eq!(d.severity, Some(Severity::Critical));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod forecast;
+mod frame;
+mod residual;
+mod severity;
+
+pub use config::{DetectorConfig, DetectorConfigError};
+pub use forecast::{IncEwma, IncHoltWinters, LeafForecaster};
+pub use frame::{DetectorState, FrameDetection, FrameDetector, LeafDetector};
+pub use residual::ResidualWindow;
+pub use severity::Severity;

@@ -1,0 +1,165 @@
+//! Bounded ring of forecast residuals with `O(1)` mean/σ reads.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring of recent residuals with running sum and
+/// sum-of-squares, so mean and standard deviation are `O(1)` per read and
+/// pushes are `O(1)` amortized.
+///
+/// Incrementally subtracting evicted values from the running sums
+/// accumulates floating-point drift over very long streams, so the sums
+/// are rebuilt exactly from the buffer once every `4 × capacity` pushes —
+/// an `O(capacity)` pass amortized to `O(1)` per push.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualWindow {
+    buf: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+    sumsq: f64,
+    pushes_since_rebuild: usize,
+}
+
+impl ResidualWindow {
+    /// Create with the ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ResidualWindow {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+            sumsq: 0.0,
+            pushes_since_rebuild: 0,
+        }
+    }
+
+    /// Append one residual, evicting the oldest when full. Non-finite
+    /// residuals are ignored — they would poison the running sums forever.
+    pub fn push(&mut self, r: f64) {
+        if !r.is_finite() {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            if let Some(old) = self.buf.pop_front() {
+                self.sum -= old;
+                self.sumsq -= old * old;
+            }
+        }
+        self.buf.push_back(r);
+        self.sum += r;
+        self.sumsq += r * r;
+        self.pushes_since_rebuild += 1;
+        if self.pushes_since_rebuild >= 4 * self.capacity {
+            self.rebuild();
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.sum = self.buf.iter().sum();
+        self.sumsq = self.buf.iter().map(|r| r * r).sum();
+        self.pushes_since_rebuild = 0;
+    }
+
+    /// Number of residuals currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Mean of the held residuals; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+
+    /// Population standard deviation of the held residuals; `0.0` when
+    /// empty. Clamped at zero against floating-point cancellation.
+    pub fn std(&self) -> f64 {
+        let n = self.buf.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.sum / n as f64;
+        let var = (self.sumsq / n as f64 - mean * mean).max(0.0);
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_match_direct_computation() {
+        let mut w = ResidualWindow::new(8);
+        let xs = [1.0, -2.0, 0.5, 3.0, -1.5];
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.std() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_keeps_only_the_window() {
+        let mut w = ResidualWindow::new(3);
+        for x in [100.0, 1.0, 2.0, 3.0] {
+            w.push(x);
+        }
+        assert_eq!(w.len(), 3);
+        assert!((w.mean() - 2.0).abs() < 1e-12); // the 100 was evicted
+    }
+
+    #[test]
+    fn zero_variance_series_reports_zero_std() {
+        let mut w = ResidualWindow::new(16);
+        for _ in 0..100 {
+            w.push(5.0);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-9);
+        assert!(w.std().abs() < 1e-9);
+        assert!(w.std() >= 0.0); // never NaN or negative from cancellation
+    }
+
+    #[test]
+    fn non_finite_residuals_are_dropped() {
+        let mut w = ResidualWindow::new(4);
+        w.push(f64::NAN);
+        w.push(f64::INFINITY);
+        assert!(w.is_empty());
+        w.push(1.0);
+        assert_eq!(w.len(), 1);
+        assert!(w.mean().is_finite());
+    }
+
+    #[test]
+    fn long_stream_stays_accurate_across_rebuilds() {
+        let mut w = ResidualWindow::new(10);
+        // Tens of rebuild cycles with a known tail.
+        for i in 0..1000 {
+            w.push((i % 7) as f64);
+        }
+        let tail: Vec<f64> = (990..1000).map(|i| (i % 7) as f64).collect();
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        ResidualWindow::new(0);
+    }
+}

@@ -1,0 +1,90 @@
+//! σ-tiered severity of a detection.
+
+use std::fmt;
+
+/// How far outside normal a detection landed, in residual σ units.
+///
+/// The tiers are fixed: `warn` at 3–4σ, `high` at 4–5σ, `critical` above
+/// 5σ. Anything below 3σ is not a detection at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// 3–4σ: worth a look, not a page.
+    Warn,
+    /// 4–5σ: actionable.
+    High,
+    /// >5σ: page.
+    Critical,
+}
+
+impl Severity {
+    /// Classify a σ-score; `None` below the 3σ floor (or non-finite).
+    pub fn from_sigma(z: f64) -> Option<Severity> {
+        if !z.is_finite() || z < 3.0 {
+            None
+        } else if z < 4.0 {
+            Some(Severity::Warn)
+        } else if z < 5.0 {
+            Some(Severity::High)
+        } else {
+            Some(Severity::Critical)
+        }
+    }
+
+    /// Stable lowercase name, used as the `severity` metric label and in
+    /// incident JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::High => "high",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// All severities, mildest first — the fixed label set of the
+    /// `rapd_detections_total{severity}` metric family.
+    pub fn all() -> [Severity; 3] {
+        [Severity::Warn, Severity::High, Severity::Critical]
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_follow_the_sigma_bands() {
+        assert_eq!(Severity::from_sigma(2.99), None);
+        assert_eq!(Severity::from_sigma(3.0), Some(Severity::Warn));
+        assert_eq!(Severity::from_sigma(3.99), Some(Severity::Warn));
+        assert_eq!(Severity::from_sigma(4.0), Some(Severity::High));
+        assert_eq!(Severity::from_sigma(4.99), Some(Severity::High));
+        assert_eq!(Severity::from_sigma(5.0), Some(Severity::Critical));
+        assert_eq!(Severity::from_sigma(50.0), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn non_finite_scores_are_never_a_detection() {
+        assert_eq!(Severity::from_sigma(f64::NAN), None);
+        assert_eq!(Severity::from_sigma(f64::INFINITY), None);
+        assert_eq!(Severity::from_sigma(f64::NEG_INFINITY), None);
+    }
+
+    #[test]
+    fn ordering_matches_urgency() {
+        assert!(Severity::Warn < Severity::High);
+        assert!(Severity::High < Severity::Critical);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = Severity::all().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["warn", "high", "critical"]);
+        assert_eq!(Severity::Critical.to_string(), "critical");
+    }
+}

@@ -1,0 +1,203 @@
+//! Detection evaluation: precision/recall of trigger steps against
+//! ground-truth injection windows, plus trigger latency.
+//!
+//! The protocol mirrors how operators judge a detector: every injected
+//! failure should produce a trigger *within its match window* (recall),
+//! no trigger should fire outside every window (false triggers /
+//! precision), and matched triggers should fire close to the injection
+//! start (latency, in steps).
+
+use crate::report::Table;
+
+/// One ground-truth injection for matching: `(start step, match window)`.
+/// A trigger at step `t` matches when `start <= t < start + window`.
+pub type InjectionWindow = (usize, usize);
+
+/// The outcome of scoring one detector run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionOutcome {
+    /// Injections with at least one trigger inside their window.
+    pub detected: usize,
+    /// Total ground-truth injections.
+    pub injections: usize,
+    /// Triggers that fall inside no injection window.
+    pub false_triggers: Vec<usize>,
+    /// Total triggers scored.
+    pub triggers: usize,
+    /// `(injection start, latency)` for each detected injection, in
+    /// injection order: latency is `first matching trigger − start`.
+    pub latencies: Vec<(usize, usize)>,
+    /// Injection starts that no trigger matched.
+    pub missed: Vec<usize>,
+}
+
+impl DetectionOutcome {
+    /// Fraction of injections detected; `1.0` when there were none.
+    pub fn recall(&self) -> f64 {
+        if self.injections == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.injections as f64
+        }
+    }
+
+    /// Fraction of triggers that matched an injection; `1.0` when there
+    /// were no triggers.
+    pub fn precision(&self) -> f64 {
+        if self.triggers == 0 {
+            1.0
+        } else {
+            (self.triggers - self.false_triggers.len()) as f64 / self.triggers as f64
+        }
+    }
+
+    /// Mean trigger latency in steps over the detected injections;
+    /// `0.0` when nothing was detected.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().map(|(_, l)| *l as f64).sum::<f64>() / self.latencies.len() as f64
+        }
+    }
+
+    /// Worst trigger latency in steps; `0` when nothing was detected.
+    pub fn max_latency(&self) -> usize {
+        self.latencies.iter().map(|(_, l)| *l).max().unwrap_or(0)
+    }
+
+    /// The detection report as a [`Table`], one row per injection in step
+    /// order — deterministic, no wall-clock columns.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(["injection_step", "detected", "latency_steps"]);
+        let mut rows: Vec<(usize, Option<usize>)> = Vec::new();
+        for &(start, latency) in &self.latencies {
+            rows.push((start, Some(latency)));
+        }
+        for &start in &self.missed {
+            rows.push((start, None));
+        }
+        rows.sort_by_key(|(start, _)| *start);
+        for (start, latency) in rows {
+            match latency {
+                Some(l) => table.row([start.to_string(), "yes".into(), l.to_string()]),
+                None => table.row([start.to_string(), "no".into(), "-".into()]),
+            };
+        }
+        table
+    }
+}
+
+/// Score `triggers` (detection rising-edge steps, any order) against the
+/// ground-truth `injections`.
+///
+/// An injection counts as detected when at least one trigger lands in
+/// `[start, start + window)`; its latency is the earliest such trigger
+/// minus `start`. A trigger inside no window is a false trigger. One
+/// trigger can match multiple overlapping windows (rare; generators keep
+/// windows disjoint).
+pub fn evaluate_detection(injections: &[InjectionWindow], triggers: &[usize]) -> DetectionOutcome {
+    let mut sorted_triggers: Vec<usize> = triggers.to_vec();
+    sorted_triggers.sort_unstable();
+
+    let mut latencies = Vec::new();
+    let mut missed = Vec::new();
+    for &(start, window) in injections {
+        let hit = sorted_triggers
+            .iter()
+            .find(|&&t| t >= start && t < start + window);
+        match hit {
+            Some(&t) => latencies.push((start, t - start)),
+            None => missed.push(start),
+        }
+    }
+    let false_triggers: Vec<usize> = sorted_triggers
+        .iter()
+        .copied()
+        .filter(|&t| {
+            !injections
+                .iter()
+                .any(|&(start, window)| t >= start && t < start + window)
+        })
+        .collect();
+
+    DetectionOutcome {
+        detected: latencies.len(),
+        injections: injections.len(),
+        false_triggers,
+        triggers: sorted_triggers.len(),
+        latencies,
+        missed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection_scores_one() {
+        let injections = [(100, 10), (200, 10)];
+        let outcome = evaluate_detection(&injections, &[101, 203]);
+        assert_eq!(outcome.recall(), 1.0);
+        assert_eq!(outcome.precision(), 1.0);
+        assert_eq!(outcome.latencies, vec![(100, 1), (200, 3)]);
+        assert_eq!(outcome.mean_latency(), 2.0);
+        assert_eq!(outcome.max_latency(), 3);
+        assert!(outcome.missed.is_empty());
+        assert!(outcome.false_triggers.is_empty());
+    }
+
+    #[test]
+    fn misses_and_false_triggers_are_counted() {
+        let injections = [(100, 5), (200, 5)];
+        // 102 matches the first; 150 matches nothing; the second is missed.
+        let outcome = evaluate_detection(&injections, &[102, 150]);
+        assert_eq!(outcome.detected, 1);
+        assert_eq!(outcome.recall(), 0.5);
+        assert_eq!(outcome.false_triggers, vec![150]);
+        assert_eq!(outcome.precision(), 0.5);
+        assert_eq!(outcome.missed, vec![200]);
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let injections = [(10, 5)]; // matches steps 10..14
+        assert_eq!(evaluate_detection(&injections, &[9]).detected, 0);
+        assert_eq!(evaluate_detection(&injections, &[10]).detected, 1);
+        assert_eq!(evaluate_detection(&injections, &[14]).detected, 1);
+        assert_eq!(evaluate_detection(&injections, &[15]).detected, 0);
+    }
+
+    #[test]
+    fn earliest_matching_trigger_sets_latency() {
+        let outcome = evaluate_detection(&[(10, 10)], &[18, 12, 15]);
+        assert_eq!(outcome.latencies, vec![(10, 2)]);
+        // The extra in-window triggers are not false triggers.
+        assert!(outcome.false_triggers.is_empty());
+        assert_eq!(outcome.precision(), 1.0);
+    }
+
+    #[test]
+    fn empty_cases_are_well_defined() {
+        let none = evaluate_detection(&[], &[]);
+        assert_eq!(none.recall(), 1.0);
+        assert_eq!(none.precision(), 1.0);
+        assert_eq!(none.mean_latency(), 0.0);
+        let quiet = evaluate_detection(&[(5, 2)], &[]);
+        assert_eq!(quiet.recall(), 0.0);
+        assert_eq!(quiet.precision(), 1.0);
+    }
+
+    #[test]
+    fn table_lists_every_injection_in_step_order() {
+        let outcome = evaluate_detection(&[(200, 5), (100, 5)], &[201]);
+        let table = outcome.table();
+        assert_eq!(table.len(), 2);
+        let mut csv = Vec::new();
+        table.write_csv(&mut csv).expect("write csv");
+        let text = String::from_utf8(csv).expect("utf8");
+        assert!(text.contains("100,no,-"));
+        assert!(text.contains("200,yes,1"));
+    }
+}

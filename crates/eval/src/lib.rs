@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod detection;
 mod matching;
 mod report;
 mod runner;
 
+pub use detection::{evaluate_detection, DetectionOutcome, InjectionWindow};
 pub use matching::{f1_score, precision_recall, rc_at_k, rc_by_truth_layer};
 pub use report::Table;
 pub use runner::{evaluate_f1, evaluate_rc, CaseOutcome, F1Outcome, RcOutcome};

@@ -1,16 +1,21 @@
 use baselines::ScoredCombination;
+use detect::Severity;
 use rapminer::LocalizationTrace;
 
 /// Wall-clock seconds spent in each stage of one triggered localization.
 ///
 /// `cp`/`search` come from the localizer's own trace and are zero when the
 /// method attaches none; `detect` covers per-leaf forecasting and
-/// labelling; `localize` is the whole localizer call (so
-/// `localize ≥ cp + search` for RAPMiner).
+/// labelling; `detector` is the streaming detector's per-frame update in
+/// detect-then-localize mode (zero in classic mode); `localize` is the
+/// whole localizer call (so `localize ≥ cp + search` for RAPMiner).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimings {
     /// Per-leaf forecast + anomaly labelling.
     pub detect_seconds: f64,
+    /// Streaming-detector update on the triggering frame
+    /// (detect-then-localize mode only).
+    pub detector_seconds: f64,
     /// Algorithm 1 (CP computation and redundant attribute deletion).
     pub cp_seconds: f64,
     /// Algorithm 2 (top-down lattice search).
@@ -48,6 +53,23 @@ pub struct IncidentReport {
     /// primary forecaster produced a non-finite value. Treat the scores
     /// with extra suspicion: the detector was running on repaired inputs.
     pub degraded_forecast: bool,
+    /// σ-tier of the detection, when the incident was self-triggered by
+    /// the streaming detector (`None` for externally alarmed incidents).
+    pub severity: Option<Severity>,
+    /// Streaming-detection evidence: aggregate score and per-leaf
+    /// σ-scores. `None` for externally alarmed incidents.
+    pub detection: Option<DetectionSummary>,
+}
+
+/// The detection evidence behind a self-triggered incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionSummary {
+    /// Aggregate frame anomaly score in residual σ units.
+    pub score: f64,
+    /// σ-tier of `score`.
+    pub severity: Severity,
+    /// The highest-scoring leaves `(combination, σ-score)`, best first.
+    pub leaf_scores: Vec<(String, f64)>,
 }
 
 impl IncidentReport {
@@ -58,9 +80,11 @@ impl IncidentReport {
             .first()
             .map(|r| r.combination.to_string())
             .unwrap_or_else(|| "<no pattern>".to_string());
+        let severity = self.severity.map(|s| format!(" [{s}]")).unwrap_or_default();
         format!(
-            "step {}: total deviation {:+.1}%, {}/{} leaves anomalous, top RAP {}{}{}",
+            "step {}{}: total deviation {:+.1}%, {}/{} leaves anomalous, top RAP {}{}{}",
             self.step,
+            severity,
             100.0 * self.total_deviation,
             self.anomalous_leaves,
             self.total_leaves,
@@ -100,9 +124,12 @@ mod tests {
             trace: None,
             deadline_exceeded: false,
             degraded_forecast: false,
+            severity: Some(Severity::High),
+            detection: None,
         };
         let s = report.summary();
         assert!(s.contains("step 42"));
+        assert!(s.contains("[high]"));
         assert!(s.contains("+35.0%"));
         assert!(s.contains("3/10"));
         assert!(s.contains("(a1)"));
@@ -122,9 +149,12 @@ mod tests {
             trace: None,
             deadline_exceeded: true,
             degraded_forecast: true,
+            severity: None,
+            detection: None,
         };
         let s = report.summary();
         assert!(s.contains("<no pattern>"));
+        assert!(!s.contains('['));
         assert!(s.contains("(deadline exceeded)"));
         assert!(s.contains("(degraded forecast)"));
     }

@@ -59,12 +59,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod detector;
 mod incident;
 mod multi;
 mod stream;
 mod tracker;
 
-pub use incident::{IncidentReport, StageTimings};
+pub use detect::{DetectorConfig, DetectorConfigError, DetectorState, Severity};
+pub use detector::DetectingPipeline;
+pub use incident::{DetectionSummary, IncidentReport, StageTimings};
 pub use multi::{localize_multi_kpi, MergedRap, MultiKpiReport};
 pub use stream::{ConfigError, LocalizationPipeline, PipelineConfig, PipelineError};
 pub use tracker::{Incident, IncidentTracker};

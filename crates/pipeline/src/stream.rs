@@ -445,6 +445,7 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
             raps: explained.results,
             timings: StageTimings {
                 detect_seconds,
+                detector_seconds: 0.0,
                 cp_seconds,
                 search_seconds,
                 localize_seconds,
@@ -452,6 +453,8 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
             trace: explained.trace,
             deadline_exceeded,
             degraded_forecast,
+            severity: None,
+            detection: None,
         })
     }
 }

@@ -157,6 +157,8 @@ mod tests {
             trace: None,
             deadline_exceeded: false,
             degraded_forecast: false,
+            severity: None,
+            detection: None,
         }
     }
 

@@ -66,7 +66,7 @@ pub use config::Config;
 pub use cp::{classification_power, delete_redundant_attributes, DeletionOutcome};
 pub use error::Error;
 pub use search::{rap_score, MinedRap, SearchStats};
-pub use trace::{AttrPower, CandidateTrace, LayerTrace, LocalizationTrace};
+pub use trace::{AttrPower, CandidateTrace, LayerTrace, LocalizationTrace, TraceDetection};
 
 use mdkpi::{LeafFrame, LeafIndex};
 use std::time::Instant;

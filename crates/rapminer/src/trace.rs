@@ -49,6 +49,25 @@ pub struct CandidateTrace {
     pub kept: bool,
 }
 
+/// Detection evidence attached to a trace when the incident was
+/// self-triggered by a streaming detector rather than handed in by an
+/// external alarm: the aggregate σ-score that crossed the threshold, its
+/// severity tier, and the per-leaf σ-scores that shaped the labelling the
+/// search ran on.
+///
+/// Plain strings and numbers on purpose — the detector lives in a
+/// downstream crate and this type is only the interchange form carried by
+/// the trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceDetection {
+    /// Severity tier name (`warn`, `high`, `critical`).
+    pub severity: String,
+    /// Aggregate frame anomaly score in residual σ units.
+    pub score: f64,
+    /// The highest-scoring leaves `(combination, σ-score)`, best first.
+    pub leaf_scores: Vec<(String, f64)>,
+}
+
 /// The full evidence trail of one localization run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LocalizationTrace {
@@ -66,6 +85,9 @@ pub struct LocalizationTrace {
     pub cp_seconds: f64,
     /// Wall-clock seconds spent in the top-down search.
     pub search_seconds: f64,
+    /// Streaming-detection evidence, when the run was self-triggered by a
+    /// detector (absent for externally alarmed or offline runs).
+    pub detection: Option<TraceDetection>,
 }
 
 impl LocalizationTrace {

@@ -55,6 +55,17 @@ pub struct ServiceConfig {
     /// How far behind the newest seen timestamp the watermark trails.
     /// Frames older than `max(ts) − max_lateness` are quarantined as late.
     pub max_lateness: Duration,
+    /// Run the streaming detector in front of localization: tenants ingest
+    /// *raw* (unlabelled) frames and rapd self-triggers localization when
+    /// the aggregate anomaly score crosses `detect_threshold`. When off,
+    /// frames are expected pre-labelled (the classic mode).
+    pub detect: bool,
+    /// Aggregate σ-score a frame must reach to trigger localization in
+    /// detect mode. Must be positive and finite.
+    pub detect_threshold: f64,
+    /// Seasonal period (in frames) of the detector's Holt-Winters
+    /// forecaster; `0` selects the EWMA-only forecaster.
+    pub seasonal_period: usize,
     /// Streaming-pipeline tunables applied to every tenant.
     pub pipeline: PipelineConfig,
 }
@@ -76,6 +87,9 @@ impl Default for ServiceConfig {
             schema_drift_limit: 8,
             reorder_window: 32,
             max_lateness: Duration::from_secs(2),
+            detect: false,
+            detect_threshold: 4.0,
+            seasonal_period: 0,
             pipeline: PipelineConfig::default(),
         }
     }
@@ -108,6 +122,11 @@ impl ServiceConfig {
             // half-open — all bookkeeping, no shedding.
             return Err(ServiceConfigError::ZeroField {
                 field: "breaker_cooldown",
+            });
+        }
+        if self.detect && !(self.detect_threshold.is_finite() && self.detect_threshold > 0.0) {
+            return Err(ServiceConfigError::ZeroField {
+                field: "detect_threshold",
             });
         }
         self.pipeline
@@ -194,6 +213,25 @@ mod tests {
         assert!(err.to_string().contains("breaker_cooldown"));
         // threshold 0 disables the breaker; the cooldown then never applies
         cfg.breaker_threshold = 0;
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn detect_threshold_checked_only_in_detect_mode() {
+        let mut cfg = ServiceConfig {
+            detect: true,
+            detect_threshold: 0.0,
+            ..ServiceConfig::default()
+        };
+        let err = cfg.validate().expect_err("zero threshold in detect mode");
+        assert!(err.to_string().contains("detect_threshold"));
+        cfg.detect_threshold = f64::NAN;
+        assert!(cfg.validate().is_err());
+        cfg.detect_threshold = 3.5;
+        assert_eq!(cfg.validate(), Ok(()));
+        // classic mode never reads the threshold
+        cfg.detect = false;
+        cfg.detect_threshold = -1.0;
         assert_eq!(cfg.validate(), Ok(()));
     }
 

@@ -94,7 +94,7 @@ pub use proto::{ProtoError, Request};
 pub use quarantine::QuarantineRecord;
 pub use server::{start, ServerHandle, StartError};
 pub use shard::LocalizerFactory;
-pub use sink::{IncidentRecord, IncidentSink, SpoolRecovery};
+pub use sink::{DetectionRecord, IncidentRecord, IncidentSink, SpoolRecovery};
 
 /// The default per-tenant localizer: RAPMiner with its paper defaults,
 /// running each frame's search on the configured number of intra-frame

@@ -97,28 +97,78 @@ impl Histogram {
 }
 
 /// Per-stage localization timing histograms, exported as one
-/// `rapd_stage_seconds` family with a `stage` label. Each stage observes
-/// exactly once per incident, so all three counts equal
-/// `rapd_alarms_total` — a scrape-time consistency invariant dashboards
-/// can assert on.
+/// `rapd_stage_seconds` family with a `stage` label. The localization
+/// stages (`cp`, `search`, `detect`) observe exactly once per incident, so
+/// their counts equal `rapd_alarms_total` — a scrape-time consistency
+/// invariant dashboards can assert on. The `detector` stage is the
+/// *streaming* detector and observes once per frame in detect mode, so its
+/// count tracks `rapd_frames_processed_total` instead.
+///
+/// The label set is fixed at these four values — labels never grow with
+/// traffic, tenants, or severity.
 #[derive(Debug, Default)]
 pub struct StageHistograms {
     /// Algorithm 1: CP computation + redundant attribute deletion.
     pub cp: Histogram,
     /// Algorithm 2: top-down lattice search.
     pub search: Histogram,
-    /// Per-leaf forecasting and anomaly labelling.
+    /// Per-leaf forecasting and anomaly labelling (inside localization).
     pub detect: Histogram,
+    /// Streaming detector update + scoring, per frame (detect mode only).
+    pub detector: Histogram,
 }
 
 impl StageHistograms {
     /// `(stage-label, histogram)` pairs in export order.
-    pub fn named(&self) -> [(&'static str, &Histogram); 3] {
+    pub fn named(&self) -> [(&'static str, &Histogram); 4] {
         [
             ("cp", &self.cp),
             ("search", &self.search),
             ("detect", &self.detect),
+            ("detector", &self.detector),
         ]
+    }
+}
+
+/// Self-triggered detections by severity tier — exported as one
+/// `rapd_detections_total` family with a fixed `severity` label set
+/// (`warn`/`high`/`critical`; cardinality never grows).
+#[derive(Debug, Default)]
+pub struct DetectionCounters {
+    /// Detections in the 3–4σ tier.
+    pub warn: AtomicU64,
+    /// Detections in the 4–5σ tier.
+    pub high: AtomicU64,
+    /// Detections beyond 5σ.
+    pub critical: AtomicU64,
+}
+
+impl DetectionCounters {
+    /// `(severity-label, counter)` pairs in export order.
+    pub fn named(&self) -> [(&'static str, &AtomicU64); 3] {
+        [
+            ("warn", &self.warn),
+            ("high", &self.high),
+            ("critical", &self.critical),
+        ]
+    }
+
+    /// The counter for one severity label as produced by
+    /// `detect::Severity::as_str`; `None` for unknown labels (callers must
+    /// not mint new label values).
+    pub fn for_label(&self, severity: &str) -> Option<&AtomicU64> {
+        self.named()
+            .into_iter()
+            .find(|(label, _)| *label == severity)
+            .map(|(_, c)| c)
+    }
+
+    /// Sum across all severities.
+    pub fn total(&self) -> u64 {
+        self.named()
+            .iter()
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -228,6 +278,8 @@ pub struct Metrics {
     pub localization: Histogram,
     /// Per-stage timings of each triggered localization.
     pub stages: StageHistograms,
+    /// Self-triggered detections, by severity tier (detect mode).
+    pub detections: DetectionCounters,
     shards: Vec<ShardMetrics>,
 }
 
@@ -253,6 +305,7 @@ impl Metrics {
             quarantine_degraded: AtomicU64::new(0),
             localization: Histogram::default(),
             stages: StageHistograms::default(),
+            detections: DetectionCounters::default(),
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -491,6 +544,15 @@ impl Metrics {
                 histogram,
             );
         }
+
+        out.push_str("# HELP rapd_detections_total Self-triggered detections, by severity tier.\n");
+        out.push_str("# TYPE rapd_detections_total counter\n");
+        for (severity, c) in self.detections.named() {
+            out.push_str(&format!(
+                "rapd_detections_total{{severity=\"{severity}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
         out
     }
 }
@@ -720,6 +782,8 @@ mod tests {
         m.stages.cp.observe(0.0001);
         m.stages.search.observe(0.003);
         m.stages.detect.observe(0.7);
+        m.stages.detector.observe(0.00002);
+        m.detections.high.fetch_add(2, Ordering::Relaxed);
         let text = m.render_prometheus();
         validate_exposition(&text);
         assert!(text.contains("rapd_frames_ingested_total 5"));
@@ -733,11 +797,59 @@ mod tests {
         assert!(text.contains("rapd_stage_seconds_count{stage=\"search\"} 1"));
         assert!(text.contains("rapd_stage_seconds_bucket{stage=\"detect\",le=\"0.5\"} 0"));
         assert!(text.contains("rapd_stage_seconds_bucket{stage=\"detect\",le=\"1\"} 1"));
+        assert!(text.contains("rapd_stage_seconds_count{stage=\"detector\"} 1"));
+        assert!(text.contains("rapd_detections_total{severity=\"warn\"} 0"));
+        assert!(text.contains("rapd_detections_total{severity=\"high\"} 2"));
+        assert!(text.contains("rapd_detections_total{severity=\"critical\"} 0"));
         // each TYPE comment appears exactly once per family
         assert_eq!(
             text.matches("# TYPE rapd_stage_seconds histogram").count(),
             1
         );
+        assert_eq!(
+            text.matches("# TYPE rapd_detections_total counter").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn stage_and_severity_label_sets_are_fixed() {
+        // Cardinality gate: the rendered label sets must be exactly the
+        // documented values, regardless of what was observed — labels must
+        // never grow with traffic, tenants, or new severities.
+        let m = Metrics::new(1);
+        m.stages.detector.observe(0.001);
+        m.detections.critical.fetch_add(1, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        let stages: std::collections::BTreeSet<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("rapd_stage_seconds_count{stage=\""))
+            .filter_map(|rest| rest.split('"').next())
+            .collect();
+        assert_eq!(
+            stages.into_iter().collect::<Vec<_>>(),
+            ["cp", "detect", "detector", "search"],
+            "stage label set must stay fixed"
+        );
+        let severities: std::collections::BTreeSet<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("rapd_detections_total{severity=\""))
+            .filter_map(|rest| rest.split('"').next())
+            .collect();
+        assert_eq!(
+            severities.into_iter().collect::<Vec<_>>(),
+            ["critical", "high", "warn"],
+            "severity label set must stay fixed"
+        );
+        // every detect::Severity maps onto an exported counter
+        for severity in detect::Severity::all() {
+            assert!(
+                m.detections.for_label(severity.as_str()).is_some(),
+                "severity {severity} has no counter"
+            );
+        }
+        assert!(m.detections.for_label("page-me-harder").is_none());
+        assert_eq!(m.detections.total(), 1);
     }
 
     #[test]

@@ -625,6 +625,21 @@ fn stats_reply(shared: &Shared) -> String {
             Json::Num(m.alarms.load(Ordering::Relaxed) as f64),
         ),
         (
+            "detections".to_string(),
+            Json::Obj(
+                m.detections
+                    .named()
+                    .into_iter()
+                    .map(|(severity, c)| {
+                        (
+                            severity.to_string(),
+                            Json::Num(c.load(Ordering::Relaxed) as f64),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "protocol_errors".to_string(),
             Json::Num(m.protocol_errors.load(Ordering::Relaxed) as f64),
         ),

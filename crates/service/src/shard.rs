@@ -54,7 +54,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use baselines::Localizer;
-use pipeline::LocalizationPipeline;
+use detect::DetectorConfig;
+use pipeline::{DetectingPipeline, LocalizationPipeline};
 use timeseries::MovingAverage;
 
 use crate::config::ServiceConfig;
@@ -371,6 +372,9 @@ struct PoolShared {
     quarantine: Arc<QuarantineSink>,
     factory: LocalizerFactory,
     pipeline_config: pipeline::PipelineConfig,
+    /// `Some` switches every tenant to detect-then-localize mode: raw
+    /// frames in, self-triggered localizations out.
+    detector_config: Option<DetectorConfig>,
     window: usize,
     breaker_threshold: u32,
     breaker_cooldown: Duration,
@@ -407,6 +411,11 @@ impl ShardPool {
             quarantine,
             factory,
             pipeline_config: config.pipeline,
+            detector_config: config.detect.then(|| DetectorConfig {
+                sigma_threshold: config.detect_threshold,
+                seasonal_period: config.seasonal_period,
+                ..DetectorConfig::default()
+            }),
             window: config.forecast_window,
             breaker_threshold: config.breaker_threshold,
             breaker_cooldown: config.breaker_cooldown,
@@ -534,6 +543,59 @@ fn supervisor_loop(shared: &Arc<PoolShared>, workers: &Mutex<Vec<JoinHandle<()>>
 
 type TenantPipeline = LocalizationPipeline<MovingAverage, Box<dyn Localizer>>;
 
+/// One tenant's processing engine: classic (pre-labelled frames, external
+/// alarm) or detecting (raw frames, self-triggered localization).
+enum TenantEngine {
+    /// History-replay forecasting over labelled frames.
+    Classic(TenantPipeline),
+    /// Streaming detector in front of the localizer (boxed: the detector
+    /// state dwarfs the classic variant).
+    Detecting(Box<DetectingPipeline<Box<dyn Localizer>>>),
+}
+
+impl TenantEngine {
+    /// Build the engine the pool is configured for.
+    fn build(shared: &PoolShared) -> TenantEngine {
+        match shared.detector_config {
+            Some(detector) => TenantEngine::Detecting(Box::new(
+                DetectingPipeline::try_new(
+                    shared.pipeline_config,
+                    detector,
+                    (shared.factory)(shared.pipeline_config.localize_threads),
+                )
+                .expect("service config validated at boot"),
+            )),
+            None => TenantEngine::Classic(
+                LocalizationPipeline::try_new(
+                    shared.pipeline_config,
+                    MovingAverage::new(shared.window),
+                    (shared.factory)(shared.pipeline_config.localize_threads),
+                )
+                .expect("service config validated at boot"),
+            ),
+        }
+    }
+
+    fn observe(
+        &mut self,
+        frame: &mdkpi::LeafFrame,
+    ) -> Result<Option<pipeline::IncidentReport>, pipeline::PipelineError> {
+        match self {
+            TenantEngine::Classic(p) => p.observe(frame),
+            TenantEngine::Detecting(p) => p.observe(frame),
+        }
+    }
+
+    /// Detector wall-clock of the most recent frame; `None` in classic
+    /// mode (there is no streaming-detector stage to time).
+    fn last_detector_seconds(&self) -> Option<f64> {
+        match self {
+            TenantEngine::Classic(_) => None,
+            TenantEngine::Detecting(p) => Some(p.last_detector_seconds()),
+        }
+    }
+}
+
 /// Render a caught panic payload for the event log.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -548,7 +610,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// The per-tenant state one shard worker owns.
 #[derive(Default)]
 struct WorkerState {
-    pipelines: HashMap<Arc<str>, TenantPipeline>,
+    engines: HashMap<Arc<str>, TenantEngine>,
     breakers: HashMap<Arc<str>, Breaker>,
     reorder: HashMap<Arc<str>, ReorderBuffer>,
 }
@@ -650,26 +712,21 @@ fn process_frame(
     // One bad frame (or one buggy localizer) must not kill the
     // worker and its other tenants: panics are contained here
     // and handled as pipeline failures.
-    let pipelines = &mut state.pipelines;
+    let engines = &mut state.engines;
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         // fault injection: a pipeline panicking mid-frame,
         // scoped to one tenant via the tag
         obs::fail::apply_tagged("pipeline-panic", tenant.as_ref());
-        let pipe = pipelines.entry(Arc::clone(tenant)).or_insert_with(|| {
-            LocalizationPipeline::try_new(
-                shared.pipeline_config,
-                MovingAverage::new(shared.window),
-                (shared.factory)(shared.pipeline_config.localize_threads),
-            )
-            .expect("service config validated at boot")
-        });
-        pipe.observe(frame)
+        let engine = engines
+            .entry(Arc::clone(tenant))
+            .or_insert_with(|| TenantEngine::build(shared));
+        engine.observe(frame)
     }));
     let failed = match outcome {
         Err(payload) => {
             // The pipeline may be torn mid-update: quarantine
             // it. The tenant's next frame builds a fresh one.
-            state.pipelines.remove(tenant);
+            state.engines.remove(tenant);
             metrics
                 .pipeline_restarts_panic
                 .fetch_add(1, Ordering::Relaxed);
@@ -703,6 +760,12 @@ fn process_frame(
             metrics.stages.cp.observe(report.timings.cp_seconds);
             metrics.stages.search.observe(report.timings.search_seconds);
             metrics.stages.detect.observe(report.timings.detect_seconds);
+            if let Some(counter) = report
+                .severity
+                .and_then(|s| metrics.detections.for_label(s.as_str()))
+            {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
             frame_span.record("alarm", true);
             obs::info(
                 "rapd.shard",
@@ -731,6 +794,16 @@ fn process_frame(
         }
         Ok(Ok(None)) => false,
     };
+    // Detect mode times the streaming detector on *every* frame (its
+    // histogram tracks frames processed, not alarms). A panicked engine
+    // was just removed, so nothing is observed for that frame.
+    if let Some(seconds) = state
+        .engines
+        .get(tenant)
+        .and_then(TenantEngine::last_detector_seconds)
+    {
+        metrics.stages.detector.observe(seconds);
+    }
     let breaker = state.breakers.entry(Arc::clone(tenant)).or_default();
     if failed {
         if breaker.on_failure(
@@ -1284,6 +1357,108 @@ mod tests {
             "the collapse frame must be processed last, after warmup"
         );
         assert_eq!(sink.recent(10)[0].raps[0].0, "(a1)");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_reorder_buffers_in_watermark_order() {
+        // Regression: frames still parked in reorder buffers when the pool
+        // shuts down must be flushed through the pipeline in timestamp
+        // order — not dropped on the floor — and the accounting invariant
+        // must hold at the quiescent point after shutdown.
+        let cfg = ServiceConfig {
+            // a huge lateness keeps every frame parked until drain
+            max_lateness: Duration::from_millis(1_000_000),
+            ..small_config(64)
+        };
+        let metrics = Arc::new(Metrics::new(cfg.shards));
+        let sink = sink(&metrics);
+        let quarantine = quarantine(&metrics);
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            Arc::clone(&quarantine),
+            default_factory(),
+        );
+        let s = schema();
+        // the collapse frame is SENT first but STAMPED last: only a
+        // watermark-ordered drain processes it after the steady history
+        pool.ingest("edge", frame(&s, 0.0, 100.0), Some(9_000));
+        for ts in 1..=8u64 {
+            pool.ingest("edge", frame(&s, 100.0, 100.0), Some(ts * 1_000));
+        }
+        let ingested = 9u64;
+        // no flush — shutdown itself must drain the buffers
+        pool.shutdown();
+        assert_eq!(
+            metrics.total_processed(),
+            ingested,
+            "buffered frames must be flushed at shutdown, not dropped"
+        );
+        assert_eq!(
+            metrics.total_processed()
+                + metrics.total_dropped()
+                + metrics.total_shed()
+                + metrics.total_quarantined(),
+            ingested,
+            "accounting invariant across the shutdown drain"
+        );
+        assert_eq!(
+            metrics.alarms.load(Ordering::Relaxed),
+            1,
+            "watermark order: the collapse frame lands after the warmup history"
+        );
+        assert_eq!(sink.recent(10)[0].raps[0].0, "(a1)");
+    }
+
+    #[test]
+    fn detect_mode_self_triggers_and_accounts_severity() {
+        let cfg = ServiceConfig {
+            shards: 1,
+            detect: true,
+            detect_threshold: 4.0,
+            pipeline: pipeline::PipelineConfig {
+                k: 2,
+                ..pipeline::PipelineConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        cfg.validate().expect("valid detect config");
+        let metrics = Arc::new(Metrics::new(1));
+        let sink = sink(&metrics);
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            quarantine(&metrics),
+            default_factory(),
+        );
+        let s = schema();
+        // raw frames only (no labels, no forecast): warm past the
+        // detector's min_samples, then collapse one leaf
+        let warm = 40u64;
+        for _ in 0..warm {
+            pool.ingest("edge", frame(&s, 100.0, 100.0), None);
+        }
+        pool.ingest("edge", frame(&s, 0.0, 100.0), None);
+        assert!(pool.flush(Duration::from_secs(30)));
+        assert_eq!(
+            metrics.alarms.load(Ordering::Relaxed),
+            1,
+            "detect mode must self-trigger exactly once"
+        );
+        assert_eq!(metrics.detections.critical.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.detections.total(), 1);
+        // the streaming detector stage observes once per processed frame
+        assert_eq!(metrics.stages.detector.count(), warm + 1);
+        assert_eq!(metrics.total_processed(), warm + 1);
+        let incidents = sink.recent(10);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].severity.as_deref(), Some("critical"));
+        let detection = incidents[0].detection.as_ref().expect("evidence");
+        assert!(detection.score >= 4.0);
+        assert_eq!(incidents[0].raps[0].0, "(a1)");
         pool.shutdown();
     }
 

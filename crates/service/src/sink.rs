@@ -67,6 +67,21 @@ pub struct IncidentRecord {
     /// degradation fallback (primary forecaster returned a non-finite
     /// value).
     pub degraded_forecast: bool,
+    /// σ-tier of the detection that triggered this incident
+    /// (`"warn"`/`"high"`/`"critical"`); `None` in classic mode.
+    pub severity: Option<String>,
+    /// Detection evidence from the streaming detector; `None` in classic
+    /// mode.
+    pub detection: Option<DetectionRecord>,
+}
+
+/// Detection evidence attached to an incident in detect mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionRecord {
+    /// Aggregate σ-score of the triggering frame.
+    pub score: f64,
+    /// Top per-leaf σ-scores as `(leaf combination, score)`, worst first.
+    pub leaf_scores: Vec<(String, f64)>,
 }
 
 impl IncidentRecord {
@@ -87,6 +102,11 @@ impl IncidentRecord {
             trace: report.trace.clone(),
             deadline_exceeded: report.deadline_exceeded,
             degraded_forecast: report.degraded_forecast,
+            severity: report.severity.map(|s| s.as_str().to_string()),
+            detection: report.detection.as_ref().map(|d| DetectionRecord {
+                score: d.score,
+                leaf_scores: d.leaf_scores.clone(),
+            }),
         }
     }
 
@@ -134,13 +154,46 @@ impl IncidentRecord {
                 "degraded_forecast".to_string(),
                 Json::Bool(self.degraded_forecast),
             ),
+            (
+                "severity".to_string(),
+                match &self.severity {
+                    None => Json::Null,
+                    Some(s) => Json::str(s),
+                },
+            ),
+            (
+                "detection".to_string(),
+                match &self.detection {
+                    None => Json::Null,
+                    Some(d) => detection_to_json(d),
+                },
+            ),
         ])
     }
+}
+
+fn detection_to_json(d: &DetectionRecord) -> Json {
+    Json::Obj(vec![
+        ("score".to_string(), Json::Num(d.score)),
+        (
+            "leaf_scores".to_string(),
+            Json::Arr(
+                d.leaf_scores
+                    .iter()
+                    .map(|(leaf, score)| Json::Arr(vec![Json::str(leaf), Json::Num(*score)]))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn timings_to_json(t: &StageTimings) -> Json {
     Json::Obj(vec![
         ("detect_seconds".to_string(), Json::Num(t.detect_seconds)),
+        (
+            "detector_seconds".to_string(),
+            Json::Num(t.detector_seconds),
+        ),
         ("cp_seconds".to_string(), Json::Num(t.cp_seconds)),
         ("search_seconds".to_string(), Json::Num(t.search_seconds)),
         (
@@ -212,6 +265,22 @@ fn trace_to_json(trace: &LocalizationTrace) -> Json {
         ),
         ("cancelled".to_string(), Json::Bool(trace.stats.cancelled)),
     ]);
+    let detection = match &trace.detection {
+        None => Json::Null,
+        Some(d) => Json::Obj(vec![
+            ("severity".to_string(), Json::str(&d.severity)),
+            ("score".to_string(), Json::Num(d.score)),
+            (
+                "leaf_scores".to_string(),
+                Json::Arr(
+                    d.leaf_scores
+                        .iter()
+                        .map(|(leaf, score)| Json::Arr(vec![Json::str(leaf), Json::Num(*score)]))
+                        .collect(),
+                ),
+            ),
+        ]),
+    };
     Json::Obj(vec![
         ("attrs".to_string(), Json::Arr(attrs)),
         ("layers".to_string(), Json::Arr(layers)),
@@ -222,6 +291,7 @@ fn trace_to_json(trace: &LocalizationTrace) -> Json {
             "search_seconds".to_string(),
             Json::Num(trace.search_seconds),
         ),
+        ("detection".to_string(), detection),
     ])
 }
 
@@ -489,6 +559,7 @@ mod tests {
             raps: vec![("(L1, *)".to_string(), 0.93)],
             timings: StageTimings {
                 detect_seconds: 0.001,
+                detector_seconds: 0.0005,
                 cp_seconds: 0.002,
                 search_seconds: 0.003,
                 localize_seconds: 0.006,
@@ -496,6 +567,8 @@ mod tests {
             trace: None,
             deadline_exceeded: false,
             degraded_forecast: false,
+            severity: None,
+            detection: None,
         }
     }
 
@@ -760,6 +833,11 @@ mod tests {
             },
             cp_seconds: 0.004,
             search_seconds: 0.005,
+            detection: Some(rapminer::TraceDetection {
+                severity: "high".to_string(),
+                score: 4.4,
+                leaf_scores: vec![("(I1)".to_string(), 4.4)],
+            }),
         });
         // the spool line (and hence the control-socket reply) must carry
         // the whole trace and survive a parse round-trip
@@ -782,5 +860,38 @@ mod tests {
         let cands = trace.get("candidates").unwrap().as_arr().unwrap();
         assert_eq!(cands[0].get("combination").unwrap().as_str(), Some("(I1)"));
         assert_eq!(cands[0].get("kept").unwrap().as_bool(), Some(true));
+        let detection = trace.get("detection").unwrap();
+        assert_eq!(detection.get("severity").unwrap().as_str(), Some("high"));
+        assert_eq!(detection.get("score").unwrap().as_f64(), Some(4.4));
+    }
+
+    #[test]
+    fn severity_and_detection_serialize_when_present() {
+        let mut rec = record("t", 2);
+        // classic mode: both fields render as null
+        let doc = rec.to_json();
+        assert_eq!(doc.get("severity"), Some(&Json::Null));
+        assert_eq!(doc.get("detection"), Some(&Json::Null));
+        // detect mode: evidence round-trips through the spool line
+        rec.severity = Some("critical".to_string());
+        rec.detection = Some(DetectionRecord {
+            score: 7.25,
+            leaf_scores: vec![("(L1, *)".to_string(), 6.5), ("(L2, *)".to_string(), 3.1)],
+        });
+        let line = rec.to_json().render();
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("severity").unwrap().as_str(), Some("critical"));
+        let detection = doc.get("detection").unwrap();
+        assert_eq!(detection.get("score").unwrap().as_f64(), Some(7.25));
+        let leaves = detection.get("leaf_scores").unwrap().as_arr().unwrap();
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].as_arr().unwrap()[0].as_str(), Some("(L1, *)"));
+        assert_eq!(leaves[0].as_arr().unwrap()[1].as_f64(), Some(6.5));
+        // the new timing lands in the timings object too
+        let timings = doc.get("timings").unwrap();
+        assert_eq!(
+            timings.get("detector_seconds").unwrap().as_f64(),
+            Some(0.0005)
+        );
     }
 }

@@ -34,6 +34,12 @@
 #                                  (calibration-normalized), or if a >=4
 #                                  core host falls below the 2.5x speedup
 #                                  floor
+#  12. detection gate           -- `rapminer detect` replays a seeded
+#                                  unlabelled anomaly stream through the
+#                                  streaming detector end to end and must
+#                                  reach >=0.9 recall with <=1 false
+#                                  trigger; two runs must be
+#                                  byte-identical (determinism)
 #
 # The workspace is fully offline (external deps resolve to crates/shims/),
 # so --offline is passed everywhere; no network access is required.
@@ -76,5 +82,18 @@ echo "    localize output byte-identical across thread counts"
 
 # 11. bench regression: machine-readable record + serial-path budget
 run cargo run --release --offline -p rapminer-bench --bin bench_localize
+
+# 12. detection gate: seeded end-to-end detect-then-localize replay.
+# The gate flags make the run fail on recall < 0.9 or > 1 false trigger;
+# the diff proves the detector is deterministic across runs.
+echo "==> detection gate (detect --min-recall 0.9 --max-false-triggers 1, twice + diff)"
+cargo run --release --offline -q -p rapminer-cli --bin rapminer -- \
+    detect --seed 7 --min-recall 0.9 --max-false-triggers 1 \
+    > "$DET_DIR/detect1.txt"
+cargo run --release --offline -q -p rapminer-cli --bin rapminer -- \
+    detect --seed 7 --min-recall 0.9 --max-false-triggers 1 \
+    > "$DET_DIR/detect2.txt"
+run diff -u "$DET_DIR/detect1.txt" "$DET_DIR/detect2.txt"
+echo "    detection replay deterministic, recall/false-trigger gate passed"
 
 echo "==> tier-1 gate passed"

@@ -50,6 +50,7 @@
 pub use baselines;
 pub use cdnsim;
 pub use datasets;
+pub use detect;
 pub use eval;
 pub use mdkpi;
 pub use pipeline;
@@ -62,17 +63,21 @@ pub mod prelude {
         all_localizers, Adtributor, FpGrowthLocalizer, HotSpot, IDice, Localizer,
         RapMinerLocalizer, ScoredCombination, Squeeze,
     };
-    pub use cdnsim::{CdnTopology, FailureInjector, KpiKind, TrafficConfig, TrafficModel};
+    pub use cdnsim::{
+        AnomalyStream, AnomalyStreamConfig, CdnTopology, FailureInjector, KpiKind, TrafficConfig,
+        TrafficModel,
+    };
     pub use datasets::{
         load_dataset, save_dataset, Dataset, LocalizationCase, RapmdConfig, RapmdGenerator,
         SqueezeGenConfig, SqueezeGenerator,
     };
-    pub use eval::{evaluate_f1, evaluate_rc, f1_score, rc_at_k, Table};
+    pub use detect::{DetectorConfig, FrameDetector, Severity};
+    pub use eval::{evaluate_detection, evaluate_f1, evaluate_rc, f1_score, rc_at_k, Table};
     pub use mdkpi::{
         read_frame_csv, write_frame_csv, Combination, Cuboid, CuboidLattice, LeafFrame, LeafIndex,
         Schema,
     };
-    pub use pipeline::{IncidentReport, LocalizationPipeline, PipelineConfig};
+    pub use pipeline::{DetectingPipeline, IncidentReport, LocalizationPipeline, PipelineConfig};
     pub use rapminer::{classification_power, Config, MinedRap, RapMiner};
     pub use timeseries::{
         DeviationThreshold, Ewma, Forecaster, HoltWinters, MovingAverage, PointDetector,
