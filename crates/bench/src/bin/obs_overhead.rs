@@ -2,14 +2,25 @@
 //!
 //! Runs RAPMiner on the hardest-group case of the same Squeeze fixture the
 //! `localizers` Criterion bench uses, alternating trials with spans
-//! enabled and disabled at runtime. Each adjacent on/off pair yields one
-//! relative-overhead sample (pairing cancels sustained host drift — CPU
-//! frequency scaling, a noisy neighbour — that would bias two separate
-//! measurement blocks), and the reported overhead is the *median* over
-//! all pairs, which is robust to the occasional trial that catches a
-//! scheduler hiccup. Prints the timings and the overhead, and exits
-//! non-zero when the overhead exceeds the budget — `scripts/ci.sh` runs
-//! this as the tracing overhead smoke test.
+//! enabled and disabled at runtime. A flight recorder at the daemon's
+//! default capacity stays registered on the measuring thread for the
+//! whole run, so the spans-on trials pay the same per-span recording
+//! cost a production rapd worker pays — the <5% budget covers tracing
+//! *and* the flight recorder together.
+//!
+//! The measurement is *steady state*: the completed-span ring is filled
+//! to capacity during warmup and never cleared between trials, exactly
+//! like a long-running daemon. (Refilling the ring from empty inside the
+//! timed region charges a burst of cold allocations to the spans-on side
+//! that production never pays per frame.) Each adjacent on/off pair
+//! yields one relative-overhead sample — pairing cancels sustained host
+//! drift (CPU frequency scaling, a noisy neighbour), and the order
+//! *within* each pair alternates so a ramp that favours whichever block
+//! runs first cancels across pairs instead of biasing one side. The
+//! reported overhead is the *median* over all pairs, robust to the
+//! occasional trial that catches a scheduler hiccup. Prints the timings
+//! and the overhead, and exits non-zero when the overhead exceeds the
+//! budget — `scripts/ci.sh` runs this as the tracing overhead smoke test.
 //!
 //! Usage: `obs_overhead [budget-percent]` (default budget: 5%).
 
@@ -18,8 +29,11 @@ use std::time::Instant;
 use baselines::{Localizer, RapMinerLocalizer};
 use rapminer_bench::squeeze_dataset;
 
-const TRIALS: usize = 15;
-const ITERS_PER_TRIAL: usize = 40;
+// Trials long enough (~15 ms) that scheduler noise doesn't dominate a
+// single measurement, and enough of them that the median is stable even
+// on a host still cooling down from a full CI build.
+const TRIALS: usize = 21;
+const ITERS_PER_TRIAL: usize = 100;
 const K: usize = 5;
 
 /// Wall seconds for one trial of `ITERS_PER_TRIAL` localizations.
@@ -38,26 +52,42 @@ fn main() {
         .map(|s| s.parse().expect("budget must be a number (percent)"))
         .unwrap_or(5.0);
 
+    // mirror a rapd shard worker: a registered flight recorder tees every
+    // span/event line on this thread into its ring for the entire run
+    let _recorder = obs::recorder::register("bench", obs::recorder::DEFAULT_FLIGHT_CAPACITY);
+
     let dataset = squeeze_dataset(1);
     let case = dataset.group("(3,3)").next().expect("group exists");
     let frame = &case.frame;
     let localizer = RapMinerLocalizer::default();
 
-    // warm up caches and the allocator outside the timed region
+    // Warm up caches and the allocator outside the timed region, and run
+    // enough traced localizations to fill the completed-span ring and the
+    // flight ring to capacity — steady state, where every push evicts.
     obs::set_enabled(true);
-    let _ = localizer.localize(frame, K);
+    for _ in 0..ITERS_PER_TRIAL {
+        let _ = localizer.localize(frame, K);
+    }
     obs::set_enabled(false);
     let _ = localizer.localize(frame, K);
 
     let mut overheads = Vec::with_capacity(TRIALS);
     let mut best_on = f64::INFINITY;
     let mut best_off = f64::INFINITY;
-    for _ in 0..TRIALS {
-        obs::set_enabled(true);
-        obs::clear_spans();
-        let on = trial_seconds(&localizer, frame);
-        obs::set_enabled(false);
-        let off = trial_seconds(&localizer, frame);
+    for i in 0..TRIALS {
+        let (on, off) = if i % 2 == 0 {
+            obs::set_enabled(true);
+            let on = trial_seconds(&localizer, frame);
+            obs::set_enabled(false);
+            let off = trial_seconds(&localizer, frame);
+            (on, off)
+        } else {
+            obs::set_enabled(false);
+            let off = trial_seconds(&localizer, frame);
+            obs::set_enabled(true);
+            let on = trial_seconds(&localizer, frame);
+            (on, off)
+        };
         best_on = best_on.min(on);
         best_off = best_off.min(off);
         overheads.push((on - off) / off * 100.0);

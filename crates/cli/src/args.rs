@@ -129,6 +129,18 @@ pub enum Command {
         /// Seasonal period of the detector's Holt–Winters forecaster;
         /// `0` uses plain EWMA.
         seasonal_period: usize,
+        /// Span/event lines each shard worker's flight recorder retains
+        /// for post-mortem blackbox dumps; `0` disables the recorder.
+        flight_recorder: usize,
+    },
+    /// `debug`: query a running rapd daemon's live internals (queue
+    /// depths, per-tenant engine/breaker/reorder state, flight-recorder
+    /// stats) and print the JSON reply.
+    Debug {
+        /// The daemon's NDJSON control address.
+        addr: String,
+        /// Restrict the per-tenant breakdown to one tenant.
+        tenant: Option<String>,
     },
     /// `detect`: offline detection replay — play a seeded anomalous
     /// stream through the streaming detector and score recall, false
@@ -193,7 +205,8 @@ USAGE:
                     [--schema-drift-limit N] [--reorder-window N]
                     [--max-lateness-ms N] [--intra-frame-threads N]
                     [--detect true] [--detect-threshold X]
-                    [--seasonal-period N]
+                    [--seasonal-period N] [--flight-recorder N]
+  rapminer debug    [--addr HOST:PORT] [--tenant NAME]
   rapminer detect   [--steps N] [--warmup N] [--injections N]
                     [--duration N] [--seed N] [--threshold X]
                     [--seasonal-period N] [--min-recall X]
@@ -284,6 +297,14 @@ impl Args {
                 detect: parse_bool(&flags, "detect")?,
                 detect_threshold: parse_float(&flags, "detect-threshold", 4.0)?,
                 seasonal_period: parse_num(&flags, "seasonal-period", 0)?,
+                flight_recorder: parse_num(&flags, "flight-recorder", 256)?,
+            },
+            "debug" => Command::Debug {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:4817".to_string()),
+                tenant: flags.get("tenant").cloned(),
             },
             "detect" => Command::Detect {
                 steps: parse_num(&flags, "steps", 360)?,
@@ -613,6 +634,42 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve_flight_recorder_and_debug() {
+        match Args::parse(["serve", "--flight-recorder", "64"])
+            .unwrap()
+            .command
+        {
+            Command::Serve {
+                flight_recorder, ..
+            } => assert_eq!(flight_recorder, 64),
+            other => panic!("wrong command {other:?}"),
+        }
+        // default matches obs::recorder::DEFAULT_FLIGHT_CAPACITY
+        match Args::parse(["serve"]).unwrap().command {
+            Command::Serve {
+                flight_recorder, ..
+            } => assert_eq!(flight_recorder, 256),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(
+            Args::parse(["debug"]).unwrap().command,
+            Command::Debug {
+                addr: "127.0.0.1:4817".into(),
+                tenant: None,
+            }
+        );
+        assert_eq!(
+            Args::parse(["debug", "--addr", "10.0.0.1:9", "--tenant", "edge"])
+                .unwrap()
+                .command,
+            Command::Debug {
+                addr: "10.0.0.1:9".into(),
+                tenant: Some("edge".into()),
+            }
+        );
     }
 
     #[test]

@@ -138,7 +138,44 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
                 let _ = &handle;
             }
         }
+        Command::Debug { addr, tenant } => debug(addr, tenant.as_deref(), out),
     }
+}
+
+/// The `debug` subcommand: ask a running rapd for its live internals.
+///
+/// Connects to the daemon's NDJSON control port, sends a single
+/// `{"type":"debug"}` request (optionally scoped to one tenant), and
+/// prints the one-line JSON reply verbatim so it can be piped into `jq`.
+fn debug(addr: &str, tenant: Option<&str>, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use service::json::Json;
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut fields = vec![("type".to_string(), Json::str("debug"))];
+    if let Some(t) = tenant {
+        fields.push(("tenant".to_string(), Json::str(t)));
+    }
+    let request = Json::Obj(fields).render();
+
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::new(format!("cannot connect to rapd at {addr}: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| CliError::new(format!("cannot clone connection: {e}")))?;
+    writeln!(writer, "{request}").map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(io_err)?;
+    if reply.trim().is_empty() {
+        return Err(CliError::new(format!(
+            "rapd at {addr} closed the connection without replying"
+        )));
+    }
+    writeln!(out, "{}", reply.trim_end()).map_err(io_err)?;
+    Ok(())
 }
 
 /// Boot the rapd daemon from the `serve` flags and report its listeners.
@@ -171,6 +208,7 @@ pub(crate) fn serve_start(
         detect,
         detect_threshold,
         seasonal_period,
+        flight_recorder,
     } = command
     else {
         return Err(CliError::new("serve_start requires the serve command"));
@@ -192,6 +230,7 @@ pub(crate) fn serve_start(
         detect: *detect,
         detect_threshold: *detect_threshold,
         seasonal_period: *seasonal_period,
+        flight_recorder_capacity: *flight_recorder,
         pipeline: pipeline::PipelineConfig {
             history_len: *history,
             warmup: *warmup,
@@ -924,6 +963,37 @@ mod tests {
         assert!(text.contains("detect mode"), "got: {text}");
         assert!(text.contains("4.5σ"), "got: {text}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn debug_client_round_trips_against_live_daemon() {
+        let args = Args::parse([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics-listen",
+            "127.0.0.1:0",
+            "--shards",
+            "1",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        let handle = serve_start(&args.command, &mut out).unwrap();
+        let addr = handle.ingest_addr().to_string();
+
+        let reply = run_to_string(&["debug", "--addr", &addr]).unwrap();
+        assert!(reply.contains("\"type\":\"debug\""), "got: {reply}");
+        assert!(reply.contains("\"version\""), "got: {reply}");
+        assert!(reply.contains("\"queue_depths\""), "got: {reply}");
+
+        // tenant filter is accepted (no such tenant -> empty tenants array)
+        let scoped = run_to_string(&["debug", "--addr", &addr, "--tenant", "nope"]).unwrap();
+        assert!(scoped.contains("\"tenants\":[]"), "got: {scoped}");
+        handle.shutdown();
+
+        // a dead endpoint is a user-facing error, not a panic
+        let err = run_to_string(&["debug", "--addr", &addr]).expect_err("must fail");
+        assert!(err.to_string().contains("cannot connect"), "{err}");
     }
 
     #[test]

@@ -94,6 +94,17 @@ pub enum DetectorState {
     Triggered,
 }
 
+impl DetectorState {
+    /// The lowercase phase name used on the wire (rapd's `debug` verb).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DetectorState::Warmup => "warmup",
+            DetectorState::Steady => "steady",
+            DetectorState::Triggered => "triggered",
+        }
+    }
+}
+
 /// What one [`FrameDetector::observe`] call concluded.
 #[derive(Debug, Clone)]
 pub struct FrameDetection {

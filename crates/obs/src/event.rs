@@ -10,11 +10,15 @@
 //!
 //! ```json
 //! {"ts_micros":1234,"level":"info","target":"rapd.shard","msg":"incident",
-//!  "span":17,"trace":12,"fields":{"tenant":"edge","raps":2}}
+//!  "span":17,"trace":12,"frame":"edge-0000002a-1754700000123",
+//!  "fields":{"tenant":"edge","raps":2}}
 //! ```
 //!
 //! `span`/`trace` are present only when the emitting thread has an open
-//! span; `fields` only when the event carries fields.
+//! span; `frame` only inside a [`crate::frame::frame_scope`]; `fields`
+//! only when the event carries fields. When the emitting thread has a
+//! registered flight recorder ([`crate::recorder`]), the rendered line is
+//! also pushed into its ring — even with no global sink installed.
 
 use std::io::Write;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -91,6 +95,20 @@ pub fn sink_installed() -> bool {
     sink().lock().expect("event sink poisoned").is_some()
 }
 
+/// Whether an event at `level` would actually be delivered somewhere (a
+/// sink or this thread's flight recorder). Call-site guard for argument
+/// construction: building an event's fields often allocates
+/// (`to_string`, formatting), and that work is wasted when the event is
+/// level-filtered — on hot paths, gate on this instead of
+/// [`crate::enabled`] so a daemon running at the default `info` level
+/// pays nothing for its `debug` call sites.
+pub fn event_enabled(level: Level) -> bool {
+    !cfg!(feature = "off")
+        && crate::span::enabled()
+        && level >= min_level()
+        && (crate::recorder::active() || sink_installed())
+}
+
 /// Emit a structured event at `level` from `target` (a dotted component
 /// path, e.g. `"rapd.shard"`). Fields are `(key, value)` pairs rendered
 /// under `"fields"`. Dropped unless tracing is enabled, `level` clears the
@@ -99,13 +117,24 @@ pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
     if cfg!(feature = "off") || !crate::span::enabled() || level < min_level() {
         return;
     }
+    // Events reach the thread's flight ring even with no global sink, so
+    // blackbox dumps have context on quiet (non --log-json) daemons.
+    let recorder_active = crate::recorder::active();
     let mut guard = sink().lock().expect("event sink poisoned");
-    let Some(out) = guard.as_mut() else { return };
+    if guard.is_none() && !recorder_active {
+        return;
+    }
     let line = render_line(level, target, msg, fields);
-    // A broken sink (closed pipe) must never take down the caller.
-    let _ = out.write_all(line.as_bytes());
-    let _ = out.write_all(b"\n");
-    let _ = out.flush();
+    if let Some(out) = guard.as_mut() {
+        // A broken sink (closed pipe) must never take down the caller.
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+    drop(guard);
+    if recorder_active {
+        crate::recorder::record(&line);
+    }
 }
 
 fn render_line(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) -> String {
@@ -125,6 +154,10 @@ fn render_line(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) 
     if let Some(trace) = current_trace_id() {
         line.push_str(",\"trace\":");
         line.push_str(&trace.to_string());
+    }
+    if let Some(frame) = crate::frame::current_frame() {
+        line.push_str(",\"frame\":");
+        write_json_string(&frame, &mut line);
     }
     if !fields.is_empty() {
         line.push_str(",\"fields\":{");
@@ -231,6 +264,73 @@ mod tests {
         assert!(text.contains("kept"));
         remove_sink();
         set_min_level(Level::Info);
+    }
+
+    #[test]
+    fn event_enabled_mirrors_the_delivery_conditions() {
+        let _gate = lock();
+        crate::span::set_enabled(true);
+        remove_sink();
+        set_min_level(Level::Info);
+        // no sink, no recorder: nothing would be delivered
+        assert!(!event_enabled(Level::Info));
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        install_sink(Box::new(Capture(buf.clone())));
+        assert!(event_enabled(Level::Info));
+        // level-filtered call sites must not pay for argument construction
+        assert!(!event_enabled(Level::Debug));
+        set_min_level(Level::Debug);
+        assert!(event_enabled(Level::Debug));
+        set_min_level(Level::Info);
+        // tracing disabled wins over everything
+        crate::span::set_enabled(false);
+        assert!(!event_enabled(Level::Error));
+        crate::span::set_enabled(true);
+        remove_sink();
+        // a flight recorder alone is a delivery target
+        let rec = crate::recorder::register("event-enabled-test", 4);
+        assert!(event_enabled(Level::Info));
+        drop(rec);
+        assert!(!event_enabled(Level::Info));
+    }
+
+    #[test]
+    fn frame_context_is_stamped_on_lines() {
+        let _gate = lock();
+        crate::span::set_enabled(true);
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        install_sink(Box::new(Capture(buf.clone())));
+        let id = crate::frame::FrameId::mint("edge");
+        {
+            let _scope = crate::frame::frame_scope(&id);
+            info("t", "inside", &[]);
+        }
+        info("t", "outside", &[]);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let inside = text.lines().find(|l| l.contains("inside")).unwrap();
+        let outside = text.lines().find(|l| l.contains("outside")).unwrap();
+        assert!(
+            inside.contains(&format!("\"frame\":\"{}\"", id.as_str())),
+            "{inside}"
+        );
+        assert!(!outside.contains("\"frame\""), "{outside}");
+        remove_sink();
+    }
+
+    #[test]
+    fn events_reach_the_flight_recorder_without_a_sink() {
+        let _gate = lock();
+        crate::span::set_enabled(true);
+        remove_sink();
+        let _rec = crate::recorder::register("event-tee-test", 8);
+        warn("t", "recorded without sink", &[("k", Value::from(1u64))]);
+        let snap = crate::recorder::snapshot()
+            .into_iter()
+            .find(|s| s.name == "event-tee-test")
+            .expect("ring visible");
+        assert_eq!(snap.lines.len(), 1);
+        assert!(snap.lines[0].contains("recorded without sink"));
+        assert!(snap.lines[0].contains("\"level\":\"warn\""));
     }
 
     #[test]

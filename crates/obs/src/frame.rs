@@ -1,0 +1,161 @@
+//! End-to-end frame correlation: [`FrameId`] minting and a per-thread
+//! frame context.
+//!
+//! A `FrameId` is minted once per ingested frame — at rapd's `observe`
+//! verb — and threaded through admission, reordering, detection,
+//! localization, and every sink the frame can land in. The id renders as
+//! one greppable token (`tenant-seq-ingestmillis`), so a single grep over
+//! the span log, incident spool, quarantine spool, and blackbox dumps
+//! reconstructs the frame's whole life.
+//!
+//! Because frames hop threads (accept loop → shard worker), the id cannot
+//! ride the span stack alone. Instead a worker opens a [`frame_scope`]
+//! around each frame it processes; while the scope is open, every span
+//! and event emitted on that thread is stamped with the frame token
+//! automatically.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::span::micros_since_start;
+
+/// Process-wide monotonic frame sequence (starts at 1; 0 never minted).
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// The correlation identity of one ingested frame: tenant, a process-wide
+/// monotonic sequence number, and the ingest timestamp.
+///
+/// Clones are cheap (the rendered token is shared), so the id can be
+/// carried through queues and stamped on every record the frame touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameId {
+    token: Arc<str>,
+    seq: u64,
+    ingest_micros: u64,
+}
+
+impl FrameId {
+    /// Mint the next frame id for `tenant`. The token embeds the tenant,
+    /// the hex sequence number, and the wall-clock ingest time in unix
+    /// milliseconds; [`ingest_micros`](FrameId::ingest_micros) separately
+    /// captures the monotonic ingest instant for latency math.
+    pub fn mint(tenant: &str) -> FrameId {
+        let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+        let ingest_micros = micros_since_start();
+        let unix_millis = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let token = format!("{tenant}-{seq:08x}-{unix_millis}");
+        FrameId {
+            token: token.into(),
+            seq,
+            ingest_micros,
+        }
+    }
+
+    /// The greppable token, e.g. `edge-0000002a-1754700000123`.
+    pub fn as_str(&self) -> &str {
+        &self.token
+    }
+
+    /// The token as a cheaply clonable shared string.
+    pub fn token(&self) -> Arc<str> {
+        Arc::clone(&self.token)
+    }
+
+    /// The process-wide monotonic sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Monotonic ingest instant in microseconds since the process epoch
+    /// (the clock [`micros_since_start`] counts on).
+    pub fn ingest_micros(&self) -> u64 {
+        self.ingest_micros
+    }
+
+    /// Seconds elapsed since this frame was minted — the end-to-end
+    /// ingest→now latency.
+    pub fn elapsed_seconds(&self) -> f64 {
+        micros_since_start().saturating_sub(self.ingest_micros) as f64 / 1e6
+    }
+}
+
+thread_local! {
+    /// The stack of frame tokens open on this thread (scopes may nest).
+    static CURRENT: RefCell<Vec<Arc<str>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard holding a frame context open on this thread; spans and
+/// events emitted while it lives carry the frame token. Dropping the
+/// guard restores the previous context. Not `Send`: the context is
+/// thread-local.
+#[must_use = "dropping the scope immediately clears the frame context"]
+pub struct FrameScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Open a frame context for `id` on the current thread.
+pub fn frame_scope(id: &FrameId) -> FrameScope {
+    CURRENT.with(|c| c.borrow_mut().push(id.token()));
+    FrameScope {
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for FrameScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// The innermost frame token open on this thread, if any.
+pub fn current_frame() -> Option<Arc<str>> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_unique_and_monotonic() {
+        let a = FrameId::mint("edge");
+        let b = FrameId::mint("edge");
+        assert!(b.seq() > a.seq());
+        assert_ne!(a.as_str(), b.as_str());
+        assert!(a.as_str().starts_with("edge-"));
+        assert!(b.ingest_micros() >= a.ingest_micros());
+    }
+
+    #[test]
+    fn scope_sets_and_restores_the_context() {
+        assert_eq!(current_frame(), None);
+        let outer = FrameId::mint("t");
+        {
+            let _s = frame_scope(&outer);
+            assert_eq!(current_frame().as_deref(), Some(outer.as_str()));
+            let inner = FrameId::mint("t");
+            {
+                let _i = frame_scope(&inner);
+                assert_eq!(current_frame().as_deref(), Some(inner.as_str()));
+            }
+            assert_eq!(current_frame().as_deref(), Some(outer.as_str()));
+        }
+        assert_eq!(current_frame(), None);
+    }
+
+    #[test]
+    fn elapsed_counts_forward() {
+        let id = FrameId::mint("t");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(id.elapsed_seconds() > 0.0);
+        assert!(id.elapsed_seconds() < 60.0);
+    }
+}

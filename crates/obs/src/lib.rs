@@ -12,7 +12,17 @@
 //!   emitting thread's current span/trace ids so logs correlate with
 //!   spans.
 //!
-//! A third, test-only primitive rides along: **failpoints** ([`fail`]) —
+//! Two correlation layers ride on top:
+//!
+//! - **Frame ids** ([`frame`]): a [`FrameId`] minted per ingested frame
+//!   and held open via a thread-local [`frame::frame_scope`]; spans and
+//!   events emitted inside the scope carry the frame token, so one grep
+//!   ties every sink's records for a frame together.
+//! - **Flight recorder** ([`recorder`]): per-worker bounded rings of
+//!   recently rendered span/event lines, snapshotted into post-mortem
+//!   blackbox dumps.
+//!
+//! A test-only primitive rides along too: **failpoints** ([`fail`]) —
 //! named fault-injection sites compiled to no-ops unless the `fail` cargo
 //! feature is on. They live here because this crate sits at the bottom of
 //! the dependency stack, so any layer (search, pipeline, daemon) can host
@@ -30,13 +40,16 @@
 
 mod event;
 pub mod fail;
+pub mod frame;
+pub mod recorder;
 mod span;
 mod value;
 
 pub use event::{
-    debug, error, event, info, install_sink, min_level, remove_sink, set_min_level, sink_installed,
-    warn, Level,
+    debug, error, event, event_enabled, info, install_sink, min_level, remove_sink, set_min_level,
+    sink_installed, warn, Level,
 };
+pub use frame::FrameId;
 pub use span::{
     clear_spans, current_span_id, current_trace_id, enabled, micros_since_start, recent_spans,
     set_enabled, set_ring_capacity, span, SpanGuard, SpanRecord, DEFAULT_RING_CAPACITY,

@@ -1,0 +1,315 @@
+//! Flight recorder: per-worker rings of recent spans and events,
+//! snapshotted into post-mortem "blackbox" dumps.
+//!
+//! A worker thread calls [`register`] once at startup; from then on every
+//! span it closes and every event it emits is also pushed into that
+//! worker's private ring. Spans are stored as cheap [`SpanRecord`] clones
+//! and only rendered to JSON lines when a [`snapshot`] is taken — dumps
+//! are rare and rendering on the hot path would dominate the recorder's
+//! cost. The ring is bounded (oldest entry evicted) and single-writer:
+//! only the owning thread pushes, so the mutex around it is
+//! contention-free in normal operation and is only ever contested by a
+//! [`snapshot`] taken at dump time.
+//!
+//! The registry of live rings is process-global; [`snapshot`] collects
+//! every worker's recent lines in one call, which is what rapd's blackbox
+//! dump writes next to the incident spool when a pipeline panics, a
+//! deadline is exceeded, or a circuit breaker opens.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
+
+use crate::span::SpanRecord;
+
+/// Default number of lines each worker ring retains.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// One ring entry: events arrive pre-rendered (their line already exists
+/// for the sink), spans are kept structured and rendered only at
+/// snapshot time.
+enum Entry {
+    Rendered(String),
+    Span(SpanRecord),
+}
+
+impl Entry {
+    fn render(&self) -> String {
+        match self {
+            Entry::Rendered(line) => line.clone(),
+            Entry::Span(record) => record.render_line(),
+        }
+    }
+}
+
+struct Ring {
+    name: String,
+    lines: VecDeque<Entry>,
+    capacity: usize,
+    /// Entries pushed over the ring's lifetime.
+    recorded: u64,
+    /// Entries evicted to make room (recorded − retained).
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, entry: Entry) {
+        self.recorded += 1;
+        if self.lines.len() == self.capacity {
+            self.lines.pop_front();
+            self.dropped += 1;
+        }
+        self.lines.push_back(entry);
+    }
+
+    /// Span fast path: at capacity the evicted slot's allocations (the
+    /// fields `Vec`, any `String` values) are recycled via `clone_from`,
+    /// so a full ring in steady state records spans without touching the
+    /// allocator — this sits on every traced span's close path.
+    fn push_span(&mut self, record: &SpanRecord) {
+        self.recorded += 1;
+        if self.lines.len() == self.capacity {
+            self.dropped += 1;
+            if let Some(mut slot) = self.lines.pop_front() {
+                match &mut slot {
+                    Entry::Span(old) => old.clone_from_record(record),
+                    other => *other = Entry::Span(record.clone()),
+                }
+                self.lines.push_back(slot);
+                return;
+            }
+        }
+        self.lines.push_back(Entry::Span(record.clone()));
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Weak<Mutex<Ring>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Weak<Mutex<Ring>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lock_ring(ring: &Mutex<Ring>) -> std::sync::MutexGuard<'_, Ring> {
+    // a panicking owner may poison its ring; the data is still a
+    // consistent VecDeque, and post-mortem capture is exactly when we
+    // must still read it
+    ring.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Mutex<Ring>>>> = const { RefCell::new(None) };
+}
+
+/// RAII handle on this thread's flight ring; dropping it deregisters the
+/// thread (the ring disappears from future snapshots). Not `Send`: the
+/// recorder belongs to the thread that registered it.
+#[must_use = "dropping the recorder immediately deregisters the thread"]
+pub struct Recorder {
+    ring: Arc<Mutex<Ring>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Register the current thread as a flight-recorded worker under `name`,
+/// keeping at most `capacity` recent lines (clamped to ≥ 1). Replaces any
+/// recorder previously registered on this thread.
+pub fn register(name: &str, capacity: usize) -> Recorder {
+    let ring = Arc::new(Mutex::new(Ring {
+        name: name.to_string(),
+        lines: VecDeque::with_capacity(capacity.max(1)),
+        capacity: capacity.max(1),
+        recorded: 0,
+        dropped: 0,
+    }));
+    {
+        let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(&ring));
+    }
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&ring)));
+    Recorder {
+        ring,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            let mut current = c.borrow_mut();
+            if current.as_ref().is_some_and(|r| Arc::ptr_eq(r, &self.ring)) {
+                *current = None;
+            }
+        });
+        registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|w| w.upgrade().is_some_and(|r| !Arc::ptr_eq(&r, &self.ring)));
+    }
+}
+
+/// Whether the current thread has a registered flight recorder. Cheap
+/// (one thread-local read) — spans/events check this before paying the
+/// render-and-copy cost.
+pub(crate) fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Push one already-rendered line into the current thread's ring, if the
+/// thread is registered. No-op otherwise.
+pub(crate) fn record(line: &str) {
+    CURRENT.with(|c| {
+        if let Some(ring) = c.borrow().as_ref() {
+            lock_ring(ring).push(Entry::Rendered(line.to_string()));
+        }
+    });
+}
+
+/// Push one completed span into the current thread's ring; no-op when
+/// the thread is unregistered (one thread-local read). The record is
+/// cloned, not rendered — rendering waits for [`snapshot`], keeping the
+/// span-close hot path cheap.
+pub(crate) fn record_span(record: &SpanRecord) {
+    CURRENT.with(|c| {
+        if let Some(ring) = c.borrow().as_ref() {
+            lock_ring(ring).push_span(record);
+        }
+    });
+}
+
+/// One worker ring's contents at snapshot time.
+#[derive(Debug, Clone)]
+pub struct FlightSnapshot {
+    /// The name the worker registered under (e.g. `shard-2`).
+    pub name: String,
+    /// Lines pushed over the ring's lifetime.
+    pub recorded: u64,
+    /// Lines evicted because the ring was full.
+    pub dropped: u64,
+    /// The retained lines, oldest first.
+    pub lines: Vec<String>,
+}
+
+/// Capture every live worker ring — the blackbox dump's raw material.
+/// Rings are locked one at a time, briefly; workers keep recording.
+pub fn snapshot() -> Vec<FlightSnapshot> {
+    let rings: Vec<Arc<Mutex<Ring>>> = {
+        let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.iter().filter_map(Weak::upgrade).collect()
+    };
+    rings
+        .iter()
+        .map(|ring| {
+            let ring = lock_ring(ring);
+            FlightSnapshot {
+                name: ring.name.clone(),
+                recorded: ring.recorded,
+                dropped: ring.dropped,
+                lines: ring.lines.iter().map(Entry::render).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Per-ring occupancy stats without copying the lines: `(name, buffered,
+/// recorded, dropped)` for every live ring. Serves the `debug` verb.
+pub fn stats() -> Vec<(String, usize, u64, u64)> {
+    let rings: Vec<Arc<Mutex<Ring>>> = {
+        let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        reg.iter().filter_map(Weak::upgrade).collect()
+    };
+    rings
+        .iter()
+        .map(|ring| {
+            let ring = lock_ring(ring);
+            (
+                ring.name.clone(),
+                ring.lines.len(),
+                ring.recorded,
+                ring.dropped,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded() {
+        let rec = register("bounded-test", 4);
+        for i in 0..1000 {
+            record(&format!("line-{i}"));
+        }
+        let snap = snapshot()
+            .into_iter()
+            .find(|s| s.name == "bounded-test")
+            .expect("registered ring visible");
+        assert_eq!(snap.lines.len(), 4, "ring stays at capacity");
+        assert_eq!(snap.recorded, 1000);
+        assert_eq!(snap.dropped, 996);
+        assert_eq!(
+            snap.lines,
+            vec!["line-996", "line-997", "line-998", "line-999"]
+        );
+        drop(rec);
+    }
+
+    #[test]
+    fn deregistration_removes_the_ring() {
+        {
+            let _rec = register("ephemeral-test", 8);
+            record("hello");
+            assert!(active());
+            assert!(snapshot().iter().any(|s| s.name == "ephemeral-test"));
+        }
+        assert!(!active());
+        assert!(!snapshot().iter().any(|s| s.name == "ephemeral-test"));
+        // records after deregistration are dropped silently
+        record("nobody listening");
+    }
+
+    #[test]
+    fn unregistered_threads_record_nothing() {
+        let handle = std::thread::spawn(|| {
+            assert!(!active());
+            record("dropped");
+        });
+        handle.join().expect("thread ok");
+    }
+
+    #[test]
+    fn snapshot_sees_other_threads_rings() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            let _rec = register("cross-thread-test", 16);
+            record("from the worker");
+            tx.send(()).expect("main alive");
+            done_rx.recv().expect("main signals done");
+        });
+        rx.recv().expect("worker registered");
+        let snap = snapshot()
+            .into_iter()
+            .find(|s| s.name == "cross-thread-test")
+            .expect("worker ring visible from another thread");
+        assert_eq!(snap.lines, vec!["from the worker"]);
+        done_tx.send(()).expect("worker alive");
+        handle.join().expect("worker ok");
+    }
+
+    #[test]
+    fn stats_match_snapshot() {
+        let _rec = register("stats-test", 2);
+        record("a");
+        record("b");
+        record("c");
+        let stats = stats()
+            .into_iter()
+            .find(|(name, ..)| name == "stats-test")
+            .expect("ring listed");
+        assert_eq!(stats.1, 2, "buffered");
+        assert_eq!(stats.2, 3, "recorded");
+        assert_eq!(stats.3, 1, "dropped");
+    }
+}

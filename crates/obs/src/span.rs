@@ -15,13 +15,19 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::value::Value;
+use crate::value::{write_json_string, Value};
 
-/// Default number of completed spans retained in the ring.
-pub const DEFAULT_RING_CAPACITY: usize = 1024;
+/// Default number of completed spans retained in the ring. Kept modest
+/// on purpose: every retained record pins a fields `Vec` (and any string
+/// values) on the heap, and a large ring measurably degrades the
+/// traced workload's own allocation locality — evicted blocks go cold
+/// before the allocator reuses them. 256 matches the flight recorder's
+/// per-worker depth and keeps steady-state tracing overhead ~1% on the
+/// localization hot path (see the `obs_overhead` smoke test).
+pub const DEFAULT_RING_CAPACITY: usize = 256;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -54,12 +60,68 @@ pub struct SpanRecord {
     pub elapsed_micros: u64,
     /// Structured fields recorded while the span was open.
     pub fields: Vec<(&'static str, Value)>,
+    /// The frame-correlation token open on the thread when the span was
+    /// opened (see [`crate::frame`]); `None` outside a frame scope.
+    pub frame: Option<Arc<str>>,
 }
 
 impl SpanRecord {
     /// Look up a recorded field by key.
     pub fn field(&self, key: &str) -> Option<&Value> {
         self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Assign `source` into `self`, reusing `self`'s existing heap
+    /// allocations (the fields `Vec`, the frame `Arc`) where possible.
+    /// The flight recorder's steady-state eviction path: a full ring
+    /// records spans without growing the allocator's working set.
+    pub(crate) fn clone_from_record(&mut self, source: &SpanRecord) {
+        self.id = source.id;
+        self.parent = source.parent;
+        self.trace = source.trace;
+        self.name = source.name;
+        self.start_micros = source.start_micros;
+        self.elapsed_micros = source.elapsed_micros;
+        self.fields.clone_from(&source.fields);
+        self.frame.clone_from(&source.frame);
+    }
+
+    /// Render this span as one JSON line (the flight recorder's and the
+    /// blackbox dump's span encoding).
+    pub fn render_line(&self) -> String {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"kind\":\"span\",\"name\":");
+        write_json_string(self.name, &mut line);
+        line.push_str(",\"id\":");
+        line.push_str(&self.id.to_string());
+        if let Some(parent) = self.parent {
+            line.push_str(",\"parent\":");
+            line.push_str(&parent.to_string());
+        }
+        line.push_str(",\"trace\":");
+        line.push_str(&self.trace.to_string());
+        if let Some(frame) = &self.frame {
+            line.push_str(",\"frame\":");
+            write_json_string(frame, &mut line);
+        }
+        line.push_str(",\"start_micros\":");
+        line.push_str(&self.start_micros.to_string());
+        line.push_str(",\"elapsed_micros\":");
+        line.push_str(&self.elapsed_micros.to_string());
+        if !self.fields.is_empty() {
+            line.push_str(",\"fields\":{");
+            for (i, (key, value)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                write_json_string(key, &mut line);
+                line.push(':');
+                value.write_json(&mut line);
+            }
+            line.push('}');
+        }
+        line.push('}');
+        line
     }
 }
 
@@ -71,6 +133,7 @@ struct ActiveSpan {
     start: Instant,
     start_micros: u64,
     fields: Vec<(&'static str, Value)>,
+    frame: Option<Arc<str>>,
 }
 
 thread_local! {
@@ -168,6 +231,7 @@ pub fn span(name: &'static str) -> SpanGuard {
             start: Instant::now(),
             start_micros,
             fields: Vec::new(),
+            frame: crate::frame::current_frame(),
         });
     });
     SpanGuard {
@@ -216,9 +280,14 @@ impl Drop for SpanGuard {
                 start_micros: active.start_micros,
                 elapsed_micros: active.start.elapsed().as_micros() as u64,
                 fields: active.fields,
+                frame: active.frame,
             })
         });
         if let Some(record) = record {
+            // tee into this thread's flight ring before the global ring
+            // takes ownership; the clone is cheap and rendering waits
+            // until a blackbox snapshot actually needs the JSON line
+            crate::recorder::record_span(&record);
             let mut ring = ring().lock().expect("span ring poisoned");
             if ring.buf.len() == ring.capacity {
                 ring.buf.pop_front();
@@ -297,6 +366,34 @@ mod tests {
         }
         assert!(recent_spans(10).is_empty());
         set_enabled(true);
+    }
+
+    #[test]
+    fn spans_carry_the_open_frame_context() {
+        let _gate = lock();
+        clear_spans();
+        set_enabled(true);
+        let id = crate::frame::FrameId::mint("edge");
+        {
+            let _scope = crate::frame::frame_scope(&id);
+            let s = span("framed");
+            s.record("n", 1usize);
+        }
+        {
+            let _s = span("unframed");
+        }
+        let spans = recent_spans(2);
+        assert_eq!(spans[0].name, "unframed");
+        assert_eq!(spans[0].frame, None);
+        assert_eq!(spans[1].name, "framed");
+        assert_eq!(spans[1].frame.as_deref(), Some(id.as_str()));
+        let line = spans[1].render_line();
+        assert!(line.contains("\"kind\":\"span\""), "{line}");
+        assert!(
+            line.contains(&format!("\"frame\":\"{}\"", id.as_str())),
+            "{line}"
+        );
+        assert!(line.contains("\"fields\":{\"n\":1}"), "{line}");
     }
 
     #[test]

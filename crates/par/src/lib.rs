@@ -39,7 +39,55 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// [`Pool::map`] calls over the process lifetime.
+static MAPS: AtomicU64 = AtomicU64::new(0);
+/// Maps that actually spawned workers (vs. running inline).
+static PARALLEL_MAPS: AtomicU64 = AtomicU64::new(0);
+/// Items mapped over the process lifetime.
+static ITEMS: AtomicU64 = AtomicU64::new(0);
+/// Successful work steals over the process lifetime.
+static STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide pool utilization counters, serving rapd's
+/// `debug` introspection verb. Diagnostics only — never part of any map's
+/// output, so determinism across thread counts is unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total [`Pool::map`] calls.
+    pub maps: u64,
+    /// Maps that spawned scoped workers (the rest ran inline).
+    pub parallel_maps: u64,
+    /// Total items mapped.
+    pub items: u64,
+    /// Successful steals (a worker drained its range and took half of the
+    /// largest victim's). High steal counts mean skewed item costs.
+    pub steals: u64,
+}
+
+impl PoolStats {
+    /// Fraction of maps that went parallel, in `[0, 1]` (`0.0` before any
+    /// map has run).
+    pub fn parallel_fraction(&self) -> f64 {
+        if self.maps == 0 {
+            0.0
+        } else {
+            self.parallel_maps as f64 / self.maps as f64
+        }
+    }
+}
+
+/// Snapshot the process-wide [`PoolStats`] counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        maps: MAPS.load(Ordering::Relaxed),
+        parallel_maps: PARALLEL_MAPS.load(Ordering::Relaxed),
+        items: ITEMS.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+    }
+}
 
 /// A fixed-width scoped thread pool. Cheap to construct (it holds only the
 /// thread count); threads are spawned per [`Pool::map`] call inside a
@@ -97,9 +145,12 @@ impl Pool {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
+        MAPS.fetch_add(1, Ordering::Relaxed);
+        ITEMS.fetch_add(n as u64, Ordering::Relaxed);
         if self.threads <= 1 || n <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
+        PARALLEL_MAPS.fetch_add(1, Ordering::Relaxed);
         let workers = self.threads.min(n);
         // Contiguous starting ranges, one per worker, sized within one of
         // each other; stealing rebalances whatever the split gets wrong.
@@ -207,6 +258,7 @@ fn steal_into(w: usize, ranges: &[Mutex<(usize, usize)>]) -> bool {
         stolen
     };
     *lock(&ranges[w]) = stolen;
+    STEALS.fetch_add(1, Ordering::Relaxed);
     true
 }
 
@@ -290,6 +342,19 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn stats_count_maps_and_items() {
+        let before = pool_stats();
+        let items: Vec<u64> = (0..100).collect();
+        Pool::serial().map(&items, |_, &x| x);
+        Pool::new(4).map(&items, |_, &x| x);
+        let after = pool_stats();
+        assert!(after.maps >= before.maps + 2);
+        assert!(after.parallel_maps > before.parallel_maps);
+        assert!(after.items >= before.items + 200);
+        assert!(after.parallel_fraction() > 0.0);
     }
 
     #[test]

@@ -229,6 +229,7 @@ impl<L: Localizer> DetectingPipeline<L> {
             degraded_forecast: false,
             severity,
             detection: summary,
+            frame_id: None,
         })
     }
 }

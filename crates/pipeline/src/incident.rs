@@ -59,6 +59,11 @@ pub struct IncidentReport {
     /// Streaming-detection evidence: aggregate score and per-leaf
     /// σ-scores. `None` for externally alarmed incidents.
     pub detection: Option<DetectionSummary>,
+    /// Correlation token of the ingested frame that triggered this
+    /// incident (rapd stamps it; `None` for library-driven runs). The same
+    /// token appears on the frame's spans, events, quarantine records, and
+    /// blackbox dumps, so one grep reconstructs the frame's whole life.
+    pub frame_id: Option<String>,
 }
 
 /// The detection evidence behind a self-triggered incident.
@@ -126,6 +131,7 @@ mod tests {
             degraded_forecast: false,
             severity: Some(Severity::High),
             detection: None,
+            frame_id: None,
         };
         let s = report.summary();
         assert!(s.contains("step 42"));
@@ -151,6 +157,7 @@ mod tests {
             degraded_forecast: true,
             severity: None,
             detection: None,
+            frame_id: None,
         };
         let s = report.summary();
         assert!(s.contains("<no pattern>"));

@@ -455,6 +455,7 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
             degraded_forecast,
             severity: None,
             detection: None,
+            frame_id: None,
         })
     }
 }

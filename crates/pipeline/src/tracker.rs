@@ -159,6 +159,7 @@ mod tests {
             degraded_forecast: false,
             severity: None,
             detection: None,
+            frame_id: None,
         }
     }
 

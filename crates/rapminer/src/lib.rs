@@ -65,7 +65,7 @@ mod trace;
 pub use config::Config;
 pub use cp::{classification_power, delete_redundant_attributes, DeletionOutcome};
 pub use error::Error;
-pub use search::{rap_score, MinedRap, SearchStats};
+pub use search::{memo_stats, rap_score, MemoStats, MinedRap, SearchStats};
 pub use trace::{AttrPower, CandidateTrace, LayerTrace, LocalizationTrace, TraceDetection};
 
 use mdkpi::{LeafFrame, LeafIndex};

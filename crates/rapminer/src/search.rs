@@ -1,9 +1,52 @@
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mdkpi::{AttrId, Bitset, Combination, Cuboid, CuboidLattice, ElementId, LeafFrame, LeafIndex};
 
 use crate::config::Config;
 use crate::trace::{CandidateTrace, LayerTrace, LocalizationTrace};
+
+/// Combinations whose support came from the support-count memo (a parent
+/// bitset ANDed with one posting — layers ≥ 2). Process-wide, cumulative.
+static MEMO_SERVED: AtomicU64 = AtomicU64::new(0);
+/// Combinations whose support was read from scratch off the index postings
+/// (layer 1, where no memo exists yet). Process-wide, cumulative.
+static MEMO_SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide support-count memo counters, serving rapd's
+/// `debug` introspection verb.
+///
+/// These are diagnostics only: they are **never** part of localization
+/// output or [`SearchStats`], so the byte-identical determinism guarantee
+/// across thread counts is unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Combinations evaluated via the memo (one bitset AND per child).
+    pub served: u64,
+    /// Combinations evaluated from scratch (layer-1 posting scans).
+    pub scratch: u64,
+}
+
+impl MemoStats {
+    /// Fraction of evaluated combinations the memo served, in `[0, 1]`
+    /// (`0.0` before any search has run).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.served + self.scratch;
+        if total == 0 {
+            0.0
+        } else {
+            self.served as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot the process-wide [`MemoStats`] counters.
+pub fn memo_stats() -> MemoStats {
+    MemoStats {
+        served: MEMO_SERVED.load(Ordering::Relaxed),
+        scratch: MEMO_SCRATCH.load(Ordering::Relaxed),
+    }
+}
 
 /// One mined root anomaly pattern with its ranking metrics.
 #[derive(Debug, Clone, PartialEq)]
@@ -335,7 +378,7 @@ pub(crate) fn top_down_search(
                         Some(r) => covered.union_with(r),
                         None => covered.union_with(&index.rows_matching(&ac)),
                     }
-                    if obs::enabled() {
+                    if obs::event_enabled(obs::Level::Debug) {
                         obs::debug(
                             "rapminer.search",
                             "candidate",
@@ -383,6 +426,13 @@ pub(crate) fn top_down_search(
             combos: stats.combos_visited - at_entry.combos_visited,
             candidates: stats.candidates_found - at_entry.candidates_found,
         };
+        // Memo accounting: layer 1 enumerates from postings, deeper layers
+        // from memoized parent bitsets. Side channel only — see MemoStats.
+        if layer == 1 {
+            MEMO_SCRATCH.fetch_add(in_layer.combos as u64, Ordering::Relaxed);
+        } else {
+            MEMO_SERVED.fetch_add(in_layer.combos as u64, Ordering::Relaxed);
+        }
         layer_span.record("cuboids", in_layer.cuboids);
         layer_span.record("combos", in_layer.combos);
         layer_span.record("candidates", in_layer.candidates);

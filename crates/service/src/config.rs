@@ -66,6 +66,10 @@ pub struct ServiceConfig {
     /// Seasonal period (in frames) of the detector's Holt-Winters
     /// forecaster; `0` selects the EWMA-only forecaster.
     pub seasonal_period: usize,
+    /// Span/event lines each shard worker's flight recorder retains for
+    /// post-mortem blackbox dumps (panic, deadline overrun, breaker open).
+    /// `0` disables the recorder entirely — legal, not a misconfiguration.
+    pub flight_recorder_capacity: usize,
     /// Streaming-pipeline tunables applied to every tenant.
     pub pipeline: PipelineConfig,
 }
@@ -90,6 +94,7 @@ impl Default for ServiceConfig {
             detect: false,
             detect_threshold: 4.0,
             seasonal_period: 0,
+            flight_recorder_capacity: obs::recorder::DEFAULT_FLIGHT_CAPACITY,
             pipeline: PipelineConfig::default(),
         }
     }
@@ -198,6 +203,16 @@ mod tests {
         let cfg = ServiceConfig {
             schema_drift_limit: 0,
             max_lateness: Duration::ZERO,
+            ..ServiceConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_flight_recorder_capacity_is_legal() {
+        // 0 = flight recorder off, a deliberate operator choice
+        let cfg = ServiceConfig {
+            flight_recorder_capacity: 0,
             ..ServiceConfig::default()
         };
         assert_eq!(cfg.validate(), Ok(()));

@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub(crate) mod admission;
+pub mod blackbox;
 pub mod config;
 pub mod http;
 pub mod json;
@@ -88,6 +89,7 @@ use std::sync::Arc;
 use baselines::{Localizer, RapMinerLocalizer};
 use rapminer::Config as RapMinerConfig;
 
+pub use blackbox::{read_dump, BlackboxDump, BlackboxRing, BlackboxWriter};
 pub use config::{ServiceConfig, ServiceConfigError};
 pub use metrics::Metrics;
 pub use proto::{ProtoError, Request};

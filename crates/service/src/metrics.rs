@@ -207,6 +207,47 @@ impl QuarantineCounters {
     }
 }
 
+/// Flight-recorder blackbox dumps written, by trigger — exported as one
+/// `rapd_blackbox_dumps_total` family with a fixed `trigger` label set
+/// (`panic`/`deadline`/`breaker_open`; cardinality never grows).
+#[derive(Debug, Default)]
+pub struct BlackboxCounters {
+    /// A tenant pipeline panicked inside a shard worker.
+    pub panic: AtomicU64,
+    /// A localization hit the configured deadline.
+    pub deadline: AtomicU64,
+    /// A tenant circuit breaker opened.
+    pub breaker_open: AtomicU64,
+}
+
+impl BlackboxCounters {
+    /// `(trigger-label, counter)` pairs in export order.
+    pub fn named(&self) -> [(&'static str, &AtomicU64); 3] {
+        [
+            ("panic", &self.panic),
+            ("deadline", &self.deadline),
+            ("breaker_open", &self.breaker_open),
+        ]
+    }
+
+    /// The counter for one trigger label; `None` for unknown labels
+    /// (callers must not mint new label values).
+    pub fn for_label(&self, trigger: &str) -> Option<&AtomicU64> {
+        self.named()
+            .into_iter()
+            .find(|(label, _)| *label == trigger)
+            .map(|(_, c)| c)
+    }
+
+    /// Sum across all triggers.
+    pub fn total(&self) -> u64 {
+        self.named()
+            .iter()
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
 /// Leaf rows repaired in place during admission, by reason — exported as
 /// one `rapd_leaves_repaired_total` family with a `reason` label.
 #[derive(Debug, Default)]
@@ -276,6 +317,12 @@ pub struct Metrics {
     pub quarantine_degraded: AtomicU64,
     /// Latency of observe calls that triggered localization.
     pub localization: Histogram,
+    /// Ingest→incident latency: from the frame's correlation-ID mint at
+    /// the observe verb to its incident record hitting the sink, computed
+    /// from the [`obs::FrameId`] ingest timestamp.
+    pub e2e: Histogram,
+    /// Flight-recorder blackbox dumps written, by trigger.
+    pub blackbox_dumps: BlackboxCounters,
     /// Per-stage timings of each triggered localization.
     pub stages: StageHistograms,
     /// Self-triggered detections, by severity tier (detect mode).
@@ -304,6 +351,8 @@ impl Metrics {
             quarantine_write_errors: AtomicU64::new(0),
             quarantine_degraded: AtomicU64::new(0),
             localization: Histogram::default(),
+            e2e: Histogram::default(),
+            blackbox_dumps: BlackboxCounters::default(),
             stages: StageHistograms::default(),
             detections: DetectionCounters::default(),
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
@@ -365,6 +414,17 @@ impl Metrics {
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
             ));
         };
+        out.push_str(
+            "# HELP rapd_build_info Build metadata; the value is always 1.\n\
+             # TYPE rapd_build_info gauge\n",
+        );
+        out.push_str(&format!(
+            "rapd_build_info{} 1\n",
+            label_set(
+                &[("version", build_version()), ("commit", build_commit())],
+                None
+            )
+        ));
         counter(
             &mut out,
             "rapd_frames_ingested_total",
@@ -533,6 +593,12 @@ impl Metrics {
         );
 
         out.push_str(
+            "# HELP rapd_e2e_seconds Ingest-to-incident latency measured from the frame's correlation ID.\n",
+        );
+        out.push_str("# TYPE rapd_e2e_seconds histogram\n");
+        render_histogram(&mut out, "rapd_e2e_seconds", &[], &self.e2e);
+
+        out.push_str(
             "# HELP rapd_stage_seconds Per-stage timing of each triggered localization.\n",
         );
         out.push_str("# TYPE rapd_stage_seconds histogram\n");
@@ -553,8 +619,30 @@ impl Metrics {
                 c.load(Ordering::Relaxed)
             ));
         }
+        out.push_str(
+            "# HELP rapd_blackbox_dumps_total Flight-recorder blackbox dumps written, by trigger.\n",
+        );
+        out.push_str("# TYPE rapd_blackbox_dumps_total counter\n");
+        for (trigger, c) in self.blackbox_dumps.named() {
+            out.push_str(&format!(
+                "rapd_blackbox_dumps_total{{trigger=\"{trigger}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
         out
     }
+}
+
+/// The crate version exported in `rapd_build_info` and the `stats` and
+/// `debug` control replies.
+pub fn build_version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// The source commit baked in at compile time via the `RAPD_BUILD_COMMIT`
+/// environment variable; `"unknown"` for builds outside CI.
+pub fn build_commit() -> &'static str {
+    option_env!("RAPD_BUILD_COMMIT").unwrap_or("unknown")
 }
 
 /// Escape a label value per the Prometheus text exposition format:
@@ -615,10 +703,102 @@ fn render_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &H
     ));
 }
 
+/// A minimal Prometheus text-format 0.0.4 linter, shared by this crate's
+/// unit tests, the integration tests, and CI's live-scrape gate, so every
+/// rendered exposition goes through the same line validator.
+pub mod lint {
+    /// Validate a full exposition: every non-comment line must be
+    /// `name[{label="value",...}] value` with a parseable numeric value,
+    /// properly quoted label values, and legal metric/label names.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed line, with what is wrong with it.
+    pub fn validate_exposition(text: &str) -> Result<(), String> {
+        for line in text.lines() {
+            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+                continue;
+            }
+            if line.starts_with('#') {
+                return Err(format!("unknown comment form: {line}"));
+            }
+            let (series, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line needs a value: {line}"))?;
+            if value.parse::<f64>().is_err() {
+                return Err(format!("unparseable value in: {line}"));
+            }
+            let name = match series.split_once('{') {
+                None => series,
+                Some((name, rest)) => {
+                    let body = rest
+                        .strip_suffix('}')
+                        .ok_or_else(|| format!("unterminated label set: {line}"))?;
+                    for pair in split_label_pairs(body) {
+                        let (k, v) = pair
+                            .split_once('=')
+                            .ok_or_else(|| format!("label needs = in: {line}"))?;
+                        if !k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                            return Err(format!("bad label name {k} in: {line}"));
+                        }
+                        if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                            return Err(format!("unquoted label value {v} in: {line}"));
+                        }
+                    }
+                    name
+                }
+            };
+            if !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            {
+                return Err(format!("bad metric name in: {line}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Split `a="x",b="y"` on commas outside quotes (escaped quotes count
+    /// as inside).
+    pub fn split_label_pairs(body: &str) -> Vec<String> {
+        let mut pairs = Vec::new();
+        let mut cur = String::new();
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for c in body.chars() {
+            if escaped {
+                cur.push(c);
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_quotes => {
+                    cur.push(c);
+                    escaped = true;
+                }
+                '"' => {
+                    cur.push(c);
+                    in_quotes = !in_quotes;
+                }
+                ',' if !in_quotes => pairs.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            pairs.push(cur);
+        }
+        pairs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    fn validate_exposition(text: &str) {
+        lint::validate_exposition(text).expect("exposition must lint clean");
+    }
 
     #[test]
     fn observe_touches_exactly_one_bucket() {
@@ -702,75 +882,6 @@ mod tests {
         let rendered = label_set(&[("tenant", "we\"ird\\\n")], Some("0.5"));
         assert_eq!(rendered, "{tenant=\"we\\\"ird\\\\\\n\",le=\"0.5\"}");
         assert!(!rendered.contains('\n'), "newlines would break the format");
-    }
-
-    /// A minimal Prometheus text-format 0.0.4 line validator: every
-    /// non-comment line must be `name[{label="value",...}] value` with a
-    /// parseable numeric value and properly quoted labels.
-    fn validate_exposition(text: &str) {
-        for line in text.lines() {
-            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
-                continue;
-            }
-            assert!(!line.starts_with('#'), "unknown comment form: {line}");
-            let (series, value) = line.rsplit_once(' ').expect("line needs a value");
-            assert!(value.parse::<f64>().is_ok(), "unparseable value in: {line}");
-            let name = match series.split_once('{') {
-                None => series,
-                Some((name, rest)) => {
-                    let body = rest.strip_suffix('}').expect("unterminated label set");
-                    for pair in split_label_pairs(body) {
-                        let (k, v) = pair.split_once('=').expect("label needs =");
-                        assert!(
-                            k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
-                            "bad label name {k} in: {line}"
-                        );
-                        assert!(
-                            v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
-                            "unquoted label value {v} in: {line}"
-                        );
-                    }
-                    name
-                }
-            };
-            assert!(
-                name.chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
-                "bad metric name in: {line}"
-            );
-        }
-    }
-
-    /// Split `a="x",b="y"` on commas outside quotes (escaped quotes count
-    /// as inside).
-    fn split_label_pairs(body: &str) -> Vec<String> {
-        let mut pairs = Vec::new();
-        let mut cur = String::new();
-        let mut in_quotes = false;
-        let mut escaped = false;
-        for c in body.chars() {
-            if escaped {
-                cur.push(c);
-                escaped = false;
-                continue;
-            }
-            match c {
-                '\\' if in_quotes => {
-                    cur.push(c);
-                    escaped = true;
-                }
-                '"' => {
-                    cur.push(c);
-                    in_quotes = !in_quotes;
-                }
-                ',' if !in_quotes => pairs.push(std::mem::take(&mut cur)),
-                c => cur.push(c),
-            }
-        }
-        if !cur.is_empty() {
-            pairs.push(cur);
-        }
-        pairs
     }
 
     #[test]
@@ -869,6 +980,55 @@ mod tests {
             last = v;
         }
         assert_eq!(last, 6, "+Inf bucket must equal the count");
+    }
+
+    #[test]
+    fn observability_families_render_and_validate() {
+        let m = Metrics::new(1);
+        m.e2e.observe(0.003);
+        m.blackbox_dumps.panic.fetch_add(2, Ordering::Relaxed);
+        m.blackbox_dumps.deadline.fetch_add(1, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        validate_exposition(&text);
+        assert!(text.contains(&format!(
+            "rapd_build_info{{version=\"{}\",commit=\"{}\"}} 1",
+            build_version(),
+            build_commit()
+        )));
+        assert!(text.contains("rapd_e2e_seconds_count 1"));
+        assert!(text.contains("rapd_e2e_seconds_bucket{le=\"0.005\"} 1"));
+        assert!(text.contains("rapd_blackbox_dumps_total{trigger=\"panic\"} 2"));
+        assert!(text.contains("rapd_blackbox_dumps_total{trigger=\"deadline\"} 1"));
+        assert!(text.contains("rapd_blackbox_dumps_total{trigger=\"breaker_open\"} 0"));
+        // trigger label set is fixed at the three documented values
+        let triggers: std::collections::BTreeSet<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("rapd_blackbox_dumps_total{trigger=\""))
+            .filter_map(|rest| rest.split('"').next())
+            .collect();
+        assert_eq!(
+            triggers.into_iter().collect::<Vec<_>>(),
+            ["breaker_open", "deadline", "panic"],
+        );
+        assert!(m.blackbox_dumps.for_label("panic").is_some());
+        assert!(m.blackbox_dumps.for_label("oom").is_none());
+        assert_eq!(m.blackbox_dumps.total(), 3);
+    }
+
+    #[test]
+    fn lint_rejects_malformed_lines() {
+        for bad in [
+            "# COMMENT nope",
+            "no_value_here",
+            "name{unterminated=\"x\" 1",
+            "name{k=unquoted} 1",
+            "name{bad-label=\"x\"} 1",
+            "name value_not_numeric",
+            "bad name{k=\"v\"} x 1",
+        ] {
+            assert!(lint::validate_exposition(bad).is_err(), "accepted: {bad}");
+        }
+        assert!(lint::validate_exposition("ok_metric{a=\"b\",c=\"d\"} 4.5").is_ok());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! {"type":"trace","limit":50}
 //! {"type":"quarantine","limit":20}
 //! {"type":"health"}
+//! {"type":"debug","tenant":"cdn-edge"}
 //! ```
 //!
 //! Every request gets exactly one reply line: `{"type":"ok",...}`, a typed
@@ -77,6 +78,14 @@ pub enum Request {
     /// restart counters. `status` is `"degraded"` whenever any of those
     /// indicate reduced service, `"ok"` otherwise.
     Health,
+    /// Live introspection of the daemon's internals: queue depths,
+    /// per-tenant engine/breaker/reorder state, flight-recorder stats,
+    /// memo and pool counters, end-to-end latency totals.
+    Debug {
+        /// Restrict the per-tenant breakdown to this tenant; `None`
+        /// returns every tenant.
+        tenant: Option<String>,
+    },
 }
 
 /// Why a request line was rejected.
@@ -256,6 +265,17 @@ pub fn parse_request(line: &str, max_bytes: usize) -> Result<Request, ProtoError
             Ok(Request::Quarantine { limit })
         }
         "health" => Ok(Request::Health),
+        "debug" => {
+            let tenant = match doc.get("tenant") {
+                None => None,
+                Some(v) => Some(v.as_str().map(str::to_string).ok_or(ProtoError::BadField {
+                    msg: "debug",
+                    field: "tenant",
+                    expected: "a string",
+                })?),
+            };
+            Ok(Request::Debug { tenant })
+        }
         other => Err(ProtoError::UnknownType(other.to_string())),
     }
 }
@@ -485,6 +505,16 @@ mod tests {
             parse_request(r#"{"type":"health"}"#, MAX).unwrap(),
             Request::Health
         );
+        assert_eq!(
+            parse_request(r#"{"type":"debug"}"#, MAX).unwrap(),
+            Request::Debug { tenant: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"debug","tenant":"edge"}"#, MAX).unwrap(),
+            Request::Debug {
+                tenant: Some("edge".to_string())
+            }
+        );
     }
 
     #[test]
@@ -510,6 +540,7 @@ mod tests {
             r#"{"type":"trace","limit":-1}"#,
             r#"{"type":"trace","limit":"all"}"#,
             r#"{"type":"quarantine","limit":-1}"#,
+            r#"{"type":"debug","tenant":17}"#,
             r#"{"type":"observe","tenant":"t","ts":-5,"rows":[]}"#,
             r#"{"type":"observe","tenant":"t","ts":1.5,"rows":[]}"#,
             r#"{"type":"observe","tenant":"t","ts":"now","rows":[]}"#,

@@ -34,6 +34,11 @@ use crate::sync::lock_recover;
 pub struct QuarantineRecord {
     /// The tenant whose frame was refused.
     pub tenant: String,
+    /// Correlation token minted for the frame at the observe verb; the
+    /// same token appears on the frame's spans and (for admitted twins) on
+    /// incident records, so one grep reconstructs its whole life. `None`
+    /// for records produced outside the observe path.
+    pub frame_id: Option<String>,
     /// The frame's event timestamp (milliseconds), when it carried one.
     pub ts: Option<u64>,
     /// Why it was refused (a `rapd_frames_quarantined_total` reason:
@@ -62,6 +67,13 @@ impl QuarantineRecord {
             .collect();
         Json::Obj(vec![
             ("tenant".to_string(), Json::str(&self.tenant)),
+            (
+                "frame".to_string(),
+                match &self.frame_id {
+                    None => Json::Null,
+                    Some(id) => Json::str(id),
+                },
+            ),
             (
                 "ts".to_string(),
                 match self.ts {
@@ -236,6 +248,7 @@ mod tests {
     fn record(tenant: &str, reason: &'static str, ts: Option<u64>) -> QuarantineRecord {
         QuarantineRecord {
             tenant: tenant.to_string(),
+            frame_id: None,
             ts,
             reason,
             detail: format!("test {reason}"),

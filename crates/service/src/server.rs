@@ -23,18 +23,19 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mdkpi::Schema;
 
 use crate::admission::{AdmissionControl, Verdict};
+use crate::blackbox::BlackboxWriter;
 use crate::config::{ServiceConfig, ServiceConfigError};
 use crate::http::MetricsServer;
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{build_version, Metrics};
 use crate::proto::{build_frame, parse_request, ProtoError, Request};
 use crate::quarantine::{QuarantineRecord, QuarantineSink};
-use crate::shard::{LocalizerFactory, ShardPool};
+use crate::shard::{LocalizerFactory, ShardPool, TenantDebug};
 use crate::sink::IncidentSink;
 use crate::sync::lock_recover;
 
@@ -76,9 +77,12 @@ struct Shared {
     metrics: Arc<Metrics>,
     sink: Arc<IncidentSink>,
     quarantine: Arc<QuarantineSink>,
+    blackbox: Arc<BlackboxWriter>,
     admission: AdmissionControl,
     pool: ShardPool,
     schemas: Mutex<HashMap<String, Schema>>,
+    /// Boot instant, for the uptime reported by `stats` and `debug`.
+    started: Instant,
     shutdown: AtomicBool,
 }
 
@@ -177,11 +181,16 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
         config.ring_capacity,
         Arc::clone(&metrics),
     )?);
+    let blackbox = Arc::new(BlackboxWriter::open(
+        config.spool_dir.as_deref(),
+        Arc::clone(&metrics),
+    )?);
     let pool = ShardPool::start(
         &config,
         Arc::clone(&metrics),
         Arc::clone(&sink),
         Arc::clone(&quarantine),
+        Arc::clone(&blackbox),
         factory,
     );
     let metrics_server = MetricsServer::start(&config.metrics_listen, Arc::clone(&metrics))?;
@@ -194,9 +203,11 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
         metrics,
         sink,
         quarantine,
+        blackbox,
         admission,
         pool,
         schemas: Mutex::new(HashMap::new()),
+        started: Instant::now(),
         shutdown: AtomicBool::new(false),
     });
     let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -393,6 +404,11 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
                         tenant: tenant.clone(),
                     })?
             };
+            // The correlation id is minted before admission so a rejected
+            // frame's quarantine record carries the same token the client
+            // sees in its reply; the scope stamps admission events too.
+            let id = obs::FrameId::mint(&tenant);
+            let _frame = obs::frame::frame_scope(&id);
             // Admission judges the frame *after* protocol-level checks
             // (arity is an error and does not count as ingested) but
             // *before* the ingested counter, so `processed + dropped +
@@ -406,6 +422,7 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
                 Verdict::Quarantine { reason, detail } => {
                     shared.quarantine.record(QuarantineRecord {
                         tenant,
+                        frame_id: Some(id.as_str().to_string()),
                         ts,
                         reason,
                         detail: detail.clone(),
@@ -413,6 +430,7 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
                     });
                     Ok(ok_reply(vec![
                         ("queued".to_string(), Json::Bool(false)),
+                        ("frame".to_string(), Json::str(id.as_str())),
                         ("quarantined".to_string(), Json::Bool(true)),
                         ("reason".to_string(), Json::str(reason)),
                         ("detail".to_string(), Json::str(detail)),
@@ -430,9 +448,11 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
                     // cannot fail on data; it stays fallible for safety
                     let frame = build_frame(&schema, &admitted.rows)?;
                     let repaired = admitted.repaired();
-                    shared.pool.ingest(&tenant, frame, ts);
+                    let token = id.as_str().to_string();
+                    shared.pool.ingest(id, &tenant, frame, ts);
                     Ok(ok_reply(vec![
                         ("queued".to_string(), Json::Bool(true)),
+                        ("frame".to_string(), Json::str(token)),
                         ("repaired".to_string(), Json::Bool(repaired)),
                     ]))
                 }
@@ -478,7 +498,138 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
             .render())
         }
         Request::Health => Ok(health_reply(shared)),
+        Request::Debug { tenant } => Ok(debug_reply(shared, tenant.as_deref())),
     }
+}
+
+/// Live internals for the `debug` control verb: daemon-wide state plus a
+/// per-tenant breakdown, optionally filtered to one tenant.
+fn debug_reply(shared: &Shared, tenant: Option<&str>) -> String {
+    let m = &shared.metrics;
+    let depths: Vec<Json> = shared
+        .pool
+        .queue_depths()
+        .into_iter()
+        .map(|d| Json::Num(d as f64))
+        .collect();
+    let tenants: Vec<Json> = shared
+        .pool
+        .tenant_debug()
+        .into_iter()
+        .filter(|(name, _)| tenant.is_none_or(|t| t == name))
+        .map(|(name, d)| tenant_debug_json(&name, &d))
+        .collect();
+    let recorders: Vec<Json> = obs::recorder::stats()
+        .into_iter()
+        .map(|(name, lines, recorded, dropped)| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::str(name)),
+                ("lines".to_string(), Json::Num(lines as f64)),
+                ("recorded".to_string(), Json::Num(recorded as f64)),
+                ("dropped".to_string(), Json::Num(dropped as f64)),
+            ])
+        })
+        .collect();
+    let memo = rapminer::memo_stats();
+    let pool = par::pool_stats();
+    Json::Obj(vec![
+        ("type".to_string(), Json::str("debug")),
+        (
+            "uptime_seconds".to_string(),
+            Json::Num(shared.started.elapsed().as_secs_f64()),
+        ),
+        ("version".to_string(), Json::str(build_version())),
+        ("queue_depths".to_string(), Json::Arr(depths)),
+        ("tenants".to_string(), Json::Arr(tenants)),
+        ("flight_recorders".to_string(), Json::Arr(recorders)),
+        (
+            "memo".to_string(),
+            Json::Obj(vec![
+                ("served".to_string(), Json::Num(memo.served as f64)),
+                ("scratch".to_string(), Json::Num(memo.scratch as f64)),
+                ("hit_rate".to_string(), Json::Num(memo.hit_rate())),
+            ]),
+        ),
+        (
+            "pool".to_string(),
+            Json::Obj(vec![
+                ("maps".to_string(), Json::Num(pool.maps as f64)),
+                (
+                    "parallel_maps".to_string(),
+                    Json::Num(pool.parallel_maps as f64),
+                ),
+                ("items".to_string(), Json::Num(pool.items as f64)),
+                ("steals".to_string(), Json::Num(pool.steals as f64)),
+                (
+                    "parallel_fraction".to_string(),
+                    Json::Num(pool.parallel_fraction()),
+                ),
+            ]),
+        ),
+        (
+            "e2e".to_string(),
+            Json::Obj(vec![
+                ("count".to_string(), Json::Num(m.e2e.count() as f64)),
+                ("sum_seconds".to_string(), Json::Num(m.e2e.sum_seconds())),
+            ]),
+        ),
+        (
+            "blackbox_dumps".to_string(),
+            Json::Obj(
+                m.blackbox_dumps
+                    .named()
+                    .into_iter()
+                    .map(|(trigger, c)| {
+                        (
+                            trigger.to_string(),
+                            Json::Num(c.load(Ordering::Relaxed) as f64),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "blackbox_dir".to_string(),
+            match shared.blackbox.dir() {
+                None => Json::Null,
+                Some(p) => Json::str(p.display().to_string()),
+            },
+        ),
+    ])
+    .render()
+}
+
+/// One tenant's live internals in the `debug` reply.
+fn tenant_debug_json(name: &str, d: &TenantDebug) -> Json {
+    Json::Obj(vec![
+        ("tenant".to_string(), Json::str(name)),
+        ("shard".to_string(), Json::Num(d.shard as f64)),
+        ("engine".to_string(), Json::str(d.engine)),
+        (
+            "detector_phase".to_string(),
+            match d.detector_phase {
+                None => Json::Null,
+                Some(p) => Json::str(p),
+            },
+        ),
+        ("breaker".to_string(), Json::str(d.breaker)),
+        (
+            "reorder".to_string(),
+            Json::Obj(vec![
+                ("buffered".to_string(), Json::Num(d.reorder_buffered as f64)),
+                (
+                    "last_emitted".to_string(),
+                    match d.reorder_last_emitted {
+                        None => Json::Null,
+                        Some(t) => Json::Num(t as f64),
+                    },
+                ),
+                ("max_seen".to_string(), Json::Num(d.reorder_max_seen as f64)),
+                ("lag".to_string(), Json::Num(d.reorder_lag as f64)),
+            ]),
+        ),
+        ("last_frame".to_string(), Json::str(d.last_frame.as_str())),
+    ])
 }
 
 /// Fault-tolerance health summary: `"degraded"` whenever the incident or
@@ -547,6 +698,13 @@ fn span_to_json(span: &obs::SpanRecord) -> Json {
         ("trace".to_string(), Json::Num(span.trace as f64)),
         ("name".to_string(), Json::str(span.name)),
         (
+            "frame".to_string(),
+            match &span.frame {
+                None => Json::Null,
+                Some(token) => Json::str(token.as_ref()),
+            },
+        ),
+        (
             "start_micros".to_string(),
             Json::Num(span.start_micros as f64),
         ),
@@ -595,6 +753,11 @@ fn stats_reply(shared: &Shared) -> String {
         .collect();
     Json::Obj(vec![
         ("type".to_string(), Json::str("stats")),
+        (
+            "uptime_seconds".to_string(),
+            Json::Num(shared.started.elapsed().as_secs_f64()),
+        ),
+        ("version".to_string(), Json::str(build_version())),
         (
             "frames_ingested".to_string(),
             Json::Num(m.frames_ingested.load(Ordering::Relaxed) as f64),

@@ -58,6 +58,7 @@ use detect::DetectorConfig;
 use pipeline::{DetectingPipeline, LocalizationPipeline};
 use timeseries::MovingAverage;
 
+use crate::blackbox::BlackboxWriter;
 use crate::config::ServiceConfig;
 use crate::metrics::{Metrics, ShardMetrics};
 use crate::quarantine::{QuarantineRecord, QuarantineSink};
@@ -73,8 +74,10 @@ pub type LocalizerFactory = Arc<dyn Fn(usize) -> Box<dyn Localizer> + Send + Syn
 /// One unit of shard work.
 enum Job {
     /// A snapshot for one tenant; `ts` routes it through the tenant's
-    /// reorder buffer.
+    /// reorder buffer. `id` is the correlation token minted at the
+    /// observe verb; it rides with the frame through every stage.
     Frame {
+        id: obs::FrameId,
         tenant: Arc<str>,
         frame: mdkpi::LeafFrame,
         ts: Option<u64>,
@@ -145,6 +148,7 @@ impl ShardQueue {
     /// *frame* is evicted (barriers are never evicted) and counted.
     fn push_frame(
         &self,
+        id: obs::FrameId,
         tenant: Arc<str>,
         frame: mdkpi::LeafFrame,
         ts: Option<u64>,
@@ -163,7 +167,12 @@ impl ShardQueue {
                 metrics.depth.fetch_sub(1, Ordering::Relaxed);
             }
         }
-        jobs.push_back(Job::Frame { tenant, frame, ts });
+        jobs.push_back(Job::Frame {
+            id,
+            tenant,
+            frame,
+            ts,
+        });
         metrics.depth.fetch_add(1, Ordering::Relaxed);
         self.cv.notify_one();
     }
@@ -255,6 +264,15 @@ impl Breaker {
         closing
     }
 
+    /// The state name reported by the `debug` control verb.
+    fn state_str(&self) -> &'static str {
+        match self.state {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
     /// Returns `true` when this opened a closed breaker (the gauge of
     /// open breakers must rise by one). A failed half-open probe re-opens
     /// without a gauge change. `threshold == 0` disables the breaker.
@@ -292,18 +310,30 @@ enum Rejected {
 
 /// A per-tenant watermark reorder buffer (data-driven: the watermark
 /// advances with observed timestamps, never with wall-clock time, so a
-/// paused stream neither drops nor reorders anything).
-#[derive(Debug, Default)]
-struct ReorderBuffer {
-    /// Buffered frames by timestamp; `BTreeMap` keeps emission ordered.
-    buf: BTreeMap<u64, mdkpi::LeafFrame>,
+/// paused stream neither drops nor reorders anything). Generic over the
+/// buffered payload so the pool can park a frame *and* its correlation
+/// id together.
+#[derive(Debug)]
+struct ReorderBuffer<T> {
+    /// Buffered payloads by timestamp; `BTreeMap` keeps emission ordered.
+    buf: BTreeMap<u64, T>,
     /// The newest timestamp handed to the pipeline so far.
     last_emitted: Option<u64>,
     /// The newest timestamp ever offered (drives the watermark).
     max_seen: u64,
 }
 
-impl ReorderBuffer {
+impl<T> Default for ReorderBuffer<T> {
+    fn default() -> Self {
+        ReorderBuffer {
+            buf: BTreeMap::new(),
+            last_emitted: None,
+            max_seen: 0,
+        }
+    }
+}
+
+impl<T> ReorderBuffer<T> {
     /// Offer one timestamped frame. Returns the frames the watermark (or
     /// a window overflow) released, oldest first — possibly none, and
     /// possibly not including the offered frame itself.
@@ -316,10 +346,10 @@ impl ReorderBuffer {
     fn offer(
         &mut self,
         ts: u64,
-        frame: mdkpi::LeafFrame,
+        frame: T,
         window: usize,
         lateness_ms: u64,
-    ) -> Result<Vec<(u64, mdkpi::LeafFrame)>, Rejected> {
+    ) -> Result<Vec<(u64, T)>, Rejected> {
         if let Some(last) = self.last_emitted {
             if ts == last {
                 return Err(Rejected::Replay);
@@ -354,9 +384,8 @@ impl ReorderBuffer {
     }
 
     /// Release everything still buffered, oldest first (flush/shutdown).
-    fn drain(&mut self) -> Vec<(u64, mdkpi::LeafFrame)> {
-        let drained: Vec<(u64, mdkpi::LeafFrame)> =
-            std::mem::take(&mut self.buf).into_iter().collect();
+    fn drain(&mut self) -> Vec<(u64, T)> {
+        let drained: Vec<(u64, T)> = std::mem::take(&mut self.buf).into_iter().collect();
         if let Some((ts, _)) = drained.last() {
             self.last_emitted = Some(*ts);
         }
@@ -380,7 +409,45 @@ struct PoolShared {
     breaker_cooldown: Duration,
     reorder_window: usize,
     max_lateness_ms: u64,
+    /// Span/event lines each worker's flight recorder retains for
+    /// post-mortem blackbox dumps; `0` disables the recorder.
+    flight_capacity: usize,
+    /// Post-mortem dump writer shared by every worker: panics, deadline
+    /// overruns, and breaker openings snapshot the flight recorders here.
+    blackbox: Arc<BlackboxWriter>,
+    /// Live per-tenant internals served by the `debug` control verb;
+    /// workers refresh their tenants' entries after every processed frame.
+    debug: Mutex<HashMap<String, TenantDebug>>,
     shutting_down: AtomicBool,
+}
+
+/// A live snapshot of one tenant's processing internals, served by the
+/// `debug` control verb. Refreshed by the tenant's shard worker after
+/// every processed frame, so a quiet tenant shows its last-known state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantDebug {
+    /// The shard the tenant hashes onto.
+    pub shard: usize,
+    /// Engine kind: `"classic"` (external alarm), `"detecting"`
+    /// (self-triggering), or `"quarantined"` right after a pipeline panic
+    /// (the engine is rebuilt lazily on the tenant's next frame).
+    pub engine: &'static str,
+    /// Streaming-detector phase (`"warmup"`/`"steady"`/`"triggered"`);
+    /// `None` in classic mode or while quarantined.
+    pub detector_phase: Option<&'static str>,
+    /// Circuit-breaker state: `"closed"`, `"open"`, or `"half_open"`.
+    pub breaker: &'static str,
+    /// Frames currently parked in the reorder buffer.
+    pub reorder_buffered: usize,
+    /// Newest timestamp handed to the pipeline, if any frame carried one.
+    pub reorder_last_emitted: Option<u64>,
+    /// Newest timestamp ever offered (drives the watermark).
+    pub reorder_max_seen: u64,
+    /// How far the newest seen timestamp runs ahead of the newest emitted
+    /// one — the reorder buffer's current watermark lag, in stream time.
+    pub reorder_lag: u64,
+    /// Correlation token of the last frame processed for this tenant.
+    pub last_frame: String,
 }
 
 /// The shard worker pool: `config.shards` threads, each owning the
@@ -399,6 +466,7 @@ impl ShardPool {
         metrics: Arc<Metrics>,
         sink: Arc<IncidentSink>,
         quarantine: Arc<QuarantineSink>,
+        blackbox: Arc<BlackboxWriter>,
         factory: LocalizerFactory,
     ) -> ShardPool {
         let queues: Vec<Arc<ShardQueue>> = (0..config.shards)
@@ -421,6 +489,9 @@ impl ShardPool {
             breaker_cooldown: config.breaker_cooldown,
             reorder_window: config.reorder_window,
             max_lateness_ms: config.max_lateness.as_millis() as u64,
+            flight_capacity: config.flight_recorder_capacity,
+            blackbox,
+            debug: Mutex::new(HashMap::new()),
             shutting_down: AtomicBool::new(false),
         });
         let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(
@@ -454,16 +525,37 @@ impl ShardPool {
     }
 
     /// Queue one frame onto the tenant's shard (drop-oldest on overflow).
-    /// A timestamp routes the frame through the tenant's reorder buffer;
-    /// `None` processes it in arrival order.
-    pub fn ingest(&self, tenant: &str, frame: mdkpi::LeafFrame, ts: Option<u64>) {
+    /// `id` is the frame's correlation token, minted at the observe verb
+    /// so quarantine records of rejected twins share it. A timestamp
+    /// routes the frame through the tenant's reorder buffer; `None`
+    /// processes it in arrival order.
+    pub fn ingest(&self, id: obs::FrameId, tenant: &str, frame: mdkpi::LeafFrame, ts: Option<u64>) {
         let shard = self.shard_for(tenant);
         self.shared.queues[shard].push_frame(
+            id,
             Arc::from(tenant),
             frame,
             ts,
             self.shared.metrics.shard(shard),
         );
+    }
+
+    /// Per-tenant live internals for the `debug` control verb, sorted by
+    /// tenant id. Each snapshot reflects the tenant's state after its most
+    /// recently processed frame.
+    pub fn tenant_debug(&self) -> Vec<(String, TenantDebug)> {
+        let map = lock_recover(&self.shared.debug);
+        let mut entries: Vec<(String, TenantDebug)> =
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Current depth of every shard queue (frames waiting for a worker).
+    pub fn queue_depths(&self) -> Vec<u64> {
+        (0..self.shared.queues.len())
+            .map(|i| self.shared.metrics.shard(i).depth.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Post a barrier to every shard and wait for all of them to drain
@@ -594,6 +686,22 @@ impl TenantEngine {
             TenantEngine::Detecting(p) => Some(p.last_detector_seconds()),
         }
     }
+
+    /// The engine kind name reported by the `debug` control verb.
+    fn kind_str(&self) -> &'static str {
+        match self {
+            TenantEngine::Classic(_) => "classic",
+            TenantEngine::Detecting(_) => "detecting",
+        }
+    }
+
+    /// Streaming-detector phase name; `None` in classic mode.
+    fn detector_phase(&self) -> Option<&'static str> {
+        match self {
+            TenantEngine::Classic(_) => None,
+            TenantEngine::Detecting(p) => Some(p.detector().state().as_str()),
+        }
+    }
 }
 
 /// Render a caught panic payload for the event log.
@@ -612,21 +720,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 struct WorkerState {
     engines: HashMap<Arc<str>, TenantEngine>,
     breakers: HashMap<Arc<str>, Breaker>,
-    reorder: HashMap<Arc<str>, ReorderBuffer>,
+    reorder: HashMap<Arc<str>, ReorderBuffer<(obs::FrameId, mdkpi::LeafFrame)>>,
 }
 
 impl WorkerState {
     /// Release every buffered frame of every tenant through the pipeline
     /// (flush barriers and shutdown).
     fn drain_reorder(&mut self, shard: usize, shared: &PoolShared) {
-        let mut ready: Vec<(Arc<str>, mdkpi::LeafFrame)> = Vec::new();
+        let mut ready: Vec<(Arc<str>, obs::FrameId, mdkpi::LeafFrame)> = Vec::new();
         for (tenant, buffer) in &mut self.reorder {
-            for (_, frame) in buffer.drain() {
-                ready.push((Arc::clone(tenant), frame));
+            for (_, (id, frame)) in buffer.drain() {
+                ready.push((Arc::clone(tenant), id, frame));
             }
         }
-        for (tenant, frame) in ready {
-            process_frame(shard, shared, self, &tenant, &frame);
+        for (tenant, id, frame) in ready {
+            process_frame(shard, shared, self, &tenant, &id, &frame);
         }
     }
 }
@@ -635,6 +743,12 @@ fn worker_loop(shard: usize, shared: &PoolShared) {
     let shard_metrics = shared.metrics.shard(shard);
     let queue = &shared.queues[shard];
     let mut state = WorkerState::default();
+    // Each worker keeps a bounded ring of its recent spans and events;
+    // blackbox dumps snapshot every live ring post mortem. The guard
+    // deregisters the ring when the worker dies, so a respawned worker
+    // re-registers under the same name with a fresh ring.
+    let _recorder = (shared.flight_capacity > 0)
+        .then(|| obs::recorder::register(&format!("shard-{shard}"), shared.flight_capacity));
     loop {
         // fault injection: a shard thread dying between jobs (before the
         // pop, so the crash never takes a dequeued frame with it)
@@ -650,17 +764,27 @@ fn worker_loop(shard: usize, shared: &PoolShared) {
                 state.drain_reorder(shard, shared);
                 gate.done();
             }
-            Job::Frame { tenant, frame, ts } => {
+            Job::Frame {
+                id,
+                tenant,
+                frame,
+                ts,
+            } => {
                 shard_metrics.depth.fetch_sub(1, Ordering::Relaxed);
                 let Some(ts) = ts else {
-                    process_frame(shard, shared, &mut state, &tenant, &frame);
+                    process_frame(shard, shared, &mut state, &tenant, &id, &frame);
                     continue;
                 };
                 let buffer = state.reorder.entry(Arc::clone(&tenant)).or_default();
-                match buffer.offer(ts, frame, shared.reorder_window, shared.max_lateness_ms) {
+                match buffer.offer(
+                    ts,
+                    (id.clone(), frame),
+                    shared.reorder_window,
+                    shared.max_lateness_ms,
+                ) {
                     Ok(ready) => {
-                        for (_, frame) in ready {
-                            process_frame(shard, shared, &mut state, &tenant, &frame);
+                        for (_, (id, frame)) in ready {
+                            process_frame(shard, shared, &mut state, &tenant, &id, &frame);
                         }
                     }
                     Err(rejected) => {
@@ -673,6 +797,7 @@ fn worker_loop(shard: usize, shared: &PoolShared) {
                         };
                         shared.quarantine.record(QuarantineRecord {
                             tenant: tenant.to_string(),
+                            frame_id: Some(id.as_str().to_string()),
                             ts: Some(ts),
                             reason,
                             detail,
@@ -692,10 +817,14 @@ fn process_frame(
     shared: &PoolShared,
     state: &mut WorkerState,
     tenant: &Arc<str>,
+    id: &obs::FrameId,
     frame: &mdkpi::LeafFrame,
 ) {
     let metrics = &shared.metrics;
     let shard_metrics = metrics.shard(shard);
+    // Every span and event emitted while this frame is in flight carries
+    // its correlation token, including breaker and panic events.
+    let _frame = obs::frame::frame_scope(id);
     let admission = state
         .breakers
         .entry(Arc::clone(tenant))
@@ -738,6 +867,7 @@ fn process_frame(
                     ("reason", obs::Value::Str(panic_message(payload.as_ref()))),
                 ],
             );
+            shared.blackbox.dump("panic", tenant, Some(id.as_str()));
             true
         }
         Ok(Err(e)) => {
@@ -752,7 +882,7 @@ fn process_frame(
             );
             true
         }
-        Ok(Ok(Some(report))) => {
+        Ok(Ok(Some(mut report))) => {
             metrics.localization.observe(start.elapsed().as_secs_f64());
             metrics.alarms.fetch_add(1, Ordering::Relaxed);
             // one observation per stage per incident, so every
@@ -782,11 +912,16 @@ fn process_frame(
                 ],
             );
             let deadline_exceeded = report.deadline_exceeded;
+            report.frame_id = Some(id.as_str().to_string());
             shared
                 .sink
                 .record(IncidentRecord::from_report(tenant, &report));
+            // ingest→incident latency, measured from the correlation id's
+            // mint instant at the observe verb
+            metrics.e2e.observe(id.elapsed_seconds());
             if deadline_exceeded {
                 metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                shared.blackbox.dump("deadline", tenant, Some(id.as_str()));
             }
             // a deadline overrun is a breaker failure: a tenant
             // whose every localization times out should be shed
@@ -817,6 +952,9 @@ fn process_frame(
                 "breaker_opened",
                 &[("tenant", obs::Value::Str(tenant.to_string()))],
             );
+            shared
+                .blackbox
+                .dump("breaker_open", tenant, Some(id.as_str()));
         }
     } else if breaker.on_success() {
         shard_metrics.breaker_open.fetch_sub(1, Ordering::Relaxed);
@@ -827,6 +965,33 @@ fn process_frame(
         );
     }
     shard_metrics.processed.fetch_add(1, Ordering::Relaxed);
+    // Refresh the tenant's live-internals snapshot for the `debug` verb
+    // (after breaker bookkeeping, so an opening breaker shows as open).
+    let reorder = state.reorder.get(tenant);
+    let snapshot = TenantDebug {
+        shard,
+        engine: state
+            .engines
+            .get(tenant)
+            .map_or("quarantined", TenantEngine::kind_str),
+        detector_phase: state
+            .engines
+            .get(tenant)
+            .and_then(TenantEngine::detector_phase),
+        breaker: state
+            .breakers
+            .get(tenant)
+            .map_or("closed", Breaker::state_str),
+        reorder_buffered: reorder.map_or(0, |b| b.buf.len()),
+        reorder_last_emitted: reorder.and_then(|b| b.last_emitted),
+        reorder_max_seen: reorder.map_or(0, |b| b.max_seen),
+        reorder_lag: reorder.map_or(0, |b| {
+            b.max_seen
+                .saturating_sub(b.last_emitted.unwrap_or(b.max_seen))
+        }),
+        last_frame: id.as_str().to_string(),
+    };
+    lock_recover(&shared.debug).insert(tenant.to_string(), snapshot);
 }
 
 #[cfg(test)]
@@ -878,13 +1043,30 @@ mod tests {
         Arc::new(QuarantineSink::open(None, 8, Arc::clone(metrics)).unwrap())
     }
 
+    fn blackbox_writer(metrics: &Arc<Metrics>) -> Arc<BlackboxWriter> {
+        Arc::new(BlackboxWriter::open(None, Arc::clone(metrics)).unwrap())
+    }
+
+    /// Mint a correlation id and ingest — these tests don't inspect the
+    /// token, they exercise queueing and processing.
+    fn ingest(pool: &ShardPool, tenant: &str, frame: LeafFrame, ts: Option<u64>) {
+        pool.ingest(obs::FrameId::mint(tenant), tenant, frame, ts);
+    }
+
     #[test]
     fn tenants_hash_deterministically_within_range() {
         let cfg = small_config(16);
         let metrics = Arc::new(Metrics::new(cfg.shards));
         let sink = sink(&metrics);
         let quarantine = quarantine(&metrics);
-        let pool = ShardPool::start(&cfg, metrics, sink, quarantine, default_factory());
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            sink,
+            quarantine,
+            blackbox_writer(&metrics),
+            default_factory(),
+        );
         for tenant in ["a", "b", "edge-7", ""] {
             let s = pool.shard_for(tenant);
             assert!(s < 2);
@@ -903,11 +1085,12 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             quarantine(&metrics),
+            blackbox_writer(&metrics),
             default_factory(),
         );
         let s = schema();
         for _ in 0..10 {
-            pool.ingest("tenant", frame(&s, 50.0, 50.0), None);
+            ingest(&pool, "tenant", frame(&s, 50.0, 50.0), None);
         }
         assert!(pool.flush(Duration::from_secs(10)));
         assert_eq!(metrics.total_processed(), 10);
@@ -926,13 +1109,14 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             quarantine(&metrics),
+            blackbox_writer(&metrics),
             default_factory(),
         );
         let s = schema();
         for _ in 0..8 {
-            pool.ingest("edge", frame(&s, 100.0, 100.0), None);
+            ingest(&pool, "edge", frame(&s, 100.0, 100.0), None);
         }
-        pool.ingest("edge", frame(&s, 0.0, 100.0), None);
+        ingest(&pool, "edge", frame(&s, 0.0, 100.0), None);
         assert!(pool.flush(Duration::from_secs(10)));
         assert_eq!(metrics.alarms.load(Ordering::Relaxed), 1);
         let incidents = sink.recent(10);
@@ -990,13 +1174,14 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             quarantine(&metrics),
+            blackbox_writer(&metrics),
             Arc::new(|_threads| Box::new(Slow(RapMinerLocalizer::default())) as Box<dyn Localizer>),
         );
         let s = schema();
         let total = 200;
         for i in 0..total {
             let v = if i % 2 == 0 { 10.0 } else { 200.0 };
-            pool.ingest("t", frame(&s, v, v), None);
+            ingest(&pool, "t", frame(&s, v, v), None);
         }
         assert!(
             pool.flush(Duration::from_secs(30)),
@@ -1021,7 +1206,14 @@ mod tests {
         let metrics = Arc::new(Metrics::new(cfg.shards));
         let sink = sink(&metrics);
         let quarantine = quarantine(&metrics);
-        let pool = ShardPool::start(&cfg, metrics, sink, quarantine, default_factory());
+        let pool = ShardPool::start(
+            &cfg,
+            Arc::clone(&metrics),
+            sink,
+            quarantine,
+            blackbox_writer(&metrics),
+            default_factory(),
+        );
         assert!(pool.flush(Duration::from_secs(5)));
         pool.shutdown();
     }
@@ -1129,13 +1321,14 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             quarantine(&metrics),
+            blackbox_writer(&metrics),
             panicky_factory(&armed),
         );
         let s = schema();
         let mut ingested = 0u64;
         for i in 0..6 {
             let v = collapsing_value(i);
-            pool.ingest("victim", frame(&s, v, v), None);
+            ingest(&pool, "victim", frame(&s, v, v), None);
             ingested += 1;
         }
         assert!(pool.flush(Duration::from_secs(10)));
@@ -1149,7 +1342,7 @@ mod tests {
         armed.store(false, Ordering::Relaxed);
         for i in 0..6 {
             let v = collapsing_value(i);
-            pool.ingest("victim", frame(&s, v, v), None);
+            ingest(&pool, "victim", frame(&s, v, v), None);
             ingested += 1;
         }
         assert!(pool.flush(Duration::from_secs(10)));
@@ -1174,6 +1367,7 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             quarantine(&metrics),
+            blackbox_writer(&metrics),
             faily_factory(&armed),
         );
         let s = schema();
@@ -1182,7 +1376,7 @@ mod tests {
         // keep pushing into the open breaker
         for i in 0..10 {
             let v = collapsing_value(i);
-            pool.ingest("flappy", frame(&s, v, v), None);
+            ingest(&pool, "flappy", frame(&s, v, v), None);
             ingested += 1;
             // serialize frames so "consecutive failures" is deterministic
             assert!(pool.flush(Duration::from_secs(10)));
@@ -1205,7 +1399,7 @@ mod tests {
         let processed_before = metrics.total_processed();
         for i in 0..4 {
             let v = collapsing_value(i);
-            pool.ingest("flappy", frame(&s, v, v), None);
+            ingest(&pool, "flappy", frame(&s, v, v), None);
             ingested += 1;
             assert!(pool.flush(Duration::from_secs(10)));
         }
@@ -1258,7 +1452,13 @@ mod tests {
     }
 
     /// Offer a frame stamped with `ts` and return the released timestamps.
-    fn offer(b: &mut ReorderBuffer, s: &Schema, ts: u64, window: usize, lateness: u64) -> Vec<u64> {
+    fn offer(
+        b: &mut ReorderBuffer<LeafFrame>,
+        s: &Schema,
+        ts: u64,
+        window: usize,
+        lateness: u64,
+    ) -> Vec<u64> {
         b.offer(ts, frame(s, 1.0, 1.0), window, lateness)
             .unwrap_or_else(|r| panic!("ts {ts} rejected: {r:?}"))
             .into_iter()
@@ -1339,14 +1539,15 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             Arc::clone(&quarantine),
+            blackbox_writer(&metrics),
             default_factory(),
         );
         let s = schema();
         // steady history, then a collapse frame — sent FIRST but stamped
         // LAST, so only reordering can place it after the history
-        pool.ingest("edge", frame(&s, 0.0, 100.0), Some(9_000));
+        ingest(&pool, "edge", frame(&s, 0.0, 100.0), Some(9_000));
         for ts in 1..=8u64 {
-            pool.ingest("edge", frame(&s, 100.0, 100.0), Some(ts * 1_000));
+            ingest(&pool, "edge", frame(&s, 100.0, 100.0), Some(ts * 1_000));
         }
         // the huge lateness parks everything until the flush barrier
         assert!(pool.flush(Duration::from_secs(10)));
@@ -1379,14 +1580,15 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             Arc::clone(&quarantine),
+            blackbox_writer(&metrics),
             default_factory(),
         );
         let s = schema();
         // the collapse frame is SENT first but STAMPED last: only a
         // watermark-ordered drain processes it after the steady history
-        pool.ingest("edge", frame(&s, 0.0, 100.0), Some(9_000));
+        ingest(&pool, "edge", frame(&s, 0.0, 100.0), Some(9_000));
         for ts in 1..=8u64 {
-            pool.ingest("edge", frame(&s, 100.0, 100.0), Some(ts * 1_000));
+            ingest(&pool, "edge", frame(&s, 100.0, 100.0), Some(ts * 1_000));
         }
         let ingested = 9u64;
         // no flush — shutdown itself must drain the buffers
@@ -1432,6 +1634,7 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             quarantine(&metrics),
+            blackbox_writer(&metrics),
             default_factory(),
         );
         let s = schema();
@@ -1439,9 +1642,9 @@ mod tests {
         // detector's min_samples, then collapse one leaf
         let warm = 40u64;
         for _ in 0..warm {
-            pool.ingest("edge", frame(&s, 100.0, 100.0), None);
+            ingest(&pool, "edge", frame(&s, 100.0, 100.0), None);
         }
-        pool.ingest("edge", frame(&s, 0.0, 100.0), None);
+        ingest(&pool, "edge", frame(&s, 0.0, 100.0), None);
         assert!(pool.flush(Duration::from_secs(30)));
         assert_eq!(
             metrics.alarms.load(Ordering::Relaxed),
@@ -1476,19 +1679,20 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             Arc::clone(&quarantine),
+            blackbox_writer(&metrics),
             default_factory(),
         );
         let s = schema();
         let mut ingested = 0u64;
         for ts in [100u64, 200, 300, 400] {
-            pool.ingest("t", frame(&s, 50.0, 50.0), Some(ts));
+            ingest(&pool, "t", frame(&s, 50.0, 50.0), Some(ts));
             ingested += 1;
         }
         // at ts=400 the watermark is 398, so 100..=300 were emitted and
         // 400 is still buffered: re-sending 400 is a replay, and anything
         // behind the last emitted ts (300) is late
-        pool.ingest("t", frame(&s, 50.0, 50.0), Some(400));
-        pool.ingest("t", frame(&s, 50.0, 50.0), Some(150));
+        ingest(&pool, "t", frame(&s, 50.0, 50.0), Some(400));
+        ingest(&pool, "t", frame(&s, 50.0, 50.0), Some(150));
         ingested += 2;
         assert!(pool.flush(Duration::from_secs(10)));
         assert_eq!(metrics.frames_quarantined.replay.load(Ordering::Relaxed), 1);

@@ -45,6 +45,11 @@ use crate::sync::lock_recover;
 pub struct IncidentRecord {
     /// The tenant whose pipeline alarmed.
     pub tenant: String,
+    /// Correlation token of the frame that triggered this incident; the
+    /// same token appears on the frame's spans, quarantine records, and
+    /// blackbox dumps, so one grep reconstructs its whole life. `None` for
+    /// incidents produced outside the observe path.
+    pub frame_id: Option<String>,
     /// The tenant-local observation step that alarmed.
     pub step: usize,
     /// Relative deviation of the overall KPI (Eq. 4 over the totals).
@@ -89,6 +94,7 @@ impl IncidentRecord {
     pub fn from_report(tenant: &str, report: &IncidentReport) -> Self {
         IncidentRecord {
             tenant: tenant.to_string(),
+            frame_id: report.frame_id.clone(),
             step: report.step,
             total_deviation: report.total_deviation,
             anomalous_leaves: report.anomalous_leaves,
@@ -114,6 +120,13 @@ impl IncidentRecord {
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("tenant".to_string(), Json::str(&self.tenant)),
+            (
+                "frame".to_string(),
+                match &self.frame_id {
+                    None => Json::Null,
+                    Some(id) => Json::str(id),
+                },
+            ),
             ("step".to_string(), Json::Num(self.step as f64)),
             (
                 "total_deviation".to_string(),
@@ -552,6 +565,7 @@ mod tests {
     fn record(tenant: &str, step: usize) -> IncidentRecord {
         IncidentRecord {
             tenant: tenant.to_string(),
+            frame_id: None,
             step,
             total_deviation: -0.4,
             anomalous_leaves: 2,
@@ -759,8 +773,15 @@ mod tests {
 
     #[test]
     fn record_roundtrips_through_json() {
-        let rec = record("t", 3);
+        let mut rec = record("t", 3);
         let doc = rec.to_json();
+        assert_eq!(doc.get("frame"), Some(&Json::Null));
+        rec.frame_id = Some("t-0000002a-1700000000000".to_string());
+        let doc = rec.to_json();
+        assert_eq!(
+            doc.get("frame").unwrap().as_str(),
+            Some("t-0000002a-1700000000000")
+        );
         assert_eq!(doc.get("total_deviation").unwrap().as_f64(), Some(-0.4));
         assert_eq!(doc.get("total_leaves").unwrap().as_u64(), Some(8));
         let timings = doc.get("timings").unwrap();

@@ -212,6 +212,67 @@ fn pipeline_panic_quarantines_tenant_not_shard() {
 }
 
 #[test]
+fn pipeline_panic_dumps_a_recoverable_blackbox() {
+    let _guard = serialized();
+    let spool_dir =
+        std::env::temp_dir().join(format!("rapd-fault-blackbox-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool_dir);
+    let config = ServiceConfig {
+        spool_dir: Some(spool_dir.clone()),
+        ..touchy_config()
+    };
+    let server = service::start(config, service::default_factory()).expect("boot");
+    let mut client = Client::connect(server.ingest_addr());
+    client.register("victim");
+
+    fail::cfg_tagged("pipeline-panic", Action::Panic, "victim");
+    for i in 0..3 {
+        client.observe("victim", collapsing_value(i));
+    }
+    client.flush();
+    fail::remove("pipeline-panic");
+
+    // the flight recorder dumped next to the incident spool, one file per
+    // panicking frame, each CRC-framed and fully recoverable
+    let dumps = service::blackbox::list_dumps(&spool_dir.join("blackbox")).expect("blackbox dir");
+    assert!(!dumps.is_empty(), "panics must leave blackbox files");
+    for path in &dumps {
+        let dump = service::read_dump(path)
+            .unwrap_or_else(|e| panic!("dump {} must be recoverable: {e}", path.display()));
+        assert_eq!(dump.trigger, "panic");
+        assert_eq!(dump.tenant, "victim");
+        let frame = dump.frame.expect("dump carries the frame token");
+        assert!(
+            frame.starts_with("victim-"),
+            "token is tenant-scoped: {frame}"
+        );
+        assert!(
+            dump.rings.iter().any(|r| !r.lines.is_empty()),
+            "the dump preserves recent span/event lines: {}",
+            path.display()
+        );
+    }
+
+    // the dump counter is visible over /metrics and the debug verb
+    let metrics = http_get(server.metrics_addr(), "/metrics");
+    assert!(
+        metric_value(&metrics, "rapd_blackbox_dumps_total{trigger=\"panic\"}")
+            >= dumps.len() as f64,
+        "{metrics}"
+    );
+    let debug = client.request(r#"{"type":"debug"}"#);
+    let counted = debug
+        .get("blackbox_dumps")
+        .and_then(|d| d.get("panic"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(counted >= dumps.len() as f64, "{debug:?}");
+    assert_invariant(&client.stats());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool_dir);
+}
+
+#[test]
 fn spool_write_error_degrades_to_ring_only() {
     let _guard = serialized();
     let spool_dir = std::env::temp_dir().join(format!("rapd-fault-spool-{}", std::process::id()));
@@ -265,7 +326,11 @@ fn spool_write_error_degrades_to_ring_only() {
 #[test]
 fn deadline_and_breaker_shed_and_recover() {
     let _guard = serialized();
+    let spool_dir =
+        std::env::temp_dir().join(format!("rapd-fault-deadline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool_dir);
     let mut config = touchy_config();
+    config.spool_dir = Some(spool_dir.clone());
     config.pipeline.localize_deadline = Some(Duration::from_millis(5));
     config.breaker_threshold = 2;
     config.breaker_cooldown = Duration::from_millis(200);
@@ -322,7 +387,27 @@ fn deadline_and_breaker_shed_and_recover() {
     let metrics = http_get(server.metrics_addr(), "/metrics");
     assert!(metric_value(&metrics, "rapd_deadline_exceeded_total") >= 2.0);
     assert_eq!(metric_value(&metrics, "rapd_breaker_open_tenants"), 0.0);
+
+    // both fault triggers left recoverable blackbox files behind
+    let dumps = service::blackbox::list_dumps(&spool_dir.join("blackbox")).expect("blackbox dir");
+    let mut triggers: Vec<String> = Vec::new();
+    for path in &dumps {
+        let dump = service::read_dump(path)
+            .unwrap_or_else(|e| panic!("dump {} must be recoverable: {e}", path.display()));
+        assert_eq!(dump.tenant, "t");
+        assert!(dump.frame.is_some(), "dump carries the frame token");
+        triggers.push(dump.trigger);
+    }
+    assert!(
+        triggers.iter().any(|t| t == "deadline"),
+        "deadline overruns must dump: {triggers:?}"
+    );
+    assert!(
+        triggers.iter().any(|t| t == "breaker_open"),
+        "the breaker opening must dump: {triggers:?}"
+    );
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool_dir);
 }
 
 #[test]

@@ -40,6 +40,12 @@
 #                                  reach >=0.9 recall with <=1 false
 #                                  trigger; two runs must be
 #                                  byte-identical (determinism)
+#  13. introspection gate      -- boots rapd over TCP, follows one frame
+#                                  correlation token across the trace,
+#                                  incident, and quarantine sinks,
+#                                  schema-checks the `debug` verb's JSON,
+#                                  and runs the Prometheus exposition
+#                                  lint against a live /metrics scrape
 #
 # The workspace is fully offline (external deps resolve to crates/shims/),
 # so --offline is passed everywhere; no network access is required.
@@ -95,5 +101,10 @@ cargo run --release --offline -q -p rapminer-cli --bin rapminer -- \
     > "$DET_DIR/detect2.txt"
 run diff -u "$DET_DIR/detect1.txt" "$DET_DIR/detect2.txt"
 echo "    detection replay deterministic, recall/false-trigger gate passed"
+
+# 13. introspection gate: one frame token must reconstruct the whole
+# lifecycle, the debug verb must return schema-valid internals, and the
+# live /metrics scrape must pass the exposition-format lint.
+run cargo test -p service --offline -q --test introspection
 
 echo "==> tier-1 gate passed"
