@@ -132,6 +132,17 @@ pub enum Command {
         /// Span/event lines each shard worker's flight recorder retains
         /// for post-mortem blackbox dumps; `0` disables the recorder.
         flight_recorder: usize,
+        /// Journal admitted frames to a write-ahead log under the spool
+        /// directory so a crash loses nothing past admission (needs
+        /// `--spool`; on by default).
+        wal: bool,
+        /// Milliseconds between detector checkpoints; `0` disables
+        /// periodic checkpointing (a graceful drain still checkpoints).
+        checkpoint_interval_ms: u64,
+        /// Size ceiling per spool file before it rotates to a `.1`
+        /// segment and the oldest segment is evicted; `0` disables
+        /// rotation.
+        spool_max_bytes: u64,
     },
     /// `debug`: query a running rapd daemon's live internals (queue
     /// depths, per-tenant engine/breaker/reorder state, flight-recorder
@@ -141,6 +152,20 @@ pub enum Command {
         addr: String,
         /// Restrict the per-tenant breakdown to one tenant.
         tenant: Option<String>,
+    },
+    /// `stats`: query a running rapd daemon's counters (ingested,
+    /// processed, incidents, WAL depth, checkpoint age) and print the
+    /// JSON reply.
+    Stats {
+        /// The daemon's NDJSON control address.
+        addr: String,
+    },
+    /// `shutdown`: ask a running rapd daemon to drain gracefully —
+    /// flush its reorder buffers, checkpoint every tenant, fsync the
+    /// spools — and exit.
+    Shutdown {
+        /// The daemon's NDJSON control address.
+        addr: String,
     },
     /// `detect`: offline detection replay — play a seeded anomalous
     /// stream through the streaming detector and score recall, false
@@ -206,7 +231,11 @@ USAGE:
                     [--max-lateness-ms N] [--intra-frame-threads N]
                     [--detect true] [--detect-threshold X]
                     [--seasonal-period N] [--flight-recorder N]
+                    [--wal true|false] [--checkpoint-interval-ms N]
+                    [--spool-max-bytes N]
   rapminer debug    [--addr HOST:PORT] [--tenant NAME]
+  rapminer stats    [--addr HOST:PORT]
+  rapminer shutdown [--addr HOST:PORT]
   rapminer detect   [--steps N] [--warmup N] [--injections N]
                     [--duration N] [--seed N] [--threshold X]
                     [--seasonal-period N] [--min-recall X]
@@ -298,6 +327,9 @@ impl Args {
                 detect_threshold: parse_float(&flags, "detect-threshold", 4.0)?,
                 seasonal_period: parse_num(&flags, "seasonal-period", 0)?,
                 flight_recorder: parse_num(&flags, "flight-recorder", 256)?,
+                wal: parse_bool_default(&flags, "wal", true)?,
+                checkpoint_interval_ms: parse_num(&flags, "checkpoint-interval-ms", 30_000)?,
+                spool_max_bytes: parse_num(&flags, "spool-max-bytes", 64 << 20)?,
             },
             "debug" => Command::Debug {
                 addr: flags
@@ -305,6 +337,18 @@ impl Args {
                     .cloned()
                     .unwrap_or_else(|| "127.0.0.1:4817".to_string()),
                 tenant: flags.get("tenant").cloned(),
+            },
+            "stats" => Command::Stats {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:4817".to_string()),
+            },
+            "shutdown" => Command::Shutdown {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:4817".to_string()),
             },
             "detect" => Command::Detect {
                 steps: parse_num(&flags, "steps", 360)?,
@@ -386,8 +430,16 @@ fn parse_opt_float(flags: &HashMap<String, String>, name: &str) -> Result<Option
 }
 
 fn parse_bool(flags: &HashMap<String, String>, name: &str) -> Result<bool, ParseError> {
+    parse_bool_default(flags, name, false)
+}
+
+fn parse_bool_default(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: bool,
+) -> Result<bool, ParseError> {
     match flags.get(name).map(String::as_str) {
-        None => Ok(false),
+        None => Ok(default),
         Some("true") | Some("1") | Some("yes") => Ok(true),
         Some("false") | Some("0") | Some("no") => Ok(false),
         Some(other) => Err(ParseError(format!("--{name}: `{other}` is not a boolean"))),
@@ -668,6 +720,66 @@ mod tests {
             Command::Debug {
                 addr: "10.0.0.1:9".into(),
                 tenant: Some("edge".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_serve_durability_flags() {
+        let args = Args::parse([
+            "serve",
+            "--wal",
+            "false",
+            "--checkpoint-interval-ms",
+            "5000",
+            "--spool-max-bytes",
+            "1048576",
+        ])
+        .unwrap();
+        match args.command {
+            Command::Serve {
+                wal,
+                checkpoint_interval_ms,
+                spool_max_bytes,
+                ..
+            } => {
+                assert!(!wal);
+                assert_eq!(checkpoint_interval_ms, 5000);
+                assert_eq!(spool_max_bytes, 1_048_576);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // defaults: WAL on, 30 s checkpoints, 64 MiB spool ceiling
+        match Args::parse(["serve"]).unwrap().command {
+            Command::Serve {
+                wal,
+                checkpoint_interval_ms,
+                spool_max_bytes,
+                ..
+            } => {
+                assert!(wal, "WAL must default on");
+                assert_eq!(checkpoint_interval_ms, 30_000);
+                assert_eq!(spool_max_bytes, 64 << 20);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(Args::parse(["serve", "--wal", "maybe"]).is_err());
+    }
+
+    #[test]
+    fn parses_stats_and_shutdown() {
+        assert_eq!(
+            Args::parse(["stats"]).unwrap().command,
+            Command::Stats {
+                addr: "127.0.0.1:4817".into(),
+            }
+        );
+        assert_eq!(
+            Args::parse(["shutdown", "--addr", "10.0.0.1:9"])
+                .unwrap()
+                .command,
+            Command::Shutdown {
+                addr: "10.0.0.1:9".into(),
             }
         );
     }

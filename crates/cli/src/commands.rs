@@ -131,14 +131,17 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
         ),
         Command::Serve { .. } => {
             let handle = serve_start(&args.command, out)?;
-            // daemon mode: the listeners run until the process is killed
-            loop {
-                std::thread::park();
-                // spurious unparks are harmless; keep serving
-                let _ = &handle;
-            }
+            // daemon mode: serve until a `shutdown` control verb drains
+            // us (or the process is killed), then flush, checkpoint,
+            // and exit 0
+            handle.wait_for_drain();
+            handle.shutdown();
+            writeln!(out, "rapd drained; exiting").map_err(io_err)?;
+            Ok(())
         }
         Command::Debug { addr, tenant } => debug(addr, tenant.as_deref(), out),
+        Command::Stats { addr } => stats(addr, out),
+        Command::Shutdown { addr } => shutdown(addr, out),
     }
 }
 
@@ -149,16 +152,40 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
 /// prints the one-line JSON reply verbatim so it can be piped into `jq`.
 fn debug(addr: &str, tenant: Option<&str>, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     use service::json::Json;
-    use std::io::{BufRead, BufReader, Write};
-
     let mut fields = vec![("type".to_string(), Json::str("debug"))];
     if let Some(t) = tenant {
         fields.push(("tenant".to_string(), Json::str(t)));
     }
-    let request = Json::Obj(fields).render();
+    control_request(addr, &Json::Obj(fields).render(), out)
+}
 
-    let stream = std::net::TcpStream::connect(addr)
-        .map_err(|e| CliError::new(format!("cannot connect to rapd at {addr}: {e}")))?;
+/// The `stats` subcommand: print a running rapd's counters (ingested,
+/// processed, incidents, WAL depth, checkpoint age) as one JSON line.
+fn stats(addr: &str, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use service::json::Json;
+    let request = Json::Obj(vec![("type".to_string(), Json::str("stats"))]).render();
+    control_request(addr, &request, out)
+}
+
+/// The `shutdown` subcommand: ask a running rapd to drain gracefully.
+/// The daemon flushes its reorder buffers, checkpoints every tenant,
+/// fsyncs the spools, replies, and exits 0.
+fn shutdown(addr: &str, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use service::json::Json;
+    let request = Json::Obj(vec![("type".to_string(), Json::str("shutdown"))]).render();
+    control_request(addr, &request, out)
+}
+
+/// Send one NDJSON control request and print the one-line JSON reply
+/// verbatim so it can be piped into `jq`.
+fn control_request(
+    addr: &str,
+    request: &str,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let stream = connect_with_retry(addr)?;
     let mut writer = stream
         .try_clone()
         .map_err(|e| CliError::new(format!("cannot clone connection: {e}")))?;
@@ -176,6 +203,30 @@ fn debug(addr: &str, tenant: Option<&str>, out: &mut dyn std::io::Write) -> Resu
     }
     writeln!(out, "{}", reply.trim_end()).map_err(io_err)?;
     Ok(())
+}
+
+/// Connect to the daemon's control port, retrying transient refusals
+/// (daemon still booting, or restarting after a crash) with capped
+/// exponential backoff: five attempts spaced 50/100/200/400 ms apart.
+/// The final failure surfaces as the usual user-facing connect error.
+fn connect_with_retry(addr: &str) -> Result<std::net::TcpStream, CliError> {
+    const ATTEMPTS: u32 = 5;
+    let mut backoff = std::time::Duration::from_millis(50);
+    for attempt in 1..=ATTEMPTS {
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if attempt == ATTEMPTS => {
+                return Err(CliError::new(format!(
+                    "cannot connect to rapd at {addr}: {e}"
+                )));
+            }
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(std::time::Duration::from_millis(800));
+            }
+        }
+    }
+    unreachable!("the loop returns on the last attempt")
 }
 
 /// Boot the rapd daemon from the `serve` flags and report its listeners.
@@ -209,6 +260,9 @@ pub(crate) fn serve_start(
         detect_threshold,
         seasonal_period,
         flight_recorder,
+        wal,
+        checkpoint_interval_ms,
+        spool_max_bytes,
     } = command
     else {
         return Err(CliError::new("serve_start requires the serve command"));
@@ -231,6 +285,9 @@ pub(crate) fn serve_start(
         detect_threshold: *detect_threshold,
         seasonal_period: *seasonal_period,
         flight_recorder_capacity: *flight_recorder,
+        wal: *wal,
+        checkpoint_interval: std::time::Duration::from_millis(*checkpoint_interval_ms),
+        spool_max_bytes: *spool_max_bytes,
         pipeline: pipeline::PipelineConfig {
             history_len: *history,
             warmup: *warmup,
@@ -262,6 +319,13 @@ pub(crate) fn serve_start(
     .map_err(io_err)?;
     if let Some(dir) = spool {
         writeln!(out, "rapd spooling incidents under {dir}").map_err(io_err)?;
+        if *wal {
+            writeln!(
+                out,
+                "rapd journaling admitted frames and checkpoints under {dir}"
+            )
+            .map_err(io_err)?;
+        }
     }
     if *detect {
         writeln!(
@@ -994,6 +1058,33 @@ mod tests {
         // a dead endpoint is a user-facing error, not a panic
         let err = run_to_string(&["debug", "--addr", &addr]).expect_err("must fail");
         assert!(err.to_string().contains("cannot connect"), "{err}");
+    }
+
+    #[test]
+    fn stats_and_shutdown_clients_round_trip() {
+        let args = Args::parse([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics-listen",
+            "127.0.0.1:0",
+            "--shards",
+            "1",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        let handle = serve_start(&args.command, &mut out).unwrap();
+        let addr = handle.ingest_addr().to_string();
+
+        let reply = run_to_string(&["stats", "--addr", &addr]).unwrap();
+        assert!(reply.contains("\"type\":\"stats\""), "got: {reply}");
+        assert!(reply.contains("\"wal_depth\""), "got: {reply}");
+
+        // the shutdown verb drains the daemon and unblocks the serve loop
+        let reply = run_to_string(&["shutdown", "--addr", &addr]).unwrap();
+        assert!(reply.contains("\"draining\":true"), "got: {reply}");
+        handle.wait_for_drain();
+        handle.shutdown();
     }
 
     #[test]

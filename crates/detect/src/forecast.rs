@@ -157,6 +157,86 @@ impl LeafForecaster {
             self.update(f);
         }
     }
+
+    /// Capture the model state verbatim for checkpointing. Smoothing
+    /// factors are not recorded — they come back from the
+    /// [`DetectorConfig`] at restore time, which also guards against
+    /// restoring into a reconfigured detector.
+    pub fn snapshot(&self) -> ForecasterSnapshot {
+        match self {
+            LeafForecaster::Ewma(f) => ForecasterSnapshot::Ewma { level: f.level },
+            LeafForecaster::HoltWinters(f) => ForecasterSnapshot::HoltWinters {
+                level: f.level,
+                trend: f.trend,
+                seasonal: f.seasonal.clone(),
+                idx: f.idx,
+            },
+        }
+    }
+
+    /// Rebuild a forecaster from a snapshot under `config`. Returns
+    /// `None` when the snapshot's shape no longer matches the config
+    /// (model kind flipped, seasonal period changed) — the caller falls
+    /// back to a cold start.
+    pub fn restore(config: &DetectorConfig, snap: &ForecasterSnapshot) -> Option<Self> {
+        match snap {
+            ForecasterSnapshot::Ewma { level } => {
+                if config.seasonal_period != 0 {
+                    return None;
+                }
+                let mut f = IncEwma::new(config.ewma_alpha);
+                f.level = *level;
+                Some(LeafForecaster::Ewma(f))
+            }
+            ForecasterSnapshot::HoltWinters {
+                level,
+                trend,
+                seasonal,
+                idx,
+            } => {
+                if config.seasonal_period == 0
+                    || seasonal.len() != config.seasonal_period
+                    || *idx >= seasonal.len()
+                {
+                    return None;
+                }
+                let mut f = IncHoltWinters::new(
+                    config.ewma_alpha,
+                    config.hw_beta,
+                    config.hw_gamma,
+                    config.seasonal_period,
+                );
+                f.level = *level;
+                f.trend = *trend;
+                f.seasonal = seasonal.clone();
+                f.idx = *idx;
+                Some(LeafForecaster::HoltWinters(f))
+            }
+        }
+    }
+}
+
+/// A verbatim capture of one [`LeafForecaster`]'s model state, produced
+/// by [`LeafForecaster::snapshot`] and consumed by
+/// [`LeafForecaster::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecasterSnapshot {
+    /// Plain EWMA state.
+    Ewma {
+        /// Current level; `None` while unseeded.
+        level: Option<f64>,
+    },
+    /// Additive Holt-Winters state.
+    HoltWinters {
+        /// Current level; `None` while unseeded.
+        level: Option<f64>,
+        /// Current trend component.
+        trend: f64,
+        /// One seasonal slot per phase of the period.
+        seasonal: Vec<f64>,
+        /// Phase of the next observation.
+        idx: usize,
+    },
 }
 
 #[cfg(test)]
@@ -283,5 +363,68 @@ mod tests {
     #[should_panic(expected = "period")]
     fn holt_winters_rejects_zero_period() {
         IncHoltWinters::new(0.5, 0.5, 0.5, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_both_models() {
+        let ewma_config = DetectorConfig {
+            seasonal_period: 0,
+            ..DetectorConfig::default()
+        };
+        let hw_config = DetectorConfig {
+            seasonal_period: 4,
+            ..DetectorConfig::default()
+        };
+        for config in [ewma_config, hw_config] {
+            let mut f = LeafForecaster::from_config(&config);
+            for i in 0..23 {
+                f.update(10.0 + (i as f64).cos() * 3.0);
+            }
+            let snap = f.snapshot();
+            let mut restored =
+                LeafForecaster::restore(&config, &snap).expect("matching config restores");
+            for i in 0..50 {
+                let x = 12.0 + (i as f64).sin();
+                f.update(x);
+                restored.update(x);
+                assert_eq!(
+                    f.forecast_next().map(f64::to_bits),
+                    restored.forecast_next().map(f64::to_bits),
+                    "forecasts diverged after restore"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_shape() {
+        let ewma_config = DetectorConfig {
+            seasonal_period: 0,
+            ..DetectorConfig::default()
+        };
+        let hw_config = DetectorConfig {
+            seasonal_period: 4,
+            ..DetectorConfig::default()
+        };
+        let ewma_snap = LeafForecaster::from_config(&ewma_config).snapshot();
+        let hw_snap = LeafForecaster::from_config(&hw_config).snapshot();
+        // Kind flipped.
+        assert!(LeafForecaster::restore(&hw_config, &ewma_snap).is_none());
+        assert!(LeafForecaster::restore(&ewma_config, &hw_snap).is_none());
+        // Period changed.
+        let other_period = DetectorConfig {
+            seasonal_period: 7,
+            ..DetectorConfig::default()
+        };
+        assert!(LeafForecaster::restore(&other_period, &hw_snap).is_none());
+    }
+
+    #[test]
+    fn unseeded_snapshot_restores_unseeded() {
+        let config = DetectorConfig::default();
+        let f = LeafForecaster::from_config(&config);
+        let snap = f.snapshot();
+        let restored = LeafForecaster::restore(&config, &snap).expect("restores");
+        assert_eq!(restored.forecast_next(), None);
     }
 }

@@ -7,8 +7,8 @@ use std::collections::HashMap;
 use mdkpi::{ElementId, LeafFrame};
 
 use crate::config::{DetectorConfig, DetectorConfigError};
-use crate::forecast::LeafForecaster;
-use crate::residual::ResidualWindow;
+use crate::forecast::{ForecasterSnapshot, LeafForecaster};
+use crate::residual::{ResidualSnapshot, ResidualWindow};
 use crate::severity::Severity;
 
 /// Guard against division by zero in relative deviations (the paper's
@@ -80,6 +80,32 @@ impl LeafDetector {
     pub fn hold(&mut self) {
         self.forecaster.hold();
     }
+
+    /// Capture this leaf's state verbatim for checkpointing.
+    pub fn snapshot(&self) -> LeafSnapshot {
+        LeafSnapshot {
+            forecaster: self.forecaster.snapshot(),
+            residuals: self.residuals.snapshot(),
+        }
+    }
+
+    /// Rebuild a leaf from a snapshot under `config`; `None` when the
+    /// snapshot no longer matches the configured model shape.
+    pub fn restore(config: &DetectorConfig, snap: &LeafSnapshot) -> Option<Self> {
+        Some(LeafDetector {
+            forecaster: LeafForecaster::restore(config, &snap.forecaster)?,
+            residuals: ResidualWindow::restore(config.residual_window, &snap.residuals)?,
+        })
+    }
+}
+
+/// A verbatim capture of one [`LeafDetector`]'s state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafSnapshot {
+    /// Forecaster model state.
+    pub forecaster: ForecasterSnapshot,
+    /// Residual-ring contents and running moments.
+    pub residuals: ResidualSnapshot,
 }
 
 /// Where the detector's state machine currently sits.
@@ -101,6 +127,16 @@ impl DetectorState {
             DetectorState::Warmup => "warmup",
             DetectorState::Steady => "steady",
             DetectorState::Triggered => "triggered",
+        }
+    }
+
+    /// Inverse of [`DetectorState::as_str`], for checkpoint decoding.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "warmup" => Some(DetectorState::Warmup),
+            "steady" => Some(DetectorState::Steady),
+            "triggered" => Some(DetectorState::Triggered),
+            _ => None,
         }
     }
 }
@@ -147,6 +183,22 @@ impl FrameDetection {
             .map(|z| z.map(|z| z >= LEAF_SIGMA).unwrap_or(false))
             .collect()
     }
+}
+
+/// A verbatim capture of a whole [`FrameDetector`], produced by
+/// [`FrameDetector::snapshot`] and consumed by [`FrameDetector::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorSnapshot {
+    /// Observations consumed so far.
+    pub steps: usize,
+    /// State-machine position.
+    pub state: DetectorState,
+    /// Consecutive anomalous frames in the current excursion.
+    pub triggered_frames: usize,
+    /// The overall-KPI detector.
+    pub total: LeafSnapshot,
+    /// Per-leaf detectors, sorted by element key.
+    pub leaves: Vec<(Vec<ElementId>, LeafSnapshot)>,
 }
 
 /// The per-tenant streaming detector: per-leaf incremental state plus an
@@ -198,6 +250,48 @@ impl FrameDetector {
     /// Distinct leaves with detector state.
     pub fn leaf_count(&self) -> usize {
         self.leaves.len()
+    }
+
+    /// Capture the whole detector verbatim for checkpointing. Leaves are
+    /// emitted sorted by element key so the snapshot serializes to
+    /// deterministic bytes regardless of hash-map iteration order.
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        let mut leaves: Vec<(Vec<ElementId>, LeafSnapshot)> = self
+            .leaves
+            .iter()
+            .map(|(k, d)| (k.clone(), d.snapshot()))
+            .collect();
+        leaves.sort_by(|a, b| a.0.cmp(&b.0));
+        DetectorSnapshot {
+            steps: self.steps,
+            state: self.state,
+            triggered_frames: self.triggered_frames,
+            total: self.total.snapshot(),
+            leaves,
+        }
+    }
+
+    /// Rebuild a detector from a snapshot so that, fed the same stream,
+    /// it behaves bit-identically to the detector the snapshot was taken
+    /// from. Returns `None` when `config` is invalid or any piece of the
+    /// snapshot no longer matches the configured model shape — callers
+    /// fall back to a cold start (which silently re-warms) rather than
+    /// resuming from mismatched state.
+    pub fn restore(config: DetectorConfig, snap: &DetectorSnapshot) -> Option<Self> {
+        config.validate().ok()?;
+        let total = LeafDetector::restore(&config, &snap.total)?;
+        let mut leaves = HashMap::with_capacity(snap.leaves.len());
+        for (key, leaf) in &snap.leaves {
+            leaves.insert(key.clone(), LeafDetector::restore(&config, leaf)?);
+        }
+        Some(FrameDetector {
+            total,
+            leaves,
+            state: snap.state,
+            triggered_frames: snap.triggered_frames,
+            steps: snap.steps,
+            config,
+        })
     }
 
     /// Consume one raw (unlabelled) frame and decide whether it is the
@@ -498,6 +592,108 @@ mod tests {
         assert_eq!(det.row_scores[2], None);
         assert!(!det.triggered);
         assert_eq!(d.leaf_count(), 3);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let s = schema();
+        let cfg = config();
+        let mut d = FrameDetector::new(cfg).expect("valid config");
+        // Warm up, then land the snapshot mid-excursion so trigger/hold
+        // state is non-trivial.
+        for i in 0..40 {
+            let scale = 1.0 + 0.01 * ((i % 5) as f64);
+            d.observe(&frame(&s, scale));
+        }
+        d.observe(&frame(&s, 0.2));
+        assert_eq!(d.state(), DetectorState::Triggered);
+
+        let snap = d.snapshot();
+        let mut restored = FrameDetector::restore(cfg, &snap).expect("matching config restores");
+        assert_eq!(restored.state(), DetectorState::Triggered);
+        assert_eq!(restored.steps(), d.steps());
+        assert_eq!(restored.leaf_count(), d.leaf_count());
+
+        // Feed both the same continuation — recovery, steady, a second
+        // episode — and require bit-identical detections throughout.
+        let scales = [0.2, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.3, 0.3, 1.0];
+        for scale in scales {
+            let f = frame(&s, scale);
+            let a = d.observe(&f);
+            let b = restored.observe(&f);
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.deviation.to_bits(), b.deviation.to_bits());
+            assert_eq!(a.severity, b.severity);
+            assert_eq!(a.triggered, b.triggered);
+            assert_eq!(a.state, b.state);
+            assert_eq!(
+                a.row_scores
+                    .iter()
+                    .map(|z| z.map(f64::to_bits))
+                    .collect::<Vec<_>>(),
+                b.row_scores
+                    .iter()
+                    .map(|z| z.map(f64::to_bits))
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(a.leaf_scores, b.leaf_scores);
+        }
+    }
+
+    #[test]
+    fn snapshot_leaves_are_sorted_for_determinism() {
+        let s = schema();
+        let mut d = FrameDetector::new(config()).expect("valid config");
+        for _ in 0..5 {
+            d.observe(&frame(&s, 1.0));
+        }
+        let snap = d.snapshot();
+        let keys: Vec<_> = snap.leaves.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn restore_rejects_a_reconfigured_detector() {
+        let s = schema();
+        let mut d = FrameDetector::new(config()).expect("valid config");
+        for _ in 0..20 {
+            d.observe(&frame(&s, 1.0));
+        }
+        let snap = d.snapshot();
+        // Seasonality flipped on: every forecaster shape mismatches.
+        let seasonal = DetectorConfig {
+            seasonal_period: 12,
+            ..config()
+        };
+        assert!(FrameDetector::restore(seasonal, &snap).is_none());
+        // Residual window shrank below the held samples.
+        let shrunk = DetectorConfig {
+            min_samples: 2,
+            residual_window: 2,
+            ..config()
+        };
+        assert!(FrameDetector::restore(shrunk, &snap).is_none());
+        // Invalid config never restores.
+        let invalid = DetectorConfig {
+            min_samples: 0,
+            ..config()
+        };
+        assert!(FrameDetector::restore(invalid, &snap).is_none());
+    }
+
+    #[test]
+    fn detector_state_parse_round_trips() {
+        for state in [
+            DetectorState::Warmup,
+            DetectorState::Steady,
+            DetectorState::Triggered,
+        ] {
+            assert_eq!(DetectorState::parse(state.as_str()), Some(state));
+        }
+        assert_eq!(DetectorState::parse("bogus"), None);
     }
 
     #[test]

@@ -73,7 +73,9 @@ mod residual;
 mod severity;
 
 pub use config::{DetectorConfig, DetectorConfigError};
-pub use forecast::{IncEwma, IncHoltWinters, LeafForecaster};
-pub use frame::{DetectorState, FrameDetection, FrameDetector, LeafDetector};
-pub use residual::ResidualWindow;
+pub use forecast::{ForecasterSnapshot, IncEwma, IncHoltWinters, LeafForecaster};
+pub use frame::{
+    DetectorSnapshot, DetectorState, FrameDetection, FrameDetector, LeafDetector, LeafSnapshot,
+};
+pub use residual::{ResidualSnapshot, ResidualWindow};
 pub use severity::Severity;

@@ -93,6 +93,55 @@ impl ResidualWindow {
         let var = (self.sumsq / n as f64 - mean * mean).max(0.0);
         var.sqrt()
     }
+
+    /// Capture the internal state verbatim for checkpointing.
+    ///
+    /// The running sums are recorded exactly as held, *not* recomputed
+    /// from the buffer: the incremental sums carry floating-point drift
+    /// relative to a fresh rebuild, and a restore that recomputed them
+    /// would diverge bit-for-bit from the uninterrupted process.
+    pub fn snapshot(&self) -> ResidualSnapshot {
+        ResidualSnapshot {
+            buf: self.buf.iter().copied().collect(),
+            sum: self.sum,
+            sumsq: self.sumsq,
+            pushes_since_rebuild: self.pushes_since_rebuild,
+        }
+    }
+
+    /// Rebuild a window from a snapshot so that its future behaviour is
+    /// bit-identical to the window the snapshot was taken from. Returns
+    /// `None` when the snapshot cannot fit `capacity` (the configured
+    /// window shrank since the snapshot was written).
+    pub fn restore(capacity: usize, snap: &ResidualSnapshot) -> Option<Self> {
+        if capacity == 0 || snap.buf.len() > capacity {
+            return None;
+        }
+        let mut buf = VecDeque::with_capacity(capacity);
+        buf.extend(snap.buf.iter().copied());
+        Some(ResidualWindow {
+            buf,
+            capacity,
+            sum: snap.sum,
+            sumsq: snap.sumsq,
+            pushes_since_rebuild: snap.pushes_since_rebuild,
+        })
+    }
+}
+
+/// A verbatim capture of a [`ResidualWindow`]'s state, produced by
+/// [`ResidualWindow::snapshot`] and consumed by
+/// [`ResidualWindow::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualSnapshot {
+    /// Ring contents, oldest first.
+    pub buf: Vec<f64>,
+    /// Running sum, exactly as held at snapshot time.
+    pub sum: f64,
+    /// Running sum of squares, exactly as held at snapshot time.
+    pub sumsq: f64,
+    /// Pushes since the last exact rebuild.
+    pub pushes_since_rebuild: usize,
 }
 
 #[cfg(test)]
@@ -161,5 +210,39 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_is_rejected() {
         ResidualWindow::new(0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_bit_identical() {
+        let mut w = ResidualWindow::new(10);
+        // Land mid-way between rebuilds so the drifted sums differ from a
+        // fresh recomputation.
+        for i in 0..37 {
+            w.push((i as f64) * 0.1 - 1.3);
+        }
+        let snap = w.snapshot();
+        let mut restored = ResidualWindow::restore(10, &snap).expect("snapshot fits");
+        assert_eq!(w, restored);
+        // Continue both and compare the exact bits of every statistic.
+        for i in 0..100 {
+            let x = (i as f64).sin();
+            w.push(x);
+            restored.push(x);
+            assert_eq!(w.mean().to_bits(), restored.mean().to_bits());
+            assert_eq!(w.std().to_bits(), restored.std().to_bits());
+        }
+        assert_eq!(w, restored);
+    }
+
+    #[test]
+    fn restore_rejects_a_shrunk_capacity() {
+        let mut w = ResidualWindow::new(8);
+        for i in 0..8 {
+            w.push(i as f64);
+        }
+        let snap = w.snapshot();
+        assert!(ResidualWindow::restore(4, &snap).is_none());
+        assert!(ResidualWindow::restore(0, &snap).is_none());
+        assert!(ResidualWindow::restore(16, &snap).is_some());
     }
 }

@@ -57,6 +57,27 @@ impl FrameId {
         }
     }
 
+    /// Re-adopt a frame identity minted by an earlier process run, for
+    /// WAL replay: the replayed frame keeps its original token (so every
+    /// sink record it produces matches the pre-crash run byte for byte)
+    /// and its original sequence number (so downstream dedup on the seq
+    /// works across the restart). `ingest_micros` restarts on this
+    /// process's monotonic clock — latency math never spans processes.
+    pub fn adopt(token: &str, seq: u64) -> FrameId {
+        FrameId {
+            token: token.into(),
+            seq,
+            ingest_micros: micros_since_start(),
+        }
+    }
+
+    /// Advance the process-wide mint sequence past `seq`, so ids minted
+    /// after a WAL replay never collide with ids recovered from the
+    /// journal. Monotonic: a lower `seq` is a no-op.
+    pub fn advance_past(seq: u64) {
+        NEXT_SEQ.fetch_max(seq.saturating_add(1), Ordering::Relaxed);
+    }
+
     /// The greppable token, e.g. `edge-0000002a-1754700000123`.
     pub fn as_str(&self) -> &str {
         &self.token
@@ -149,6 +170,23 @@ mod tests {
             assert_eq!(current_frame().as_deref(), Some(outer.as_str()));
         }
         assert_eq!(current_frame(), None);
+    }
+
+    #[test]
+    fn adopt_preserves_token_and_seq() {
+        let id = FrameId::adopt("edge-0000002a-1754700000123", 42);
+        assert_eq!(id.as_str(), "edge-0000002a-1754700000123");
+        assert_eq!(id.seq(), 42);
+    }
+
+    #[test]
+    fn advance_past_prevents_seq_reuse() {
+        let before = FrameId::mint("t").seq();
+        FrameId::advance_past(before + 100);
+        assert!(FrameId::mint("t").seq() > before + 100);
+        // Lower watermarks never move the sequence backwards.
+        FrameId::advance_past(1);
+        assert!(FrameId::mint("t").seq() > before + 100);
     }
 
     #[test]

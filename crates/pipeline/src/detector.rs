@@ -15,7 +15,7 @@ use std::fmt;
 use std::time::Instant;
 
 use baselines::Localizer;
-use detect::{DetectorConfig, FrameDetection, FrameDetector};
+use detect::{DetectorConfig, DetectorSnapshot, FrameDetection, FrameDetector};
 use mdkpi::{LeafFrame, Schema};
 use rapminer::TraceDetection;
 
@@ -70,6 +70,35 @@ impl<L: Localizer> DetectingPipeline<L> {
             schema: None,
             last_detector_seconds: 0.0,
         })
+    }
+
+    /// Rebuild a pipeline whose detector resumes from `snapshot` instead
+    /// of starting cold. The schema re-binds lazily on the first frame
+    /// observed after the restore, exactly as on a fresh pipeline.
+    /// Returns `None` when either config is invalid or the snapshot no
+    /// longer matches `detector_config` — callers fall back to
+    /// [`DetectingPipeline::try_new`] (a cold start that silently
+    /// re-warms).
+    pub fn try_restore(
+        config: PipelineConfig,
+        detector_config: DetectorConfig,
+        snapshot: &DetectorSnapshot,
+        localizer: L,
+    ) -> Option<Self> {
+        config.validate().ok()?;
+        let detector = FrameDetector::restore(detector_config, snapshot)?;
+        Some(DetectingPipeline {
+            config,
+            detector,
+            localizer,
+            schema: None,
+            last_detector_seconds: 0.0,
+        })
+    }
+
+    /// Capture the detector state verbatim for checkpointing.
+    pub fn detector_snapshot(&self) -> DetectorSnapshot {
+        self.detector.snapshot()
     }
 
     /// The active pipeline configuration.
@@ -368,6 +397,69 @@ mod tests {
             .expect("row");
         let err = p.observe(&builder.build()).unwrap_err();
         assert!(matches!(err, PipelineError::SchemaChanged));
+    }
+
+    #[test]
+    fn restored_pipeline_localizes_identically_to_uninterrupted() {
+        let topology = CdnTopology::small(11);
+        let model = TrafficModel::new(topology, TrafficConfig::default(), 11);
+        let rap = heaviest_location(&model);
+        let mut p = pipeline();
+        for minute in 0..50 {
+            p.observe(&model.snapshot(minute)).expect("clean frame");
+        }
+        // Checkpoint mid-stream, then resume a second pipeline from it.
+        let snap = p.detector_snapshot();
+        let mut restored = DetectingPipeline::try_restore(
+            PipelineConfig::default(),
+            detector_config(),
+            &snap,
+            RapMinerLocalizer::default(),
+        )
+        .expect("snapshot restores under the same config");
+        assert_eq!(restored.steps_observed(), p.steps_observed());
+
+        let mut frame = model.snapshot(50);
+        FailureInjector::new(0.5, 0.9).inject(&mut frame, std::slice::from_ref(&rap), 50);
+        let a = p
+            .observe(&frame)
+            .expect("anomalous frame")
+            .expect("uninterrupted run triggers");
+        let b = restored
+            .observe(&frame)
+            .expect("anomalous frame")
+            .expect("restored run triggers identically");
+        assert_eq!(a.step, b.step);
+        assert_eq!(a.total_deviation.to_bits(), b.total_deviation.to_bits());
+        assert_eq!(a.severity, b.severity);
+        assert_eq!(
+            a.raps
+                .iter()
+                .map(|r| (r.combination.to_string(), r.score.to_bits()))
+                .collect::<Vec<_>>(),
+            b.raps
+                .iter()
+                .map(|r| (r.combination.to_string(), r.score.to_bits()))
+                .collect::<Vec<_>>(),
+            "restored localization must match the uninterrupted run exactly"
+        );
+    }
+
+    #[test]
+    fn try_restore_rejects_mismatched_detector_config() {
+        let p = pipeline();
+        let snap = p.detector_snapshot();
+        let reconfigured = DetectorConfig {
+            seasonal_period: 24,
+            ..detector_config()
+        };
+        assert!(DetectingPipeline::try_restore(
+            PipelineConfig::default(),
+            reconfigured,
+            &snap,
+            RapMinerLocalizer::default(),
+        )
+        .is_none());
     }
 
     #[test]

@@ -65,9 +65,14 @@ mod multi;
 mod stream;
 mod tracker;
 
-pub use detect::{DetectorConfig, DetectorConfigError, DetectorState, Severity};
+pub use detect::{
+    DetectorConfig, DetectorConfigError, DetectorSnapshot, DetectorState, ForecasterSnapshot,
+    LeafSnapshot, ResidualSnapshot, Severity,
+};
 pub use detector::DetectingPipeline;
 pub use incident::{DetectionSummary, IncidentReport, StageTimings};
 pub use multi::{localize_multi_kpi, MergedRap, MultiKpiReport};
-pub use stream::{ConfigError, LocalizationPipeline, PipelineConfig, PipelineError};
+pub use stream::{
+    ClassicSnapshot, ConfigError, LocalizationPipeline, PipelineConfig, PipelineError,
+};
 pub use tracker::{Incident, IncidentTracker};

@@ -176,6 +176,19 @@ impl From<baselines::Error> for PipelineError {
     }
 }
 
+/// A verbatim capture of a [`LocalizationPipeline`]'s streaming state,
+/// produced by [`LocalizationPipeline::state_snapshot`] and consumed by
+/// [`LocalizationPipeline::try_restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassicSnapshot {
+    /// Snapshots observed so far.
+    pub steps: usize,
+    /// Total-KPI history ring, oldest first.
+    pub total_history: Vec<f64>,
+    /// Per-leaf history rings, sorted by element key, oldest first.
+    pub history: Vec<(Vec<ElementId>, Vec<f64>)>,
+}
+
 /// The streaming operations loop: ingest per-leaf actuals step by step,
 /// alarm on the overall KPI, localize on alarm (see the crate docs for a
 /// full example).
@@ -236,6 +249,60 @@ impl<F: Forecaster, L: Localizer> LocalizationPipeline<F, L> {
     /// Number of snapshots observed so far.
     pub fn steps_observed(&self) -> usize {
         self.steps
+    }
+
+    /// Capture the streaming state (step counter plus every bounded
+    /// history ring) verbatim for checkpointing. Leaves are emitted
+    /// sorted by element key so the capture serializes to deterministic
+    /// bytes. The forecaster itself is stateless between calls — it
+    /// re-fits from history — so histories are the whole state.
+    pub fn state_snapshot(&self) -> ClassicSnapshot {
+        let mut history: Vec<(Vec<ElementId>, Vec<f64>)> = self
+            .history
+            .iter()
+            .map(|(k, h)| (k.clone(), h.iter().copied().collect()))
+            .collect();
+        history.sort_by(|a, b| a.0.cmp(&b.0));
+        ClassicSnapshot {
+            steps: self.steps,
+            total_history: self.total_history.iter().copied().collect(),
+            history,
+        }
+    }
+
+    /// Rebuild a pipeline resuming from `snapshot` instead of starting
+    /// cold. The schema re-binds lazily on the first frame observed after
+    /// the restore. Returns `None` when the config is invalid or any
+    /// history ring no longer fits `history_len` (the window shrank since
+    /// the snapshot was written).
+    pub fn try_restore(
+        config: PipelineConfig,
+        forecaster: F,
+        localizer: L,
+        snapshot: &ClassicSnapshot,
+    ) -> Option<Self> {
+        config.validate().ok()?;
+        if snapshot.total_history.len() > config.history_len
+            || snapshot
+                .history
+                .iter()
+                .any(|(_, h)| h.len() > config.history_len)
+        {
+            return None;
+        }
+        let mut history = HashMap::with_capacity(snapshot.history.len());
+        for (key, hist) in &snapshot.history {
+            history.insert(key.clone(), hist.iter().copied().collect::<VecDeque<f64>>());
+        }
+        Some(LocalizationPipeline {
+            config,
+            forecaster,
+            localizer,
+            schema: None,
+            history,
+            total_history: snapshot.total_history.iter().copied().collect(),
+            steps: snapshot.steps,
+        })
     }
 
     /// Ingest one snapshot of **actual** values (the frame's forecast
@@ -738,6 +805,69 @@ mod tests {
         )
         .expect_err("zero warmup must be rejected");
         assert_eq!(err, ConfigError::ZeroField { field: "warmup" });
+    }
+
+    #[test]
+    fn state_snapshot_restores_and_alarms_identically() {
+        let s = schema();
+        let mut p = pipeline();
+        for _ in 0..10 {
+            p.observe(&frame(&s, [100.0, 100.0, 100.0, 100.0])).unwrap();
+        }
+        let snap = p.state_snapshot();
+        // Deterministic serialization: leaf keys sorted.
+        let keys: Vec<_> = snap.history.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+
+        let mut restored = LocalizationPipeline::try_restore(
+            PipelineConfig {
+                warmup: 5,
+                ..PipelineConfig::default()
+            },
+            MovingAverage::new(5),
+            RapMinerLocalizer::default(),
+            &snap,
+        )
+        .expect("same config restores");
+        assert_eq!(restored.steps_observed(), p.steps_observed());
+
+        let anomalous = frame(&s, [5.0, 5.0, 100.0, 100.0]);
+        let a = p.observe(&anomalous).unwrap().expect("alarm");
+        let b = restored.observe(&anomalous).unwrap().expect("alarm");
+        assert_eq!(a.step, b.step);
+        assert_eq!(a.total_deviation.to_bits(), b.total_deviation.to_bits());
+        assert_eq!(
+            a.raps
+                .iter()
+                .map(|r| (r.combination.to_string(), r.score.to_bits()))
+                .collect::<Vec<_>>(),
+            b.raps
+                .iter()
+                .map(|r| (r.combination.to_string(), r.score.to_bits()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn try_restore_rejects_a_shrunk_history_window() {
+        let s = schema();
+        let mut p = pipeline();
+        for _ in 0..20 {
+            p.observe(&frame(&s, [1.0, 1.0, 1.0, 1.0])).unwrap();
+        }
+        let snap = p.state_snapshot();
+        assert!(LocalizationPipeline::try_restore(
+            PipelineConfig {
+                history_len: 5,
+                ..PipelineConfig::default()
+            },
+            MovingAverage::new(5),
+            RapMinerLocalizer::default(),
+            &snap,
+        )
+        .is_none());
     }
 
     #[test]

@@ -70,6 +70,20 @@ pub struct ServiceConfig {
     /// post-mortem blackbox dumps (panic, deadline overrun, breaker open).
     /// `0` disables the recorder entirely — legal, not a misconfiguration.
     pub flight_recorder_capacity: usize,
+    /// Journal admitted frames to a per-tenant write-ahead log under
+    /// `<spool_dir>/wal/` before they enter the shard queues, so a crash
+    /// loses nothing past admission. Only effective with a `spool_dir`.
+    pub wal: bool,
+    /// How often each tenant's detector state is checkpointed to
+    /// `<spool_dir>/checkpoints/`. `Duration::ZERO` disables periodic
+    /// checkpoints (graceful `shutdown` still writes one) — legal, not a
+    /// misconfiguration. Only effective with a `spool_dir`.
+    pub checkpoint_interval: Duration,
+    /// Size at which the incident and per-tenant quarantine spools rotate
+    /// (current file renamed to `.jsonl.1`, evicting the previous oldest
+    /// segment). `0` disables rotation — legal, spools then grow
+    /// unbounded.
+    pub spool_max_bytes: u64,
     /// Streaming-pipeline tunables applied to every tenant.
     pub pipeline: PipelineConfig,
 }
@@ -95,6 +109,9 @@ impl Default for ServiceConfig {
             detect_threshold: 4.0,
             seasonal_period: 0,
             flight_recorder_capacity: obs::recorder::DEFAULT_FLIGHT_CAPACITY,
+            wal: true,
+            checkpoint_interval: Duration::from_secs(30),
+            spool_max_bytes: 64 << 20,
             pipeline: PipelineConfig::default(),
         }
     }
@@ -213,6 +230,20 @@ mod tests {
         // 0 = flight recorder off, a deliberate operator choice
         let cfg = ServiceConfig {
             flight_recorder_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn durability_knobs_accept_their_off_positions() {
+        // checkpoint_interval 0 = periodic checkpoints off,
+        // spool_max_bytes 0 = rotation off, wal false = journaling off —
+        // all deliberate operator choices, none a misconfiguration.
+        let cfg = ServiceConfig {
+            wal: false,
+            checkpoint_interval: Duration::ZERO,
+            spool_max_bytes: 0,
             ..ServiceConfig::default()
         };
         assert_eq!(cfg.validate(), Ok(()));

@@ -73,6 +73,7 @@
 
 pub(crate) mod admission;
 pub mod blackbox;
+pub mod checkpoint;
 pub mod config;
 pub mod http;
 pub mod json;
@@ -83,6 +84,7 @@ pub mod server;
 pub mod shard;
 pub mod sink;
 pub(crate) mod sync;
+pub mod wal;
 
 use std::sync::Arc;
 
@@ -90,6 +92,7 @@ use baselines::{Localizer, RapMinerLocalizer};
 use rapminer::Config as RapMinerConfig;
 
 pub use blackbox::{read_dump, BlackboxDump, BlackboxRing, BlackboxWriter};
+pub use checkpoint::{ConfigGuard, EngineCheckpoint, TenantCheckpoint};
 pub use config::{ServiceConfig, ServiceConfigError};
 pub use metrics::Metrics;
 pub use proto::{ProtoError, Request};
@@ -97,6 +100,7 @@ pub use quarantine::QuarantineRecord;
 pub use server::{start, ServerHandle, StartError};
 pub use shard::LocalizerFactory;
 pub use sink::{DetectionRecord, IncidentRecord, IncidentSink, SpoolRecovery};
+pub use wal::WalEntry;
 
 /// The default per-tenant localizer: RAPMiner with its paper defaults,
 /// running each frame's search on the configured number of intra-frame

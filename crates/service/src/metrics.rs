@@ -279,6 +279,35 @@ impl RepairCounters {
     }
 }
 
+/// Spool segments rotated out by the size cap, by spool — exported as one
+/// `rapd_spool_rotations_total` family with a fixed `spool` label set
+/// (`incidents`/`quarantine`; cardinality never grows).
+#[derive(Debug, Default)]
+pub struct SpoolRotationCounters {
+    /// Incident spool rotations (`incidents.jsonl` → `.jsonl.1`).
+    pub incidents: AtomicU64,
+    /// Per-tenant quarantine spool rotations.
+    pub quarantine: AtomicU64,
+}
+
+impl SpoolRotationCounters {
+    /// `(spool-label, counter)` pairs in export order.
+    pub fn named(&self) -> [(&'static str, &AtomicU64); 2] {
+        [
+            ("incidents", &self.incidents),
+            ("quarantine", &self.quarantine),
+        ]
+    }
+
+    /// Sum across both spools.
+    pub fn total(&self) -> u64 {
+        self.named()
+            .iter()
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
 /// All counters the daemon exports.
 #[derive(Debug)]
 pub struct Metrics {
@@ -327,6 +356,34 @@ pub struct Metrics {
     pub stages: StageHistograms,
     /// Self-triggered detections, by severity tier (detect mode).
     pub detections: DetectionCounters,
+    /// Admitted frames journaled to the write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// WAL append failures absorbed by degrading to journal-less mode.
+    pub wal_append_errors: AtomicU64,
+    /// WAL segment compactions after checkpoint acknowledgment.
+    pub wal_compactions: AtomicU64,
+    /// Frames replayed from the WAL at startup (`rapd_replayed_frames_total`).
+    pub wal_replayed_frames: AtomicU64,
+    /// Journaled frames not yet acknowledged by a checkpoint (gauge).
+    pub wal_depth: AtomicU64,
+    /// Tenant checkpoints written (periodic or drain).
+    pub checkpoint_writes: AtomicU64,
+    /// Checkpoint write failures (the previous snapshot stays in place).
+    pub checkpoint_errors: AtomicU64,
+    /// Tenant states restored from a checkpoint at startup or respawn.
+    pub checkpoint_restores: AtomicU64,
+    /// Checkpoint snapshots rejected as corrupt or incompatible at load.
+    pub checkpoint_corrupt: AtomicU64,
+    /// Unix millis of the most recent successful checkpoint write (gauge).
+    pub checkpoint_last_unix_ms: AtomicU64,
+    /// Detectors cold-started because recovery found no usable checkpoint
+    /// (`rapd_detector_rewarms_total`).
+    pub detector_rewarms: AtomicU64,
+    /// Replayed incidents suppressed because the frame token was already
+    /// in the incident spool (exactly-once incident delivery).
+    pub incidents_deduped: AtomicU64,
+    /// Spool segments rotated out by the size cap, by spool.
+    pub spool_rotations: SpoolRotationCounters,
     shards: Vec<ShardMetrics>,
 }
 
@@ -355,6 +412,19 @@ impl Metrics {
             blackbox_dumps: BlackboxCounters::default(),
             stages: StageHistograms::default(),
             detections: DetectionCounters::default(),
+            wal_appends: AtomicU64::new(0),
+            wal_append_errors: AtomicU64::new(0),
+            wal_compactions: AtomicU64::new(0),
+            wal_replayed_frames: AtomicU64::new(0),
+            wal_depth: AtomicU64::new(0),
+            checkpoint_writes: AtomicU64::new(0),
+            checkpoint_errors: AtomicU64::new(0),
+            checkpoint_restores: AtomicU64::new(0),
+            checkpoint_corrupt: AtomicU64::new(0),
+            checkpoint_last_unix_ms: AtomicU64::new(0),
+            detector_rewarms: AtomicU64::new(0),
+            incidents_deduped: AtomicU64::new(0),
+            spool_rotations: SpoolRotationCounters::default(),
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
         }
     }
@@ -626,6 +696,92 @@ impl Metrics {
         for (trigger, c) in self.blackbox_dumps.named() {
             out.push_str(&format!(
                 "rapd_blackbox_dumps_total{{trigger=\"{trigger}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
+        counter(
+            &mut out,
+            "rapd_wal_appends_total",
+            "Admitted frames journaled to the write-ahead log.",
+            self.wal_appends.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_wal_append_errors_total",
+            "WAL append failures absorbed by degrading to journal-less mode.",
+            self.wal_append_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_wal_compactions_total",
+            "WAL segment compactions after checkpoint acknowledgment.",
+            self.wal_compactions.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_replayed_frames_total",
+            "Frames replayed from the write-ahead log at startup.",
+            self.wal_replayed_frames.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP rapd_wal_depth Journaled frames not yet acknowledged by a checkpoint.\n",
+        );
+        out.push_str("# TYPE rapd_wal_depth gauge\n");
+        out.push_str(&format!(
+            "rapd_wal_depth {}\n",
+            self.wal_depth.load(Ordering::Relaxed)
+        ));
+        counter(
+            &mut out,
+            "rapd_checkpoint_writes_total",
+            "Tenant checkpoints written (periodic or drain).",
+            self.checkpoint_writes.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_checkpoint_errors_total",
+            "Checkpoint write failures; the previous snapshot stays in place.",
+            self.checkpoint_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_checkpoint_restores_total",
+            "Tenant states restored from a checkpoint.",
+            self.checkpoint_restores.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_checkpoint_corrupt_total",
+            "Checkpoint snapshots rejected as corrupt or incompatible.",
+            self.checkpoint_corrupt.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP rapd_checkpoint_last_unix_ms Unix millis of the most recent successful checkpoint write.\n",
+        );
+        out.push_str("# TYPE rapd_checkpoint_last_unix_ms gauge\n");
+        out.push_str(&format!(
+            "rapd_checkpoint_last_unix_ms {}\n",
+            self.checkpoint_last_unix_ms.load(Ordering::Relaxed)
+        ));
+        counter(
+            &mut out,
+            "rapd_detector_rewarms_total",
+            "Detectors cold-started because recovery found no usable checkpoint.",
+            self.detector_rewarms.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "rapd_incidents_deduped_total",
+            "Replayed incidents suppressed by frame-token dedup.",
+            self.incidents_deduped.load(Ordering::Relaxed),
+        );
+        out.push_str(
+            "# HELP rapd_spool_rotations_total Spool segments rotated out by the size cap, by spool.\n",
+        );
+        out.push_str("# TYPE rapd_spool_rotations_total counter\n");
+        for (spool, c) in self.spool_rotations.named() {
+            out.push_str(&format!(
+                "rapd_spool_rotations_total{{spool=\"{spool}\"}} {}\n",
                 c.load(Ordering::Relaxed)
             ));
         }
@@ -1013,6 +1169,53 @@ mod tests {
         assert!(m.blackbox_dumps.for_label("panic").is_some());
         assert!(m.blackbox_dumps.for_label("oom").is_none());
         assert_eq!(m.blackbox_dumps.total(), 3);
+    }
+
+    #[test]
+    fn durability_families_render_and_validate() {
+        let m = Metrics::new(1);
+        m.wal_appends.fetch_add(12, Ordering::Relaxed);
+        m.wal_append_errors.fetch_add(1, Ordering::Relaxed);
+        m.wal_compactions.fetch_add(2, Ordering::Relaxed);
+        m.wal_replayed_frames.fetch_add(7, Ordering::Relaxed);
+        m.wal_depth.store(5, Ordering::Relaxed);
+        m.checkpoint_writes.fetch_add(3, Ordering::Relaxed);
+        m.checkpoint_errors.fetch_add(1, Ordering::Relaxed);
+        m.checkpoint_restores.fetch_add(2, Ordering::Relaxed);
+        m.checkpoint_corrupt.fetch_add(1, Ordering::Relaxed);
+        m.checkpoint_last_unix_ms
+            .store(1754700000123, Ordering::Relaxed);
+        m.detector_rewarms.fetch_add(1, Ordering::Relaxed);
+        m.incidents_deduped.fetch_add(4, Ordering::Relaxed);
+        m.spool_rotations.incidents.fetch_add(2, Ordering::Relaxed);
+        m.spool_rotations.quarantine.fetch_add(1, Ordering::Relaxed);
+        let text = m.render_prometheus();
+        validate_exposition(&text);
+        assert!(text.contains("rapd_wal_appends_total 12"));
+        assert!(text.contains("rapd_wal_append_errors_total 1"));
+        assert!(text.contains("rapd_wal_compactions_total 2"));
+        assert!(text.contains("rapd_replayed_frames_total 7"));
+        assert!(text.contains("rapd_wal_depth 5"));
+        assert!(text.contains("rapd_checkpoint_writes_total 3"));
+        assert!(text.contains("rapd_checkpoint_errors_total 1"));
+        assert!(text.contains("rapd_checkpoint_restores_total 2"));
+        assert!(text.contains("rapd_checkpoint_corrupt_total 1"));
+        assert!(text.contains("rapd_checkpoint_last_unix_ms 1754700000123"));
+        assert!(text.contains("rapd_detector_rewarms_total 1"));
+        assert!(text.contains("rapd_incidents_deduped_total 4"));
+        assert!(text.contains("rapd_spool_rotations_total{spool=\"incidents\"} 2"));
+        assert!(text.contains("rapd_spool_rotations_total{spool=\"quarantine\"} 1"));
+        assert_eq!(m.spool_rotations.total(), 3);
+        // the spool label set is fixed at the two documented values
+        let spools: std::collections::BTreeSet<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("rapd_spool_rotations_total{spool=\""))
+            .filter_map(|rest| rest.split('"').next())
+            .collect();
+        assert_eq!(
+            spools.into_iter().collect::<Vec<_>>(),
+            ["incidents", "quarantine"],
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! {"type":"quarantine","limit":20}
 //! {"type":"health"}
 //! {"type":"debug","tenant":"cdn-edge"}
+//! {"type":"shutdown"}
 //! ```
 //!
 //! Every request gets exactly one reply line: `{"type":"ok",...}`, a typed
@@ -86,6 +87,13 @@ pub enum Request {
         /// returns every tenant.
         tenant: Option<String>,
     },
+    /// Graceful drain: flush every shard queue, checkpoint every tenant,
+    /// fsync the spools, then exit 0. The reply
+    /// (`{"type":"ok","draining":true}`) is sent before the process
+    /// exits. This is the verb a SIGTERM wrapper should call — the
+    /// daemon installs no signal handlers (the workspace forbids the
+    /// unsafe code they require).
+    Shutdown,
 }
 
 /// Why a request line was rejected.
@@ -265,6 +273,7 @@ pub fn parse_request(line: &str, max_bytes: usize) -> Result<Request, ProtoError
             Ok(Request::Quarantine { limit })
         }
         "health" => Ok(Request::Health),
+        "shutdown" => Ok(Request::Shutdown),
         "debug" => {
             let tenant = match doc.get("tenant") {
                 None => None,
@@ -514,6 +523,10 @@ mod tests {
             Request::Debug {
                 tenant: Some("edge".to_string())
             }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"shutdown"}"#, MAX).unwrap(),
+            Request::Shutdown
         );
     }
 

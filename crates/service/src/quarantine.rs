@@ -90,8 +90,9 @@ impl QuarantineRecord {
 
 /// Map a tenant id onto a safe file stem: anything outside
 /// `[A-Za-z0-9_-]` becomes `_`, so a hostile tenant string cannot escape
-/// the quarantine directory.
-fn sanitize_tenant(tenant: &str) -> String {
+/// the quarantine directory. Shared with the WAL, which names its
+/// per-tenant journal segments the same way.
+pub(crate) fn sanitize_tenant(tenant: &str) -> String {
     let stem: String = tenant
         .chars()
         .map(|c| {
@@ -115,10 +116,15 @@ fn sanitize_tenant(tenant: &str) -> String {
 pub(crate) struct QuarantineSink {
     /// `<spool_dir>/quarantine`; `None` keeps records ring-only.
     dir: Option<PathBuf>,
-    /// Lazily opened per-tenant append handles, keyed by sanitized stem.
-    files: Mutex<HashMap<String, File>>,
+    /// Lazily opened per-tenant append handles with their current byte
+    /// counts, keyed by sanitized stem.
+    files: Mutex<HashMap<String, (File, u64)>>,
     ring: Mutex<VecDeque<QuarantineRecord>>,
     ring_capacity: usize,
+    /// Rotate a tenant's spool when it exceeds this many bytes (current
+    /// file renamed to `.jsonl.1`, evicting the previous segment); `0`
+    /// disables rotation.
+    max_bytes: u64,
     metrics: Arc<Metrics>,
     /// Latched on the first write error; the sink then serves ring-only.
     degraded: AtomicBool,
@@ -134,6 +140,7 @@ impl QuarantineSink {
     pub fn open(
         spool_dir: Option<&std::path::Path>,
         ring_capacity: usize,
+        max_bytes: u64,
         metrics: Arc<Metrics>,
     ) -> io::Result<Self> {
         let dir = match spool_dir {
@@ -149,6 +156,7 @@ impl QuarantineSink {
             files: Mutex::new(HashMap::new()),
             ring: Mutex::new(VecDeque::new()),
             ring_capacity: ring_capacity.max(1),
+            max_bytes,
             metrics,
             degraded: AtomicBool::new(false),
         })
@@ -193,17 +201,38 @@ impl QuarantineSink {
         }
         let result = (|| {
             let mut files = lock_recover(&self.files);
-            let file = match files.entry(stem) {
+            let path = dir.join(format!("{stem}.jsonl"));
+            let (file, bytes) = match files.entry(stem) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    let path = dir.join(format!("{}.jsonl", e.key()));
-                    e.insert(OpenOptions::new().create(true).append(true).open(path)?)
+                    let file = OpenOptions::new().create(true).append(true).open(&path)?;
+                    let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+                    e.insert((file, len))
                 }
             };
             if obs::fail::should_error("quarantine-write-error") {
                 return Err(io::Error::other("injected quarantine write error"));
             }
-            writeln!(file, "{line}").and_then(|()| file.flush())
+            writeln!(file, "{line}").and_then(|()| file.flush())?;
+            *bytes += line.len() as u64 + 1;
+            if self.max_bytes > 0 && *bytes > self.max_bytes {
+                // rotate this tenant's segment: current → `.jsonl.1`
+                // (evicting the previous one), fresh file for appends
+                let old = path.with_extension("jsonl.1");
+                match fs::remove_file(&old) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+                fs::rename(&path, &old)?;
+                *file = OpenOptions::new().create(true).append(true).open(&path)?;
+                *bytes = 0;
+                self.metrics
+                    .spool_rotations
+                    .quarantine
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
         })();
         if let Err(e) = result {
             self.metrics
@@ -265,7 +294,7 @@ mod tests {
     #[test]
     fn ring_only_sink_counts_and_bounds() {
         let m = metrics();
-        let sink = QuarantineSink::open(None, 3, Arc::clone(&m)).unwrap();
+        let sink = QuarantineSink::open(None, 3, 0, Arc::clone(&m)).unwrap();
         for i in 0..5 {
             sink.record(record("t", "non_finite", Some(i)));
         }
@@ -286,7 +315,7 @@ mod tests {
     #[test]
     fn spooled_records_are_checksummed_per_tenant() {
         let dir = scratch("spool");
-        let sink = QuarantineSink::open(Some(&dir), 8, metrics()).unwrap();
+        let sink = QuarantineSink::open(Some(&dir), 8, 0, metrics()).unwrap();
         sink.record(record("edge-1", "non_finite", Some(7)));
         sink.record(record("edge-1", "schema_drift", None));
         sink.record(record("other", "replay", Some(9)));
@@ -313,7 +342,7 @@ mod tests {
         assert_eq!(sanitize_tenant("ok-Tenant_9"), "ok-Tenant_9");
         assert_eq!(sanitize_tenant(""), "_");
         let dir = scratch("hostile");
-        let sink = QuarantineSink::open(Some(&dir), 8, metrics()).unwrap();
+        let sink = QuarantineSink::open(Some(&dir), 8, 0, metrics()).unwrap();
         sink.record(record("../escape", "late", None));
         assert!(dir.join("quarantine/___escape.jsonl").is_file());
         assert!(!dir.parent().unwrap().join("escape.jsonl").exists());
@@ -321,10 +350,36 @@ mod tests {
     }
 
     #[test]
+    fn oversized_tenant_spool_rotates_per_tenant() {
+        let dir = scratch("rotate");
+        let m = metrics();
+        // a cap small enough that every record overflows it
+        let sink = QuarantineSink::open(Some(&dir), 8, 64, Arc::clone(&m)).unwrap();
+        sink.record(record("noisy", "non_finite", Some(1)));
+        let rotated = dir.join("quarantine/noisy.jsonl.1");
+        assert!(rotated.is_file(), "first overflow rotates");
+        assert_eq!(m.spool_rotations.quarantine.load(Ordering::Relaxed), 1);
+        sink.record(record("noisy", "non_finite", Some(2)));
+        // ts 1's segment is evicted; ts 2 now holds the .1 slot
+        let kept = fs::read_to_string(&rotated).unwrap();
+        assert!(kept.contains("\"ts\":2") && !kept.contains("\"ts\":1"));
+        assert_eq!(m.spool_rotations.quarantine.load(Ordering::Relaxed), 2);
+        // rotation is per tenant: noisy's churn never moves quiet's spool
+        sink.record(record("quiet", "late", None));
+        let quiet = fs::read_to_string(dir.join("quarantine/quiet.jsonl.1"))
+            .or_else(|_| fs::read_to_string(dir.join("quarantine/quiet.jsonl")))
+            .unwrap();
+        assert!(quiet.contains("\"late\""));
+        assert!(!kept.contains("quiet"), "segments never mix tenants");
+        assert!(!sink.is_degraded());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn write_failure_degrades_to_ring_only() {
         let dir = scratch("degraded");
         let m = metrics();
-        let sink = QuarantineSink::open(Some(&dir), 8, Arc::clone(&m)).unwrap();
+        let sink = QuarantineSink::open(Some(&dir), 8, 0, Arc::clone(&m)).unwrap();
         // occupy the tenant's spool path with a *directory* so the lazy
         // open fails — a stand-in for a full or vanished volume
         fs::create_dir_all(dir.join("quarantine/t.jsonl")).unwrap();

@@ -21,14 +21,15 @@ use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use mdkpi::Schema;
 
 use crate::admission::{AdmissionControl, Verdict};
 use crate::blackbox::BlackboxWriter;
+use crate::checkpoint::CheckpointStore;
 use crate::config::{ServiceConfig, ServiceConfigError};
 use crate::http::MetricsServer;
 use crate::json::Json;
@@ -37,7 +38,8 @@ use crate::proto::{build_frame, parse_request, ProtoError, Request};
 use crate::quarantine::{QuarantineRecord, QuarantineSink};
 use crate::shard::{LocalizerFactory, ShardPool, TenantDebug};
 use crate::sink::IncidentSink;
-use crate::sync::lock_recover;
+use crate::sync::{lock_recover, wait_recover};
+use crate::wal::{FrameWal, WalEntry};
 
 /// How long a `flush` request waits for the shards before giving up.
 const FLUSH_TIMEOUT: Duration = Duration::from_secs(60);
@@ -81,9 +83,40 @@ struct Shared {
     admission: AdmissionControl,
     pool: ShardPool,
     schemas: Mutex<HashMap<String, Schema>>,
+    /// The frame write-ahead log: admitted frames are journaled here
+    /// before they reach the shard queues, and replayed from it at boot.
+    /// `None` when the WAL is disabled or there is no spool directory.
+    wal: Option<Arc<FrameWal>>,
+    /// The per-tenant checkpoint store; `None` without a spool directory.
+    checkpoints: Option<Arc<CheckpointStore>>,
+    /// Signalled by the `shutdown` control verb once the drain completed;
+    /// [`ServerHandle::wait_for_drain`] blocks on it.
+    drain: DrainGate,
     /// Boot instant, for the uptime reported by `stats` and `debug`.
     started: Instant,
     shutdown: AtomicBool,
+}
+
+/// A one-shot latch the serve loop parks on until a `shutdown` control
+/// verb drains the daemon.
+#[derive(Default)]
+struct DrainGate {
+    drained: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl DrainGate {
+    fn signal(&self) {
+        *lock_recover(&self.drained) = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut drained = lock_recover(&self.drained);
+        while !*drained {
+            drained = wait_recover(&self.cv, drained);
+        }
+    }
 }
 
 /// A running rapd daemon. Dropping (or calling [`ServerHandle::shutdown`])
@@ -130,6 +163,14 @@ impl ServerHandle {
         self.stop();
     }
 
+    /// Block until a `shutdown` control verb has flushed and checkpointed
+    /// the daemon — the serve loop's park point. A SIGTERM wrapper sends
+    /// the verb (e.g. `rapminer shutdown`); the daemon itself installs no
+    /// signal handlers.
+    pub fn wait_for_drain(&self) {
+        self.shared.drain.wait();
+    }
+
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // unblock accept() with one throwaway connection
@@ -140,6 +181,11 @@ impl ServerHandle {
         let readers: Vec<JoinHandle<()>> = std::mem::take(&mut *lock_recover(&self.readers));
         for reader in readers {
             let _ = reader.join();
+        }
+        // Graceful exits checkpoint after the last frame: the jobs queue
+        // behind anything still in flight, so the snapshots cover it.
+        if self.shared.checkpoints.is_some() {
+            self.shared.pool.checkpoint_all(FLUSH_TIMEOUT);
         }
         self.shared.pool.shutdown();
         if let Some(metrics_server) = self.metrics_server.take() {
@@ -174,17 +220,27 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
     let sink = Arc::new(IncidentSink::open(
         config.spool_dir.as_deref(),
         config.ring_capacity,
+        config.spool_max_bytes,
         Arc::clone(&metrics),
     )?);
     let quarantine = Arc::new(QuarantineSink::open(
         config.spool_dir.as_deref(),
         config.ring_capacity,
+        config.spool_max_bytes,
         Arc::clone(&metrics),
     )?);
     let blackbox = Arc::new(BlackboxWriter::open(
         config.spool_dir.as_deref(),
         Arc::clone(&metrics),
     )?);
+    let wal = match &config.spool_dir {
+        Some(dir) if config.wal => Some(Arc::new(FrameWal::open(dir, Arc::clone(&metrics))?)),
+        _ => None,
+    };
+    let checkpoints = match &config.spool_dir {
+        Some(dir) => Some(Arc::new(CheckpointStore::open(dir, Arc::clone(&metrics))?)),
+        None => None,
+    };
     let pool = ShardPool::start(
         &config,
         Arc::clone(&metrics),
@@ -192,7 +248,10 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
         Arc::clone(&quarantine),
         Arc::clone(&blackbox),
         factory,
+        wal.clone(),
+        checkpoints.clone(),
     );
+    let schemas = recover_state(&metrics, &pool, wal.as_deref(), checkpoints.as_deref());
     let metrics_server = MetricsServer::start(&config.metrics_listen, Arc::clone(&metrics))?;
 
     let listener = TcpListener::bind(&config.listen)?;
@@ -206,7 +265,10 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
         blackbox,
         admission,
         pool,
-        schemas: Mutex::new(HashMap::new()),
+        schemas: Mutex::new(schemas),
+        wal,
+        checkpoints,
+        drain: DrainGate::default(),
         started: Instant::now(),
         shutdown: AtomicBool::new(false),
     });
@@ -239,6 +301,97 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
         readers,
         metrics_server: Some(metrics_server),
     })
+}
+
+/// Boot-time crash recovery: reload journaled schemas, advance the frame
+/// sequence past everything any prior run minted, and replay the WAL
+/// suffix past each tenant's checkpoint acknowledgment into the shard
+/// pool. Replayed frames re-adopt their original correlation tokens, so
+/// the incident sink's frame-token dedup keeps incidents exactly-once
+/// while ingestion stays at-least-once. Returns the recovered schema map.
+fn recover_state(
+    metrics: &Arc<Metrics>,
+    pool: &ShardPool,
+    wal: Option<&FrameWal>,
+    checkpoints: Option<&CheckpointStore>,
+) -> HashMap<String, Schema> {
+    let mut schemas: HashMap<String, Schema> = HashMap::new();
+    let mut acks: HashMap<String, u64> = HashMap::new();
+    let mut max_seq = 0u64;
+    if let Some(store) = checkpoints {
+        for checkpoint in store.load_all() {
+            max_seq = max_seq.max(checkpoint.frame_seq);
+            acks.insert(checkpoint.tenant, checkpoint.wal_ack);
+        }
+    }
+    let Some(wal) = wal else {
+        obs::FrameId::advance_past(max_seq);
+        return schemas;
+    };
+    for (tenant, parts) in wal.recover_schemas() {
+        match Schema::from_parts(parts) {
+            Ok(schema) => {
+                schemas.insert(tenant, schema);
+            }
+            Err(e) => obs::warn(
+                "rapd.server",
+                "schema_journal_invalid",
+                &[
+                    ("tenant", obs::Value::Str(tenant)),
+                    ("error", obs::Value::Str(e.to_string())),
+                ],
+            ),
+        }
+    }
+    let entries = wal.recover();
+    for entry in &entries {
+        max_seq = max_seq.max(entry.seq);
+    }
+    // New tokens must never collide with replayed (or checkpointed) ones.
+    obs::FrameId::advance_past(max_seq);
+    let mut replayed = 0u64;
+    for entry in entries {
+        if entry.seq <= acks.get(&entry.tenant).copied().unwrap_or(0) {
+            continue;
+        }
+        let Some(schema) = schemas.get(&entry.tenant) else {
+            obs::warn(
+                "rapd.server",
+                "replay_missing_schema",
+                &[
+                    ("tenant", obs::Value::Str(entry.tenant.clone())),
+                    ("frame", obs::Value::Str(entry.frame.clone())),
+                ],
+            );
+            continue;
+        };
+        // journaled rows were already admitted once; a frame the current
+        // schema can no longer resolve is skipped, never fatal
+        let Ok(frame) = build_frame(schema, &entry.rows) else {
+            obs::warn(
+                "rapd.server",
+                "replay_frame_unresolvable",
+                &[
+                    ("tenant", obs::Value::Str(entry.tenant.clone())),
+                    ("frame", obs::Value::Str(entry.frame.clone())),
+                ],
+            );
+            continue;
+        };
+        metrics.frames_ingested.fetch_add(1, Ordering::Relaxed);
+        metrics.wal_replayed_frames.fetch_add(1, Ordering::Relaxed);
+        let id = obs::FrameId::adopt(&entry.frame, entry.seq);
+        pool.ingest(id, &entry.tenant, frame, entry.ts);
+        replayed += 1;
+    }
+    if replayed > 0 {
+        obs::info(
+            "rapd.server",
+            "wal_replayed",
+            &[("frames", obs::Value::U64(replayed))],
+        );
+    }
+    schemas
 }
 
 enum LineRead {
@@ -381,14 +534,19 @@ fn respond(writer: &mut TcpStream, raw: &[u8], shared: &Shared) -> io::Result<()
 fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
     match parse_request(line, shared.config.max_frame_bytes)? {
         Request::Schema { tenant, attributes } => {
-            let schema =
-                Schema::from_parts(attributes).map_err(|e| ProtoError::BadSchema(e.to_string()))?;
+            let schema = Schema::from_parts(attributes.clone())
+                .map_err(|e| ProtoError::BadSchema(e.to_string()))?;
             let mut schemas = lock_recover(&shared.schemas);
             match schemas.get(&tenant) {
                 Some(existing) if *existing != schema => {
                     return Err(ProtoError::SchemaConflict { tenant });
                 }
                 _ => {
+                    // journal before acknowledging: replay after a crash
+                    // must be able to re-resolve this tenant's frames
+                    if let Some(wal) = &shared.wal {
+                        wal.append_schema(&tenant, &attributes);
+                    }
                     schemas.insert(tenant.clone(), schema);
                 }
             }
@@ -449,6 +607,17 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
                     let frame = build_frame(&schema, &admitted.rows)?;
                     let repaired = admitted.repaired();
                     let token = id.as_str().to_string();
+                    // journal before queueing: once the reply acknowledges
+                    // the frame, a kill -9 must not be able to lose it
+                    if let Some(wal) = &shared.wal {
+                        wal.append(&WalEntry {
+                            tenant: tenant.clone(),
+                            frame: token.clone(),
+                            seq: id.seq(),
+                            ts,
+                            rows: admitted.rows.clone(),
+                        });
+                    }
                     shared.pool.ingest(id, &tenant, frame, ts);
                     Ok(ok_reply(vec![
                         ("queued".to_string(), Json::Bool(true)),
@@ -499,7 +668,35 @@ fn dispatch(line: &str, shared: &Shared) -> Result<String, ProtoError> {
         }
         Request::Health => Ok(health_reply(shared)),
         Request::Debug { tenant } => Ok(debug_reply(shared, tenant.as_deref())),
+        Request::Shutdown => {
+            obs::info("rapd.server", "drain_requested", &[]);
+            // Drain order matters: the flush barrier empties the reorder
+            // buffers through the pipelines, then the checkpoint snapshots
+            // the post-drain state (fsynced by the store), so a restart
+            // resumes exactly where this run stopped.
+            let flushed = shared.pool.flush(FLUSH_TIMEOUT);
+            let checkpointed = shared.pool.checkpoint_all(FLUSH_TIMEOUT);
+            shared.drain.signal();
+            Ok(ok_reply(vec![
+                ("draining".to_string(), Json::Bool(true)),
+                ("flushed".to_string(), Json::Bool(flushed)),
+                ("checkpointed".to_string(), Json::Bool(checkpointed)),
+            ]))
+        }
     }
+}
+
+/// Checkpoint staleness in seconds, from the newest snapshot write across
+/// all tenants; `None` before the first checkpoint.
+fn checkpoint_age_seconds(metrics: &Metrics) -> Option<f64> {
+    let last = metrics.checkpoint_last_unix_ms.load(Ordering::Relaxed);
+    if last == 0 {
+        return None;
+    }
+    let now = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    Some(now.saturating_sub(last) as f64 / 1000.0)
 }
 
 /// Live internals for the `debug` control verb: daemon-wide state plus a
@@ -595,6 +792,44 @@ fn debug_reply(shared: &Shared, tenant: Option<&str>) -> String {
                 Some(p) => Json::str(p.display().to_string()),
             },
         ),
+        (
+            "durability".to_string(),
+            Json::Obj(vec![
+                ("wal_enabled".to_string(), Json::Bool(shared.wal.is_some())),
+                (
+                    "wal_degraded".to_string(),
+                    Json::Bool(shared.wal.as_ref().is_some_and(|w| w.is_degraded())),
+                ),
+                (
+                    "wal_depth".to_string(),
+                    Json::Num(m.wal_depth.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "replayed_frames".to_string(),
+                    Json::Num(m.wal_replayed_frames.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "checkpoints_enabled".to_string(),
+                    Json::Bool(shared.checkpoints.is_some()),
+                ),
+                (
+                    "checkpoint_writes".to_string(),
+                    Json::Num(m.checkpoint_writes.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "checkpoint_restores".to_string(),
+                    Json::Num(m.checkpoint_restores.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "checkpoint_age_seconds".to_string(),
+                    checkpoint_age_seconds(m).map_or(Json::Null, Json::Num),
+                ),
+                (
+                    "detector_rewarms".to_string(),
+                    Json::Num(m.detector_rewarms.load(Ordering::Relaxed) as f64),
+                ),
+            ]),
+        ),
     ])
     .render()
 }
@@ -629,6 +864,13 @@ fn tenant_debug_json(name: &str, d: &TenantDebug) -> Json {
             ]),
         ),
         ("last_frame".to_string(), Json::str(d.last_frame.as_str())),
+        (
+            "last_checkpoint_ts".to_string(),
+            match d.last_checkpoint_unix_ms {
+                None => Json::Null,
+                Some(ms) => Json::Num(ms as f64),
+            },
+        ),
     ])
 }
 
@@ -639,8 +881,9 @@ fn health_reply(shared: &Shared) -> String {
     let m = &shared.metrics;
     let spool_degraded = shared.sink.is_degraded();
     let quarantine_degraded = shared.quarantine.is_degraded();
+    let wal_degraded = shared.wal.as_ref().is_some_and(|w| w.is_degraded());
     let open_breakers = m.total_breaker_open();
-    let status = if spool_degraded || quarantine_degraded || open_breakers > 0 {
+    let status = if spool_degraded || quarantine_degraded || wal_degraded || open_breakers > 0 {
         "degraded"
     } else {
         "ok"
@@ -653,6 +896,7 @@ fn health_reply(shared: &Shared) -> String {
             "quarantine_degraded".to_string(),
             Json::Bool(quarantine_degraded),
         ),
+        ("wal_degraded".to_string(), Json::Bool(wal_degraded)),
         ("open_breakers".to_string(), Json::Num(open_breakers as f64)),
         (
             "worker_restarts".to_string(),
@@ -809,6 +1053,18 @@ fn stats_reply(shared: &Shared) -> String {
         (
             "incidents_in_ring".to_string(),
             Json::Num(shared.sink.ring_len() as f64),
+        ),
+        (
+            "wal_depth".to_string(),
+            Json::Num(m.wal_depth.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "replayed_frames".to_string(),
+            Json::Num(m.wal_replayed_frames.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "checkpoint_age_seconds".to_string(),
+            checkpoint_age_seconds(m).map_or(Json::Null, Json::Num),
         ),
         ("shards".to_string(), Json::Arr(shards)),
     ])

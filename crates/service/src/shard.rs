@@ -46,12 +46,12 @@
 //! Known limitation: a worker that dies outside shutdown loses its
 //! buffered frames along with its queue, exactly like queued frames.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use baselines::Localizer;
 use detect::DetectorConfig;
@@ -59,11 +59,13 @@ use pipeline::{DetectingPipeline, LocalizationPipeline};
 use timeseries::MovingAverage;
 
 use crate::blackbox::BlackboxWriter;
+use crate::checkpoint::{CheckpointStore, ConfigGuard, EngineCheckpoint, TenantCheckpoint};
 use crate::config::ServiceConfig;
 use crate::metrics::{Metrics, ShardMetrics};
 use crate::quarantine::{QuarantineRecord, QuarantineSink};
 use crate::sink::{IncidentRecord, IncidentSink};
 use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
+use crate::wal::FrameWal;
 
 /// Builds one localizer per tenant pipeline; shared across shard threads.
 /// The argument is the configured intra-frame thread count
@@ -85,6 +87,12 @@ enum Job {
     /// A flush barrier: mark the gate done once everything queued before
     /// it has been processed.
     Barrier(Arc<FlushGate>),
+    /// Snapshot every tenant engine on this shard to the checkpoint store
+    /// (and compact its WAL segment), then mark the gate done. Like a
+    /// barrier it is never dropped; unlike a barrier it does **not** drain
+    /// reorder buffers — parked frames stay parked and remain covered by
+    /// the WAL suffix past the acknowledged sequence.
+    Checkpoint(Arc<FlushGate>),
     /// Drain-free worker exit.
     Shutdown,
 }
@@ -415,6 +423,14 @@ struct PoolShared {
     /// Post-mortem dump writer shared by every worker: panics, deadline
     /// overruns, and breaker openings snapshot the flight recorders here.
     blackbox: Arc<BlackboxWriter>,
+    /// The frame write-ahead log; checkpoints compact each tenant's
+    /// segment up to the acknowledged sequence. `None` when the WAL is
+    /// disabled or there is no spool directory.
+    wal: Option<Arc<FrameWal>>,
+    /// The per-tenant snapshot store; `None` without a spool directory.
+    /// Workers restore an unseen tenant from it lazily and write into it
+    /// on every [`Job::Checkpoint`].
+    checkpoints: Option<Arc<CheckpointStore>>,
     /// Live per-tenant internals served by the `debug` control verb;
     /// workers refresh their tenants' entries after every processed frame.
     debug: Mutex<HashMap<String, TenantDebug>>,
@@ -448,6 +464,10 @@ pub struct TenantDebug {
     pub reorder_lag: u64,
     /// Correlation token of the last frame processed for this tenant.
     pub last_frame: String,
+    /// When this tenant's state was last checkpointed (unix milliseconds):
+    /// the newest snapshot written — or restored at boot — by this
+    /// process. `None` until the first checkpoint touches the tenant.
+    pub last_checkpoint_unix_ms: Option<u64>,
 }
 
 /// The shard worker pool: `config.shards` threads, each owning the
@@ -457,10 +477,14 @@ pub struct ShardPool {
     shared: Arc<PoolShared>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
+    /// The periodic checkpoint driver (`--checkpoint-interval`); `None`
+    /// when checkpointing is disabled.
+    ticker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ShardPool {
     /// Start the workers and their supervisor.
+    #[allow(clippy::too_many_arguments)] // crate-internal; one arg per sink
     pub(crate) fn start(
         config: &ServiceConfig,
         metrics: Arc<Metrics>,
@@ -468,6 +492,8 @@ impl ShardPool {
         quarantine: Arc<QuarantineSink>,
         blackbox: Arc<BlackboxWriter>,
         factory: LocalizerFactory,
+        wal: Option<Arc<FrameWal>>,
+        checkpoints: Option<Arc<CheckpointStore>>,
     ) -> ShardPool {
         let queues: Vec<Arc<ShardQueue>> = (0..config.shards)
             .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
@@ -491,6 +517,8 @@ impl ShardPool {
             max_lateness_ms: config.max_lateness.as_millis() as u64,
             flight_capacity: config.flight_recorder_capacity,
             blackbox,
+            wal,
+            checkpoints,
             debug: Mutex::new(HashMap::new()),
             shutting_down: AtomicBool::new(false),
         });
@@ -507,10 +535,20 @@ impl ShardPool {
                 .spawn(move || supervisor_loop(&shared, &workers))
                 .expect("spawn supervisor")
         };
+        let ticker =
+            (shared.checkpoints.is_some() && !config.checkpoint_interval.is_zero()).then(|| {
+                let shared = Arc::clone(&shared);
+                let interval = config.checkpoint_interval;
+                std::thread::Builder::new()
+                    .name("rapd-checkpointer".to_string())
+                    .spawn(move || checkpoint_ticker(&shared, interval))
+                    .expect("spawn checkpointer")
+            });
         ShardPool {
             shared,
             workers,
             supervisor: Mutex::new(Some(supervisor)),
+            ticker: Mutex::new(ticker),
         }
     }
 
@@ -569,12 +607,22 @@ impl ShardPool {
         gate.wait(timeout)
     }
 
+    /// Post a checkpoint job to every shard and wait for all of them to
+    /// snapshot their tenants (a no-op without a checkpoint store).
+    /// Returns whether every shard acknowledged within the timeout.
+    pub fn checkpoint_all(&self, timeout: Duration) -> bool {
+        post_checkpoint(&self.shared, timeout)
+    }
+
     /// Stop the supervisor, then every worker after it drains its queue.
     /// Idempotent.
     pub fn shutdown(&self) {
         // Stop the supervisor first so a worker exiting on its Shutdown
         // job is not mistaken for a crash and respawned.
         self.shared.shutting_down.store(true, Ordering::Relaxed);
+        if let Some(ticker) = lock_recover(&self.ticker).take() {
+            let _ = ticker.join();
+        }
         if let Some(supervisor) = lock_recover(&self.supervisor).take() {
             let _ = supervisor.join();
         }
@@ -588,6 +636,56 @@ impl ShardPool {
         for worker in workers {
             let _ = worker.join();
         }
+    }
+}
+
+/// Post one checkpoint job per shard and wait for the acknowledgements.
+fn post_checkpoint(shared: &PoolShared, timeout: Duration) -> bool {
+    let gate = Arc::new(FlushGate::new(shared.queues.len()));
+    for queue in &shared.queues {
+        queue.push_control(Job::Checkpoint(Arc::clone(&gate)));
+    }
+    gate.wait(timeout)
+}
+
+/// The periodic checkpoint driver: fire [`post_checkpoint`] every
+/// `interval`, polling the shutdown flag between short sleeps so shutdown
+/// never waits out a long interval.
+fn checkpoint_ticker(shared: &PoolShared, interval: Duration) {
+    const TICK: Duration = Duration::from_millis(50);
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shared.shutting_down.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(TICK);
+            slept += TICK;
+        }
+        post_checkpoint(shared, interval.max(Duration::from_secs(60)));
+    }
+}
+
+/// Wall clock in unix milliseconds (0 if the clock is before the epoch).
+fn unix_millis_now() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// The config fingerprint stamped into (and checked against) checkpoints.
+fn config_guard(shared: &PoolShared) -> ConfigGuard {
+    ConfigGuard {
+        detect: shared.detector_config.is_some(),
+        seasonal_period: shared
+            .detector_config
+            .as_ref()
+            .map_or(0, |d| d.seasonal_period),
+        residual_window: shared
+            .detector_config
+            .as_ref()
+            .map_or(0, |d| d.residual_window),
+        window: shared.window,
     }
 }
 
@@ -721,6 +819,14 @@ struct WorkerState {
     engines: HashMap<Arc<str>, TenantEngine>,
     breakers: HashMap<Arc<str>, Breaker>,
     reorder: HashMap<Arc<str>, ReorderBuffer<(obs::FrameId, mdkpi::LeafFrame)>>,
+    /// Highest frame sequence dequeued per tenant — the WAL
+    /// acknowledgement candidate when the reorder buffer is empty.
+    consumed: HashMap<Arc<str>, u64>,
+    /// Tenants whose checkpoint (or lack of one) was already resolved by
+    /// this worker; guards the lazy restore against repeated store reads.
+    restored: HashSet<Arc<str>>,
+    /// When each tenant was last checkpointed (or restored), unix ms.
+    last_checkpoint: HashMap<Arc<str>, u64>,
 }
 
 impl WorkerState {
@@ -764,6 +870,10 @@ fn worker_loop(shard: usize, shared: &PoolShared) {
                 state.drain_reorder(shard, shared);
                 gate.done();
             }
+            Job::Checkpoint(gate) => {
+                checkpoint_shard(shared, &mut state);
+                gate.done();
+            }
             Job::Frame {
                 id,
                 tenant,
@@ -771,6 +881,9 @@ fn worker_loop(shard: usize, shared: &PoolShared) {
                 ts,
             } => {
                 shard_metrics.depth.fetch_sub(1, Ordering::Relaxed);
+                restore_tenant(shard, shared, &mut state, &tenant);
+                let seen = state.consumed.entry(Arc::clone(&tenant)).or_insert(0);
+                *seen = (*seen).max(id.seq());
                 let Some(ts) = ts else {
                     process_frame(shard, shared, &mut state, &tenant, &id, &frame);
                     continue;
@@ -808,6 +921,189 @@ fn worker_loop(shard: usize, shared: &PoolShared) {
             }
         }
     }
+}
+
+/// Snapshot every tenant engine this worker owns to the checkpoint store
+/// and compact each tenant's WAL segment up to the acknowledged sequence.
+/// The acknowledgement is conservative: with frames parked in the reorder
+/// buffer it stops just short of the oldest parked one, so a crash after
+/// the compaction still replays everything not yet through the pipeline.
+fn checkpoint_shard(shared: &PoolShared, state: &mut WorkerState) {
+    let Some(store) = &shared.checkpoints else {
+        return;
+    };
+    let now_ms = unix_millis_now();
+    let now = Instant::now();
+    let guard = config_guard(shared);
+    let tenants: Vec<Arc<str>> = state.engines.keys().cloned().collect();
+    for tenant in tenants {
+        let Some(engine) = state.engines.get(&tenant) else {
+            continue;
+        };
+        let engine_snapshot = match engine {
+            TenantEngine::Classic(p) => EngineCheckpoint::Classic(p.state_snapshot()),
+            TenantEngine::Detecting(p) => EngineCheckpoint::Detecting(p.detector_snapshot()),
+        };
+        let consumed = state.consumed.get(&tenant).copied().unwrap_or(0);
+        let reorder = state.reorder.get(&tenant);
+        let wal_ack = reorder
+            .and_then(|b| b.buf.values().map(|(id, _)| id.seq()).min())
+            .map_or(consumed, |oldest_parked| oldest_parked.saturating_sub(1));
+        let breaker = state.breakers.get(&tenant);
+        let checkpoint = TenantCheckpoint {
+            tenant: tenant.to_string(),
+            ts_unix_ms: now_ms,
+            wal_ack,
+            frame_seq: consumed,
+            reorder_last_emitted: reorder.and_then(|b| b.last_emitted),
+            reorder_max_seen: reorder.map_or(0, |b| b.max_seen),
+            breaker_failures: breaker.map_or(0, |b| b.failures),
+            breaker_state: breaker.map_or("closed", Breaker::state_str).to_string(),
+            breaker_remaining_ms: breaker.map_or(0, |b| match b.state {
+                BreakerState::Open { until } => {
+                    until.saturating_duration_since(now).as_millis() as u64
+                }
+                _ => 0,
+            }),
+            guard: guard.clone(),
+            engine: engine_snapshot,
+        };
+        store.write(&checkpoint);
+        if let Some(wal) = &shared.wal {
+            wal.compact(&tenant, wal_ack);
+        }
+        state.last_checkpoint.insert(Arc::clone(&tenant), now_ms);
+        if let Some(d) = lock_recover(&shared.debug).get_mut(tenant.as_ref()) {
+            d.last_checkpoint_unix_ms = Some(now_ms);
+        }
+    }
+}
+
+/// Lazily resolve an unseen tenant's checkpoint before its first frame:
+/// restore the engine, breaker, reorder watermark, and sequence state
+/// from the latest valid snapshot — or fall through to a counted,
+/// warned-about cold start. A tenant whose engine is already live (a
+/// post-panic worker respawn) keeps its live state untouched.
+fn restore_tenant(shard: usize, shared: &PoolShared, state: &mut WorkerState, tenant: &Arc<str>) {
+    if !state.restored.insert(Arc::clone(tenant)) {
+        return;
+    }
+    let Some(store) = &shared.checkpoints else {
+        return;
+    };
+    if state.engines.contains_key(tenant) {
+        return;
+    }
+    let Some(checkpoint) = store.load(tenant) else {
+        rewarm(shared, tenant, "no usable checkpoint");
+        return;
+    };
+    if checkpoint.guard != config_guard(shared) {
+        obs::warn(
+            "rapd.shard",
+            "checkpoint_config_mismatch",
+            &[("tenant", obs::Value::Str(tenant.to_string()))],
+        );
+        rewarm(shared, tenant, "daemon reconfigured since snapshot");
+        return;
+    }
+    let engine = match &checkpoint.engine {
+        EngineCheckpoint::Detecting(snapshot) => {
+            shared.detector_config.as_ref().and_then(|detector| {
+                DetectingPipeline::try_restore(
+                    shared.pipeline_config,
+                    *detector,
+                    snapshot,
+                    (shared.factory)(shared.pipeline_config.localize_threads),
+                )
+                .map(|p| TenantEngine::Detecting(Box::new(p)))
+            })
+        }
+        EngineCheckpoint::Classic(snapshot) => LocalizationPipeline::try_restore(
+            shared.pipeline_config,
+            MovingAverage::new(shared.window),
+            (shared.factory)(shared.pipeline_config.localize_threads),
+            snapshot,
+        )
+        .map(TenantEngine::Classic),
+    };
+    let Some(engine) = engine else {
+        rewarm(shared, tenant, "snapshot rejected by the pipeline");
+        return;
+    };
+    state.engines.insert(Arc::clone(tenant), engine);
+    let mut breaker = Breaker {
+        failures: checkpoint.breaker_failures,
+        state: match checkpoint.breaker_state.as_str() {
+            "open" => BreakerState::Open {
+                until: Instant::now() + Duration::from_millis(checkpoint.breaker_remaining_ms),
+            },
+            "half_open" => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        },
+    };
+    if shared.breaker_threshold == 0 {
+        // the breaker was disabled since the snapshot: never resume open
+        breaker = Breaker::default();
+    } else if breaker.state != BreakerState::Closed {
+        // mirror a live opening so the close path balances the gauge
+        shared
+            .metrics
+            .shard(shard)
+            .breaker_open
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    state.breakers.insert(Arc::clone(tenant), breaker);
+    if checkpoint.reorder_last_emitted.is_some() || checkpoint.reorder_max_seen > 0 {
+        let buffer = state.reorder.entry(Arc::clone(tenant)).or_default();
+        buffer.last_emitted = checkpoint.reorder_last_emitted;
+        buffer.max_seen = checkpoint.reorder_max_seen;
+    }
+    state
+        .consumed
+        .insert(Arc::clone(tenant), checkpoint.frame_seq);
+    state
+        .last_checkpoint
+        .insert(Arc::clone(tenant), checkpoint.ts_unix_ms);
+    shared
+        .metrics
+        .checkpoint_restores
+        .fetch_add(1, Ordering::Relaxed);
+    obs::info(
+        "rapd.shard",
+        "checkpoint_restored",
+        &[
+            ("tenant", obs::Value::Str(tenant.to_string())),
+            ("wal_ack", obs::Value::U64(checkpoint.wal_ack)),
+            ("snapshot_unix_ms", obs::Value::U64(checkpoint.ts_unix_ms)),
+        ],
+    );
+}
+
+/// Account and announce a detector cold start: recovery found no usable
+/// checkpoint, so the tenant re-warms blind for `min_samples` (detect
+/// mode) or `warmup` (classic) frames before it can alarm again.
+fn rewarm(shared: &PoolShared, tenant: &Arc<str>, reason: &str) {
+    shared
+        .metrics
+        .detector_rewarms
+        .fetch_add(1, Ordering::Relaxed);
+    let blindness_frames = match &shared.detector_config {
+        Some(detector) => detector.min_samples,
+        None => shared.pipeline_config.warmup,
+    };
+    obs::warn(
+        "rapd.shard",
+        "detector_rewarm",
+        &[
+            ("tenant", obs::Value::Str(tenant.to_string())),
+            ("reason", obs::Value::Str(reason.to_string())),
+            (
+                "estimated_blindness_frames",
+                obs::Value::U64(blindness_frames as u64),
+            ),
+        ],
+    );
 }
 
 /// Run one frame through the tenant's breaker and pipeline, with panic
@@ -990,6 +1286,7 @@ fn process_frame(
                 .saturating_sub(b.last_emitted.unwrap_or(b.max_seen))
         }),
         last_frame: id.as_str().to_string(),
+        last_checkpoint_unix_ms: state.last_checkpoint.get(tenant).copied(),
     };
     lock_recover(&shared.debug).insert(tenant.to_string(), snapshot);
 }
@@ -1036,11 +1333,11 @@ mod tests {
     }
 
     fn sink(metrics: &Arc<Metrics>) -> Arc<IncidentSink> {
-        Arc::new(IncidentSink::open(None, 8, Arc::clone(metrics)).unwrap())
+        Arc::new(IncidentSink::open(None, 8, 0, Arc::clone(metrics)).unwrap())
     }
 
     fn quarantine(metrics: &Arc<Metrics>) -> Arc<QuarantineSink> {
-        Arc::new(QuarantineSink::open(None, 8, Arc::clone(metrics)).unwrap())
+        Arc::new(QuarantineSink::open(None, 8, 0, Arc::clone(metrics)).unwrap())
     }
 
     fn blackbox_writer(metrics: &Arc<Metrics>) -> Arc<BlackboxWriter> {
@@ -1066,6 +1363,8 @@ mod tests {
             quarantine,
             blackbox_writer(&metrics),
             default_factory(),
+            None,
+            None,
         );
         for tenant in ["a", "b", "edge-7", ""] {
             let s = pool.shard_for(tenant);
@@ -1087,6 +1386,8 @@ mod tests {
             quarantine(&metrics),
             blackbox_writer(&metrics),
             default_factory(),
+            None,
+            None,
         );
         let s = schema();
         for _ in 0..10 {
@@ -1111,6 +1412,8 @@ mod tests {
             quarantine(&metrics),
             blackbox_writer(&metrics),
             default_factory(),
+            None,
+            None,
         );
         let s = schema();
         for _ in 0..8 {
@@ -1176,6 +1479,8 @@ mod tests {
             quarantine(&metrics),
             blackbox_writer(&metrics),
             Arc::new(|_threads| Box::new(Slow(RapMinerLocalizer::default())) as Box<dyn Localizer>),
+            None,
+            None,
         );
         let s = schema();
         let total = 200;
@@ -1213,6 +1518,8 @@ mod tests {
             quarantine,
             blackbox_writer(&metrics),
             default_factory(),
+            None,
+            None,
         );
         assert!(pool.flush(Duration::from_secs(5)));
         pool.shutdown();
@@ -1323,6 +1630,8 @@ mod tests {
             quarantine(&metrics),
             blackbox_writer(&metrics),
             panicky_factory(&armed),
+            None,
+            None,
         );
         let s = schema();
         let mut ingested = 0u64;
@@ -1369,6 +1678,8 @@ mod tests {
             quarantine(&metrics),
             blackbox_writer(&metrics),
             faily_factory(&armed),
+            None,
+            None,
         );
         let s = schema();
         let mut ingested = 0u64;
@@ -1541,6 +1852,8 @@ mod tests {
             Arc::clone(&quarantine),
             blackbox_writer(&metrics),
             default_factory(),
+            None,
+            None,
         );
         let s = schema();
         // steady history, then a collapse frame — sent FIRST but stamped
@@ -1582,6 +1895,8 @@ mod tests {
             Arc::clone(&quarantine),
             blackbox_writer(&metrics),
             default_factory(),
+            None,
+            None,
         );
         let s = schema();
         // the collapse frame is SENT first but STAMPED last: only a
@@ -1636,6 +1951,8 @@ mod tests {
             quarantine(&metrics),
             blackbox_writer(&metrics),
             default_factory(),
+            None,
+            None,
         );
         let s = schema();
         // raw frames only (no labels, no forecast): warm past the
@@ -1681,6 +1998,8 @@ mod tests {
             Arc::clone(&quarantine),
             blackbox_writer(&metrics),
             default_factory(),
+            None,
+            None,
         );
         let s = schema();
         let mut ingested = 0u64;

@@ -25,11 +25,11 @@
 //! ring-only mode — one warning event, `rapd_spool_degraded` set to 1 —
 //! and keeps serving from memory instead of failing frames.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pipeline::{IncidentReport, StageTimings};
@@ -370,8 +370,9 @@ pub(crate) fn judge_line(line: &str) -> LineVerdict {
 /// The repaired content is written to a sibling temp file first and
 /// renamed over the original, so a crash mid-repair leaves either the old
 /// or the new spool — never a half-written one. A missing file is an empty
-/// recovery, not an error.
-fn repair_spool(path: &Path) -> io::Result<SpoolRecovery> {
+/// recovery, not an error. Shared with the WAL and checkpoint stores,
+/// which use the same line framing.
+pub(crate) fn repair_spool(path: &Path) -> io::Result<SpoolRecovery> {
     let data = match fs::read_to_string(path) {
         Ok(data) => data,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(SpoolRecovery::default()),
@@ -405,12 +406,42 @@ fn repair_spool(path: &Path) -> io::Result<SpoolRecovery> {
     Ok(recovery)
 }
 
+/// Harvest the frame tokens of every intact incident line in `path` into
+/// `seen` — the boot-time seed of the replay-dedup set. A missing or
+/// unreadable segment contributes nothing (recovery must never refuse to
+/// boot over a spool).
+fn collect_frame_tokens(path: &Path, seen: &mut HashSet<String>) {
+    let Ok(data) = fs::read_to_string(path) else {
+        return;
+    };
+    for line in data.lines() {
+        let json = match judge_line(line) {
+            LineVerdict::Verified => match line.rsplit_once('\t') {
+                Some((json, _)) => json,
+                None => continue,
+            },
+            LineVerdict::Legacy => line,
+            LineVerdict::Corrupt => continue,
+        };
+        if let Ok(doc) = crate::json::parse(json) {
+            if let Some(frame) = doc.get("frame").and_then(Json::as_str) {
+                seen.insert(frame.to_string());
+            }
+        }
+    }
+}
+
 /// Where incidents go: crash-safe JSONL spool (optional) + bounded ring.
 #[derive(Debug)]
 pub struct IncidentSink {
     spool: Option<Spool>,
     ring: Mutex<VecDeque<IncidentRecord>>,
     ring_capacity: usize,
+    /// Frame tokens already present in the spool at open time plus every
+    /// token recorded since — the exactly-once guard for WAL replay: a
+    /// replayed frame that alarmed before the crash re-produces its
+    /// incident, and this set suppresses the duplicate.
+    seen_frames: Mutex<HashSet<String>>,
     metrics: Arc<Metrics>,
 }
 
@@ -418,6 +449,11 @@ pub struct IncidentSink {
 struct Spool {
     path: PathBuf,
     file: Mutex<File>,
+    /// Current spool size in bytes, maintained by appends; seeds the
+    /// size-based rotation check.
+    bytes: AtomicU64,
+    /// Rotate when the spool exceeds this many bytes; `0` disables.
+    max_bytes: u64,
     /// Latched on the first write error; the sink then serves ring-only.
     degraded: AtomicBool,
 }
@@ -427,7 +463,11 @@ impl IncidentSink {
     /// any existing `incidents.jsonl` is scanned and repaired (see the
     /// module docs), and the file is opened for append. Recovery tallies
     /// land in `metrics` (`rapd_spool_recovered_lines`,
-    /// `rapd_spool_legacy_lines`, `rapd_spool_truncated_bytes`).
+    /// `rapd_spool_legacy_lines`, `rapd_spool_truncated_bytes`). Frame
+    /// tokens found in the spool (and its rotated `.jsonl.1` segment)
+    /// seed the replay-dedup set. `max_bytes > 0` enables size-based
+    /// rotation: when the spool exceeds the cap, the current file
+    /// becomes `incidents.jsonl.1`, evicting the previous segment.
     ///
     /// # Errors
     ///
@@ -436,14 +476,19 @@ impl IncidentSink {
     pub fn open(
         spool_dir: Option<&Path>,
         ring_capacity: usize,
+        max_bytes: u64,
         metrics: Arc<Metrics>,
     ) -> io::Result<Self> {
+        let mut seen_frames = HashSet::new();
         let spool = match spool_dir {
             None => None,
             Some(dir) => {
                 fs::create_dir_all(dir)?;
                 let path = dir.join("incidents.jsonl");
                 let recovery = repair_spool(&path)?;
+                for segment in [path.with_extension("jsonl.1"), path.clone()] {
+                    collect_frame_tokens(&segment, &mut seen_frames);
+                }
                 metrics
                     .spool_recovered_lines
                     .store(recovery.recovered, Ordering::Relaxed);
@@ -468,9 +513,12 @@ impl IncidentSink {
                     );
                 }
                 let file = OpenOptions::new().create(true).append(true).open(&path)?;
+                let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
                 Some(Spool {
                     path,
                     file: Mutex::new(file),
+                    bytes: AtomicU64::new(bytes),
+                    max_bytes,
                     degraded: AtomicBool::new(false),
                 })
             }
@@ -479,6 +527,7 @@ impl IncidentSink {
             spool,
             ring: Mutex::new(VecDeque::new()),
             ring_capacity: ring_capacity.max(1),
+            seen_frames: Mutex::new(seen_frames),
             metrics,
         })
     }
@@ -499,11 +548,25 @@ impl IncidentSink {
     /// when full) and append the checksummed spool line, flushed
     /// immediately — incidents are rare and must survive a crash.
     ///
+    /// Exactly-once across restarts: a record whose frame token is
+    /// already in the spool (a WAL-replayed frame that alarmed before
+    /// the crash) is suppressed and counted in
+    /// `rapd_incidents_deduped_total` instead of appearing twice.
+    ///
     /// Infallible from the caller's perspective: a spool write failure
     /// degrades the sink to ring-only mode (one warning event,
     /// `rapd_spool_degraded` gauge set) instead of surfacing an error the
     /// worker could do nothing useful with.
     pub fn record(&self, record: IncidentRecord) {
+        if let Some(frame) = &record.frame_id {
+            let mut seen = lock_recover(&self.seen_frames);
+            if !seen.insert(frame.clone()) {
+                self.metrics
+                    .incidents_deduped
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
         let line = frame_spool_line(&record.to_json().render());
         {
             let mut ring = lock_recover(&self.ring);
@@ -521,7 +584,19 @@ impl IncidentSink {
             if obs::fail::should_error("spool-write-error") {
                 Err(io::Error::other("injected spool write error"))
             } else {
-                writeln!(file, "{line}").and_then(|()| file.flush())
+                writeln!(file, "{line}")
+                    .and_then(|()| file.flush())
+                    .and_then(|()| {
+                        let bytes = spool
+                            .bytes
+                            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed)
+                            + line.len() as u64
+                            + 1;
+                        if spool.max_bytes > 0 && bytes > spool.max_bytes {
+                            self.rotate(spool, &mut file)?;
+                        }
+                        Ok(())
+                    })
             }
         };
         if let Err(e) = result {
@@ -540,6 +615,35 @@ impl IncidentSink {
                 );
             }
         }
+    }
+
+    /// Rotate the spool: the current file becomes `incidents.jsonl.1`
+    /// (evicting the previous segment) and appends continue into a fresh
+    /// file. Called with the spool file lock held.
+    fn rotate(&self, spool: &Spool, file: &mut File) -> io::Result<()> {
+        file.sync_all()?;
+        let old = spool.path.with_extension("jsonl.1");
+        match fs::remove_file(&old) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        fs::rename(&spool.path, &old)?;
+        *file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&spool.path)?;
+        spool.bytes.store(0, Ordering::Relaxed);
+        self.metrics
+            .spool_rotations
+            .incidents
+            .fetch_add(1, Ordering::Relaxed);
+        obs::info(
+            "sink",
+            "spool_rotated",
+            &[("path", obs::Value::from(spool.path.display().to_string()))],
+        );
+        Ok(())
     }
 
     /// The most recent incidents, newest first, at most `limit`.
@@ -595,7 +699,7 @@ mod tests {
 
     #[test]
     fn ring_keeps_newest_and_bounds_memory() {
-        let sink = IncidentSink::open(None, 3, metrics()).unwrap();
+        let sink = IncidentSink::open(None, 3, 0, metrics()).unwrap();
         for step in 0..10 {
             sink.record(record("t", step));
         }
@@ -609,7 +713,7 @@ mod tests {
     #[test]
     fn spool_appends_checksummed_json_lines() {
         let dir = scratch("append");
-        let sink = IncidentSink::open(Some(&dir), 8, metrics()).unwrap();
+        let sink = IncidentSink::open(Some(&dir), 8, 0, metrics()).unwrap();
         sink.record(record("edge", 5));
         sink.record(record("edge", 6));
         let text = fs::read_to_string(sink.spool_path().unwrap()).unwrap();
@@ -658,7 +762,7 @@ mod tests {
         let dir = scratch("torn");
         let m = metrics();
         {
-            let sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m)).unwrap();
+            let sink = IncidentSink::open(Some(&dir), 8, 0, Arc::clone(&m)).unwrap();
             sink.record(record("t", 1));
             sink.record(record("t", 2));
         }
@@ -669,7 +773,7 @@ mod tests {
         fs::write(&path, format!("{intact}{torn}")).unwrap();
 
         let m2 = metrics();
-        let sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m2)).unwrap();
+        let sink = IncidentSink::open(Some(&dir), 8, 0, Arc::clone(&m2)).unwrap();
         assert_eq!(m2.spool_recovered_lines.load(Ordering::Relaxed), 2);
         assert_eq!(m2.spool_legacy_lines.load(Ordering::Relaxed), 0);
         assert_eq!(
@@ -693,7 +797,7 @@ mod tests {
         let dir = scratch("corrupt");
         let m = metrics();
         {
-            let sink = IncidentSink::open(Some(&dir), 8, m).unwrap();
+            let sink = IncidentSink::open(Some(&dir), 8, 0, m).unwrap();
             for step in 1..=3 {
                 sink.record(record("t", step));
             }
@@ -707,7 +811,7 @@ mod tests {
         fs::write(&path, lines.join("\n") + "\n").unwrap();
 
         let m2 = metrics();
-        let _sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m2)).unwrap();
+        let _sink = IncidentSink::open(Some(&dir), 8, 0, Arc::clone(&m2)).unwrap();
         assert_eq!(m2.spool_recovered_lines.load(Ordering::Relaxed), 2);
         assert_eq!(
             m2.spool_truncated_bytes.load(Ordering::Relaxed),
@@ -731,7 +835,7 @@ mod tests {
         fs::write(&path, format!("{legacy1}\n{legacy2}\n")).unwrap();
 
         let m = metrics();
-        let sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m)).unwrap();
+        let sink = IncidentSink::open(Some(&dir), 8, 0, Arc::clone(&m)).unwrap();
         assert_eq!(m.spool_recovered_lines.load(Ordering::Relaxed), 0);
         assert_eq!(m.spool_legacy_lines.load(Ordering::Relaxed), 2);
         assert_eq!(m.spool_truncated_bytes.load(Ordering::Relaxed), 0);
@@ -755,7 +859,7 @@ mod tests {
         let framed = frame_spool_line(&record("t", 7).to_json().render());
         fs::write(&path, &framed).unwrap();
         let m = metrics();
-        let _sink = IncidentSink::open(Some(&dir), 8, Arc::clone(&m)).unwrap();
+        let _sink = IncidentSink::open(Some(&dir), 8, 0, Arc::clone(&m)).unwrap();
         assert_eq!(m.spool_recovered_lines.load(Ordering::Relaxed), 1);
         assert_eq!(m.spool_truncated_bytes.load(Ordering::Relaxed), 0);
         let text = fs::read_to_string(&path).unwrap();
@@ -765,10 +869,90 @@ mod tests {
 
     #[test]
     fn ring_only_sink_never_degrades() {
-        let sink = IncidentSink::open(None, 4, metrics()).unwrap();
+        let sink = IncidentSink::open(None, 4, 0, metrics()).unwrap();
         sink.record(record("t", 1));
         assert!(!sink.is_degraded());
         assert!(sink.spool_path().is_none());
+    }
+
+    #[test]
+    fn duplicate_frame_tokens_are_suppressed_within_a_run() {
+        let m = metrics();
+        let sink = IncidentSink::open(None, 8, 0, Arc::clone(&m)).unwrap();
+        let mut rec = record("t", 1);
+        rec.frame_id = Some("t-00000001-1700000000000".to_string());
+        sink.record(rec.clone());
+        sink.record(rec); // a replayed twin
+        assert_eq!(sink.ring_len(), 1);
+        assert_eq!(m.incidents_deduped.load(Ordering::Relaxed), 1);
+        // tokenless records (outside the observe path) never dedup
+        sink.record(record("t", 2));
+        sink.record(record("t", 2));
+        assert_eq!(sink.ring_len(), 3);
+        assert_eq!(m.incidents_deduped.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn spooled_frame_tokens_dedup_across_reopen() {
+        let dir = scratch("dedup");
+        let m = metrics();
+        let mut rec = record("t", 1);
+        rec.frame_id = Some("t-0000002a-1700000000000".to_string());
+        {
+            let sink = IncidentSink::open(Some(&dir), 8, 0, metrics()).unwrap();
+            sink.record(rec.clone());
+        }
+        // a fresh process (post-crash restart) replays the same frame
+        let sink = IncidentSink::open(Some(&dir), 8, 0, Arc::clone(&m)).unwrap();
+        sink.record(rec);
+        assert_eq!(m.incidents_deduped.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.ring_len(), 0, "the duplicate never reaches the ring");
+        let text = fs::read_to_string(sink.spool_path().unwrap()).unwrap();
+        assert_eq!(text.lines().count(), 1, "spooled exactly once");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_spool_rotates_and_evicts_the_oldest_segment() {
+        let dir = scratch("rotate");
+        let m = metrics();
+        // a cap small enough that every record overflows it
+        let sink = IncidentSink::open(Some(&dir), 8, 64, Arc::clone(&m)).unwrap();
+        sink.record(record("t", 1));
+        let rotated = dir.join("incidents.jsonl.1");
+        assert!(rotated.is_file(), "first overflow rotates");
+        assert!(fs::read_to_string(&rotated).unwrap().contains("\"step\":1"));
+        assert_eq!(m.spool_rotations.incidents.load(Ordering::Relaxed), 1);
+        sink.record(record("t", 2));
+        // step 1's segment is evicted; step 2 now holds the .1 slot
+        assert!(fs::read_to_string(&rotated).unwrap().contains("\"step\":2"));
+        assert!(!fs::read_to_string(&rotated).unwrap().contains("\"step\":1"));
+        assert_eq!(m.spool_rotations.incidents.load(Ordering::Relaxed), 2);
+        // the live spool is empty again and still accepts appends
+        assert_eq!(fs::read_to_string(sink.spool_path().unwrap()).unwrap(), "");
+        assert!(!sink.is_degraded());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotated_segment_still_seeds_the_dedup_set() {
+        let dir = scratch("rotate-dedup");
+        let mut rec = record("t", 1);
+        rec.frame_id = Some("t-00000007-1700000000000".to_string());
+        {
+            let sink = IncidentSink::open(Some(&dir), 8, 64, metrics()).unwrap();
+            sink.record(rec.clone()); // rotates into .jsonl.1
+        }
+        let m = metrics();
+        let sink = IncidentSink::open(Some(&dir), 8, 64, Arc::clone(&m)).unwrap();
+        sink.record(rec);
+        assert_eq!(
+            m.incidents_deduped.load(Ordering::Relaxed),
+            1,
+            "tokens in the rotated segment must still suppress replays"
+        );
+        assert_eq!(sink.ring_len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -46,6 +46,15 @@
 #                                  schema-checks the `debug` verb's JSON,
 #                                  and runs the Prometheus exposition
 #                                  lint against a live /metrics scrape
+#  14. crash-recovery gate     -- SIGKILLs rapd mid-stream at seeded
+#                                  points, restarts on the same spool, and
+#                                  asserts zero admitted-frame loss,
+#                                  exactly-once incidents, checkpoint
+#                                  restore without detector re-warm, and
+#                                  byte-identical localizations vs an
+#                                  uninterrupted run; also boots from the
+#                                  committed golden checkpoint fixture to
+#                                  pin format forward compatibility
 #
 # The workspace is fully offline (external deps resolve to crates/shims/),
 # so --offline is passed everywhere; no network access is required.
@@ -106,5 +115,10 @@ echo "    detection replay deterministic, recall/false-trigger gate passed"
 # lifecycle, the debug verb must return schema-valid internals, and the
 # live /metrics scrape must pass the exposition-format lint.
 run cargo test -p service --offline -q --test introspection
+
+# 14. crash-recovery gate: kill -9 torture plus the golden-checkpoint
+# forward-compat boot (tests/fixtures/checkpoint_v1.jsonl was written by a
+# previous binary's graceful drain and must still restore).
+run cargo test -p rapminer-suite --offline -q --test crash_recovery
 
 echo "==> tier-1 gate passed"
