@@ -136,6 +136,10 @@ pub enum Command {
         /// directory so a crash loses nothing past admission (needs
         /// `--spool`; on by default).
         wal: bool,
+        /// `fsync` every WAL append before acknowledging, extending
+        /// durability from process crashes to power loss (off by
+        /// default; costs one fsync per frame).
+        wal_fsync: bool,
         /// Milliseconds between detector checkpoints; `0` disables
         /// periodic checkpointing (a graceful drain still checkpoints).
         checkpoint_interval_ms: u64,
@@ -231,7 +235,8 @@ USAGE:
                     [--max-lateness-ms N] [--intra-frame-threads N]
                     [--detect true] [--detect-threshold X]
                     [--seasonal-period N] [--flight-recorder N]
-                    [--wal true|false] [--checkpoint-interval-ms N]
+                    [--wal true|false] [--wal-fsync true|false]
+                    [--checkpoint-interval-ms N]
                     [--spool-max-bytes N]
   rapminer debug    [--addr HOST:PORT] [--tenant NAME]
   rapminer stats    [--addr HOST:PORT]
@@ -328,6 +333,7 @@ impl Args {
                 seasonal_period: parse_num(&flags, "seasonal-period", 0)?,
                 flight_recorder: parse_num(&flags, "flight-recorder", 256)?,
                 wal: parse_bool_default(&flags, "wal", true)?,
+                wal_fsync: parse_bool(&flags, "wal-fsync")?,
                 checkpoint_interval_ms: parse_num(&flags, "checkpoint-interval-ms", 30_000)?,
                 spool_max_bytes: parse_num(&flags, "spool-max-bytes", 64 << 20)?,
             },
@@ -730,6 +736,8 @@ mod tests {
             "serve",
             "--wal",
             "false",
+            "--wal-fsync",
+            "true",
             "--checkpoint-interval-ms",
             "5000",
             "--spool-max-bytes",
@@ -739,25 +747,30 @@ mod tests {
         match args.command {
             Command::Serve {
                 wal,
+                wal_fsync,
                 checkpoint_interval_ms,
                 spool_max_bytes,
                 ..
             } => {
                 assert!(!wal);
+                assert!(wal_fsync);
                 assert_eq!(checkpoint_interval_ms, 5000);
                 assert_eq!(spool_max_bytes, 1_048_576);
             }
             other => panic!("wrong command {other:?}"),
         }
-        // defaults: WAL on, 30 s checkpoints, 64 MiB spool ceiling
+        // defaults: WAL on (no per-append fsync), 30 s checkpoints,
+        // 64 MiB spool ceiling
         match Args::parse(["serve"]).unwrap().command {
             Command::Serve {
                 wal,
+                wal_fsync,
                 checkpoint_interval_ms,
                 spool_max_bytes,
                 ..
             } => {
                 assert!(wal, "WAL must default on");
+                assert!(!wal_fsync, "per-append fsync must default off");
                 assert_eq!(checkpoint_interval_ms, 30_000);
                 assert_eq!(spool_max_bytes, 64 << 20);
             }

@@ -261,6 +261,7 @@ pub(crate) fn serve_start(
         seasonal_period,
         flight_recorder,
         wal,
+        wal_fsync,
         checkpoint_interval_ms,
         spool_max_bytes,
     } = command
@@ -286,6 +287,7 @@ pub(crate) fn serve_start(
         seasonal_period: *seasonal_period,
         flight_recorder_capacity: *flight_recorder,
         wal: *wal,
+        wal_fsync: *wal_fsync,
         checkpoint_interval: std::time::Duration::from_millis(*checkpoint_interval_ms),
         spool_max_bytes: *spool_max_bytes,
         pipeline: pipeline::PipelineConfig {

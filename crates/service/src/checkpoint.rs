@@ -462,10 +462,16 @@ impl CheckpointStore {
             .flatten()
             .filter_map(|d| {
                 let name = d.file_name().to_str()?.to_string();
-                name.strip_suffix(".json").map(str::to_string)
+                // A crash between write()'s demote and final rename can
+                // leave a tenant with only a `.json.prev` generation;
+                // load() would find it, so boot must list it too.
+                name.strip_suffix(".json")
+                    .or_else(|| name.strip_suffix(".json.prev"))
+                    .map(str::to_string)
             })
             .collect();
         stems.sort();
+        stems.dedup();
         for stem in stems {
             // `load` by stem: stems are already sanitized, and sanitizing
             // is idempotent, so the round trip is exact.
@@ -639,6 +645,28 @@ mod tests {
     }
 
     #[test]
+    fn tenant_with_only_a_prev_generation_is_listed_at_boot() {
+        // Simulate a crash between write()'s two renames: the current
+        // snapshot was demoted to .prev but the temp file never replaced
+        // it. load_all must still surface the tenant, or boot recovery
+        // would skip its wal_ack/frame_seq seeding entirely.
+        let dir = scratch("prevonly");
+        let store = CheckpointStore::open(&dir, metrics()).unwrap();
+        let checkpoint = classic_checkpoint("t");
+        store.write(&checkpoint);
+        fs::rename(
+            dir.join("checkpoints/t.json"),
+            dir.join("checkpoints/t.json.prev"),
+        )
+        .unwrap();
+        assert_eq!(store.load_all(), vec![checkpoint.clone()]);
+        // both generations present lists the tenant exactly once
+        store.write(&checkpoint);
+        assert_eq!(store.load_all().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn write_failure_counts_and_keeps_the_old_snapshot() {
         let dir = scratch("writefail");
         let m = metrics();
@@ -666,7 +694,7 @@ mod tests {
         let mut checkpoint = classic_checkpoint("../escape");
         checkpoint.tenant = "../escape".to_string();
         store.write(&checkpoint);
-        assert!(dir.join("checkpoints/___escape.json").is_file());
+        assert!(dir.join("checkpoints/___escape-ed1965a3.json").is_file());
         assert!(!dir.parent().unwrap().join("escape.json").exists());
         assert_eq!(store.load("../escape"), Some(checkpoint));
         fs::remove_dir_all(&dir).unwrap();

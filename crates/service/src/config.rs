@@ -74,6 +74,12 @@ pub struct ServiceConfig {
     /// `<spool_dir>/wal/` before they enter the shard queues, so a crash
     /// loses nothing past admission. Only effective with a `spool_dir`.
     pub wal: bool,
+    /// `fsync` every WAL append before the wire acknowledgment. Off, an
+    /// acknowledged frame survives any process death (`kill -9`, OOM)
+    /// but sits in the page cache until writeback — power loss or a
+    /// kernel panic can still lose it. On, the guarantee extends to
+    /// machine crashes, at a per-frame fsync cost.
+    pub wal_fsync: bool,
     /// How often each tenant's detector state is checkpointed to
     /// `<spool_dir>/checkpoints/`. `Duration::ZERO` disables periodic
     /// checkpoints (graceful `shutdown` still writes one) — legal, not a
@@ -110,6 +116,7 @@ impl Default for ServiceConfig {
             seasonal_period: 0,
             flight_recorder_capacity: obs::recorder::DEFAULT_FLIGHT_CAPACITY,
             wal: true,
+            wal_fsync: false,
             checkpoint_interval: Duration::from_secs(30),
             spool_max_bytes: 64 << 20,
             pipeline: PipelineConfig::default(),

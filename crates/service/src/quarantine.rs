@@ -88,26 +88,38 @@ impl QuarantineRecord {
     }
 }
 
-/// Map a tenant id onto a safe file stem: anything outside
-/// `[A-Za-z0-9_-]` becomes `_`, so a hostile tenant string cannot escape
-/// the quarantine directory. Shared with the WAL, which names its
-/// per-tenant journal segments the same way.
+/// Map a tenant id onto a safe, collision-free file stem: anything
+/// outside `[A-Za-z0-9_-]` becomes `_`, so a hostile tenant string
+/// cannot escape the quarantine directory, and any name that needed
+/// replacement carries a CRC32 suffix of its raw bytes so two distinct
+/// tenants (`a.b`, `a:b`) can never collapse onto one stem — the WAL
+/// and checkpoint store key files by stem, so a shared stem would
+/// cross-corrupt their journals and snapshots. Already-safe names keep
+/// their exact stem (and their existing on-disk files); sanitizing is
+/// idempotent either way, since a hashed stem is itself all safe
+/// characters.
 pub(crate) fn sanitize_tenant(tenant: &str) -> String {
+    let mut lossy = tenant.is_empty();
     let stem: String = tenant
         .chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
                 c
             } else {
+                lossy = true;
                 '_'
             }
         })
         .collect();
-    if stem.is_empty() {
+    if !lossy {
+        return stem;
+    }
+    let stem = if stem.is_empty() {
         "_".to_string()
     } else {
         stem
-    }
+    };
+    format!("{stem}-{:08x}", crate::sink::crc32(tenant.as_bytes()))
 }
 
 /// Where refused frames go: per-tenant checksummed JSONL spools plus a
@@ -338,15 +350,34 @@ mod tests {
 
     #[test]
     fn hostile_tenant_names_cannot_escape_the_directory() {
-        assert_eq!(sanitize_tenant("../../etc/passwd"), "______etc_passwd");
+        assert_eq!(
+            sanitize_tenant("../../etc/passwd"),
+            "______etc_passwd-df406b03"
+        );
         assert_eq!(sanitize_tenant("ok-Tenant_9"), "ok-Tenant_9");
-        assert_eq!(sanitize_tenant(""), "_");
+        assert_eq!(sanitize_tenant(""), "_-00000000");
         let dir = scratch("hostile");
         let sink = QuarantineSink::open(Some(&dir), 8, 0, metrics()).unwrap();
         sink.record(record("../escape", "late", None));
-        assert!(dir.join("quarantine/___escape.jsonl").is_file());
+        assert!(dir.join("quarantine/___escape-ed1965a3.jsonl").is_file());
         assert!(!dir.parent().unwrap().join("escape.jsonl").exists());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn distinct_lossy_tenant_names_get_distinct_stems() {
+        // Without the hash suffix both would collapse to "a_b" — one WAL
+        // segment and one checkpoint path shared by two tenants.
+        let a = sanitize_tenant("a.b");
+        let b = sanitize_tenant("a:b");
+        assert_ne!(a, b);
+        assert!(a.starts_with("a_b-") && b.starts_with("a_b-"));
+        // a lossy stem never shadows the identical already-safe name
+        assert_ne!(a, sanitize_tenant("a_b"));
+        // idempotent: feeding a stem back through is the identity
+        for stem in [a, b, sanitize_tenant(""), sanitize_tenant("safe")] {
+            assert_eq!(sanitize_tenant(&stem), stem);
+        }
     }
 
     #[test]

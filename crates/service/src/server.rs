@@ -234,7 +234,11 @@ pub fn start(config: ServiceConfig, factory: LocalizerFactory) -> Result<ServerH
         Arc::clone(&metrics),
     )?);
     let wal = match &config.spool_dir {
-        Some(dir) if config.wal => Some(Arc::new(FrameWal::open(dir, Arc::clone(&metrics))?)),
+        Some(dir) if config.wal => Some(Arc::new(FrameWal::open(
+            dir,
+            Arc::clone(&metrics),
+            config.wal_fsync,
+        )?)),
         _ => None,
     };
     let checkpoints = match &config.spool_dir {

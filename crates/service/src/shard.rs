@@ -998,6 +998,22 @@ fn restore_tenant(shard: usize, shared: &PoolShared, state: &mut WorkerState, te
         rewarm(shared, tenant, "no usable checkpoint");
         return;
     };
+    if checkpoint.tenant != tenant.as_ref() {
+        // The snapshot at this tenant's path embeds a different tenant
+        // id (a hand-moved spool file, or a stem collision from an older
+        // lossy sanitizer): adopting it would silently resume from
+        // foreign detector state.
+        obs::warn(
+            "rapd.shard",
+            "checkpoint_tenant_mismatch",
+            &[
+                ("tenant", obs::Value::Str(tenant.to_string())),
+                ("snapshot_tenant", obs::Value::Str(checkpoint.tenant)),
+            ],
+        );
+        rewarm(shared, tenant, "checkpoint belongs to a different tenant");
+        return;
+    }
     if checkpoint.guard != config_guard(shared) {
         obs::warn(
             "rapd.shard",

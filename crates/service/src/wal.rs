@@ -13,6 +13,13 @@
 //! a crash mid-append costs at most the line being written, which is
 //! exactly the frame that was never acknowledged.
 //!
+//! By default an append is flushed (not fsynced) before the wire
+//! acknowledgment: the line is in the kernel page cache, which survives
+//! any *process* death (`kill -9`, OOM, panic) but not power loss or a
+//! kernel panic. Opening the WAL with `fsync` (`--wal-fsync`) upgrades
+//! the guarantee to machine-crash durability by `sync_data`ing every
+//! append, at a per-frame fsync cost.
+//!
 //! Two journals live here:
 //!
 //! * `<tenant>.jsonl` — one [`WalEntry`] per admitted frame, compacted
@@ -128,24 +135,35 @@ impl WalEntry {
 pub(crate) struct FrameWal {
     dir: PathBuf,
     /// Lazily opened per-tenant append handles, keyed by sanitized stem.
-    /// Compaction evicts the handle so the next append reopens the
-    /// rewritten segment.
+    /// This lock is the segment lock: appends hold it across the write
+    /// and the depth bookkeeping, and compaction holds it across its
+    /// whole read–rewrite–rename, so an append lands wholly before or
+    /// wholly after a compaction — never inside one, where its line
+    /// would be discarded with the replaced inode.
     files: Mutex<HashMap<String, File>>,
     /// Unacknowledged entries per stem; the sum is the `rapd_wal_depth`
-    /// gauge.
+    /// gauge. Lock order: `files` before `depth`, always.
     depth: Mutex<HashMap<String, u64>>,
     metrics: Arc<Metrics>,
+    /// `sync_data` every append (machine-crash durability) instead of
+    /// relying on the page cache (process-crash durability).
+    fsync: bool,
     /// Latched on the first append error; the WAL then journals nothing.
     degraded: AtomicBool,
 }
 
 impl FrameWal {
-    /// Open (creating) the `<spool_dir>/wal/` journal directory.
+    /// Open (creating) the `<spool_dir>/wal/` journal directory. With
+    /// `fsync`, every append is `sync_data`'d before the caller (and
+    /// therefore the wire acknowledgment) proceeds — durability against
+    /// power loss, at a per-frame fsync cost; without it, a flushed line
+    /// survives `kill -9` but sits in the page cache until the kernel
+    /// writes it back.
     ///
     /// # Errors
     ///
     /// Fails when the directory cannot be created.
-    pub fn open(spool_dir: &Path, metrics: Arc<Metrics>) -> io::Result<Self> {
+    pub fn open(spool_dir: &Path, metrics: Arc<Metrics>, fsync: bool) -> io::Result<Self> {
         let dir = spool_dir.join("wal");
         fs::create_dir_all(&dir)?;
         Ok(FrameWal {
@@ -153,6 +171,7 @@ impl FrameWal {
             files: Mutex::new(HashMap::new()),
             depth: Mutex::new(HashMap::new()),
             metrics,
+            fsync,
             degraded: AtomicBool::new(false),
         })
     }
@@ -184,8 +203,11 @@ impl FrameWal {
         }
         let line = frame_spool_line(&entry.to_json().render());
         let stem = sanitize_tenant(&entry.tenant);
+        // Hold the segment lock across the write *and* the depth update:
+        // compact() holds it for its whole rewrite, so neither the line
+        // nor its depth increment can interleave with a compaction.
+        let mut files = lock_recover(&self.files);
         let result = (|| {
-            let mut files = lock_recover(&self.files);
             let file = match files.entry(stem.clone()) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -196,12 +218,18 @@ impl FrameWal {
             if obs::fail::should_error("wal-append-error") {
                 return Err(io::Error::other("injected wal append error"));
             }
-            writeln!(file, "{line}").and_then(|()| file.flush())
+            writeln!(file, "{line}")?;
+            file.flush()?;
+            if self.fsync {
+                file.sync_data()?;
+            }
+            Ok(())
         })();
         match result {
             Ok(()) => {
                 self.metrics.wal_appends.fetch_add(1, Ordering::Relaxed);
                 *lock_recover(&self.depth).entry(stem).or_insert(0) += 1;
+                drop(files);
                 self.publish_depth();
             }
             Err(e) => {
@@ -223,12 +251,18 @@ impl FrameWal {
     }
 
     /// Drop every journaled entry of `tenant` with `seq <= ack_seq` — a
-    /// checkpoint now covers them. The segment is rewritten through a
-    /// temp file, fsynced, and renamed into place, so a crash
-    /// mid-compaction leaves either the old or the new journal.
+    /// checkpoint now covers them. Entries carrying a *different*
+    /// embedded tenant are always kept (the ack covers this tenant's
+    /// pipeline, not theirs), so even a stem collision cannot discard a
+    /// neighbor's unacknowledged frames. The segment is rewritten
+    /// through a temp file, fsynced, and renamed into place, and the
+    /// segment lock is held across the whole read–rewrite–rename: a
+    /// concurrent observe-path append can land only before the read or
+    /// after the rename, never into the doomed inode.
     pub fn compact(&self, tenant: &str, ack_seq: u64) {
         let stem = sanitize_tenant(tenant);
         let path = self.dir.join(format!("{stem}.jsonl"));
+        let mut files = lock_recover(&self.files);
         let result = (|| -> io::Result<Option<u64>> {
             let data = match fs::read_to_string(&path) {
                 Ok(data) => data,
@@ -239,7 +273,7 @@ impl FrameWal {
             let mut kept_count = 0u64;
             for line in data.lines() {
                 if let Some(entry) = parse_wal_line(line) {
-                    if entry.seq <= ack_seq {
+                    if entry.tenant == tenant && entry.seq <= ack_seq {
                         continue;
                     }
                     kept_count += 1;
@@ -250,9 +284,9 @@ impl FrameWal {
             if kept.len() == data.len() {
                 return Ok(Some(kept_count));
             }
-            // Evict the cached append handle first: after the rename it
-            // would still point at the replaced inode.
-            lock_recover(&self.files).remove(&stem);
+            // Evict the cached append handle: after the rename it would
+            // still point at the replaced inode.
+            files.remove(&stem);
             let tmp = path.with_extension("jsonl.compact");
             {
                 let mut f = File::create(&tmp)?;
@@ -266,6 +300,7 @@ impl FrameWal {
         match result {
             Ok(Some(kept_count)) => {
                 lock_recover(&self.depth).insert(stem, kept_count);
+                drop(files);
                 self.publish_depth();
             }
             Ok(None) => {}
@@ -479,7 +514,7 @@ mod tests {
         let dir = scratch("recover");
         let m = metrics();
         {
-            let wal = FrameWal::open(&dir, Arc::clone(&m)).unwrap();
+            let wal = FrameWal::open(&dir, Arc::clone(&m), false).unwrap();
             wal.append(&entry("b", 2, None));
             wal.append(&entry("a", 1, Some(5)));
             wal.append(&entry("a", 3, Some(6)));
@@ -487,7 +522,7 @@ mod tests {
             assert_eq!(m.wal_appends.load(Ordering::Relaxed), 3);
         }
         // a fresh process opens the same directory
-        let wal = FrameWal::open(&dir, metrics()).unwrap();
+        let wal = FrameWal::open(&dir, metrics(), false).unwrap();
         let entries = wal.recover();
         assert_eq!(
             entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
@@ -505,7 +540,7 @@ mod tests {
     fn compaction_drops_acknowledged_prefix_and_keeps_appending() {
         let dir = scratch("compact");
         let m = metrics();
-        let wal = FrameWal::open(&dir, Arc::clone(&m)).unwrap();
+        let wal = FrameWal::open(&dir, Arc::clone(&m), false).unwrap();
         for seq in 1..=4 {
             wal.append(&entry("t", seq, None));
         }
@@ -533,7 +568,7 @@ mod tests {
     fn torn_tail_is_truncated_at_recovery() {
         let dir = scratch("torn");
         {
-            let wal = FrameWal::open(&dir, metrics()).unwrap();
+            let wal = FrameWal::open(&dir, metrics(), false).unwrap();
             wal.append(&entry("t", 1, None));
             wal.append(&entry("t", 2, None));
         }
@@ -542,7 +577,7 @@ mod tests {
         let mut data = fs::read_to_string(&path).unwrap();
         data.push_str("{\"tenant\":\"t\",\"frame\":\"t-00");
         fs::write(&path, &data).unwrap();
-        let wal = FrameWal::open(&dir, metrics()).unwrap();
+        let wal = FrameWal::open(&dir, metrics(), false).unwrap();
         let entries = wal.recover();
         assert_eq!(entries.iter().map(|e| e.seq).collect::<Vec<_>>(), [1, 2]);
         // the repair also rewrote the file, so a second scan is clean
@@ -556,7 +591,7 @@ mod tests {
     fn append_failure_latches_degraded_mode() {
         let dir = scratch("degraded");
         let m = metrics();
-        let wal = FrameWal::open(&dir, Arc::clone(&m)).unwrap();
+        let wal = FrameWal::open(&dir, Arc::clone(&m), false).unwrap();
         // occupy the tenant's segment path with a directory so the lazy
         // open fails — a stand-in for a full or vanished volume
         fs::create_dir_all(dir.join("wal/t.jsonl")).unwrap();
@@ -574,13 +609,89 @@ mod tests {
     #[test]
     fn hostile_tenant_names_cannot_escape_the_wal_directory() {
         let dir = scratch("hostile");
-        let wal = FrameWal::open(&dir, metrics()).unwrap();
+        let wal = FrameWal::open(&dir, metrics(), false).unwrap();
         wal.append(&entry("../escape", 1, None));
-        assert!(dir.join("wal/___escape.jsonl").is_file());
+        assert!(dir.join("wal/___escape-ed1965a3.jsonl").is_file());
         assert!(!dir.parent().unwrap().join("escape.jsonl").exists());
         // the entry still recovers under its true tenant name
         let entries = wal.recover();
         assert_eq!(entries[0].tenant, "../escape");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_appends_never_vanish_into_a_compaction() {
+        // Regression: compact once held the segment lock only to evict
+        // the cached handle, so an append landing between its read and
+        // its rename went into the replaced inode and silently vanished.
+        let dir = scratch("race");
+        let wal = Arc::new(FrameWal::open(&dir, metrics(), false).unwrap());
+        const TOTAL: u64 = 300;
+        const ACK: u64 = 100;
+        let appender = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || {
+                for seq in 1..=TOTAL {
+                    wal.append(&entry("t", seq, None));
+                }
+            })
+        };
+        // hammer compaction with a fixed ack while appends stream in
+        for _ in 0..200 {
+            wal.compact("t", ACK);
+        }
+        appender.join().unwrap();
+        wal.compact("t", ACK);
+        let entries = wal.recover();
+        assert_eq!(
+            entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (ACK + 1..=TOTAL).collect::<Vec<_>>(),
+            "every unacknowledged append survives concurrent compaction"
+        );
+        assert_eq!(wal.depth(), TOTAL - ACK, "depth matches the survivors");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_only_drops_the_acking_tenants_entries() {
+        // Defense in depth: if two tenants ever did share a segment
+        // (they cannot since stems are collision-free, but a hand-moved
+        // spool might), one tenant's ack must not discard the other's
+        // unacknowledged frames. Forge a shared segment by hand.
+        let dir = scratch("shared");
+        let wal = FrameWal::open(&dir, metrics(), false).unwrap();
+        let mut forged = String::new();
+        for e in [
+            entry("x", 1, None),
+            entry("y", 2, None),
+            entry("x", 3, None),
+        ] {
+            forged.push_str(&frame_spool_line(&e.to_json().render()));
+            forged.push('\n');
+        }
+        fs::write(dir.join("wal/x.jsonl"), forged).unwrap();
+        wal.compact("x", 10);
+        let entries = wal.recover();
+        assert_eq!(
+            entries
+                .iter()
+                .map(|e| (e.tenant.as_str(), e.seq))
+                .collect::<Vec<_>>(),
+            [("y", 2)],
+            "the foreign tenant's entry survives x's blanket ack"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_mode_appends_and_recovers_like_the_default() {
+        let dir = scratch("fsync");
+        let wal = FrameWal::open(&dir, metrics(), true).unwrap();
+        wal.append(&entry("t", 1, Some(9)));
+        wal.append(&entry("t", 2, None));
+        wal.compact("t", 1);
+        let entries = wal.recover();
+        assert_eq!(entries.iter().map(|e| e.seq).collect::<Vec<_>>(), [2]);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -593,12 +704,12 @@ mod tests {
             ("isp".to_string(), vec!["I1".to_string()]),
         ];
         {
-            let wal = FrameWal::open(&dir, metrics()).unwrap();
+            let wal = FrameWal::open(&dir, metrics(), false).unwrap();
             wal.append_schema("edge", &parts_v1);
             wal.append_schema("core", &parts_v1);
             wal.append_schema("edge", &parts_v2);
         }
-        let wal = FrameWal::open(&dir, metrics()).unwrap();
+        let wal = FrameWal::open(&dir, metrics(), false).unwrap();
         let schemas = wal.recover_schemas();
         assert_eq!(schemas.len(), 2);
         assert_eq!(schemas[0], ("edge".to_string(), parts_v2));
